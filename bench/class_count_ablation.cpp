@@ -1,0 +1,107 @@
+// Ablation: how register-class diversity constrains retiming.
+//
+// Class compatibility bites where differently-controlled registers
+// *reconverge*: a forward move across a shared gate needs the whole fanin
+// layer to be one class. The circuit: B parallel branches, each with a
+// small gate and a stack of two enabled registers, reconverging into an
+// unregistered reduction tree plus a deep tail cascade. Meeting timing
+// requires pushing the branch registers forward into the shared logic -
+// which is only a valid mc-step if the converging registers share a class.
+//
+// Branch b uses enable input (b mod K): K = 1 reproduces the single-class
+// best case; larger K blocks the convergence gates layer by layer and the
+// achievable period degrades toward the unretimed one. This is the paper's
+// central trade-off isolated: the registers keep their enable semantics at
+// zero area cost, in exchange for movement freedom.
+#include <cstdio>
+#include <vector>
+
+#include "base/strings.h"
+#include "mcretime/mc_retime.h"
+#include "netlist/netlist.h"
+#include "tech/sta.h"
+
+namespace {
+
+constexpr std::size_t kBranches = 8;
+constexpr std::size_t kTailDepth = 8;
+
+mcrt::Netlist build(std::size_t enable_count) {
+  using namespace mcrt;
+  Netlist n;
+  const NetId clk = n.add_input("clk");
+  std::vector<NetId> enables;
+  for (std::size_t e = 0; e < enable_count; ++e) {
+    enables.push_back(n.add_input(str_format("en%zu", e)));
+  }
+  std::vector<NetId> branch;
+  for (std::size_t b = 0; b < kBranches; ++b) {
+    const NetId x = n.add_input(str_format("x%zu", b));
+    const NetId y = n.add_input(str_format("y%zu", b));
+    NetId net = n.add_lut(TruthTable::xor_n(2), {x, y});
+    n.set_node_delay(NodeId{n.net(net).driver.index}, 10);
+    for (int s = 0; s < 2; ++s) {
+      Register ff;
+      ff.d = net;
+      ff.clk = clk;
+      ff.en = enables[b % enable_count];
+      net = n.add_register(std::move(ff));
+    }
+    branch.push_back(net);
+  }
+  // Reduction tree (reconvergence points) ...
+  std::vector<NetId> layer = branch;
+  while (layer.size() > 1) {
+    std::vector<NetId> next;
+    for (std::size_t i = 0; i + 1 < layer.size(); i += 2) {
+      const NetId g = n.add_lut(TruthTable::xor_n(2), {layer[i], layer[i + 1]});
+      n.set_node_delay(NodeId{n.net(g).driver.index}, 10);
+      next.push_back(g);
+    }
+    if (layer.size() % 2) next.push_back(layer.back());
+    layer = std::move(next);
+  }
+  // ... and a deep unregistered tail.
+  NetId tail = layer[0];
+  for (std::size_t d = 0; d < kTailDepth; ++d) {
+    tail = n.add_lut(TruthTable::inverter(), {tail});
+    n.set_node_delay(NodeId{n.net(tail).driver.index}, 10);
+  }
+  n.add_output("out", tail);
+  return n;
+}
+
+}  // namespace
+
+int main() {
+  using namespace mcrt;
+  std::printf("Class-count ablation: %zu enabled branches reconverging into\n"
+              "a %zu-deep unregistered tail; branch b uses enable (b mod K)\n\n",
+              kBranches, kTailDepth);
+  std::printf("%8s %8s %12s %10s %10s %8s\n", "K", "#Class", "#Step",
+              "period", "Rdelay", "#FF");
+  std::printf("--------------------------------------------------------\n");
+  for (const std::size_t k : {1, 2, 4, 8}) {
+    const Netlist n = build(k);
+    const McRetimeResult result = mc_retime(n, {});
+    if (!result.success) {
+      std::printf("%8zu  FAILED (%s)\n", k, result.error.c_str());
+      continue;
+    }
+    char steps[32];
+    std::snprintf(steps, sizeof steps, "%zu/%zu", result.stats.moved_layers,
+                  result.stats.possible_steps);
+    std::printf("%8zu %8zu %12s %10lld %10.2f %8zu\n", k,
+                result.stats.num_classes, steps,
+                static_cast<long long>(result.stats.period_after),
+                static_cast<double>(result.stats.period_after) /
+                    static_cast<double>(result.stats.period_before),
+                result.stats.registers_after);
+  }
+  std::printf(
+      "\nexpected shape: K = 1 pushes registers through the reconvergence\n"
+      "tree into the tail (short period, fewer registers after merging);\n"
+      "as K grows the convergence gates see mixed-class layers, movement\n"
+      "stalls at the tree and the period degrades toward unretimed.\n");
+  return 0;
+}

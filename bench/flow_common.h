@@ -1,0 +1,95 @@
+// Shared flow pieces for the table/figure harnesses: the equivalents of the
+// paper's synthesis scripts (§6).
+//
+//  - prepare_mapped(): HDL analyzer -> decompose sync set/clear (XC4000E
+//    registers have none) -> optimize (sweep) -> map to 4-LUTs with the
+//    FlowMap delay model. This produces the "Table 1" view of a circuit.
+//  - retime_and_remap(): insert the "retime" command after mapping
+//    (minarea at best delay), then "remap" the combinational part.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "base/timer.h"
+#include "mcretime/mc_retime.h"
+#include "netlist/netlist.h"
+#include "sim/equivalence.h"
+#include "tech/decompose.h"
+#include "tech/flowmap.h"
+#include "tech/sta.h"
+#include "transform/decompose_controls.h"
+#include "transform/sweep.h"
+#include "workload/generator.h"
+
+namespace mcrt::bench {
+
+struct MappedCircuit {
+  std::string name;
+  Netlist netlist;
+  std::size_t ff = 0;
+  std::size_t lut = 0;
+  std::int64_t delay = 0;
+  bool has_async = false;
+  bool has_en = false;
+};
+
+inline MappedCircuit measure(std::string name, Netlist netlist) {
+  MappedCircuit out;
+  out.name = std::move(name);
+  const auto stats = netlist.stats();
+  out.ff = stats.registers;
+  out.lut = stats.luts;
+  out.has_async = stats.with_async > 0;
+  out.has_en = stats.with_en > 0;
+  out.delay = compute_period(netlist);
+  out.netlist = std::move(netlist);
+  return out;
+}
+
+/// The paper's "minimal area for best delay" preparation script.
+inline MappedCircuit prepare_mapped(const CircuitProfile& profile) {
+  Netlist rtl = generate_circuit(profile);
+  // XC4000E flip-flops have no synchronous set/clear: decompose to logic.
+  rtl = decompose_sync_controls(rtl);
+  rtl = sweep(rtl, nullptr);
+  const FlowMapResult mapped = flowmap_map(decompose_to_binary(rtl), {});
+  return measure(profile.name, mapped.mapped);
+}
+
+struct RetimedCircuit {
+  MappedCircuit circuit;
+  McRetimeStats stats;
+  bool ok = false;
+  bool equivalent = false;
+  double seconds = 0.0;
+};
+
+/// "retime" (minarea at minimum period) + "remap", with equivalence check.
+inline RetimedCircuit retime_and_remap(const MappedCircuit& mapped,
+                                       const McRetimeOptions& options = {}) {
+  RetimedCircuit out;
+  Timer timer;
+  const McRetimeResult result = mc_retime(mapped.netlist, options);
+  if (!result.success) {
+    std::fprintf(stderr, "  %s: mc-retiming failed: %s\n",
+                 mapped.name.c_str(), result.error.c_str());
+    return out;
+  }
+  // Remap the combinational part after retiming (registers pass through).
+  const FlowMapResult remapped =
+      flowmap_map(decompose_to_binary(result.netlist), {});
+  out.seconds = timer.seconds();
+  out.circuit = measure(mapped.name, remapped.mapped);
+  out.stats = result.stats;
+  out.ok = true;
+  EquivalenceOptions eq_opt;
+  eq_opt.runs = 2;
+  eq_opt.cycles = 48;
+  out.equivalent =
+      check_sequential_equivalence(mapped.netlist, out.circuit.netlist, eq_opt)
+          .equivalent;
+  return out;
+}
+
+}  // namespace mcrt::bench

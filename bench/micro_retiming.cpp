@@ -1,0 +1,99 @@
+// Microbenchmarks for the §6 efficiency claims: scaling of the individual
+// mc-retiming phases with circuit size (google-benchmark).
+#include <benchmark/benchmark.h>
+
+#include "mcretime/lower.h"
+#include "mcretime/maximal_retiming.h"
+#include "mcretime/mc_retime.h"
+#include "mcretime/register_class.h"
+#include "retime/minarea.h"
+#include "retime/minperiod.h"
+#include "tech/decompose.h"
+#include "tech/flowmap.h"
+#include "transform/sweep.h"
+#include "workload/generator.h"
+
+namespace {
+
+using namespace mcrt;
+
+/// Scaled pipeline circuit with `size` controlling width/depth.
+Netlist scaled_circuit(std::int64_t size) {
+  CircuitProfile profile;
+  profile.name = "scaled";
+  profile.seed = 7;
+  profile.control_signals = 4;
+  profile.pipelines = {
+      {static_cast<std::size_t>(size), static_cast<std::size_t>(size), 2},
+      {static_cast<std::size_t>(size), 4, 1}};
+  profile.accumulators = {{static_cast<std::size_t>(size)}};
+  const Netlist rtl = sweep(generate_circuit(profile), nullptr);
+  return flowmap_map(decompose_to_binary(rtl), {}).mapped;
+}
+
+void BM_ClassifyRegisters(benchmark::State& state) {
+  const Netlist n = scaled_circuit(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(classify_registers(n));
+  }
+  state.SetLabel(std::to_string(n.register_count()) + " regs");
+}
+BENCHMARK(BM_ClassifyRegisters)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_BuildMcGraphAndBounds(benchmark::State& state) {
+  const Netlist n = scaled_circuit(state.range(0));
+  for (auto _ : state) {
+    const McGraph g = build_mc_graph(n);
+    benchmark::DoNotOptimize(compute_mc_bounds(g));
+  }
+}
+BENCHMARK(BM_BuildMcGraphAndBounds)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_MinPeriod(benchmark::State& state) {
+  const Netlist n = scaled_circuit(state.range(0));
+  const McGraph g = build_mc_graph(n);
+  const auto maximal = compute_mc_bounds(g);
+  const RetimeGraph basic = lower_to_retime_graph(g, maximal.bounds);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(minperiod_retime(basic));
+  }
+  state.SetLabel(std::to_string(basic.vertex_count()) + " vertices");
+}
+BENCHMARK(BM_MinPeriod)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_MinArea(benchmark::State& state) {
+  const Netlist n = scaled_circuit(state.range(0));
+  const McGraph g = build_mc_graph(n);
+  const auto maximal = compute_mc_bounds(g);
+  const RetimeGraph basic = lower_to_retime_graph(g, maximal.bounds);
+  const auto mp = minperiod_retime(basic);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(minarea_retime(basic, mp.period));
+  }
+}
+BENCHMARK(BM_MinArea)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_FullMcRetime(benchmark::State& state) {
+  const Netlist n = scaled_circuit(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mc_retime(n, {}));
+  }
+  state.SetLabel(std::to_string(n.stats().luts) + " LUTs");
+}
+BENCHMARK(BM_FullMcRetime)->Arg(4)->Arg(8)->Arg(16)->Unit(benchmark::kMillisecond);
+
+void BM_FlowMap(benchmark::State& state) {
+  CircuitProfile profile;
+  profile.name = "map";
+  profile.seed = 9;
+  profile.pipelines = {{static_cast<std::size_t>(state.range(0)),
+                        static_cast<std::size_t>(state.range(0)), 2}};
+  const Netlist rtl =
+      decompose_to_binary(sweep(generate_circuit(profile), nullptr));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(flowmap_map(rtl, {}));
+  }
+}
+BENCHMARK(BM_FlowMap)->Arg(8)->Arg(16)->Unit(benchmark::kMillisecond);
+
+}  // namespace

@@ -1,0 +1,83 @@
+// Quickstart: the paper's Fig. 1 circuit end to end.
+//
+// Builds the two-register load-enable circuit of Fig. 1a, shows what the
+// classic "decompose enables, then retime" flow costs (Fig. 1c/1d), and
+// runs multiple-class retiming, which moves the registers together with
+// their EN input (Fig. 1b) at zero logic cost. Behavioural equivalence is
+// verified by simulation.
+//
+//   $ ./quickstart
+#include <cstdio>
+
+#include "mcretime/mc_retime.h"
+#include "netlist/netlist.h"
+#include "sim/equivalence.h"
+#include "transform/decompose_controls.h"
+
+namespace {
+
+mcrt::Netlist build_fig1() {
+  using namespace mcrt;
+  Netlist n;
+  const NetId clk = n.add_input("clk");
+  const NetId en = n.add_input("en");
+  const NetId a = n.add_input("in0");
+  const NetId b = n.add_input("in1");
+  Register ra;
+  ra.d = a;
+  ra.clk = clk;
+  ra.en = en;
+  ra.name = "ra";
+  const NetId qa = n.add_register(std::move(ra));
+  Register rb;
+  rb.d = b;
+  rb.clk = clk;
+  rb.en = en;
+  rb.name = "rb";
+  const NetId qb = n.add_register(std::move(rb));
+  const NetId g = n.add_lut(TruthTable::and_n(2), {qa, qb}, "g");
+  n.set_node_delay(NodeId{n.net(g).driver.index}, 10);
+  n.add_output("out", g);
+  return n;
+}
+
+void print_stats(const char* title, const mcrt::Netlist& n) {
+  const auto stats = n.stats();
+  std::printf("%-34s  FF=%zu  LUT=%zu  (with EN: %zu)\n", title,
+              stats.registers, stats.luts, stats.with_en);
+}
+
+}  // namespace
+
+int main() {
+  using namespace mcrt;
+  std::printf("== Multiple-class retiming quickstart (paper Fig. 1) ==\n\n");
+
+  const Netlist original = build_fig1();
+  print_stats("Fig. 1a original", original);
+
+  // The old way: decompose EN into feedback muxes, making each register a
+  // plain D-FF (Fig. 1c). Any later *forward* retiming of those plain
+  // registers duplicates them at the mux feedback (Fig. 1d).
+  const Netlist decomposed = decompose_load_enables(original);
+  print_stats("Fig. 1c EN decomposed", decomposed);
+
+  // The mc-retiming way: registers move together with their EN as one
+  // compatible layer (Fig. 1b) - one register after the gate, no new logic.
+  const auto result = mc_retime(original, {});
+  if (!result.success) {
+    std::printf("mc-retiming failed: %s\n", result.error.c_str());
+    return 1;
+  }
+  print_stats("Fig. 1b mc-retimed", result.netlist);
+
+  std::printf("\nclasses=%zu, layers moved=%zu (of %zu possible steps)\n",
+              result.stats.num_classes, result.stats.moved_layers,
+              result.stats.possible_steps);
+
+  const auto eq = check_sequential_equivalence(original, result.netlist, {});
+  std::printf("sequential equivalence: %s (%zu defined outputs compared)\n",
+              eq.equivalent ? "PASS" : "FAIL",
+              eq.compared_defined_outputs);
+  return eq.equivalent ? 0 : 1;
+}

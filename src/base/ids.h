@@ -1,0 +1,64 @@
+// Strongly-typed integer ids used across the mcrt libraries.
+//
+// EDA netlists and graphs index everything by small integers; raw ints
+// invite mixing a net id with a node id. Each id kind below is a distinct
+// type with an explicit invalid sentinel, comparable and hashable, and
+// cheap enough to pass by value everywhere.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+
+namespace mcrt {
+
+/// CRTP-free tagged id: a 32-bit index with a distinct compile-time tag.
+template <typename Tag>
+class Id {
+ public:
+  using value_type = std::uint32_t;
+  static constexpr value_type kInvalid = std::numeric_limits<value_type>::max();
+
+  constexpr Id() noexcept : value_(kInvalid) {}
+  constexpr explicit Id(value_type v) noexcept : value_(v) {}
+
+  [[nodiscard]] constexpr value_type value() const noexcept { return value_; }
+  [[nodiscard]] constexpr bool valid() const noexcept { return value_ != kInvalid; }
+  [[nodiscard]] constexpr std::size_t index() const noexcept { return value_; }
+
+  constexpr auto operator<=>(const Id&) const noexcept = default;
+
+ private:
+  value_type value_;
+};
+
+struct NetTag {};
+struct NodeTag {};
+struct RegTag {};
+struct VertexTag {};
+struct EdgeTag {};
+struct ClassTag {};
+
+/// A wire in a netlist (single driver, many readers).
+using NetId = Id<NetTag>;
+/// A combinational node (LUT/gate), primary input, or primary output.
+using NodeId = Id<NodeTag>;
+/// A sequential element (generic register).
+using RegId = Id<RegTag>;
+/// A vertex of a retiming graph.
+using VertexId = Id<VertexTag>;
+/// An edge of a retiming graph.
+using EdgeId = Id<EdgeTag>;
+/// A register class (Definition 1 of the paper).
+using ClassId = Id<ClassTag>;
+
+}  // namespace mcrt
+
+namespace std {
+template <typename Tag>
+struct hash<mcrt::Id<Tag>> {
+  size_t operator()(const mcrt::Id<Tag>& id) const noexcept {
+    return std::hash<std::uint32_t>{}(id.value());
+  }
+};
+}  // namespace std

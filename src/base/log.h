@@ -1,0 +1,22 @@
+// Minimal leveled logger. Library code logs sparingly (warnings about
+// recoverable oddities); benches raise the level for progress reporting.
+#pragma once
+
+#include <string>
+
+namespace mcrt {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global threshold; messages below it are dropped. Default: kWarn.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+void log_message(LogLevel level, const std::string& message);
+
+inline void log_debug(const std::string& m) { log_message(LogLevel::kDebug, m); }
+inline void log_info(const std::string& m) { log_message(LogLevel::kInfo, m); }
+inline void log_warn(const std::string& m) { log_message(LogLevel::kWarn, m); }
+inline void log_error(const std::string& m) { log_message(LogLevel::kError, m); }
+
+}  // namespace mcrt

@@ -1,0 +1,39 @@
+// Deterministic pseudo-random number generator (xoshiro256**).
+//
+// Every workload generator and property test in this repository must be
+// reproducible from a single 64-bit seed, independent of the standard
+// library implementation, so we carry our own small generator.
+#pragma once
+
+#include <cstdint>
+
+namespace mcrt {
+
+/// xoshiro256** by Blackman & Vigna: fast, high-quality, tiny state.
+/// Satisfies UniformRandomBitGenerator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed) noexcept;
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~std::uint64_t{0}; }
+
+  result_type operator()() noexcept { return next(); }
+  std::uint64_t next() noexcept;
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  std::uint64_t below(std::uint64_t bound) noexcept;
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t range(std::int64_t lo, std::int64_t hi) noexcept;
+  /// Bernoulli trial with probability p (clamped to [0,1]).
+  bool chance(double p) noexcept;
+  /// Uniform double in [0,1).
+  double uniform() noexcept;
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace mcrt

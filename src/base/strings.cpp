@@ -1,0 +1,50 @@
+#include "base/strings.h"
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace mcrt {
+
+std::vector<std::string_view> split_tokens(std::string_view text,
+                                           std::string_view delims) {
+  std::vector<std::string_view> out;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    const std::size_t start = text.find_first_not_of(delims, pos);
+    if (start == std::string_view::npos) break;
+    std::size_t end = text.find_first_of(delims, start);
+    if (end == std::string_view::npos) end = text.size();
+    out.push_back(text.substr(start, end - start));
+    pos = end;
+  }
+  return out;
+}
+
+std::string_view trim(std::string_view text) {
+  const auto first = text.find_first_not_of(" \t\r\n");
+  if (first == std::string_view::npos) return {};
+  const auto last = text.find_last_not_of(" \t\r\n");
+  return text.substr(first, last - first + 1);
+}
+
+bool starts_with(std::string_view text, std::string_view prefix) {
+  return text.substr(0, prefix.size()) == prefix;
+}
+
+std::string str_format(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list copy;
+  va_copy(copy, args);
+  const int needed = std::vsnprintf(nullptr, 0, fmt, copy);
+  va_end(copy);
+  std::string out;
+  if (needed > 0) {
+    out.resize(static_cast<std::size_t>(needed));
+    std::vsnprintf(out.data(), out.size() + 1, fmt, args);
+  }
+  va_end(args);
+  return out;
+}
+
+}  // namespace mcrt

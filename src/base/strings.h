@@ -1,0 +1,23 @@
+// Small string utilities shared by the BLIF parser and report printers.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mcrt {
+
+/// Splits on any run of characters from `delims`; no empty tokens.
+std::vector<std::string_view> split_tokens(std::string_view text,
+                                           std::string_view delims = " \t");
+
+/// Removes leading/trailing whitespace.
+std::string_view trim(std::string_view text);
+
+/// True if `text` begins with `prefix`.
+bool starts_with(std::string_view text, std::string_view prefix);
+
+/// printf-style formatting into a std::string.
+std::string str_format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace mcrt

@@ -1,0 +1,41 @@
+#include "base/timer.h"
+
+namespace mcrt {
+
+double Timer::seconds() const noexcept {
+  const auto now = Clock::now();
+  return std::chrono::duration<double>(now - start_).count();
+}
+
+void PhaseProfile::add(const std::string& phase, double seconds) {
+  auto [it, inserted] = buckets_.try_emplace(phase, 0.0);
+  if (inserted) order_.push_back(phase);
+  it->second += seconds;
+}
+
+double PhaseProfile::total() const noexcept {
+  double sum = 0.0;
+  for (const auto& [name, secs] : buckets_) sum += secs;
+  return sum;
+}
+
+double PhaseProfile::seconds(const std::string& phase) const {
+  auto it = buckets_.find(phase);
+  return it == buckets_.end() ? 0.0 : it->second;
+}
+
+double PhaseProfile::percent(const std::string& phase) const {
+  const double t = total();
+  return t <= 0.0 ? 0.0 : 100.0 * seconds(phase) / t;
+}
+
+void PhaseProfile::merge(const PhaseProfile& other) {
+  for (const auto& phase : other.order_) add(phase, other.seconds(phase));
+}
+
+void PhaseProfile::clear() {
+  buckets_.clear();
+  order_.clear();
+}
+
+}  // namespace mcrt

@@ -1,0 +1,62 @@
+// Wall-clock timing helpers used by the benchmark harnesses to reproduce
+// the paper's §6 CPU-time breakdown (basic retiming vs relocation vs
+// graph/class construction).
+#pragma once
+
+#include <chrono>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace mcrt {
+
+/// Simple monotonic stopwatch.
+class Timer {
+ public:
+  Timer() noexcept { reset(); }
+  void reset() noexcept { start_ = Clock::now(); }
+  /// Seconds elapsed since construction or last reset().
+  [[nodiscard]] double seconds() const noexcept;
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Accumulates named time buckets; used for the 90/7/3% breakdown of §6.
+class PhaseProfile {
+ public:
+  /// Adds `seconds` to the bucket `phase` (created on first use).
+  void add(const std::string& phase, double seconds);
+  [[nodiscard]] double total() const noexcept;
+  [[nodiscard]] double seconds(const std::string& phase) const;
+  /// Percentage of total time in `phase`; 0 if total is 0.
+  [[nodiscard]] double percent(const std::string& phase) const;
+  /// Phases in first-use order.
+  [[nodiscard]] const std::vector<std::string>& phases() const noexcept {
+    return order_;
+  }
+  void merge(const PhaseProfile& other);
+  void clear();
+
+ private:
+  std::unordered_map<std::string, double> buckets_;
+  std::vector<std::string> order_;
+};
+
+/// RAII guard adding its lifetime to a PhaseProfile bucket.
+class ScopedPhase {
+ public:
+  ScopedPhase(PhaseProfile& profile, std::string phase)
+      : profile_(profile), phase_(std::move(phase)) {}
+  ~ScopedPhase() { profile_.add(phase_, timer_.seconds()); }
+  ScopedPhase(const ScopedPhase&) = delete;
+  ScopedPhase& operator=(const ScopedPhase&) = delete;
+
+ private:
+  PhaseProfile& profile_;
+  std::string phase_;
+  Timer timer_;
+};
+
+}  // namespace mcrt

@@ -1,0 +1,185 @@
+#include "bdd/bdd.h"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+
+namespace mcrt {
+
+BddManager::BddManager() {
+  // Terminals occupy indices 0 and 1; their var is a sentinel larger than
+  // any real variable so "top variable" comparisons work uniformly.
+  nodes_.push_back({kNoVar, kFalse, kFalse});
+  nodes_.push_back({kNoVar, kTrue, kTrue});
+}
+
+std::uint32_t BddManager::top_var(BddRef f) const { return nodes_[f].var; }
+
+BddRef BddManager::make_node(std::uint32_t var, BddRef low, BddRef high) {
+  if (low == high) return low;  // reduction rule
+  const NodeKey key{var, low, high};
+  auto it = unique_.find(key);
+  if (it != unique_.end()) return it->second;
+  const auto ref = static_cast<BddRef>(nodes_.size());
+  nodes_.push_back({var, low, high});
+  unique_.emplace(key, ref);
+  return ref;
+}
+
+BddRef BddManager::var(std::uint32_t var_index) {
+  var_count_ = std::max(var_count_, var_index + 1);
+  return make_node(var_index, kFalse, kTrue);
+}
+
+BddRef BddManager::nvar(std::uint32_t var_index) {
+  var_count_ = std::max(var_count_, var_index + 1);
+  return make_node(var_index, kTrue, kFalse);
+}
+
+BddRef BddManager::cofactor(BddRef f, std::uint32_t var, bool value) const {
+  const Node& node = nodes_[f];
+  if (node.var != var) return f;  // f does not test var at the top
+  return value ? node.high : node.low;
+}
+
+BddRef BddManager::ite(BddRef f, BddRef g, BddRef h) {
+  // Terminal cases.
+  if (f == kTrue) return g;
+  if (f == kFalse) return h;
+  if (g == h) return g;
+  if (g == kTrue && h == kFalse) return f;
+
+  const IteKey key{f, g, h};
+  if (auto it = ite_cache_.find(key); it != ite_cache_.end()) {
+    return it->second;
+  }
+
+  const std::uint32_t v =
+      std::min({nodes_[f].var, nodes_[g].var, nodes_[h].var});
+  assert(v != kNoVar);
+  const BddRef low = ite(cofactor(f, v, false), cofactor(g, v, false),
+                         cofactor(h, v, false));
+  const BddRef high = ite(cofactor(f, v, true), cofactor(g, v, true),
+                          cofactor(h, v, true));
+  const BddRef result = make_node(v, low, high);
+  ite_cache_.emplace(key, result);
+  return result;
+}
+
+BddRef BddManager::restrict_var(BddRef f, std::uint32_t var_index,
+                                bool value) {
+  if (is_const(f)) return f;
+  const Node node = nodes_[f];
+  if (node.var > var_index) return f;  // var not in support below here
+  if (node.var == var_index) return value ? node.high : node.low;
+  const BddRef low = restrict_var(node.low, var_index, value);
+  const BddRef high = restrict_var(node.high, var_index, value);
+  return make_node(node.var, low, high);
+}
+
+BddRef BddManager::exists(BddRef f, std::uint32_t var_index) {
+  return bdd_or(restrict_var(f, var_index, false),
+                restrict_var(f, var_index, true));
+}
+
+BddRef BddManager::compose(BddRef f, std::uint32_t var_index, BddRef g) {
+  // f[var := g] = ITE(g, f|var=1, f|var=0)
+  return ite(g, restrict_var(f, var_index, true),
+             restrict_var(f, var_index, false));
+}
+
+bool BddManager::eval(BddRef f, const std::vector<bool>& assignment) const {
+  while (!is_const(f)) {
+    const Node& node = nodes_[f];
+    assert(node.var < assignment.size());
+    f = assignment[node.var] ? node.high : node.low;
+  }
+  return f == kTrue;
+}
+
+std::optional<std::vector<BddManager::Literal>> BddManager::shortest_cube(
+    BddRef f) {
+  if (f == kFalse) return std::nullopt;
+  // Dynamic program: fewest decided literals on a path from `node` to the
+  // true terminal. Memoized per node; kUnreachable marks subgraphs that
+  // cannot reach true.
+  constexpr std::uint32_t kUnreachable = ~0u;
+  std::unordered_map<BddRef, std::uint32_t> cost;
+  cost[kTrue] = 0;
+  cost[kFalse] = kUnreachable;
+
+  // Iterative post-order evaluation.
+  std::vector<BddRef> stack{f};
+  while (!stack.empty()) {
+    const BddRef node = stack.back();
+    if (cost.count(node)) {
+      stack.pop_back();
+      continue;
+    }
+    const BddRef lo = nodes_[node].low;
+    const BddRef hi = nodes_[node].high;
+    const bool lo_done = cost.count(lo) != 0;
+    const bool hi_done = cost.count(hi) != 0;
+    if (lo_done && hi_done) {
+      const std::uint32_t lo_cost = cost[lo];
+      const std::uint32_t hi_cost = cost[hi];
+      std::uint32_t best = kUnreachable;
+      if (lo_cost != kUnreachable) best = lo_cost + 1;
+      if (hi_cost != kUnreachable) best = std::min(best, hi_cost + 1);
+      cost[node] = best;
+      stack.pop_back();
+    } else {
+      if (!lo_done) stack.push_back(lo);
+      if (!hi_done) stack.push_back(hi);
+    }
+  }
+
+  std::vector<Literal> cube;
+  BddRef node = f;
+  while (!is_const(node)) {
+    const BddRef lo = nodes_[node].low;
+    const BddRef hi = nodes_[node].high;
+    const std::uint32_t lo_cost = cost[lo];
+    const std::uint32_t hi_cost = cost[hi];
+    const bool take_high = hi_cost < lo_cost;
+    cube.push_back({nodes_[node].var, take_high});
+    node = take_high ? hi : lo;
+  }
+  assert(node == kTrue);
+  return cube;
+}
+
+double BddManager::sat_count(BddRef f, std::uint32_t var_count) {
+  // Fraction-of-minterms recursion; skipped levels double the count.
+  std::unordered_map<BddRef, double> memo;
+  memo[kFalse] = 0.0;
+  memo[kTrue] = 1.0;
+  // fraction(node) = probability of reaching true under uniform assignment.
+  auto fraction = [&](auto&& self, BddRef node) -> double {
+    if (auto it = memo.find(node); it != memo.end()) return it->second;
+    const double result =
+        0.5 * self(self, nodes_[node].low) + 0.5 * self(self, nodes_[node].high);
+    memo[node] = result;
+    return result;
+  };
+  double scale = 1.0;
+  for (std::uint32_t i = 0; i < var_count; ++i) scale *= 2.0;
+  return fraction(fraction, f) * scale;
+}
+
+std::vector<std::uint32_t> BddManager::support(BddRef f) const {
+  std::set<std::uint32_t> vars;
+  std::vector<BddRef> stack{f};
+  std::set<BddRef> seen;
+  while (!stack.empty()) {
+    const BddRef node = stack.back();
+    stack.pop_back();
+    if (is_const(node) || !seen.insert(node).second) continue;
+    vars.insert(nodes_[node].var);
+    stack.push_back(nodes_[node].low);
+    stack.push_back(nodes_[node].high);
+  }
+  return {vars.begin(), vars.end()};
+}
+
+}  // namespace mcrt

@@ -1,0 +1,42 @@
+// BLIF reader/writer with a multiple-class register extension.
+//
+// Standard BLIF covers simple edge-triggered latches only. To carry the
+// paper's generic registers we add one directive:
+//
+//   .mclatch <D> <Q> clk=<net> [en=<net>] [sync=<net>:<0|1|->]
+//                              [async=<net>:<0|1|->]
+//
+// Standard `.latch D Q [re <clock>] [init]` lines are also accepted and map
+// to a register with only a clock (init 0/1 becomes an async reset tied to
+// a synthetic `__por` power-on-reset input, init 2/3/absent becomes a plain
+// register). `.names` covers with up to 6 inputs are supported (the mapped
+// netlists this library processes are 4-LUT networks).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <variant>
+
+#include "netlist/netlist.h"
+
+namespace mcrt {
+
+struct BlifError {
+  std::size_t line = 0;
+  std::string message;
+};
+
+/// Parses BLIF text into a netlist. Returns the netlist or a parse error.
+std::variant<Netlist, BlifError> read_blif(std::istream& in);
+std::variant<Netlist, BlifError> read_blif_string(const std::string& text);
+std::variant<Netlist, BlifError> read_blif_file(const std::string& path);
+
+/// Writes a netlist as (extended) BLIF. The netlist must validate cleanly.
+void write_blif(const Netlist& netlist, std::ostream& out,
+                const std::string& model_name = "mcrt");
+std::string write_blif_string(const Netlist& netlist,
+                              const std::string& model_name = "mcrt");
+bool write_blif_file(const Netlist& netlist, const std::string& path,
+                     const std::string& model_name = "mcrt");
+
+}  // namespace mcrt

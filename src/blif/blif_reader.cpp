@@ -1,0 +1,355 @@
+#include <fstream>
+#include <istream>
+#include <sstream>
+#include <unordered_map>
+
+#include "base/strings.h"
+#include "blif/blif.h"
+
+namespace mcrt {
+namespace {
+
+/// Incremental parser state.
+class Reader {
+ public:
+  std::variant<Netlist, BlifError> run(std::istream& in) {
+    std::string physical;
+    std::string logical;
+    std::size_t line_no = 0;
+    std::size_t logical_start = 0;
+    while (std::getline(in, physical)) {
+      ++line_no;
+      // Strip comments.
+      if (const auto hash = physical.find('#'); hash != std::string::npos) {
+        physical.erase(hash);
+      }
+      std::string_view view = trim(physical);
+      if (logical.empty()) logical_start = line_no;
+      // Handle line continuation.
+      if (!view.empty() && view.back() == '\\') {
+        logical.append(view.substr(0, view.size() - 1));
+        logical.push_back(' ');
+        continue;
+      }
+      logical.append(view);
+      if (logical.empty()) continue;
+      if (auto err = handle_line(logical, logical_start)) return *err;
+      logical.clear();
+    }
+    if (!logical.empty()) {
+      if (auto err = handle_line(logical, logical_start)) return *err;
+    }
+    if (auto err = finish_pending_names()) return *err;
+    if (auto err = finalize()) return *err;
+    return std::move(netlist_);
+  }
+
+ private:
+  using MaybeError = std::optional<BlifError>;
+
+  NetId net_by_name(std::string_view name) {
+    const std::string key(name);
+    auto it = nets_.find(key);
+    if (it != nets_.end()) return it->second;
+    const NetId id = netlist_.add_net(key);
+    nets_.emplace(key, id);
+    return id;
+  }
+
+  MaybeError error(std::size_t line, std::string message) {
+    return BlifError{line, std::move(message)};
+  }
+
+  MaybeError handle_line(const std::string& text, std::size_t line) {
+    const auto tokens = split_tokens(text);
+    if (tokens.empty()) return std::nullopt;
+    const std::string_view head = tokens[0];
+    if (head[0] != '.' && !head.empty()) {
+      // Cover row of the pending .names.
+      return handle_cover_row(tokens, line);
+    }
+    // A directive terminates any pending .names cover.
+    if (auto err = finish_pending_names()) return err;
+    if (head == ".model") {
+      return std::nullopt;  // name ignored; single-model files only
+    }
+    if (head == ".inputs") {
+      for (std::size_t i = 1; i < tokens.size(); ++i) {
+        pending_inputs_.emplace_back(tokens[i]);
+      }
+      return std::nullopt;
+    }
+    if (head == ".outputs") {
+      for (std::size_t i = 1; i < tokens.size(); ++i) {
+        pending_outputs_.emplace_back(tokens[i]);
+      }
+      return std::nullopt;
+    }
+    if (head == ".names") {
+      if (tokens.size() < 2) return error(line, ".names needs an output");
+      if (tokens.size() - 2 > TruthTable::kMaxInputs) {
+        return error(line, str_format(".names with %zu inputs (max %u)",
+                                      tokens.size() - 2,
+                                      TruthTable::kMaxInputs));
+      }
+      pending_names_.emplace();
+      pending_names_->line = line;
+      for (std::size_t i = 1; i + 1 < tokens.size(); ++i) {
+        pending_names_->fanins.push_back(net_by_name(tokens[i]));
+      }
+      pending_names_->output = net_by_name(tokens.back());
+      return std::nullopt;
+    }
+    if (head == ".latch") return handle_latch(tokens, line);
+    if (head == ".mclatch") return handle_mclatch(tokens, line);
+    if (head == ".end") return std::nullopt;
+    if (head == ".exdc" || head == ".subckt" || head == ".gate") {
+      return error(line, "unsupported BLIF construct: " + std::string(head));
+    }
+    // Unknown dot-directives are ignored (common BLIF practice).
+    return std::nullopt;
+  }
+
+  MaybeError handle_cover_row(const std::vector<std::string_view>& tokens,
+                              std::size_t line) {
+    if (!pending_names_) {
+      return error(line, "cover row outside .names");
+    }
+    PendingNames& pending = *pending_names_;
+    std::string_view in_part;
+    std::string_view out_part;
+    if (tokens.size() == 1) {
+      // Constant function: single output column.
+      out_part = tokens[0];
+    } else if (tokens.size() == 2) {
+      in_part = tokens[0];
+      out_part = tokens[1];
+    } else {
+      return error(line, "malformed cover row");
+    }
+    if (in_part.size() != pending.fanins.size()) {
+      return error(line, "cover row arity mismatch");
+    }
+    if (out_part != "1" && out_part != "0") {
+      return error(line, "cover output must be 0 or 1");
+    }
+    const bool polarity = out_part == "1";
+    if (pending.rows_seen == 0) {
+      pending.polarity = polarity;
+    } else if (pending.polarity != polarity) {
+      return error(line, "mixed-polarity covers are not supported");
+    }
+    ++pending.rows_seen;
+    // Expand the cube into minterms of the truth table.
+    const std::uint32_t n = static_cast<std::uint32_t>(pending.fanins.size());
+    std::uint32_t fixed_mask = 0;
+    std::uint32_t fixed_bits = 0;
+    for (std::uint32_t i = 0; i < n; ++i) {
+      const char c = in_part[i];
+      if (c == '1') {
+        fixed_mask |= 1u << i;
+        fixed_bits |= 1u << i;
+      } else if (c == '0') {
+        fixed_mask |= 1u << i;
+      } else if (c != '-') {
+        return error(line, "bad cover character");
+      }
+    }
+    for (std::uint32_t row = 0; row < (1u << n); ++row) {
+      if ((row & fixed_mask) == fixed_bits) {
+        pending.on_bits |= std::uint64_t{1} << row;
+      }
+    }
+    return std::nullopt;
+  }
+
+  MaybeError finish_pending_names() {
+    if (!pending_names_) return std::nullopt;
+    PendingNames pending = std::move(*pending_names_);
+    pending_names_.reset();
+    const auto n = static_cast<std::uint32_t>(pending.fanins.size());
+    std::uint64_t bits = pending.on_bits;
+    if (pending.rows_seen == 0) {
+      bits = 0;  // empty cover = constant 0
+    } else if (!pending.polarity) {
+      // Rows listed the OFF-set.
+      const std::uint64_t mask =
+          (1u << n) >= 64 ? ~std::uint64_t{0}
+                          : (std::uint64_t{1} << (1u << n)) - 1;
+      bits = ~bits & mask;
+    }
+    if (netlist_.net(pending.output).driver.kind != NetDriver::Kind::kNone) {
+      return error(pending.line,
+                   "net " + netlist_.net(pending.output).name +
+                       " has multiple drivers");
+    }
+    netlist_.add_lut_driving(pending.output, TruthTable(n, bits),
+                             std::move(pending.fanins));
+    return std::nullopt;
+  }
+
+  MaybeError handle_latch(const std::vector<std::string_view>& tokens,
+                          std::size_t line) {
+    // .latch input output [type control] [init-val]
+    if (tokens.size() < 3) return error(line, ".latch needs input and output");
+    Register spec;
+    spec.d = net_by_name(tokens[1]);
+    spec.q = net_by_name(tokens[2]);
+    std::size_t i = 3;
+    if (tokens.size() >= 5 &&
+        (tokens[3] == "re" || tokens[3] == "fe" || tokens[3] == "re" ||
+         tokens[3] == "ah" || tokens[3] == "al" || tokens[3] == "as")) {
+      spec.clk = net_by_name(tokens[4]);
+      i = 5;
+    } else {
+      spec.clk = default_clock();
+    }
+    if (i < tokens.size()) {
+      const std::string_view init = tokens[i];
+      if (init == "0" || init == "1") {
+        // Model the reset state as an asynchronous set/clear from a
+        // synthetic power-on-reset input, preserving initialized-latch
+        // semantics through retiming.
+        spec.async_ctrl = power_on_reset();
+        spec.async_val = init == "0" ? ResetVal::kZero : ResetVal::kOne;
+      }
+      // 2 (don't care) and 3 (unknown) need no controls.
+    }
+    return add_register(spec, line);
+  }
+
+  MaybeError handle_mclatch(const std::vector<std::string_view>& tokens,
+                            std::size_t line) {
+    // .mclatch D Q clk=<net> [en=<net>] [sync=<net>:<v>] [async=<net>:<v>]
+    if (tokens.size() < 4) return error(line, ".mclatch needs D, Q, clk=");
+    Register spec;
+    spec.d = net_by_name(tokens[1]);
+    spec.q = net_by_name(tokens[2]);
+    for (std::size_t i = 3; i < tokens.size(); ++i) {
+      const std::string_view t = tokens[i];
+      const auto eq = t.find('=');
+      if (eq == std::string_view::npos) {
+        return error(line, "malformed .mclatch attribute: " + std::string(t));
+      }
+      const std::string_view key = t.substr(0, eq);
+      std::string_view value = t.substr(eq + 1);
+      ResetVal rv = ResetVal::kDontCare;
+      if (key == "sync" || key == "async") {
+        const auto colon = value.find(':');
+        if (colon == std::string_view::npos) {
+          return error(line, std::string(key) + "= needs :<0|1|->");
+        }
+        const std::string_view v = value.substr(colon + 1);
+        if (v == "0") {
+          rv = ResetVal::kZero;
+        } else if (v == "1") {
+          rv = ResetVal::kOne;
+        } else if (v != "-") {
+          return error(line, "bad reset value: " + std::string(v));
+        }
+        value = value.substr(0, colon);
+      }
+      if (key == "clk") {
+        spec.clk = net_by_name(value);
+      } else if (key == "en") {
+        spec.en = net_by_name(value);
+      } else if (key == "sync") {
+        spec.sync_ctrl = net_by_name(value);
+        spec.sync_val = rv;
+      } else if (key == "async") {
+        spec.async_ctrl = net_by_name(value);
+        spec.async_val = rv;
+      } else {
+        return error(line, "unknown .mclatch attribute: " + std::string(key));
+      }
+    }
+    if (!spec.clk.valid()) return error(line, ".mclatch requires clk=");
+    return add_register(spec, line);
+  }
+
+  MaybeError add_register(Register spec, std::size_t line) {
+    if (netlist_.net(spec.q).driver.kind != NetDriver::Kind::kNone) {
+      return error(line, "net " + netlist_.net(spec.q).name +
+                             " has multiple drivers");
+    }
+    netlist_.add_register(std::move(spec));
+    return std::nullopt;
+  }
+
+  NetId default_clock() {
+    if (!default_clock_.valid()) {
+      default_clock_ = net_by_name("__clk");
+    }
+    return default_clock_;
+  }
+
+  NetId power_on_reset() {
+    if (!por_.valid()) {
+      por_ = net_by_name("__por");
+    }
+    return por_;
+  }
+
+  MaybeError finalize() {
+    // Materialize declared inputs; any implicit special nets (__clk, __por)
+    // without drivers also become inputs.
+    for (const std::string& name : pending_inputs_) {
+      const NetId id = net_by_name(name);
+      if (netlist_.net(id).driver.kind != NetDriver::Kind::kNone) {
+        return error(0, "input " + name + " is also driven");
+      }
+      netlist_.add_input_driving(id);
+    }
+    for (const NetId special : {default_clock_, por_}) {
+      if (special.valid() &&
+          netlist_.net(special).driver.kind == NetDriver::Kind::kNone) {
+        netlist_.add_input_driving(special);
+      }
+    }
+    for (const std::string& name : pending_outputs_) {
+      auto it = nets_.find(name);
+      if (it == nets_.end()) {
+        return error(0, "output " + name + " never defined");
+      }
+      netlist_.add_output(name, it->second);
+    }
+    return std::nullopt;
+  }
+
+  struct PendingNames {
+    std::vector<NetId> fanins;
+    NetId output;
+    std::uint64_t on_bits = 0;
+    bool polarity = true;
+    std::size_t rows_seen = 0;
+    std::size_t line = 0;
+  };
+
+  Netlist netlist_;
+  std::unordered_map<std::string, NetId> nets_;
+  std::vector<std::string> pending_inputs_;
+  std::vector<std::string> pending_outputs_;
+  std::optional<PendingNames> pending_names_;
+  NetId default_clock_;
+  NetId por_;
+};
+
+}  // namespace
+
+std::variant<Netlist, BlifError> read_blif(std::istream& in) {
+  Reader reader;
+  return reader.run(in);
+}
+
+std::variant<Netlist, BlifError> read_blif_string(const std::string& text) {
+  std::istringstream in(text);
+  return read_blif(in);
+}
+
+std::variant<Netlist, BlifError> read_blif_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return BlifError{0, "cannot open " + path};
+  return read_blif(in);
+}
+
+}  // namespace mcrt

@@ -1,0 +1,158 @@
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "base/strings.h"
+#include "blif/blif.h"
+
+namespace mcrt {
+namespace {
+
+/// Collision-free net names. Primary-output names are part of the
+/// interface and reserved first; an interior net may only print under a
+/// PO's name when it actually drives that PO (then no alias buffer is
+/// needed). Everything else is uniquified.
+class NameTable {
+ public:
+  explicit NameTable(const Netlist& netlist) : names_(netlist.net_count()) {
+    // Primary-input nets own their names unconditionally (interface).
+    for (const NodeId in : netlist.inputs()) {
+      const NetId net = netlist.node(in).output;
+      names_[net.index()] = netlist.node(in).name;
+      used_.insert(netlist.node(in).name);
+    }
+    // Reserve PO names; remember which net legitimately owns each.
+    std::unordered_map<std::string, NetId> po_source;
+    for (const NodeId po : netlist.outputs()) {
+      const Node& node = netlist.node(po);
+      if (used_.insert(node.name).second) {
+        // First PO with this name wins (duplicate PO names are illegal
+        // interfaces anyway).
+        po_source.emplace(node.name, node.fanins[0]);
+      }
+    }
+    for (std::size_t n = 0; n < netlist.net_count(); ++n) {
+      const NetId id{static_cast<std::uint32_t>(n)};
+      if (!names_[n].empty()) continue;  // primary input, already named
+      const std::string& desired = netlist.net(id).name;
+      const auto po = po_source.find(desired);
+      if (po != po_source.end() && po->second == id) {
+        names_[n] = desired;  // this net drives the same-named PO
+        continue;
+      }
+      std::string name = desired;
+      if (used_.count(name)) {
+        std::size_t k = 0;
+        do {
+          name = str_format("%s_n%zu", desired.c_str(), k++);
+        } while (used_.count(name));
+      }
+      used_.insert(name);
+      names_[n] = name;
+    }
+  }
+
+  const std::string& operator()(NetId id) const { return names_[id.index()]; }
+
+ private:
+  std::vector<std::string> names_;
+  std::unordered_set<std::string> used_;
+};
+
+void write_names(const NameTable& name, const Node& node,
+                 std::ostream& out) {
+  out << ".names";
+  for (const NetId fanin : node.fanins) {
+    out << ' ' << name(fanin);
+  }
+  out << ' ' << name(node.output) << '\n';
+  const std::uint32_t n = node.function.input_count();
+  if (n == 0) {
+    if (node.function.eval(0)) out << "1\n";
+    // Constant 0 is the empty cover.
+    return;
+  }
+  // One cube per minterm; compact but correct.
+  for (std::uint32_t row = 0; row < (1u << n); ++row) {
+    if (!node.function.eval(row)) continue;
+    for (std::uint32_t i = 0; i < n; ++i) {
+      out << (((row >> i) & 1) ? '1' : '0');
+    }
+    out << " 1\n";
+  }
+}
+
+void write_register(const NameTable& name, const Register& ff,
+                    std::ostream& out) {
+  const bool complex = ff.en.valid() || ff.sync_ctrl.valid() ||
+                       ff.async_ctrl.valid();
+  if (!complex) {
+    out << ".latch " << name(ff.d) << ' ' << name(ff.q) << " re "
+        << name(ff.clk) << " 2\n";
+    return;
+  }
+  out << ".mclatch " << name(ff.d) << ' ' << name(ff.q)
+      << " clk=" << name(ff.clk);
+  if (ff.en.valid()) out << " en=" << name(ff.en);
+  if (ff.sync_ctrl.valid()) {
+    out << " sync=" << name(ff.sync_ctrl) << ':'
+        << reset_val_char(ff.sync_val);
+  }
+  if (ff.async_ctrl.valid()) {
+    out << " async=" << name(ff.async_ctrl) << ':'
+        << reset_val_char(ff.async_val);
+  }
+  out << '\n';
+}
+
+}  // namespace
+
+void write_blif(const Netlist& netlist, std::ostream& out,
+                const std::string& model_name) {
+  const NameTable name(netlist);
+  out << ".model " << model_name << '\n';
+  out << ".inputs";
+  for (const NodeId in : netlist.inputs()) {
+    out << ' ' << name(netlist.node(in).output);
+  }
+  out << '\n';
+  out << ".outputs";
+  for (const NodeId po : netlist.outputs()) {
+    out << ' ' << netlist.node(po).name;
+  }
+  out << '\n';
+  for (const Register& ff : netlist.registers()) {
+    write_register(name, ff, out);
+  }
+  for (const Node& node : netlist.nodes()) {
+    if (node.kind == NodeKind::kLut) write_names(name, node, out);
+  }
+  // Primary outputs whose name differs from their source net need a buffer.
+  for (const NodeId po : netlist.outputs()) {
+    const Node& node = netlist.node(po);
+    const std::string& source = name(node.fanins[0]);
+    if (source != node.name) {
+      out << ".names " << source << ' ' << node.name << "\n1 1\n";
+    }
+  }
+  out << ".end\n";
+}
+
+std::string write_blif_string(const Netlist& netlist,
+                              const std::string& model_name) {
+  std::ostringstream out;
+  write_blif(netlist, out, model_name);
+  return out.str();
+}
+
+bool write_blif_file(const Netlist& netlist, const std::string& path,
+                     const std::string& model_name) {
+  std::ofstream out(path);
+  if (!out) return false;
+  write_blif(netlist, out, model_name);
+  return out.good();
+}
+
+}  // namespace mcrt

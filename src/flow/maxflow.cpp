@@ -1,0 +1,82 @@
+#include "flow/maxflow.h"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+
+namespace mcrt {
+
+MaxFlow::MaxFlow(std::size_t node_count) : head_(node_count) {}
+
+std::size_t MaxFlow::add_arc(std::uint32_t from, std::uint32_t to,
+                             std::int64_t cap) {
+  assert(from < head_.size() && to < head_.size() && cap >= 0);
+  const std::size_t idx = arcs_.size();
+  arcs_.push_back({to, cap});
+  arcs_.push_back({from, 0});
+  initial_cap_.push_back(cap);
+  initial_cap_.push_back(0);
+  head_[from].push_back(static_cast<std::uint32_t>(idx));
+  head_[to].push_back(static_cast<std::uint32_t>(idx + 1));
+  return idx;
+}
+
+bool MaxFlow::bfs(std::uint32_t source, std::uint32_t sink) {
+  level_.assign(head_.size(), ~0u);
+  std::deque<std::uint32_t> queue{source};
+  level_[source] = 0;
+  while (!queue.empty()) {
+    const std::uint32_t v = queue.front();
+    queue.pop_front();
+    for (const std::uint32_t a : head_[v]) {
+      if (arcs_[a].cap > 0 && level_[arcs_[a].to] == ~0u) {
+        level_[arcs_[a].to] = level_[v] + 1;
+        queue.push_back(arcs_[a].to);
+      }
+    }
+  }
+  return level_[sink] != ~0u;
+}
+
+std::int64_t MaxFlow::dfs(std::uint32_t v, std::uint32_t sink,
+                          std::int64_t pushed) {
+  if (v == sink) return pushed;
+  for (std::size_t& i = iter_[v]; i < head_[v].size(); ++i) {
+    const std::uint32_t a = head_[v][i];
+    Arc& arc = arcs_[a];
+    if (arc.cap <= 0 || level_[arc.to] != level_[v] + 1) continue;
+    const std::int64_t got = dfs(arc.to, sink, std::min(pushed, arc.cap));
+    if (got > 0) {
+      arc.cap -= got;
+      arcs_[a ^ 1].cap += got;
+      return got;
+    }
+  }
+  return 0;
+}
+
+std::int64_t MaxFlow::solve(std::uint32_t source, std::uint32_t sink,
+                            std::int64_t limit) {
+  std::int64_t total = 0;
+  while (total < limit && bfs(source, sink)) {
+    iter_.assign(head_.size(), 0);
+    while (total < limit) {
+      const std::int64_t got = dfs(source, sink, limit - total);
+      if (got == 0) break;
+      total += got;
+    }
+  }
+  // Final residual BFS so source_side() reflects the min cut.
+  bfs(source, sink);
+  return total;
+}
+
+std::int64_t MaxFlow::flow_on(std::size_t arc_index) const {
+  return initial_cap_[arc_index] - arcs_[arc_index].cap;
+}
+
+bool MaxFlow::source_side(std::uint32_t node) const {
+  return level_[node] != ~0u;
+}
+
+}  // namespace mcrt

@@ -1,0 +1,51 @@
+// Max-flow (Dinic's algorithm) on a small mutable network.
+//
+// Used by the FlowMap LUT mapper, which solves one small unit-capacity
+// max-flow per logic node to test k-feasibility of a cut, and by tests as a
+// reference oracle. Capacities are 64-bit; the k-feasibility use case only
+// needs values up to k+1.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace mcrt {
+
+class MaxFlow {
+ public:
+  explicit MaxFlow(std::size_t node_count);
+
+  /// Adds a directed arc with the given capacity; returns its arc index
+  /// (the paired reverse arc is at index^1).
+  std::size_t add_arc(std::uint32_t from, std::uint32_t to, std::int64_t cap);
+
+  /// Computes max flow from source to sink, at most `limit` units
+  /// (pass a large value for the true maximum). Callable once per network.
+  std::int64_t solve(std::uint32_t source, std::uint32_t sink,
+                     std::int64_t limit = INT64_MAX);
+
+  /// After solve(): flow currently on arc `arc_index`.
+  [[nodiscard]] std::int64_t flow_on(std::size_t arc_index) const;
+
+  /// After solve(): true if `node` is reachable from the source in the
+  /// residual graph (i.e., on the source side of the min cut).
+  [[nodiscard]] bool source_side(std::uint32_t node) const;
+
+  [[nodiscard]] std::size_t node_count() const noexcept { return head_.size(); }
+
+ private:
+  struct Arc {
+    std::uint32_t to;
+    std::int64_t cap;  // residual capacity
+  };
+  bool bfs(std::uint32_t source, std::uint32_t sink);
+  std::int64_t dfs(std::uint32_t v, std::uint32_t sink, std::int64_t pushed);
+
+  std::vector<Arc> arcs_;
+  std::vector<std::vector<std::uint32_t>> head_;  // arc indices per node
+  std::vector<std::int64_t> initial_cap_;
+  std::vector<std::uint32_t> level_;
+  std::vector<std::size_t> iter_;
+};
+
+}  // namespace mcrt

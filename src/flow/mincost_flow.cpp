@@ -1,0 +1,149 @@
+#include "flow/mincost_flow.h"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+#include <queue>
+
+namespace mcrt {
+
+MinCostFlow::MinCostFlow(std::size_t node_count)
+    : head_(node_count), demand_(node_count, 0) {}
+
+std::size_t MinCostFlow::add_arc(std::uint32_t from, std::uint32_t to,
+                                 std::int64_t cap, std::int64_t cost) {
+  assert(from < head_.size() && to < head_.size() && cap >= 0);
+  const std::size_t idx = arcs_.size();
+  arcs_.push_back({to, cap, cost});
+  arcs_.push_back({from, 0, -cost});
+  initial_cap_.push_back(cap);
+  initial_cap_.push_back(0);
+  head_[from].push_back(static_cast<std::uint32_t>(idx));
+  head_[to].push_back(static_cast<std::uint32_t>(idx + 1));
+  return idx;
+}
+
+void MinCostFlow::set_demand(std::uint32_t node, std::int64_t demand) {
+  demand_[node] = demand;
+}
+
+std::optional<MinCostFlow::Solution> MinCostFlow::solve() {
+  const std::size_t n = head_.size();
+  constexpr std::int64_t kUnreached = INT64_MAX / 2;
+
+  // Add a super-source s and super-sink t connecting supplies to demands so
+  // a single-source SSP loop can route everything.
+  const auto s = static_cast<std::uint32_t>(n);
+  const auto t = static_cast<std::uint32_t>(n + 1);
+  head_.resize(n + 2);
+  std::int64_t total_demand = 0;
+  std::int64_t total_supply = 0;
+  for (std::uint32_t v = 0; v < n; ++v) {
+    if (demand_[v] > 0) {
+      add_arc(v, t, demand_[v], 0);
+      total_demand += demand_[v];
+    } else if (demand_[v] < 0) {
+      add_arc(s, v, -demand_[v], 0);
+      total_supply += -demand_[v];
+    }
+  }
+  if (total_demand != total_supply) return std::nullopt;
+
+  // Initial potentials via SPFA (arcs may have negative costs). All residual
+  // arcs with positive capacity participate. Unreachable nodes keep a large
+  // potential, which is fine: they can never lie on an augmenting path.
+  std::vector<std::int64_t> pi(n + 2, kUnreached);
+  pi[s] = 0;
+  {
+    std::deque<std::uint32_t> queue{s};
+    std::vector<bool> in_queue(n + 2, false);
+    std::vector<std::uint32_t> relax_count(n + 2, 0);
+    in_queue[s] = true;
+    // Nodes might be reachable only via constraint arcs not connected to s;
+    // seed every node so Bellman-Ford validates the absence of negative
+    // cycles globally (a negative cycle of infinite-capacity arcs makes the
+    // problem unbounded).
+    for (std::uint32_t v = 0; v < n; ++v) {
+      pi[v] = std::min(pi[v], std::int64_t{0});
+      queue.push_back(v);
+      in_queue[v] = true;
+    }
+    while (!queue.empty()) {
+      const std::uint32_t v = queue.front();
+      queue.pop_front();
+      in_queue[v] = false;
+      for (const std::uint32_t a : head_[v]) {
+        const Arc& arc = arcs_[a];
+        if (arc.cap <= 0) continue;
+        if (pi[v] + arc.cost < pi[arc.to]) {
+          pi[arc.to] = pi[v] + arc.cost;
+          if (!in_queue[arc.to]) {
+            if (++relax_count[arc.to] > n + 2) return std::nullopt;
+            in_queue[arc.to] = true;
+            queue.push_back(arc.to);
+          }
+        }
+      }
+    }
+  }
+
+  // Successive shortest paths with Dijkstra on reduced costs.
+  std::int64_t routed = 0;
+  std::int64_t total_cost = 0;
+  std::vector<std::int64_t> dist(n + 2);
+  std::vector<std::uint32_t> parent_arc(n + 2);
+  while (routed < total_demand) {
+    std::fill(dist.begin(), dist.end(), kUnreached);
+    dist[s] = 0;
+    using Item = std::pair<std::int64_t, std::uint32_t>;
+    std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
+    pq.push({0, s});
+    while (!pq.empty()) {
+      const auto [d, v] = pq.top();
+      pq.pop();
+      if (d > dist[v]) continue;
+      for (const std::uint32_t a : head_[v]) {
+        const Arc& arc = arcs_[a];
+        if (arc.cap <= 0) continue;
+        const std::int64_t reduced = arc.cost + pi[v] - pi[arc.to];
+        if (dist[v] + reduced < dist[arc.to]) {
+          dist[arc.to] = dist[v] + reduced;
+          parent_arc[arc.to] = a;
+          pq.push({dist[arc.to], arc.to});
+        }
+      }
+    }
+    if (dist[t] >= kUnreached) return std::nullopt;  // demand unreachable
+    // Capping at dist[t] keeps reduced costs of all residual arcs
+    // nonnegative even for nodes not settled this round.
+    for (std::uint32_t v = 0; v < n + 2; ++v) {
+      pi[v] += std::min(dist[v], dist[t]);
+    }
+    // Find bottleneck along s->t path and push.
+    std::int64_t push = total_demand - routed;
+    for (std::uint32_t v = t; v != s; v = arcs_[parent_arc[v] ^ 1].to) {
+      push = std::min(push, arcs_[parent_arc[v]].cap);
+    }
+    for (std::uint32_t v = t; v != s; v = arcs_[parent_arc[v] ^ 1].to) {
+      arcs_[parent_arc[v]].cap -= push;
+      arcs_[parent_arc[v] ^ 1].cap += push;
+      total_cost += push * arcs_[parent_arc[v]].cost;
+    }
+    routed += push;
+  }
+
+  Solution solution;
+  solution.total_cost = total_cost;
+  solution.potential.assign(pi.begin(), pi.begin() + static_cast<long>(n));
+  // Unreached potentials (isolated nodes) normalize to 0.
+  for (auto& p : solution.potential) {
+    if (p >= kUnreached / 2) p = 0;
+  }
+  solution.arc_flow.resize(arcs_.size() / 2);
+  for (std::size_t a = 0; a < arcs_.size(); a += 2) {
+    solution.arc_flow[a / 2] = initial_cap_[a] - arcs_[a].cap;
+  }
+  return solution;
+}
+
+}  // namespace mcrt

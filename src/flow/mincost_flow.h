@@ -1,0 +1,63 @@
+// Minimum-cost flow (transshipment) solver with node-potential extraction.
+//
+// The Leiserson-Saxe minimum-area retiming ILP
+//
+//     minimize   sum_v c(v) * r(v)
+//     subject to r(u) - r(v) <= b(e)        for each constraint arc e=(u,v)
+//
+// is the linear-programming dual of a transshipment problem: each constraint
+// arc carries flow at cost b(e) with infinite capacity, and node v must have
+// net inflow c(v). Because the constraint matrix is totally unimodular the
+// LP optimum is integral, and the optimal retiming labels are recovered from
+// the flow solver's node potentials (r = -pi). This file implements
+// successive shortest paths with potentials (Bellman-Ford bootstrap for
+// negative arc costs, Dijkstra afterwards).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace mcrt {
+
+class MinCostFlow {
+ public:
+  explicit MinCostFlow(std::size_t node_count);
+
+  /// Adds an arc from -> to with the given capacity and per-unit cost.
+  /// Use MinCostFlow::kInfinite for uncapacitated (constraint) arcs.
+  std::size_t add_arc(std::uint32_t from, std::uint32_t to, std::int64_t cap,
+                      std::int64_t cost);
+
+  /// Sets the required net inflow of a node (positive = demand/sink,
+  /// negative = supply/source). Sum over all nodes must be zero.
+  void set_demand(std::uint32_t node, std::int64_t demand);
+
+  struct Solution {
+    std::int64_t total_cost = 0;
+    /// Node potentials pi; for the retiming dual, r(v) = -pi(v).
+    std::vector<std::int64_t> potential;
+    /// Flow per arc, indexed by the value returned from add_arc.
+    std::vector<std::int64_t> arc_flow;
+  };
+
+  /// Solves the transshipment problem. Returns std::nullopt if demands
+  /// cannot be met or a negative-cost infinite cycle exists (the dual LP is
+  /// then infeasible / the primal unbounded).
+  std::optional<Solution> solve();
+
+  static constexpr std::int64_t kInfinite = INT64_MAX / 4;
+
+ private:
+  struct Arc {
+    std::uint32_t to;
+    std::int64_t cap;   // residual capacity
+    std::int64_t cost;
+  };
+  std::vector<Arc> arcs_;
+  std::vector<std::vector<std::uint32_t>> head_;
+  std::vector<std::int64_t> demand_;
+  std::vector<std::int64_t> initial_cap_;
+};
+
+}  // namespace mcrt

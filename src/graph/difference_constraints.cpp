@@ -1,0 +1,43 @@
+#include "graph/difference_constraints.h"
+
+#include <deque>
+
+namespace mcrt {
+
+std::optional<std::vector<std::int64_t>> solve_difference_constraints(
+    std::size_t variable_count,
+    const std::vector<DifferenceConstraint>& constraints) {
+  // Constraint x(u) - x(v) <= b is an edge v -> u with weight b in the
+  // shortest-path formulation: dist(u) <= dist(v) + b.
+  std::vector<std::vector<std::pair<std::uint32_t, std::int64_t>>> adj(
+      variable_count);
+  for (const auto& c : constraints) {
+    adj[c.v].push_back({c.u, c.bound});
+  }
+
+  std::vector<std::int64_t> dist(variable_count, 0);  // virtual source = 0
+  std::vector<bool> in_queue(variable_count, true);
+  std::vector<std::uint32_t> relax_count(variable_count, 0);
+  std::deque<std::uint32_t> queue;
+  for (std::uint32_t i = 0; i < variable_count; ++i) queue.push_back(i);
+
+  while (!queue.empty()) {
+    const std::uint32_t v = queue.front();
+    queue.pop_front();
+    in_queue[v] = false;
+    for (const auto& [u, w] : adj[v]) {
+      if (dist[v] + w < dist[u]) {
+        dist[u] = dist[v] + w;
+        if (!in_queue[u]) {
+          // A vertex relaxed more than |V| times lies on a negative cycle.
+          if (++relax_count[u] > variable_count) return std::nullopt;
+          in_queue[u] = true;
+          queue.push_back(u);
+        }
+      }
+    }
+  }
+  return dist;
+}
+
+}  // namespace mcrt

@@ -1,0 +1,32 @@
+// Solver for systems of difference constraints  x(u) - x(v) <= b.
+//
+// This is the computational core of retiming feasibility (Leiserson-Saxe):
+// circuit, period and class constraints are all difference constraints, and
+// a system is satisfiable iff its constraint graph has no negative cycle
+// (Bellman-Ford). The solution returned is the shortest-path potential,
+// which for retiming yields the most-negative legal labeling; callers can
+// normalize against a designated reference variable.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace mcrt {
+
+struct DifferenceConstraint {
+  std::uint32_t u = 0;  ///< variable with +1 coefficient
+  std::uint32_t v = 0;  ///< variable with -1 coefficient
+  std::int64_t bound = 0;  ///< x(u) - x(v) <= bound
+};
+
+/// Solves the given system over `variable_count` variables.
+/// Returns an assignment satisfying all constraints, or std::nullopt if the
+/// system is infeasible (negative cycle). Uses SPFA (queue-based
+/// Bellman-Ford) from a virtual source connected to every variable with
+/// 0-weight edges, so unconstrained variables get value 0.
+std::optional<std::vector<std::int64_t>> solve_difference_constraints(
+    std::size_t variable_count,
+    const std::vector<DifferenceConstraint>& constraints);
+
+}  // namespace mcrt

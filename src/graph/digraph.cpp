@@ -1,0 +1,29 @@
+#include "graph/digraph.h"
+
+#include <cassert>
+
+namespace mcrt {
+
+VertexId Digraph::add_vertex() {
+  const VertexId v{static_cast<VertexId::value_type>(out_.size())};
+  out_.emplace_back();
+  in_.emplace_back();
+  return v;
+}
+
+void Digraph::resize(std::size_t vertex_count) {
+  assert(vertex_count >= out_.size());
+  out_.resize(vertex_count);
+  in_.resize(vertex_count);
+}
+
+EdgeId Digraph::add_edge(VertexId from, VertexId to) {
+  assert(from.index() < out_.size() && to.index() < out_.size());
+  const EdgeId e{static_cast<EdgeId::value_type>(edges_.size())};
+  edges_.push_back(Edge{from, to});
+  out_[from.index()].push_back(e);
+  in_[to.index()].push_back(e);
+  return e;
+}
+
+}  // namespace mcrt

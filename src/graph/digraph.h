@@ -1,0 +1,61 @@
+// Compact directed multigraph with stable integer ids.
+//
+// This is the shared backbone for retiming graphs, constraint graphs and
+// flow networks. Vertices and edges are never erased (EDA graphs are built
+// once and analyzed many times); "removal" where needed is handled by the
+// client marking edges dead.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "base/ids.h"
+
+namespace mcrt {
+
+/// Directed multigraph. Self-loops and parallel edges are allowed.
+class Digraph {
+ public:
+  struct Edge {
+    VertexId from;
+    VertexId to;
+  };
+
+  Digraph() = default;
+  explicit Digraph(std::size_t vertex_count) { resize(vertex_count); }
+
+  VertexId add_vertex();
+  void resize(std::size_t vertex_count);
+  EdgeId add_edge(VertexId from, VertexId to);
+
+  [[nodiscard]] std::size_t vertex_count() const noexcept { return out_.size(); }
+  [[nodiscard]] std::size_t edge_count() const noexcept { return edges_.size(); }
+
+  [[nodiscard]] const Edge& edge(EdgeId e) const { return edges_[e.index()]; }
+  [[nodiscard]] VertexId from(EdgeId e) const { return edges_[e.index()].from; }
+  [[nodiscard]] VertexId to(EdgeId e) const { return edges_[e.index()].to; }
+
+  /// Outgoing edge ids of v.
+  [[nodiscard]] std::span<const EdgeId> out_edges(VertexId v) const {
+    return out_[v.index()];
+  }
+  /// Incoming edge ids of v.
+  [[nodiscard]] std::span<const EdgeId> in_edges(VertexId v) const {
+    return in_[v.index()];
+  }
+
+  [[nodiscard]] std::size_t out_degree(VertexId v) const {
+    return out_[v.index()].size();
+  }
+  [[nodiscard]] std::size_t in_degree(VertexId v) const {
+    return in_[v.index()].size();
+  }
+
+ private:
+  std::vector<Edge> edges_;
+  std::vector<std::vector<EdgeId>> out_;
+  std::vector<std::vector<EdgeId>> in_;
+};
+
+}  // namespace mcrt

@@ -1,0 +1,72 @@
+#include "graph/scc.h"
+
+#include <algorithm>
+
+namespace mcrt {
+
+SccResult strongly_connected_components(const Digraph& graph) {
+  const std::size_t n = graph.vertex_count();
+  constexpr std::uint32_t kUnvisited = ~0u;
+
+  SccResult result;
+  result.component.assign(n, kUnvisited);
+
+  std::vector<std::uint32_t> index(n, kUnvisited);
+  std::vector<std::uint32_t> lowlink(n, 0);
+  std::vector<bool> on_stack(n, false);
+  std::vector<std::uint32_t> stack;
+  std::uint32_t next_index = 0;
+
+  // Iterative DFS frame: vertex and position within its out-edge list.
+  struct Frame {
+    std::uint32_t v;
+    std::size_t edge_pos;
+  };
+  std::vector<Frame> frames;
+
+  for (std::size_t root = 0; root < n; ++root) {
+    if (index[root] != kUnvisited) continue;
+    frames.push_back({static_cast<std::uint32_t>(root), 0});
+    while (!frames.empty()) {
+      Frame& frame = frames.back();
+      const std::uint32_t v = frame.v;
+      if (frame.edge_pos == 0) {
+        index[v] = lowlink[v] = next_index++;
+        stack.push_back(v);
+        on_stack[v] = true;
+      }
+      const auto edges = graph.out_edges(VertexId{v});
+      bool descended = false;
+      while (frame.edge_pos < edges.size()) {
+        const std::uint32_t w = graph.to(edges[frame.edge_pos]).value();
+        ++frame.edge_pos;
+        if (index[w] == kUnvisited) {
+          frames.push_back({w, 0});
+          descended = true;
+          break;
+        }
+        if (on_stack[w]) lowlink[v] = std::min(lowlink[v], index[w]);
+      }
+      if (descended) continue;
+      if (lowlink[v] == index[v]) {
+        // v is the root of a component: pop it off the stack.
+        while (true) {
+          const std::uint32_t w = stack.back();
+          stack.pop_back();
+          on_stack[w] = false;
+          result.component[w] = result.component_count;
+          if (w == v) break;
+        }
+        ++result.component_count;
+      }
+      frames.pop_back();
+      if (!frames.empty()) {
+        const std::uint32_t parent = frames.back().v;
+        lowlink[parent] = std::min(lowlink[parent], lowlink[v]);
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace mcrt

@@ -1,0 +1,19 @@
+// Strongly connected components (Tarjan, iterative).
+#pragma once
+
+#include <vector>
+
+#include "graph/digraph.h"
+
+namespace mcrt {
+
+/// Result of an SCC decomposition: component index per vertex, numbered in
+/// reverse topological order of the condensation (Tarjan's natural order).
+struct SccResult {
+  std::vector<std::uint32_t> component;  ///< component index per vertex
+  std::uint32_t component_count = 0;
+};
+
+SccResult strongly_connected_components(const Digraph& graph);
+
+}  // namespace mcrt

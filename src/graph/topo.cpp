@@ -1,0 +1,54 @@
+#include "graph/topo.h"
+
+#include <algorithm>
+
+namespace mcrt {
+
+std::optional<std::vector<VertexId>> topological_order(
+    const Digraph& graph, const std::function<bool(EdgeId)>& edge_enabled) {
+  const std::size_t n = graph.vertex_count();
+  std::vector<std::size_t> indegree(n, 0);
+  for (std::size_t v = 0; v < n; ++v) {
+    for (EdgeId e : graph.in_edges(VertexId{static_cast<std::uint32_t>(v)})) {
+      if (!edge_enabled || edge_enabled(e)) ++indegree[v];
+    }
+  }
+  std::vector<VertexId> order;
+  order.reserve(n);
+  std::vector<VertexId> queue;
+  for (std::size_t v = 0; v < n; ++v) {
+    if (indegree[v] == 0) queue.push_back(VertexId{static_cast<std::uint32_t>(v)});
+  }
+  while (!queue.empty()) {
+    const VertexId v = queue.back();
+    queue.pop_back();
+    order.push_back(v);
+    for (EdgeId e : graph.out_edges(v)) {
+      if (edge_enabled && !edge_enabled(e)) continue;
+      const VertexId w = graph.to(e);
+      if (--indegree[w.index()] == 0) queue.push_back(w);
+    }
+  }
+  if (order.size() != n) return std::nullopt;  // cycle among enabled edges
+  return order;
+}
+
+std::optional<std::vector<std::int64_t>> dag_longest_path(
+    const Digraph& graph,
+    const std::function<std::int64_t(VertexId)>& vertex_weight,
+    const std::function<bool(EdgeId)>& edge_enabled) {
+  const auto order = topological_order(graph, edge_enabled);
+  if (!order) return std::nullopt;
+  std::vector<std::int64_t> dist(graph.vertex_count(), 0);
+  for (const VertexId v : *order) {
+    std::int64_t best = 0;
+    for (EdgeId e : graph.in_edges(v)) {
+      if (edge_enabled && !edge_enabled(e)) continue;
+      best = std::max(best, dist[graph.from(e).index()]);
+    }
+    dist[v.index()] = best + vertex_weight(v);
+  }
+  return dist;
+}
+
+}  // namespace mcrt

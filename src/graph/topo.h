@@ -1,0 +1,28 @@
+// Topological ordering and DAG longest-path utilities.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "graph/digraph.h"
+
+namespace mcrt {
+
+/// Kahn topological sort. Returns std::nullopt if the graph (restricted to
+/// edges accepted by `edge_enabled`, all edges if empty) contains a cycle.
+std::optional<std::vector<VertexId>> topological_order(
+    const Digraph& graph,
+    const std::function<bool(EdgeId)>& edge_enabled = {});
+
+/// Longest path lengths from sources over the DAG induced by enabled edges.
+/// `vertex_weight(v)` is added when v is visited; result[v] includes v's own
+/// weight. Precondition: the induced subgraph is acyclic (checked).
+/// Returns std::nullopt on a cycle.
+std::optional<std::vector<std::int64_t>> dag_longest_path(
+    const Digraph& graph,
+    const std::function<std::int64_t(VertexId)>& vertex_weight,
+    const std::function<bool(EdgeId)>& edge_enabled = {});
+
+}  // namespace mcrt

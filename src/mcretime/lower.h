@@ -1,0 +1,22 @@
+// Lowering: mc-graph + class bounds -> basic retiming graph (paper §4, §5.1).
+//
+// The mapping that makes multiple-class retiming solvable by any basic
+// retiming engine: vertices and edges carry over 1:1 (separators included),
+// edge weights are the register-sequence lengths, and the class constraints
+// r_min^mc(v) <= r(v) <= r_max^mc(v) become per-vertex bounds that the
+// engine encodes as host-relative difference constraints. Primary inputs,
+// outputs and control taps are pinned to r = 0: registers must not cross
+// the circuit interface.
+#pragma once
+
+#include "mcretime/maximal_retiming.h"
+#include "mcretime/mcgraph.h"
+#include "retime/retime_graph.h"
+
+namespace mcrt {
+
+/// Vertex v of the mc-graph maps to vertex with the same index.
+RetimeGraph lower_to_retime_graph(const McGraph& graph,
+                                  const McBounds& bounds);
+
+}  // namespace mcrt

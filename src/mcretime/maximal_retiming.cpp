@@ -1,0 +1,114 @@
+#include "mcretime/maximal_retiming.h"
+
+#include <deque>
+
+namespace mcrt {
+namespace {
+
+/// Runs one maximal-retiming phase. `backward` selects direction. Returns
+/// per-vertex move counts; counts capped at `cap` are reported as such and
+/// flagged in `capped_vertices`.
+std::vector<std::int64_t> run_phase(McGraph& graph, bool backward,
+                                    std::int64_t cap,
+                                    std::vector<bool>& capped_vertices,
+                                    bool& hit_cap) {
+  const std::size_t n = graph.vertex_count();
+  std::vector<std::int64_t> count(n, 0);
+  capped_vertices.assign(n, false);
+
+  std::deque<std::uint32_t> queue;
+  std::vector<bool> in_queue(n, false);
+  for (std::size_t v = 1; v < n; ++v) {
+    queue.push_back(static_cast<std::uint32_t>(v));
+    in_queue[v] = true;
+  }
+  const Digraph& g = graph.digraph();
+
+  auto push = [&](VertexId v) {
+    if (!in_queue[v.index()]) {
+      in_queue[v.index()] = true;
+      queue.push_back(v.value());
+    }
+  };
+
+  while (!queue.empty()) {
+    const VertexId v{queue.front()};
+    queue.pop_front();
+    in_queue[v.index()] = false;
+    if (capped_vertices[v.index()]) continue;
+    bool moved = false;
+    while (count[v.index()] < cap) {
+      const auto cls = backward ? graph.backward_step_class(v)
+                                : graph.forward_step_class(v);
+      if (!cls) break;
+      if (backward) {
+        graph.apply_backward_step(v);
+      } else {
+        graph.apply_forward_step(v);
+      }
+      ++count[v.index()];
+      moved = true;
+    }
+    if (count[v.index()] >= cap) {
+      // Still movable at the cap: the vertex rotates a compatible cycle.
+      const auto cls = backward ? graph.backward_step_class(v)
+                                : graph.forward_step_class(v);
+      if (cls) {
+        capped_vertices[v.index()] = true;
+        hit_cap = true;
+      }
+    }
+    if (moved) {
+      // A backward move feeds the sources of v's fanin edges (their fanout
+      // edges gained registers); a forward move feeds the sinks of v's
+      // fanout edges.
+      if (backward) {
+        for (const EdgeId e : g.in_edges(v)) push(g.from(e));
+      } else {
+        for (const EdgeId e : g.out_edges(v)) push(g.to(e));
+      }
+    }
+  }
+  return count;
+}
+
+}  // namespace
+
+MaximalRetimingResult compute_mc_bounds(const McGraph& graph) {
+  MaximalRetimingResult result;
+  const std::size_t n = graph.vertex_count();
+  const std::int64_t cap =
+      static_cast<std::int64_t>(graph.total_edge_registers()) +
+      static_cast<std::int64_t>(n) + 2;
+
+  McBounds& bounds = result.bounds;
+  bounds.r_max.assign(n, 0);
+  bounds.r_min.assign(n, 0);
+
+  // Backward phase (keeps the retimed copy for the sharing modifier).
+  result.backward_graph = graph;
+  {
+    std::vector<bool> capped;
+    const auto count =
+        run_phase(result.backward_graph, /*backward=*/true, cap, capped,
+                  bounds.hit_cap);
+    for (std::size_t v = 0; v < n; ++v) {
+      bounds.r_max[v] = capped[v] ? McBounds::kUnbounded : count[v];
+      bounds.possible_steps += static_cast<std::size_t>(count[v]);
+    }
+  }
+  // Forward phase on a fresh copy.
+  {
+    McGraph forward_graph = graph;
+    std::vector<bool> capped;
+    const auto count = run_phase(forward_graph, /*backward=*/false, cap,
+                                 capped, bounds.hit_cap);
+    for (std::size_t v = 0; v < n; ++v) {
+      bounds.r_min[v] = capped[v] ? -McBounds::kUnbounded : -count[v];
+      bounds.possible_steps += static_cast<std::size_t>(count[v]);
+    }
+  }
+  return result;
+}
+
+}  // namespace mcrt

@@ -1,0 +1,49 @@
+// Maximal backward/forward retiming: the mc-retiming bounds (paper §4.1).
+//
+// On a scratch copy of the mc-graph, registers are moved backward by valid
+// mc-steps until no vertex can move; the number of layers moved across each
+// vertex is the backward bound r_max^mc(v). Symmetrically forward for
+// r_min^mc(v). Reset values are ignored (paper's design decision: the
+// bounds stay unique; justification failures are handled when implementing
+// the solution).
+//
+// Termination: on an acyclic movement structure no vertex can move more
+// than R (total registers) layers; a vertex exceeding R lies on a rotating
+// cycle of compatible registers and is *unbounded* (no class constraint —
+// exactly basic-retiming semantics, e.g. the whole circuit in a single-
+// class design with feedback). Such vertices are capped and marked; all
+// other counts are exact or conservative (never too large), so the derived
+// constraints are always sound.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mcretime/mcgraph.h"
+
+namespace mcrt {
+
+struct McBounds {
+  static constexpr std::int64_t kUnbounded = INT64_MAX / 4;
+
+  /// r_max^mc per vertex (>= 0; kUnbounded if on a compatible cycle).
+  std::vector<std::int64_t> r_max;
+  /// r_min^mc per vertex (<= 0; -kUnbounded if unbounded forward).
+  std::vector<std::int64_t> r_min;
+
+  /// Total possible valid mc-steps (paper Table 2, second #Step number):
+  /// sum of capped backward + forward layer moves.
+  std::size_t possible_steps = 0;
+  bool hit_cap = false;
+};
+
+struct MaximalRetimingResult {
+  McBounds bounds;
+  /// The maximally backward-retimed graph (input to the §4.2 sharing
+  /// modification; same vertex/edge ids as the input graph).
+  McGraph backward_graph;
+};
+
+MaximalRetimingResult compute_mc_bounds(const McGraph& graph);
+
+}  // namespace mcrt

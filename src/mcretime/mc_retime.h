@@ -1,0 +1,75 @@
+// Multiple-class retiming: the end-to-end flow (paper §5).
+//
+//   1. Build the mc-graph from the circuit.
+//   2. Derive retiming bounds by maximal backward/forward retiming.
+//   3. Modify the graph for register sharing (separation vertices).
+//   4. Minimum-period retiming subject to the bounds -> phi_min.
+//   5. Minimum-area retiming at phi_min.
+//   6. Relocate registers, computing equivalent reset states (local BDD
+//      justification, global fallback); on a justification failure, add a
+//      retiming bound at the offending vertex and recompute (4)-(6).
+//
+// The result is a new netlist plus the statistics reported in the paper's
+// Table 2 (#Class, #Step moved/possible, justification counts, and a
+// CPU-time breakdown across graph construction / retiming / implementation).
+#pragma once
+
+#include <string>
+
+#include "base/timer.h"
+#include "mcretime/register_class.h"
+#include "mcretime/relocate.h"
+#include "netlist/netlist.h"
+
+namespace mcrt {
+
+struct McRetimeOptions {
+  enum class Objective {
+    kMinPeriod,         ///< step 4 only
+    kMinAreaMinPeriod,  ///< steps 4 + 5 (the paper's "retime" command)
+  };
+  Objective objective = Objective::kMinAreaMinPeriod;
+  /// 0 = minimize the period. A positive value retimes for minimum area at
+  /// this target period instead (must be >= the minimum feasible period,
+  /// else the flow falls back to the minimum).
+  std::int64_t target_period = 0;
+  ClassOptions class_options;
+  /// §4.2 sharing modification on/off (ablation switch; on = paper flow).
+  bool sharing_modification = true;
+  /// Max retiming recomputations after justification failures.
+  std::size_t max_attempts = 40;
+  /// Variable budget for global justification (0 disables it: every local
+  /// conflict immediately becomes a retiming bound + recompute; §5.2
+  /// ablation).
+  std::size_t global_justification_budget = 96;
+};
+
+struct McRetimeStats {
+  std::size_t num_classes = 0;       ///< Table 2 "#Class"
+  std::size_t moved_layers = 0;      ///< Table 2 "#Step" first number
+  std::size_t possible_steps = 0;    ///< Table 2 "#Step" second number
+  std::size_t separators = 0;
+  std::int64_t period_before = 0;
+  std::int64_t period_after = 0;
+  std::size_t registers_before = 0;
+  std::size_t registers_after = 0;
+  /// The minarea cost model's shared-register count for the final labels
+  /// (compare with registers_after to measure model honesty; Fig. 4).
+  std::int64_t register_estimate = 0;
+  std::size_t attempts = 1;          ///< 1 = no recomputation needed
+  RelocateStats relocate;
+  /// Buckets: "graph" (steps 1-3), "retime" (4-5), "implement" (6).
+  PhaseProfile profile;
+};
+
+struct McRetimeResult {
+  bool success = false;
+  std::string error;
+  Netlist netlist;
+  McRetimeStats stats;
+};
+
+McRetimeResult mc_retime(const Netlist& input,
+                         const McRetimeOptions& options = {});
+
+}  // namespace mcrt

@@ -1,0 +1,83 @@
+#include "mcretime/mcgraph_dot.h"
+
+#include <ostream>
+#include <sstream>
+
+#include "base/strings.h"
+
+namespace mcrt {
+namespace {
+
+std::string vertex_label(const McGraph& graph, const Netlist& netlist,
+                         VertexId v) {
+  switch (graph.kind(v)) {
+    case McVertexKind::kHost:
+      return "host";
+    case McVertexKind::kGate:
+      return str_format("%s\\nd=%lld",
+                        netlist.node(graph.origin_node(v)).name.c_str(),
+                        static_cast<long long>(graph.delay(v)));
+    case McVertexKind::kInput:
+      return "PI " + netlist.node(graph.origin_node(v)).name;
+    case McVertexKind::kOutput:
+      return "PO " + netlist.node(graph.origin_node(v)).name;
+    case McVertexKind::kControlTap:
+      return "tap " + netlist.net(graph.tap_net(v)).name;
+    case McVertexKind::kSeparator:
+      return str_format("sep v%u", v.value());
+  }
+  return "?";
+}
+
+const char* vertex_shape(McVertexKind kind) {
+  switch (kind) {
+    case McVertexKind::kHost: return "diamond";
+    case McVertexKind::kGate: return "box";
+    case McVertexKind::kInput:
+    case McVertexKind::kOutput: return "ellipse";
+    case McVertexKind::kControlTap: return "hexagon";
+    case McVertexKind::kSeparator: return "point";
+  }
+  return "box";
+}
+
+}  // namespace
+
+void write_mcgraph_dot(const McGraph& graph, const Netlist& netlist,
+                       std::ostream& out, const std::string& graph_name) {
+  out << "digraph \"" << graph_name << "\" {\n  rankdir=LR;\n"
+      << "  node [fontsize=10];\n  edge [fontsize=9];\n";
+  for (std::size_t v = 0; v < graph.vertex_count(); ++v) {
+    const VertexId vid{static_cast<std::uint32_t>(v)};
+    out << "  v" << v << " [shape=" << vertex_shape(graph.kind(vid))
+        << ",label=\"" << vertex_label(graph, netlist, vid) << "\"];\n";
+  }
+  const Digraph& g = graph.digraph();
+  for (std::size_t e = 0; e < g.edge_count(); ++e) {
+    const EdgeId eid{static_cast<std::uint32_t>(e)};
+    out << "  v" << g.from(eid).value() << " -> v" << g.to(eid).value();
+    const auto& regs = graph.regs(eid);
+    if (!regs.empty()) {
+      std::string label;
+      for (const McReg& reg : regs) {
+        if (!label.empty()) label += " ";
+        label += str_format("C%u[%c%c]", reg.cls.value(),
+                            reset_val_char(reg.sync_val),
+                            reset_val_char(reg.async_val));
+      }
+      out << " [label=\"" << label << "\",color=blue]";
+    }
+    out << ";\n";
+  }
+  out << "}\n";
+}
+
+std::string write_mcgraph_dot_string(const McGraph& graph,
+                                     const Netlist& netlist,
+                                     const std::string& graph_name) {
+  std::ostringstream out;
+  write_mcgraph_dot(graph, netlist, out, graph_name);
+  return out.str();
+}
+
+}  // namespace mcrt

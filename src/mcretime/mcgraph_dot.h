@@ -1,0 +1,23 @@
+// Graphviz export of mc-graphs: the debugging view of retiming itself.
+// Edges are labeled with their register sequences (class id and reset
+// values per register), vertices with kind/delay, making Fig. 2/3/4-style
+// pictures of any circuit one `dot -Tsvg` away.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "mcretime/mcgraph.h"
+#include "netlist/netlist.h"
+
+namespace mcrt {
+
+/// `netlist` is the graph's source netlist (vertex names).
+void write_mcgraph_dot(const McGraph& graph, const Netlist& netlist,
+                       std::ostream& out,
+                       const std::string& graph_name = "mcgraph");
+std::string write_mcgraph_dot_string(const McGraph& graph,
+                                     const Netlist& netlist,
+                                     const std::string& graph_name = "mcgraph");
+
+}  // namespace mcrt

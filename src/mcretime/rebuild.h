@@ -1,0 +1,29 @@
+// Reconstruction: retimed mc-graph -> netlist.
+//
+// Combinational structure is preserved (vertices keep their functions and
+// pin order); the register sequences on the fanout edges of each vertex are
+// materialized as *shared shift trees*: at each layer, registers on
+// different fanout edges share one physical flip-flop when they belong to
+// the same class and their reset values are mergeable ('-' absorbs into a
+// concrete value). This realizes exactly the sharing the minarea cost
+// model paid for, and keeps incompatible-class registers physically
+// separate (the reason for the §4.2 separation vertices).
+//
+// Control signals of a class are re-tapped at the *end* of the class
+// signal's control-tap edge, so a control net that retiming pushed
+// registers onto is consumed in its correctly delayed form.
+//
+// Registers whose class carries a set/clear control but whose value ends as
+// '-' get a concrete 0: any refinement of a don't-care is sound.
+#pragma once
+
+#include "mcretime/mcgraph.h"
+#include "netlist/netlist.h"
+
+namespace mcrt {
+
+/// `netlist` is the original netlist the mc-graph was built from (provides
+/// node functions, names and delays).
+Netlist rebuild_netlist(const McGraph& graph, const Netlist& netlist);
+
+}  // namespace mcrt

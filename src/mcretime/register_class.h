@@ -1,0 +1,50 @@
+// Register classes (paper Definition 1).
+//
+// A register class is the tuple (clk, load, r_sync, r_async) of control
+// signals; two registers are compatible iff each control input is
+// *logically equivalent* to the class signal. Equivalence is decided by
+// building BDDs of the control cones over a cut at the sequential boundary
+// (primary inputs and register outputs): hash-consing makes semantic
+// equality pointer equality, so e.g. an enable wired through a buffer
+// chain, or "en" vs "en AND 1", land in the same class. Cones larger than
+// a node budget fall back to structural identity (net id), which is sound
+// (it can only split classes, never merge distinct functions).
+//
+// Absent controls canonicalize to constants (EN absent = constant 1,
+// set/clear absent = constant 0), so a register whose EN is tied to
+// constant 1 is compatible with a register that has no EN at all.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "base/ids.h"
+#include "netlist/netlist.h"
+
+namespace mcrt {
+
+struct RegisterClassInfo {
+  /// Representative control nets (first register seen with this class).
+  NetId clk;
+  NetId en;          ///< invalid = always enabled
+  NetId sync_ctrl;   ///< invalid = none
+  NetId async_ctrl;  ///< invalid = none
+};
+
+struct ClassAssignment {
+  /// Class of each register, indexed by RegId.
+  std::vector<ClassId> reg_class;
+  std::vector<RegisterClassInfo> classes;
+  [[nodiscard]] std::size_t class_count() const { return classes.size(); }
+};
+
+struct ClassOptions {
+  /// Max BDD nodes per control cone before falling back to structural ids.
+  std::size_t bdd_node_budget = 50000;
+};
+
+/// Computes the register classes of a netlist.
+ClassAssignment classify_registers(const Netlist& netlist,
+                                   const ClassOptions& options = {});
+
+}  // namespace mcrt

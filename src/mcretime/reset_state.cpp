@@ -1,0 +1,57 @@
+#include "mcretime/reset_state.h"
+
+#include "bdd/bdd.h"
+
+namespace mcrt {
+
+std::optional<ResetVal> merge_reset_values(const std::vector<ResetVal>& vals) {
+  ResetVal merged = ResetVal::kDontCare;
+  for (const ResetVal v : vals) {
+    if (v == ResetVal::kDontCare) continue;
+    if (merged == ResetVal::kDontCare) {
+      merged = v;
+    } else if (merged != v) {
+      return std::nullopt;
+    }
+  }
+  return merged;
+}
+
+ResetVal imply_through(const TruthTable& f, const std::vector<ResetVal>& pins) {
+  std::vector<Trit> trits;
+  trits.reserve(pins.size());
+  for (const ResetVal v : pins) trits.push_back(reset_val_trit(v));
+  switch (f.eval_ternary(trits.data())) {
+    case Trit::kZero: return ResetVal::kZero;
+    case Trit::kOne: return ResetVal::kOne;
+    case Trit::kUnknown: return ResetVal::kDontCare;
+  }
+  return ResetVal::kDontCare;
+}
+
+std::optional<std::vector<ResetVal>> justify_through(const TruthTable& f,
+                                                     bool target) {
+  BddManager bdd;
+  // Build the BDD of f over one variable per pin.
+  std::vector<BddRef> vars;
+  for (std::uint32_t i = 0; i < f.input_count(); ++i) vars.push_back(bdd.var(i));
+  // Shannon build.
+  BddRef g = BddManager::kFalse;
+  for (std::uint32_t row = 0; row < (1u << f.input_count()); ++row) {
+    if (f.eval(row) != target) continue;
+    BddRef cube = BddManager::kTrue;
+    for (std::uint32_t i = 0; i < f.input_count(); ++i) {
+      cube = bdd.bdd_and(cube, ((row >> i) & 1) ? vars[i] : bdd.bdd_not(vars[i]));
+    }
+    g = bdd.bdd_or(g, cube);
+  }
+  const auto cube = bdd.shortest_cube(g);
+  if (!cube) return std::nullopt;
+  std::vector<ResetVal> pins(f.input_count(), ResetVal::kDontCare);
+  for (const auto& lit : *cube) {
+    pins[lit.var] = lit.value ? ResetVal::kOne : ResetVal::kZero;
+  }
+  return pins;
+}
+
+}  // namespace mcrt

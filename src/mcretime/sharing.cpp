@@ -1,0 +1,163 @@
+#include "mcretime/sharing.h"
+
+#include <algorithm>
+#include <map>
+#include <span>
+
+namespace mcrt {
+namespace {
+
+/// Per-fanout-edge cut: number of sharable prefix registers in the
+/// maximally backward-retimed graph.
+std::vector<std::size_t> compute_cut(const McGraph& gb,
+                                     std::span<const EdgeId> fanout) {
+  std::vector<std::size_t> cut(fanout.size(), 0);
+  std::vector<bool> active(fanout.size(), true);
+  std::vector<bool> done(fanout.size(), false);
+  for (std::size_t layer = 0;; ++layer) {
+    // Group the active edges that still have a register at this layer.
+    std::map<ClassId, std::vector<std::size_t>> groups;
+    for (std::size_t i = 0; i < fanout.size(); ++i) {
+      if (!active[i] || done[i]) continue;
+      const auto& regs = gb.regs(fanout[i]);
+      if (regs.size() <= layer) {
+        // Fully consumed: everything on this edge is sharable.
+        cut[i] = regs.size();
+        done[i] = true;
+        continue;
+      }
+      groups[regs[layer].cls].push_back(i);
+    }
+    if (groups.empty()) break;
+    // Largest compatible group continues; ties resolved by class id order
+    // (std::map iteration), keeping the result deterministic.
+    std::size_t best_size = 0;
+    ClassId best_class;
+    for (const auto& [cls, members] : groups) {
+      if (members.size() > best_size) {
+        best_size = members.size();
+        best_class = cls;
+      }
+    }
+    for (const auto& [cls, members] : groups) {
+      if (cls == best_class) continue;
+      for (const std::size_t i : members) {
+        cut[i] = layer;  // sharable prefix ends here
+        active[i] = false;
+      }
+    }
+    for (const std::size_t i : groups[best_class]) cut[i] = layer + 1;
+  }
+  return cut;
+}
+
+}  // namespace
+
+SharingModification apply_sharing_modification(const McGraph& graph,
+                                               const McBounds& bounds,
+                                               const McGraph& backward_graph) {
+  SharingModification result;
+  const Digraph& g = graph.digraph();
+  const std::size_t n = graph.vertex_count();
+
+  // Decide the split position for every edge: split[e] = (right_weight,
+  // r_max_s, r_min_s) when a separator goes in.
+  struct Split {
+    std::size_t right_init;
+    std::int64_t r_max_s;
+    std::int64_t r_min_s;
+  };
+  std::map<std::uint32_t, Split> splits;
+
+  for (std::size_t u = 1; u < n; ++u) {
+    const VertexId uid{static_cast<std::uint32_t>(u)};
+    if (graph.kind(uid) == McVertexKind::kOutput ||
+        graph.kind(uid) == McVertexKind::kControlTap) {
+      continue;
+    }
+    const auto fanout = g.out_edges(uid);
+    if (fanout.size() < 2) continue;
+    // Skip if anything around u is unbounded (capped counts would make the
+    // backward-graph layer structure cap-dependent).
+    if (bounds.r_max[u] >= McBounds::kUnbounded) continue;
+    bool any_regs = false;
+    bool skip = false;
+    for (const EdgeId e : fanout) {
+      const VertexId v = g.to(e);
+      if (bounds.r_max[v.index()] >= McBounds::kUnbounded) skip = true;
+      if (!backward_graph.regs(e).empty()) any_regs = true;
+    }
+    if (skip || !any_regs) continue;
+
+    const auto cut = compute_cut(backward_graph, fanout);
+    for (std::size_t i = 0; i < fanout.size(); ++i) {
+      const EdgeId e = fanout[i];
+      const std::size_t w_b = backward_graph.regs(e).size();
+      if (cut[i] >= w_b) continue;  // fully sharable: no separator
+      const VertexId v = g.to(e);
+      const std::int64_t w_b_right =
+          static_cast<std::int64_t>(w_b - cut[i]);
+      const std::int64_t r_max_v = bounds.r_max[v.index()];
+      Split split;
+      split.r_max_s = std::max<std::int64_t>(r_max_v - w_b_right, 0);
+      split.right_init = static_cast<std::size_t>(std::max<std::int64_t>(
+          w_b_right - r_max_v, 0));
+      // The separator can move forward as often as registers can reach it:
+      // those initially left of it plus those arriving via forward moves
+      // across u.
+      const std::size_t w0 = graph.regs(e).size();
+      const std::size_t right = std::min(split.right_init, w0);
+      split.right_init = right;
+      const std::int64_t left_init = static_cast<std::int64_t>(w0 - right);
+      const std::int64_t r_min_u = bounds.r_min[u];
+      split.r_min_s = r_min_u <= -McBounds::kUnbounded
+                          ? -McBounds::kUnbounded
+                          : -(left_init - r_min_u);
+      splits.emplace(e.value(), split);
+    }
+  }
+
+  // Rebuild the graph with separators.
+  McGraph& out = result.graph;
+  out = McGraph();
+  // Copy vertices in order (ids preserved). Vertex 0 of a fresh McGraph is
+  // created by the first add_vertex call below (host comes first in the
+  // source graph too).
+  for (std::size_t v = 0; v < n; ++v) {
+    const VertexId vid{static_cast<std::uint32_t>(v)};
+    out.add_vertex(graph.kind(vid), graph.delay(vid), graph.origin_node(vid),
+                   graph.tap_net(vid));
+  }
+  result.bounds = bounds;
+  // Give the rebuilt graph the class table and a uid space disjoint from
+  // consumed ids.
+  out.classes_from(graph);
+
+  for (std::size_t e = 0; e < g.edge_count(); ++e) {
+    const EdgeId eid{static_cast<std::uint32_t>(e)};
+    const VertexId from = g.from(eid);
+    const VertexId to = g.to(eid);
+    const auto it = splits.find(eid.value());
+    if (it == splits.end()) {
+      out.add_edge(from, to, graph.regs(eid), graph.sink_pin(eid));
+      continue;
+    }
+    const Split& split = it->second;
+    const auto& regs = graph.regs(eid);
+    const std::size_t left_count = regs.size() - split.right_init;
+    const VertexId s = out.add_vertex(McVertexKind::kSeparator, 0);
+    result.bounds.r_max.push_back(split.r_max_s);
+    result.bounds.r_min.push_back(split.r_min_s);
+    out.add_edge(from, s,
+                 std::vector<McReg>(regs.begin(),
+                                    regs.begin() + static_cast<long>(left_count)));
+    out.add_edge(s, to,
+                 std::vector<McReg>(regs.begin() + static_cast<long>(left_count),
+                                    regs.end()),
+                 graph.sink_pin(eid));
+    ++result.separators_inserted;
+  }
+  return result;
+}
+
+}  // namespace mcrt

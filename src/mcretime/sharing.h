@@ -1,0 +1,41 @@
+// Register-sharing modification (paper §4.2, Fig. 4).
+//
+// The Leiserson-Saxe minarea cost function assumes all registers on the
+// fanout edges of a vertex can share one shift chain; registers of
+// different classes cannot. In the maximally backward-retimed graph, a
+// cutline per multi-fanout vertex separates the largest sharable register
+// set (traversing layers source-to-sink, keeping the largest compatible
+// class group at each layer); a zero-delay *separation vertex* s_i is
+// inserted on each fanout edge crossing the cutline, with backward bound
+//
+//     r_max^mc(s_i) = max(r_max^mc(v_i) - w_b(e_{s_i,v_i}), 0)     (Eq. 3)
+//
+// so non-sharable registers can never migrate into the shared cost region,
+// and the standard min-cost-flow area model remains valid. The initial
+// registers are distributed onto the two half-edges by rewinding the
+// maximal backward retiming: w_init(e_{s_i,v_i}) =
+// max(w_b(e_i) - c_i - r_max(v_i), 0), taken from the tail of the original
+// sequence.
+//
+// Vertices adjacent to capped (unbounded) fanout structures are skipped:
+// their cut depends on the termination cap, and the cost model simply
+// reverts to optimistic sharing there (may underestimate area, like plain
+// Leiserson-Saxe; the paper accepts estimation error in rare corners).
+#pragma once
+
+#include "mcretime/maximal_retiming.h"
+#include "mcretime/mcgraph.h"
+
+namespace mcrt {
+
+struct SharingModification {
+  McGraph graph;      ///< rebuilt graph with separation vertices appended
+  McBounds bounds;    ///< bounds extended to the new vertices
+  std::size_t separators_inserted = 0;
+};
+
+SharingModification apply_sharing_modification(const McGraph& graph,
+                                               const McBounds& bounds,
+                                               const McGraph& backward_graph);
+
+}  // namespace mcrt

@@ -1,0 +1,103 @@
+#include "netlist/dot_export.h"
+
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "base/strings.h"
+
+namespace mcrt {
+namespace {
+
+std::string escape(const std::string& text) {
+  std::string out;
+  for (const char c : text) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+/// Stable node identifier for the driver of a net.
+std::string driver_id(const Netlist& netlist, NetId net) {
+  const NetDriver& driver = netlist.net(net).driver;
+  if (driver.kind == NetDriver::Kind::kRegister) {
+    return str_format("ff%u", driver.index);
+  }
+  return str_format("n%u", driver.index);
+}
+
+}  // namespace
+
+void write_dot(const Netlist& netlist, std::ostream& out,
+               const std::string& graph_name) {
+  out << "digraph \"" << escape(graph_name) << "\" {\n";
+  out << "  rankdir=LR;\n  node [fontsize=10];\n";
+  for (std::size_t i = 0; i < netlist.node_count(); ++i) {
+    const Node& node = netlist.nodes()[i];
+    const std::string id = str_format("n%zu", i);
+    switch (node.kind) {
+      case NodeKind::kInput:
+        out << "  " << id << " [shape=ellipse,label=\""
+            << escape(node.name) << "\",style=filled,fillcolor=lightblue];\n";
+        break;
+      case NodeKind::kOutput:
+        out << "  " << id << " [shape=ellipse,label=\""
+            << escape(node.name) << "\",style=filled,fillcolor=lightgray];\n";
+        break;
+      case NodeKind::kLut:
+        out << "  " << id << " [shape=box,label=\"" << escape(node.name)
+            << "\\n" << node.function.to_string() << "\"];\n";
+        break;
+    }
+  }
+  for (std::size_t r = 0; r < netlist.register_count(); ++r) {
+    const Register& ff = netlist.registers()[r];
+    std::string label = ff.name;
+    if (ff.en.valid()) label += "\\nen=" + netlist.net(ff.en).name;
+    if (ff.sync_ctrl.valid()) {
+      label += str_format("\\nsync=%s:%c",
+                          netlist.net(ff.sync_ctrl).name.c_str(),
+                          reset_val_char(ff.sync_val));
+    }
+    if (ff.async_ctrl.valid()) {
+      label += str_format("\\nasync=%s:%c",
+                          netlist.net(ff.async_ctrl).name.c_str(),
+                          reset_val_char(ff.async_val));
+    }
+    out << "  " << str_format("ff%zu", r)
+        << " [shape=doubleoctagon,label=\"" << escape(label)
+        << "\",style=filled,fillcolor=lightyellow];\n";
+  }
+  // Data edges.
+  for (std::size_t i = 0; i < netlist.node_count(); ++i) {
+    const Node& node = netlist.nodes()[i];
+    for (const NetId fanin : node.fanins) {
+      out << "  " << driver_id(netlist, fanin) << " -> "
+          << str_format("n%zu", i) << ";\n";
+    }
+  }
+  for (std::size_t r = 0; r < netlist.register_count(); ++r) {
+    const Register& ff = netlist.registers()[r];
+    out << "  " << driver_id(netlist, ff.d) << " -> "
+        << str_format("ff%zu", r) << ";\n";
+  }
+  out << "}\n";
+}
+
+std::string write_dot_string(const Netlist& netlist,
+                             const std::string& graph_name) {
+  std::ostringstream out;
+  write_dot(netlist, out, graph_name);
+  return out.str();
+}
+
+bool write_dot_file(const Netlist& netlist, const std::string& path,
+                    const std::string& graph_name) {
+  std::ofstream out(path);
+  if (!out) return false;
+  write_dot(netlist, out, graph_name);
+  return out.good();
+}
+
+}  // namespace mcrt

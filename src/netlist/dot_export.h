@@ -1,0 +1,23 @@
+// Graphviz export of netlists for visual debugging.
+//
+// Renders combinational nodes as boxes, registers as double octagons
+// annotated with their class-relevant controls and reset values, and I/O
+// as plain ellipses. `dot -Tsvg circuit.dot -o circuit.svg` gives the
+// before/after retiming pictures that make register moves reviewable.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "netlist/netlist.h"
+
+namespace mcrt {
+
+void write_dot(const Netlist& netlist, std::ostream& out,
+               const std::string& graph_name = "mcrt");
+std::string write_dot_string(const Netlist& netlist,
+                             const std::string& graph_name = "mcrt");
+bool write_dot_file(const Netlist& netlist, const std::string& path,
+                    const std::string& graph_name = "mcrt");
+
+}  // namespace mcrt

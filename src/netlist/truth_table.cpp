@@ -1,0 +1,126 @@
+#include "netlist/truth_table.h"
+
+#include <cassert>
+
+#include "base/strings.h"
+
+namespace mcrt {
+namespace {
+
+constexpr std::uint64_t mask_for(std::uint32_t input_count) noexcept {
+  const std::uint32_t rows = 1u << input_count;
+  return rows >= 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << rows) - 1;
+}
+
+}  // namespace
+
+TruthTable::TruthTable(std::uint32_t input_count, std::uint64_t bits)
+    : bits_(bits & mask_for(input_count)), input_count_(input_count) {
+  assert(input_count <= kMaxInputs);
+}
+
+TruthTable TruthTable::constant(bool value) {
+  return TruthTable(0, value ? 1u : 0u);
+}
+
+TruthTable TruthTable::buffer() { return TruthTable(1, 0b10); }
+TruthTable TruthTable::inverter() { return TruthTable(1, 0b01); }
+
+TruthTable TruthTable::and_n(std::uint32_t inputs) {
+  assert(inputs >= 1 && inputs <= kMaxInputs);
+  const std::uint32_t rows = 1u << inputs;
+  return TruthTable(inputs, std::uint64_t{1} << (rows - 1));
+}
+
+TruthTable TruthTable::or_n(std::uint32_t inputs) {
+  assert(inputs >= 1 && inputs <= kMaxInputs);
+  return TruthTable(inputs, mask_for(inputs) & ~std::uint64_t{1});
+}
+
+TruthTable TruthTable::nand_n(std::uint32_t inputs) {
+  const TruthTable t = and_n(inputs);
+  return TruthTable(inputs, ~t.bits());
+}
+
+TruthTable TruthTable::nor_n(std::uint32_t inputs) {
+  const TruthTable t = or_n(inputs);
+  return TruthTable(inputs, ~t.bits());
+}
+
+TruthTable TruthTable::xor_n(std::uint32_t inputs) {
+  assert(inputs >= 1 && inputs <= kMaxInputs);
+  std::uint64_t bits = 0;
+  for (std::uint32_t row = 0; row < (1u << inputs); ++row) {
+    if (__builtin_popcount(row) & 1) bits |= std::uint64_t{1} << row;
+  }
+  return TruthTable(inputs, bits);
+}
+
+TruthTable TruthTable::mux21() {
+  // Inputs (sel, a, b) at positions (0, 1, 2): out = sel ? b : a.
+  std::uint64_t bits = 0;
+  for (std::uint32_t row = 0; row < 8; ++row) {
+    const bool sel = row & 1;
+    const bool a = row & 2;
+    const bool b = row & 4;
+    if (sel ? b : a) bits |= std::uint64_t{1} << row;
+  }
+  return TruthTable(3, bits);
+}
+
+bool TruthTable::eval(std::uint32_t input_bits) const noexcept {
+  return (bits_ >> (input_bits & ((1u << input_count_) - 1))) & 1;
+}
+
+Trit TruthTable::eval_ternary(const Trit* inputs) const {
+  // Enumerate completions of unknown inputs (at most 2^6).
+  std::uint32_t known_bits = 0;
+  std::uint32_t unknown_positions[kMaxInputs];
+  std::uint32_t unknown_count = 0;
+  for (std::uint32_t i = 0; i < input_count_; ++i) {
+    switch (inputs[i]) {
+      case Trit::kOne: known_bits |= 1u << i; break;
+      case Trit::kZero: break;
+      case Trit::kUnknown: unknown_positions[unknown_count++] = i; break;
+    }
+  }
+  bool seen_zero = false;
+  bool seen_one = false;
+  for (std::uint32_t combo = 0; combo < (1u << unknown_count); ++combo) {
+    std::uint32_t bits = known_bits;
+    for (std::uint32_t j = 0; j < unknown_count; ++j) {
+      if ((combo >> j) & 1) bits |= 1u << unknown_positions[j];
+    }
+    (eval(bits) ? seen_one : seen_zero) = true;
+    if (seen_zero && seen_one) return Trit::kUnknown;
+  }
+  return seen_one ? Trit::kOne : Trit::kZero;
+}
+
+TruthTable TruthTable::cofactor(std::uint32_t index, bool value) const {
+  assert(index < input_count_);
+  std::uint64_t bits = 0;
+  std::uint32_t out_row = 0;
+  for (std::uint32_t row = 0; row < (1u << input_count_); ++row) {
+    if (((row >> index) & 1) != static_cast<std::uint32_t>(value)) continue;
+    if (eval(row)) bits |= std::uint64_t{1} << out_row;
+    ++out_row;
+  }
+  return TruthTable(input_count_ - 1, bits);
+}
+
+bool TruthTable::input_redundant(std::uint32_t index) const {
+  return cofactor(index, false) == cofactor(index, true);
+}
+
+bool TruthTable::is_const(bool value) const {
+  const std::uint64_t mask = mask_for(input_count_);
+  return value ? (bits_ & mask) == mask : (bits_ & mask) == 0;
+}
+
+std::string TruthTable::to_string() const {
+  return str_format("tt%u:0x%llx", input_count_,
+                    static_cast<unsigned long long>(bits_));
+}
+
+}  // namespace mcrt

@@ -1,0 +1,80 @@
+// Truth tables for small combinational functions (up to 6 inputs).
+//
+// Mapped FPGA netlists are LUT networks; a 64-bit word holds the complete
+// function of a 6-LUT, which covers the XC4000-class architectures the
+// paper targets (4-LUTs) with room to spare. Bit i of the word is the
+// function value when the fanin assignment, read as a binary number with
+// fanin 0 as the least significant bit, equals i.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace mcrt {
+
+/// Three-valued logic value used by the simulator and reset calculus.
+enum class Trit : std::uint8_t { kZero = 0, kOne = 1, kUnknown = 2 };
+
+[[nodiscard]] constexpr char trit_char(Trit t) noexcept {
+  return t == Trit::kZero ? '0' : (t == Trit::kOne ? '1' : 'X');
+}
+
+/// merge(a, b): a if a == b, else X. The join of the information order.
+[[nodiscard]] constexpr Trit trit_merge(Trit a, Trit b) noexcept {
+  return a == b ? a : Trit::kUnknown;
+}
+
+class TruthTable {
+ public:
+  static constexpr std::uint32_t kMaxInputs = 6;
+
+  /// Constant-false 0-input function.
+  constexpr TruthTable() noexcept : bits_(0), input_count_(0) {}
+  /// `bits` uses positional encoding (see file comment); bits above
+  /// 2^input_count are ignored and canonicalized to a repetition pattern.
+  TruthTable(std::uint32_t input_count, std::uint64_t bits);
+
+  static TruthTable constant(bool value);
+  static TruthTable buffer();
+  static TruthTable inverter();
+  static TruthTable and_n(std::uint32_t inputs);
+  static TruthTable or_n(std::uint32_t inputs);
+  static TruthTable nand_n(std::uint32_t inputs);
+  static TruthTable nor_n(std::uint32_t inputs);
+  static TruthTable xor_n(std::uint32_t inputs);
+  /// 2:1 multiplexer; fanin order (sel, a, b): sel==0 -> a, sel==1 -> b.
+  static TruthTable mux21();
+
+  [[nodiscard]] std::uint32_t input_count() const noexcept {
+    return input_count_;
+  }
+  [[nodiscard]] std::uint64_t bits() const noexcept { return bits_; }
+
+  /// Evaluates under the complete assignment packed into `input_bits`
+  /// (fanin i at bit i).
+  [[nodiscard]] bool eval(std::uint32_t input_bits) const noexcept;
+
+  /// Three-valued evaluation: returns kUnknown only if both completions of
+  /// the unknown inputs are reachable. `inputs` has input_count entries.
+  [[nodiscard]] Trit eval_ternary(const Trit* inputs) const;
+
+  /// Fixes input `index` to `value`, yielding a function of one fewer input
+  /// (remaining inputs shift down).
+  [[nodiscard]] TruthTable cofactor(std::uint32_t index, bool value) const;
+
+  /// True if the function ignores input `index`.
+  [[nodiscard]] bool input_redundant(std::uint32_t index) const;
+
+  [[nodiscard]] bool is_const(bool value) const;
+
+  /// SOP-free debug form, e.g. "tt4:0x8001".
+  [[nodiscard]] std::string to_string() const;
+
+  bool operator==(const TruthTable&) const = default;
+
+ private:
+  std::uint64_t bits_;
+  std::uint32_t input_count_;
+};
+
+}  // namespace mcrt

@@ -1,0 +1,86 @@
+#include "retime/feas.h"
+
+#include <algorithm>
+#include <deque>
+#include <stdexcept>
+
+#include "graph/topo.h"
+
+namespace mcrt {
+
+std::optional<std::vector<std::int64_t>> feas_check(const RetimeGraph& graph,
+                                                    std::int64_t phi) {
+  const std::size_t n = graph.vertex_count();
+  const Digraph& g = graph.digraph();
+  std::vector<std::int64_t> r(n, 0);
+
+  for (std::size_t round = 0; round + 1 < n; ++round) {
+    // Arrival times over zero-weight edges of the retimed graph; host
+    // out-edges are blocked (environment closure, not combinational paths).
+    auto zero_weight = [&](EdgeId e) {
+      return g.from(e) != graph.host() && graph.retimed_weight(e, r) == 0;
+    };
+    const auto arrival = dag_longest_path(
+        g, [&](VertexId v) { return graph.delay(v); }, zero_weight);
+    if (!arrival) {
+      // Zero-weight cycle: cannot happen if the input graph was legal,
+      // since retiming preserves cycle weights.
+      throw std::logic_error("FEAS: zero-weight cycle");
+    }
+    bool any = false;
+    // The host participates like any vertex (Leiserson-Saxe run FEAS on G
+    // including v_h): r(host) increments shift every other label down after
+    // normalization, which is how solutions with negative labels - moving
+    // registers backward from the outputs - are reached.
+    for (std::size_t v = 0; v < n; ++v) {
+      if ((*arrival)[v] > phi) {
+        ++r[v];
+        any = true;
+      }
+    }
+    if (!any) break;  // fixed point: current r realizes some period <= phi
+    // Legality repair: timing increments can drive edge weights negative
+    // (w_r(e_uv) < 0 means r(v) must rise to r(u) - w(e)). Relax to a fixed
+    // point; this preserves the pointwise invariant r <= r* for any legal
+    // witness r* >= r, and terminates because cycle weights are positive.
+    std::deque<std::uint32_t> queue;
+    std::vector<bool> queued(n, false);
+    for (std::size_t v = 0; v < n; ++v) {
+      queue.push_back(static_cast<std::uint32_t>(v));
+      queued[v] = true;
+    }
+    while (!queue.empty()) {
+      const VertexId u{queue.front()};
+      queue.pop_front();
+      queued[u.index()] = false;
+      for (const EdgeId e : g.out_edges(u)) {
+        const VertexId v = g.to(e);
+        const std::int64_t needed = r[u.index()] - graph.weight(e);
+        if (r[v.index()] < needed) {
+          r[v.index()] = needed;
+          if (!queued[v.index()]) {
+            queued[v.index()] = true;
+            queue.push_back(v.value());
+          }
+        }
+      }
+    }
+  }
+  // Normalize to r(host) = 0 (uniform shifts do not change edge weights).
+  const std::int64_t base = r[graph.host().index()];
+  if (base != 0) {
+    for (auto& label : r) label -= base;
+  }
+  // For an infeasible phi the final labeling can be illegal;
+  // Leiserson-Saxe guarantee legality only for feasible phi, so verify
+  // both legality and the achieved period.
+  for (std::size_t e = 0; e < g.edge_count(); ++e) {
+    if (graph.retimed_weight(EdgeId{static_cast<std::uint32_t>(e)}, r) < 0) {
+      return std::nullopt;
+    }
+  }
+  if (graph.period(r) > phi) return std::nullopt;
+  return r;
+}
+
+}  // namespace mcrt

@@ -1,0 +1,26 @@
+// The FEAS algorithm (Leiserson & Saxe, "Retiming Synchronous Circuitry").
+//
+// Decides whether a clock period phi is feasible for an (unbounded)
+// retiming graph in O(V * E): repeatedly compute combinational arrival
+// times under the current tentative retiming and increment r(v) for every
+// vertex whose arrival exceeds phi. After |V| - 1 rounds, phi is feasible
+// iff the retimed clock period is at most phi.
+//
+// FEAS cannot honor per-vertex retiming bounds; the bounded feasibility
+// check lives in minperiod.cpp (difference-constraint formulation).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "retime/retime_graph.h"
+
+namespace mcrt {
+
+/// Returns the retiming labels achieving period <= phi, or std::nullopt if
+/// phi is infeasible for the graph (ignoring bounds).
+std::optional<std::vector<std::int64_t>> feas_check(const RetimeGraph& graph,
+                                                    std::int64_t phi);
+
+}  // namespace mcrt

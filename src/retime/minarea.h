@@ -1,0 +1,42 @@
+// Minimum-area retiming at a target clock period (paper §5.1, Step 5).
+//
+// Solves the Leiserson-Saxe ILP
+//
+//     min  sum_v c(v) * r(v)
+//     s.t. circuit, class and period difference constraints
+//
+// where the cost models *fanout sharing*: the registers on the fanout
+// edges of a vertex u can share a single shift chain, so u contributes
+// max_i w_r(e_i) registers, linearized with a mirror vertex m_u whose
+// constraint edges v_i -> m_u of weight maxw(u) - w(e_i) force
+// r(m_u) >= r(v_i) - (maxw(u) - w(e_i)); minimizing r(m_u) - r(u)
+// recovers the max. The whole LP is the dual of a min-cost-flow problem
+// (node supply c(v), arc cost = constraint bound) solved by the flow
+// module; retiming labels are read off the optimal potentials.
+#pragma once
+
+#include "retime/retime_graph.h"
+
+namespace mcrt {
+
+struct MinAreaResult {
+  bool feasible = false;
+  /// Legal labels (r(host) = 0) achieving the target period with minimal
+  /// shared register area.
+  std::vector<std::int64_t> r;
+  /// Shared register count of the solution (sum of per-vertex maxima).
+  std::int64_t area = 0;
+};
+
+/// Requires phi to be feasible for the graph (e.g. phi from
+/// minperiod_retime). Bounds must admit r = 0.
+/// `cached_period_constraints` may hold the result of
+/// generate_period_constraints(graph, phi, ...) to avoid recomputing the
+/// all-pairs paths when solving repeatedly at the same period (the
+/// justification-failure retry loop of mc-retiming does this).
+MinAreaResult minarea_retime(
+    const RetimeGraph& graph, std::int64_t phi,
+    const std::vector<struct DifferenceConstraint>*
+        cached_period_constraints = nullptr);
+
+}  // namespace mcrt

@@ -1,0 +1,109 @@
+#include "retime/retime_graph.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "base/strings.h"
+#include "graph/topo.h"
+
+namespace mcrt {
+
+RetimeGraph::RetimeGraph() {
+  add_vertex(0, "host");
+}
+
+VertexId RetimeGraph::add_vertex(std::int64_t delay, std::string name) {
+  const VertexId v = graph_.add_vertex();
+  delay_.push_back(delay);
+  lower_.push_back(-kNoBound);
+  upper_.push_back(kNoBound);
+  if (name.empty()) name = str_format("v%u", v.value());
+  names_.push_back(std::move(name));
+  return v;
+}
+
+EdgeId RetimeGraph::add_edge(VertexId from, VertexId to, std::int64_t weight) {
+  const EdgeId e = graph_.add_edge(from, to);
+  weight_.push_back(weight);
+  return e;
+}
+
+void RetimeGraph::set_bounds(VertexId v, std::int64_t lower,
+                             std::int64_t upper) {
+  lower_[v.index()] = lower;
+  upper_[v.index()] = upper;
+  if (lower > -kNoBound || upper < kNoBound) has_bounds_ = true;
+}
+
+std::int64_t RetimeGraph::retimed_weight(
+    EdgeId e, const std::vector<std::int64_t>& r) const {
+  return weight_[e.index()] + r[graph_.to(e).index()] -
+         r[graph_.from(e).index()];
+}
+
+std::int64_t RetimeGraph::period(const std::vector<std::int64_t>& r) const {
+  // The host is sink-only in path computations: its out-edges (host -> PI)
+  // would otherwise close zero-weight cycles through the environment.
+  auto zero_weight = [&](EdgeId e) {
+    if (graph_.from(e) == host()) return false;
+    const std::int64_t w =
+        r.empty() ? weight_[e.index()] : retimed_weight(e, r);
+    return w == 0;
+  };
+  const auto dist = dag_longest_path(
+      graph_, [&](VertexId v) { return delay_[v.index()]; }, zero_weight);
+  if (!dist) throw std::logic_error("retime: zero-weight cycle");
+  return *std::max_element(dist->begin(), dist->end());
+}
+
+std::string RetimeGraph::check_legal(
+    const std::vector<std::int64_t>& r) const {
+  if (r.size() != vertex_count()) return "wrong labeling size";
+  if (r[host().index()] != 0) return "r(host) != 0";
+  for (std::size_t e = 0; e < graph_.edge_count(); ++e) {
+    const EdgeId id{static_cast<std::uint32_t>(e)};
+    if (retimed_weight(id, r) < 0) {
+      return str_format("negative weight on edge %zu (%s -> %s)", e,
+                        names_[graph_.from(id).index()].c_str(),
+                        names_[graph_.to(id).index()].c_str());
+    }
+  }
+  for (std::size_t v = 0; v < vertex_count(); ++v) {
+    if (r[v] < lower_[v] || r[v] > upper_[v]) {
+      return str_format("bounds violated at %s: r=%lld not in [%lld, %lld]",
+                        names_[v].c_str(), static_cast<long long>(r[v]),
+                        static_cast<long long>(lower_[v]),
+                        static_cast<long long>(upper_[v]));
+    }
+  }
+  return {};
+}
+
+std::int64_t RetimeGraph::shared_register_area(
+    const std::vector<std::int64_t>& r) const {
+  std::int64_t area = 0;
+  for (std::size_t v = 0; v < vertex_count(); ++v) {
+    std::int64_t worst = 0;
+    for (const EdgeId edge :
+         graph_.out_edges(VertexId{static_cast<std::uint32_t>(v)})) {
+      const std::int64_t w =
+          r.empty() ? weight_[edge.index()] : retimed_weight(edge, r);
+      worst = std::max(worst, w);
+    }
+    area += worst;
+  }
+  return area;
+}
+
+void RetimeGraph::apply(const std::vector<std::int64_t>& r) {
+  const std::string problem = check_legal(r);
+  if (!problem.empty()) {
+    throw std::invalid_argument("retime apply: " + problem);
+  }
+  for (std::size_t e = 0; e < graph_.edge_count(); ++e) {
+    const EdgeId id{static_cast<std::uint32_t>(e)};
+    weight_[id.index()] = retimed_weight(id, r);
+  }
+}
+
+}  // namespace mcrt

@@ -1,0 +1,132 @@
+#include "sim/equivalence.h"
+
+#include <algorithm>
+#include <map>
+
+#include "base/strings.h"
+#include "sim/simulator.h"
+
+namespace mcrt {
+namespace {
+
+struct IoMap {
+  // Input name -> net id in each circuit; output name -> PO position.
+  std::vector<std::pair<NetId, NetId>> inputs;  // (original, transformed)
+  std::vector<std::string> input_names;
+  std::vector<std::pair<std::size_t, std::size_t>> outputs;
+  std::vector<std::string> output_names;
+  std::string error;
+};
+
+IoMap build_io_map(const Netlist& a, const Netlist& b) {
+  IoMap map;
+  std::map<std::string, NetId> b_inputs;
+  for (const NodeId in : b.inputs()) {
+    b_inputs[b.node(in).name] = b.node(in).output;
+  }
+  for (const NodeId in : a.inputs()) {
+    const auto it = b_inputs.find(a.node(in).name);
+    if (it == b_inputs.end()) {
+      map.error = "input " + a.node(in).name + " missing in transformed";
+      return map;
+    }
+    map.inputs.push_back({a.node(in).output, it->second});
+    map.input_names.push_back(a.node(in).name);
+  }
+  std::map<std::string, std::size_t> b_outputs;
+  for (std::size_t i = 0; i < b.outputs().size(); ++i) {
+    b_outputs[b.node(b.outputs()[i]).name] = i;
+  }
+  for (std::size_t i = 0; i < a.outputs().size(); ++i) {
+    const std::string& name = a.node(a.outputs()[i]).name;
+    const auto it = b_outputs.find(name);
+    if (it == b_outputs.end()) {
+      map.error = "output " + name + " missing in transformed";
+      return map;
+    }
+    map.outputs.push_back({i, it->second});
+    map.output_names.push_back(name);
+  }
+  return map;
+}
+
+bool looks_like_reset(const std::string& name) {
+  return name.find("rst") != std::string::npos ||
+         name.find("reset") != std::string::npos ||
+         name.find("__por") != std::string::npos;
+}
+
+}  // namespace
+
+EquivalenceResult check_sequential_equivalence(const Netlist& original,
+                                               const Netlist& transformed,
+                                               const EquivalenceOptions& opt) {
+  EquivalenceResult result;
+  const IoMap io = build_io_map(original, transformed);
+  if (!io.error.empty()) {
+    result.equivalent = false;
+    result.counterexample = io.error;
+    return result;
+  }
+
+  std::vector<bool> is_reset(io.inputs.size(), false);
+  for (std::size_t i = 0; i < io.inputs.size(); ++i) {
+    if (opt.reset_inputs.empty()) {
+      is_reset[i] = looks_like_reset(io.input_names[i]);
+    } else {
+      is_reset[i] = std::find(opt.reset_inputs.begin(), opt.reset_inputs.end(),
+                              io.input_names[i]) != opt.reset_inputs.end();
+    }
+  }
+
+  Rng rng(opt.seed);
+  for (std::size_t run = 0; run < opt.runs; ++run) {
+    Simulator sim_a(original);
+    Simulator sim_b(transformed);
+    if (opt.init_registers_by_name) {
+      std::map<std::string, std::size_t> b_regs;
+      for (std::size_t r = 0; r < transformed.register_count(); ++r) {
+        b_regs[transformed.registers()[r].name] = r;
+      }
+      for (std::size_t r = 0; r < original.register_count(); ++r) {
+        const auto it = b_regs.find(original.registers()[r].name);
+        if (it == b_regs.end()) continue;
+        const Trit value = rng.chance(0.5) ? Trit::kOne : Trit::kZero;
+        sim_a.set_register_state(RegId{static_cast<std::uint32_t>(r)}, value);
+        sim_b.set_register_state(
+            RegId{static_cast<std::uint32_t>(it->second)}, value);
+      }
+    }
+    for (std::size_t cycle = 0; cycle < opt.cycles; ++cycle) {
+      for (std::size_t i = 0; i < io.inputs.size(); ++i) {
+        Trit value;
+        if (is_reset[i]) {
+          value = cycle < opt.reset_prefix ? Trit::kOne : Trit::kZero;
+        } else {
+          value = rng.chance(0.5) ? Trit::kOne : Trit::kZero;
+        }
+        sim_a.set_input(io.inputs[i].first, value);
+        sim_b.set_input(io.inputs[i].second, value);
+      }
+      const auto out_a = sim_a.step();
+      const auto out_b = sim_b.step();
+      if (cycle < opt.warmup) continue;
+      for (std::size_t o = 0; o < io.outputs.size(); ++o) {
+        const Trit va = out_a[io.outputs[o].first];
+        const Trit vb = out_b[io.outputs[o].second];
+        if (va == Trit::kUnknown) continue;  // original undefined: no claim
+        ++result.compared_defined_outputs;
+        if (vb != va) {
+          result.equivalent = false;
+          result.counterexample = str_format(
+              "run %zu cycle %zu output %s: original=%c transformed=%c", run,
+              cycle, io.output_names[o].c_str(), trit_char(va), trit_char(vb));
+          return result;
+        }
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace mcrt

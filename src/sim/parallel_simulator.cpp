@@ -1,0 +1,159 @@
+#include "sim/parallel_simulator.h"
+
+#include <stdexcept>
+
+namespace mcrt {
+
+TritWord tritword_merge(TritWord a, TritWord b) {
+  return {a.ones & b.ones, a.zeros & b.zeros};
+}
+
+TritWord tritword_ite(TritWord ctrl, TritWord a, TritWord b) {
+  const std::uint64_t x = ~ctrl.ones & ~ctrl.zeros;
+  TritWord out;
+  out.ones = (ctrl.ones & a.ones) | (ctrl.zeros & b.ones) |
+             (x & a.ones & b.ones);
+  out.zeros = (ctrl.ones & a.zeros) | (ctrl.zeros & b.zeros) |
+              (x & a.zeros & b.zeros);
+  return out;
+}
+
+TritWord tritword_eval(const TruthTable& f, const TritWord* pins) {
+  // A lane's output is 1 iff no consistent completion reaches the off-set
+  // (and symmetrically for 0) - the word-parallel form of the dual-rail
+  // lift used by the ternary BMC.
+  std::uint64_t on_reachable = 0;
+  std::uint64_t off_reachable = 0;
+  const std::uint32_t n = f.input_count();
+  for (std::uint32_t row = 0; row < (1u << n); ++row) {
+    std::uint64_t consistent = ~0ull;
+    for (std::uint32_t i = 0; i < n; ++i) {
+      consistent &= ((row >> i) & 1) ? ~pins[i].zeros : ~pins[i].ones;
+      if (consistent == 0) break;
+    }
+    if (f.eval(row)) {
+      on_reachable |= consistent;
+    } else {
+      off_reachable |= consistent;
+    }
+  }
+  return {on_reachable & ~off_reachable, off_reachable & ~on_reachable};
+}
+
+ParallelSimulator::ParallelSimulator(const Netlist& netlist)
+    : netlist_(netlist) {
+  const auto order = netlist.combinational_order();
+  if (!order) {
+    throw std::invalid_argument(
+        "ParallelSimulator: combinational cycle in netlist");
+  }
+  comb_order_ = *order;
+  reset_to_unknown();
+}
+
+void ParallelSimulator::reset_to_unknown() {
+  net_values_.assign(netlist_.net_count(), TritWord{});
+  reg_state_.assign(netlist_.register_count(), TritWord{});
+  input_values_.assign(netlist_.net_count(), TritWord{});
+}
+
+void ParallelSimulator::set_input(NetId input_net, TritWord value) {
+  input_values_[input_net.index()] = value;
+}
+
+TritWord ParallelSimulator::reg_output(std::size_t reg_index) const {
+  const Register& ff = netlist_.registers()[reg_index];
+  const TritWord state = reg_state_[reg_index];
+  if (!ff.async_ctrl.valid()) return state;
+  return tritword_ite(net_values_[ff.async_ctrl.index()],
+                      TritWord::all(reset_val_trit(ff.async_val)), state);
+}
+
+void ParallelSimulator::settle() {
+  const std::size_t bound = netlist_.register_count() + 2;
+  for (std::size_t iter = 0; iter <= bound + 1; ++iter) {
+    bool changed = false;
+    for (std::size_t r = 0; r < netlist_.register_count(); ++r) {
+      const NetId q = netlist_.registers()[r].q;
+      const TritWord value = reg_output(r);
+      if (!(net_values_[q.index()] == value)) {
+        net_values_[q.index()] = value;
+        changed = true;
+      }
+    }
+    for (const NodeId in : netlist_.inputs()) {
+      const NetId net = netlist_.node(in).output;
+      if (!(net_values_[net.index()] == input_values_[net.index()])) {
+        net_values_[net.index()] = input_values_[net.index()];
+        changed = true;
+      }
+    }
+    std::vector<TritWord> pins;
+    for (const NodeId id : comb_order_) {
+      const Node& node = netlist_.node(id);
+      pins.clear();
+      for (const NetId f : node.fanins) pins.push_back(net_values_[f.index()]);
+      const TritWord value = tritword_eval(node.function, pins.data());
+      if (!(net_values_[node.output.index()] == value)) {
+        net_values_[node.output.index()] = value;
+        changed = true;
+      }
+    }
+    if (!changed) return;
+    if (iter == bound) {
+      // Non-convergent async loop: degrade the involved lanes to X
+      // (pessimistic, same policy as the scalar simulator).
+      for (std::size_t r = 0; r < netlist_.register_count(); ++r) {
+        const Register& ff = netlist_.registers()[r];
+        if (!ff.async_ctrl.valid()) continue;
+        const TritWord ctrl = net_values_[ff.async_ctrl.index()];
+        const std::uint64_t not_stable_zero = ~ctrl.zeros;
+        TritWord& q = net_values_[ff.q.index()];
+        q.ones &= ~not_stable_zero;
+        q.zeros &= ~not_stable_zero;
+        reg_state_[r].ones &= ~not_stable_zero;
+        reg_state_[r].zeros &= ~not_stable_zero;
+      }
+    }
+  }
+}
+
+std::vector<TritWord> ParallelSimulator::output_values() const {
+  std::vector<TritWord> values;
+  values.reserve(netlist_.outputs().size());
+  for (const NodeId po : netlist_.outputs()) {
+    values.push_back(net_values_[netlist_.node(po).fanins[0].index()]);
+  }
+  return values;
+}
+
+void ParallelSimulator::clock_edge() {
+  std::vector<TritWord> next(reg_state_.size());
+  for (std::size_t r = 0; r < reg_state_.size(); ++r) {
+    const Register& ff = netlist_.registers()[r];
+    const TritWord current = net_values_[ff.q.index()];
+    TritWord value = net_values_[ff.d.index()];
+    if (ff.en.valid()) {
+      value = tritword_ite(net_values_[ff.en.index()], value, current);
+    }
+    if (ff.sync_ctrl.valid()) {
+      value = tritword_ite(net_values_[ff.sync_ctrl.index()],
+                           TritWord::all(reset_val_trit(ff.sync_val)), value);
+    }
+    if (ff.async_ctrl.valid()) {
+      value = tritword_ite(net_values_[ff.async_ctrl.index()],
+                           TritWord::all(reset_val_trit(ff.async_val)), value);
+    }
+    next[r] = value;
+  }
+  reg_state_ = std::move(next);
+}
+
+std::vector<TritWord> ParallelSimulator::step() {
+  settle();
+  auto outputs = output_values();
+  clock_edge();
+  return outputs;
+}
+
+}  // namespace mcrt

@@ -1,0 +1,167 @@
+#include "sim/simulator.h"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace mcrt {
+
+Simulator::Simulator(const Netlist& netlist) : netlist_(netlist) {
+  const auto order = netlist.combinational_order();
+  if (!order) {
+    throw std::invalid_argument("Simulator: combinational cycle in netlist");
+  }
+  comb_order_ = *order;
+  net_values_.assign(netlist.net_count(), Trit::kUnknown);
+  reg_state_.assign(netlist.register_count(), Trit::kUnknown);
+  input_values_.assign(netlist.net_count(), Trit::kUnknown);
+}
+
+void Simulator::reset_to_unknown() {
+  std::fill(net_values_.begin(), net_values_.end(), Trit::kUnknown);
+  std::fill(reg_state_.begin(), reg_state_.end(), Trit::kUnknown);
+  std::fill(input_values_.begin(), input_values_.end(), Trit::kUnknown);
+}
+
+void Simulator::set_input(NetId input_net, Trit value) {
+  assert(netlist_.net(input_net).driver.kind == NetDriver::Kind::kNode &&
+         netlist_.node(NodeId{netlist_.net(input_net).driver.index}).kind ==
+             NodeKind::kInput);
+  input_values_[input_net.index()] = value;
+}
+
+Trit Simulator::reg_output(std::size_t reg_index) const {
+  const Register& ff = netlist_.registers()[reg_index];
+  const Trit state = reg_state_[reg_index];
+  if (!ff.async_ctrl.valid()) return state;
+  const Trit ctrl = net_values_[ff.async_ctrl.index()];
+  const Trit forced = reset_val_trit(ff.async_val);
+  switch (ctrl) {
+    case Trit::kOne: return forced;
+    case Trit::kZero: return state;
+    case Trit::kUnknown: return trit_merge(forced, state);
+  }
+  return Trit::kUnknown;
+}
+
+void Simulator::settle() {
+  // The asynchronous override can feed back into its own control cone, so
+  // iterate combinational evaluation + async override to a fixed point.
+  // The value lattice is finite; bound the iteration and degrade any
+  // non-converged register output to X (pessimistic but sound).
+  const std::size_t bound = netlist_.register_count() + 2;
+  // One extra pass re-propagates after the non-convergence X-ing below.
+  for (std::size_t iter = 0; iter <= bound + 1; ++iter) {
+    // Register outputs (with async override based on current net values).
+    bool changed = false;
+    for (std::size_t r = 0; r < netlist_.register_count(); ++r) {
+      const NetId q = netlist_.registers()[r].q;
+      const Trit value = reg_output(r);
+      if (net_values_[q.index()] != value) {
+        net_values_[q.index()] = value;
+        changed = true;
+      }
+    }
+    // Primary inputs.
+    for (const NodeId in : netlist_.inputs()) {
+      const NetId net = netlist_.node(in).output;
+      if (net_values_[net.index()] != input_values_[net.index()]) {
+        net_values_[net.index()] = input_values_[net.index()];
+        changed = true;
+      }
+    }
+    // Combinational nodes in topological order.
+    std::vector<Trit> fanin_values;
+    for (const NodeId id : comb_order_) {
+      const Node& node = netlist_.node(id);
+      fanin_values.clear();
+      for (const NetId f : node.fanins) {
+        fanin_values.push_back(net_values_[f.index()]);
+      }
+      const Trit value = node.function.eval_ternary(fanin_values.data());
+      if (net_values_[node.output.index()] != value) {
+        net_values_[node.output.index()] = value;
+        changed = true;
+      }
+    }
+    if (!changed) return;
+    if (iter == bound) {
+      // No fixed point (oscillating async loop): X out all register outputs
+      // whose async control is not a stable 0, then settle once more.
+      for (std::size_t r = 0; r < netlist_.register_count(); ++r) {
+        const Register& ff = netlist_.registers()[r];
+        if (ff.async_ctrl.valid() &&
+            net_values_[ff.async_ctrl.index()] != Trit::kZero) {
+          net_values_[ff.q.index()] = Trit::kUnknown;
+          reg_state_[r] = Trit::kUnknown;
+        }
+      }
+    }
+  }
+}
+
+std::vector<Trit> Simulator::output_values() const {
+  std::vector<Trit> values;
+  values.reserve(netlist_.outputs().size());
+  for (const NodeId po : netlist_.outputs()) {
+    values.push_back(net_values_[netlist_.node(po).fanins[0].index()]);
+  }
+  return values;
+}
+
+void Simulator::clock_edge() {
+  std::vector<Trit> next(reg_state_.size());
+  for (std::size_t r = 0; r < reg_state_.size(); ++r) {
+    const Register& ff = netlist_.registers()[r];
+    // Effective current output (async may be overriding the stored state).
+    const Trit current = net_values_[ff.q.index()];
+    const Trit d = net_values_[ff.d.index()];
+
+    // Synchronous behaviour: sync set/clear beats enable.
+    Trit if_no_async;
+    const Trit sync = ff.sync_ctrl.valid()
+                          ? net_values_[ff.sync_ctrl.index()]
+                          : Trit::kZero;
+    const Trit loaded = [&] {
+      const Trit en =
+          ff.en.valid() ? net_values_[ff.en.index()] : Trit::kOne;
+      switch (en) {
+        case Trit::kOne: return d;
+        case Trit::kZero: return current;
+        case Trit::kUnknown: return trit_merge(d, current);
+      }
+      return Trit::kUnknown;
+    }();
+    switch (sync) {
+      case Trit::kOne: if_no_async = reset_val_trit(ff.sync_val); break;
+      case Trit::kZero: if_no_async = loaded; break;
+      case Trit::kUnknown:
+        if_no_async = trit_merge(reset_val_trit(ff.sync_val), loaded);
+        break;
+      default: if_no_async = Trit::kUnknown;
+    }
+
+    // Asynchronous control still asserted at (and after) the clock edge
+    // keeps the register in its forced state.
+    if (ff.async_ctrl.valid()) {
+      const Trit async = net_values_[ff.async_ctrl.index()];
+      const Trit forced = reset_val_trit(ff.async_val);
+      switch (async) {
+        case Trit::kOne: next[r] = forced; break;
+        case Trit::kZero: next[r] = if_no_async; break;
+        case Trit::kUnknown: next[r] = trit_merge(forced, if_no_async); break;
+      }
+    } else {
+      next[r] = if_no_async;
+    }
+  }
+  reg_state_ = std::move(next);
+}
+
+std::vector<Trit> Simulator::step() {
+  settle();
+  auto outputs = output_values();
+  clock_edge();
+  return outputs;
+}
+
+}  // namespace mcrt

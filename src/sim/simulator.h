@@ -1,0 +1,65 @@
+// Cycle-accurate three-valued (0/1/X) simulator for multiple-class netlists.
+//
+// Honors the full generic-register semantics (asynchronous set/clear
+// dominating, synchronous set/clear, load enable) with pessimistic X
+// propagation, so it can serve as the behavioural oracle for retiming:
+// a legal mc-retiming must never change a defined primary-output value.
+//
+// Single clock domain: all registers are assumed to share one clock event;
+// step() = settle combinational logic, sample outputs, apply the clock edge.
+// (The paper's register classes may differ in clk; circuits in this
+// repository use one clock, with classes induced by EN and set/clear nets.)
+#pragma once
+
+#include <vector>
+
+#include "netlist/netlist.h"
+
+namespace mcrt {
+
+class Simulator {
+ public:
+  explicit Simulator(const Netlist& netlist);
+
+  /// Resets all register states and nets to X.
+  void reset_to_unknown();
+
+  /// Sets the value of a primary input for the current cycle (by the net it
+  /// drives).
+  void set_input(NetId input_net, Trit value);
+
+  /// Propagates combinational logic and asynchronous set/clear to a fixed
+  /// point. Called automatically by step(); exposed for inspection.
+  void settle();
+
+  /// Value of any net after the last settle().
+  [[nodiscard]] Trit net_value(NetId net) const {
+    return net_values_[net.index()];
+  }
+  /// Values of primary outputs, in Netlist::outputs() order.
+  [[nodiscard]] std::vector<Trit> output_values() const;
+
+  /// Applies one clock edge: registers capture per their EN/sync semantics.
+  void clock_edge();
+
+  /// Convenience: settle, record outputs, clock. Inputs must be set first.
+  std::vector<Trit> step();
+
+  [[nodiscard]] Trit register_state(RegId reg) const {
+    return reg_state_[reg.index()];
+  }
+  void set_register_state(RegId reg, Trit value) {
+    reg_state_[reg.index()] = value;
+  }
+
+ private:
+  [[nodiscard]] Trit reg_output(std::size_t reg_index) const;
+
+  const Netlist& netlist_;
+  std::vector<NodeId> comb_order_;
+  std::vector<Trit> net_values_;
+  std::vector<Trit> reg_state_;
+  std::vector<Trit> input_values_;  // indexed by net
+};
+
+}  // namespace mcrt

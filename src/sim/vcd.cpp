@@ -1,0 +1,86 @@
+#include "sim/vcd.h"
+
+#include <fstream>
+#include <ostream>
+
+#include "base/strings.h"
+
+namespace mcrt {
+namespace {
+
+/// Short printable VCD identifier for variable index i.
+std::string vcd_id(std::size_t index) {
+  std::string id;
+  do {
+    id.push_back(static_cast<char>('!' + index % 94));
+    index /= 94;
+  } while (index != 0);
+  return id;
+}
+
+char vcd_value(Trit t) {
+  switch (t) {
+    case Trit::kZero: return '0';
+    case Trit::kOne: return '1';
+    case Trit::kUnknown: return 'x';
+  }
+  return 'x';
+}
+
+}  // namespace
+
+VcdTrace::VcdTrace(const Netlist& netlist, std::vector<NetId> nets)
+    : netlist_(netlist), nets_(std::move(nets)) {
+  if (nets_.empty()) {
+    for (const NodeId in : netlist.inputs()) {
+      nets_.push_back(netlist.node(in).output);
+    }
+    for (const Register& ff : netlist.registers()) {
+      nets_.push_back(ff.q);
+    }
+    for (const NodeId po : netlist.outputs()) {
+      nets_.push_back(netlist.node(po).fanins[0]);
+    }
+  }
+}
+
+void VcdTrace::sample(const Simulator& sim) {
+  std::vector<Trit> values;
+  values.reserve(nets_.size());
+  for (const NetId net : nets_) {
+    values.push_back(sim.net_value(net));
+  }
+  samples_.push_back(std::move(values));
+}
+
+void VcdTrace::write(std::ostream& out, const std::string& top_name) const {
+  out << "$timescale 1ns $end\n";
+  out << "$scope module " << top_name << " $end\n";
+  for (std::size_t i = 0; i < nets_.size(); ++i) {
+    out << "$var wire 1 " << vcd_id(i) << ' '
+        << netlist_.net(nets_[i]).name << " $end\n";
+  }
+  out << "$upscope $end\n$enddefinitions $end\n";
+  std::vector<char> last(nets_.size(), '?');
+  for (std::size_t t = 0; t < samples_.size(); ++t) {
+    out << '#' << t * 10 << '\n';
+    for (std::size_t i = 0; i < nets_.size(); ++i) {
+      const char value = vcd_value(samples_[t][i]);
+      if (value != last[i]) {
+        out << value << vcd_id(i) << '\n';
+        last[i] = value;
+      }
+    }
+  }
+  out << '#' << samples_.size() * 10 << '\n';
+}
+
+bool VcdTrace::write_file(const std::string& path,
+                          const std::string& top_name) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  write(out, top_name);
+  return out.good();
+}
+
+}  // namespace mcrt

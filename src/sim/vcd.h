@@ -1,0 +1,41 @@
+// VCD (Value Change Dump) tracing for the 3-valued simulator.
+//
+// Records selected nets each cycle and writes an IEEE 1364 VCD file that
+// standard waveform viewers (GTKWave etc.) open directly; X values map to
+// VCD 'x'. Intended for debugging retiming differences: trace the same
+// stimulus through the original and retimed circuits and diff the waves.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.h"
+#include "sim/simulator.h"
+
+namespace mcrt {
+
+class VcdTrace {
+ public:
+  /// Traces the given nets (empty = all named primary inputs, register
+  /// outputs and primary-output source nets).
+  VcdTrace(const Netlist& netlist, std::vector<NetId> nets = {});
+
+  /// Samples the simulator's current net values as one clock cycle.
+  void sample(const Simulator& sim);
+
+  /// Writes the VCD file: header, variable declarations and one timestep
+  /// per recorded sample.
+  void write(std::ostream& out, const std::string& top_name = "mcrt") const;
+  bool write_file(const std::string& path,
+                  const std::string& top_name = "mcrt") const;
+
+  [[nodiscard]] std::size_t sample_count() const { return samples_.size(); }
+
+ private:
+  const Netlist& netlist_;
+  std::vector<NetId> nets_;
+  std::vector<std::vector<Trit>> samples_;  ///< per cycle, per net
+};
+
+}  // namespace mcrt

@@ -1,0 +1,20 @@
+// Decomposition of wide combinational nodes into a 2-bounded network.
+//
+// FlowMap requires a k-bounded subject graph; decomposing every node into
+// 2-input AND/OR/INV (recursive Shannon expansion with constant and
+// single-variable simplification) both satisfies that requirement and gives
+// the mapper freedom to repack logic — which is what lets the Table 3
+// baseline's load-enable muxes get absorbed into neighbouring LUTs exactly
+// as a real synthesis flow would.
+#pragma once
+
+#include "netlist/netlist.h"
+
+namespace mcrt {
+
+/// Returns a functionally identical netlist in which every combinational
+/// node has at most two fanins. Registers, PIs and POs are preserved
+/// (by name); node delays are reset to 0 (the mapper reassigns them).
+Netlist decompose_to_binary(const Netlist& input);
+
+}  // namespace mcrt

@@ -1,0 +1,101 @@
+#include "tech/timing_report.h"
+
+#include <algorithm>
+
+#include "base/strings.h"
+#include "tech/sta.h"
+
+namespace mcrt {
+namespace {
+
+/// Backtracks a critical path ending at `net`: repeatedly follow the fanin
+/// with the latest arrival until a sequential/primary start point.
+std::vector<NetId> backtrack(const Netlist& netlist,
+                             const std::vector<std::int64_t>& arrival,
+                             NetId net) {
+  std::vector<NetId> reversed{net};
+  while (true) {
+    const NetDriver& driver = netlist.net(net).driver;
+    if (driver.kind != NetDriver::Kind::kNode) break;  // register Q
+    const Node& node = netlist.node(NodeId{driver.index});
+    if (node.kind != NodeKind::kLut || node.fanins.empty()) break;  // PI/const
+    NetId best = node.fanins[0];
+    for (const NetId f : node.fanins) {
+      if (arrival[f.index()] > arrival[best.index()]) best = f;
+    }
+    net = best;
+    reversed.push_back(net);
+  }
+  return {reversed.rbegin(), reversed.rend()};
+}
+
+}  // namespace
+
+std::vector<TimingPath> worst_paths(const Netlist& netlist, std::size_t k) {
+  const TimingReport report = analyze_timing(netlist);
+
+  struct Candidate {
+    std::int64_t delay;
+    NetId net;
+    TimingPath::Endpoint endpoint;
+    std::string name;
+  };
+  std::vector<Candidate> candidates;
+  for (const NodeId po : netlist.outputs()) {
+    const NetId net = netlist.node(po).fanins[0];
+    candidates.push_back({report.arrival[net.index()], net,
+                          TimingPath::Endpoint::kPrimaryOutput,
+                          netlist.node(po).name});
+  }
+  for (const Register& ff : netlist.registers()) {
+    candidates.push_back({report.arrival[ff.d.index()], ff.d,
+                          TimingPath::Endpoint::kRegisterD, ff.name});
+    for (const NetId ctrl : {ff.en, ff.sync_ctrl, ff.async_ctrl}) {
+      if (!ctrl.valid()) continue;
+      candidates.push_back({report.arrival[ctrl.index()], ctrl,
+                            TimingPath::Endpoint::kRegisterControl, ff.name});
+    }
+  }
+  std::stable_sort(candidates.begin(), candidates.end(),
+                   [](const Candidate& a, const Candidate& b) {
+                     return a.delay > b.delay;
+                   });
+  if (candidates.size() > k) candidates.resize(k);
+
+  std::vector<TimingPath> paths;
+  paths.reserve(candidates.size());
+  for (const Candidate& c : candidates) {
+    TimingPath path;
+    path.delay = c.delay;
+    path.endpoint = c.endpoint;
+    path.endpoint_name = c.name;
+    path.nets = backtrack(netlist, report.arrival, c.net);
+    paths.push_back(std::move(path));
+  }
+  return paths;
+}
+
+std::string format_timing_report(const Netlist& netlist,
+                                 const std::vector<TimingPath>& paths) {
+  std::string out;
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    const TimingPath& path = paths[i];
+    const char* kind =
+        path.endpoint == TimingPath::Endpoint::kRegisterD ? "reg D"
+        : path.endpoint == TimingPath::Endpoint::kRegisterControl
+            ? "reg ctrl"
+            : "output";
+    out += str_format("#%zu  delay %lld -> %s %s\n", i + 1,
+                      static_cast<long long>(path.delay), kind,
+                      path.endpoint_name.c_str());
+    out += "    ";
+    for (std::size_t n = 0; n < path.nets.size(); ++n) {
+      if (n != 0) out += " -> ";
+      out += netlist.net(path.nets[n]).name;
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace mcrt

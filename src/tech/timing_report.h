@@ -1,0 +1,38 @@
+// Critical-path extraction and timing reports.
+//
+// Beyond the single worst-path delay of sta.h, this module reconstructs the
+// K worst register-to-register (or I/O) combinational paths with their
+// through-points — the report a designer reads to see *where* retiming
+// helped and what limits the clock next. Used by the `mcrt timing` CLI
+// command and the examples.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.h"
+
+namespace mcrt {
+
+/// One combinational path from a timing start point to an endpoint.
+struct TimingPath {
+  std::int64_t delay = 0;
+  /// Kind of endpoint the path terminates at.
+  enum class Endpoint { kRegisterD, kRegisterControl, kPrimaryOutput };
+  Endpoint endpoint = Endpoint::kPrimaryOutput;
+  /// Name of the endpoint object (register or output).
+  std::string endpoint_name;
+  /// Nets along the path, start point first (a PI net or a register Q net).
+  std::vector<NetId> nets;
+};
+
+/// The K worst paths, most critical first. Paths are maximal (they begin
+/// at a sequential/primary start point). Ties broken deterministically.
+std::vector<TimingPath> worst_paths(const Netlist& netlist, std::size_t k);
+
+/// Human-readable report of the K worst paths.
+std::string format_timing_report(const Netlist& netlist,
+                                 const std::vector<TimingPath>& paths);
+
+}  // namespace mcrt

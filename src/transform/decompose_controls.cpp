@@ -1,0 +1,55 @@
+#include "transform/decompose_controls.h"
+
+#include "transform/rewrite.h"
+
+namespace mcrt {
+
+Netlist decompose_sync_controls(const Netlist& input) {
+  NetlistCopier copier(input);
+  return copier.run(
+      {},  // nodes copied verbatim
+      [&copier](const Register& mapped_spec) {
+        Register spec = mapped_spec;
+        if (spec.sync_ctrl.valid()) {
+          Netlist& out = copier.output();
+          const NetId c = spec.sync_ctrl;
+          if (spec.sync_val == ResetVal::kOne) {
+            spec.d = out.add_lut(TruthTable::or_n(2), {c, spec.d},
+                                 spec.name + "_ss");
+          } else {
+            // kZero and kDontCare both load a defined 0 (a concrete choice
+            // for '-' is always allowed).
+            const NetId cn =
+                out.add_lut(TruthTable::inverter(), {c}, spec.name + "_scn");
+            spec.d = out.add_lut(TruthTable::and_n(2), {cn, spec.d},
+                                 spec.name + "_sc");
+          }
+          if (spec.en.valid()) {
+            spec.en = out.add_lut(TruthTable::or_n(2), {spec.en, c},
+                                  spec.name + "_sen");
+          }
+          spec.sync_ctrl = NetId{};
+          spec.sync_val = ResetVal::kDontCare;
+        }
+        copier.output().add_register(std::move(spec));
+      });
+}
+
+Netlist decompose_load_enables(const Netlist& input) {
+  NetlistCopier copier(input);
+  return copier.run(
+      {},  // nodes copied verbatim
+      [&copier](const Register& mapped_spec) {
+        Register spec = mapped_spec;
+        if (spec.en.valid()) {
+          Netlist& out = copier.output();
+          // D' = en ? D : Q  — mux21 fanins are (sel, a, b): sel=0 -> a.
+          spec.d = out.add_lut(TruthTable::mux21(), {spec.en, spec.q, spec.d},
+                               spec.name + "_enmux");
+          spec.en = NetId{};
+        }
+        copier.output().add_register(std::move(spec));
+      });
+}
+
+}  // namespace mcrt

@@ -1,0 +1,28 @@
+// Decomposition of synchronous register controls into explicit logic.
+//
+// These transforms implement the two preprocessing commands used in the
+// paper's evaluation:
+//
+//  - decompose_sync_controls: XC4000E flip-flops have no synchronous
+//    set/clear, so the HDL-inferred SS/SC inputs are turned into gates in
+//    front of D ("all such inputs ... are decomposed into additional logic
+//    before the optimization and mapping", §6). With sync value s and
+//    control c:  s=0 -> D' = ~c & D,  s=1 -> D' = c | D, and the load
+//    enable (if any) becomes en' = en | c so the forced load wins.
+//
+//  - decompose_load_enables: the Table 3 baseline ("don't preserve the load
+//    enable inputs for retiming") replaces EN with a feedback multiplexer:
+//    D' = en ? D : Q.
+//
+// Asynchronous set/clear has no synchronous-logic equivalent (§1) and is
+// never decomposed.
+#pragma once
+
+#include "netlist/netlist.h"
+
+namespace mcrt {
+
+Netlist decompose_sync_controls(const Netlist& input);
+Netlist decompose_load_enables(const Netlist& input);
+
+}  // namespace mcrt

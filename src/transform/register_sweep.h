@@ -1,0 +1,23 @@
+// Register sharing as a standalone transform: merge registers that are
+// provably identical - same data input, same control signals (class-level
+// equality by net) and compatible reset values.
+//
+// This is the sequential counterpart of structural_hash(): HDL-generated
+// netlists routinely instantiate the same registered value several times
+// (the shift-group idiom), and every duplicate inflates both area and the
+// retiming graph. Within mc-retiming the rebuild step performs this
+// sharing implicitly; the standalone pass makes any flow benefit.
+#pragma once
+
+#include "netlist/netlist.h"
+
+namespace mcrt {
+
+struct RegisterSweepStats {
+  std::size_t merged_registers = 0;
+};
+
+Netlist register_sweep(const Netlist& input,
+                       RegisterSweepStats* stats = nullptr);
+
+}  // namespace mcrt

@@ -1,0 +1,53 @@
+#include "transform/rewrite.h"
+
+#include <stdexcept>
+
+namespace mcrt {
+
+Netlist NetlistCopier::run(const NodeHook& node_hook,
+                           const RegisterHook& register_hook) {
+  for (const NodeId in : input_.inputs()) {
+    set_mapped(input_.node(in).output, output_.add_input(input_.node(in).name));
+  }
+  for (const Register& ff : input_.registers()) {
+    set_mapped(ff.q, output_.add_net(input_.net(ff.q).name));
+  }
+  const auto order = input_.combinational_order();
+  if (!order) throw std::invalid_argument("rewrite: cyclic netlist");
+  for (const NodeId id : *order) {
+    const Node& node = input_.node(id);
+    std::vector<NetId> fanins;
+    fanins.reserve(node.fanins.size());
+    for (const NetId f : node.fanins) fanins.push_back(mapped(f));
+    NetId result;
+    if (node_hook) {
+      result = node_hook(node, fanins);
+    } else {
+      result = output_.add_lut(node.function, std::move(fanins), node.name);
+      output_.set_node_delay(NodeId{output_.net(result).driver.index},
+                             node.delay);
+    }
+    set_mapped(node.output, result);
+  }
+  for (const Register& ff : input_.registers()) {
+    Register spec = ff;
+    spec.d = mapped(ff.d);
+    spec.q = mapped(ff.q);
+    spec.clk = mapped(ff.clk);
+    if (ff.en.valid()) spec.en = mapped(ff.en);
+    if (ff.sync_ctrl.valid()) spec.sync_ctrl = mapped(ff.sync_ctrl);
+    if (ff.async_ctrl.valid()) spec.async_ctrl = mapped(ff.async_ctrl);
+    if (register_hook) {
+      register_hook(spec);
+    } else {
+      output_.add_register(std::move(spec));
+    }
+  }
+  for (const NodeId po : input_.outputs()) {
+    const Node& node = input_.node(po);
+    output_.add_output(node.name, mapped(node.fanins[0]));
+  }
+  return std::move(output_);
+}
+
+}  // namespace mcrt

@@ -1,0 +1,73 @@
+#include "transform/strash.h"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+#include <vector>
+
+#include "transform/rewrite.h"
+
+namespace mcrt {
+namespace {
+
+/// Canonicalizes pin order: sorts fanins by net id and permutes the truth
+/// table to match, so commuted instances (AND(a,b) vs AND(b,a)) share one
+/// key. Permutation: new pin j reads the old pin perm[j].
+void canonicalize(TruthTable& tt, std::vector<NetId>& fanins) {
+  const std::uint32_t n = tt.input_count();
+  std::vector<std::uint32_t> perm(n);
+  std::iota(perm.begin(), perm.end(), 0u);
+  std::stable_sort(perm.begin(), perm.end(),
+                   [&](std::uint32_t a, std::uint32_t b) {
+                     return fanins[a] < fanins[b];
+                   });
+  bool identity = true;
+  for (std::uint32_t j = 0; j < n; ++j) identity &= perm[j] == j;
+  if (identity) return;
+  std::uint64_t bits = 0;
+  for (std::uint32_t row = 0; row < (1u << n); ++row) {
+    std::uint32_t old_row = 0;
+    for (std::uint32_t j = 0; j < n; ++j) {
+      if ((row >> j) & 1) old_row |= 1u << perm[j];
+    }
+    if (tt.eval(old_row)) bits |= std::uint64_t{1} << row;
+  }
+  std::vector<NetId> sorted;
+  sorted.reserve(n);
+  for (std::uint32_t j = 0; j < n; ++j) sorted.push_back(fanins[perm[j]]);
+  fanins = std::move(sorted);
+  tt = TruthTable(n, bits);
+}
+
+}  // namespace
+
+Netlist structural_hash(const Netlist& input, StrashStats* stats) {
+  NetlistCopier copier(input);
+  // Exact structural key: truth-table bits/arity followed by fanin ids in
+  // the *new* netlist (so chains of duplicates merge transitively). Pin
+  // order is canonicalized first, making the key commutation-invariant.
+  using Key = std::vector<std::uint64_t>;
+  std::map<Key, NetId> table;
+  return copier.run(
+      [&](const Node& node, const std::vector<NetId>& mapped_fanins) {
+        TruthTable tt = node.function;
+        std::vector<NetId> fanins = mapped_fanins;
+        canonicalize(tt, fanins);
+        Key key;
+        key.reserve(fanins.size() + 1);
+        key.push_back((tt.bits() << 6) | tt.input_count());
+        for (const NetId f : fanins) key.push_back(f.value());
+        if (const auto it = table.find(key); it != table.end()) {
+          if (stats) ++stats->merged_nodes;
+          return it->second;
+        }
+        const NetId result = copier.output().add_lut(tt, fanins, node.name);
+        copier.output().set_node_delay(
+            NodeId{copier.output().net(result).driver.index}, node.delay);
+        table.emplace(std::move(key), result);
+        return result;
+      },
+      {});
+}
+
+}  // namespace mcrt

@@ -1,0 +1,22 @@
+// Structural hashing: merge combinational nodes computing the same
+// function of the same fanins.
+//
+// The classic synthesis cleanup (ABC's "strash" at LUT granularity): after
+// generation or remapping, duplicate gates waste area and inflate the
+// retiming graph. One topological pass hash-conses every node on its exact
+// (truth table, fanin list) key; registers, I/O and names are preserved.
+// Unlike sweep() this never changes logic depth or removes live logic -
+// it only merges exact duplicates - so it composes with any flow stage.
+#pragma once
+
+#include "netlist/netlist.h"
+
+namespace mcrt {
+
+struct StrashStats {
+  std::size_t merged_nodes = 0;
+};
+
+Netlist structural_hash(const Netlist& input, StrashStats* stats = nullptr);
+
+}  // namespace mcrt

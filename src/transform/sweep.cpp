@@ -1,0 +1,306 @@
+#include "transform/sweep.h"
+
+#include <optional>
+#include <set>
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+namespace mcrt {
+namespace {
+
+class Sweeper {
+ public:
+  explicit Sweeper(const Netlist& input, SweepStats* stats)
+      : input_(input), stats_(stats) {}
+
+  Netlist run() {
+    fold_constants();
+    mark_live();
+    return rebuild();
+  }
+
+ private:
+  // Lattice value per input net: constant or unknown.
+  using MaybeConst = std::optional<bool>;
+
+  MaybeConst net_const(NetId id) const {
+    auto it = const_.find(id.value());
+    return it == const_.end() ? std::nullopt : MaybeConst(it->second);
+  }
+
+  void fold_constants() {
+    const auto order = input_.combinational_order();
+    if (!order) throw std::invalid_argument("sweep: cyclic netlist");
+    comb_order_ = *order;
+    for (const NodeId id : comb_order_) {
+      const Node& node = input_.node(id);
+      if (node.kind != NodeKind::kLut) continue;
+      // Reduce the function by known-constant fanins.
+      TruthTable tt = node.function;
+      std::vector<NetId> fanins = node.fanins;
+      // Reduce to a fixed point: removing one input can make another
+      // redundant (e.g. AND(a, 0) leaves a constant that frees `a`).
+      bool reduced_any = true;
+      while (reduced_any) {
+        reduced_any = false;
+        for (std::size_t i = 0; i < fanins.size();) {
+          const MaybeConst c = net_const(fanins[i]);
+          if (c) {
+            tt = tt.cofactor(static_cast<std::uint32_t>(i), *c);
+            fanins.erase(fanins.begin() + static_cast<long>(i));
+            reduced_any = true;
+            continue;
+          }
+          if (tt.input_redundant(static_cast<std::uint32_t>(i))) {
+            tt = tt.cofactor(static_cast<std::uint32_t>(i), false);
+            fanins.erase(fanins.begin() + static_cast<long>(i));
+            reduced_any = true;
+            continue;
+          }
+          ++i;
+        }
+      }
+      if (tt.input_count() == 0) {
+        const_[node.output.value()] = tt.eval(0);
+        if (stats_) ++stats_->constants_folded;
+      } else if (tt == TruthTable::buffer()) {
+        forward_[node.output.value()] = fanins[0];
+        // Inherit constness through the buffer chain.
+        if (const MaybeConst c = net_const(fanins[0])) {
+          const_[node.output.value()] = *c;
+        }
+      } else {
+        reduced_[id.value()] = {tt, std::move(fanins)};
+      }
+    }
+    // Registers whose async control is constant 1 output a constant.
+    for (std::size_t r = 0; r < input_.register_count(); ++r) {
+      const Register& ff = input_.registers()[r];
+      if (ff.async_ctrl.valid() && net_const(ff.async_ctrl) == MaybeConst(true)
+          && ff.async_val != ResetVal::kDontCare) {
+        const_[ff.q.value()] = ff.async_val == ResetVal::kOne;
+        reg_folded_.insert(static_cast<std::uint32_t>(r));
+      }
+    }
+  }
+
+  /// Final replacement for a net: follows buffer forwarding.
+  NetId resolve(NetId id) const {
+    auto it = forward_.find(id.value());
+    while (it != forward_.end()) {
+      id = it->second;
+      it = forward_.find(id.value());
+    }
+    return id;
+  }
+
+  void mark_live() {
+    live_net_.assign(input_.net_count(), false);
+    live_reg_.assign(input_.register_count(), false);
+    std::vector<NetId> worklist;
+    auto touch = [&](NetId id) {
+      if (!id.valid()) return;
+      id = resolve(id);
+      if (net_const(id)) return;  // constants need no cone
+      if (!live_net_[id.index()]) {
+        live_net_[id.index()] = true;
+        worklist.push_back(id);
+      }
+    };
+    for (const NodeId po : input_.outputs()) {
+      touch(input_.node(po).fanins[0]);
+    }
+    // Reader map from register Q nets to registers.
+    std::unordered_map<std::uint32_t, std::uint32_t> q_to_reg;
+    for (std::size_t r = 0; r < input_.register_count(); ++r) {
+      q_to_reg[input_.registers()[r].q.value()] =
+          static_cast<std::uint32_t>(r);
+    }
+    while (!worklist.empty()) {
+      const NetId net = worklist.back();
+      worklist.pop_back();
+      const NetDriver& driver = input_.net(net).driver;
+      if (driver.kind == NetDriver::Kind::kNode) {
+        const Node& node = input_.node(NodeId{driver.index});
+        if (node.kind != NodeKind::kLut) continue;  // PI: nothing upstream
+        auto it = reduced_.find(driver.index);
+        if (it != reduced_.end()) {
+          for (const NetId f : it->second.second) touch(f);
+        }
+        // Folded-to-constant and buffer nodes were resolved by touch().
+      } else if (driver.kind == NetDriver::Kind::kRegister) {
+        const std::uint32_t r = driver.index;
+        if (reg_folded_.count(r)) continue;
+        if (!live_reg_[r]) {
+          live_reg_[r] = true;
+          const Register& ff = input_.registers()[r];
+          touch(ff.d);
+          touch(ff.clk);
+          touch(ff.en);
+          touch(ff.sync_ctrl);
+          touch(ff.async_ctrl);
+        }
+      }
+    }
+  }
+
+  Netlist rebuild() {
+    Netlist out;
+    std::unordered_map<std::uint32_t, NetId> map;  // old live net -> new
+    NetId const_nets[2];
+    auto new_net_for = [&](NetId old_net) -> NetId {
+      old_net = resolve(old_net);
+      if (const MaybeConst c = net_const(old_net)) {
+        NetId& cached = const_nets[*c ? 1 : 0];
+        if (!cached.valid()) cached = out.add_const(*c);
+        return cached;
+      }
+      return map.at(old_net.value());
+    };
+    for (const NodeId in : input_.inputs()) {
+      const NetId old_net = input_.node(in).output;
+      // PIs are always kept: the interface must not change.
+      map[old_net.value()] = out.add_input(input_.node(in).name);
+    }
+    for (std::size_t r = 0; r < input_.register_count(); ++r) {
+      if (!live_reg_[r]) continue;
+      const NetId q = input_.registers()[r].q;
+      map[q.value()] = out.add_net(input_.net(q).name);
+    }
+    for (const NodeId id : comb_order_) {
+      const Node& node = input_.node(id);
+      if (node.kind != NodeKind::kLut) continue;
+      if (!live_net_[resolve(node.output).index()] ||
+          resolve(node.output) != node.output) {
+        if (stats_) ++stats_->nodes_removed;
+        continue;
+      }
+      auto it = reduced_.find(id.value());
+      if (it == reduced_.end()) continue;  // folded to constant
+      std::vector<NetId> fanins;
+      for (const NetId f : it->second.second) fanins.push_back(new_net_for(f));
+      const NetId result =
+          out.add_lut(it->second.first, std::move(fanins), node.name);
+      out.set_node_delay(NodeId{out.net(result).driver.index}, node.delay);
+      map[node.output.value()] = result;
+    }
+    for (std::size_t r = 0; r < input_.register_count(); ++r) {
+      if (!live_reg_[r]) {
+        if (stats_) ++stats_->registers_removed;
+        continue;
+      }
+      const Register& ff = input_.registers()[r];
+      Register spec = ff;
+      spec.d = new_net_for(ff.d);
+      spec.q = map.at(ff.q.value());
+      spec.clk = new_net_for(ff.clk);
+      spec.en = {};
+      spec.sync_ctrl = {};
+      spec.async_ctrl = {};
+      if (ff.en.valid()) {
+        const MaybeConst c = net_const(resolve(ff.en));
+        if (!c) {
+          spec.en = new_net_for(ff.en);
+        } else if (!*c) {
+          // en = const 0: the register never loads from D. Its stored value
+          // is undefined until a set/clear forces it, after which it can
+          // never change again - so driving D with that forced value (or 0
+          // when there is none) refines the undefined prefix soundly and
+          // avoids a driverless register self-loop.
+          ResetVal held = ResetVal::kZero;
+          if (ff.async_ctrl.valid() && ff.async_val != ResetVal::kDontCare) {
+            held = ff.async_val;
+          } else if (ff.sync_ctrl.valid() &&
+                     ff.sync_val != ResetVal::kDontCare) {
+            held = ff.sync_val;
+          }
+          NetId& cached = const_nets[held == ResetVal::kOne ? 1 : 0];
+          if (!cached.valid()) cached = out.add_const(held == ResetVal::kOne);
+          spec.d = cached;
+        }
+      }
+      if (ff.sync_ctrl.valid()) {
+        const MaybeConst c = net_const(resolve(ff.sync_ctrl));
+        if (!c) {
+          spec.sync_ctrl = new_net_for(ff.sync_ctrl);
+        } else if (*c) {
+          // sync = const 1: loads the sync value every cycle.
+          NetId& cached = const_nets[ff.sync_val == ResetVal::kOne ? 1 : 0];
+          if (!cached.valid()) {
+            cached = out.add_const(ff.sync_val == ResetVal::kOne);
+          }
+          spec.d = cached;
+        }
+        if (!spec.sync_ctrl.valid()) spec.sync_val = ResetVal::kDontCare;
+      }
+      if (ff.async_ctrl.valid()) {
+        const MaybeConst c = net_const(resolve(ff.async_ctrl));
+        if (!c) {
+          spec.async_ctrl = new_net_for(ff.async_ctrl);
+        }
+        // async = const 1 was folded earlier; const 0 simply drops.
+        if (!spec.async_ctrl.valid()) spec.async_val = ResetVal::kDontCare;
+      }
+      out.add_register(std::move(spec));
+    }
+    for (const NodeId po : input_.outputs()) {
+      out.add_output(input_.node(po).name,
+                     new_net_for(input_.node(po).fanins[0]));
+    }
+    break_register_rings(out);
+    return out;
+  }
+
+  /// Pure register rings (D chains that never pass a combinational node,
+  /// e.g. after a feedback gate collapsed to a buffer) get one explicit
+  /// buffer node inserted: downstream retiming graphs need a gate vertex on
+  /// every register chain, and the buffer changes no behaviour.
+  static void break_register_rings(Netlist& out) {
+    const std::size_t reg_count = out.register_count();
+    // 0 = unvisited, 1 = on current walk, 2 = finished.
+    std::vector<std::uint8_t> state(reg_count, 0);
+    for (std::size_t start = 0; start < reg_count; ++start) {
+      if (state[start] != 0) continue;
+      std::vector<std::uint32_t> path;
+      std::uint32_t cur = static_cast<std::uint32_t>(start);
+      while (true) {
+        if (state[cur] == 1) {
+          // Found a ring: break it at `cur`.
+          const NetId old_d = out.reg(RegId{cur}).d;
+          const NetId buffered =
+              out.add_lut(TruthTable::buffer(), {old_d});
+          out.reg(RegId{cur}).d = buffered;
+          break;
+        }
+        if (state[cur] == 2) break;
+        state[cur] = 1;
+        path.push_back(cur);
+        const NetDriver& driver = out.net(out.reg(RegId{cur}).d).driver;
+        if (driver.kind != NetDriver::Kind::kRegister) break;
+        cur = driver.index;
+      }
+      for (const std::uint32_t r : path) state[r] = 2;
+    }
+  }
+
+  const Netlist& input_;
+  SweepStats* stats_;
+  std::vector<NodeId> comb_order_;
+  std::unordered_map<std::uint32_t, bool> const_;
+  std::unordered_map<std::uint32_t, NetId> forward_;
+  /// Reduced (tt, fanins) per surviving LUT node id.
+  std::unordered_map<std::uint32_t, std::pair<TruthTable, std::vector<NetId>>>
+      reduced_;
+  std::set<std::uint32_t> reg_folded_;
+  std::vector<bool> live_net_;
+  std::vector<bool> live_reg_;
+};
+
+}  // namespace
+
+Netlist sweep(const Netlist& input, SweepStats* stats) {
+  return Sweeper(input, stats).run();
+}
+
+}  // namespace mcrt

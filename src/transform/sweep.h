@@ -1,0 +1,26 @@
+// Sweep: constant propagation, buffer collapsing and dead-logic removal.
+//
+// Run after control decomposition and before mapping (and again after
+// remap) to keep netlists clean, mirroring the "optimization" step of the
+// paper's synthesis scripts. Semantics-preserving simplifications only:
+//  - combinational nodes with constant fanins are cofactored/folded;
+//  - buffer nodes are bypassed;
+//  - register controls tied to constants are simplified (en=1 dropped,
+//    sync/async=0 dropped, async=1 folds the register to a constant);
+//  - nodes and registers not reachable from any primary output (through
+//    data or register-control dependencies) are deleted.
+#pragma once
+
+#include "netlist/netlist.h"
+
+namespace mcrt {
+
+struct SweepStats {
+  std::size_t nodes_removed = 0;
+  std::size_t registers_removed = 0;
+  std::size_t constants_folded = 0;
+};
+
+Netlist sweep(const Netlist& input, SweepStats* stats = nullptr);
+
+}  // namespace mcrt

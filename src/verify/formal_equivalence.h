@@ -1,0 +1,63 @@
+// Formal sequential equivalence checking via BDD reachability.
+//
+// Builds the product machine of two netlists (inputs matched by name),
+// computes the set of states reachable after a reset prefix (reset-like
+// inputs held at 1, as in the simulation oracle), and verifies that every
+// reachable state produces identical primary outputs for every input.
+//
+// This is the classical symbolic model-checking complement to the
+// simulation-based oracle in sim/equivalence.h: exhaustive over inputs and
+// reachable states, applicable to small circuits (the state space is
+// explored symbolically but BDDs still grow with register count).
+//
+// Register semantics follow the simulator exactly: the asynchronous
+// control acts as a per-cycle combinational override,
+//   Q_eff = async ? a : state,
+//   state' = async ? a : (sync ? s : (en ? D : Q_eff)).
+// Control values that are '-' with a wired control are refined to 0,
+// mirroring what rebuild_netlist materializes.
+//
+// The verdict is *reset-synchronized* equivalence: starting from the
+// universal product state set, the reset prefix must collapse both
+// machines into agreeing states. For circuits whose resets fully define
+// every register this is exact. Circuits with unresettable state generally
+// report kMismatch even against themselves (two copies can start in
+// different states) - that is the honest formal answer; use the 3-valued
+// simulation oracle (sim/equivalence.h) for don't-care-aware comparison.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.h"
+
+namespace mcrt {
+
+struct FormalOptions {
+  /// Cycles with reset-like inputs held 1 before outputs are compared.
+  std::size_t reset_cycles = 2;
+  /// Input names treated as reset-like; empty = "rst"/"reset"/"__por"
+  /// substring heuristic (same as the simulation oracle).
+  std::vector<std::string> reset_inputs;
+  /// Refuse circuits whose combined register count exceeds this.
+  std::size_t max_state_bits = 24;
+  /// Safety cap on reachability iterations (diameter bound).
+  std::size_t max_iterations = 256;
+};
+
+struct FormalResult {
+  enum class Verdict {
+    kEquivalent,     ///< outputs agree on all reachable states and inputs
+    kMismatch,       ///< a reachable state + input distinguishes the two
+    kUnsupported,    ///< too many state bits / structural mismatch
+  };
+  Verdict verdict = Verdict::kUnsupported;
+  std::string detail;
+  std::size_t iterations = 0;  ///< image steps until the fixpoint
+};
+
+FormalResult check_formal_equivalence(const Netlist& a, const Netlist& b,
+                                      const FormalOptions& options = {});
+
+}  // namespace mcrt

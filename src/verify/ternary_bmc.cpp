@@ -1,0 +1,248 @@
+#include "verify/ternary_bmc.h"
+
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "base/strings.h"
+#include "bdd/bdd.h"
+
+namespace mcrt {
+namespace {
+
+/// Dual-rail value: hi = "definitely 1", lo = "definitely 0".
+/// Invariant: hi AND lo is unsatisfiable. X = neither.
+struct Rail {
+  BddRef hi = BddManager::kFalse;
+  BddRef lo = BddManager::kFalse;
+};
+
+Rail known(bool value) {
+  return value ? Rail{BddManager::kTrue, BddManager::kFalse}
+               : Rail{BddManager::kFalse, BddManager::kTrue};
+}
+
+Rail unknown() { return {BddManager::kFalse, BddManager::kFalse}; }
+
+Rail from_reset_val(ResetVal v) {
+  switch (v) {
+    case ResetVal::kZero: return known(false);
+    case ResetVal::kOne: return known(true);
+    case ResetVal::kDontCare: return unknown();
+  }
+  return unknown();
+}
+
+/// Symbolic one-cycle evaluation of a netlist in dual-rail encoding.
+class RailEvaluator {
+ public:
+  RailEvaluator(const Netlist& netlist, BddManager& bdd)
+      : netlist_(netlist), bdd_(bdd) {
+    comb_order_ = *netlist.combinational_order();
+  }
+
+  /// Ternary multiplexer: ctrl == 1 -> a, ctrl == 0 -> b, ctrl X -> merge.
+  Rail rail_ite(const Rail& ctrl, const Rail& a, const Rail& b) {
+    const BddRef ctrl_x = bdd_.bdd_and(bdd_.bdd_not(ctrl.hi),
+                                       bdd_.bdd_not(ctrl.lo));
+    Rail out;
+    out.hi = bdd_.bdd_or(
+        bdd_.bdd_or(bdd_.bdd_and(ctrl.hi, a.hi), bdd_.bdd_and(ctrl.lo, b.hi)),
+        bdd_.bdd_and(ctrl_x, bdd_.bdd_and(a.hi, b.hi)));
+    out.lo = bdd_.bdd_or(
+        bdd_.bdd_or(bdd_.bdd_and(ctrl.hi, a.lo), bdd_.bdd_and(ctrl.lo, b.lo)),
+        bdd_.bdd_and(ctrl_x, bdd_.bdd_and(a.lo, b.lo)));
+    return out;
+  }
+
+  /// Lifts a truth table: the output is definitely 1 iff no input
+  /// completion consistent with the rails reaches the off-set.
+  Rail apply(const TruthTable& f, const std::vector<Rail>& pins) {
+    BddRef off_reachable = BddManager::kFalse;
+    BddRef on_reachable = BddManager::kFalse;
+    for (std::uint32_t row = 0; row < (1u << f.input_count()); ++row) {
+      BddRef consistent = BddManager::kTrue;
+      for (std::uint32_t i = 0; i < f.input_count(); ++i) {
+        // Input i can take bit b unless the opposite rail is asserted.
+        const BddRef blocked = ((row >> i) & 1) ? pins[i].lo : pins[i].hi;
+        consistent = bdd_.bdd_and(consistent, bdd_.bdd_not(blocked));
+        if (consistent == BddManager::kFalse) break;
+      }
+      if (f.eval(row)) {
+        on_reachable = bdd_.bdd_or(on_reachable, consistent);
+      } else {
+        off_reachable = bdd_.bdd_or(off_reachable, consistent);
+      }
+    }
+    Rail out;
+    out.hi = bdd_.bdd_and(on_reachable, bdd_.bdd_not(off_reachable));
+    out.lo = bdd_.bdd_and(off_reachable, bdd_.bdd_not(on_reachable));
+    return out;
+  }
+
+  /// Evaluates all nets for one cycle given register-state rails and
+  /// input rails (by input name).
+  void settle(const std::vector<Rail>& state,
+              const std::unordered_map<std::string, Rail>& inputs) {
+    net_rail_.assign(netlist_.net_count(), unknown());
+    for (const NodeId in : netlist_.inputs()) {
+      net_rail_[netlist_.node(in).output.index()] =
+          inputs.at(netlist_.node(in).name);
+    }
+    // Register outputs with the asynchronous override. The async control
+    // may itself be combinational; one extra settle round reaches the
+    // fixed point for acyclic (through Q_eff) dependencies, matching the
+    // simulator's iteration. Two rounds suffice for the circuits this
+    // checker accepts; a mid-cycle change triggers another round.
+    for (std::size_t iter = 0; iter < netlist_.register_count() + 2; ++iter) {
+      bool changed = false;
+      for (std::size_t r = 0; r < netlist_.register_count(); ++r) {
+        const Register& ff = netlist_.registers()[r];
+        Rail value = state[r];
+        if (ff.async_ctrl.valid()) {
+          value = rail_ite(net_rail_[ff.async_ctrl.index()],
+                           from_reset_val(ff.async_val), state[r]);
+        }
+        Rail& slot = net_rail_[ff.q.index()];
+        if (slot.hi != value.hi || slot.lo != value.lo) {
+          slot = value;
+          changed = true;
+        }
+      }
+      for (const NodeId id : comb_order_) {
+        const Node& node = netlist_.node(id);
+        if (node.kind != NodeKind::kLut) continue;
+        std::vector<Rail> pins;
+        pins.reserve(node.fanins.size());
+        for (const NetId f : node.fanins) pins.push_back(net_rail_[f.index()]);
+        const Rail value = apply(node.function, pins);
+        Rail& slot = net_rail_[node.output.index()];
+        if (slot.hi != value.hi || slot.lo != value.lo) {
+          slot = value;
+          changed = true;
+        }
+      }
+      if (!changed) break;
+    }
+  }
+
+  [[nodiscard]] const Rail& net(NetId id) const {
+    return net_rail_[id.index()];
+  }
+
+  /// Next register states after a clock edge.
+  std::vector<Rail> clock(const std::vector<Rail>& state) {
+    std::vector<Rail> next(state.size());
+    for (std::size_t r = 0; r < netlist_.register_count(); ++r) {
+      const Register& ff = netlist_.registers()[r];
+      Rail value = net_rail_[ff.d.index()];
+      const Rail current = net_rail_[ff.q.index()];
+      if (ff.en.valid()) {
+        value = rail_ite(net_rail_[ff.en.index()], value, current);
+      }
+      if (ff.sync_ctrl.valid()) {
+        value = rail_ite(net_rail_[ff.sync_ctrl.index()],
+                         from_reset_val(ff.sync_val), value);
+      }
+      if (ff.async_ctrl.valid()) {
+        value = rail_ite(net_rail_[ff.async_ctrl.index()],
+                         from_reset_val(ff.async_val), value);
+      }
+      next[r] = value;
+    }
+    return next;
+  }
+
+ private:
+  const Netlist& netlist_;
+  BddManager& bdd_;
+  std::vector<NodeId> comb_order_;
+  std::vector<Rail> net_rail_;
+};
+
+}  // namespace
+
+TernaryBmcResult check_ternary_bmc(const Netlist& original,
+                                   const Netlist& transformed,
+                                   const TernaryBmcOptions& options) {
+  TernaryBmcResult result;
+
+  // Interface matching (inputs by name; outputs by name).
+  std::map<std::string, int> input_names;
+  for (const NodeId in : original.inputs()) {
+    input_names[original.node(in).name] |= 1;
+  }
+  for (const NodeId in : transformed.inputs()) {
+    input_names[transformed.node(in).name] |= 2;
+  }
+  for (const auto& [name, mask] : input_names) {
+    if (mask != 3) {
+      result.detail = "input mismatch: " + name;
+      return result;
+    }
+  }
+  std::map<std::string, std::size_t> a_outputs;
+  for (std::size_t i = 0; i < original.outputs().size(); ++i) {
+    a_outputs[original.node(original.outputs()[i]).name] = i;
+  }
+  std::vector<std::pair<std::size_t, std::size_t>> output_pairs;
+  for (std::size_t i = 0; i < transformed.outputs().size(); ++i) {
+    const auto it =
+        a_outputs.find(transformed.node(transformed.outputs()[i]).name);
+    if (it == a_outputs.end()) {
+      result.detail = "output mismatch";
+      return result;
+    }
+    output_pairs.push_back({it->second, i});
+  }
+
+  const std::size_t vars = options.depth * input_names.size();
+  if (vars > options.max_input_vars) {
+    result.detail = str_format("needs %zu input variables (cap %zu)", vars,
+                               options.max_input_vars);
+    return result;
+  }
+
+  BddManager bdd;
+  RailEvaluator eval_a(original, bdd);
+  RailEvaluator eval_b(transformed, bdd);
+
+  std::vector<Rail> state_a(original.register_count(), unknown());
+  std::vector<Rail> state_b(transformed.register_count(), unknown());
+  std::uint32_t next_var = 0;
+  for (std::size_t cycle = 0; cycle < options.depth; ++cycle) {
+    // Fresh symbolic (binary) input per cycle, shared by both circuits.
+    std::unordered_map<std::string, Rail> inputs;
+    for (const auto& [name, mask] : input_names) {
+      const BddRef v = bdd.var(next_var++);
+      inputs.emplace(name, Rail{v, bdd.bdd_not(v)});
+    }
+    eval_a.settle(state_a, inputs);
+    eval_b.settle(state_b, inputs);
+    for (const auto& [ia, ib] : output_pairs) {
+      const Rail a =
+          eval_a.net(original.node(original.outputs()[ia]).fanins[0]);
+      const Rail b = eval_b.net(
+          transformed.node(transformed.outputs()[ib]).fanins[0]);
+      // Contract violation: A defined but B not equal (or undefined).
+      const BddRef bad = bdd.bdd_or(bdd.bdd_and(a.hi, bdd.bdd_not(b.hi)),
+                                    bdd.bdd_and(a.lo, bdd.bdd_not(b.lo)));
+      if (bad != BddManager::kFalse) {
+        result.verdict = TernaryBmcResult::Verdict::kMismatch;
+        result.mismatch_cycle = cycle;
+        result.detail = str_format(
+            "output %s distinguishable at cycle %zu",
+            original.node(original.outputs()[ia]).name.c_str(), cycle);
+        return result;
+      }
+    }
+    state_a = eval_a.clock(state_a);
+    state_b = eval_b.clock(state_b);
+  }
+  result.verdict = TernaryBmcResult::Verdict::kEquivalentUpToDepth;
+  result.detail = str_format("no distinguishing sequence within %zu cycles",
+                             options.depth);
+  return result;
+}
+
+}  // namespace mcrt

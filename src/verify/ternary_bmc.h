@@ -1,0 +1,51 @@
+// Bounded model checking with exact 3-valued (dual-rail) semantics.
+//
+// The simulation oracle (sim/equivalence.h) checks the retiming contract -
+// "whenever the original circuit's output is defined, the transformed
+// circuit produces the same value" - on random stimulus. This module checks
+// the same property *exhaustively over all input sequences* up to a bounded
+// depth K, with both circuits starting from the all-X state, by symbolic
+// simulation in a dual-rail encoding:
+//
+//   every signal s at cycle t is a pair of BDDs (hi, lo) over the primary
+//   inputs of cycles 0..t;  hi = "s is definitely 1", lo = "s is
+//   definitely 0", X = neither. Gates lift through their truth tables
+//   (out is 1 iff no consistent completion hits the off-set), registers
+//   through the full EN / sync / async semantics.
+//
+// A mismatch witness is an input sequence on which the original output is
+// defined and the transformed one differs (or is X). Complements
+// formal_equivalence.h: that module is unbounded-depth but needs resets to
+// define the state; this one handles undefined state exactly but is
+// bounded in depth and in input count (K * #inputs BDD variables).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "netlist/netlist.h"
+
+namespace mcrt {
+
+struct TernaryBmcOptions {
+  std::size_t depth = 8;           ///< cycles to unroll
+  std::size_t max_input_vars = 96; ///< refuse beyond this many BDD vars
+};
+
+struct TernaryBmcResult {
+  enum class Verdict {
+    kEquivalentUpToDepth,  ///< no distinguishing sequence within the bound
+    kMismatch,             ///< witness sequence exists
+    kUnsupported,
+  };
+  Verdict verdict = Verdict::kUnsupported;
+  std::string detail;
+  /// For kMismatch: the first cycle at which outputs can differ.
+  std::size_t mismatch_cycle = 0;
+};
+
+TernaryBmcResult check_ternary_bmc(const Netlist& original,
+                                   const Netlist& transformed,
+                                   const TernaryBmcOptions& options = {});
+
+}  // namespace mcrt

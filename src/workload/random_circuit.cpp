@@ -1,0 +1,108 @@
+#include "workload/random_circuit.h"
+
+#include "base/rng.h"
+#include "base/strings.h"
+
+namespace mcrt {
+
+Netlist random_sequential_circuit(std::uint64_t seed,
+                                  const RandomCircuitOptions& options) {
+  Rng rng(seed);
+  Netlist netlist;
+
+  const NetId clk = netlist.add_input("clk");
+  NetId rst;
+  if (options.use_async || options.use_sync) {
+    rst = netlist.add_input("rst");
+  }
+  std::vector<NetId> pool;
+  for (std::size_t i = 0; i < options.inputs; ++i) {
+    pool.push_back(netlist.add_input(str_format("in%zu", i)));
+  }
+  auto pick = [&] { return pool[rng.below(pool.size())]; };
+
+  // Control signatures: (en, sync, async) selections reused by registers.
+  struct Signature {
+    NetId en;
+    NetId sync_ctrl;
+    ResetVal sync_val = ResetVal::kDontCare;
+    NetId async_ctrl;
+    ResetVal async_val = ResetVal::kDontCare;
+  };
+  std::vector<Signature> signatures;
+  for (std::size_t i = 0; i < std::max<std::size_t>(options.control_signatures, 1);
+       ++i) {
+    Signature sig;
+    if (options.use_en && rng.chance(0.7)) {
+      sig.en = netlist.add_lut(
+          rng.chance(0.5) ? TruthTable::or_n(2) : TruthTable::nand_n(2),
+          {pick(), pick()}, str_format("ctl_en%zu", i));
+    }
+    if (options.use_async && rng.chance(0.8)) {
+      sig.async_ctrl = rst;
+      sig.async_val = rng.chance(0.3) ? ResetVal::kOne : ResetVal::kZero;
+    }
+    if (options.use_sync && rng.chance(0.5)) {
+      sig.sync_ctrl = rst;
+      sig.sync_val = rng.chance(0.5) ? ResetVal::kOne : ResetVal::kZero;
+    }
+    signatures.push_back(sig);
+  }
+
+  auto add_register = [&](NetId d, NetId q) {
+    const Signature& sig = signatures[rng.below(signatures.size())];
+    Register spec;
+    spec.d = d;
+    spec.q = q;
+    spec.clk = clk;
+    spec.en = sig.en;
+    spec.sync_ctrl = sig.sync_ctrl;
+    spec.sync_val = sig.sync_ctrl.valid() ? sig.sync_val
+                                          : ResetVal::kDontCare;
+    spec.async_ctrl = sig.async_ctrl;
+    spec.async_val = sig.async_ctrl.valid() ? sig.async_val
+                                            : ResetVal::kDontCare;
+    return netlist.add_register(std::move(spec));
+  };
+
+  // Feedback registers: D nets pre-created, driven by gates added later.
+  std::vector<NetId> feedback_d;
+  for (std::size_t i = 0; i < options.feedback_registers; ++i) {
+    const NetId d = netlist.add_net(str_format("fb%zu_d", i));
+    feedback_d.push_back(d);
+    pool.push_back(add_register(d, NetId{}));
+  }
+
+  // Random gates and registers interleaved.
+  const std::size_t total =
+      options.gates + options.registers;
+  std::size_t regs_left = options.registers;
+  for (std::size_t step = 0; step < total; ++step) {
+    const bool make_reg =
+        regs_left > 0 &&
+        rng.below(total - step) < regs_left;
+    if (make_reg) {
+      pool.push_back(add_register(pick(), NetId{}));
+      --regs_left;
+    } else {
+      const std::size_t arity = 1 + rng.below(4);  // 1..4
+      std::vector<NetId> fanins;
+      for (std::size_t k = 0; k < arity; ++k) fanins.push_back(pick());
+      TruthTable tt(static_cast<std::uint32_t>(arity),
+                    rng.next());  // random function
+      pool.push_back(netlist.add_lut(tt, std::move(fanins)));
+    }
+  }
+
+  // Close the feedback loops.
+  for (const NetId d : feedback_d) {
+    netlist.add_lut_driving(d, TruthTable::xor_n(2), {pick(), pick()});
+  }
+
+  for (std::size_t i = 0; i < options.outputs; ++i) {
+    netlist.add_output(str_format("out%zu", i), pick());
+  }
+  return netlist;
+}
+
+}  // namespace mcrt

@@ -1,0 +1,30 @@
+// Random sequential circuits for property-based tests.
+//
+// Structurally valid by construction (acyclic combinational logic, every
+// net driven); registers draw their controls from a small set of class
+// signatures so multiple-class behaviour is exercised. Feedback registers
+// (whose data cones see their own output) are added explicitly.
+#pragma once
+
+#include <cstdint>
+
+#include "netlist/netlist.h"
+
+namespace mcrt {
+
+struct RandomCircuitOptions {
+  std::size_t gates = 40;
+  std::size_t registers = 10;
+  std::size_t feedback_registers = 2;
+  std::size_t inputs = 5;
+  std::size_t outputs = 4;
+  std::size_t control_signatures = 3;
+  bool use_async = true;
+  bool use_en = true;
+  bool use_sync = false;
+};
+
+Netlist random_sequential_circuit(std::uint64_t seed,
+                                  const RandomCircuitOptions& options = {});
+
+}  // namespace mcrt

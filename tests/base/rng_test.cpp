@@ -1,0 +1,78 @@
+#include "base/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace mcrt {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next(), b.next());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next() == b.next()) ++same;
+  }
+  EXPECT_LT(same, 4);
+}
+
+TEST(RngTest, BelowStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.below(17), 17u);
+  }
+}
+
+TEST(RngTest, BelowCoversAllValues) {
+  Rng rng(9);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.below(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(RngTest, RangeInclusive) {
+  Rng rng(3);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 5000; ++i) {
+    const std::int64_t v = rng.range(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, ChanceExtremes) {
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng rng(11);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+}  // namespace
+}  // namespace mcrt

@@ -1,0 +1,46 @@
+#include "base/strings.h"
+
+#include <gtest/gtest.h>
+
+namespace mcrt {
+namespace {
+
+TEST(StringsTest, SplitBasic) {
+  const auto tokens = split_tokens("a b  c");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0], "a");
+  EXPECT_EQ(tokens[1], "b");
+  EXPECT_EQ(tokens[2], "c");
+}
+
+TEST(StringsTest, SplitEmptyAndWhitespaceOnly) {
+  EXPECT_TRUE(split_tokens("").empty());
+  EXPECT_TRUE(split_tokens("   \t ").empty());
+}
+
+TEST(StringsTest, SplitCustomDelims) {
+  const auto tokens = split_tokens("a=b:c", "=:");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[2], "c");
+}
+
+TEST(StringsTest, TrimBothEnds) {
+  EXPECT_EQ(trim("  hi \t\r\n"), "hi");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim(" \n "), "");
+  EXPECT_EQ(trim("x"), "x");
+}
+
+TEST(StringsTest, StartsWith) {
+  EXPECT_TRUE(starts_with(".names a b", ".names"));
+  EXPECT_FALSE(starts_with(".name", ".names"));
+  EXPECT_TRUE(starts_with("abc", ""));
+}
+
+TEST(StringsTest, Format) {
+  EXPECT_EQ(str_format("v%u=%s", 3u, "x"), "v3=x");
+  EXPECT_EQ(str_format("%s", ""), "");
+}
+
+}  // namespace
+}  // namespace mcrt

@@ -1,0 +1,53 @@
+#include "base/timer.h"
+
+#include <gtest/gtest.h>
+
+namespace mcrt {
+namespace {
+
+TEST(TimerTest, MonotoneNonNegative) {
+  Timer t;
+  const double a = t.seconds();
+  const double b = t.seconds();
+  EXPECT_GE(a, 0.0);
+  EXPECT_GE(b, a);
+}
+
+TEST(PhaseProfileTest, AccumulatesAndOrders) {
+  PhaseProfile profile;
+  profile.add("x", 1.0);
+  profile.add("y", 3.0);
+  profile.add("x", 1.0);
+  EXPECT_DOUBLE_EQ(profile.total(), 5.0);
+  EXPECT_DOUBLE_EQ(profile.seconds("x"), 2.0);
+  EXPECT_DOUBLE_EQ(profile.percent("x"), 40.0);
+  ASSERT_EQ(profile.phases().size(), 2u);
+  EXPECT_EQ(profile.phases()[0], "x");
+}
+
+TEST(PhaseProfileTest, EmptyProfile) {
+  PhaseProfile profile;
+  EXPECT_DOUBLE_EQ(profile.total(), 0.0);
+  EXPECT_DOUBLE_EQ(profile.percent("missing"), 0.0);
+}
+
+TEST(PhaseProfileTest, Merge) {
+  PhaseProfile a;
+  a.add("x", 1.0);
+  PhaseProfile b;
+  b.add("x", 2.0);
+  b.add("z", 1.0);
+  a.merge(b);
+  EXPECT_DOUBLE_EQ(a.seconds("x"), 3.0);
+  EXPECT_DOUBLE_EQ(a.seconds("z"), 1.0);
+}
+
+TEST(PhaseProfileTest, ScopedPhaseAddsTime) {
+  PhaseProfile profile;
+  { ScopedPhase scope(profile, "work"); }
+  EXPECT_GE(profile.seconds("work"), 0.0);
+  EXPECT_EQ(profile.phases().size(), 1u);
+}
+
+}  // namespace
+}  // namespace mcrt

@@ -1,0 +1,136 @@
+// Property tests for the BDD package against truth-table references:
+// random expressions over up to 6 variables must evaluate identically, and
+// structural operations (restrict/compose/exists) must obey their
+// definitional identities on random functions.
+#include <gtest/gtest.h>
+
+#include "base/rng.h"
+#include "bdd/bdd.h"
+
+namespace mcrt {
+namespace {
+
+/// Random expression builder producing a BDD and a 64-bit truth table over
+/// 6 variables simultaneously.
+struct Expression {
+  BddRef bdd;
+  std::uint64_t table;  // minterm i = value under assignment bits i
+};
+
+constexpr std::uint64_t kVarTable[6] = {
+    0xAAAAAAAAAAAAAAAAULL, 0xCCCCCCCCCCCCCCCCULL, 0xF0F0F0F0F0F0F0F0ULL,
+    0xFF00FF00FF00FF00ULL, 0xFFFF0000FFFF0000ULL, 0xFFFFFFFF00000000ULL,
+};
+
+Expression random_expression(BddManager& bdd, Rng& rng, int depth) {
+  if (depth == 0 || rng.chance(0.3)) {
+    const std::uint32_t v = static_cast<std::uint32_t>(rng.below(6));
+    return {bdd.var(v), kVarTable[v]};
+  }
+  const Expression a = random_expression(bdd, rng, depth - 1);
+  switch (rng.below(4)) {
+    case 0: {
+      const Expression b = random_expression(bdd, rng, depth - 1);
+      return {bdd.bdd_and(a.bdd, b.bdd), a.table & b.table};
+    }
+    case 1: {
+      const Expression b = random_expression(bdd, rng, depth - 1);
+      return {bdd.bdd_or(a.bdd, b.bdd), a.table | b.table};
+    }
+    case 2: {
+      const Expression b = random_expression(bdd, rng, depth - 1);
+      return {bdd.bdd_xor(a.bdd, b.bdd), a.table ^ b.table};
+    }
+    default:
+      return {bdd.bdd_not(a.bdd), ~a.table};
+  }
+}
+
+class BddProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BddProperty, EvalMatchesTruthTable) {
+  BddManager bdd;
+  Rng rng(GetParam());
+  const Expression e = random_expression(bdd, rng, 4);
+  for (std::uint32_t row = 0; row < 64; ++row) {
+    std::vector<bool> assignment(6);
+    for (int v = 0; v < 6; ++v) assignment[v] = (row >> v) & 1;
+    EXPECT_EQ(bdd.eval(e.bdd, assignment),
+              static_cast<bool>((e.table >> row) & 1))
+        << "row " << row;
+  }
+}
+
+TEST_P(BddProperty, SemanticEqualityIsPointerEquality) {
+  BddManager bdd;
+  Rng rng(GetParam());
+  const Expression e = random_expression(bdd, rng, 4);
+  // Rebuild a logically equal function: double negation + xor with false.
+  const BddRef same = bdd.bdd_xor(bdd.bdd_not(bdd.bdd_not(e.bdd)),
+                                  BddManager::kFalse);
+  EXPECT_EQ(same, e.bdd);
+}
+
+TEST_P(BddProperty, ShannonExpansionIdentity) {
+  BddManager bdd;
+  Rng rng(GetParam());
+  const Expression e = random_expression(bdd, rng, 4);
+  for (std::uint32_t v = 0; v < 6; ++v) {
+    const BddRef expanded =
+        bdd.ite(bdd.var(v), bdd.restrict_var(e.bdd, v, true),
+                bdd.restrict_var(e.bdd, v, false));
+    EXPECT_EQ(expanded, e.bdd) << "var " << v;
+  }
+}
+
+TEST_P(BddProperty, ComposeWithSelfIsIdentity) {
+  BddManager bdd;
+  Rng rng(GetParam());
+  const Expression e = random_expression(bdd, rng, 3);
+  for (std::uint32_t v = 0; v < 6; ++v) {
+    EXPECT_EQ(bdd.compose(e.bdd, v, bdd.var(v)), e.bdd);
+  }
+}
+
+TEST_P(BddProperty, ExistsIsUnionOfCofactors) {
+  BddManager bdd;
+  Rng rng(GetParam());
+  const Expression e = random_expression(bdd, rng, 4);
+  for (std::uint32_t v = 0; v < 6; ++v) {
+    const BddRef expected = bdd.bdd_or(bdd.restrict_var(e.bdd, v, false),
+                                       bdd.restrict_var(e.bdd, v, true));
+    EXPECT_EQ(bdd.exists(e.bdd, v), expected);
+  }
+}
+
+TEST_P(BddProperty, ShortestCubeIsImplicant) {
+  BddManager bdd;
+  Rng rng(GetParam());
+  const Expression e = random_expression(bdd, rng, 4);
+  const auto cube = bdd.shortest_cube(e.bdd);
+  if (e.bdd == BddManager::kFalse) {
+    EXPECT_FALSE(cube);
+    return;
+  }
+  ASSERT_TRUE(cube);
+  // Restricting by every literal of the cube must give the constant true.
+  BddRef rest = e.bdd;
+  for (const auto& lit : *cube) {
+    rest = bdd.restrict_var(rest, lit.var, lit.value);
+  }
+  EXPECT_EQ(rest, BddManager::kTrue);
+}
+
+TEST_P(BddProperty, SatCountMatchesPopcount) {
+  BddManager bdd;
+  Rng rng(GetParam());
+  const Expression e = random_expression(bdd, rng, 4);
+  EXPECT_DOUBLE_EQ(bdd.sat_count(e.bdd, 6),
+                   static_cast<double>(__builtin_popcountll(e.table)));
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomExpressions, BddProperty,
+                         ::testing::Range<std::uint64_t>(1, 21));
+
+}  // namespace
+}  // namespace mcrt

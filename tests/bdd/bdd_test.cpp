@@ -1,0 +1,163 @@
+#include "bdd/bdd.h"
+
+#include <gtest/gtest.h>
+
+namespace mcrt {
+namespace {
+
+TEST(BddTest, TerminalIdentities) {
+  BddManager bdd;
+  EXPECT_EQ(bdd.bdd_not(BddManager::kFalse), BddManager::kTrue);
+  EXPECT_EQ(bdd.bdd_and(BddManager::kTrue, BddManager::kTrue),
+            BddManager::kTrue);
+  EXPECT_EQ(bdd.bdd_or(BddManager::kFalse, BddManager::kFalse),
+            BddManager::kFalse);
+}
+
+TEST(BddTest, HashConsing) {
+  BddManager bdd;
+  const BddRef x = bdd.var(0);
+  const BddRef y = bdd.var(1);
+  // (x & y) built twice is the same node.
+  EXPECT_EQ(bdd.bdd_and(x, y), bdd.bdd_and(x, y));
+  // Commuted form too (semantic equality).
+  EXPECT_EQ(bdd.bdd_and(x, y), bdd.bdd_and(y, x));
+}
+
+TEST(BddTest, DeMorgan) {
+  BddManager bdd;
+  const BddRef x = bdd.var(0);
+  const BddRef y = bdd.var(1);
+  const BddRef lhs = bdd.bdd_not(bdd.bdd_and(x, y));
+  const BddRef rhs = bdd.bdd_or(bdd.bdd_not(x), bdd.bdd_not(y));
+  EXPECT_EQ(lhs, rhs);
+}
+
+TEST(BddTest, XorProperties) {
+  BddManager bdd;
+  const BddRef x = bdd.var(0);
+  const BddRef y = bdd.var(1);
+  EXPECT_EQ(bdd.bdd_xor(x, x), BddManager::kFalse);
+  EXPECT_EQ(bdd.bdd_xor(x, BddManager::kFalse), x);
+  EXPECT_EQ(bdd.bdd_xnor(x, y), bdd.bdd_not(bdd.bdd_xor(x, y)));
+}
+
+TEST(BddTest, EvalMatchesSemantics) {
+  BddManager bdd;
+  const BddRef x = bdd.var(0);
+  const BddRef y = bdd.var(1);
+  const BddRef z = bdd.var(2);
+  const BddRef f = bdd.bdd_or(bdd.bdd_and(x, y), z);
+  for (int bits = 0; bits < 8; ++bits) {
+    const std::vector<bool> assignment = {static_cast<bool>(bits & 1),
+                                          static_cast<bool>(bits & 2),
+                                          static_cast<bool>(bits & 4)};
+    const bool expected =
+        (assignment[0] && assignment[1]) || assignment[2];
+    EXPECT_EQ(bdd.eval(f, assignment), expected);
+  }
+}
+
+TEST(BddTest, RestrictAndCompose) {
+  BddManager bdd;
+  const BddRef x = bdd.var(0);
+  const BddRef y = bdd.var(1);
+  const BddRef f = bdd.bdd_xor(x, y);
+  EXPECT_EQ(bdd.restrict_var(f, 0, false), y);
+  EXPECT_EQ(bdd.restrict_var(f, 0, true), bdd.bdd_not(y));
+  // f[x := y] = y xor y = 0.
+  EXPECT_EQ(bdd.compose(f, 0, y), BddManager::kFalse);
+}
+
+TEST(BddTest, Exists) {
+  BddManager bdd;
+  const BddRef x = bdd.var(0);
+  const BddRef y = bdd.var(1);
+  const BddRef f = bdd.bdd_and(x, y);
+  EXPECT_EQ(bdd.exists(f, 0), y);
+  EXPECT_EQ(bdd.exists(bdd.exists(f, 0), 1), BddManager::kTrue);
+}
+
+TEST(BddTest, ShortestCubePrefersFewLiterals) {
+  BddManager bdd;
+  const BddRef x = bdd.var(0);
+  const BddRef y = bdd.var(1);
+  const BddRef z = bdd.var(2);
+  // f = (x & y & z) | !x : the cube {x=0} suffices.
+  const BddRef f =
+      bdd.bdd_or(bdd.bdd_and(bdd.bdd_and(x, y), z), bdd.bdd_not(x));
+  const auto cube = bdd.shortest_cube(f);
+  ASSERT_TRUE(cube);
+  EXPECT_EQ(cube->size(), 1u);
+  EXPECT_EQ((*cube)[0].var, 0u);
+  EXPECT_FALSE((*cube)[0].value);
+}
+
+TEST(BddTest, ShortestCubeOfFalseIsNullopt) {
+  BddManager bdd;
+  EXPECT_FALSE(bdd.shortest_cube(BddManager::kFalse));
+}
+
+TEST(BddTest, ShortestCubeOfTrueIsEmpty) {
+  BddManager bdd;
+  const auto cube = bdd.shortest_cube(BddManager::kTrue);
+  ASSERT_TRUE(cube);
+  EXPECT_TRUE(cube->empty());
+}
+
+TEST(BddTest, ShortestCubeSatisfies) {
+  BddManager bdd;
+  const BddRef a = bdd.var(0);
+  const BddRef b = bdd.var(1);
+  const BddRef c = bdd.var(2);
+  const BddRef f = bdd.bdd_and(bdd.bdd_xor(a, b), bdd.bdd_or(b, c));
+  const auto cube = bdd.shortest_cube(f);
+  ASSERT_TRUE(cube);
+  // Complete the cube arbitrarily (unassigned = false) and check eval.
+  std::vector<bool> assignment(3, false);
+  for (const auto& lit : *cube) assignment[lit.var] = lit.value;
+  // Every completion must satisfy f; check both completions of each
+  // unassigned variable by brute force.
+  std::vector<bool> assigned(3, false);
+  for (const auto& lit : *cube) assigned[lit.var] = true;
+  for (int bits = 0; bits < 8; ++bits) {
+    std::vector<bool> full = assignment;
+    for (int i = 0; i < 3; ++i) {
+      if (!assigned[i]) full[i] = (bits >> i) & 1;
+    }
+    EXPECT_TRUE(bdd.eval(f, full));
+  }
+}
+
+TEST(BddTest, SatCount) {
+  BddManager bdd;
+  const BddRef x = bdd.var(0);
+  const BddRef y = bdd.var(1);
+  EXPECT_DOUBLE_EQ(bdd.sat_count(bdd.bdd_and(x, y), 2), 1.0);
+  EXPECT_DOUBLE_EQ(bdd.sat_count(bdd.bdd_or(x, y), 2), 3.0);
+  EXPECT_DOUBLE_EQ(bdd.sat_count(bdd.bdd_xor(x, y), 3), 4.0);  // free z
+}
+
+TEST(BddTest, Support) {
+  BddManager bdd;
+  const BddRef x = bdd.var(0);
+  const BddRef z = bdd.var(2);
+  const BddRef f = bdd.bdd_and(x, z);
+  const auto support = bdd.support(f);
+  ASSERT_EQ(support.size(), 2u);
+  EXPECT_EQ(support[0], 0u);
+  EXPECT_EQ(support[1], 2u);
+}
+
+TEST(BddTest, IteGeneral) {
+  BddManager bdd;
+  const BddRef x = bdd.var(0);
+  const BddRef y = bdd.var(1);
+  const BddRef z = bdd.var(2);
+  const BddRef f = bdd.ite(x, y, z);
+  EXPECT_EQ(bdd.restrict_var(f, 0, true), y);
+  EXPECT_EQ(bdd.restrict_var(f, 0, false), z);
+}
+
+}  // namespace
+}  // namespace mcrt

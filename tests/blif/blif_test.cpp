@@ -1,0 +1,205 @@
+#include "blif/blif.h"
+
+#include <gtest/gtest.h>
+
+#include "../common/test_circuits.h"
+#include "sim/equivalence.h"
+
+namespace mcrt {
+namespace {
+
+Netlist parse_ok(const std::string& text) {
+  auto result = read_blif_string(text);
+  if (auto* err = std::get_if<BlifError>(&result)) {
+    ADD_FAILURE() << "line " << err->line << ": " << err->message;
+    return Netlist{};
+  }
+  return std::move(std::get<Netlist>(result));
+}
+
+BlifError parse_err(const std::string& text) {
+  auto result = read_blif_string(text);
+  if (std::holds_alternative<Netlist>(result)) {
+    ADD_FAILURE() << "expected parse error";
+    return {};
+  }
+  return std::get<BlifError>(result);
+}
+
+TEST(BlifReaderTest, MinimalCombinational) {
+  const Netlist n = parse_ok(R"(
+.model t
+.inputs a b
+.outputs y
+.names a b y
+11 1
+.end
+)");
+  EXPECT_EQ(n.inputs().size(), 2u);
+  EXPECT_EQ(n.outputs().size(), 1u);
+  EXPECT_TRUE(n.validate().empty());
+  const auto stats = n.stats();
+  EXPECT_EQ(stats.luts, 1u);
+}
+
+TEST(BlifReaderTest, CoverSemanticsAnd) {
+  const Netlist n = parse_ok(
+      ".inputs a b\n.outputs y\n.names a b y\n11 1\n.end\n");
+  // Find the LUT and verify it is AND2.
+  for (const Node& node : n.nodes()) {
+    if (node.kind == NodeKind::kLut) {
+      EXPECT_EQ(node.function, TruthTable::and_n(2));
+    }
+  }
+}
+
+TEST(BlifReaderTest, DontCareCubes) {
+  const Netlist n = parse_ok(
+      ".inputs a b\n.outputs y\n.names a b y\n1- 1\n-1 1\n.end\n");
+  for (const Node& node : n.nodes()) {
+    if (node.kind == NodeKind::kLut) {
+      EXPECT_EQ(node.function, TruthTable::or_n(2));
+    }
+  }
+}
+
+TEST(BlifReaderTest, OffsetCover) {
+  const Netlist n = parse_ok(
+      ".inputs a b\n.outputs y\n.names a b y\n11 0\n.end\n");
+  for (const Node& node : n.nodes()) {
+    if (node.kind == NodeKind::kLut) {
+      EXPECT_EQ(node.function, TruthTable::nand_n(2));
+    }
+  }
+}
+
+TEST(BlifReaderTest, ConstantFunctions) {
+  const Netlist n = parse_ok(
+      ".inputs a\n.outputs y z\n.names y\n1\n.names z\n.names a unused\n1 1\n.end\n");
+  EXPECT_EQ(n.const_value(n.node(n.outputs()[0]).fanins[0]), true);
+  EXPECT_EQ(n.const_value(n.node(n.outputs()[1]).fanins[0]), false);
+}
+
+TEST(BlifReaderTest, LatchWithClockAndInit) {
+  const Netlist n = parse_ok(R"(
+.inputs d clk
+.outputs q
+.latch d q re clk 0
+.end
+)");
+  ASSERT_EQ(n.register_count(), 1u);
+  const Register& ff = n.reg(RegId{0});
+  EXPECT_EQ(n.net(ff.clk).name, "clk");
+  // init 0 becomes an async clear from the synthetic power-on-reset input.
+  ASSERT_TRUE(ff.async_ctrl.valid());
+  EXPECT_EQ(ff.async_val, ResetVal::kZero);
+  EXPECT_EQ(n.net(ff.async_ctrl).name, "__por");
+}
+
+TEST(BlifReaderTest, LatchDefaultClockSynthesized) {
+  const Netlist n = parse_ok(
+      ".inputs d\n.outputs q\n.latch d q 2\n.end\n");
+  ASSERT_EQ(n.register_count(), 1u);
+  EXPECT_EQ(n.net(n.reg(RegId{0}).clk).name, "__clk");
+}
+
+TEST(BlifReaderTest, McLatchFull) {
+  const Netlist n = parse_ok(R"(
+.inputs d clk en sr ar
+.outputs q
+.mclatch d q clk=clk en=en sync=sr:1 async=ar:0
+.end
+)");
+  ASSERT_EQ(n.register_count(), 1u);
+  const Register& ff = n.reg(RegId{0});
+  EXPECT_TRUE(ff.en.valid());
+  EXPECT_EQ(ff.sync_val, ResetVal::kOne);
+  EXPECT_EQ(ff.async_val, ResetVal::kZero);
+}
+
+TEST(BlifReaderTest, LineContinuation) {
+  const Netlist n = parse_ok(
+      ".inputs a \\\nb\n.outputs y\n.names a b y\n11 1\n.end\n");
+  EXPECT_EQ(n.inputs().size(), 2u);
+}
+
+TEST(BlifReaderTest, CommentsStripped) {
+  const Netlist n = parse_ok(
+      "# header\n.inputs a # trailing\n.outputs y\n.names a y # gate\n1 1\n.end\n");
+  EXPECT_EQ(n.inputs().size(), 1u);
+}
+
+TEST(BlifReaderTest, ErrorOnMultipleDrivers) {
+  const auto err = parse_err(
+      ".inputs a\n.outputs y\n.names a y\n1 1\n.names a y\n1 1\n.end\n");
+  EXPECT_NE(err.message.find("multiple drivers"), std::string::npos);
+}
+
+TEST(BlifReaderTest, ErrorOnArityMismatch) {
+  const auto err =
+      parse_err(".inputs a b\n.outputs y\n.names a b y\n1 1\n.end\n");
+  EXPECT_NE(err.message.find("arity"), std::string::npos);
+}
+
+TEST(BlifReaderTest, ErrorOnUnsupportedConstruct) {
+  const auto err = parse_err(".inputs a\n.outputs y\n.subckt foo x=a\n.end\n");
+  EXPECT_NE(err.message.find("unsupported"), std::string::npos);
+}
+
+TEST(BlifReaderTest, ErrorOnTooManyInputs) {
+  const auto err = parse_err(
+      ".inputs a b c d e f g\n.outputs y\n.names a b c d e f g y\n1111111 1\n.end\n");
+  EXPECT_NE(err.message.find("inputs"), std::string::npos);
+}
+
+TEST(BlifRoundTripTest, Fig1RoundTripsFunctionally) {
+  const Netlist original = testing::fig1_circuit();
+  const std::string text = write_blif_string(original, "fig1");
+  auto parsed = read_blif_string(text);
+  ASSERT_TRUE(std::holds_alternative<Netlist>(parsed))
+      << std::get<BlifError>(parsed).message << "\n" << text;
+  const Netlist& back = std::get<Netlist>(parsed);
+  EXPECT_TRUE(back.validate().empty());
+  EXPECT_EQ(back.register_count(), original.register_count());
+  const auto result =
+      check_sequential_equivalence(original, back, EquivalenceOptions{});
+  EXPECT_TRUE(result.equivalent) << result.counterexample;
+}
+
+TEST(BlifRoundTripTest, ComplexRegistersPreserved) {
+  Netlist n;
+  const NetId clk = n.add_input("clk");
+  const NetId rst = n.add_input("rst");
+  const NetId en = n.add_input("en");
+  const NetId d = n.add_input("d");
+  Register ff;
+  ff.d = d;
+  ff.clk = clk;
+  ff.en = en;
+  ff.async_ctrl = rst;
+  ff.async_val = ResetVal::kOne;
+  const NetId q = n.add_register(std::move(ff));
+  n.add_output("q_out", q);
+
+  const std::string text = write_blif_string(n);
+  auto parsed = read_blif_string(text);
+  ASSERT_TRUE(std::holds_alternative<Netlist>(parsed));
+  const Netlist& back = std::get<Netlist>(parsed);
+  ASSERT_EQ(back.register_count(), 1u);
+  const Register& ff2 = back.reg(RegId{0});
+  EXPECT_TRUE(ff2.en.valid());
+  EXPECT_EQ(ff2.async_val, ResetVal::kOne);
+  EXPECT_EQ(ff2.sync_val, ResetVal::kDontCare);
+}
+
+TEST(BlifWriterTest, FileRoundTrip) {
+  const Netlist n = testing::chain_circuit(3, 2);
+  const std::string path = ::testing::TempDir() + "/mcrt_blif_test.blif";
+  ASSERT_TRUE(write_blif_file(n, path));
+  auto parsed = read_blif_file(path);
+  ASSERT_TRUE(std::holds_alternative<Netlist>(parsed));
+  EXPECT_EQ(std::get<Netlist>(parsed).register_count(), 2u);
+}
+
+}  // namespace
+}  // namespace mcrt

@@ -1,0 +1,106 @@
+// Small hand-built circuits shared by tests (paper figures and basic
+// shapes).
+#pragma once
+
+#include "base/strings.h"
+#include "netlist/netlist.h"
+
+namespace mcrt::testing {
+
+/// Paper Fig. 1a: two load-enable registers feeding one gate.
+///
+///   in0 -> [FF en] -.
+///                    AND -> out
+///   in1 -> [FF en] -'
+///
+/// Both registers share the enable input "en": a forward mc-retiming step
+/// may move them (together with EN) across the AND gate.
+inline Netlist fig1_circuit() {
+  Netlist n;
+  const NetId clk = n.add_input("clk");
+  const NetId en = n.add_input("en");
+  const NetId a = n.add_input("in0");
+  const NetId b = n.add_input("in1");
+  Register ra;
+  ra.d = a;
+  ra.clk = clk;
+  ra.en = en;
+  ra.name = "ra";
+  const NetId qa = n.add_register(std::move(ra));
+  Register rb;
+  rb.d = b;
+  rb.clk = clk;
+  rb.en = en;
+  rb.name = "rb";
+  const NetId qb = n.add_register(std::move(rb));
+  const NetId g = n.add_lut(TruthTable::and_n(2), {qa, qb}, "g");
+  n.add_output("out", g);
+  return n;
+}
+
+/// A pipeline: in -> gate^depth -> [FF]^regs -> out, single class.
+/// Registers bunched at the end so minperiod retiming has work to do.
+/// Each gate is an inverter so functional checks stay easy.
+inline Netlist chain_circuit(std::size_t depth, std::size_t regs,
+                             std::int64_t gate_delay = 1) {
+  Netlist n;
+  const NetId clk = n.add_input("clk");
+  NetId net = n.add_input("in0");
+  for (std::size_t i = 0; i < depth; ++i) {
+    net = n.add_lut(TruthTable::inverter(), {net},
+                    str_format("g%zu", i));
+    n.set_node_delay(NodeId{n.net(net).driver.index}, gate_delay);
+  }
+  for (std::size_t i = 0; i < regs; ++i) {
+    Register ff;
+    ff.d = net;
+    ff.clk = clk;
+    ff.name = str_format("ff%zu", i);
+    net = n.add_register(std::move(ff));
+  }
+  n.add_output("out", net);
+  return n;
+}
+
+/// Paper Fig. 5 circuit: registers with reset values that require local and
+/// then global justification when moved backward.
+///
+///   i0 --------------+
+///                    AND(v2) --> NAND(v3) -> [FF s=1] -> out0
+///   i1 --+           |      |
+///        |           |      +-> INV(v4)  -> [FF s=0] -> out1
+///   i2 -- AND? ------+
+///
+/// Concretely: v2 = AND(i0, i1); v3 = NAND(v2, i2); v4 = INV(v2).
+/// FF values chosen so moving both registers backward across v3/v4 then
+/// across v2 produces a conflict that only global justification resolves.
+inline Netlist fig5_circuit() {
+  Netlist n;
+  const NetId clk = n.add_input("clk");
+  const NetId srst = n.add_input("srst");
+  const NetId i0 = n.add_input("i0");
+  const NetId i1 = n.add_input("i1");
+  const NetId i2 = n.add_input("i2");
+  const NetId v2 = n.add_lut(TruthTable::and_n(2), {i0, i1}, "v2");
+  const NetId v3 = n.add_lut(TruthTable::nand_n(2), {v2, i2}, "v3");
+  const NetId v4 = n.add_lut(TruthTable::inverter(), {v2}, "v4");
+  Register f3;
+  f3.d = v3;
+  f3.clk = clk;
+  f3.sync_ctrl = srst;
+  f3.sync_val = ResetVal::kOne;
+  f3.name = "f3";
+  const NetId q3 = n.add_register(std::move(f3));
+  Register f4;
+  f4.d = v4;
+  f4.clk = clk;
+  f4.sync_ctrl = srst;
+  f4.sync_val = ResetVal::kZero;
+  f4.name = "f4";
+  const NetId q4 = n.add_register(std::move(f4));
+  n.add_output("out0", q3);
+  n.add_output("out1", q4);
+  return n;
+}
+
+}  // namespace mcrt::testing

@@ -1,0 +1,110 @@
+#include "flow/mincost_flow.h"
+
+#include <gtest/gtest.h>
+
+namespace mcrt {
+namespace {
+
+TEST(MinCostFlowTest, SimpleTransshipment) {
+  // 1 unit from node 0 to node 2 via cheaper of two routes.
+  MinCostFlow flow(3);
+  flow.set_demand(0, -1);
+  flow.set_demand(2, 1);
+  flow.add_arc(0, 1, MinCostFlow::kInfinite, 1);
+  flow.add_arc(1, 2, MinCostFlow::kInfinite, 1);
+  flow.add_arc(0, 2, MinCostFlow::kInfinite, 5);
+  const auto solution = flow.solve();
+  ASSERT_TRUE(solution);
+  EXPECT_EQ(solution->total_cost, 2);
+}
+
+TEST(MinCostFlowTest, CapacityForcesExpensiveRoute) {
+  MinCostFlow flow(3);
+  flow.set_demand(0, -2);
+  flow.set_demand(2, 2);
+  flow.add_arc(0, 1, 1, 1);
+  flow.add_arc(1, 2, 1, 1);
+  flow.add_arc(0, 2, MinCostFlow::kInfinite, 5);
+  const auto solution = flow.solve();
+  ASSERT_TRUE(solution);
+  EXPECT_EQ(solution->total_cost, 2 + 5);
+}
+
+TEST(MinCostFlowTest, InfeasibleWhenDemandUnreachable) {
+  MinCostFlow flow(3);
+  flow.set_demand(0, -1);
+  flow.set_demand(2, 1);
+  flow.add_arc(0, 1, MinCostFlow::kInfinite, 1);  // no way to reach 2
+  EXPECT_FALSE(flow.solve());
+}
+
+TEST(MinCostFlowTest, ImbalancedDemandsRejected) {
+  MinCostFlow flow(2);
+  flow.set_demand(0, -2);
+  flow.set_demand(1, 1);
+  flow.add_arc(0, 1, MinCostFlow::kInfinite, 0);
+  EXPECT_FALSE(flow.solve());
+}
+
+TEST(MinCostFlowTest, NegativeCostArcsHandled) {
+  MinCostFlow flow(3);
+  flow.set_demand(0, -1);
+  flow.set_demand(2, 1);
+  flow.add_arc(0, 1, MinCostFlow::kInfinite, -2);
+  flow.add_arc(1, 2, MinCostFlow::kInfinite, 1);
+  const auto solution = flow.solve();
+  ASSERT_TRUE(solution);
+  EXPECT_EQ(solution->total_cost, -1);
+}
+
+TEST(MinCostFlowTest, NegativeInfiniteCycleRejected) {
+  MinCostFlow flow(2);
+  flow.add_arc(0, 1, MinCostFlow::kInfinite, -1);
+  flow.add_arc(1, 0, MinCostFlow::kInfinite, -1);
+  EXPECT_FALSE(flow.solve());
+}
+
+TEST(MinCostFlowTest, PotentialsSatisfyReducedCosts) {
+  // For every arc with residual capacity at optimum:
+  // pi(to) <= pi(from) + cost  (these are the dual feasibility conditions
+  // the retiming labels rely on).
+  MinCostFlow flow(4);
+  flow.set_demand(0, -2);
+  flow.set_demand(3, 2);
+  struct ArcSpec {
+    std::uint32_t from, to;
+    std::int64_t cost;
+  };
+  const std::vector<ArcSpec> arcs = {
+      {0, 1, 2}, {1, 3, 2}, {0, 2, 1}, {2, 3, 4}, {1, 2, 0}};
+  for (const auto& a : arcs) {
+    flow.add_arc(a.from, a.to, MinCostFlow::kInfinite, a.cost);
+  }
+  const auto solution = flow.solve();
+  ASSERT_TRUE(solution);
+  for (const auto& a : arcs) {
+    EXPECT_LE(solution->potential[a.to],
+              solution->potential[a.from] + a.cost);
+  }
+}
+
+TEST(MinCostFlowTest, ZeroDemandTrivial) {
+  MinCostFlow flow(2);
+  flow.add_arc(0, 1, MinCostFlow::kInfinite, 3);
+  const auto solution = flow.solve();
+  ASSERT_TRUE(solution);
+  EXPECT_EQ(solution->total_cost, 0);
+}
+
+TEST(MinCostFlowTest, ArcFlowReported) {
+  MinCostFlow flow(2);
+  flow.set_demand(0, -3);
+  flow.set_demand(1, 3);
+  const auto arc = flow.add_arc(0, 1, MinCostFlow::kInfinite, 1);
+  const auto solution = flow.solve();
+  ASSERT_TRUE(solution);
+  EXPECT_EQ(solution->arc_flow[arc / 2], 3);
+}
+
+}  // namespace
+}  // namespace mcrt

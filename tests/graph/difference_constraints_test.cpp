@@ -1,0 +1,75 @@
+#include "graph/difference_constraints.h"
+
+#include <gtest/gtest.h>
+
+namespace mcrt {
+namespace {
+
+void expect_satisfies(const std::vector<std::int64_t>& x,
+                      const std::vector<DifferenceConstraint>& cs) {
+  for (const auto& c : cs) {
+    EXPECT_LE(x[c.u] - x[c.v], c.bound)
+        << "x" << c.u << " - x" << c.v << " <= " << c.bound;
+  }
+}
+
+TEST(DifferenceConstraintsTest, FeasibleSystem) {
+  std::vector<DifferenceConstraint> cs = {
+      {0, 1, 3},   // x0 - x1 <= 3
+      {1, 2, -2},  // x1 - x2 <= -2
+      {2, 0, 1},   // x2 - x0 <= 1
+  };
+  const auto solution = solve_difference_constraints(3, cs);
+  ASSERT_TRUE(solution);
+  expect_satisfies(*solution, cs);
+}
+
+TEST(DifferenceConstraintsTest, InfeasibleNegativeCycle) {
+  std::vector<DifferenceConstraint> cs = {
+      {0, 1, 1},
+      {1, 0, -2},  // sum of cycle bounds = -1 < 0
+  };
+  EXPECT_FALSE(solve_difference_constraints(2, cs));
+}
+
+TEST(DifferenceConstraintsTest, UnconstrainedVariablesGetZero) {
+  const auto solution = solve_difference_constraints(4, {});
+  ASSERT_TRUE(solution);
+  for (const auto v : *solution) EXPECT_EQ(v, 0);
+}
+
+TEST(DifferenceConstraintsTest, EqualityViaTwoConstraints) {
+  std::vector<DifferenceConstraint> cs = {
+      {0, 1, 5},
+      {1, 0, -5},  // forces x0 - x1 == 5
+  };
+  const auto solution = solve_difference_constraints(2, cs);
+  ASSERT_TRUE(solution);
+  EXPECT_EQ((*solution)[0] - (*solution)[1], 5);
+}
+
+TEST(DifferenceConstraintsTest, ChainPropagation) {
+  // x0 <= x1 - 1 <= x2 - 2 <= x3 - 3
+  std::vector<DifferenceConstraint> cs = {
+      {0, 1, -1},
+      {1, 2, -1},
+      {2, 3, -1},
+  };
+  const auto solution = solve_difference_constraints(4, cs);
+  ASSERT_TRUE(solution);
+  expect_satisfies(*solution, cs);
+  EXPECT_LE((*solution)[0], (*solution)[3] - 3);
+}
+
+TEST(DifferenceConstraintsTest, SelfConstraintNonNegativeIsFine) {
+  std::vector<DifferenceConstraint> cs = {{0, 0, 0}};
+  EXPECT_TRUE(solve_difference_constraints(1, cs));
+}
+
+TEST(DifferenceConstraintsTest, SelfConstraintNegativeInfeasible) {
+  std::vector<DifferenceConstraint> cs = {{0, 0, -1}};
+  EXPECT_FALSE(solve_difference_constraints(1, cs));
+}
+
+}  // namespace
+}  // namespace mcrt

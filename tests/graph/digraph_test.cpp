@@ -1,0 +1,43 @@
+#include "graph/digraph.h"
+
+#include <gtest/gtest.h>
+
+namespace mcrt {
+namespace {
+
+TEST(DigraphTest, AddVerticesAndEdges) {
+  Digraph g;
+  const VertexId a = g.add_vertex();
+  const VertexId b = g.add_vertex();
+  const EdgeId e = g.add_edge(a, b);
+  EXPECT_EQ(g.vertex_count(), 2u);
+  EXPECT_EQ(g.edge_count(), 1u);
+  EXPECT_EQ(g.from(e), a);
+  EXPECT_EQ(g.to(e), b);
+  ASSERT_EQ(g.out_edges(a).size(), 1u);
+  ASSERT_EQ(g.in_edges(b).size(), 1u);
+  EXPECT_TRUE(g.out_edges(b).empty());
+}
+
+TEST(DigraphTest, ParallelEdgesAndSelfLoops) {
+  Digraph g(2);
+  const VertexId a{0};
+  const VertexId b{1};
+  g.add_edge(a, b);
+  g.add_edge(a, b);
+  g.add_edge(a, a);
+  EXPECT_EQ(g.out_degree(a), 3u);
+  EXPECT_EQ(g.in_degree(b), 2u);
+  EXPECT_EQ(g.in_degree(a), 1u);
+}
+
+TEST(DigraphTest, ResizeGrows) {
+  Digraph g;
+  g.resize(5);
+  EXPECT_EQ(g.vertex_count(), 5u);
+  g.add_vertex();
+  EXPECT_EQ(g.vertex_count(), 6u);
+}
+
+}  // namespace
+}  // namespace mcrt

@@ -1,0 +1,64 @@
+#include "graph/scc.h"
+
+#include <gtest/gtest.h>
+
+namespace mcrt {
+namespace {
+
+TEST(SccTest, DagIsAllSingletons) {
+  Digraph g(3);
+  g.add_edge(VertexId{0}, VertexId{1});
+  g.add_edge(VertexId{1}, VertexId{2});
+  const auto result = strongly_connected_components(g);
+  EXPECT_EQ(result.component_count, 3u);
+  EXPECT_NE(result.component[0], result.component[1]);
+  EXPECT_NE(result.component[1], result.component[2]);
+}
+
+TEST(SccTest, SimpleCycle) {
+  Digraph g(4);
+  g.add_edge(VertexId{0}, VertexId{1});
+  g.add_edge(VertexId{1}, VertexId{2});
+  g.add_edge(VertexId{2}, VertexId{0});
+  g.add_edge(VertexId{2}, VertexId{3});
+  const auto result = strongly_connected_components(g);
+  EXPECT_EQ(result.component_count, 2u);
+  EXPECT_EQ(result.component[0], result.component[1]);
+  EXPECT_EQ(result.component[1], result.component[2]);
+  EXPECT_NE(result.component[0], result.component[3]);
+}
+
+TEST(SccTest, ReverseTopologicalNumbering) {
+  // Tarjan numbers components in reverse topological order: a component is
+  // finished before the components that reach it.
+  Digraph g(2);
+  g.add_edge(VertexId{0}, VertexId{1});
+  const auto result = strongly_connected_components(g);
+  EXPECT_LT(result.component[1], result.component[0]);
+}
+
+TEST(SccTest, TwoCycles) {
+  Digraph g(6);
+  g.add_edge(VertexId{0}, VertexId{1});
+  g.add_edge(VertexId{1}, VertexId{0});
+  g.add_edge(VertexId{1}, VertexId{2});
+  g.add_edge(VertexId{2}, VertexId{3});
+  g.add_edge(VertexId{3}, VertexId{4});
+  g.add_edge(VertexId{4}, VertexId{2});
+  g.add_edge(VertexId{4}, VertexId{5});
+  const auto result = strongly_connected_components(g);
+  EXPECT_EQ(result.component_count, 3u);
+  EXPECT_EQ(result.component[2], result.component[3]);
+  EXPECT_EQ(result.component[3], result.component[4]);
+  EXPECT_NE(result.component[0], result.component[2]);
+}
+
+TEST(SccTest, SelfLoop) {
+  Digraph g(2);
+  g.add_edge(VertexId{0}, VertexId{0});
+  const auto result = strongly_connected_components(g);
+  EXPECT_EQ(result.component_count, 2u);
+}
+
+}  // namespace
+}  // namespace mcrt

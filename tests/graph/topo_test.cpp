@@ -1,0 +1,73 @@
+#include "graph/topo.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace mcrt {
+namespace {
+
+TEST(TopoTest, OrdersDag) {
+  Digraph g(4);
+  g.add_edge(VertexId{0}, VertexId{1});
+  g.add_edge(VertexId{1}, VertexId{2});
+  g.add_edge(VertexId{0}, VertexId{3});
+  g.add_edge(VertexId{3}, VertexId{2});
+  const auto order = topological_order(g);
+  ASSERT_TRUE(order);
+  ASSERT_EQ(order->size(), 4u);
+  std::vector<std::size_t> pos(4);
+  for (std::size_t i = 0; i < 4; ++i) pos[(*order)[i].index()] = i;
+  EXPECT_LT(pos[0], pos[1]);
+  EXPECT_LT(pos[1], pos[2]);
+  EXPECT_LT(pos[3], pos[2]);
+}
+
+TEST(TopoTest, DetectsCycle) {
+  Digraph g(2);
+  g.add_edge(VertexId{0}, VertexId{1});
+  g.add_edge(VertexId{1}, VertexId{0});
+  EXPECT_FALSE(topological_order(g));
+}
+
+TEST(TopoTest, EdgeFilterBreaksCycle) {
+  Digraph g(2);
+  g.add_edge(VertexId{0}, VertexId{1});
+  const EdgeId back = g.add_edge(VertexId{1}, VertexId{0});
+  const auto order =
+      topological_order(g, [back](EdgeId e) { return e != back; });
+  EXPECT_TRUE(order);
+}
+
+TEST(TopoTest, LongestPathWeights) {
+  Digraph g(4);
+  g.add_edge(VertexId{0}, VertexId{1});
+  g.add_edge(VertexId{1}, VertexId{3});
+  g.add_edge(VertexId{0}, VertexId{2});
+  g.add_edge(VertexId{2}, VertexId{3});
+  const std::vector<std::int64_t> weights = {1, 10, 2, 4};
+  const auto dist = dag_longest_path(
+      g, [&](VertexId v) { return weights[v.index()]; });
+  ASSERT_TRUE(dist);
+  EXPECT_EQ((*dist)[0], 1);
+  EXPECT_EQ((*dist)[1], 11);
+  EXPECT_EQ((*dist)[2], 3);
+  EXPECT_EQ((*dist)[3], 15);  // 1 + 10 + 4
+}
+
+TEST(TopoTest, LongestPathCycleReturnsNullopt) {
+  Digraph g(2);
+  g.add_edge(VertexId{0}, VertexId{1});
+  g.add_edge(VertexId{1}, VertexId{0});
+  EXPECT_FALSE(dag_longest_path(g, [](VertexId) { return 1; }));
+}
+
+TEST(TopoTest, EmptyGraph) {
+  Digraph g;
+  const auto order = topological_order(g);
+  ASSERT_TRUE(order);
+  EXPECT_TRUE(order->empty());
+}
+
+}  // namespace
+}  // namespace mcrt

@@ -1,0 +1,51 @@
+// Reproducibility: the full flow must be bit-identical across runs - the
+// nondeterminism sources (hash-map iteration in taps, classes, closures)
+// are all pinned by deterministic orderings.
+#include <gtest/gtest.h>
+
+#include "blif/blif.h"
+#include "mcretime/mc_retime.h"
+#include "tech/decompose.h"
+#include "tech/flowmap.h"
+#include "transform/sweep.h"
+#include "workload/generator.h"
+#include "workload/random_circuit.h"
+
+namespace mcrt {
+namespace {
+
+TEST(DeterminismTest, McRetimeIsBitIdentical) {
+  for (std::uint64_t seed = 11; seed <= 14; ++seed) {
+    RandomCircuitOptions opt;
+    opt.gates = 30;
+    opt.registers = 8;
+    Netlist n = sweep(random_sequential_circuit(seed, opt), nullptr);
+    for (std::size_t i = 0; i < n.node_count(); ++i) {
+      if (n.nodes()[i].kind == NodeKind::kLut) {
+        n.set_node_delay(NodeId{static_cast<std::uint32_t>(i)}, 10);
+      }
+    }
+    const auto a = mc_retime(n, {});
+    const auto b = mc_retime(n, {});
+    ASSERT_TRUE(a.success && b.success);
+    EXPECT_EQ(write_blif_string(a.netlist), write_blif_string(b.netlist))
+        << "seed " << seed;
+    EXPECT_EQ(a.stats.moved_layers, b.stats.moved_layers);
+    EXPECT_EQ(a.stats.registers_after, b.stats.registers_after);
+  }
+}
+
+TEST(DeterminismTest, FullMapRetimeFlowIsBitIdentical) {
+  const CircuitProfile profile = paper_suite()[2];  // C3: small
+  auto run = [&] {
+    const Netlist rtl = sweep(generate_circuit(profile), nullptr);
+    const FlowMapResult mapped = flowmap_map(decompose_to_binary(rtl), {});
+    const auto retimed = mc_retime(mapped.mapped, {});
+    EXPECT_TRUE(retimed.success);
+    return write_blif_string(retimed.netlist);
+  };
+  EXPECT_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace mcrt

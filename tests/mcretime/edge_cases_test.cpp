@@ -1,0 +1,96 @@
+// Degenerate inputs the flow must handle gracefully.
+#include <gtest/gtest.h>
+
+#include "mcretime/mc_retime.h"
+#include "sim/equivalence.h"
+#include "tech/sta.h"
+
+namespace mcrt {
+namespace {
+
+TEST(McRetimeEdgeTest, PureCombinationalCircuit) {
+  Netlist n;
+  const NetId a = n.add_input("a");
+  const NetId b = n.add_input("b");
+  const NetId g = n.add_lut(TruthTable::xor_n(2), {a, b});
+  n.set_node_delay(NodeId{n.net(g).driver.index}, 10);
+  n.add_output("o", g);
+  const auto result = mc_retime(n, {});
+  ASSERT_TRUE(result.success) << result.error;
+  EXPECT_EQ(result.stats.registers_after, 0u);
+  EXPECT_EQ(result.stats.period_after, result.stats.period_before);
+  EXPECT_EQ(result.stats.moved_layers, 0u);
+  const auto eq = check_sequential_equivalence(n, result.netlist, {});
+  EXPECT_TRUE(eq.equivalent);
+}
+
+TEST(McRetimeEdgeTest, RegisterOnlyPath) {
+  // PI -> FF -> FF -> PO: nothing to optimize, nothing to break.
+  Netlist n;
+  const NetId clk = n.add_input("clk");
+  NetId net = n.add_input("d");
+  for (int i = 0; i < 2; ++i) {
+    Register ff;
+    ff.d = net;
+    ff.clk = clk;
+    net = n.add_register(std::move(ff));
+  }
+  n.add_output("q", net);
+  const auto result = mc_retime(n, {});
+  ASSERT_TRUE(result.success) << result.error;
+  EXPECT_EQ(result.stats.registers_after, 2u);
+  const auto eq = check_sequential_equivalence(n, result.netlist, {});
+  EXPECT_TRUE(eq.equivalent) << eq.counterexample;
+}
+
+TEST(McRetimeEdgeTest, WireOnlyCircuit) {
+  Netlist n;
+  const NetId a = n.add_input("a");
+  n.add_output("o", a);
+  const auto result = mc_retime(n, {});
+  ASSERT_TRUE(result.success) << result.error;
+  EXPECT_EQ(compute_period(result.netlist), 0);
+}
+
+TEST(McRetimeEdgeTest, SingleGateFeedbackLoop) {
+  // Tight loop: FF -> XOR(q, in) -> FF. The register cannot leave the
+  // loop; retiming must return it intact and equivalent.
+  Netlist n;
+  const NetId clk = n.add_input("clk");
+  const NetId rst = n.add_input("rst");
+  const NetId in = n.add_input("in");
+  const NetId d = n.add_net("d");
+  Register ff;
+  ff.d = d;
+  ff.clk = clk;
+  ff.async_ctrl = rst;
+  ff.async_val = ResetVal::kZero;
+  const NetId q = n.add_register(std::move(ff));
+  const NodeId gate = n.add_lut_driving(d, TruthTable::xor_n(2), {q, in});
+  n.set_node_delay(gate, 10);
+  n.add_output("o", q);
+  const auto result = mc_retime(n, {});
+  ASSERT_TRUE(result.success) << result.error;
+  EXPECT_EQ(result.stats.registers_after, 1u);
+  const auto eq = check_sequential_equivalence(n, result.netlist, {});
+  EXPECT_TRUE(eq.equivalent) << eq.counterexample;
+}
+
+TEST(McRetimeEdgeTest, ExhaustedAttemptsReportError) {
+  // max_attempts = 0 cannot even try once: the driver must fail cleanly.
+  Netlist n;
+  const NetId clk = n.add_input("clk");
+  const NetId d = n.add_input("d");
+  Register ff;
+  ff.d = d;
+  ff.clk = clk;
+  n.add_output("q", n.add_register(std::move(ff)));
+  McRetimeOptions options;
+  options.max_attempts = 0;
+  const auto result = mc_retime(n, options);
+  EXPECT_FALSE(result.success);
+  EXPECT_FALSE(result.error.empty());
+}
+
+}  // namespace
+}  // namespace mcrt

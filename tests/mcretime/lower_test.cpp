@@ -1,0 +1,104 @@
+// Unit tests of the mc-graph -> basic-retiming-graph lowering (§4/§5.1).
+#include "mcretime/lower.h"
+
+#include <gtest/gtest.h>
+
+#include "../common/test_circuits.h"
+#include "tech/sta.h"
+
+namespace mcrt {
+namespace {
+
+TEST(LowerTest, VerticesAndEdgesCarryOver) {
+  const Netlist n = testing::fig1_circuit();
+  const McGraph g = build_mc_graph(n);
+  const auto maximal = compute_mc_bounds(g);
+  const RetimeGraph basic = lower_to_retime_graph(g, maximal.bounds);
+  EXPECT_EQ(basic.vertex_count(), g.vertex_count());
+  EXPECT_EQ(basic.edge_count(), g.digraph().edge_count());
+  // Edge weights are the register-sequence lengths.
+  for (std::size_t e = 0; e < basic.edge_count(); ++e) {
+    const EdgeId id{static_cast<std::uint32_t>(e)};
+    EXPECT_EQ(basic.weight(id),
+              static_cast<std::int64_t>(g.regs(id).size()));
+  }
+}
+
+TEST(LowerTest, InterfaceVerticesPinned) {
+  const Netlist n = testing::fig1_circuit();
+  const McGraph g = build_mc_graph(n);
+  const auto maximal = compute_mc_bounds(g);
+  const RetimeGraph basic = lower_to_retime_graph(g, maximal.bounds);
+  for (std::size_t v = 1; v < g.vertex_count(); ++v) {
+    const VertexId vid{static_cast<std::uint32_t>(v)};
+    const McVertexKind kind = g.kind(vid);
+    if (kind == McVertexKind::kInput || kind == McVertexKind::kOutput ||
+        kind == McVertexKind::kControlTap) {
+      EXPECT_EQ(basic.lower_bound(vid), 0);
+      EXPECT_EQ(basic.upper_bound(vid), 0);
+    }
+  }
+  EXPECT_TRUE(basic.has_bounds());
+}
+
+TEST(LowerTest, GateBoundsFromMaximalRetiming) {
+  const Netlist n = testing::chain_circuit(3, 2);
+  const McGraph g = build_mc_graph(n);
+  const auto maximal = compute_mc_bounds(g);
+  const RetimeGraph basic = lower_to_retime_graph(g, maximal.bounds);
+  for (std::size_t v = 1; v < g.vertex_count(); ++v) {
+    const VertexId vid{static_cast<std::uint32_t>(v)};
+    if (g.kind(vid) != McVertexKind::kGate) continue;
+    EXPECT_EQ(basic.upper_bound(vid), maximal.bounds.r_max[v]);
+    EXPECT_EQ(basic.lower_bound(vid), maximal.bounds.r_min[v]);
+  }
+}
+
+TEST(LowerTest, UnboundedMarksBecomeNoBound) {
+  // Isolated register ring: unbounded vertices must lower to kNoBound.
+  Netlist n;
+  const NetId clk = n.add_input("clk");
+  const NetId d = n.add_net("loop_d");
+  Register ff;
+  ff.d = d;
+  ff.clk = clk;
+  const NetId q = n.add_register(std::move(ff));
+  n.add_lut_driving(d, TruthTable::inverter(), {q});
+  n.add_output("o", n.add_input("a"));
+  const McGraph g = build_mc_graph(n);
+  const auto maximal = compute_mc_bounds(g);
+  const RetimeGraph basic = lower_to_retime_graph(g, maximal.bounds);
+  bool found = false;
+  for (std::size_t v = 1; v < g.vertex_count(); ++v) {
+    const VertexId vid{static_cast<std::uint32_t>(v)};
+    if (maximal.bounds.r_max[v] >= McBounds::kUnbounded) {
+      EXPECT_EQ(basic.upper_bound(vid), RetimeGraph::kNoBound);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(LowerTest, PeriodMatchesNetlistSta) {
+  // The lowered graph's clock period equals the netlist's STA period: the
+  // graph model and the timing model must agree.
+  Netlist n = testing::chain_circuit(4, 2, 7);
+  const McGraph g = build_mc_graph(n);
+  const auto maximal = compute_mc_bounds(g);
+  const RetimeGraph basic = lower_to_retime_graph(g, maximal.bounds);
+  EXPECT_EQ(basic.period(), compute_period(n));
+}
+
+TEST(LowerTest, DelaysCarryOver) {
+  Netlist n = testing::chain_circuit(2, 1, 9);
+  const McGraph g = build_mc_graph(n);
+  const auto maximal = compute_mc_bounds(g);
+  const RetimeGraph basic = lower_to_retime_graph(g, maximal.bounds);
+  for (std::size_t v = 1; v < g.vertex_count(); ++v) {
+    const VertexId vid{static_cast<std::uint32_t>(v)};
+    EXPECT_EQ(basic.delay(vid), g.delay(vid));
+  }
+}
+
+}  // namespace
+}  // namespace mcrt

@@ -1,0 +1,158 @@
+#include "mcretime/maximal_retiming.h"
+
+#include <gtest/gtest.h>
+
+#include "../common/test_circuits.h"
+#include "workload/random_circuit.h"
+
+namespace mcrt {
+namespace {
+
+VertexId find_gate(const McGraph& g, const Netlist& n, const char* name) {
+  for (std::size_t v = 1; v < g.vertex_count(); ++v) {
+    const VertexId vid{static_cast<std::uint32_t>(v)};
+    if (g.kind(vid) == McVertexKind::kGate &&
+        n.node(g.origin_node(vid)).name == name) {
+      return vid;
+    }
+  }
+  ADD_FAILURE() << "gate " << name << " not found";
+  return {};
+}
+
+TEST(MaximalRetimingTest, ChainBounds) {
+  // in -> g0 g1 g2 -> FF FF -> out: both registers can move backward across
+  // g2, g1, g0 -> r_max(g0) = r_max(g1) = r_max(g2) = 2; nothing can move
+  // forward (registers would cross the PO).
+  const Netlist n = testing::chain_circuit(3, 2);
+  const McGraph g = build_mc_graph(n);
+  const auto result = compute_mc_bounds(g);
+  for (const char* name : {"g0", "g1", "g2"}) {
+    const VertexId v = find_gate(g, n, name);
+    EXPECT_EQ(result.bounds.r_max[v.index()], 2) << name;
+    EXPECT_EQ(result.bounds.r_min[v.index()], 0) << name;
+  }
+  EXPECT_EQ(result.bounds.possible_steps, 6u);
+  EXPECT_FALSE(result.bounds.hit_cap);
+}
+
+TEST(MaximalRetimingTest, Fig1ForwardBound) {
+  const Netlist n = testing::fig1_circuit();
+  const McGraph g = build_mc_graph(n);
+  const auto result = compute_mc_bounds(g);
+  const VertexId gate = find_gate(g, n, "g");
+  EXPECT_EQ(result.bounds.r_min[gate.index()], -1);
+  EXPECT_EQ(result.bounds.r_max[gate.index()], 0);
+}
+
+TEST(MaximalRetimingTest, IncompatibleClassesBlockMoves) {
+  // Like fig1 but with two different enables: no moves possible at all.
+  Netlist n;
+  const NetId clk = n.add_input("clk");
+  const NetId en1 = n.add_input("en1");
+  const NetId en2 = n.add_input("en2");
+  Register r1;
+  r1.d = n.add_input("a");
+  r1.clk = clk;
+  r1.en = en1;
+  const NetId q1 = n.add_register(std::move(r1));
+  Register r2;
+  r2.d = n.add_input("b");
+  r2.clk = clk;
+  r2.en = en2;
+  const NetId q2 = n.add_register(std::move(r2));
+  n.add_output("o", n.add_lut(TruthTable::and_n(2), {q1, q2}, "g"));
+  const McGraph g = build_mc_graph(n);
+  const auto result = compute_mc_bounds(g);
+  const VertexId gate = find_gate(g, n, "g");
+  EXPECT_EQ(result.bounds.r_min[gate.index()], 0);
+  EXPECT_EQ(result.bounds.r_max[gate.index()], 0);
+  EXPECT_EQ(result.bounds.possible_steps, 0u);
+}
+
+TEST(MaximalRetimingTest, ObservedRingHasFiniteBounds) {
+  // A ring observed by a primary output cannot rotate its register past the
+  // observation point: bounds stay finite.
+  Netlist n;
+  const NetId clk = n.add_input("clk");
+  const NetId a = n.add_input("a");
+  const NetId d = n.add_net("loop_d");
+  Register ff;
+  ff.d = d;
+  ff.clk = clk;
+  const NetId q = n.add_register(std::move(ff));
+  const NetId g1 = n.add_lut(TruthTable::xor_n(2), {q, a}, "ring1");
+  const NetId g2 = n.add_lut(TruthTable::inverter(), {g1}, "ring2");
+  n.add_lut_driving(d, TruthTable::buffer(), {g2});
+  n.add_output("o", g1);
+  const McGraph g = build_mc_graph(n);
+  const auto result = compute_mc_bounds(g);
+  EXPECT_FALSE(result.bounds.hit_cap);
+  const VertexId ring1 = find_gate(g, n, "ring1");
+  EXPECT_LT(result.bounds.r_max[ring1.index()], McBounds::kUnbounded);
+}
+
+TEST(MaximalRetimingTest, IsolatedRingIsUnbounded) {
+  // A register ring with no external observation rotates forever; the cap
+  // kicks in and the vertex is marked unbounded (no class constraint).
+  Netlist n;
+  const NetId clk = n.add_input("clk");
+  const NetId d = n.add_net("loop_d");
+  Register ff;
+  ff.d = d;
+  ff.clk = clk;
+  const NetId q = n.add_register(std::move(ff));
+  n.add_lut_driving(d, TruthTable::inverter(), {q});
+  // Unrelated observable logic so the netlist is not empty.
+  n.add_output("o", n.add_input("a"));
+  const McGraph g = build_mc_graph(n);
+  const auto result = compute_mc_bounds(g);
+  EXPECT_TRUE(result.bounds.hit_cap);
+  bool found_unbounded = false;
+  for (std::size_t v = 1; v < g.vertex_count(); ++v) {
+    if (result.bounds.r_max[v] >= McBounds::kUnbounded) found_unbounded = true;
+  }
+  EXPECT_TRUE(found_unbounded);
+}
+
+TEST(MaximalRetimingTest, BackwardGraphIsMaximallyRetimed) {
+  const Netlist n = testing::chain_circuit(3, 2);
+  const McGraph g = build_mc_graph(n);
+  const auto result = compute_mc_bounds(g);
+  // In the backward graph no more backward steps are possible anywhere.
+  for (std::size_t v = 1; v < result.backward_graph.vertex_count(); ++v) {
+    EXPECT_FALSE(result.backward_graph.backward_step_class(
+        VertexId{static_cast<std::uint32_t>(v)}));
+  }
+  // Register count is preserved for single-fanout chains.
+  EXPECT_EQ(result.backward_graph.total_edge_registers(),
+            g.total_edge_registers());
+}
+
+TEST(MaximalRetimingTest, BoundsAdmitZero) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const Netlist n = random_sequential_circuit(seed);
+    const McGraph g = build_mc_graph(n);
+    const auto result = compute_mc_bounds(g);
+    for (std::size_t v = 0; v < g.vertex_count(); ++v) {
+      EXPECT_GE(result.bounds.r_max[v], 0) << "seed " << seed;
+      EXPECT_LE(result.bounds.r_min[v], 0) << "seed " << seed;
+    }
+  }
+}
+
+TEST(MaximalRetimingTest, InputsOutputsNeverMove) {
+  const Netlist n = testing::chain_circuit(2, 2);
+  const McGraph g = build_mc_graph(n);
+  const auto result = compute_mc_bounds(g);
+  for (std::size_t v = 1; v < g.vertex_count(); ++v) {
+    const VertexId vid{static_cast<std::uint32_t>(v)};
+    if (g.kind(vid) != McVertexKind::kGate) {
+      EXPECT_EQ(result.bounds.r_max[v], 0);
+      EXPECT_EQ(result.bounds.r_min[v], 0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mcrt

@@ -1,0 +1,30 @@
+#include "mcretime/mcgraph_dot.h"
+
+#include <gtest/gtest.h>
+
+#include "../common/test_circuits.h"
+
+namespace mcrt {
+namespace {
+
+TEST(McGraphDotTest, ContainsVerticesAndRegisterLabels) {
+  const Netlist n = testing::fig1_circuit();
+  const McGraph g = build_mc_graph(n);
+  const std::string dot = write_mcgraph_dot_string(g, n, "fig1");
+  EXPECT_NE(dot.find("digraph \"fig1\""), std::string::npos);
+  EXPECT_NE(dot.find("host"), std::string::npos);
+  EXPECT_NE(dot.find("tap en"), std::string::npos);
+  EXPECT_NE(dot.find("C0[--]"), std::string::npos);  // register labels
+  EXPECT_NE(dot.find("PI in0"), std::string::npos);
+}
+
+TEST(McGraphDotTest, ResetValuesShown) {
+  const Netlist n = testing::fig5_circuit();
+  const McGraph g = build_mc_graph(n);
+  const std::string dot = write_mcgraph_dot_string(g, n);
+  EXPECT_NE(dot.find("[1-]"), std::string::npos);  // sync=1, async=-
+  EXPECT_NE(dot.find("[0-]"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mcrt

@@ -1,0 +1,175 @@
+#include "mcretime/mcgraph.h"
+
+#include <gtest/gtest.h>
+
+#include "../common/test_circuits.h"
+
+namespace mcrt {
+namespace {
+
+TEST(McGraphTest, Fig1Structure) {
+  const Netlist n = testing::fig1_circuit();
+  const McGraph g = build_mc_graph(n);
+  EXPECT_TRUE(g.validate().empty());
+  // Vertices: host + 4 PIs + 1 gate + 1 PO + 1 control tap (en).
+  EXPECT_EQ(g.vertex_count(), 8u);
+
+  // Fanin edges of the gate carry one register each.
+  std::size_t gate_vertex = 0;
+  for (std::size_t v = 1; v < g.vertex_count(); ++v) {
+    if (g.kind(VertexId{static_cast<std::uint32_t>(v)}) ==
+        McVertexKind::kGate) {
+      gate_vertex = v;
+    }
+  }
+  const auto fanin = g.digraph().in_edges(VertexId{(std::uint32_t)gate_vertex});
+  ASSERT_EQ(fanin.size(), 2u);
+  for (const EdgeId e : fanin) {
+    EXPECT_EQ(g.regs(e).size(), 1u);
+  }
+}
+
+TEST(McGraphTest, ControlTapObservesEnable) {
+  const Netlist n = testing::fig1_circuit();
+  const McGraph g = build_mc_graph(n);
+  std::size_t taps = 0;
+  for (std::size_t v = 1; v < g.vertex_count(); ++v) {
+    const VertexId vid{static_cast<std::uint32_t>(v)};
+    if (g.kind(vid) == McVertexKind::kControlTap) {
+      ++taps;
+      // The tap's source is the "en" primary input; edge has no registers.
+      const auto in_edges = g.digraph().in_edges(vid);
+      ASSERT_EQ(in_edges.size(), 1u);
+      EXPECT_TRUE(g.regs(in_edges[0]).empty());
+    }
+  }
+  EXPECT_EQ(taps, 1u);
+}
+
+TEST(McGraphTest, RegisterChainBecomesSequence) {
+  const Netlist n = testing::chain_circuit(1, 3);
+  const McGraph g = build_mc_graph(n);
+  // The PO pin edge carries all three registers.
+  bool found = false;
+  for (std::size_t v = 1; v < g.vertex_count(); ++v) {
+    const VertexId vid{static_cast<std::uint32_t>(v)};
+    if (g.kind(vid) != McVertexKind::kOutput) continue;
+    const auto in_edges = g.digraph().in_edges(vid);
+    ASSERT_EQ(in_edges.size(), 1u);
+    EXPECT_EQ(g.regs(in_edges[0]).size(), 3u);
+    found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(McGraphTest, BackwardStepValidity) {
+  const Netlist n = testing::fig1_circuit();
+  McGraph g = build_mc_graph(n);
+  // The AND gate: fanout edge (to PO) has no register -> backward invalid.
+  // Forward: both fanin edges end with compatible registers -> valid.
+  for (std::size_t v = 1; v < g.vertex_count(); ++v) {
+    const VertexId vid{static_cast<std::uint32_t>(v)};
+    if (g.kind(vid) != McVertexKind::kGate) continue;
+    EXPECT_FALSE(g.backward_step_class(vid));
+    EXPECT_TRUE(g.forward_step_class(vid));
+  }
+}
+
+TEST(McGraphTest, ForwardStepMovesLayer) {
+  const Netlist n = testing::fig1_circuit();
+  McGraph g = build_mc_graph(n);
+  VertexId gate;
+  for (std::size_t v = 1; v < g.vertex_count(); ++v) {
+    const VertexId vid{static_cast<std::uint32_t>(v)};
+    if (g.kind(vid) == McVertexKind::kGate) gate = vid;
+  }
+  const std::size_t before = g.total_edge_registers();
+  g.apply_forward_step(gate);
+  // 2 fanin registers consumed, 1 fanout register created.
+  EXPECT_EQ(g.total_edge_registers(), before - 1);
+  for (const EdgeId e : g.digraph().in_edges(gate)) {
+    EXPECT_TRUE(g.regs(e).empty());
+  }
+  for (const EdgeId e : g.digraph().out_edges(gate)) {
+    EXPECT_EQ(g.regs(e).size(), 1u);
+  }
+  // Now a backward step is valid again and restores the count.
+  EXPECT_TRUE(g.backward_step_class(gate));
+  g.apply_backward_step(gate);
+  EXPECT_EQ(g.total_edge_registers(), before);
+}
+
+TEST(McGraphTest, IncompatibleLayerBlocksMove) {
+  // Two registers with different enables feeding one gate: no forward step.
+  Netlist n;
+  const NetId clk = n.add_input("clk");
+  const NetId en1 = n.add_input("en1");
+  const NetId en2 = n.add_input("en2");
+  const NetId a = n.add_input("a");
+  const NetId b = n.add_input("b");
+  Register r1;
+  r1.d = a;
+  r1.clk = clk;
+  r1.en = en1;
+  const NetId q1 = n.add_register(std::move(r1));
+  Register r2;
+  r2.d = b;
+  r2.clk = clk;
+  r2.en = en2;
+  const NetId q2 = n.add_register(std::move(r2));
+  const NetId g_net = n.add_lut(TruthTable::and_n(2), {q1, q2});
+  n.add_output("o", g_net);
+
+  McGraph g = build_mc_graph(n);
+  for (std::size_t v = 1; v < g.vertex_count(); ++v) {
+    const VertexId vid{static_cast<std::uint32_t>(v)};
+    if (g.kind(vid) == McVertexKind::kGate) {
+      EXPECT_FALSE(g.forward_step_class(vid));
+    }
+  }
+}
+
+TEST(McGraphTest, ConstantVertexCannotMoveRegisters) {
+  Netlist n;
+  const NetId clk = n.add_input("clk");
+  const NetId c = n.add_const(true);
+  Register ff;
+  ff.d = c;
+  ff.clk = clk;
+  const NetId q = n.add_register(std::move(ff));
+  n.add_output("o", q);
+  McGraph g = build_mc_graph(n);
+  for (std::size_t v = 1; v < g.vertex_count(); ++v) {
+    const VertexId vid{static_cast<std::uint32_t>(v)};
+    if (g.kind(vid) == McVertexKind::kGate) {
+      // The constant drives a register, but backward across the constant
+      // would delete it: must be invalid.
+      EXPECT_FALSE(g.backward_step_class(vid));
+    }
+  }
+}
+
+TEST(McGraphTest, SharedNetDuplicatesSequencePerPin) {
+  // One register output read by two gates: two edges, same register.
+  Netlist n;
+  const NetId clk = n.add_input("clk");
+  const NetId a = n.add_input("a");
+  Register ff;
+  ff.d = a;
+  ff.clk = clk;
+  const NetId q = n.add_register(std::move(ff));
+  const NetId g1 = n.add_lut(TruthTable::inverter(), {q});
+  const NetId g2 = n.add_lut(TruthTable::buffer(), {q});
+  n.add_output("o1", g1);
+  n.add_output("o2", g2);
+  const McGraph g = build_mc_graph(n);
+  // Both fanin edges of the two gates carry the (copied) register.
+  std::size_t reg_edges = 0;
+  for (std::size_t e = 0; e < g.digraph().edge_count(); ++e) {
+    if (!g.regs(EdgeId{static_cast<std::uint32_t>(e)}).empty()) ++reg_edges;
+  }
+  EXPECT_EQ(reg_edges, 2u);
+}
+
+}  // namespace
+}  // namespace mcrt

@@ -1,0 +1,162 @@
+// Multi-clock circuits: Definition 1 makes the clock part of the class
+// tuple, so registers in different clock domains are never compatible and
+// no mc-retiming step may mix them. These tests pin down the structural
+// guarantees (the 3-valued simulator is single-clock, so behavioural
+// checks don't apply here).
+#include <gtest/gtest.h>
+
+#include "mcretime/maximal_retiming.h"
+#include "mcretime/mc_retime.h"
+#include "mcretime/mcgraph.h"
+#include "tech/sta.h"
+
+namespace mcrt {
+namespace {
+
+/// Two pipelines in separate clock domains converging on one AND gate, a
+/// register from each domain feeding it.
+struct DualClockRig {
+  Netlist n;
+  NetId clk_a, clk_b;
+
+  DualClockRig() {
+    clk_a = n.add_input("clk_a");
+    clk_b = n.add_input("clk_b");
+    const NetId x = n.add_input("x");
+    const NetId y = n.add_input("y");
+    const NetId qa = reg(chain(x, 2, "a"), clk_a, "ffa");
+    const NetId qb = reg(chain(y, 2, "b"), clk_b, "ffb");
+    const NetId g = n.add_lut(TruthTable::and_n(2), {qa, qb}, "join");
+    n.set_node_delay(NodeId{n.net(g).driver.index}, 10);
+    n.add_output("o", g);
+  }
+
+  NetId chain(NetId net, int depth, const std::string& tag) {
+    for (int i = 0; i < depth; ++i) {
+      net = n.add_lut(TruthTable::inverter(), {net},
+                      tag + "_g" + std::to_string(i));
+      n.set_node_delay(NodeId{n.net(net).driver.index}, 10);
+    }
+    return net;
+  }
+
+  NetId reg(NetId d, NetId clk, const std::string& name) {
+    Register ff;
+    ff.d = d;
+    ff.clk = clk;
+    ff.name = name;
+    return n.add_register(std::move(ff));
+  }
+};
+
+TEST(MultiClockTest, ClocksSeparateClasses) {
+  DualClockRig rig;
+  const auto classes = classify_registers(rig.n);
+  EXPECT_EQ(classes.class_count(), 2u);
+  EXPECT_NE(classes.reg_class[0], classes.reg_class[1]);
+}
+
+TEST(MultiClockTest, MixedClockLayerCannotMove) {
+  DualClockRig rig;
+  const McGraph g = build_mc_graph(rig.n);
+  // The join gate's fanin layer holds one register per domain: forward
+  // moves across it are invalid.
+  for (std::size_t v = 1; v < g.vertex_count(); ++v) {
+    const VertexId vid{static_cast<std::uint32_t>(v)};
+    if (g.kind(vid) == McVertexKind::kGate &&
+        rig.n.node(g.origin_node(vid)).name == "join") {
+      EXPECT_FALSE(g.forward_step_class(vid));
+    }
+  }
+}
+
+TEST(MultiClockTest, BoundsKeepDomainsSeparate) {
+  DualClockRig rig;
+  const McGraph g = build_mc_graph(rig.n);
+  const auto maximal = compute_mc_bounds(g);
+  // The join gate can never move (its fanout edge to the PO has no
+  // registers and its fanin layer is mixed-clock).
+  for (std::size_t v = 1; v < g.vertex_count(); ++v) {
+    const VertexId vid{static_cast<std::uint32_t>(v)};
+    if (g.kind(vid) == McVertexKind::kGate &&
+        rig.n.node(g.origin_node(vid)).name == "join") {
+      EXPECT_EQ(maximal.bounds.r_max[v], 0);
+      EXPECT_EQ(maximal.bounds.r_min[v], 0);
+    }
+  }
+}
+
+TEST(MultiClockTest, RetimingPreservesClockDomains) {
+  DualClockRig rig;
+  const auto result = mc_retime(rig.n, {});
+  ASSERT_TRUE(result.success) << result.error;
+  // Same number of registers per domain before and after.
+  auto count_domain = [](const Netlist& n, const std::string& clk_name) {
+    std::size_t count = 0;
+    for (const Register& ff : n.registers()) {
+      if (n.net(ff.clk).name == clk_name) ++count;
+    }
+    return count;
+  };
+  EXPECT_EQ(count_domain(result.netlist, "clk_a"), 1u);
+  EXPECT_EQ(count_domain(result.netlist, "clk_b"), 1u);
+  // Registers moved backward into their own domain's chain: period drops
+  // from 3 stacked inverters + AND (30+10) to a balanced split.
+  EXPECT_LE(result.stats.period_after, result.stats.period_before);
+}
+
+TEST(TargetPeriodTest, RelaxedTargetSavesRegisters) {
+  // A chain whose minimum period needs spread registers; a relaxed target
+  // lets minarea keep fewer (or equal) registers.
+  Netlist n;
+  const NetId clk = n.add_input("clk");
+  NetId net = n.add_input("x");
+  for (int i = 0; i < 6; ++i) {
+    net = n.add_lut(TruthTable::inverter(), {net});
+    n.set_node_delay(NodeId{n.net(net).driver.index}, 10);
+  }
+  for (int i = 0; i < 2; ++i) {
+    Register ff;
+    ff.d = net;
+    ff.clk = clk;
+    net = n.add_register(std::move(ff));
+  }
+  n.add_output("o", net);
+
+  McRetimeOptions tight;  // minimize: period 20
+  const auto r_tight = mc_retime(n, tight);
+  ASSERT_TRUE(r_tight.success);
+  EXPECT_EQ(r_tight.stats.period_after, 20);
+
+  McRetimeOptions relaxed;
+  relaxed.target_period = 30;
+  const auto r_relaxed = mc_retime(n, relaxed);
+  ASSERT_TRUE(r_relaxed.success);
+  EXPECT_EQ(r_relaxed.stats.period_after, 30);
+  EXPECT_LE(compute_period(r_relaxed.netlist), 30);
+  EXPECT_LE(r_relaxed.stats.registers_after, r_tight.stats.registers_after);
+}
+
+TEST(TargetPeriodTest, InfeasibleTargetFallsBackToMinimum) {
+  Netlist n;
+  const NetId clk = n.add_input("clk");
+  NetId net = n.add_input("x");
+  for (int i = 0; i < 4; ++i) {
+    net = n.add_lut(TruthTable::inverter(), {net});
+    n.set_node_delay(NodeId{n.net(net).driver.index}, 10);
+  }
+  Register ff;
+  ff.d = net;
+  ff.clk = clk;
+  net = n.add_register(std::move(ff));
+  n.add_output("o", net);
+
+  McRetimeOptions options;
+  options.target_period = 5;  // below a single LUT delay: impossible
+  const auto result = mc_retime(n, options);
+  ASSERT_TRUE(result.success);
+  EXPECT_GT(result.stats.period_after, 5);
+}
+
+}  // namespace
+}  // namespace mcrt

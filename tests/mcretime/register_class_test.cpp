@@ -1,0 +1,170 @@
+#include "mcretime/register_class.h"
+
+#include <gtest/gtest.h>
+
+#include "../common/test_circuits.h"
+
+namespace mcrt {
+namespace {
+
+struct Rig {
+  Netlist n;
+  NetId clk, en, d;
+  Rig() {
+    clk = n.add_input("clk");
+    en = n.add_input("en");
+    d = n.add_input("d");
+  }
+  RegId add(NetId en_net, NetId sync = {}, ResetVal s = ResetVal::kDontCare,
+            NetId async = {}, ResetVal a = ResetVal::kDontCare) {
+    Register ff;
+    ff.d = d;
+    ff.clk = clk;
+    ff.en = en_net;
+    ff.sync_ctrl = sync;
+    ff.sync_val = s;
+    ff.async_ctrl = async;
+    ff.async_val = a;
+    n.add_register(std::move(ff));
+    return RegId{static_cast<std::uint32_t>(n.register_count() - 1)};
+  }
+  void finish() {
+    for (std::size_t r = 0; r < n.register_count(); ++r) {
+      n.add_output("o" + std::to_string(r), n.reg(RegId{(std::uint32_t)r}).q);
+    }
+  }
+};
+
+TEST(RegisterClassTest, SameControlsSameClass) {
+  Rig rig;
+  rig.add(rig.en);
+  rig.add(rig.en);
+  rig.finish();
+  const auto classes = classify_registers(rig.n);
+  EXPECT_EQ(classes.class_count(), 1u);
+  EXPECT_EQ(classes.reg_class[0], classes.reg_class[1]);
+}
+
+TEST(RegisterClassTest, DifferentEnablesDifferentClasses) {
+  Rig rig;
+  const NetId en2 = rig.n.add_input("en2");
+  rig.add(rig.en);
+  rig.add(en2);
+  rig.finish();
+  const auto classes = classify_registers(rig.n);
+  EXPECT_EQ(classes.class_count(), 2u);
+}
+
+TEST(RegisterClassTest, BufferedEnableIsEquivalent) {
+  Rig rig;
+  const NetId buffered =
+      rig.n.add_lut(TruthTable::buffer(), {rig.en}, "en_buf");
+  rig.add(rig.en);
+  rig.add(buffered);
+  rig.finish();
+  const auto classes = classify_registers(rig.n);
+  EXPECT_EQ(classes.class_count(), 1u);
+}
+
+TEST(RegisterClassTest, LogicallyEquivalentConesMerge) {
+  // en and NOT(NOT(en)) are the same function.
+  Rig rig;
+  const NetId inv1 = rig.n.add_lut(TruthTable::inverter(), {rig.en});
+  const NetId inv2 = rig.n.add_lut(TruthTable::inverter(), {inv1});
+  rig.add(rig.en);
+  rig.add(inv2);
+  rig.finish();
+  const auto classes = classify_registers(rig.n);
+  EXPECT_EQ(classes.class_count(), 1u);
+}
+
+TEST(RegisterClassTest, InvertedEnableIsDifferent) {
+  Rig rig;
+  const NetId inv = rig.n.add_lut(TruthTable::inverter(), {rig.en});
+  rig.add(rig.en);
+  rig.add(inv);
+  rig.finish();
+  const auto classes = classify_registers(rig.n);
+  EXPECT_EQ(classes.class_count(), 2u);
+}
+
+TEST(RegisterClassTest, ConstantOneEnableEqualsNoEnable) {
+  Rig rig;
+  const NetId one = rig.n.add_const(true);
+  rig.add(NetId{});  // no enable at all
+  rig.add(one);      // enable tied to 1
+  // en OR NOT en == 1 as well.
+  const NetId inv = rig.n.add_lut(TruthTable::inverter(), {rig.en});
+  const NetId tautology = rig.n.add_lut(TruthTable::or_n(2), {rig.en, inv});
+  rig.add(tautology);
+  rig.finish();
+  const auto classes = classify_registers(rig.n);
+  EXPECT_EQ(classes.class_count(), 1u);
+}
+
+TEST(RegisterClassTest, ResetValueDoesNotSplitClass) {
+  // Class is about *signals*; the value (set vs clear) is a register label.
+  Rig rig;
+  const NetId rst = rig.n.add_input("rst");
+  rig.add(rig.en, NetId{}, ResetVal::kDontCare, rst, ResetVal::kZero);
+  rig.add(rig.en, NetId{}, ResetVal::kDontCare, rst, ResetVal::kOne);
+  rig.finish();
+  const auto classes = classify_registers(rig.n);
+  EXPECT_EQ(classes.class_count(), 1u);
+}
+
+TEST(RegisterClassTest, SyncVsAsyncAreDifferentTupleSlots) {
+  Rig rig;
+  const NetId rst = rig.n.add_input("rst");
+  rig.add(NetId{}, rst, ResetVal::kZero);  // sync clear
+  rig.add(NetId{}, NetId{}, ResetVal::kDontCare, rst, ResetVal::kZero);
+  rig.finish();
+  const auto classes = classify_registers(rig.n);
+  EXPECT_EQ(classes.class_count(), 2u);
+}
+
+TEST(RegisterClassTest, RegisterBoundaryCutsCones) {
+  // Enables derived from *different registers* are different variables even
+  // if those registers have identical cones behind them.
+  Rig rig;
+  const RegId r1 = rig.add(NetId{});
+  const RegId r2 = rig.add(NetId{});
+  rig.add(rig.n.reg(r1).q);
+  rig.add(rig.n.reg(r2).q);
+  rig.finish();
+  const auto classes = classify_registers(rig.n);
+  // r1/r2 share a class; the two enable-consumers have distinct classes.
+  EXPECT_EQ(classes.class_count(), 3u);
+}
+
+TEST(RegisterClassTest, BudgetFallbackIsStructural) {
+  // With the BDD node budget exhausted the analysis degrades to
+  // structural identity: buffered enables no longer merge (sound: classes
+  // only split, never wrongly unify).
+  Rig rig;
+  const NetId buffered =
+      rig.n.add_lut(TruthTable::buffer(), {rig.en}, "en_buf");
+  rig.add(rig.en);
+  rig.add(buffered);
+  rig.finish();
+  ClassOptions tight;
+  tight.bdd_node_budget = 0;
+  const auto classes = classify_registers(rig.n, tight);
+  EXPECT_EQ(classes.class_count(), 2u);
+  // Identical nets still merge even without BDDs.
+  Rig rig2;
+  rig2.add(rig2.en);
+  rig2.add(rig2.en);
+  rig2.finish();
+  const auto classes2 = classify_registers(rig2.n, tight);
+  EXPECT_EQ(classes2.class_count(), 1u);
+}
+
+TEST(RegisterClassTest, Fig1HasOneClass) {
+  const Netlist n = testing::fig1_circuit();
+  const auto classes = classify_registers(n);
+  EXPECT_EQ(classes.class_count(), 1u);
+}
+
+}  // namespace
+}  // namespace mcrt

@@ -1,0 +1,189 @@
+#include "mcretime/relocate.h"
+
+#include <gtest/gtest.h>
+
+#include "../common/test_circuits.h"
+#include "mcretime/maximal_retiming.h"
+#include "mcretime/rebuild.h"
+#include "sim/equivalence.h"
+
+namespace mcrt {
+namespace {
+
+VertexId gate_by_name(const McGraph& g, const Netlist& n, const char* name) {
+  for (std::size_t v = 1; v < g.vertex_count(); ++v) {
+    const VertexId vid{static_cast<std::uint32_t>(v)};
+    if (g.kind(vid) == McVertexKind::kGate &&
+        n.node(g.origin_node(vid)).name == name) {
+      return vid;
+    }
+  }
+  ADD_FAILURE() << "gate not found: " << name;
+  return {};
+}
+
+TEST(RelocateTest, BackwardChainMove) {
+  // Move both end-of-chain registers backward across every gate.
+  const Netlist n = testing::chain_circuit(3, 2);
+  McGraph g = build_mc_graph(n);
+  std::vector<std::int64_t> r(g.vertex_count(), 0);
+  for (const char* name : {"g0", "g1", "g2"}) {
+    r[gate_by_name(g, n, name).index()] = 2;
+  }
+  const auto result = relocate_registers(g, n, r);
+  ASSERT_TRUE(result.success) << result.failure_reason;
+  EXPECT_EQ(result.stats.backward_steps, 6u);
+  EXPECT_EQ(result.stats.forward_steps, 0u);
+  // Registers now sit on the PI -> g0 edge.
+  const VertexId g0 = gate_by_name(g, n, "g0");
+  const auto fanin = g.digraph().in_edges(g0);
+  ASSERT_EQ(fanin.size(), 1u);
+  EXPECT_EQ(g.regs(fanin[0]).size(), 2u);
+}
+
+TEST(RelocateTest, ForwardMoveImpliesValues) {
+  // Register with async clear feeding an inverter: after a forward move the
+  // new register's async value must be 1 (implied through the inverter).
+  Netlist n;
+  const NetId clk = n.add_input("clk");
+  const NetId rst = n.add_input("rst");
+  const NetId a = n.add_input("a");
+  Register ff;
+  ff.d = a;
+  ff.clk = clk;
+  ff.async_ctrl = rst;
+  ff.async_val = ResetVal::kZero;
+  const NetId q = n.add_register(std::move(ff));
+  const NetId inv = n.add_lut(TruthTable::inverter(), {q}, "inv");
+  n.add_output("o", inv);
+
+  McGraph g = build_mc_graph(n);
+  std::vector<std::int64_t> r(g.vertex_count(), 0);
+  r[gate_by_name(g, n, "inv").index()] = -1;
+  const auto result = relocate_registers(g, n, r);
+  ASSERT_TRUE(result.success) << result.failure_reason;
+  const VertexId inv_v = gate_by_name(g, n, "inv");
+  const auto fanout = g.digraph().out_edges(inv_v);
+  ASSERT_EQ(fanout.size(), 1u);
+  ASSERT_EQ(g.regs(fanout[0]).size(), 1u);
+  EXPECT_EQ(g.regs(fanout[0])[0].async_val, ResetVal::kOne);
+}
+
+TEST(RelocateTest, BackwardMoveJustifiesWithDontCares) {
+  // Register with async value 0 behind an AND: one fanin register gets 0,
+  // the other stays '-'.
+  Netlist n;
+  const NetId clk = n.add_input("clk");
+  const NetId rst = n.add_input("rst");
+  const NetId a = n.add_input("a");
+  const NetId b = n.add_input("b");
+  const NetId and_net = n.add_lut(TruthTable::and_n(2), {a, b}, "and");
+  Register ff;
+  ff.d = and_net;
+  ff.clk = clk;
+  ff.async_ctrl = rst;
+  ff.async_val = ResetVal::kZero;
+  const NetId q = n.add_register(std::move(ff));
+  n.add_output("o", q);
+
+  McGraph g = build_mc_graph(n);
+  std::vector<std::int64_t> r(g.vertex_count(), 0);
+  r[gate_by_name(g, n, "and").index()] = 1;
+  const auto result = relocate_registers(g, n, r);
+  ASSERT_TRUE(result.success) << result.failure_reason;
+  EXPECT_EQ(result.stats.local_justifications, 1u);
+  EXPECT_EQ(result.stats.global_justifications, 0u);
+  const VertexId and_v = gate_by_name(g, n, "and");
+  std::size_t zeros = 0;
+  std::size_t dontcares = 0;
+  for (const EdgeId e : g.digraph().in_edges(and_v)) {
+    ASSERT_EQ(g.regs(e).size(), 1u);
+    if (g.regs(e)[0].async_val == ResetVal::kZero) ++zeros;
+    if (g.regs(e)[0].async_val == ResetVal::kDontCare) ++dontcares;
+  }
+  EXPECT_EQ(zeros, 1u);
+  EXPECT_EQ(dontcares, 1u);
+}
+
+TEST(RelocateTest, Fig5GlobalJustification) {
+  // The paper's Fig. 5 scenario: local justification handles v3 and v4,
+  // the backward move across v2 conflicts, and a global justification
+  // across v2, v3, v4 resolves it.
+  const Netlist n = testing::fig5_circuit();
+  McGraph g = build_mc_graph(n);
+  std::vector<std::int64_t> r(g.vertex_count(), 0);
+  r[gate_by_name(g, n, "v2").index()] = 1;
+  r[gate_by_name(g, n, "v3").index()] = 1;
+  r[gate_by_name(g, n, "v4").index()] = 1;
+  const auto result = relocate_registers(g, n, r);
+  ASSERT_TRUE(result.success) << result.failure_reason;
+  EXPECT_GE(result.stats.global_justifications, 1u);
+
+  // The revised values must be consistent: rebuild and compare behaviour.
+  const Netlist rebuilt = rebuild_netlist(g, n);
+  EXPECT_TRUE(rebuilt.validate().empty());
+  EquivalenceOptions opt;
+  opt.reset_inputs = {"srst"};
+  opt.reset_prefix = 2;
+  const auto eq = check_sequential_equivalence(n, rebuilt, opt);
+  EXPECT_TRUE(eq.equivalent) << eq.counterexample;
+}
+
+TEST(RelocateTest, UnresolvableConflictReportsVertex) {
+  // Like Fig. 5 but with reset values whose constraints are jointly
+  // unsatisfiable: f3 = 0 behind NAND forces the shared fanout to 1, while
+  // f4 = 1 behind INV forces it to 0. Even global justification must fail,
+  // and the relocation reports the conflicting vertex so the driver can
+  // bound it away.
+  Netlist n;
+  const NetId clk = n.add_input("clk");
+  const NetId srst = n.add_input("srst");
+  const NetId i0 = n.add_input("i0");
+  const NetId i1 = n.add_input("i1");
+  const NetId i2 = n.add_input("i2");
+  const NetId v2 = n.add_lut(TruthTable::and_n(2), {i0, i1}, "v2");
+  const NetId v3 = n.add_lut(TruthTable::nand_n(2), {v2, i2}, "v3");
+  const NetId v4 = n.add_lut(TruthTable::inverter(), {v2}, "v4");
+  Register f3;
+  f3.d = v3;
+  f3.clk = clk;
+  f3.sync_ctrl = srst;
+  f3.sync_val = ResetVal::kZero;  // forces v2 side to 1
+  const NetId q3 = n.add_register(std::move(f3));
+  Register f4;
+  f4.d = v4;
+  f4.clk = clk;
+  f4.sync_ctrl = srst;
+  f4.sync_val = ResetVal::kOne;  // forces v2 side to 0
+  const NetId q4 = n.add_register(std::move(f4));
+  n.add_output("out0", q3);
+  n.add_output("out1", q4);
+
+  McGraph g = build_mc_graph(n);
+  std::vector<std::int64_t> r(g.vertex_count(), 0);
+  const VertexId v2_v = gate_by_name(g, n, "v2");
+  r[v2_v.index()] = 1;
+  r[gate_by_name(g, n, "v3").index()] = 1;
+  r[gate_by_name(g, n, "v4").index()] = 1;
+  const auto result = relocate_registers(g, n, r);
+  EXPECT_FALSE(result.success);
+  EXPECT_TRUE(result.failed_backward);
+  EXPECT_EQ(result.failed_vertex, v2_v);
+  EXPECT_EQ(result.achieved, 0);
+  EXPECT_GE(result.stats.global_justifications, 1u);
+}
+
+TEST(RelocateTest, ZeroTargetIsNoOp) {
+  const Netlist n = testing::fig1_circuit();
+  McGraph g = build_mc_graph(n);
+  const std::size_t before = g.total_edge_registers();
+  const std::vector<std::int64_t> r(g.vertex_count(), 0);
+  const auto result = relocate_registers(g, n, r);
+  ASSERT_TRUE(result.success);
+  EXPECT_EQ(result.stats.backward_steps, 0u);
+  EXPECT_EQ(result.stats.forward_steps, 0u);
+  EXPECT_EQ(g.total_edge_registers(), before);
+}
+
+}  // namespace
+}  // namespace mcrt

@@ -1,0 +1,108 @@
+#include "mcretime/reset_state.h"
+
+#include <gtest/gtest.h>
+
+namespace mcrt {
+namespace {
+
+TEST(MergeResetValuesTest, AllDontCare) {
+  const auto merged = merge_reset_values(
+      {ResetVal::kDontCare, ResetVal::kDontCare});
+  ASSERT_TRUE(merged);
+  EXPECT_EQ(*merged, ResetVal::kDontCare);
+}
+
+TEST(MergeResetValuesTest, ConcreteAbsorbsDontCare) {
+  const auto merged = merge_reset_values(
+      {ResetVal::kDontCare, ResetVal::kOne, ResetVal::kDontCare});
+  ASSERT_TRUE(merged);
+  EXPECT_EQ(*merged, ResetVal::kOne);
+}
+
+TEST(MergeResetValuesTest, ClashFails) {
+  EXPECT_FALSE(merge_reset_values({ResetVal::kZero, ResetVal::kOne}));
+}
+
+TEST(ImplyTest, AndGate) {
+  const TruthTable and2 = TruthTable::and_n(2);
+  EXPECT_EQ(imply_through(and2, {ResetVal::kOne, ResetVal::kOne}),
+            ResetVal::kOne);
+  EXPECT_EQ(imply_through(and2, {ResetVal::kZero, ResetVal::kDontCare}),
+            ResetVal::kZero);
+  EXPECT_EQ(imply_through(and2, {ResetVal::kOne, ResetVal::kDontCare}),
+            ResetVal::kDontCare);
+}
+
+TEST(ImplyTest, XorUnknownDominates) {
+  const TruthTable xor2 = TruthTable::xor_n(2);
+  EXPECT_EQ(imply_through(xor2, {ResetVal::kDontCare, ResetVal::kOne}),
+            ResetVal::kDontCare);
+  EXPECT_EQ(imply_through(xor2, {ResetVal::kOne, ResetVal::kOne}),
+            ResetVal::kZero);
+}
+
+TEST(JustifyTest, AndToOneForcesAllInputs) {
+  const auto pins = justify_through(TruthTable::and_n(3), true);
+  ASSERT_TRUE(pins);
+  for (const ResetVal v : *pins) EXPECT_EQ(v, ResetVal::kOne);
+}
+
+TEST(JustifyTest, AndToZeroUsesOneLiteral) {
+  // f = a & b & c = 0 needs only one input at 0; the rest stay don't-care
+  // (the paper's "select as many don't cares as possible").
+  const auto pins = justify_through(TruthTable::and_n(3), false);
+  ASSERT_TRUE(pins);
+  int concrete = 0;
+  for (const ResetVal v : *pins) {
+    if (v != ResetVal::kDontCare) {
+      ++concrete;
+      EXPECT_EQ(v, ResetVal::kZero);
+    }
+  }
+  EXPECT_EQ(concrete, 1);
+}
+
+TEST(JustifyTest, OrToOneUsesOneLiteral) {
+  const auto pins = justify_through(TruthTable::or_n(4), true);
+  ASSERT_TRUE(pins);
+  int concrete = 0;
+  for (const ResetVal v : *pins) {
+    if (v != ResetVal::kDontCare) ++concrete;
+  }
+  EXPECT_EQ(concrete, 1);
+}
+
+TEST(JustifyTest, ConstantMismatchFails) {
+  EXPECT_FALSE(justify_through(TruthTable::constant(false), true));
+  EXPECT_TRUE(justify_through(TruthTable::constant(true), true));
+}
+
+TEST(JustifyTest, XorNeedsBothInputs) {
+  const auto pins = justify_through(TruthTable::xor_n(2), true);
+  ASSERT_TRUE(pins);
+  // XOR to 1: both inputs must be concrete and different.
+  ASSERT_EQ(pins->size(), 2u);
+  EXPECT_NE((*pins)[0], ResetVal::kDontCare);
+  EXPECT_NE((*pins)[1], ResetVal::kDontCare);
+  EXPECT_NE((*pins)[0], (*pins)[1]);
+}
+
+TEST(JustifyTest, JustifiedValuesImplyTarget) {
+  // Round-trip property on assorted functions.
+  const TruthTable tables[] = {
+      TruthTable::and_n(2),  TruthTable::or_n(3),   TruthTable::nand_n(2),
+      TruthTable::xor_n(3),  TruthTable::mux21(),   TruthTable::inverter(),
+  };
+  for (const TruthTable& f : tables) {
+    for (const bool target : {false, true}) {
+      const auto pins = justify_through(f, target);
+      if (!pins) continue;
+      EXPECT_EQ(imply_through(f, *pins),
+                target ? ResetVal::kOne : ResetVal::kZero)
+          << f.to_string() << " -> " << target;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mcrt

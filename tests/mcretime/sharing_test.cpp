@@ -1,0 +1,187 @@
+// Tests for the §4.2 register-sharing modification, including a rebuild of
+// the paper's Fig. 4 situation: a multi-fanout vertex whose fanout register
+// layers mix classes in the maximally backward-retimed graph.
+#include "mcretime/sharing.h"
+
+#include <gtest/gtest.h>
+
+#include "mcretime/lower.h"
+#include "mcretime/rebuild.h"
+
+namespace mcrt {
+namespace {
+
+/// Fig. 4-style circuit: vertex u fans out to sinks v1..v3; the registers
+/// on the fanout edges belong to two classes, so only the largest
+/// compatible set can share.
+struct Fig4Rig {
+  Netlist n;
+  NetId clk, en1, en2;
+
+  Netlist build() {
+    clk = n.add_input("clk");
+    en1 = n.add_input("en1");
+    en2 = n.add_input("en2");
+    const NetId a = n.add_input("a");
+    const NetId u = n.add_lut(TruthTable::inverter(), {a}, "u");
+    // Branch 1 and 2: class C1 (en1). Branch 3: class C2 (en2).
+    const NetId q1 = reg(u, en1, "r1");
+    const NetId q2 = reg(u, en1, "r2");
+    const NetId q3 = reg(u, en2, "r3");
+    n.add_output("o1", n.add_lut(TruthTable::inverter(), {q1}, "v1"));
+    n.add_output("o2", n.add_lut(TruthTable::inverter(), {q2}, "v2"));
+    n.add_output("o3", n.add_lut(TruthTable::inverter(), {q3}, "v3"));
+    return std::move(n);
+  }
+
+  NetId reg(NetId d, NetId en, const std::string& name) {
+    Register ff;
+    ff.d = d;
+    ff.clk = clk;
+    ff.en = en;
+    ff.name = name;
+    return n.add_register(std::move(ff));
+  }
+};
+
+TEST(SharingTest, MixedClassFanoutGetsSeparator) {
+  Fig4Rig rig;
+  const Netlist n = rig.build();
+  const McGraph g = build_mc_graph(n);
+  const auto maximal = compute_mc_bounds(g);
+  const auto modified =
+      apply_sharing_modification(g, maximal.bounds, maximal.backward_graph);
+  // The C2 branch is the smaller group: exactly one separator expected.
+  EXPECT_EQ(modified.separators_inserted, 1u);
+  EXPECT_EQ(modified.graph.vertex_count(), g.vertex_count() + 1);
+  EXPECT_TRUE(modified.graph.validate().empty());
+  // Register total preserved.
+  EXPECT_EQ(modified.graph.total_edge_registers(), g.total_edge_registers());
+}
+
+TEST(SharingTest, SeparatorBoundsFollowEq3) {
+  Fig4Rig rig;
+  const Netlist n = rig.build();
+  const McGraph g = build_mc_graph(n);
+  const auto maximal = compute_mc_bounds(g);
+  const auto modified =
+      apply_sharing_modification(g, maximal.bounds, maximal.backward_graph);
+  // Separator vertices were appended at the end.
+  for (std::size_t v = g.vertex_count(); v < modified.graph.vertex_count();
+       ++v) {
+    const VertexId vid{static_cast<std::uint32_t>(v)};
+    EXPECT_EQ(modified.graph.kind(vid), McVertexKind::kSeparator);
+    EXPECT_EQ(modified.graph.delay(vid), 0);
+    // Eq. 3 here: r_max(v3-gate) = 0 (registers at sinks can't move back
+    // past the PO-feeding gate beyond what exists), w_b(e_s,v) = 1
+    // -> r_max(s) = max(0 - 1, 0) = 0.
+    EXPECT_EQ(modified.bounds.r_max[v], 0);
+  }
+}
+
+TEST(SharingTest, SingleClassFanoutUntouched) {
+  // All three branches same class: everything sharable, no separators.
+  Fig4Rig rig;
+  rig.n = Netlist{};
+  Netlist n;
+  const NetId clk = n.add_input("clk");
+  const NetId en = n.add_input("en");
+  const NetId a = n.add_input("a");
+  const NetId u = n.add_lut(TruthTable::inverter(), {a}, "u");
+  for (int i = 0; i < 3; ++i) {
+    Register ff;
+    ff.d = u;
+    ff.clk = clk;
+    ff.en = en;
+    const NetId q = n.add_register(std::move(ff));
+    n.add_output("o" + std::to_string(i),
+                 n.add_lut(TruthTable::inverter(), {q}));
+  }
+  const McGraph g = build_mc_graph(n);
+  const auto maximal = compute_mc_bounds(g);
+  const auto modified =
+      apply_sharing_modification(g, maximal.bounds, maximal.backward_graph);
+  EXPECT_EQ(modified.separators_inserted, 0u);
+}
+
+TEST(SharingTest, NoRegistersNoSeparators) {
+  Netlist n;
+  const NetId a = n.add_input("a");
+  const NetId u = n.add_lut(TruthTable::inverter(), {a});
+  n.add_output("o1", n.add_lut(TruthTable::inverter(), {u}));
+  n.add_output("o2", n.add_lut(TruthTable::buffer(), {u}));
+  const McGraph g = build_mc_graph(n);
+  const auto maximal = compute_mc_bounds(g);
+  const auto modified =
+      apply_sharing_modification(g, maximal.bounds, maximal.backward_graph);
+  EXPECT_EQ(modified.separators_inserted, 0u);
+}
+
+TEST(SharingTest, PaperFig4aExactNumbers) {
+  // The paper's Fig. 4a statement verbatim: "we would report a shared
+  // register count of 2. But the registers of class C1 and C2 cannot be
+  // shared so that the area cost is actually 3." Construction: driver u
+  // with three fanout branches; two carry one C1 register, the third a C2
+  // register followed by a C1 register (max weight 2 -> naive shared count
+  // 2; physically: shared C1 layer (1) + the C2 register (1) + the deeper
+  // C1 register (1) = 3, since C2 cannot join the C1 layer).
+  Netlist n;
+  const NetId clk = n.add_input("clk");
+  const NetId en1 = n.add_input("en1");
+  const NetId en2 = n.add_input("en2");
+  const NetId a = n.add_input("a");
+  const NetId u = n.add_lut(TruthTable::inverter(), {a}, "u");
+  auto reg = [&](NetId d, NetId en) {
+    Register ff;
+    ff.d = d;
+    ff.clk = clk;
+    ff.en = en;
+    return n.add_register(std::move(ff));
+  };
+  const NetId q1 = reg(u, en1);
+  const NetId q2 = reg(u, en1);
+  const NetId q3 = reg(reg(u, en2), en1);  // C2 then C1 in series
+  n.add_output("o1", n.add_lut(TruthTable::inverter(), {q1}));
+  n.add_output("o2", n.add_lut(TruthTable::inverter(), {q2}));
+  n.add_output("o3", n.add_lut(TruthTable::inverter(), {q3}));
+
+  const McGraph g = build_mc_graph(n);
+  const auto maximal = compute_mc_bounds(g);
+  // Naive Leiserson-Saxe sharing on the unmodified graph: max(1,1,2) = 2.
+  const RetimeGraph plain = lower_to_retime_graph(g, maximal.bounds);
+  EXPECT_EQ(plain.shared_register_area(), 2);
+  // The physical truth (what rebuild materializes): 3 registers.
+  const Netlist rebuilt = rebuild_netlist(g, n);
+  EXPECT_EQ(rebuilt.register_count(), 3u);
+  // With the separation vertex the model reports the honest 3.
+  const auto modified =
+      apply_sharing_modification(g, maximal.bounds, maximal.backward_graph);
+  const RetimeGraph fixed =
+      lower_to_retime_graph(modified.graph, modified.bounds);
+  EXPECT_EQ(fixed.shared_register_area(), 3);
+}
+
+TEST(SharingTest, LoweredGraphCountsNonSharableSeparately) {
+  // Area model check: without the modification, the shared cost function
+  // undercounts (2 instead of 3 registers, as in the paper's Fig. 4a).
+  Fig4Rig rig;
+  const Netlist n = rig.build();
+  const McGraph g = build_mc_graph(n);
+  const auto maximal = compute_mc_bounds(g);
+
+  const RetimeGraph plain = lower_to_retime_graph(g, maximal.bounds);
+  // u has three fanout edges with one register each: the plain sharing
+  // model counts max = 1 (plus nothing else).
+  EXPECT_EQ(plain.shared_register_area(), 1);
+
+  const auto modified =
+      apply_sharing_modification(g, maximal.bounds, maximal.backward_graph);
+  const RetimeGraph fixed =
+      lower_to_retime_graph(modified.graph, modified.bounds);
+  // With the separator, the C2 register sits behind a single-fanout
+  // separation vertex and counts on its own: 1 (shared C1) + 1 (C2) = 2.
+  EXPECT_EQ(fixed.shared_register_area(), 2);
+}
+
+}  // namespace
+}  // namespace mcrt

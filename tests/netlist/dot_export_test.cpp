@@ -1,0 +1,45 @@
+#include "netlist/dot_export.h"
+
+#include <gtest/gtest.h>
+
+#include "../common/test_circuits.h"
+
+namespace mcrt {
+namespace {
+
+TEST(DotExportTest, ContainsAllElements) {
+  const Netlist n = testing::fig1_circuit();
+  const std::string dot = write_dot_string(n, "fig1");
+  EXPECT_NE(dot.find("digraph \"fig1\""), std::string::npos);
+  EXPECT_NE(dot.find("doubleoctagon"), std::string::npos);  // registers
+  EXPECT_NE(dot.find("en=en"), std::string::npos);          // control label
+  EXPECT_NE(dot.find("shape=box"), std::string::npos);      // the AND gate
+  EXPECT_NE(dot.find("->"), std::string::npos);
+  // Balanced braces.
+  EXPECT_EQ(dot.front(), 'd');
+  EXPECT_EQ(dot[dot.size() - 2], '}');
+}
+
+TEST(DotExportTest, ResetValuesAnnotated) {
+  const Netlist n = testing::fig5_circuit();
+  const std::string dot = write_dot_string(n);
+  EXPECT_NE(dot.find("sync=srst:1"), std::string::npos);
+  EXPECT_NE(dot.find("sync=srst:0"), std::string::npos);
+}
+
+TEST(DotExportTest, QuotesEscaped) {
+  Netlist n;
+  const NetId a = n.add_input("a\"b");
+  n.add_output("o", a);
+  const std::string dot = write_dot_string(n);
+  EXPECT_NE(dot.find("a\\\"b"), std::string::npos);
+}
+
+TEST(DotExportTest, FileWrite) {
+  const Netlist n = testing::chain_circuit(2, 1);
+  const std::string path = ::testing::TempDir() + "/mcrt_dot_test.dot";
+  EXPECT_TRUE(write_dot_file(n, path));
+}
+
+}  // namespace
+}  // namespace mcrt

@@ -1,0 +1,108 @@
+#include "netlist/truth_table.h"
+
+#include <gtest/gtest.h>
+
+namespace mcrt {
+namespace {
+
+TEST(TruthTableTest, Constants) {
+  EXPECT_TRUE(TruthTable::constant(true).eval(0));
+  EXPECT_FALSE(TruthTable::constant(false).eval(0));
+  EXPECT_TRUE(TruthTable::constant(true).is_const(true));
+  EXPECT_TRUE(TruthTable::constant(false).is_const(false));
+}
+
+TEST(TruthTableTest, BasicGates) {
+  const TruthTable inv = TruthTable::inverter();
+  EXPECT_TRUE(inv.eval(0));
+  EXPECT_FALSE(inv.eval(1));
+
+  const TruthTable and3 = TruthTable::and_n(3);
+  for (std::uint32_t row = 0; row < 8; ++row) {
+    EXPECT_EQ(and3.eval(row), row == 7);
+  }
+  const TruthTable or2 = TruthTable::or_n(2);
+  EXPECT_FALSE(or2.eval(0));
+  EXPECT_TRUE(or2.eval(1));
+  EXPECT_TRUE(or2.eval(2));
+  EXPECT_TRUE(or2.eval(3));
+  const TruthTable xor2 = TruthTable::xor_n(2);
+  EXPECT_EQ(xor2.eval(0b00), false);
+  EXPECT_EQ(xor2.eval(0b01), true);
+  EXPECT_EQ(xor2.eval(0b10), true);
+  EXPECT_EQ(xor2.eval(0b11), false);
+  const TruthTable nand2 = TruthTable::nand_n(2);
+  EXPECT_TRUE(nand2.eval(0));
+  EXPECT_FALSE(nand2.eval(3));
+}
+
+TEST(TruthTableTest, Mux21) {
+  const TruthTable mux = TruthTable::mux21();
+  // inputs (sel, a, b): sel=0 -> a.
+  EXPECT_EQ(mux.eval(0b010), true);   // sel=0, a=1, b=0
+  EXPECT_EQ(mux.eval(0b100), false);  // sel=0, a=0, b=1
+  EXPECT_EQ(mux.eval(0b101), true);   // sel=1, a=0, b=1
+  EXPECT_EQ(mux.eval(0b011), false);  // sel=1, a=1, b=0
+}
+
+TEST(TruthTableTest, CofactorReducesArity) {
+  const TruthTable mux = TruthTable::mux21();
+  // sel = 0 leaves "a" (input 0 of the 2-input remainder).
+  const TruthTable a_path = mux.cofactor(0, false);
+  EXPECT_EQ(a_path.input_count(), 2u);
+  EXPECT_EQ(a_path.eval(0b01), true);   // a=1, b=0
+  EXPECT_EQ(a_path.eval(0b10), false);  // a=0, b=1
+  const TruthTable b_path = mux.cofactor(0, true);
+  EXPECT_EQ(b_path.eval(0b10), true);
+}
+
+TEST(TruthTableTest, InputRedundancy) {
+  const TruthTable mux = TruthTable::mux21();
+  EXPECT_FALSE(mux.input_redundant(0));
+  // f(a, b) = a  (b redundant).
+  const TruthTable proj(2, 0b1010);
+  EXPECT_FALSE(proj.input_redundant(0));
+  EXPECT_TRUE(proj.input_redundant(1));
+}
+
+TEST(TruthTableTest, TernaryEvalKnown) {
+  const TruthTable and2 = TruthTable::and_n(2);
+  const Trit both_one[] = {Trit::kOne, Trit::kOne};
+  EXPECT_EQ(and2.eval_ternary(both_one), Trit::kOne);
+  const Trit one_zero[] = {Trit::kOne, Trit::kZero};
+  EXPECT_EQ(and2.eval_ternary(one_zero), Trit::kZero);
+}
+
+TEST(TruthTableTest, TernaryEvalControllingValue) {
+  const TruthTable and2 = TruthTable::and_n(2);
+  const Trit zero_x[] = {Trit::kZero, Trit::kUnknown};
+  EXPECT_EQ(and2.eval_ternary(zero_x), Trit::kZero);  // 0 controls AND
+  const TruthTable or2 = TruthTable::or_n(2);
+  const Trit one_x[] = {Trit::kOne, Trit::kUnknown};
+  EXPECT_EQ(or2.eval_ternary(one_x), Trit::kOne);
+}
+
+TEST(TruthTableTest, TernaryEvalUnknown) {
+  const TruthTable xor2 = TruthTable::xor_n(2);
+  const Trit x_one[] = {Trit::kUnknown, Trit::kOne};
+  EXPECT_EQ(xor2.eval_ternary(x_one), Trit::kUnknown);
+}
+
+TEST(TruthTableTest, SixInputTable) {
+  const TruthTable and6 = TruthTable::and_n(6);
+  EXPECT_EQ(and6.eval(63), true);
+  EXPECT_EQ(and6.eval(62), false);
+  EXPECT_TRUE(TruthTable::or_n(6).eval(32));
+}
+
+TEST(TruthTableTest, BitsAboveRangeIgnored) {
+  const TruthTable t(1, 0xFF);  // only bits 0..1 matter
+  EXPECT_EQ(t.bits(), 0b11u);
+}
+
+TEST(TruthTableTest, ToStringFormat) {
+  EXPECT_EQ(TruthTable::and_n(2).to_string(), "tt2:0x8");
+}
+
+}  // namespace
+}  // namespace mcrt

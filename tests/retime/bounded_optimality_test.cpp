@@ -1,0 +1,80 @@
+// Brute-force optimality oracle for *bounded* minimum-period retiming:
+// enumerate every labeling in the bound box on small graphs and compare
+// the best achievable period with what minperiod_retime claims.
+#include <gtest/gtest.h>
+
+#include "base/rng.h"
+#include "retime/minperiod.h"
+
+namespace mcrt {
+namespace {
+
+RetimeGraph random_graph(std::uint64_t seed, std::size_t vertices) {
+  Rng rng(seed);
+  RetimeGraph g;
+  std::vector<VertexId> vs;
+  for (std::size_t i = 0; i < vertices; ++i) {
+    vs.push_back(g.add_vertex(1 + static_cast<std::int64_t>(rng.below(9))));
+  }
+  g.add_edge(g.host(), vs[0], 0);
+  for (std::size_t i = 0; i + 1 < vertices; ++i) {
+    g.add_edge(vs[i], vs[i + 1], rng.below(3));
+  }
+  for (std::size_t i = 0; i < vertices; ++i) {
+    const std::size_t a = rng.below(vertices);
+    const std::size_t b = rng.below(vertices);
+    if (a < b) {
+      g.add_edge(vs[a], vs[b], rng.below(2));
+    } else if (a > b) {
+      g.add_edge(vs[a], vs[b], 1 + rng.below(2));
+    }
+  }
+  g.add_edge(vs[vertices - 1], g.host(), 0);
+  for (std::size_t i = 0; i < vertices; ++i) {
+    g.set_bounds(vs[i], -static_cast<std::int64_t>(rng.below(3)),
+                 static_cast<std::int64_t>(rng.below(3)));
+  }
+  return g;
+}
+
+std::int64_t brute_force_min_period(const RetimeGraph& g) {
+  const std::size_t n = g.vertex_count();
+  std::vector<std::int64_t> r(n, 0);
+  std::int64_t best = INT64_MAX;
+  std::vector<std::int64_t> digits(n - 1);
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    digits[i] = g.lower_bound(VertexId{static_cast<std::uint32_t>(i + 1)});
+  }
+  while (true) {
+    for (std::size_t i = 0; i + 1 < n; ++i) r[i + 1] = digits[i];
+    if (g.check_legal(r).empty()) {
+      best = std::min(best, g.period(r));
+    }
+    std::size_t i = 0;
+    for (; i + 1 < n; ++i) {
+      const VertexId v{static_cast<std::uint32_t>(i + 1)};
+      if (++digits[i] <= g.upper_bound(v)) break;
+      digits[i] = g.lower_bound(v);
+    }
+    if (i + 1 == n) break;
+  }
+  return best;
+}
+
+class BoundedOptimality : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BoundedOptimality, MinPeriodMatchesBruteForce) {
+  const RetimeGraph g = random_graph(GetParam(), 6);
+  const RetimeSolution solution = minperiod_retime(g);
+  ASSERT_TRUE(solution.feasible);
+  EXPECT_EQ(solution.period, brute_force_min_period(g))
+      << "seed " << GetParam();
+  EXPECT_EQ(g.period(solution.r), solution.period);
+  EXPECT_TRUE(g.check_legal(solution.r).empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BoundedOptimality,
+                         ::testing::Range<std::uint64_t>(1, 21));
+
+}  // namespace
+}  // namespace mcrt

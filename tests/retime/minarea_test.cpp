@@ -1,0 +1,161 @@
+#include "retime/minarea.h"
+
+#include <gtest/gtest.h>
+
+#include "base/rng.h"
+#include "retime/minperiod.h"
+
+namespace mcrt {
+namespace {
+
+RetimeGraph random_graph(std::uint64_t seed, std::size_t vertices) {
+  Rng rng(seed);
+  RetimeGraph g;
+  std::vector<VertexId> vs;
+  for (std::size_t i = 0; i < vertices; ++i) {
+    vs.push_back(g.add_vertex(1 + static_cast<std::int64_t>(rng.below(5))));
+  }
+  g.add_edge(g.host(), vs[0], 0);
+  for (std::size_t i = 0; i + 1 < vertices; ++i) {
+    g.add_edge(vs[i], vs[i + 1], rng.below(3));
+  }
+  for (std::size_t i = 0; i < vertices; ++i) {
+    const std::size_t a = rng.below(vertices);
+    const std::size_t b = rng.below(vertices);
+    if (a < b) {
+      g.add_edge(vs[a], vs[b], rng.below(2));
+    } else if (a > b) {
+      g.add_edge(vs[a], vs[b], 1 + rng.below(2));
+    }
+  }
+  g.add_edge(vs[vertices - 1], g.host(), 0);
+  return g;
+}
+
+/// Exhaustive minimum shared-register area over all legal retimings with
+/// labels in [-limit, limit]; reference oracle for small graphs.
+std::int64_t brute_force_minarea(const RetimeGraph& g, std::int64_t phi,
+                                 std::int64_t limit) {
+  const std::size_t n = g.vertex_count();
+  std::vector<std::int64_t> r(n, 0);
+  std::int64_t best = INT64_MAX;
+  // Odometer over (2*limit+1)^(n-1) assignments (host fixed at 0).
+  std::vector<std::int64_t> digits(n - 1, -limit);
+  while (true) {
+    for (std::size_t i = 0; i < n - 1; ++i) r[i + 1] = digits[i];
+    if (g.check_legal(r).empty()) {
+      bool period_ok = true;
+      try {
+        period_ok = g.period(r) <= phi;
+      } catch (const std::logic_error&) {
+        period_ok = false;
+      }
+      if (period_ok) best = std::min(best, g.shared_register_area(r));
+    }
+    std::size_t i = 0;
+    for (; i < n - 1; ++i) {
+      if (++digits[i] <= limit) break;
+      digits[i] = -limit;
+    }
+    if (i == n - 1) break;
+  }
+  return best;
+}
+
+TEST(MinAreaTest, SolutionIsLegalAndMeetsPeriod) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const RetimeGraph g = random_graph(seed, 10);
+    const RetimeSolution mp = minperiod_retime(g);
+    ASSERT_TRUE(mp.feasible);
+    const MinAreaResult ma = minarea_retime(g, mp.period);
+    ASSERT_TRUE(ma.feasible) << "seed " << seed;
+    EXPECT_TRUE(g.check_legal(ma.r).empty())
+        << "seed " << seed << ": " << g.check_legal(ma.r);
+    EXPECT_LE(g.period(ma.r), mp.period) << "seed " << seed;
+  }
+}
+
+TEST(MinAreaTest, NeverWorseThanMinPeriodSolution) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const RetimeGraph g = random_graph(seed, 10);
+    const RetimeSolution mp = minperiod_retime(g);
+    const MinAreaResult ma = minarea_retime(g, mp.period);
+    ASSERT_TRUE(ma.feasible);
+    EXPECT_LE(ma.area, g.shared_register_area(mp.r)) << "seed " << seed;
+  }
+}
+
+TEST(MinAreaTest, MatchesBruteForceOnSmallGraphs) {
+  for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+    const RetimeGraph g = random_graph(seed, 5);
+    const RetimeSolution mp = minperiod_retime(g);
+    ASSERT_TRUE(mp.feasible);
+    const MinAreaResult ma = minarea_retime(g, mp.period);
+    ASSERT_TRUE(ma.feasible) << "seed " << seed;
+    const std::int64_t best = brute_force_minarea(g, mp.period, 3);
+    EXPECT_EQ(ma.area, best) << "seed " << seed;
+  }
+}
+
+TEST(MinAreaTest, RelaxedPeriodAllowsSmallerArea) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const RetimeGraph g = random_graph(seed, 10);
+    const RetimeSolution mp = minperiod_retime(g);
+    const MinAreaResult tight = minarea_retime(g, mp.period);
+    const MinAreaResult loose = minarea_retime(g, g.period() + 100);
+    ASSERT_TRUE(tight.feasible);
+    ASSERT_TRUE(loose.feasible);
+    EXPECT_LE(loose.area, tight.area) << "seed " << seed;
+  }
+}
+
+TEST(MinAreaTest, SharingExploitedAtFanout) {
+  // One driver with two fanout branches, each needing one register for the
+  // period: sharing places them on a common chain (area 1, not 2).
+  RetimeGraph g;
+  const VertexId src = g.add_vertex(0, "pi");
+  const VertexId a = g.add_vertex(5, "a");
+  const VertexId b1 = g.add_vertex(5, "b1");
+  const VertexId b2 = g.add_vertex(5, "b2");
+  const VertexId po1 = g.add_vertex(0, "po1");
+  const VertexId po2 = g.add_vertex(0, "po2");
+  g.add_edge(g.host(), src, 0);
+  g.add_edge(src, a, 0);
+  g.add_edge(a, b1, 1);
+  g.add_edge(a, b2, 1);
+  g.add_edge(b1, po1, 0);
+  g.add_edge(b2, po2, 0);
+  g.add_edge(po1, g.host(), 0);
+  g.add_edge(po2, g.host(), 0);
+  const MinAreaResult ma = minarea_retime(g, 5);
+  ASSERT_TRUE(ma.feasible);
+  EXPECT_EQ(ma.area, 1);
+}
+
+TEST(MinAreaTest, BoundsRespected) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    RetimeGraph g = random_graph(seed, 8);
+    for (std::size_t v = 1; v < g.vertex_count(); ++v) {
+      g.set_bounds(VertexId{static_cast<std::uint32_t>(v)}, -1, 1);
+    }
+    const RetimeSolution mp = minperiod_retime(g);
+    ASSERT_TRUE(mp.feasible);
+    const MinAreaResult ma = minarea_retime(g, mp.period);
+    ASSERT_TRUE(ma.feasible) << "seed " << seed;
+    for (std::size_t v = 1; v < g.vertex_count(); ++v) {
+      EXPECT_GE(ma.r[v], -1);
+      EXPECT_LE(ma.r[v], 1);
+    }
+  }
+}
+
+TEST(MinAreaTest, ReportedAreaMatchesComputed) {
+  const RetimeGraph g = random_graph(3, 10);
+  const RetimeSolution mp = minperiod_retime(g);
+  const MinAreaResult ma = minarea_retime(g, mp.period);
+  ASSERT_TRUE(ma.feasible);
+  EXPECT_EQ(ma.area, g.shared_register_area(ma.r));
+}
+
+}  // namespace
+}  // namespace mcrt

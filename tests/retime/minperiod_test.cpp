@@ -1,0 +1,179 @@
+#include "retime/minperiod.h"
+
+#include <gtest/gtest.h>
+
+#include "base/rng.h"
+#include "retime/feas.h"
+
+namespace mcrt {
+namespace {
+
+RetimeGraph correlator() {
+  RetimeGraph g;
+  const VertexId v1 = g.add_vertex(7, "v7");
+  const VertexId v2 = g.add_vertex(3, "a3");
+  const VertexId v3 = g.add_vertex(3, "b3");
+  const VertexId v4 = g.add_vertex(3, "c3");
+  g.add_edge(v1, v2, 1);
+  g.add_edge(v2, v3, 1);
+  g.add_edge(v3, v4, 1);
+  g.add_edge(v4, v1, 0);
+  return g;
+}
+
+/// Random legal graph: pipeline + feedback with host closure.
+RetimeGraph random_graph(std::uint64_t seed, std::size_t vertices) {
+  Rng rng(seed);
+  RetimeGraph g;
+  std::vector<VertexId> vs;
+  for (std::size_t i = 0; i < vertices; ++i) {
+    vs.push_back(g.add_vertex(1 + static_cast<std::int64_t>(rng.below(9))));
+  }
+  // Forward chain guarantees connectivity; extra random forward edges;
+  // a few back edges with weight >= 1 (legal cycles).
+  g.add_edge(g.host(), vs[0], 0);
+  for (std::size_t i = 0; i + 1 < vertices; ++i) {
+    g.add_edge(vs[i], vs[i + 1], rng.below(3));
+  }
+  for (std::size_t i = 0; i < vertices; ++i) {
+    const std::size_t a = rng.below(vertices);
+    const std::size_t b = rng.below(vertices);
+    if (a < b) {
+      g.add_edge(vs[a], vs[b], rng.below(2));
+    } else if (a > b) {
+      g.add_edge(vs[a], vs[b], 1 + rng.below(2));
+    }
+  }
+  g.add_edge(vs[vertices - 1], g.host(), 0);
+  return g;
+}
+
+TEST(MinPeriodTest, CorrelatorOptimum) {
+  const RetimeGraph g = correlator();
+  const RetimeSolution solution = minperiod_retime(g);
+  ASSERT_TRUE(solution.feasible);
+  EXPECT_EQ(solution.period, 7);  // v1's own delay is the floor
+  EXPECT_TRUE(g.check_legal(solution.r).empty());
+  EXPECT_EQ(g.period(solution.r), 7);
+}
+
+TEST(MinPeriodTest, NeverWorseThanCurrent) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const RetimeGraph g = random_graph(seed, 12);
+    const RetimeSolution solution = minperiod_retime(g);
+    ASSERT_TRUE(solution.feasible) << "seed " << seed;
+    EXPECT_LE(solution.period, g.period()) << "seed " << seed;
+    EXPECT_TRUE(g.check_legal(solution.r).empty())
+        << "seed " << seed << ": " << g.check_legal(solution.r);
+    EXPECT_EQ(g.period(solution.r), solution.period) << "seed " << seed;
+  }
+}
+
+TEST(MinPeriodTest, OptimalityAgainstFeasScan) {
+  // The period returned must equal the smallest phi FEAS accepts.
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const RetimeGraph g = random_graph(seed, 9);
+    const RetimeSolution solution = minperiod_retime(g);
+    ASSERT_TRUE(solution.feasible);
+    EXPECT_TRUE(feas_check(g, solution.period));
+    EXPECT_FALSE(feas_check(g, solution.period - 1))
+        << "seed " << seed << " claims " << solution.period
+        << " but less is feasible";
+  }
+}
+
+TEST(MinPeriodTest, PinnedBoundsRestrictSolution) {
+  RetimeGraph g = correlator();
+  // Pin every vertex: retiming cannot move anything, so the minimum period
+  // equals the current period.
+  for (std::uint32_t v = 1; v <= 4; ++v) {
+    g.set_bounds(VertexId{v}, 0, 0);
+  }
+  const RetimeSolution solution = minperiod_retime(g);
+  ASSERT_TRUE(solution.feasible);
+  EXPECT_EQ(solution.period, g.period());
+  for (std::uint32_t v = 1; v <= 4; ++v) {
+    EXPECT_EQ(solution.r[v], 0);
+  }
+}
+
+TEST(MinPeriodTest, PartialBoundsBetweenExtremes) {
+  RetimeGraph g = correlator();
+  g.set_bounds(VertexId{2}, 0, 0);  // pin only one vertex
+  const RetimeSolution bounded = minperiod_retime(g);
+  RetimeGraph free_graph = correlator();
+  const RetimeSolution free_solution = minperiod_retime(free_graph);
+  ASSERT_TRUE(bounded.feasible);
+  EXPECT_GE(bounded.period, free_solution.period);
+  EXPECT_LE(bounded.period, g.period());
+  EXPECT_TRUE(g.check_legal(bounded.r).empty());
+}
+
+TEST(MinPeriodTest, BoundedMatchesUnboundedWhenBoundsAreLoose) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    RetimeGraph g = random_graph(seed, 10);
+    for (std::size_t v = 1; v < g.vertex_count(); ++v) {
+      g.set_bounds(VertexId{static_cast<std::uint32_t>(v)}, -100, 100);
+    }
+    RetimeGraph unbounded = random_graph(seed, 10);
+    const RetimeSolution a = minperiod_retime(g);
+    const RetimeSolution b = minperiod_retime(unbounded);
+    ASSERT_TRUE(a.feasible);
+    EXPECT_EQ(a.period, b.period) << "seed " << seed;
+  }
+}
+
+TEST(MinPeriodTest, ZeroWeightChainDelayNotUnderestimated) {
+  // Regression: D(u,v) must be the max delay among min-weight paths. With
+  // zero-weight edges a -> c and a -> b -> c, the longer-delay route via b
+  // defines D(a,c); a naive lexicographic Dijkstra can settle c with the
+  // direct route's smaller delay first and emit too-weak constraints,
+  // making the constraint-based (bounded) path report an unachievable
+  // period. Compare against FEAS, which computes arrivals exactly.
+  auto build = [] {
+    RetimeGraph g;
+    const VertexId a = g.add_vertex(5, "a");
+    const VertexId b = g.add_vertex(3, "b");
+    const VertexId c = g.add_vertex(10, "c");
+    g.add_edge(g.host(), a, 2);
+    g.add_edge(a, b, 0);
+    g.add_edge(b, c, 0);
+    g.add_edge(a, c, 0);
+    g.add_edge(c, g.host(), 0);
+    return g;
+  };
+  const RetimeSolution unbounded = minperiod_retime(build());
+  RetimeGraph bounded_graph = build();
+  for (std::uint32_t v = 1; v <= 3; ++v) {
+    bounded_graph.set_bounds(VertexId{v}, -10, 10);  // loose: same optimum
+  }
+  const RetimeSolution bounded = minperiod_retime(bounded_graph);
+  ASSERT_TRUE(unbounded.feasible && bounded.feasible);
+  EXPECT_EQ(bounded.period, unbounded.period);
+  EXPECT_EQ(bounded_graph.period(bounded.r), bounded.period);
+}
+
+TEST(MinPeriodTest, BoundedSolutionAchievesClaimedPeriod) {
+  // Stronger randomized regression for the same bug: on bounded graphs the
+  // labels returned must actually realize the claimed period.
+  for (std::uint64_t seed = 50; seed <= 70; ++seed) {
+    RetimeGraph g = random_graph(seed, 12);
+    for (std::size_t v = 1; v < g.vertex_count(); ++v) {
+      g.set_bounds(VertexId{static_cast<std::uint32_t>(v)}, -3, 3);
+    }
+    const RetimeSolution solution = minperiod_retime(g);
+    ASSERT_TRUE(solution.feasible) << "seed " << seed;
+    EXPECT_EQ(g.period(solution.r), solution.period) << "seed " << seed;
+  }
+}
+
+TEST(MinPeriodTest, BoundedFeasibleHonorsBounds) {
+  RetimeGraph g = correlator();
+  g.set_bounds(VertexId{1}, 0, 0);
+  const auto r = bounded_feasible(g, g.period());
+  ASSERT_TRUE(r);
+  EXPECT_TRUE(g.check_legal(*r).empty()) << g.check_legal(*r);
+}
+
+}  // namespace
+}  // namespace mcrt

@@ -1,0 +1,100 @@
+#include "retime/retime_graph.h"
+
+#include <gtest/gtest.h>
+
+namespace mcrt {
+namespace {
+
+/// The Leiserson-Saxe correlator example (simplified): a ring
+/// host -> v1 -> v2 -> v3 -> host with weights on the ring.
+RetimeGraph ring_graph() {
+  RetimeGraph g;
+  const VertexId v1 = g.add_vertex(3, "v1");
+  const VertexId v2 = g.add_vertex(3, "v2");
+  const VertexId v3 = g.add_vertex(7, "v3");
+  g.add_edge(g.host(), v1, 1);
+  g.add_edge(v1, v2, 1);
+  g.add_edge(v2, v3, 0);
+  g.add_edge(v3, g.host(), 0);
+  return g;
+}
+
+TEST(RetimeGraphTest, PeriodOfCurrentWeights) {
+  const RetimeGraph g = ring_graph();
+  // Zero-weight path v2 -> v3: delay 3 + 7 = 10.
+  EXPECT_EQ(g.period(), 10);
+}
+
+TEST(RetimeGraphTest, RetimedWeights) {
+  RetimeGraph g = ring_graph();
+  // r = (host=0, v1=0, v2=0, v3=1): moves a register from v3's fanout...
+  // w(v2->v3) becomes 0 + 1 - 0 = 1; w(v3->host) becomes 0 + 0 - 1 = -1:
+  // illegal.
+  std::vector<std::int64_t> r = {0, 0, 0, 1};
+  EXPECT_EQ(g.retimed_weight(EdgeId{2}, r), 1);
+  EXPECT_EQ(g.retimed_weight(EdgeId{3}, r), -1);
+  EXPECT_FALSE(g.check_legal(r).empty());
+}
+
+TEST(RetimeGraphTest, LegalRetimingImprovesPeriod) {
+  RetimeGraph g = ring_graph();
+  // Move the register on v1->v2 to v2->v3: r(v2) = -1... edge v1->v2
+  // becomes 1 + (-1) - 0 = 0; edge v2->v3 becomes 0 + 0 - (-1) = 1.
+  const std::vector<std::int64_t> r = {0, 0, -1, 0};
+  EXPECT_TRUE(g.check_legal(r).empty()) << g.check_legal(r);
+  // Critical zero-weight path now v1 -> v2 = 6 and v3 alone = 7.
+  EXPECT_EQ(g.period(r), 7);
+}
+
+TEST(RetimeGraphTest, ApplyRewritesWeights) {
+  RetimeGraph g = ring_graph();
+  const std::vector<std::int64_t> r = {0, 0, -1, 0};
+  g.apply(r);
+  EXPECT_EQ(g.weight(EdgeId{1}), 0);
+  EXPECT_EQ(g.weight(EdgeId{2}), 1);
+  EXPECT_EQ(g.period(), 7);
+}
+
+TEST(RetimeGraphTest, ApplyRejectsIllegal) {
+  RetimeGraph g = ring_graph();
+  EXPECT_THROW(g.apply({0, 0, 0, 5}), std::invalid_argument);
+}
+
+TEST(RetimeGraphTest, BoundsChecked) {
+  RetimeGraph g = ring_graph();
+  g.set_bounds(VertexId{2}, 0, 0);  // pin v2
+  EXPECT_TRUE(g.has_bounds());
+  const std::vector<std::int64_t> r = {0, 0, -1, 0};
+  EXPECT_FALSE(g.check_legal(r).empty());
+}
+
+TEST(RetimeGraphTest, SharedRegisterArea) {
+  RetimeGraph g;
+  const VertexId a = g.add_vertex(1, "a");
+  const VertexId b = g.add_vertex(1, "b");
+  const VertexId c = g.add_vertex(1, "c");
+  g.add_edge(g.host(), a, 0);
+  g.add_edge(a, b, 2);
+  g.add_edge(a, c, 3);
+  g.add_edge(b, g.host(), 0);
+  g.add_edge(c, g.host(), 0);
+  // Fanout sharing: a contributes max(2,3) = 3.
+  EXPECT_EQ(g.shared_register_area(), 3);
+}
+
+TEST(RetimeGraphTest, HostCycleDoesNotBreakPeriod) {
+  // PI -> gate -> PO, all weight 0: the environment loop through the host
+  // must not be treated as a combinational cycle.
+  RetimeGraph g;
+  const VertexId pi = g.add_vertex(0, "pi");
+  const VertexId gate = g.add_vertex(5, "gate");
+  const VertexId po = g.add_vertex(0, "po");
+  g.add_edge(g.host(), pi, 0);
+  g.add_edge(pi, gate, 0);
+  g.add_edge(gate, po, 0);
+  g.add_edge(po, g.host(), 0);
+  EXPECT_EQ(g.period(), 5);
+}
+
+}  // namespace
+}  // namespace mcrt

@@ -1,0 +1,136 @@
+// Property test: compute_wd_from_source (Dijkstra + tight-DAG longest
+// path) against a lexicographic Bellman-Ford fixpoint reference. W must be
+// the minimum path weight and D the maximum delay among minimum-weight
+// paths - the quantities the Leiserson-Saxe period constraints are built
+// from. Guards the regression where a naive max-delay tiebreak settled
+// low-delay vertices too early across zero-weight edges.
+#include <gtest/gtest.h>
+
+#include "base/rng.h"
+#include "retime/period_constraints.h"
+
+namespace mcrt {
+namespace {
+
+RetimeGraph random_graph(std::uint64_t seed, std::size_t vertices,
+                         std::int64_t max_delay) {
+  Rng rng(seed);
+  RetimeGraph g;
+  std::vector<VertexId> vs;
+  for (std::size_t i = 0; i < vertices; ++i) {
+    vs.push_back(
+        g.add_vertex(1 + static_cast<std::int64_t>(rng.below(
+                         static_cast<std::uint64_t>(max_delay)))));
+  }
+  g.add_edge(g.host(), vs[0], 0);
+  for (std::size_t i = 0; i + 1 < vertices; ++i) {
+    g.add_edge(vs[i], vs[i + 1], rng.below(3));
+  }
+  for (std::size_t i = 0; i < 2 * vertices; ++i) {
+    const std::size_t a = rng.below(vertices);
+    const std::size_t b = rng.below(vertices);
+    if (a < b) {
+      g.add_edge(vs[a], vs[b], rng.below(2));  // many zero-weight edges
+    } else if (a > b) {
+      g.add_edge(vs[a], vs[b], 1 + rng.below(2));
+    }
+  }
+  g.add_edge(vs[vertices - 1], g.host(), 0);
+  return g;
+}
+
+/// Reference: lexicographic Bellman-Ford iterated to a fixpoint.
+WdLabels reference_wd(const RetimeGraph& g, VertexId source) {
+  const Digraph& dg = g.digraph();
+  const std::size_t n = g.vertex_count();
+  constexpr std::int64_t kInf = INT64_MAX / 4;
+  WdLabels labels;
+  labels.weight.assign(n, kInf);
+  labels.delay.assign(n, -1);
+  labels.reached.assign(n, false);
+  labels.weight[source.index()] = 0;
+  labels.delay[source.index()] = g.delay(source);
+  labels.reached[source.index()] = true;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t e = 0; e < dg.edge_count(); ++e) {
+      const EdgeId id{static_cast<std::uint32_t>(e)};
+      const auto from = dg.from(id);
+      const auto to = dg.to(id);
+      if (from == g.host()) continue;  // host is sink-only
+      if (!labels.reached[from.index()]) continue;
+      const std::int64_t cw = labels.weight[from.index()] + g.weight(id);
+      const std::int64_t cd = labels.delay[from.index()] + g.delay(to);
+      if (!labels.reached[to.index()] || cw < labels.weight[to.index()] ||
+          (cw == labels.weight[to.index()] &&
+           cd > labels.delay[to.index()])) {
+        labels.reached[to.index()] = true;
+        labels.weight[to.index()] = cw;
+        labels.delay[to.index()] = cd;
+        changed = true;
+      }
+    }
+  }
+  return labels;
+}
+
+class WdLabelsProperty
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, int>> {};
+
+TEST_P(WdLabelsProperty, MatchesBellmanFordReference) {
+  const auto [seed, max_delay] = GetParam();
+  const RetimeGraph g = random_graph(seed, 12, max_delay);
+  for (std::size_t s = 1; s < g.vertex_count(); ++s) {
+    const VertexId source{static_cast<std::uint32_t>(s)};
+    const WdLabels fast = compute_wd_from_source(g, source);
+    const WdLabels slow = reference_wd(g, source);
+    for (std::size_t v = 0; v < g.vertex_count(); ++v) {
+      ASSERT_EQ(fast.reached[v], slow.reached[v])
+          << "seed " << seed << " src " << s << " v " << v;
+      if (!fast.reached[v]) continue;
+      EXPECT_EQ(fast.weight[v], slow.weight[v])
+          << "seed " << seed << " src " << s << " v " << v;
+      EXPECT_EQ(fast.delay[v], slow.delay[v])
+          << "seed " << seed << " src " << s << " v " << v;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomGraphs, WdLabelsProperty,
+    ::testing::Combine(::testing::Range<std::uint64_t>(1, 16),
+                       ::testing::Values(1, 5, 9)));
+
+TEST(WdLabelsTest, ZeroWeightDiamond) {
+  // The exact shape of the regression: both routes weight 0, D must take
+  // the longer-delay one.
+  RetimeGraph g;
+  const VertexId a = g.add_vertex(5, "a");
+  const VertexId b = g.add_vertex(3, "b");
+  const VertexId c = g.add_vertex(10, "c");
+  g.add_edge(a, b, 0);
+  g.add_edge(b, c, 0);
+  g.add_edge(a, c, 0);
+  const WdLabels labels = compute_wd_from_source(g, a);
+  EXPECT_EQ(labels.weight[c.index()], 0);
+  EXPECT_EQ(labels.delay[c.index()], 18);  // 5 + 3 + 10
+}
+
+TEST(WdLabelsTest, RegisterBreaksTightPath) {
+  // With weight on the longer route, the *minimum-weight* path defines D
+  // even though the heavier path has more delay.
+  RetimeGraph g;
+  const VertexId a = g.add_vertex(5, "a");
+  const VertexId b = g.add_vertex(3, "b");
+  const VertexId c = g.add_vertex(10, "c");
+  g.add_edge(a, b, 1);
+  g.add_edge(b, c, 0);
+  g.add_edge(a, c, 0);
+  const WdLabels labels = compute_wd_from_source(g, a);
+  EXPECT_EQ(labels.weight[c.index()], 0);
+  EXPECT_EQ(labels.delay[c.index()], 15);  // direct: 5 + 10
+}
+
+}  // namespace
+}  // namespace mcrt

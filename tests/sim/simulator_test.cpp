@@ -1,0 +1,201 @@
+#include "sim/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include "../common/test_circuits.h"
+
+namespace mcrt {
+namespace {
+
+/// A single register with all controls, for semantic tests.
+struct RegRig {
+  Netlist netlist;
+  NetId clk, en, sr, ar, d;
+
+  explicit RegRig(bool with_en, bool with_sync, bool with_async,
+                  ResetVal s = ResetVal::kOne, ResetVal a = ResetVal::kZero) {
+    clk = netlist.add_input("clk");
+    d = netlist.add_input("d");
+    Register ff;
+    ff.d = d;
+    ff.clk = clk;
+    if (with_en) {
+      en = netlist.add_input("en");
+      ff.en = en;
+    }
+    if (with_sync) {
+      sr = netlist.add_input("sr");
+      ff.sync_ctrl = sr;
+      ff.sync_val = s;
+    }
+    if (with_async) {
+      ar = netlist.add_input("ar");
+      ff.async_ctrl = ar;
+      ff.async_val = a;
+    }
+    const NetId q = netlist.add_register(std::move(ff));
+    netlist.add_output("q", q);
+  }
+};
+
+TEST(SimulatorTest, PlainRegisterDelaysByOneCycle) {
+  RegRig rig(false, false, false);
+  Simulator sim(rig.netlist);
+  sim.set_input(rig.d, Trit::kOne);
+  EXPECT_EQ(sim.step()[0], Trit::kUnknown);  // initial state unknown
+  sim.set_input(rig.d, Trit::kZero);
+  EXPECT_EQ(sim.step()[0], Trit::kOne);  // captured last cycle
+  EXPECT_EQ(sim.step()[0], Trit::kZero);
+}
+
+TEST(SimulatorTest, EnableHoldsValue) {
+  RegRig rig(true, false, false);
+  Simulator sim(rig.netlist);
+  sim.set_input(rig.d, Trit::kOne);
+  sim.set_input(rig.en, Trit::kOne);
+  sim.step();  // loads 1
+  sim.set_input(rig.d, Trit::kZero);
+  sim.set_input(rig.en, Trit::kZero);
+  EXPECT_EQ(sim.step()[0], Trit::kOne);  // holds
+  EXPECT_EQ(sim.step()[0], Trit::kOne);  // still holds
+  sim.set_input(rig.en, Trit::kOne);
+  sim.step();
+  EXPECT_EQ(sim.step()[0], Trit::kZero);  // loaded after enable
+}
+
+TEST(SimulatorTest, SyncResetLoadsValueAtEdge) {
+  RegRig rig(false, true, false, ResetVal::kOne);
+  Simulator sim(rig.netlist);
+  sim.set_input(rig.d, Trit::kZero);
+  sim.set_input(rig.sr, Trit::kOne);
+  EXPECT_EQ(sim.step()[0], Trit::kUnknown);  // before the edge: unknown
+  sim.set_input(rig.sr, Trit::kZero);
+  EXPECT_EQ(sim.step()[0], Trit::kOne);  // sync set took effect at edge
+  EXPECT_EQ(sim.step()[0], Trit::kZero);
+}
+
+TEST(SimulatorTest, SyncBeatsEnable) {
+  Netlist n;
+  const NetId clk = n.add_input("clk");
+  const NetId d = n.add_input("d");
+  const NetId en = n.add_input("en");
+  const NetId sr = n.add_input("sr");
+  Register ff;
+  ff.d = d;
+  ff.clk = clk;
+  ff.en = en;
+  ff.sync_ctrl = sr;
+  ff.sync_val = ResetVal::kOne;
+  const NetId q = n.add_register(std::move(ff));
+  n.add_output("q", q);
+  Simulator sim(n);
+  sim.set_input(d, Trit::kZero);
+  sim.set_input(en, Trit::kZero);  // enable off...
+  sim.set_input(sr, Trit::kOne);   // ...but sync set asserted
+  sim.step();
+  sim.set_input(sr, Trit::kZero);
+  EXPECT_EQ(sim.step()[0], Trit::kOne);
+  (void)clk;
+}
+
+TEST(SimulatorTest, AsyncOverridesImmediately) {
+  RegRig rig(false, false, true, ResetVal::kDontCare, ResetVal::kZero);
+  Simulator sim(rig.netlist);
+  sim.set_input(rig.d, Trit::kOne);
+  sim.set_input(rig.ar, Trit::kOne);
+  // Async clear is combinational: visible before any clock edge.
+  EXPECT_EQ(sim.step()[0], Trit::kZero);
+  // Still asserted at the edge: stays 0.
+  EXPECT_EQ(sim.step()[0], Trit::kZero);
+  sim.set_input(rig.ar, Trit::kZero);
+  sim.step();  // now loads d
+  EXPECT_EQ(sim.step()[0], Trit::kOne);
+}
+
+TEST(SimulatorTest, AsyncBeatsSync) {
+  Netlist n;
+  const NetId clk = n.add_input("clk");
+  const NetId d = n.add_input("d");
+  const NetId sr = n.add_input("sr");
+  const NetId ar = n.add_input("ar");
+  Register ff;
+  ff.d = d;
+  ff.clk = clk;
+  ff.sync_ctrl = sr;
+  ff.sync_val = ResetVal::kOne;
+  ff.async_ctrl = ar;
+  ff.async_val = ResetVal::kZero;
+  const NetId q = n.add_register(std::move(ff));
+  n.add_output("q", q);
+  Simulator sim(n);
+  sim.set_input(d, Trit::kOne);
+  sim.set_input(sr, Trit::kOne);
+  sim.set_input(ar, Trit::kOne);
+  EXPECT_EQ(sim.step()[0], Trit::kZero);
+  EXPECT_EQ(sim.step()[0], Trit::kZero);
+  (void)clk;
+}
+
+TEST(SimulatorTest, UnknownEnableMergesStates) {
+  RegRig rig(true, false, false);
+  Simulator sim(rig.netlist);
+  // Load a known 1 first.
+  sim.set_input(rig.d, Trit::kOne);
+  sim.set_input(rig.en, Trit::kOne);
+  sim.step();
+  // Enable unknown, d = 1 (same as state): output stays 1.
+  sim.set_input(rig.en, Trit::kUnknown);
+  EXPECT_EQ(sim.step()[0], Trit::kOne);
+  EXPECT_EQ(sim.step()[0], Trit::kOne);
+  // Enable unknown, d = 0 (differs): becomes X after the edge.
+  sim.set_input(rig.d, Trit::kZero);
+  sim.step();
+  EXPECT_EQ(sim.step()[0], Trit::kUnknown);
+}
+
+TEST(SimulatorTest, CombinationalLogicSettles) {
+  const Netlist n = testing::fig1_circuit();
+  Simulator sim(n);
+  const NetId en = n.node(n.inputs()[1]).output;
+  const NetId a = n.node(n.inputs()[2]).output;
+  const NetId b = n.node(n.inputs()[3]).output;
+  sim.set_input(en, Trit::kOne);
+  sim.set_input(a, Trit::kOne);
+  sim.set_input(b, Trit::kOne);
+  sim.step();  // registers capture 1,1
+  EXPECT_EQ(sim.step()[0], Trit::kOne);  // AND of registered values
+}
+
+TEST(SimulatorTest, SequentialFeedbackCounter) {
+  // 1-bit toggler: q' = NOT q, with async clear for a defined start.
+  Netlist n;
+  const NetId clk = n.add_input("clk");
+  const NetId rst = n.add_input("rst");
+  const NetId d = n.add_net("d");
+  Register ff;
+  ff.d = d;
+  ff.clk = clk;
+  ff.async_ctrl = rst;
+  ff.async_val = ResetVal::kZero;
+  const NetId q = n.add_register(std::move(ff));
+  n.add_lut_driving(d, TruthTable::inverter(), {q});
+  n.add_output("q", q);
+  Simulator sim(n);
+  sim.set_input(rst, Trit::kOne);
+  EXPECT_EQ(sim.step()[0], Trit::kZero);
+  sim.set_input(rst, Trit::kZero);
+  EXPECT_EQ(sim.step()[0], Trit::kZero);
+  EXPECT_EQ(sim.step()[0], Trit::kOne);
+  EXPECT_EQ(sim.step()[0], Trit::kZero);
+}
+
+TEST(SimulatorTest, ThrowsOnCombinationalCycle) {
+  Netlist n;
+  const NetId loop = n.add_net("loop");
+  n.add_lut_driving(loop, TruthTable::buffer(), {loop});
+  n.add_output("o", loop);
+  EXPECT_THROW(Simulator sim(n), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mcrt

@@ -1,0 +1,71 @@
+#include "sim/vcd.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "../common/test_circuits.h"
+
+namespace mcrt {
+namespace {
+
+TEST(VcdTest, HeaderDeclaresTracedNets) {
+  const Netlist n = testing::fig1_circuit();
+  VcdTrace trace(n);
+  Simulator sim(n);
+  sim.settle();
+  trace.sample(sim);
+  std::ostringstream out;
+  trace.write(out, "fig1");
+  const std::string text = out.str();
+  EXPECT_NE(text.find("$scope module fig1 $end"), std::string::npos);
+  EXPECT_NE(text.find("$var wire 1"), std::string::npos);
+  EXPECT_NE(text.find(" clk $end"), std::string::npos);
+  EXPECT_NE(text.find("$enddefinitions $end"), std::string::npos);
+}
+
+TEST(VcdTest, RecordsValueChanges) {
+  const Netlist n = testing::chain_circuit(1, 1);
+  const NetId in = n.node(n.inputs()[1]).output;  // inputs: clk, in0
+  VcdTrace trace(n, {in});
+  Simulator sim(n);
+  sim.set_input(in, Trit::kZero);
+  sim.settle();
+  trace.sample(sim);
+  sim.set_input(in, Trit::kOne);
+  sim.settle();
+  trace.sample(sim);
+  sim.settle();
+  trace.sample(sim);  // unchanged: no dump entry expected
+  std::ostringstream out;
+  trace.write(out);
+  const std::string text = out.str();
+  // One variable -> id "!": expect 0! then 1! exactly once.
+  EXPECT_NE(text.find("0!"), std::string::npos);
+  EXPECT_EQ(text.find("1!"), text.rfind("1!"));
+  EXPECT_EQ(trace.sample_count(), 3u);
+}
+
+TEST(VcdTest, UnknownDumpsAsX) {
+  const Netlist n = testing::chain_circuit(0, 1);
+  VcdTrace trace(n);
+  Simulator sim(n);
+  sim.settle();  // register state unknown
+  trace.sample(sim);
+  std::ostringstream out;
+  trace.write(out);
+  EXPECT_NE(out.str().find('x'), std::string::npos);
+}
+
+TEST(VcdTest, FileRoundTrip) {
+  const Netlist n = testing::fig1_circuit();
+  VcdTrace trace(n);
+  Simulator sim(n);
+  sim.settle();
+  trace.sample(sim);
+  const std::string path = ::testing::TempDir() + "/mcrt_trace.vcd";
+  EXPECT_TRUE(trace.write_file(path));
+}
+
+}  // namespace
+}  // namespace mcrt

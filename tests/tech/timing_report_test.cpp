@@ -1,0 +1,97 @@
+#include "tech/timing_report.h"
+
+#include <gtest/gtest.h>
+
+#include "../common/test_circuits.h"
+#include "tech/sta.h"
+
+namespace mcrt {
+namespace {
+
+TEST(TimingReportTest, ChainPathReconstructed) {
+  const Netlist n = testing::chain_circuit(3, 1, 5);
+  const auto paths = worst_paths(n, 1);
+  ASSERT_EQ(paths.size(), 1u);
+  EXPECT_EQ(paths[0].delay, 15);
+  EXPECT_EQ(paths[0].endpoint, TimingPath::Endpoint::kRegisterD);
+  // Path: in0 -> g0 -> g1 -> g2 (4 nets).
+  ASSERT_EQ(paths[0].nets.size(), 4u);
+  EXPECT_EQ(n.net(paths[0].nets.front()).name, "in0");
+  EXPECT_EQ(n.net(paths[0].nets.back()).name, "g2");
+}
+
+TEST(TimingReportTest, WorstFirstOrdering) {
+  // Two endpoint paths of different depth.
+  Netlist n;
+  const NetId clk = n.add_input("clk");
+  NetId slow = n.add_input("a");
+  for (int i = 0; i < 3; ++i) {
+    slow = n.add_lut(TruthTable::inverter(), {slow});
+    n.set_node_delay(NodeId{n.net(slow).driver.index}, 10);
+  }
+  NetId fast = n.add_lut(TruthTable::inverter(), {n.add_input("b")});
+  n.set_node_delay(NodeId{n.net(fast).driver.index}, 10);
+  n.add_output("slow_o", slow);
+  n.add_output("fast_o", fast);
+  (void)clk;
+  const auto paths = worst_paths(n, 2);
+  ASSERT_EQ(paths.size(), 2u);
+  EXPECT_EQ(paths[0].endpoint_name, "slow_o");
+  EXPECT_EQ(paths[0].delay, 30);
+  EXPECT_EQ(paths[1].endpoint_name, "fast_o");
+  EXPECT_EQ(paths[1].delay, 10);
+}
+
+TEST(TimingReportTest, ControlConesAreEndpoints) {
+  Netlist n;
+  const NetId clk = n.add_input("clk");
+  const NetId d = n.add_input("d");
+  NetId en = n.add_input("a");
+  for (int i = 0; i < 2; ++i) {
+    en = n.add_lut(TruthTable::inverter(), {en});
+    n.set_node_delay(NodeId{n.net(en).driver.index}, 10);
+  }
+  Register ff;
+  ff.d = d;
+  ff.clk = clk;
+  ff.en = en;
+  ff.name = "the_reg";
+  n.add_output("o", n.add_register(std::move(ff)));
+  const auto paths = worst_paths(n, 1);
+  ASSERT_EQ(paths.size(), 1u);
+  EXPECT_EQ(paths[0].endpoint, TimingPath::Endpoint::kRegisterControl);
+  EXPECT_EQ(paths[0].endpoint_name, "the_reg");
+  EXPECT_EQ(paths[0].delay, 20);
+}
+
+TEST(TimingReportTest, WorstPathMatchesPeriod) {
+  const Netlist n = testing::fig5_circuit();
+  Netlist timed = n;
+  for (std::size_t i = 0; i < timed.node_count(); ++i) {
+    if (timed.nodes()[i].kind == NodeKind::kLut) {
+      timed.set_node_delay(NodeId{static_cast<std::uint32_t>(i)}, 7);
+    }
+  }
+  const auto paths = worst_paths(timed, 3);
+  ASSERT_FALSE(paths.empty());
+  EXPECT_EQ(paths[0].delay, compute_period(timed));
+}
+
+TEST(TimingReportTest, FormatIsReadable) {
+  const Netlist n = testing::chain_circuit(2, 1, 5);
+  const auto paths = worst_paths(n, 1);
+  const std::string report = format_timing_report(n, paths);
+  EXPECT_NE(report.find("#1"), std::string::npos);
+  EXPECT_NE(report.find("delay 10"), std::string::npos);
+  EXPECT_NE(report.find("in0 -> g0 -> g1"), std::string::npos);
+}
+
+TEST(TimingReportTest, KLargerThanEndpointsIsFine) {
+  const Netlist n = testing::chain_circuit(1, 1);
+  const auto paths = worst_paths(n, 100);
+  EXPECT_GE(paths.size(), 1u);
+  EXPECT_LE(paths.size(), 100u);
+}
+
+}  // namespace
+}  // namespace mcrt

@@ -1,0 +1,92 @@
+#include "transform/decompose_controls.h"
+
+#include <gtest/gtest.h>
+
+#include "../common/test_circuits.h"
+#include "sim/equivalence.h"
+#include "workload/random_circuit.h"
+
+namespace mcrt {
+namespace {
+
+TEST(DecomposeEnablesTest, RemovesAllEnables) {
+  const Netlist n = testing::fig1_circuit();
+  const Netlist d = decompose_load_enables(n);
+  EXPECT_EQ(d.stats().with_en, 0u);
+  EXPECT_EQ(d.register_count(), n.register_count());
+  // Two feedback muxes appear.
+  EXPECT_EQ(d.stats().luts, n.stats().luts + 2);
+}
+
+TEST(DecomposeEnablesTest, PreservesBehaviour) {
+  RandomCircuitOptions opt;
+  opt.use_en = true;
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    const Netlist n = random_sequential_circuit(seed, opt);
+    const Netlist d = decompose_load_enables(n);
+    EquivalenceOptions eq_opt;
+    eq_opt.runs = 3;
+    eq_opt.cycles = 32;
+    const auto eq = check_sequential_equivalence(n, d, eq_opt);
+    EXPECT_TRUE(eq.equivalent) << "seed " << seed << ": " << eq.counterexample;
+  }
+}
+
+TEST(DecomposeSyncTest, RemovesSyncControls) {
+  RandomCircuitOptions opt;
+  opt.use_sync = true;
+  const Netlist n = random_sequential_circuit(21, opt);
+  const Netlist d = decompose_sync_controls(n);
+  EXPECT_EQ(d.stats().with_sync, 0u);
+  EXPECT_EQ(d.register_count(), n.register_count());
+}
+
+TEST(DecomposeSyncTest, PreservesBehaviour) {
+  RandomCircuitOptions opt;
+  opt.use_sync = true;
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    const Netlist n = random_sequential_circuit(seed, opt);
+    const Netlist d = decompose_sync_controls(n);
+    EquivalenceOptions eq_opt;
+    eq_opt.runs = 3;
+    eq_opt.cycles = 32;
+    const auto eq = check_sequential_equivalence(n, d, eq_opt);
+    EXPECT_TRUE(eq.equivalent) << "seed " << seed << ": " << eq.counterexample;
+  }
+}
+
+TEST(DecomposeSyncTest, SyncSetWithEnableBeatsEnable) {
+  // sync=1 while en=0 must still load the set value after decomposition.
+  Netlist n;
+  const NetId clk = n.add_input("clk");
+  const NetId d_in = n.add_input("d");
+  const NetId en = n.add_input("en");
+  const NetId sr = n.add_input("rst_s");
+  Register ff;
+  ff.d = d_in;
+  ff.clk = clk;
+  ff.en = en;
+  ff.sync_ctrl = sr;
+  ff.sync_val = ResetVal::kOne;
+  const NetId q = n.add_register(std::move(ff));
+  n.add_output("q", q);
+
+  const Netlist dec = decompose_sync_controls(n);
+  EquivalenceOptions opt;
+  opt.reset_inputs = {"rst_s"};
+  const auto eq = check_sequential_equivalence(n, dec, opt);
+  EXPECT_TRUE(eq.equivalent) << eq.counterexample;
+}
+
+TEST(DecomposeTest, AsyncNeverTouched) {
+  RandomCircuitOptions opt;
+  opt.use_async = true;
+  const Netlist n = random_sequential_circuit(5, opt);
+  const Netlist d1 = decompose_load_enables(n);
+  const Netlist d2 = decompose_sync_controls(n);
+  EXPECT_EQ(d1.stats().with_async, n.stats().with_async);
+  EXPECT_EQ(d2.stats().with_async, n.stats().with_async);
+}
+
+}  // namespace
+}  // namespace mcrt

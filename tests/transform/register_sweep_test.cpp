@@ -1,0 +1,137 @@
+#include "transform/register_sweep.h"
+
+#include <gtest/gtest.h>
+
+#include "../common/test_circuits.h"
+#include "sim/equivalence.h"
+#include "workload/random_circuit.h"
+
+namespace mcrt {
+namespace {
+
+TEST(RegisterSweepTest, MergesIdenticalRegisters) {
+  Netlist n;
+  const NetId clk = n.add_input("clk");
+  const NetId d = n.add_input("d");
+  for (int i = 0; i < 3; ++i) {
+    Register ff;
+    ff.d = d;
+    ff.clk = clk;
+    const NetId q = n.add_register(std::move(ff));
+    n.add_output("o" + std::to_string(i), q);
+  }
+  RegisterSweepStats stats;
+  const Netlist s = register_sweep(n, &stats);
+  EXPECT_EQ(stats.merged_registers, 2u);
+  EXPECT_EQ(s.register_count(), 1u);
+  const auto eq = check_sequential_equivalence(n, s, {});
+  EXPECT_TRUE(eq.equivalent) << eq.counterexample;
+}
+
+TEST(RegisterSweepTest, ParallelShiftChainsCollapseTransitively) {
+  // Two parallel 3-deep chains off the same source: 6 -> 3 registers.
+  Netlist n;
+  const NetId clk = n.add_input("clk");
+  const NetId d = n.add_input("d");
+  std::vector<NetId> tails;
+  for (int c = 0; c < 2; ++c) {
+    NetId net = d;
+    for (int k = 0; k < 3; ++k) {
+      Register ff;
+      ff.d = net;
+      ff.clk = clk;
+      net = n.add_register(std::move(ff));
+    }
+    tails.push_back(net);
+  }
+  n.add_output("o", n.add_lut(TruthTable::xor_n(2), {tails[0], tails[1]}));
+  RegisterSweepStats stats;
+  const Netlist s = register_sweep(n, &stats);
+  EXPECT_EQ(stats.merged_registers, 3u);
+  EXPECT_EQ(s.register_count(), 3u);
+  const auto eq = check_sequential_equivalence(n, s, {});
+  EXPECT_TRUE(eq.equivalent) << eq.counterexample;
+}
+
+TEST(RegisterSweepTest, DifferentControlsNotMerged) {
+  Netlist n;
+  const NetId clk = n.add_input("clk");
+  const NetId en1 = n.add_input("en1");
+  const NetId en2 = n.add_input("en2");
+  const NetId d = n.add_input("d");
+  for (int i = 0; i < 2; ++i) {
+    Register ff;
+    ff.d = d;
+    ff.clk = clk;
+    ff.en = i == 0 ? en1 : en2;
+    n.add_output("o" + std::to_string(i), n.add_register(std::move(ff)));
+  }
+  RegisterSweepStats stats;
+  const Netlist s = register_sweep(n, &stats);
+  EXPECT_EQ(stats.merged_registers, 0u);
+  EXPECT_EQ(s.register_count(), 2u);
+}
+
+TEST(RegisterSweepTest, ConflictingResetValuesNotMerged) {
+  Netlist n;
+  const NetId clk = n.add_input("clk");
+  const NetId rst = n.add_input("rst");
+  const NetId d = n.add_input("d");
+  const ResetVal values[2] = {ResetVal::kZero, ResetVal::kOne};
+  for (int i = 0; i < 2; ++i) {
+    Register ff;
+    ff.d = d;
+    ff.clk = clk;
+    ff.async_ctrl = rst;
+    ff.async_val = values[i];
+    n.add_output("o" + std::to_string(i), n.add_register(std::move(ff)));
+  }
+  const Netlist s = register_sweep(n, nullptr);
+  EXPECT_EQ(s.register_count(), 2u);
+}
+
+TEST(RegisterSweepTest, DontCareRefinesIntoConcrete) {
+  Netlist n;
+  const NetId clk = n.add_input("clk");
+  const NetId rst = n.add_input("rst");
+  const NetId d = n.add_input("d");
+  const ResetVal values[2] = {ResetVal::kOne, ResetVal::kDontCare};
+  for (int i = 0; i < 2; ++i) {
+    Register ff;
+    ff.d = d;
+    ff.clk = clk;
+    ff.async_ctrl = rst;
+    ff.async_val = values[i];
+    n.add_output("o" + std::to_string(i), n.add_register(std::move(ff)));
+  }
+  RegisterSweepStats stats;
+  const Netlist s = register_sweep(n, &stats);
+  EXPECT_EQ(stats.merged_registers, 1u);
+  ASSERT_EQ(s.register_count(), 1u);
+  EXPECT_EQ(s.reg(RegId{0}).async_val, ResetVal::kOne);
+}
+
+TEST(RegisterSweepTest, PreservesBehaviourOnRandomCircuits) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const Netlist n = random_sequential_circuit(seed);
+    const Netlist s = register_sweep(n, nullptr);
+    EXPECT_TRUE(s.validate().empty());
+    EquivalenceOptions opt;
+    opt.runs = 2;
+    opt.cycles = 32;
+    const auto eq = check_sequential_equivalence(n, s, opt);
+    EXPECT_TRUE(eq.equivalent) << "seed " << seed << ": "
+                               << eq.counterexample;
+  }
+}
+
+TEST(RegisterSweepTest, Idempotent) {
+  const Netlist n = random_sequential_circuit(9);
+  const Netlist once = register_sweep(n, nullptr);
+  RegisterSweepStats stats;
+  register_sweep(once, &stats);
+  EXPECT_EQ(stats.merged_registers, 0u);
+}
+
+}  // namespace
+}  // namespace mcrt

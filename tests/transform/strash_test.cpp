@@ -1,0 +1,131 @@
+#include "transform/strash.h"
+
+#include <gtest/gtest.h>
+
+#include "../common/test_circuits.h"
+#include "sim/equivalence.h"
+#include "workload/random_circuit.h"
+
+namespace mcrt {
+namespace {
+
+TEST(StrashTest, MergesExactDuplicates) {
+  Netlist n;
+  const NetId a = n.add_input("a");
+  const NetId b = n.add_input("b");
+  const NetId g1 = n.add_lut(TruthTable::and_n(2), {a, b}, "g1");
+  const NetId g2 = n.add_lut(TruthTable::and_n(2), {a, b}, "g2");
+  n.add_output("o1", n.add_lut(TruthTable::inverter(), {g1}));
+  n.add_output("o2", n.add_lut(TruthTable::inverter(), {g2}));
+  StrashStats stats;
+  const Netlist s = structural_hash(n, &stats);
+  // g2 merges into g1, then the two inverters merge too.
+  EXPECT_EQ(stats.merged_nodes, 2u);
+  EXPECT_EQ(s.stats().luts, 2u);
+  const auto eq = check_sequential_equivalence(n, s, {});
+  EXPECT_TRUE(eq.equivalent) << eq.counterexample;
+}
+
+TEST(StrashTest, CommutedFaninsMerge) {
+  // Pin order is canonicalized: AND(a,b) and AND(b,a) share one key.
+  Netlist n;
+  const NetId a = n.add_input("a");
+  const NetId b = n.add_input("b");
+  const NetId g1 = n.add_lut(TruthTable::and_n(2), {a, b});
+  const NetId g2 = n.add_lut(TruthTable::and_n(2), {b, a});
+  n.add_output("o", n.add_lut(TruthTable::xor_n(2), {g1, g2}));
+  StrashStats stats;
+  const Netlist s = structural_hash(n, &stats);
+  EXPECT_EQ(stats.merged_nodes, 1u);
+  const auto eq = check_sequential_equivalence(n, s, {});
+  EXPECT_TRUE(eq.equivalent) << eq.counterexample;
+}
+
+TEST(StrashTest, PermutedNonCommutativeFunctionIsCorrect) {
+  // mux21(sel, a, b) vs the pin-permuted instance computing the same
+  // function: canonicalization must permute the truth table, not just the
+  // pins, so behaviour is preserved exactly.
+  Netlist n;
+  const NetId s0 = n.add_input("s");
+  const NetId a = n.add_input("a");
+  const NetId b = n.add_input("b");
+  // f(x0,x1,x2) with pins (a, s, b): same function as mux21 on (s, a, b):
+  // out = s ? b : a. Build the permuted table explicitly.
+  std::uint64_t bits = 0;
+  for (std::uint32_t row = 0; row < 8; ++row) {
+    const bool pa = row & 1;
+    const bool ps = row & 2;
+    const bool pb = row & 4;
+    if (ps ? pb : pa) bits |= std::uint64_t{1} << row;
+  }
+  const NetId g1 = n.add_lut(TruthTable::mux21(), {s0, a, b});
+  const NetId g2 = n.add_lut(TruthTable(3, bits), {a, s0, b});
+  n.add_output("o", n.add_lut(TruthTable::xor_n(2), {g1, g2}));
+  StrashStats stats;
+  const Netlist out = structural_hash(n, &stats);
+  // Canonical keys coincide (same sorted pins, same permuted function).
+  EXPECT_EQ(stats.merged_nodes, 1u);
+  const auto eq = check_sequential_equivalence(n, out, {});
+  EXPECT_TRUE(eq.equivalent) << eq.counterexample;
+}
+
+TEST(StrashTest, DifferentFunctionNotMerged) {
+  Netlist n;
+  const NetId a = n.add_input("a");
+  const NetId b = n.add_input("b");
+  const NetId g1 = n.add_lut(TruthTable::and_n(2), {a, b});
+  const NetId g2 = n.add_lut(TruthTable::or_n(2), {a, b});
+  n.add_output("o", n.add_lut(TruthTable::xor_n(2), {g1, g2}));
+  StrashStats stats;
+  const Netlist s = structural_hash(n, &stats);
+  EXPECT_EQ(stats.merged_nodes, 0u);
+  EXPECT_EQ(s.stats().luts, 3u);
+}
+
+TEST(StrashTest, PreservesRegistersAndBehaviour) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const Netlist n = random_sequential_circuit(seed);
+    const Netlist s = structural_hash(n, nullptr);
+    EXPECT_TRUE(s.validate().empty());
+    EXPECT_EQ(s.register_count(), n.register_count());
+    EquivalenceOptions opt;
+    opt.runs = 2;
+    opt.cycles = 32;
+    opt.init_registers_by_name = true;
+    const auto eq = check_sequential_equivalence(n, s, opt);
+    EXPECT_TRUE(eq.equivalent) << "seed " << seed << ": "
+                               << eq.counterexample;
+  }
+}
+
+TEST(StrashTest, Idempotent) {
+  const Netlist n = random_sequential_circuit(5);
+  const Netlist once = structural_hash(n, nullptr);
+  StrashStats stats;
+  const Netlist twice = structural_hash(once, &stats);
+  EXPECT_EQ(stats.merged_nodes, 0u);
+  EXPECT_EQ(twice.stats().luts, once.stats().luts);
+}
+
+TEST(StrashTest, MergesTransitively) {
+  // Two identical 2-level cones collapse completely.
+  Netlist n;
+  const NetId a = n.add_input("a");
+  const NetId b = n.add_input("b");
+  const NetId c = n.add_input("c");
+  auto cone = [&] {
+    const NetId g = n.add_lut(TruthTable::nand_n(2), {a, b});
+    return n.add_lut(TruthTable::xor_n(2), {g, c});
+  };
+  const NetId x = cone();
+  const NetId y = cone();
+  n.add_output("o", n.add_lut(TruthTable::or_n(2), {x, y}));
+  StrashStats stats;
+  const Netlist s = structural_hash(n, &stats);
+  EXPECT_EQ(stats.merged_nodes, 2u);
+  // OR(x, x) remains (strash does not simplify, only merges).
+  EXPECT_EQ(s.stats().luts, 3u);
+}
+
+}  // namespace
+}  // namespace mcrt

@@ -1,0 +1,130 @@
+#include "transform/sweep.h"
+
+#include <gtest/gtest.h>
+
+#include "../common/test_circuits.h"
+#include "sim/equivalence.h"
+#include "workload/random_circuit.h"
+
+namespace mcrt {
+namespace {
+
+TEST(SweepTest, RemovesDeadLogic) {
+  Netlist n;
+  const NetId a = n.add_input("a");
+  const NetId live = n.add_lut(TruthTable::inverter(), {a}, "live");
+  n.add_lut(TruthTable::inverter(), {a}, "dead");
+  n.add_output("o", live);
+  SweepStats stats;
+  const Netlist s = sweep(n, &stats);
+  EXPECT_EQ(stats.nodes_removed, 1u);
+  EXPECT_EQ(s.stats().luts, 1u);
+}
+
+TEST(SweepTest, RemovesDeadRegistersTransitively) {
+  // Register chain feeding nothing: both registers go, and the enable cone
+  // they referenced dies with them.
+  Netlist n;
+  const NetId clk = n.add_input("clk");
+  const NetId a = n.add_input("a");
+  const NetId en = n.add_lut(TruthTable::inverter(), {a}, "en_cone");
+  Register f1;
+  f1.d = a;
+  f1.clk = clk;
+  f1.en = en;
+  const NetId q1 = n.add_register(std::move(f1));
+  Register f2;
+  f2.d = q1;
+  f2.clk = clk;
+  n.add_register(std::move(f2));
+  n.add_output("o", a);
+  SweepStats stats;
+  const Netlist s = sweep(n, &stats);
+  EXPECT_EQ(stats.registers_removed, 2u);
+  EXPECT_EQ(s.register_count(), 0u);
+  EXPECT_EQ(s.stats().luts, 0u);
+}
+
+TEST(SweepTest, FoldsConstants) {
+  Netlist n;
+  const NetId c = n.add_const(false);
+  const NetId a = n.add_input("a");
+  const NetId g = n.add_lut(TruthTable::and_n(2), {a, c}, "g");
+  const NetId h = n.add_lut(TruthTable::or_n(2), {g, a}, "h");
+  n.add_output("o", h);
+  SweepStats stats;
+  const Netlist s = sweep(n, &stats);
+  EXPECT_GE(stats.constants_folded, 1u);
+  // OR(0, a) = a: output driven by a buffer-free path.
+  const auto eq = check_sequential_equivalence(n, s, {});
+  EXPECT_TRUE(eq.equivalent) << eq.counterexample;
+  EXPECT_EQ(s.stats().luts, 0u);
+}
+
+TEST(SweepTest, ConstantEnableDropped) {
+  Netlist n;
+  const NetId clk = n.add_input("clk");
+  const NetId d = n.add_input("d");
+  const NetId one = n.add_const(true);
+  Register ff;
+  ff.d = d;
+  ff.clk = clk;
+  ff.en = one;
+  const NetId q = n.add_register(std::move(ff));
+  n.add_output("q", q);
+  const Netlist s = sweep(n, nullptr);
+  ASSERT_EQ(s.register_count(), 1u);
+  EXPECT_FALSE(s.reg(RegId{0}).en.valid());
+  const auto eq = check_sequential_equivalence(n, s, {});
+  EXPECT_TRUE(eq.equivalent);
+}
+
+TEST(SweepTest, ConstantAsyncAssertedFoldsRegister) {
+  Netlist n;
+  const NetId clk = n.add_input("clk");
+  const NetId d = n.add_input("d");
+  const NetId one = n.add_const(true);
+  Register ff;
+  ff.d = d;
+  ff.clk = clk;
+  ff.async_ctrl = one;
+  ff.async_val = ResetVal::kOne;
+  const NetId q = n.add_register(std::move(ff));
+  n.add_output("q", q);
+  const Netlist s = sweep(n, nullptr);
+  EXPECT_EQ(s.register_count(), 0u);
+  EXPECT_EQ(s.const_value(s.node(s.outputs()[0]).fanins[0]), true);
+}
+
+TEST(SweepTest, PreservesBehaviourOnRandomCircuits) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    const Netlist n = random_sequential_circuit(seed);
+    const Netlist s = sweep(n, nullptr);
+    EXPECT_TRUE(s.validate().empty());
+    EquivalenceOptions opt;
+    opt.runs = 3;
+    opt.cycles = 32;
+    const auto eq = check_sequential_equivalence(n, s, opt);
+    EXPECT_TRUE(eq.equivalent) << "seed " << seed << ": " << eq.counterexample;
+  }
+}
+
+TEST(SweepTest, KeepsPrimaryInterface) {
+  const Netlist n = testing::fig1_circuit();
+  const Netlist s = sweep(n, nullptr);
+  EXPECT_EQ(s.inputs().size(), n.inputs().size());
+  EXPECT_EQ(s.outputs().size(), n.outputs().size());
+}
+
+TEST(SweepTest, IdempotentOnCleanCircuit) {
+  const Netlist n = testing::fig1_circuit();
+  const Netlist s1 = sweep(n, nullptr);
+  SweepStats stats;
+  const Netlist s2 = sweep(s1, &stats);
+  EXPECT_EQ(stats.nodes_removed, 0u);
+  EXPECT_EQ(stats.registers_removed, 0u);
+  EXPECT_EQ(s2.stats().luts, s1.stats().luts);
+}
+
+}  // namespace
+}  // namespace mcrt

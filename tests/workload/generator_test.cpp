@@ -1,0 +1,86 @@
+#include "workload/generator.h"
+
+#include <gtest/gtest.h>
+
+#include "blif/blif.h"
+#include "workload/random_circuit.h"
+
+namespace mcrt {
+namespace {
+
+class PaperSuiteTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(PaperSuiteTest, GeneratesValidCircuit) {
+  const auto suite = paper_suite();
+  const CircuitProfile& profile = suite[GetParam()];
+  const Netlist n = generate_circuit(profile);
+  const auto problems = n.validate();
+  EXPECT_TRUE(problems.empty())
+      << profile.name << ": " << (problems.empty() ? "" : problems[0]);
+  EXPECT_GT(n.register_count(), 0u);
+  EXPECT_GT(n.stats().luts, 0u);
+  EXPECT_FALSE(n.outputs().empty());
+}
+
+TEST_P(PaperSuiteTest, ProfileFlagsRespected) {
+  const auto suite = paper_suite();
+  const CircuitProfile& profile = suite[GetParam()];
+  const Netlist n = generate_circuit(profile);
+  const auto stats = n.stats();
+  if (!profile.use_en) {
+    EXPECT_EQ(stats.with_en, 0u) << profile.name;
+  }
+  if (!profile.use_async) {
+    EXPECT_EQ(stats.with_async, 0u) << profile.name;
+  }
+  if (profile.use_en) {
+    EXPECT_GT(stats.with_en, 0u) << profile.name;
+  }
+}
+
+TEST_P(PaperSuiteTest, DeterministicForSeed) {
+  const auto suite = paper_suite();
+  const CircuitProfile& profile = suite[GetParam()];
+  const Netlist a = generate_circuit(profile);
+  const Netlist b = generate_circuit(profile);
+  EXPECT_EQ(write_blif_string(a), write_blif_string(b));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCircuits, PaperSuiteTest,
+                         ::testing::Range<std::size_t>(0, 10),
+                         [](const auto& info) {
+                           return "C" + std::to_string(info.param + 1);
+                         });
+
+TEST(PaperSuiteTest, HasTenCircuits) {
+  EXPECT_EQ(paper_suite().size(), 10u);
+}
+
+TEST(RandomCircuitTest, ValidAcrossSeeds) {
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    const Netlist n = random_sequential_circuit(seed);
+    EXPECT_TRUE(n.validate().empty()) << "seed " << seed;
+  }
+}
+
+TEST(RandomCircuitTest, FeedbackRegistersPresent) {
+  RandomCircuitOptions opt;
+  opt.feedback_registers = 3;
+  const Netlist n = random_sequential_circuit(7, opt);
+  EXPECT_GE(n.register_count(), 3u);
+  EXPECT_TRUE(n.validate().empty());
+}
+
+TEST(RandomCircuitTest, OptionsControlControls) {
+  RandomCircuitOptions opt;
+  opt.use_en = false;
+  opt.use_async = false;
+  opt.use_sync = false;
+  const Netlist n = random_sequential_circuit(3, opt);
+  EXPECT_EQ(n.stats().with_en, 0u);
+  EXPECT_EQ(n.stats().with_async, 0u);
+  EXPECT_EQ(n.stats().with_sync, 0u);
+}
+
+}  // namespace
+}  // namespace mcrt

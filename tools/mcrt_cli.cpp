@@ -1,0 +1,284 @@
+// mcrt - command-line front end for the multiple-class retiming library.
+//
+//   mcrt stats   in.blif                    circuit statistics
+//   mcrt classes in.blif                    register class report
+//   mcrt sweep   in.blif out.blif           constant folding + dead logic
+//   mcrt map     [-k N] [-d D] in out       decompose + FlowMap k-LUT map
+//   mcrt retime  [--minperiod] [--no-sharing] in out
+//                                           mc-retiming (default: minarea
+//                                           at minimum feasible period)
+//   mcrt decompose-en   in out              EN -> feedback mux (baseline)
+//   mcrt decompose-sync in out              SS/SC -> gates before D
+//   mcrt check   [--formal] a.blif b.blif   sequential equivalence
+//
+// All files are BLIF with the `.mclatch` extension for complex registers
+// (see blif/blif.h). Gate delays: `map` assigns -d per LUT (default 10);
+// other commands preserve what the file had (0 if none).
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "blif/blif.h"
+#include "netlist/dot_export.h"
+#include "mcretime/mc_retime.h"
+#include "mcretime/register_class.h"
+#include "sim/equivalence.h"
+#include "tech/decompose.h"
+#include "tech/flowmap.h"
+#include "tech/sta.h"
+#include "tech/timing_report.h"
+#include "transform/decompose_controls.h"
+#include "transform/strash.h"
+#include "transform/register_sweep.h"
+#include "transform/sweep.h"
+#include "verify/formal_equivalence.h"
+#include "verify/ternary_bmc.h"
+
+namespace {
+
+using namespace mcrt;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: mcrt <stats|classes|timing|dot|sweep|strash|regsweep|map|retime|decompose-en|"
+               "decompose-sync|check> [options] <in.blif> [out.blif]\n"
+               "  map:    -k <lut_inputs=4>  -d <lut_delay=10>\n"
+               "  retime: --minperiod  --no-sharing  --target <period>\n"
+               "  check:  --formal  --bmc <depth>\n");
+  return 2;
+}
+
+std::optional<Netlist> load(const std::string& path) {
+  auto parsed = read_blif_file(path);
+  if (const auto* err = std::get_if<BlifError>(&parsed)) {
+    std::fprintf(stderr, "%s:%zu: %s\n", path.c_str(), err->line,
+                 err->message.c_str());
+    return std::nullopt;
+  }
+  Netlist netlist = std::move(std::get<Netlist>(parsed));
+  const auto problems = netlist.validate();
+  if (!problems.empty()) {
+    std::fprintf(stderr, "%s: %s\n", path.c_str(), problems[0].c_str());
+    return std::nullopt;
+  }
+  return netlist;
+}
+
+bool store(const Netlist& netlist, const std::string& path) {
+  if (!write_blif_file(netlist, path)) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return false;
+  }
+  return true;
+}
+
+void print_stats(const Netlist& n, const char* label) {
+  const auto stats = n.stats();
+  std::printf("%-10s in=%zu out=%zu lut=%zu const=%zu ff=%zu "
+              "(en=%zu sync=%zu async=%zu) period=%lld\n",
+              label, stats.inputs, stats.outputs, stats.luts, stats.constants,
+              stats.registers, stats.with_en, stats.with_sync,
+              stats.with_async,
+              static_cast<long long>(compute_period(n)));
+}
+
+int cmd_stats(const Netlist& n) {
+  print_stats(n, "circuit");
+  return 0;
+}
+
+int cmd_classes(const Netlist& n) {
+  const auto classes = classify_registers(n);
+  std::printf("%zu registers in %zu classes\n", n.register_count(),
+              classes.class_count());
+  std::vector<std::size_t> population(classes.class_count(), 0);
+  for (const ClassId c : classes.reg_class) ++population[c.index()];
+  for (std::size_t c = 0; c < classes.class_count(); ++c) {
+    const RegisterClassInfo& info = classes.classes[c];
+    std::printf("  class %zu: %zu regs, clk=%s", c, population[c],
+                n.net(info.clk).name.c_str());
+    if (info.en.valid()) std::printf(" en=%s", n.net(info.en).name.c_str());
+    if (info.sync_ctrl.valid()) {
+      std::printf(" sync=%s", n.net(info.sync_ctrl).name.c_str());
+    }
+    if (info.async_ctrl.valid()) {
+      std::printf(" async=%s", n.net(info.async_ctrl).name.c_str());
+    }
+    std::printf("\n");
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const std::string command = argv[1];
+
+  // Collect flags and positionals.
+  std::vector<std::string> files;
+  std::uint32_t lut_k = 4;
+  std::int64_t lut_delay = 10;
+  bool minperiod = false;
+  std::int64_t target_period = 0;
+  bool no_sharing = false;
+  bool formal = false;
+  std::size_t bmc_depth = 0;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "-k" && i + 1 < argc) {
+      lut_k = static_cast<std::uint32_t>(std::atoi(argv[++i]));
+    } else if (arg == "-d" && i + 1 < argc) {
+      lut_delay = std::atoll(argv[++i]);
+    } else if (arg == "--minperiod") {
+      minperiod = true;
+    } else if (arg == "--target" && i + 1 < argc) {
+      target_period = std::atoll(argv[++i]);
+    } else if (arg == "--no-sharing") {
+      no_sharing = true;
+    } else if (arg == "--formal") {
+      formal = true;
+    } else if (arg == "--bmc" && i + 1 < argc) {
+      bmc_depth = static_cast<std::size_t>(std::atoll(argv[++i]));
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      return usage();
+    } else {
+      files.push_back(arg);
+    }
+  }
+  if (files.empty()) return usage();
+  const auto input = load(files[0]);
+  if (!input) return 1;
+
+  if (command == "stats") return cmd_stats(*input);
+  if (command == "classes") return cmd_classes(*input);
+  if (command == "dot") {
+    if (files.size() < 2) return usage();
+    if (!write_dot_file(*input, files[1])) {
+      std::fprintf(stderr, "cannot write %s\n", files[1].c_str());
+      return 1;
+    }
+    return 0;
+  }
+  if (command == "timing") {
+    Netlist timed = *input;
+    for (std::size_t i = 0; i < timed.node_count(); ++i) {
+      const NodeId id{static_cast<std::uint32_t>(i)};
+      if (timed.node(id).kind == NodeKind::kLut &&
+          !timed.node(id).fanins.empty() && timed.node(id).delay == 0) {
+        timed.set_node_delay(id, lut_delay);
+      }
+    }
+    const auto paths = worst_paths(timed, 5);
+    std::fputs(format_timing_report(timed, paths).c_str(), stdout);
+    return 0;
+  }
+
+  if (command == "check") {
+    if (files.size() < 2) return usage();
+    const auto other = load(files[1]);
+    if (!other) return 1;
+    const auto sim = check_sequential_equivalence(*input, *other, {});
+    std::printf("simulation: %s (%zu defined outputs)%s%s\n",
+                sim.equivalent ? "EQUIVALENT" : "DIFFERENT",
+                sim.compared_defined_outputs,
+                sim.equivalent ? "" : " - ",
+                sim.counterexample.c_str());
+    if (bmc_depth > 0) {
+      TernaryBmcOptions bo;
+      bo.depth = bmc_depth;
+      const auto bmc = check_ternary_bmc(*input, *other, bo);
+      const char* verdict =
+          bmc.verdict == TernaryBmcResult::Verdict::kEquivalentUpToDepth
+              ? "EQUIVALENT (bounded)"
+          : bmc.verdict == TernaryBmcResult::Verdict::kMismatch ? "DIFFERENT"
+                                                                : "UNSUPPORTED";
+      std::printf("bmc[%zu]:    %s (%s)\n", bmc_depth, verdict,
+                  bmc.detail.c_str());
+      if (bmc.verdict == TernaryBmcResult::Verdict::kMismatch) return 1;
+    }
+    if (formal) {
+      const auto fv = check_formal_equivalence(*input, *other, {});
+      const char* verdict =
+          fv.verdict == FormalResult::Verdict::kEquivalent  ? "EQUIVALENT"
+          : fv.verdict == FormalResult::Verdict::kMismatch ? "DIFFERENT"
+                                                           : "UNSUPPORTED";
+      std::printf("formal:     %s (%s)\n", verdict, fv.detail.c_str());
+      return fv.verdict == FormalResult::Verdict::kEquivalent && sim.equivalent
+                 ? 0
+                 : 1;
+    }
+    return sim.equivalent ? 0 : 1;
+  }
+
+  // Transforming commands need an output file.
+  if (files.size() < 2) return usage();
+  Netlist result;
+  if (command == "sweep") {
+    SweepStats stats;
+    result = sweep(*input, &stats);
+    std::fprintf(stderr, "removed %zu nodes, %zu registers; folded %zu\n",
+                 stats.nodes_removed, stats.registers_removed,
+                 stats.constants_folded);
+  } else if (command == "strash") {
+    StrashStats stats;
+    result = structural_hash(*input, &stats);
+    std::fprintf(stderr, "merged %zu duplicate nodes\n", stats.merged_nodes);
+  } else if (command == "regsweep") {
+    RegisterSweepStats stats;
+    result = register_sweep(*input, &stats);
+    std::fprintf(stderr, "merged %zu duplicate registers\n",
+                 stats.merged_registers);
+  } else if (command == "map") {
+    FlowMapOptions options;
+    options.k = lut_k;
+    options.lut_delay = lut_delay;
+    const FlowMapResult mapped =
+        flowmap_map(decompose_to_binary(*input), options);
+    std::fprintf(stderr, "mapped to %zu LUTs, depth %u\n", mapped.lut_count,
+                 mapped.depth);
+    result = std::move(mapped.mapped);
+  } else if (command == "retime") {
+    McRetimeOptions options;
+    if (minperiod) {
+      options.objective = McRetimeOptions::Objective::kMinPeriod;
+    }
+    options.sharing_modification = !no_sharing;
+    options.target_period = target_period;
+    // BLIF carries no delays: give delay-less LUTs the -d default so the
+    // period objective is meaningful.
+    Netlist timed = *input;
+    for (std::size_t i = 0; i < timed.node_count(); ++i) {
+      const NodeId id{static_cast<std::uint32_t>(i)};
+      if (timed.node(id).kind == NodeKind::kLut &&
+          !timed.node(id).fanins.empty() && timed.node(id).delay == 0) {
+        timed.set_node_delay(id, lut_delay);
+      }
+    }
+    const McRetimeResult retimed = mc_retime(timed, options);
+    if (!retimed.success) {
+      std::fprintf(stderr, "retiming failed: %s\n", retimed.error.c_str());
+      return 1;
+    }
+    std::fprintf(stderr,
+                 "classes=%zu steps=%zu/%zu period %lld -> %lld "
+                 "ff %zu -> %zu (attempts=%zu)\n",
+                 retimed.stats.num_classes, retimed.stats.moved_layers,
+                 retimed.stats.possible_steps,
+                 static_cast<long long>(retimed.stats.period_before),
+                 static_cast<long long>(retimed.stats.period_after),
+                 retimed.stats.registers_before,
+                 retimed.stats.registers_after, retimed.stats.attempts);
+    result = std::move(retimed.netlist);
+  } else if (command == "decompose-en") {
+    result = decompose_load_enables(*input);
+  } else if (command == "decompose-sync") {
+    result = decompose_sync_controls(*input);
+  } else {
+    return usage();
+  }
+  print_stats(result, "result");
+  return store(result, files[1]) ? 0 : 1;
+}
