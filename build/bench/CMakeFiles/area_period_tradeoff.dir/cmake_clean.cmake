@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/area_period_tradeoff.dir/area_period_tradeoff.cpp.o"
+  "CMakeFiles/area_period_tradeoff.dir/area_period_tradeoff.cpp.o.d"
+  "area_period_tradeoff"
+  "area_period_tradeoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/area_period_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

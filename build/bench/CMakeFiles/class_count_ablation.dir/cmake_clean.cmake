@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/class_count_ablation.dir/class_count_ablation.cpp.o"
+  "CMakeFiles/class_count_ablation.dir/class_count_ablation.cpp.o.d"
+  "class_count_ablation"
+  "class_count_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/class_count_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_enable_cost.dir/fig1_enable_cost.cpp.o"
+  "CMakeFiles/fig1_enable_cost.dir/fig1_enable_cost.cpp.o.d"
+  "fig1_enable_cost"
+  "fig1_enable_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_enable_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

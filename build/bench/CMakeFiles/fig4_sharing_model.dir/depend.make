@@ -1,0 +1,2 @@
+# Empty dependencies file for fig4_sharing_model.
+# This may be replaced when dependencies are built.

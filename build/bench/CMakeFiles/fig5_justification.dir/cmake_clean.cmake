@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_justification.dir/fig5_justification.cpp.o"
+  "CMakeFiles/fig5_justification.dir/fig5_justification.cpp.o.d"
+  "fig5_justification"
+  "fig5_justification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_justification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

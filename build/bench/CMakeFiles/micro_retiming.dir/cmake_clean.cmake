@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_retiming.dir/micro_retiming.cpp.o"
+  "CMakeFiles/micro_retiming.dir/micro_retiming.cpp.o.d"
+  "micro_retiming"
+  "micro_retiming.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_retiming.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_characteristics.dir/table1_characteristics.cpp.o"
+  "CMakeFiles/table1_characteristics.dir/table1_characteristics.cpp.o.d"
+  "table1_characteristics"
+  "table1_characteristics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_characteristics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_mc_retiming.dir/table2_mc_retiming.cpp.o"
+  "CMakeFiles/table2_mc_retiming.dir/table2_mc_retiming.cpp.o.d"
+  "table2_mc_retiming"
+  "table2_mc_retiming.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_mc_retiming.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_no_enable.dir/table3_no_enable.cpp.o"
+  "CMakeFiles/table3_no_enable.dir/table3_no_enable.cpp.o.d"
+  "table3_no_enable"
+  "table3_no_enable.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_no_enable.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for table3_no_enable.
+# This may be replaced when dependencies are built.

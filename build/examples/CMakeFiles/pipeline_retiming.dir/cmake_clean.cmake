@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pipeline_retiming.dir/pipeline_retiming.cpp.o"
+  "CMakeFiles/pipeline_retiming.dir/pipeline_retiming.cpp.o.d"
+  "pipeline_retiming"
+  "pipeline_retiming.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pipeline_retiming.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

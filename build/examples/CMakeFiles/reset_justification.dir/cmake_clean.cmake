@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reset_justification.dir/reset_justification.cpp.o"
+  "CMakeFiles/reset_justification.dir/reset_justification.cpp.o.d"
+  "reset_justification"
+  "reset_justification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reset_justification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("base")
+subdirs("graph")
+subdirs("flow")
+subdirs("bdd")
+subdirs("netlist")
+subdirs("blif")
+subdirs("sim")
+subdirs("tech")
+subdirs("transform")
+subdirs("workload")
+subdirs("retime")
+subdirs("mcretime")
+subdirs("verify")

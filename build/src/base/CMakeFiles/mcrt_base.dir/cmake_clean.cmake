@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcrt_base.dir/log.cpp.o"
+  "CMakeFiles/mcrt_base.dir/log.cpp.o.d"
+  "CMakeFiles/mcrt_base.dir/rng.cpp.o"
+  "CMakeFiles/mcrt_base.dir/rng.cpp.o.d"
+  "CMakeFiles/mcrt_base.dir/strings.cpp.o"
+  "CMakeFiles/mcrt_base.dir/strings.cpp.o.d"
+  "CMakeFiles/mcrt_base.dir/timer.cpp.o"
+  "CMakeFiles/mcrt_base.dir/timer.cpp.o.d"
+  "libmcrt_base.a"
+  "libmcrt_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcrt_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

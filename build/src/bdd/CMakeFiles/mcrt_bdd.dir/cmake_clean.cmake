@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcrt_bdd.dir/bdd.cpp.o"
+  "CMakeFiles/mcrt_bdd.dir/bdd.cpp.o.d"
+  "libmcrt_bdd.a"
+  "libmcrt_bdd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcrt_bdd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

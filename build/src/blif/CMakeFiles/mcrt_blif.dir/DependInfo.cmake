@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/blif/blif_reader.cpp" "src/blif/CMakeFiles/mcrt_blif.dir/blif_reader.cpp.o" "gcc" "src/blif/CMakeFiles/mcrt_blif.dir/blif_reader.cpp.o.d"
+  "/root/repo/src/blif/blif_writer.cpp" "src/blif/CMakeFiles/mcrt_blif.dir/blif_writer.cpp.o" "gcc" "src/blif/CMakeFiles/mcrt_blif.dir/blif_writer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netlist/CMakeFiles/mcrt_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/mcrt_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/mcrt_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

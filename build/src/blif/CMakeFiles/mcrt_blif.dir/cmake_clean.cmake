@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcrt_blif.dir/blif_reader.cpp.o"
+  "CMakeFiles/mcrt_blif.dir/blif_reader.cpp.o.d"
+  "CMakeFiles/mcrt_blif.dir/blif_writer.cpp.o"
+  "CMakeFiles/mcrt_blif.dir/blif_writer.cpp.o.d"
+  "libmcrt_blif.a"
+  "libmcrt_blif.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcrt_blif.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/flow/maxflow.cpp" "src/flow/CMakeFiles/mcrt_flow.dir/maxflow.cpp.o" "gcc" "src/flow/CMakeFiles/mcrt_flow.dir/maxflow.cpp.o.d"
+  "/root/repo/src/flow/mincost_flow.cpp" "src/flow/CMakeFiles/mcrt_flow.dir/mincost_flow.cpp.o" "gcc" "src/flow/CMakeFiles/mcrt_flow.dir/mincost_flow.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/mcrt_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

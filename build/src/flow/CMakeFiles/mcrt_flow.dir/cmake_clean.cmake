@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcrt_flow.dir/maxflow.cpp.o"
+  "CMakeFiles/mcrt_flow.dir/maxflow.cpp.o.d"
+  "CMakeFiles/mcrt_flow.dir/mincost_flow.cpp.o"
+  "CMakeFiles/mcrt_flow.dir/mincost_flow.cpp.o.d"
+  "libmcrt_flow.a"
+  "libmcrt_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcrt_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcrt_graph.dir/difference_constraints.cpp.o"
+  "CMakeFiles/mcrt_graph.dir/difference_constraints.cpp.o.d"
+  "CMakeFiles/mcrt_graph.dir/digraph.cpp.o"
+  "CMakeFiles/mcrt_graph.dir/digraph.cpp.o.d"
+  "CMakeFiles/mcrt_graph.dir/scc.cpp.o"
+  "CMakeFiles/mcrt_graph.dir/scc.cpp.o.d"
+  "CMakeFiles/mcrt_graph.dir/topo.cpp.o"
+  "CMakeFiles/mcrt_graph.dir/topo.cpp.o.d"
+  "libmcrt_graph.a"
+  "libmcrt_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcrt_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mcretime/lower.cpp" "src/mcretime/CMakeFiles/mcrt_mcretime.dir/lower.cpp.o" "gcc" "src/mcretime/CMakeFiles/mcrt_mcretime.dir/lower.cpp.o.d"
+  "/root/repo/src/mcretime/maximal_retiming.cpp" "src/mcretime/CMakeFiles/mcrt_mcretime.dir/maximal_retiming.cpp.o" "gcc" "src/mcretime/CMakeFiles/mcrt_mcretime.dir/maximal_retiming.cpp.o.d"
+  "/root/repo/src/mcretime/mc_retime.cpp" "src/mcretime/CMakeFiles/mcrt_mcretime.dir/mc_retime.cpp.o" "gcc" "src/mcretime/CMakeFiles/mcrt_mcretime.dir/mc_retime.cpp.o.d"
+  "/root/repo/src/mcretime/mcgraph.cpp" "src/mcretime/CMakeFiles/mcrt_mcretime.dir/mcgraph.cpp.o" "gcc" "src/mcretime/CMakeFiles/mcrt_mcretime.dir/mcgraph.cpp.o.d"
+  "/root/repo/src/mcretime/mcgraph_dot.cpp" "src/mcretime/CMakeFiles/mcrt_mcretime.dir/mcgraph_dot.cpp.o" "gcc" "src/mcretime/CMakeFiles/mcrt_mcretime.dir/mcgraph_dot.cpp.o.d"
+  "/root/repo/src/mcretime/rebuild.cpp" "src/mcretime/CMakeFiles/mcrt_mcretime.dir/rebuild.cpp.o" "gcc" "src/mcretime/CMakeFiles/mcrt_mcretime.dir/rebuild.cpp.o.d"
+  "/root/repo/src/mcretime/register_class.cpp" "src/mcretime/CMakeFiles/mcrt_mcretime.dir/register_class.cpp.o" "gcc" "src/mcretime/CMakeFiles/mcrt_mcretime.dir/register_class.cpp.o.d"
+  "/root/repo/src/mcretime/relocate.cpp" "src/mcretime/CMakeFiles/mcrt_mcretime.dir/relocate.cpp.o" "gcc" "src/mcretime/CMakeFiles/mcrt_mcretime.dir/relocate.cpp.o.d"
+  "/root/repo/src/mcretime/reset_state.cpp" "src/mcretime/CMakeFiles/mcrt_mcretime.dir/reset_state.cpp.o" "gcc" "src/mcretime/CMakeFiles/mcrt_mcretime.dir/reset_state.cpp.o.d"
+  "/root/repo/src/mcretime/sharing.cpp" "src/mcretime/CMakeFiles/mcrt_mcretime.dir/sharing.cpp.o" "gcc" "src/mcretime/CMakeFiles/mcrt_mcretime.dir/sharing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netlist/CMakeFiles/mcrt_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/retime/CMakeFiles/mcrt_retime.dir/DependInfo.cmake"
+  "/root/repo/build/src/bdd/CMakeFiles/mcrt_bdd.dir/DependInfo.cmake"
+  "/root/repo/build/src/transform/CMakeFiles/mcrt_transform.dir/DependInfo.cmake"
+  "/root/repo/build/src/flow/CMakeFiles/mcrt_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/mcrt_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/mcrt_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

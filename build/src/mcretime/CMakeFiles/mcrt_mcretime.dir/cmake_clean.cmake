@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcrt_mcretime.dir/lower.cpp.o"
+  "CMakeFiles/mcrt_mcretime.dir/lower.cpp.o.d"
+  "CMakeFiles/mcrt_mcretime.dir/maximal_retiming.cpp.o"
+  "CMakeFiles/mcrt_mcretime.dir/maximal_retiming.cpp.o.d"
+  "CMakeFiles/mcrt_mcretime.dir/mc_retime.cpp.o"
+  "CMakeFiles/mcrt_mcretime.dir/mc_retime.cpp.o.d"
+  "CMakeFiles/mcrt_mcretime.dir/mcgraph.cpp.o"
+  "CMakeFiles/mcrt_mcretime.dir/mcgraph.cpp.o.d"
+  "CMakeFiles/mcrt_mcretime.dir/mcgraph_dot.cpp.o"
+  "CMakeFiles/mcrt_mcretime.dir/mcgraph_dot.cpp.o.d"
+  "CMakeFiles/mcrt_mcretime.dir/rebuild.cpp.o"
+  "CMakeFiles/mcrt_mcretime.dir/rebuild.cpp.o.d"
+  "CMakeFiles/mcrt_mcretime.dir/register_class.cpp.o"
+  "CMakeFiles/mcrt_mcretime.dir/register_class.cpp.o.d"
+  "CMakeFiles/mcrt_mcretime.dir/relocate.cpp.o"
+  "CMakeFiles/mcrt_mcretime.dir/relocate.cpp.o.d"
+  "CMakeFiles/mcrt_mcretime.dir/reset_state.cpp.o"
+  "CMakeFiles/mcrt_mcretime.dir/reset_state.cpp.o.d"
+  "CMakeFiles/mcrt_mcretime.dir/sharing.cpp.o"
+  "CMakeFiles/mcrt_mcretime.dir/sharing.cpp.o.d"
+  "libmcrt_mcretime.a"
+  "libmcrt_mcretime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcrt_mcretime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

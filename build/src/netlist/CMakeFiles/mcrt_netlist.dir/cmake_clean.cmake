@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcrt_netlist.dir/dot_export.cpp.o"
+  "CMakeFiles/mcrt_netlist.dir/dot_export.cpp.o.d"
+  "CMakeFiles/mcrt_netlist.dir/netlist.cpp.o"
+  "CMakeFiles/mcrt_netlist.dir/netlist.cpp.o.d"
+  "CMakeFiles/mcrt_netlist.dir/truth_table.cpp.o"
+  "CMakeFiles/mcrt_netlist.dir/truth_table.cpp.o.d"
+  "libmcrt_netlist.a"
+  "libmcrt_netlist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcrt_netlist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/retime/feas.cpp" "src/retime/CMakeFiles/mcrt_retime.dir/feas.cpp.o" "gcc" "src/retime/CMakeFiles/mcrt_retime.dir/feas.cpp.o.d"
+  "/root/repo/src/retime/minarea.cpp" "src/retime/CMakeFiles/mcrt_retime.dir/minarea.cpp.o" "gcc" "src/retime/CMakeFiles/mcrt_retime.dir/minarea.cpp.o.d"
+  "/root/repo/src/retime/minperiod.cpp" "src/retime/CMakeFiles/mcrt_retime.dir/minperiod.cpp.o" "gcc" "src/retime/CMakeFiles/mcrt_retime.dir/minperiod.cpp.o.d"
+  "/root/repo/src/retime/period_constraints.cpp" "src/retime/CMakeFiles/mcrt_retime.dir/period_constraints.cpp.o" "gcc" "src/retime/CMakeFiles/mcrt_retime.dir/period_constraints.cpp.o.d"
+  "/root/repo/src/retime/retime_graph.cpp" "src/retime/CMakeFiles/mcrt_retime.dir/retime_graph.cpp.o" "gcc" "src/retime/CMakeFiles/mcrt_retime.dir/retime_graph.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/mcrt_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/flow/CMakeFiles/mcrt_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/mcrt_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcrt_retime.dir/feas.cpp.o"
+  "CMakeFiles/mcrt_retime.dir/feas.cpp.o.d"
+  "CMakeFiles/mcrt_retime.dir/minarea.cpp.o"
+  "CMakeFiles/mcrt_retime.dir/minarea.cpp.o.d"
+  "CMakeFiles/mcrt_retime.dir/minperiod.cpp.o"
+  "CMakeFiles/mcrt_retime.dir/minperiod.cpp.o.d"
+  "CMakeFiles/mcrt_retime.dir/period_constraints.cpp.o"
+  "CMakeFiles/mcrt_retime.dir/period_constraints.cpp.o.d"
+  "CMakeFiles/mcrt_retime.dir/retime_graph.cpp.o"
+  "CMakeFiles/mcrt_retime.dir/retime_graph.cpp.o.d"
+  "libmcrt_retime.a"
+  "libmcrt_retime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcrt_retime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

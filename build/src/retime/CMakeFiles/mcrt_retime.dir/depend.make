@@ -1,0 +1,2 @@
+# Empty dependencies file for mcrt_retime.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/equivalence.cpp" "src/sim/CMakeFiles/mcrt_sim.dir/equivalence.cpp.o" "gcc" "src/sim/CMakeFiles/mcrt_sim.dir/equivalence.cpp.o.d"
+  "/root/repo/src/sim/parallel_simulator.cpp" "src/sim/CMakeFiles/mcrt_sim.dir/parallel_simulator.cpp.o" "gcc" "src/sim/CMakeFiles/mcrt_sim.dir/parallel_simulator.cpp.o.d"
+  "/root/repo/src/sim/simulator.cpp" "src/sim/CMakeFiles/mcrt_sim.dir/simulator.cpp.o" "gcc" "src/sim/CMakeFiles/mcrt_sim.dir/simulator.cpp.o.d"
+  "/root/repo/src/sim/vcd.cpp" "src/sim/CMakeFiles/mcrt_sim.dir/vcd.cpp.o" "gcc" "src/sim/CMakeFiles/mcrt_sim.dir/vcd.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netlist/CMakeFiles/mcrt_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/mcrt_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/mcrt_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

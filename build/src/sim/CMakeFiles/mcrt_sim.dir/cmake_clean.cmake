@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcrt_sim.dir/equivalence.cpp.o"
+  "CMakeFiles/mcrt_sim.dir/equivalence.cpp.o.d"
+  "CMakeFiles/mcrt_sim.dir/parallel_simulator.cpp.o"
+  "CMakeFiles/mcrt_sim.dir/parallel_simulator.cpp.o.d"
+  "CMakeFiles/mcrt_sim.dir/simulator.cpp.o"
+  "CMakeFiles/mcrt_sim.dir/simulator.cpp.o.d"
+  "CMakeFiles/mcrt_sim.dir/vcd.cpp.o"
+  "CMakeFiles/mcrt_sim.dir/vcd.cpp.o.d"
+  "libmcrt_sim.a"
+  "libmcrt_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcrt_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

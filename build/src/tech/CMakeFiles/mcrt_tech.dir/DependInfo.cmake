@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tech/decompose.cpp" "src/tech/CMakeFiles/mcrt_tech.dir/decompose.cpp.o" "gcc" "src/tech/CMakeFiles/mcrt_tech.dir/decompose.cpp.o.d"
+  "/root/repo/src/tech/flowmap.cpp" "src/tech/CMakeFiles/mcrt_tech.dir/flowmap.cpp.o" "gcc" "src/tech/CMakeFiles/mcrt_tech.dir/flowmap.cpp.o.d"
+  "/root/repo/src/tech/sta.cpp" "src/tech/CMakeFiles/mcrt_tech.dir/sta.cpp.o" "gcc" "src/tech/CMakeFiles/mcrt_tech.dir/sta.cpp.o.d"
+  "/root/repo/src/tech/timing_report.cpp" "src/tech/CMakeFiles/mcrt_tech.dir/timing_report.cpp.o" "gcc" "src/tech/CMakeFiles/mcrt_tech.dir/timing_report.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netlist/CMakeFiles/mcrt_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/flow/CMakeFiles/mcrt_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/mcrt_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/mcrt_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcrt_tech.dir/decompose.cpp.o"
+  "CMakeFiles/mcrt_tech.dir/decompose.cpp.o.d"
+  "CMakeFiles/mcrt_tech.dir/flowmap.cpp.o"
+  "CMakeFiles/mcrt_tech.dir/flowmap.cpp.o.d"
+  "CMakeFiles/mcrt_tech.dir/sta.cpp.o"
+  "CMakeFiles/mcrt_tech.dir/sta.cpp.o.d"
+  "CMakeFiles/mcrt_tech.dir/timing_report.cpp.o"
+  "CMakeFiles/mcrt_tech.dir/timing_report.cpp.o.d"
+  "libmcrt_tech.a"
+  "libmcrt_tech.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcrt_tech.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

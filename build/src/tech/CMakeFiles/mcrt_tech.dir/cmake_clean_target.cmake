@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmcrt_tech.a"
+)

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/transform/decompose_controls.cpp" "src/transform/CMakeFiles/mcrt_transform.dir/decompose_controls.cpp.o" "gcc" "src/transform/CMakeFiles/mcrt_transform.dir/decompose_controls.cpp.o.d"
+  "/root/repo/src/transform/register_sweep.cpp" "src/transform/CMakeFiles/mcrt_transform.dir/register_sweep.cpp.o" "gcc" "src/transform/CMakeFiles/mcrt_transform.dir/register_sweep.cpp.o.d"
+  "/root/repo/src/transform/rewrite.cpp" "src/transform/CMakeFiles/mcrt_transform.dir/rewrite.cpp.o" "gcc" "src/transform/CMakeFiles/mcrt_transform.dir/rewrite.cpp.o.d"
+  "/root/repo/src/transform/strash.cpp" "src/transform/CMakeFiles/mcrt_transform.dir/strash.cpp.o" "gcc" "src/transform/CMakeFiles/mcrt_transform.dir/strash.cpp.o.d"
+  "/root/repo/src/transform/sweep.cpp" "src/transform/CMakeFiles/mcrt_transform.dir/sweep.cpp.o" "gcc" "src/transform/CMakeFiles/mcrt_transform.dir/sweep.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netlist/CMakeFiles/mcrt_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/mcrt_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/mcrt_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcrt_transform.dir/decompose_controls.cpp.o"
+  "CMakeFiles/mcrt_transform.dir/decompose_controls.cpp.o.d"
+  "CMakeFiles/mcrt_transform.dir/register_sweep.cpp.o"
+  "CMakeFiles/mcrt_transform.dir/register_sweep.cpp.o.d"
+  "CMakeFiles/mcrt_transform.dir/rewrite.cpp.o"
+  "CMakeFiles/mcrt_transform.dir/rewrite.cpp.o.d"
+  "CMakeFiles/mcrt_transform.dir/strash.cpp.o"
+  "CMakeFiles/mcrt_transform.dir/strash.cpp.o.d"
+  "CMakeFiles/mcrt_transform.dir/sweep.cpp.o"
+  "CMakeFiles/mcrt_transform.dir/sweep.cpp.o.d"
+  "libmcrt_transform.a"
+  "libmcrt_transform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcrt_transform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

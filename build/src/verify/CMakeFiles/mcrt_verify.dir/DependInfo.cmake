@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/verify/formal_equivalence.cpp" "src/verify/CMakeFiles/mcrt_verify.dir/formal_equivalence.cpp.o" "gcc" "src/verify/CMakeFiles/mcrt_verify.dir/formal_equivalence.cpp.o.d"
+  "/root/repo/src/verify/ternary_bmc.cpp" "src/verify/CMakeFiles/mcrt_verify.dir/ternary_bmc.cpp.o" "gcc" "src/verify/CMakeFiles/mcrt_verify.dir/ternary_bmc.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netlist/CMakeFiles/mcrt_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/bdd/CMakeFiles/mcrt_bdd.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/mcrt_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/mcrt_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

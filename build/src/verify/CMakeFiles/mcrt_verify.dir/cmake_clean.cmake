@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcrt_verify.dir/formal_equivalence.cpp.o"
+  "CMakeFiles/mcrt_verify.dir/formal_equivalence.cpp.o.d"
+  "CMakeFiles/mcrt_verify.dir/ternary_bmc.cpp.o"
+  "CMakeFiles/mcrt_verify.dir/ternary_bmc.cpp.o.d"
+  "libmcrt_verify.a"
+  "libmcrt_verify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcrt_verify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

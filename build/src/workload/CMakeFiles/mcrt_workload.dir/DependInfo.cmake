@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/generator.cpp" "src/workload/CMakeFiles/mcrt_workload.dir/generator.cpp.o" "gcc" "src/workload/CMakeFiles/mcrt_workload.dir/generator.cpp.o.d"
+  "/root/repo/src/workload/random_circuit.cpp" "src/workload/CMakeFiles/mcrt_workload.dir/random_circuit.cpp.o" "gcc" "src/workload/CMakeFiles/mcrt_workload.dir/random_circuit.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netlist/CMakeFiles/mcrt_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/mcrt_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/mcrt_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

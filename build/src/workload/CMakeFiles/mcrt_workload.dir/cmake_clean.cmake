@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcrt_workload.dir/generator.cpp.o"
+  "CMakeFiles/mcrt_workload.dir/generator.cpp.o.d"
+  "CMakeFiles/mcrt_workload.dir/random_circuit.cpp.o"
+  "CMakeFiles/mcrt_workload.dir/random_circuit.cpp.o.d"
+  "libmcrt_workload.a"
+  "libmcrt_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcrt_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

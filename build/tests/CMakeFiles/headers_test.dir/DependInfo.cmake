@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/headers_test.cpp" "tests/CMakeFiles/headers_test.dir/headers_test.cpp.o" "gcc" "tests/CMakeFiles/headers_test.dir/headers_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/mcrt_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/mcrt_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/flow/CMakeFiles/mcrt_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/bdd/CMakeFiles/mcrt_bdd.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/mcrt_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/blif/CMakeFiles/mcrt_blif.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mcrt_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/tech/CMakeFiles/mcrt_tech.dir/DependInfo.cmake"
+  "/root/repo/build/src/transform/CMakeFiles/mcrt_transform.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/mcrt_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/retime/CMakeFiles/mcrt_retime.dir/DependInfo.cmake"
+  "/root/repo/build/src/mcretime/CMakeFiles/mcrt_mcretime.dir/DependInfo.cmake"
+  "/root/repo/build/src/verify/CMakeFiles/mcrt_verify.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,47 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/mcretime/determinism_test.cpp" "tests/CMakeFiles/mcretime_test.dir/mcretime/determinism_test.cpp.o" "gcc" "tests/CMakeFiles/mcretime_test.dir/mcretime/determinism_test.cpp.o.d"
+  "/root/repo/tests/mcretime/edge_cases_test.cpp" "tests/CMakeFiles/mcretime_test.dir/mcretime/edge_cases_test.cpp.o" "gcc" "tests/CMakeFiles/mcretime_test.dir/mcretime/edge_cases_test.cpp.o.d"
+  "/root/repo/tests/mcretime/lower_test.cpp" "tests/CMakeFiles/mcretime_test.dir/mcretime/lower_test.cpp.o" "gcc" "tests/CMakeFiles/mcretime_test.dir/mcretime/lower_test.cpp.o.d"
+  "/root/repo/tests/mcretime/maximal_retiming_test.cpp" "tests/CMakeFiles/mcretime_test.dir/mcretime/maximal_retiming_test.cpp.o" "gcc" "tests/CMakeFiles/mcretime_test.dir/mcretime/maximal_retiming_test.cpp.o.d"
+  "/root/repo/tests/mcretime/mc_retime_property_test.cpp" "tests/CMakeFiles/mcretime_test.dir/mcretime/mc_retime_property_test.cpp.o" "gcc" "tests/CMakeFiles/mcretime_test.dir/mcretime/mc_retime_property_test.cpp.o.d"
+  "/root/repo/tests/mcretime/mc_retime_test.cpp" "tests/CMakeFiles/mcretime_test.dir/mcretime/mc_retime_test.cpp.o" "gcc" "tests/CMakeFiles/mcretime_test.dir/mcretime/mc_retime_test.cpp.o.d"
+  "/root/repo/tests/mcretime/mcgraph_dot_test.cpp" "tests/CMakeFiles/mcretime_test.dir/mcretime/mcgraph_dot_test.cpp.o" "gcc" "tests/CMakeFiles/mcretime_test.dir/mcretime/mcgraph_dot_test.cpp.o.d"
+  "/root/repo/tests/mcretime/mcgraph_test.cpp" "tests/CMakeFiles/mcretime_test.dir/mcretime/mcgraph_test.cpp.o" "gcc" "tests/CMakeFiles/mcretime_test.dir/mcretime/mcgraph_test.cpp.o.d"
+  "/root/repo/tests/mcretime/multiclock_test.cpp" "tests/CMakeFiles/mcretime_test.dir/mcretime/multiclock_test.cpp.o" "gcc" "tests/CMakeFiles/mcretime_test.dir/mcretime/multiclock_test.cpp.o.d"
+  "/root/repo/tests/mcretime/rebuild_test.cpp" "tests/CMakeFiles/mcretime_test.dir/mcretime/rebuild_test.cpp.o" "gcc" "tests/CMakeFiles/mcretime_test.dir/mcretime/rebuild_test.cpp.o.d"
+  "/root/repo/tests/mcretime/register_class_test.cpp" "tests/CMakeFiles/mcretime_test.dir/mcretime/register_class_test.cpp.o" "gcc" "tests/CMakeFiles/mcretime_test.dir/mcretime/register_class_test.cpp.o.d"
+  "/root/repo/tests/mcretime/relocate_test.cpp" "tests/CMakeFiles/mcretime_test.dir/mcretime/relocate_test.cpp.o" "gcc" "tests/CMakeFiles/mcretime_test.dir/mcretime/relocate_test.cpp.o.d"
+  "/root/repo/tests/mcretime/reset_state_test.cpp" "tests/CMakeFiles/mcretime_test.dir/mcretime/reset_state_test.cpp.o" "gcc" "tests/CMakeFiles/mcretime_test.dir/mcretime/reset_state_test.cpp.o.d"
+  "/root/repo/tests/mcretime/sharing_test.cpp" "tests/CMakeFiles/mcretime_test.dir/mcretime/sharing_test.cpp.o" "gcc" "tests/CMakeFiles/mcretime_test.dir/mcretime/sharing_test.cpp.o.d"
+  "/root/repo/tests/mcretime/stress_test.cpp" "tests/CMakeFiles/mcretime_test.dir/mcretime/stress_test.cpp.o" "gcc" "tests/CMakeFiles/mcretime_test.dir/mcretime/stress_test.cpp.o.d"
+  "/root/repo/tests/mcretime/sync_control_test.cpp" "tests/CMakeFiles/mcretime_test.dir/mcretime/sync_control_test.cpp.o" "gcc" "tests/CMakeFiles/mcretime_test.dir/mcretime/sync_control_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/mcrt_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/mcrt_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/flow/CMakeFiles/mcrt_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/bdd/CMakeFiles/mcrt_bdd.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/mcrt_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/blif/CMakeFiles/mcrt_blif.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mcrt_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/tech/CMakeFiles/mcrt_tech.dir/DependInfo.cmake"
+  "/root/repo/build/src/transform/CMakeFiles/mcrt_transform.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/mcrt_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/retime/CMakeFiles/mcrt_retime.dir/DependInfo.cmake"
+  "/root/repo/build/src/mcretime/CMakeFiles/mcrt_mcretime.dir/DependInfo.cmake"
+  "/root/repo/build/src/verify/CMakeFiles/mcrt_verify.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/retime_test.dir/retime/bounded_optimality_test.cpp.o"
+  "CMakeFiles/retime_test.dir/retime/bounded_optimality_test.cpp.o.d"
+  "CMakeFiles/retime_test.dir/retime/feas_test.cpp.o"
+  "CMakeFiles/retime_test.dir/retime/feas_test.cpp.o.d"
+  "CMakeFiles/retime_test.dir/retime/minarea_test.cpp.o"
+  "CMakeFiles/retime_test.dir/retime/minarea_test.cpp.o.d"
+  "CMakeFiles/retime_test.dir/retime/minperiod_test.cpp.o"
+  "CMakeFiles/retime_test.dir/retime/minperiod_test.cpp.o.d"
+  "CMakeFiles/retime_test.dir/retime/pruning_test.cpp.o"
+  "CMakeFiles/retime_test.dir/retime/pruning_test.cpp.o.d"
+  "CMakeFiles/retime_test.dir/retime/retime_graph_test.cpp.o"
+  "CMakeFiles/retime_test.dir/retime/retime_graph_test.cpp.o.d"
+  "CMakeFiles/retime_test.dir/retime/wd_labels_test.cpp.o"
+  "CMakeFiles/retime_test.dir/retime/wd_labels_test.cpp.o.d"
+  "retime_test"
+  "retime_test.pdb"
+  "retime_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/retime_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

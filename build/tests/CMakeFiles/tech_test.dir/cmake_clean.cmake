@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tech_test.dir/tech/decompose_test.cpp.o"
+  "CMakeFiles/tech_test.dir/tech/decompose_test.cpp.o.d"
+  "CMakeFiles/tech_test.dir/tech/flowmap_test.cpp.o"
+  "CMakeFiles/tech_test.dir/tech/flowmap_test.cpp.o.d"
+  "CMakeFiles/tech_test.dir/tech/sta_test.cpp.o"
+  "CMakeFiles/tech_test.dir/tech/sta_test.cpp.o.d"
+  "CMakeFiles/tech_test.dir/tech/timing_report_test.cpp.o"
+  "CMakeFiles/tech_test.dir/tech/timing_report_test.cpp.o.d"
+  "tech_test"
+  "tech_test.pdb"
+  "tech_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tech_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+add_test([=[HeadersTest.AllPublicHeadersIncluded]=]  /root/repo/build/tests/headers_test [==[--gtest_filter=HeadersTest.AllPublicHeadersIncluded]==] --gtest_also_run_disabled_tests)
+set_tests_properties([=[HeadersTest.AllPublicHeadersIncluded]=]  PROPERTIES WORKING_DIRECTORY /root/repo/build/tests SKIP_REGULAR_EXPRESSION [==[\[  SKIPPED \]]==])
+set(  headers_test_TESTS HeadersTest.AllPublicHeadersIncluded)

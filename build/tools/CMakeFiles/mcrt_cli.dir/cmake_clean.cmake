@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcrt_cli.dir/mcrt_cli.cpp.o"
+  "CMakeFiles/mcrt_cli.dir/mcrt_cli.cpp.o.d"
+  "mcrt"
+  "mcrt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcrt_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

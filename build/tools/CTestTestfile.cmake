@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_stats "/root/repo/build/tools/mcrt" "stats" "/root/repo/testdata/enabled_pipeline.blif")
+set_tests_properties(cli_stats PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;10;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_classes "/root/repo/build/tools/mcrt" "classes" "/root/repo/testdata/enabled_pipeline.blif")
+set_tests_properties(cli_classes PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;11;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_retime "/root/repo/build/tools/mcrt" "retime" "/root/repo/testdata/enabled_pipeline.blif" "/root/repo/build/tools/cli_retimed.blif")
+set_tests_properties(cli_retime PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;12;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_check "/root/repo/build/tools/mcrt" "check" "--formal" "/root/repo/testdata/enabled_pipeline.blif" "/root/repo/build/tools/cli_retimed.blif")
+set_tests_properties(cli_check PROPERTIES  DEPENDS "cli_retime" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;15;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_map "/root/repo/build/tools/mcrt" "map" "-k" "4" "/root/repo/testdata/enabled_pipeline.blif" "/root/repo/build/tools/cli_mapped.blif")
+set_tests_properties(cli_map PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;19;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_sweep "/root/repo/build/tools/mcrt" "sweep" "/root/repo/testdata/enabled_pipeline.blif" "/root/repo/build/tools/cli_swept.blif")
+set_tests_properties(cli_sweep PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;22;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_timing "/root/repo/build/tools/mcrt" "timing" "/root/repo/testdata/enabled_pipeline.blif")
+set_tests_properties(cli_timing PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;25;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_dot "/root/repo/build/tools/mcrt" "dot" "/root/repo/testdata/enabled_pipeline.blif" "/root/repo/build/tools/cli_demo.dot")
+set_tests_properties(cli_dot PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;26;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_strash "/root/repo/build/tools/mcrt" "strash" "/root/repo/testdata/enabled_pipeline.blif" "/root/repo/build/tools/cli_strash.blif")
+set_tests_properties(cli_strash PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;29;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_regsweep "/root/repo/build/tools/mcrt" "regsweep" "/root/repo/testdata/enabled_pipeline.blif" "/root/repo/build/tools/cli_regsweep.blif")
+set_tests_properties(cli_regsweep PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;32;add_test;/root/repo/tools/CMakeLists.txt;0;")
