@@ -15,6 +15,8 @@
 #include <cstdio>
 
 #include "flow_common.h"
+#include "transform/decompose_controls.h"
+#include "transform/sweep.h"
 
 namespace {
 

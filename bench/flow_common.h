@@ -1,5 +1,6 @@
 // Shared flow pieces for the table/figure harnesses: the equivalents of the
-// paper's synthesis scripts (§6).
+// paper's synthesis scripts (§6), built on the pipeline PassManager so the
+// benches report the same per-pass wall-clock profile the CLI does.
 //
 //  - prepare_mapped(): HDL analyzer -> decompose sync set/clear (XC4000E
 //    registers have none) -> optimize (sweep) -> map to 4-LUTs with the
@@ -9,17 +10,20 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
+#include <memory>
 #include <string>
+#include <utility>
 
 #include "base/timer.h"
 #include "mcretime/mc_retime.h"
 #include "netlist/netlist.h"
+#include "pipeline/flow_context.h"
+#include "pipeline/flow_script.h"
+#include "pipeline/pass_manager.h"
+#include "pipeline/passes.h"
 #include "sim/equivalence.h"
-#include "tech/decompose.h"
-#include "tech/flowmap.h"
 #include "tech/sta.h"
-#include "transform/decompose_controls.h"
-#include "transform/sweep.h"
 #include "workload/generator.h"
 
 namespace mcrt::bench {
@@ -32,6 +36,8 @@ struct MappedCircuit {
   std::int64_t delay = 0;
   bool has_async = false;
   bool has_en = false;
+  /// Per-pass wall clock of the flow that produced this circuit.
+  PhaseProfile pass_profile;
 };
 
 inline MappedCircuit measure(std::string name, Netlist netlist) {
@@ -47,14 +53,43 @@ inline MappedCircuit measure(std::string name, Netlist netlist) {
   return out;
 }
 
+/// Benches time the passes themselves: leave per-pass checking to the test
+/// suites so the reported seconds stay comparable with the paper's.
+inline PassManagerOptions bench_manager_options() {
+  PassManagerOptions options;
+  options.check_invariants = false;
+  options.check_equivalence = false;
+  return options;
+}
+
+/// Runs `script` over `rtl` through the standard registry; exits loudly on
+/// a script or pass failure (bench scripts are static, so this is a bug).
+inline MappedCircuit run_bench_flow(std::string name, Netlist rtl,
+                                    const std::string& script) {
+  FlowContext context(std::move(rtl));
+  PassManager manager(bench_manager_options());
+  if (const auto error =
+          compile_flow_script(script, PassRegistry::standard(), manager)) {
+    std::fprintf(stderr, "%s: bad bench flow script: %s\n", name.c_str(),
+                 error->c_str());
+    std::abort();
+  }
+  const FlowResult run = manager.run(context);
+  if (!run.success) {
+    std::fprintf(stderr, "%s: bench flow failed: %s\n", name.c_str(),
+                 run.error.c_str());
+    std::abort();
+  }
+  MappedCircuit out = measure(std::move(name), context.take_netlist());
+  out.pass_profile = run.profile;
+  return out;
+}
+
 /// The paper's "minimal area for best delay" preparation script.
 inline MappedCircuit prepare_mapped(const CircuitProfile& profile) {
-  Netlist rtl = generate_circuit(profile);
   // XC4000E flip-flops have no synchronous set/clear: decompose to logic.
-  rtl = decompose_sync_controls(rtl);
-  rtl = sweep(rtl, nullptr);
-  const FlowMapResult mapped = flowmap_map(decompose_to_binary(rtl), {});
-  return measure(profile.name, mapped.mapped);
+  return run_bench_flow(profile.name, generate_circuit(profile),
+                        "decompose-sync; sweep; map");
 }
 
 struct RetimedCircuit {
@@ -69,19 +104,21 @@ struct RetimedCircuit {
 inline RetimedCircuit retime_and_remap(const MappedCircuit& mapped,
                                        const McRetimeOptions& options = {}) {
   RetimedCircuit out;
-  Timer timer;
-  const McRetimeResult result = mc_retime(mapped.netlist, options);
-  if (!result.success) {
-    std::fprintf(stderr, "  %s: mc-retiming failed: %s\n",
-                 mapped.name.c_str(), result.error.c_str());
+  FlowContext context(mapped.netlist);
+  PassManager manager(bench_manager_options());
+  manager.add(std::make_unique<RetimePass>(options));
+  // Remap the combinational part after retiming (registers pass through).
+  manager.add(std::make_unique<MapPass>());
+  const FlowResult run = manager.run(context);
+  if (!run.success) {
+    std::fprintf(stderr, "  %s: %s\n", mapped.name.c_str(),
+                 run.error.c_str());
     return out;
   }
-  // Remap the combinational part after retiming (registers pass through).
-  const FlowMapResult remapped =
-      flowmap_map(decompose_to_binary(result.netlist), {});
-  out.seconds = timer.seconds();
-  out.circuit = measure(mapped.name, remapped.mapped);
-  out.stats = result.stats;
+  out.seconds = run.profile.total();
+  out.stats = *context.retime_stats;
+  out.circuit = measure(mapped.name, context.take_netlist());
+  out.circuit.pass_profile = run.profile;
   out.ok = true;
   EquivalenceOptions eq_opt;
   eq_opt.runs = 2;

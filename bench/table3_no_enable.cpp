@@ -22,12 +22,8 @@ namespace {
 mcrt::bench::MappedCircuit prepare_no_enable(
     const mcrt::CircuitProfile& profile) {
   using namespace mcrt;
-  Netlist rtl = generate_circuit(profile);
-  rtl = decompose_load_enables(rtl);
-  rtl = decompose_sync_controls(rtl);
-  rtl = sweep(rtl, nullptr);
-  const FlowMapResult mapped = flowmap_map(decompose_to_binary(rtl), {});
-  return bench::measure(profile.name, mapped.mapped);
+  return bench::run_bench_flow(profile.name, generate_circuit(profile),
+                               "decompose-en; decompose-sync; sweep; map");
 }
 
 }  // namespace

@@ -1,0 +1,95 @@
+// Mutable state threaded through a pass pipeline.
+//
+// A FlowContext owns the netlist being transformed plus everything passes
+// share around it: a string key/value option store (flow-level knobs that
+// individual passes may consult), numeric metrics recorded by passes (so
+// drivers can report "removed 3 nodes" without parsing text), the typed
+// statistics of the most recent retime pass, and the diagnostics sink that
+// replaces scattered fprintf(stderr, ...) calls.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "mcretime/mc_retime.h"
+#include "netlist/netlist.h"
+#include "pipeline/diagnostics.h"
+
+namespace mcrt {
+
+class FlowContext {
+ public:
+  /// `sink == nullptr` routes diagnostics to default_diagnostics() (stderr).
+  explicit FlowContext(Netlist netlist, DiagnosticsSink* sink = nullptr)
+      : netlist_(std::move(netlist)), sink_(sink) {}
+
+  // --- netlist -------------------------------------------------------------
+  [[nodiscard]] Netlist& netlist() noexcept { return netlist_; }
+  [[nodiscard]] const Netlist& netlist() const noexcept { return netlist_; }
+  void replace_netlist(Netlist netlist) { netlist_ = std::move(netlist); }
+  /// Moves the netlist out (the context is done after a flow completes).
+  [[nodiscard]] Netlist take_netlist() { return std::move(netlist_); }
+
+  // --- options -------------------------------------------------------------
+  void set_option(std::string key, std::string value) {
+    options_[std::move(key)] = std::move(value);
+  }
+  [[nodiscard]] std::optional<std::string> option(
+      const std::string& key) const {
+    const auto it = options_.find(key);
+    if (it == options_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  // --- metrics -------------------------------------------------------------
+  void set_metric(const std::string& key, std::int64_t value) {
+    metrics_[key] = value;
+  }
+  void add_metric(const std::string& key, std::int64_t value) {
+    metrics_[key] += value;
+  }
+  [[nodiscard]] std::optional<std::int64_t> metric(
+      const std::string& key) const {
+    const auto it = metrics_.find(key);
+    if (it == metrics_.end()) return std::nullopt;
+    return it->second;
+  }
+  [[nodiscard]] const std::map<std::string, std::int64_t>& metrics()
+      const noexcept {
+    return metrics_;
+  }
+
+  // --- diagnostics ---------------------------------------------------------
+  /// Reports attributed to the active pass (maintained by the PassManager).
+  void note(std::string message) {
+    sink().note(active_pass_, std::move(message));
+  }
+  void warning(std::string message) {
+    sink().warning(active_pass_, std::move(message));
+  }
+  void error(std::string message) {
+    sink().error(active_pass_, std::move(message));
+  }
+  [[nodiscard]] DiagnosticsSink& sink() noexcept {
+    return sink_ != nullptr ? *sink_ : default_diagnostics();
+  }
+  void set_active_pass(std::string name) { active_pass_ = std::move(name); }
+  [[nodiscard]] const std::string& active_pass() const noexcept {
+    return active_pass_;
+  }
+
+  /// Statistics of the most recent retime pass, if one ran in this flow.
+  std::optional<McRetimeStats> retime_stats;
+
+ private:
+  Netlist netlist_;
+  DiagnosticsSink* sink_ = nullptr;
+  std::string active_pass_ = "flow";
+  std::map<std::string, std::string> options_;
+  std::map<std::string, std::int64_t> metrics_;
+};
+
+}  // namespace mcrt

@@ -1,0 +1,152 @@
+#include "pipeline/flow_script.h"
+
+#include <cctype>
+
+#include "base/strings.h"
+
+namespace mcrt {
+namespace {
+
+bool is_word_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_' ||
+         c == '-' || c == '.';
+}
+
+class Parser {
+ public:
+  explicit Parser(std::string_view script) : script_(script) {}
+
+  std::variant<std::vector<PassSpec>, FlowScriptError> parse() {
+    std::vector<PassSpec> specs;
+    for (;;) {
+      skip_space();
+      if (at_end()) break;
+      if (peek() == ';') {  // empty statement
+        ++pos_;
+        continue;
+      }
+      PassSpec spec;
+      spec.offset = pos_;
+      if (!parse_word(&spec.name)) {
+        return error(pos_, str_format("expected pass name, got '%c'", peek()));
+      }
+      skip_space();
+      if (!at_end() && peek() == '(') {
+        ++pos_;
+        if (auto err = parse_args(&spec.args)) return *err;
+      }
+      skip_space();
+      if (!at_end() && peek() != ';') {
+        return error(pos_, str_format("expected ';' after pass '%s', got '%c'",
+                                      spec.name.c_str(), peek()));
+      }
+      specs.push_back(std::move(spec));
+    }
+    return specs;
+  }
+
+ private:
+  [[nodiscard]] bool at_end() const { return pos_ >= script_.size(); }
+  [[nodiscard]] char peek() const { return script_[pos_]; }
+  void skip_space() {
+    while (!at_end() && std::isspace(static_cast<unsigned char>(peek())) != 0) {
+      ++pos_;
+    }
+  }
+
+  bool parse_word(std::string* out) {
+    skip_space();
+    const std::size_t start = pos_;
+    while (!at_end() && is_word_char(peek())) ++pos_;
+    if (pos_ == start) return false;
+    *out = std::string(script_.substr(start, pos_ - start));
+    return true;
+  }
+
+  /// Parses `key[=value][,key[=value]]*)` with the '(' already consumed.
+  std::optional<FlowScriptError> parse_args(PassArgs* args) {
+    for (;;) {
+      std::string key;
+      if (!parse_word(&key)) {
+        skip_space();
+        if (!at_end() && peek() == ')' && args->empty()) {
+          ++pos_;  // empty argument list: name()
+          return std::nullopt;
+        }
+        return make_error(pos_, "expected argument name");
+      }
+      std::string value;
+      skip_space();
+      if (!at_end() && peek() == '=') {
+        ++pos_;
+        if (!parse_word(&value)) {
+          return make_error(
+              pos_, str_format("argument '%s' is missing its value after '='",
+                               key.c_str()));
+        }
+      }
+      args->set(std::move(key), std::move(value));
+      skip_space();
+      if (at_end()) return make_error(pos_, "unterminated argument list");
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (peek() == ')') {
+        ++pos_;
+        return std::nullopt;
+      }
+      return make_error(pos_,
+                        str_format("expected ',' or ')', got '%c'", peek()));
+    }
+  }
+
+  static std::variant<std::vector<PassSpec>, FlowScriptError> error(
+      std::size_t offset, std::string message) {
+    return FlowScriptError{offset, std::move(message)};
+  }
+  static std::optional<FlowScriptError> make_error(std::size_t offset,
+                                                   std::string message) {
+    return FlowScriptError{offset, std::move(message)};
+  }
+
+  std::string_view script_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::variant<std::vector<PassSpec>, FlowScriptError> parse_flow_script(
+    std::string_view script) {
+  return Parser(script).parse();
+}
+
+std::optional<std::string> compile_flow_script(std::string_view script,
+                                               const PassRegistry& registry,
+                                               PassManager& manager) {
+  auto parsed = parse_flow_script(script);
+  if (const auto* err = std::get_if<FlowScriptError>(&parsed)) {
+    return str_format("flow script, offset %zu: %s", err->offset,
+                      err->message.c_str());
+  }
+  auto& specs = std::get<std::vector<PassSpec>>(parsed);
+  if (specs.empty()) return std::string("flow script is empty");
+  for (PassSpec& spec : specs) {
+    std::unique_ptr<Pass> pass = registry.create(spec.name);
+    if (pass == nullptr) {
+      std::string known;
+      for (const std::string& name : registry.names()) {
+        if (!known.empty()) known += ", ";
+        known += name;
+      }
+      return str_format("unknown pass '%s' (available: %s)",
+                        spec.name.c_str(), known.c_str());
+    }
+    std::string error;
+    if (!pass->configure(spec.args, &error)) return error;
+    manager.add(std::move(pass));
+  }
+  return std::nullopt;
+}
+
+}  // namespace mcrt

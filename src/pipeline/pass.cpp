@@ -1,0 +1,65 @@
+#include "pipeline/pass.h"
+
+#include <cstdlib>
+
+#include "base/strings.h"
+
+namespace mcrt {
+
+std::optional<std::string> PassArgs::value(const std::string& key) const {
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<std::int64_t> PassArgs::int_value(const std::string& key,
+                                                std::string* error) const {
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) return std::nullopt;
+  const std::string& text = it->second;
+  if (text.empty()) {
+    if (error != nullptr) {
+      *error = str_format("argument '%s' needs an integer value", key.c_str());
+    }
+    return std::nullopt;
+  }
+  char* end = nullptr;
+  const long long parsed = std::strtoll(text.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0') {
+    if (error != nullptr) {
+      *error = str_format("argument '%s=%s' is not an integer", key.c_str(),
+                          text.c_str());
+    }
+    return std::nullopt;
+  }
+  return static_cast<std::int64_t>(parsed);
+}
+
+bool PassArgs::expect_keys(std::initializer_list<std::string_view> known,
+                           std::string_view pass_name,
+                           std::string* error) const {
+  for (const auto& [key, value] : entries_) {
+    bool found = false;
+    for (const std::string_view k : known) {
+      if (key == k) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      if (error != nullptr) {
+        *error = str_format("pass '%.*s' does not take argument '%s'",
+                            static_cast<int>(pass_name.size()),
+                            pass_name.data(), key.c_str());
+      }
+      return false;
+    }
+  }
+  return true;
+}
+
+bool Pass::configure(const PassArgs& args, std::string* error) {
+  return args.expect_keys({}, name(), error);
+}
+
+}  // namespace mcrt

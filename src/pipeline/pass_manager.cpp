@@ -1,0 +1,146 @@
+#include "pipeline/pass_manager.h"
+
+#include <optional>
+#include <utility>
+
+#include "base/strings.h"
+#include "pipeline/passes.h"
+
+namespace mcrt {
+
+bool PassRegistry::register_pass(std::string name, Factory factory) {
+  return factories_.emplace(std::move(name), std::move(factory)).second;
+}
+
+std::unique_ptr<Pass> PassRegistry::create(const std::string& name) const {
+  const auto it = factories_.find(name);
+  if (it == factories_.end()) return nullptr;
+  return it->second();
+}
+
+std::vector<std::string> PassRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(factories_.size());
+  for (const auto& [name, factory] : factories_) out.push_back(name);
+  return out;  // std::map iterates sorted
+}
+
+const PassRegistry& PassRegistry::standard() {
+  static const PassRegistry* const registry = [] {
+    auto* r = new PassRegistry;
+    register_standard_passes(*r);
+    return r;
+  }();
+  return *registry;
+}
+
+void PassManager::add(std::unique_ptr<Pass> pass) {
+  passes_.push_back(std::move(pass));
+}
+
+std::string FlowResult::format_profile() const {
+  std::string out = str_format("%-16s %9s %11s %9s  %s\n", "pass", "seconds",
+                               "luts", "ffs", "summary");
+  for (const PassExecution& e : executed) {
+    const auto delta = [](std::size_t before, std::size_t after) {
+      return static_cast<long long>(after) - static_cast<long long>(before);
+    };
+    out += str_format("%-16s %9.4f %6zu %+4lld %5zu %+3lld  %s\n",
+                      e.name.c_str(), e.seconds, e.after.luts,
+                      delta(e.before.luts, e.after.luts), e.after.registers,
+                      delta(e.before.registers, e.after.registers),
+                      e.summary.c_str());
+  }
+  out += str_format("%-16s %9.4f\n", "total", profile.total());
+  return out;
+}
+
+FlowResult PassManager::run(FlowContext& context) const {
+  FlowResult result;
+  if (options_.check_invariants) {
+    // Pre-flight: a flow must start from a valid netlist, otherwise the
+    // first pass gets blamed for problems it inherited.
+    const std::vector<std::string> problems = context.netlist().validate();
+    if (!problems.empty()) {
+      context.set_active_pass("flow");
+      for (const std::string& problem : problems) {
+        context.error("input invariant violated: " + problem);
+      }
+      result.success = false;
+      result.error = str_format("input: %zu netlist invariant(s) violated (%s)",
+                                problems.size(), problems.front().c_str());
+      return result;
+    }
+  }
+  for (const std::unique_ptr<Pass>& pass : passes_) {
+    PassExecution exec;
+    exec.name = std::string(pass->name());
+    exec.before = context.netlist().stats();
+    context.set_active_pass(exec.name);
+
+    // The spot check needs the pass's input after the pass has replaced it.
+    std::optional<Netlist> pre_pass;
+    if (options_.check_equivalence) pre_pass = context.netlist();
+
+    Timer timer;
+    // A throwing pass must not take down a whole (possibly batched) flow;
+    // surface the exception as that pass's failure instead.
+    PassResult pass_result;
+    try {
+      pass_result = pass->run(context);
+    } catch (const std::exception& e) {
+      pass_result = PassResult::fail(
+          str_format("uncaught exception: %s", e.what()));
+    }
+    exec.seconds = timer.seconds();
+    exec.after = context.netlist().stats();
+    exec.success = pass_result.success;
+    exec.summary = pass_result.summary;
+    result.profile.add(exec.name, exec.seconds);
+
+    if (!pass_result.success) {
+      const std::string& why =
+          pass_result.error.empty() ? "pass failed" : pass_result.error;
+      context.error(why);
+      result.success = false;
+      result.error = exec.name + ": " + why;
+      result.executed.push_back(std::move(exec));
+      break;
+    }
+    if (options_.verbose && !exec.summary.empty()) context.note(exec.summary);
+
+    if (options_.check_invariants) {
+      const std::vector<std::string> problems = context.netlist().validate();
+      if (!problems.empty()) {
+        for (const std::string& problem : problems) {
+          context.error("invariant violated: " + problem);
+        }
+        exec.success = false;
+        result.success = false;
+        result.error = str_format("%s: %zu netlist invariant(s) violated (%s)",
+                                  exec.name.c_str(), problems.size(),
+                                  problems.front().c_str());
+        result.executed.push_back(std::move(exec));
+        break;
+      }
+    }
+    if (options_.check_equivalence && pre_pass.has_value()) {
+      const EquivalenceResult eq = check_sequential_equivalence(
+          *pre_pass, context.netlist(), options_.equivalence);
+      if (!eq.equivalent) {
+        context.error("equivalence spot check failed: " + eq.counterexample);
+        exec.success = false;
+        result.success = false;
+        result.error = exec.name + ": equivalence spot check failed (" +
+                       eq.counterexample + ")";
+        result.executed.push_back(std::move(exec));
+        break;
+      }
+    }
+    result.executed.push_back(std::move(exec));
+  }
+  context.set_active_pass("flow");
+  return result;
+}
+
+}  // namespace mcrt

@@ -1,0 +1,173 @@
+#include "pipeline/passes.h"
+
+#include <memory>
+#include <utility>
+
+#include "base/strings.h"
+#include "tech/decompose.h"
+#include "transform/decompose_controls.h"
+#include "transform/register_sweep.h"
+#include "transform/strash.h"
+#include "transform/sweep.h"
+
+namespace mcrt {
+
+PassResult SweepPass::run(FlowContext& context) {
+  SweepStats stats;
+  context.replace_netlist(sweep(context.netlist(), &stats));
+  context.set_metric("sweep.nodes_removed",
+                     static_cast<std::int64_t>(stats.nodes_removed));
+  context.set_metric("sweep.registers_removed",
+                     static_cast<std::int64_t>(stats.registers_removed));
+  context.set_metric("sweep.constants_folded",
+                     static_cast<std::int64_t>(stats.constants_folded));
+  return PassResult::ok(
+      str_format("removed %zu nodes, %zu registers; folded %zu",
+                 stats.nodes_removed, stats.registers_removed,
+                 stats.constants_folded));
+}
+
+PassResult StrashPass::run(FlowContext& context) {
+  StrashStats stats;
+  context.replace_netlist(structural_hash(context.netlist(), &stats));
+  context.set_metric("strash.merged_nodes",
+                     static_cast<std::int64_t>(stats.merged_nodes));
+  return PassResult::ok(
+      str_format("merged %zu duplicate nodes", stats.merged_nodes));
+}
+
+PassResult RegisterSweepPass::run(FlowContext& context) {
+  RegisterSweepStats stats;
+  context.replace_netlist(register_sweep(context.netlist(), &stats));
+  context.set_metric("regsweep.merged_registers",
+                     static_cast<std::int64_t>(stats.merged_registers));
+  return PassResult::ok(
+      str_format("merged %zu duplicate registers", stats.merged_registers));
+}
+
+PassResult DecomposeEnPass::run(FlowContext& context) {
+  const std::size_t before = context.netlist().stats().with_en;
+  context.replace_netlist(decompose_load_enables(context.netlist()));
+  return PassResult::ok(
+      str_format("decomposed %zu load enables into feedback muxes", before));
+}
+
+PassResult DecomposeSyncPass::run(FlowContext& context) {
+  const std::size_t before = context.netlist().stats().with_sync;
+  context.replace_netlist(decompose_sync_controls(context.netlist()));
+  return PassResult::ok(
+      str_format("decomposed %zu synchronous set/clear controls", before));
+}
+
+bool MapPass::configure(const PassArgs& args, std::string* error) {
+  if (!args.expect_keys({"k", "d", "area-recovery"}, name(), error)) {
+    return false;
+  }
+  if (const auto k = args.int_value("k", error)) {
+    if (*k < 2) {
+      *error = "map: k must be at least 2";
+      return false;
+    }
+    options_.k = static_cast<std::uint32_t>(*k);
+  } else if (args.contains("k")) {
+    return false;
+  }
+  if (const auto d = args.int_value("d", error)) {
+    options_.lut_delay = *d;
+  } else if (args.contains("d")) {
+    return false;
+  }
+  if (args.flag("area-recovery")) options_.area_recovery = true;
+  return true;
+}
+
+PassResult MapPass::run(FlowContext& context) {
+  FlowMapResult mapped =
+      flowmap_map(decompose_to_binary(context.netlist()), options_);
+  context.replace_netlist(std::move(mapped.mapped));
+  context.set_metric("map.luts", static_cast<std::int64_t>(mapped.lut_count));
+  context.set_metric("map.depth", static_cast<std::int64_t>(mapped.depth));
+  return PassResult::ok(str_format("mapped to %zu %u-LUTs, depth %u",
+                                   mapped.lut_count, options_.k,
+                                   mapped.depth));
+}
+
+bool RetimePass::configure(const PassArgs& args, std::string* error) {
+  if (!args.expect_keys({"target", "minperiod", "no-sharing", "d"}, name(),
+                        error)) {
+    return false;
+  }
+  if (const auto target = args.int_value("target", error)) {
+    options_.target_period = *target;
+  } else if (args.contains("target")) {
+    return false;
+  }
+  if (args.flag("minperiod")) {
+    options_.objective = McRetimeOptions::Objective::kMinPeriod;
+  }
+  if (args.flag("no-sharing")) options_.sharing_modification = false;
+  if (const auto d = args.int_value("d", error)) {
+    default_lut_delay_ = *d;
+  } else if (args.contains("d")) {
+    return false;
+  }
+  return true;
+}
+
+PassResult RetimePass::run(FlowContext& context) {
+  if (default_lut_delay_ > 0) {
+    // BLIF carries no delays: give delay-less LUTs the default so the
+    // period objective is meaningful. Mapped netlists are untouched.
+    Netlist& n = context.netlist();
+    for (std::size_t i = 0; i < n.node_count(); ++i) {
+      const NodeId id{static_cast<std::uint32_t>(i)};
+      if (n.node(id).kind == NodeKind::kLut && !n.node(id).fanins.empty() &&
+          n.node(id).delay == 0) {
+        n.set_node_delay(id, default_lut_delay_);
+      }
+    }
+  }
+  McRetimeResult result = mc_retime(context.netlist(), options_);
+  if (!result.success) {
+    return PassResult::fail("retiming failed: " + result.error);
+  }
+  context.replace_netlist(std::move(result.netlist));
+  context.retime_stats = result.stats;
+  const McRetimeStats& s = result.stats;
+  context.set_metric("retime.classes",
+                     static_cast<std::int64_t>(s.num_classes));
+  context.set_metric("retime.moved_layers",
+                     static_cast<std::int64_t>(s.moved_layers));
+  context.set_metric("retime.period_before", s.period_before);
+  context.set_metric("retime.period_after", s.period_after);
+  context.set_metric("retime.registers_before",
+                     static_cast<std::int64_t>(s.registers_before));
+  context.set_metric("retime.registers_after",
+                     static_cast<std::int64_t>(s.registers_after));
+  context.set_metric("retime.attempts", static_cast<std::int64_t>(s.attempts));
+  return PassResult::ok(str_format(
+      "classes=%zu steps=%zu/%zu period %lld -> %lld ff %zu -> %zu "
+      "(attempts=%zu)",
+      s.num_classes, s.moved_layers, s.possible_steps,
+      static_cast<long long>(s.period_before),
+      static_cast<long long>(s.period_after), s.registers_before,
+      s.registers_after, s.attempts));
+}
+
+void register_standard_passes(PassRegistry& registry) {
+  registry.register_pass("sweep",
+                         [] { return std::make_unique<SweepPass>(); });
+  registry.register_pass("strash",
+                         [] { return std::make_unique<StrashPass>(); });
+  registry.register_pass("regsweep",
+                         [] { return std::make_unique<RegisterSweepPass>(); });
+  registry.register_pass("decompose-en",
+                         [] { return std::make_unique<DecomposeEnPass>(); });
+  registry.register_pass("decompose-sync",
+                         [] { return std::make_unique<DecomposeSyncPass>(); });
+  registry.register_pass("map", [] { return std::make_unique<MapPass>(); });
+  registry.register_pass("retime",
+                         [] { return std::make_unique<RetimePass>(); });
+}
+
+}  // namespace mcrt

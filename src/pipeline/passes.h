@@ -1,0 +1,120 @@
+// Built-in passes: thin adapters wrapping the library's flow entry points.
+//
+// Script names and arguments (see flow_script.h for the grammar):
+//
+//   sweep                         constant folding + dead-logic removal
+//   strash                        structural hashing of duplicate nodes
+//   regsweep                      merge provably identical registers
+//   decompose-en                  EN -> feedback mux (Table 3 baseline)
+//   decompose-sync                SS/SC -> gates before D (§6 preprocessing)
+//   map(k=4,d=10,area-recovery)   2-bounded decompose + FlowMap k-LUT map
+//   retime(target=N,minperiod,no-sharing,d=10)
+//                                 multiple-class retiming (paper §5);
+//                                 d assigns the default delay to LUTs that
+//                                 have none so the period objective is
+//                                 meaningful on delay-less BLIF input
+//
+// Benches and tools that need the full option structs construct the pass
+// classes directly instead of going through script arguments.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "mcretime/mc_retime.h"
+#include "pipeline/pass.h"
+#include "pipeline/pass_manager.h"
+#include "tech/flowmap.h"
+
+namespace mcrt {
+
+class SweepPass final : public Pass {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "sweep"; }
+  [[nodiscard]] std::string_view description() const override {
+    return "constant folding, buffer collapsing and dead-logic removal";
+  }
+  PassResult run(FlowContext& context) override;
+};
+
+class StrashPass final : public Pass {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "strash"; }
+  [[nodiscard]] std::string_view description() const override {
+    return "merge combinational nodes computing the same function";
+  }
+  PassResult run(FlowContext& context) override;
+};
+
+class RegisterSweepPass final : public Pass {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "regsweep"; }
+  [[nodiscard]] std::string_view description() const override {
+    return "merge provably identical registers";
+  }
+  PassResult run(FlowContext& context) override;
+};
+
+class DecomposeEnPass final : public Pass {
+ public:
+  [[nodiscard]] std::string_view name() const override {
+    return "decompose-en";
+  }
+  [[nodiscard]] std::string_view description() const override {
+    return "replace load enables with feedback multiplexers";
+  }
+  PassResult run(FlowContext& context) override;
+};
+
+class DecomposeSyncPass final : public Pass {
+ public:
+  [[nodiscard]] std::string_view name() const override {
+    return "decompose-sync";
+  }
+  [[nodiscard]] std::string_view description() const override {
+    return "turn synchronous set/clear into gates before D";
+  }
+  PassResult run(FlowContext& context) override;
+};
+
+class MapPass final : public Pass {
+ public:
+  MapPass() = default;
+  explicit MapPass(FlowMapOptions options) : options_(options) {}
+  [[nodiscard]] std::string_view name() const override { return "map"; }
+  [[nodiscard]] std::string_view description() const override {
+    return "decompose to 2-bounded logic and FlowMap into k-LUTs";
+  }
+  bool configure(const PassArgs& args, std::string* error) override;
+  PassResult run(FlowContext& context) override;
+
+ private:
+  FlowMapOptions options_;
+};
+
+class RetimePass final : public Pass {
+ public:
+  /// Script defaults: minarea at minimum period, sharing on, delay-less
+  /// LUTs given delay 10 (matching the legacy `mcrt retime` subcommand).
+  RetimePass() = default;
+  /// Programmatic use (benches): full options, and by default no delay
+  /// rewriting — mapped netlists already carry the mapper's delays.
+  explicit RetimePass(McRetimeOptions options,
+                      std::int64_t default_lut_delay = 0)
+      : options_(options), default_lut_delay_(default_lut_delay) {}
+  [[nodiscard]] std::string_view name() const override { return "retime"; }
+  [[nodiscard]] std::string_view description() const override {
+    return "multiple-class retiming (minarea at minimum feasible period)";
+  }
+  bool configure(const PassArgs& args, std::string* error) override;
+  PassResult run(FlowContext& context) override;
+
+ private:
+  McRetimeOptions options_;
+  std::int64_t default_lut_delay_ = 10;
+};
+
+/// Registers every pass above under its script name.
+void register_standard_passes(PassRegistry& registry);
+
+}  // namespace mcrt

@@ -27,6 +27,12 @@
 #include "netlist/dot_export.h"
 #include "netlist/netlist.h"
 #include "netlist/truth_table.h"
+#include "pipeline/diagnostics.h"
+#include "pipeline/flow_context.h"
+#include "pipeline/flow_script.h"
+#include "pipeline/pass.h"
+#include "pipeline/pass_manager.h"
+#include "pipeline/passes.h"
 #include "retime/feas.h"
 #include "retime/minarea.h"
 #include "retime/minperiod.h"

@@ -1,0 +1,150 @@
+// Flow-script parsing: the grammar of docs/PIPELINE.md, including the
+// error paths a CLI user will hit.
+#include "pipeline/flow_script.h"
+
+#include <gtest/gtest.h>
+
+#include "pipeline/pass_manager.h"
+
+namespace mcrt {
+namespace {
+
+std::vector<PassSpec> parse_ok(std::string_view script) {
+  auto parsed = parse_flow_script(script);
+  const auto* specs = std::get_if<std::vector<PassSpec>>(&parsed);
+  EXPECT_NE(specs, nullptr) << "script failed to parse: " << script;
+  return specs != nullptr ? *specs : std::vector<PassSpec>{};
+}
+
+FlowScriptError parse_err(std::string_view script) {
+  auto parsed = parse_flow_script(script);
+  const auto* err = std::get_if<FlowScriptError>(&parsed);
+  EXPECT_NE(err, nullptr) << "script unexpectedly parsed: " << script;
+  return err != nullptr ? *err : FlowScriptError{};
+}
+
+TEST(FlowScriptTest, SingleName) {
+  const auto specs = parse_ok("sweep");
+  ASSERT_EQ(specs.size(), 1u);
+  EXPECT_EQ(specs[0].name, "sweep");
+  EXPECT_TRUE(specs[0].args.empty());
+}
+
+TEST(FlowScriptTest, SequenceWithWhitespaceAndTrailingSemicolon) {
+  const auto specs = parse_ok("  sweep ;strash;  regsweep ; ");
+  ASSERT_EQ(specs.size(), 3u);
+  EXPECT_EQ(specs[0].name, "sweep");
+  EXPECT_EQ(specs[1].name, "strash");
+  EXPECT_EQ(specs[2].name, "regsweep");
+}
+
+TEST(FlowScriptTest, EmptyStatementsAreSkipped) {
+  const auto specs = parse_ok(";; sweep ;; strash ;;");
+  ASSERT_EQ(specs.size(), 2u);
+}
+
+TEST(FlowScriptTest, ArgumentsKeyValueAndFlags) {
+  const auto specs = parse_ok("retime(target=24, no-sharing); map(k=4,d=10)");
+  ASSERT_EQ(specs.size(), 2u);
+  EXPECT_EQ(specs[0].args.value("target"), "24");
+  EXPECT_TRUE(specs[0].args.flag("no-sharing"));
+  EXPECT_FALSE(specs[0].args.flag("minperiod"));
+  EXPECT_EQ(specs[1].args.value("k"), "4");
+  EXPECT_EQ(specs[1].args.value("d"), "10");
+}
+
+TEST(FlowScriptTest, EmptyArgumentList) {
+  const auto specs = parse_ok("sweep()");
+  ASSERT_EQ(specs.size(), 1u);
+  EXPECT_TRUE(specs[0].args.empty());
+}
+
+TEST(FlowScriptTest, NegativeValueParses) {
+  const auto specs = parse_ok("retime(target=-5)");
+  ASSERT_EQ(specs.size(), 1u);
+  std::string error;
+  EXPECT_EQ(specs[0].args.int_value("target", &error), -5);
+}
+
+TEST(FlowScriptTest, OffsetsPointIntoTheScript) {
+  const auto specs = parse_ok("sweep; strash");
+  ASSERT_EQ(specs.size(), 2u);
+  EXPECT_EQ(specs[0].offset, 0u);
+  EXPECT_EQ(specs[1].offset, 7u);
+}
+
+TEST(FlowScriptTest, UnterminatedArgumentListFails) {
+  const auto err = parse_err("retime(target=24");
+  EXPECT_NE(err.message.find("unterminated"), std::string::npos);
+}
+
+TEST(FlowScriptTest, MissingValueAfterEqualsFails) {
+  const auto err = parse_err("retime(target=)");
+  EXPECT_NE(err.message.find("target"), std::string::npos);
+}
+
+TEST(FlowScriptTest, GarbageBetweenStatementsFails) {
+  const auto err = parse_err("sweep strash");
+  EXPECT_NE(err.message.find("expected ';'"), std::string::npos);
+}
+
+TEST(FlowScriptTest, BadCharacterFails) {
+  parse_err("sweep; !");
+  parse_err("retime(,)");
+  parse_err("map(k=4 d=10)");
+}
+
+TEST(FlowScriptTest, IntValueRejectsGarbage) {
+  const auto specs = parse_ok("retime(target=banana)");
+  std::string error;
+  EXPECT_EQ(specs[0].args.int_value("target", &error), std::nullopt);
+  EXPECT_NE(error.find("banana"), std::string::npos);
+}
+
+TEST(FlowScriptCompileTest, UnknownPassNamesAvailablePasses) {
+  PassManager manager;
+  const auto error =
+      compile_flow_script("sweep; frobnicate", PassRegistry::standard(),
+                          manager);
+  ASSERT_TRUE(error.has_value());
+  EXPECT_NE(error->find("frobnicate"), std::string::npos);
+  EXPECT_NE(error->find("sweep"), std::string::npos);  // the available list
+}
+
+TEST(FlowScriptCompileTest, UnknownArgumentRejected) {
+  PassManager manager;
+  const auto error = compile_flow_script("sweep(k=4)",
+                                         PassRegistry::standard(), manager);
+  ASSERT_TRUE(error.has_value());
+  EXPECT_NE(error->find("does not take argument"), std::string::npos);
+}
+
+TEST(FlowScriptCompileTest, MalformedIntArgumentRejected) {
+  PassManager manager;
+  const auto error = compile_flow_script("map(k=four)",
+                                         PassRegistry::standard(), manager);
+  ASSERT_TRUE(error.has_value());
+}
+
+TEST(FlowScriptCompileTest, EmptyScriptRejected) {
+  PassManager manager;
+  EXPECT_TRUE(compile_flow_script("", PassRegistry::standard(), manager)
+                  .has_value());
+  EXPECT_TRUE(compile_flow_script(" ;; ", PassRegistry::standard(), manager)
+                  .has_value());
+}
+
+TEST(FlowScriptCompileTest, GoodScriptBuildsConfiguredPasses) {
+  PassManager manager;
+  const auto error = compile_flow_script(
+      "sweep; retime(target=24,no-sharing); map(k=6)",
+      PassRegistry::standard(), manager);
+  EXPECT_EQ(error, std::nullopt);
+  ASSERT_EQ(manager.size(), 3u);
+  EXPECT_EQ(manager.passes()[0]->name(), "sweep");
+  EXPECT_EQ(manager.passes()[1]->name(), "retime");
+  EXPECT_EQ(manager.passes()[2]->name(), "map");
+}
+
+}  // namespace
+}  // namespace mcrt

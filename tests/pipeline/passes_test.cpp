@@ -1,0 +1,193 @@
+// Built-in pass adapters: each must match the library function it wraps,
+// record its metrics, and compose into flows equivalent to the legacy
+// hand-wired chains.
+#include "pipeline/passes.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "../common/test_circuits.h"
+#include "mcretime/mc_retime.h"
+#include "pipeline/flow_context.h"
+#include "pipeline/flow_script.h"
+#include "pipeline/pass_manager.h"
+#include "sim/equivalence.h"
+#include "tech/decompose.h"
+#include "tech/flowmap.h"
+#include "transform/strash.h"
+#include "transform/sweep.h"
+
+namespace mcrt {
+namespace {
+
+TEST(PassesTest, SweepPassMatchesDirectCall) {
+  const Netlist input = testing::fig1_circuit();
+  SweepStats direct_stats;
+  const Netlist direct = sweep(input, &direct_stats);
+
+  FlowContext context(input);
+  SweepPass pass;
+  const PassResult result = pass.run(context);
+  EXPECT_TRUE(result.success);
+  EXPECT_EQ(context.netlist().node_count(), direct.node_count());
+  EXPECT_EQ(context.metric("sweep.nodes_removed"),
+            static_cast<std::int64_t>(direct_stats.nodes_removed));
+}
+
+TEST(PassesTest, MapPassProducesKBoundedLuts) {
+  FlowContext context(testing::chain_circuit(6, 2));
+  PassManager manager;
+  std::string error;
+  auto pass = std::make_unique<MapPass>();
+  PassArgs args;
+  args.set("k", "4");
+  ASSERT_TRUE(pass->configure(args, &error)) << error;
+  manager.add(std::move(pass));
+  ASSERT_TRUE(manager.run(context).success);
+  EXPECT_TRUE(context.metric("map.luts").has_value());
+  for (const Node& node : context.netlist().nodes()) {
+    if (node.kind == NodeKind::kLut) EXPECT_LE(node.fanins.size(), 4u);
+  }
+}
+
+TEST(PassesTest, RetimePassFillsTypedStatsAndMetrics) {
+  FlowContext context(testing::chain_circuit(8, 4));
+  RetimePass pass;  // script defaults: d=10 on delay-less LUTs
+  const PassResult result = pass.run(context);
+  ASSERT_TRUE(result.success) << result.error;
+  ASSERT_TRUE(context.retime_stats.has_value());
+  EXPECT_GE(context.retime_stats->num_classes, 1u);
+  EXPECT_LT(context.retime_stats->period_after,
+            context.retime_stats->period_before);
+  EXPECT_EQ(context.metric("retime.period_after"),
+            context.retime_stats->period_after);
+}
+
+TEST(PassesTest, RetimePassHonorsScriptArguments) {
+  std::string error;
+  {
+    RetimePass pass;
+    PassArgs args;
+    args.set("target", "24");
+    args.set("no-sharing", "");
+    ASSERT_TRUE(pass.configure(args, &error)) << error;
+  }
+  {
+    RetimePass pass;
+    PassArgs args;
+    args.set("bogus", "1");
+    EXPECT_FALSE(pass.configure(args, &error));
+    EXPECT_NE(error.find("bogus"), std::string::npos);
+  }
+  {
+    MapPass pass;
+    PassArgs args;
+    args.set("k", "1");  // FlowMap needs k >= 2
+    EXPECT_FALSE(pass.configure(args, &error));
+  }
+}
+
+Netlist combinational_cycle_circuit() {
+  Netlist n;
+  const NetId a = n.add_net("a");
+  const NetId b = n.add_lut(TruthTable::inverter(), {a}, "g0");
+  n.add_lut_driving(a, TruthTable::inverter(), {b});
+  n.add_output("o", b);
+  return n;
+}
+
+TEST(PassesTest, InvalidInputIsRejectedBeforeAnyPassRuns) {
+  // A combinational cycle fails Netlist::validate(): the manager's
+  // pre-flight check must reject it instead of blaming the first pass.
+  FlowContext context(combinational_cycle_circuit());
+  PassManager manager;  // default: invariant checking on
+  manager.add(std::make_unique<RetimePass>());
+  const FlowResult result = manager.run(context);
+  EXPECT_FALSE(result.success);
+  EXPECT_TRUE(result.executed.empty());
+  EXPECT_NE(result.error.find("input"), std::string::npos);
+}
+
+TEST(PassesTest, ThrowingPassBecomesAPassFailureNotACrash) {
+  // With checking disabled the cycle reaches mc_retime, which throws; the
+  // manager must convert the exception into that pass's failure.
+  FlowContext context(combinational_cycle_circuit());
+  PassManagerOptions options;
+  options.check_invariants = false;
+  PassManager manager(options);
+  manager.add(std::make_unique<RetimePass>());
+  const FlowResult result = manager.run(context);
+  EXPECT_FALSE(result.success);
+  EXPECT_NE(result.error.find("retime:"), std::string::npos);
+  EXPECT_NE(result.error.find("exception"), std::string::npos);
+}
+
+/// The legacy hand-wired chain and the scripted flow must agree.
+TEST(PassesTest, ScriptedFlowMatchesLegacyChain) {
+  const Netlist input = testing::fig1_circuit();
+  // Legacy: sweep -> strash -> retime with default delay assignment.
+  Netlist legacy = structural_hash(sweep(input, nullptr), nullptr);
+  for (std::size_t i = 0; i < legacy.node_count(); ++i) {
+    const NodeId id{static_cast<std::uint32_t>(i)};
+    if (legacy.node(id).kind == NodeKind::kLut &&
+        !legacy.node(id).fanins.empty() && legacy.node(id).delay == 0) {
+      legacy.set_node_delay(id, 10);
+    }
+  }
+  const McRetimeResult legacy_retimed = mc_retime(legacy, {});
+  ASSERT_TRUE(legacy_retimed.success);
+
+  // Scripted equivalent.
+  PassManager manager;
+  ASSERT_EQ(compile_flow_script("sweep; strash; retime",
+                                PassRegistry::standard(), manager),
+            std::nullopt);
+  FlowContext context(input);
+  ASSERT_TRUE(manager.run(context).success);
+
+  EquivalenceOptions opt;
+  opt.runs = 4;
+  opt.cycles = 48;
+  EXPECT_TRUE(check_sequential_equivalence(legacy_retimed.netlist,
+                                           context.netlist(), opt)
+                  .equivalent);
+  // Same register count: the flows ran identical steps.
+  EXPECT_EQ(context.netlist().register_count(),
+            legacy_retimed.netlist.register_count());
+}
+
+TEST(PassesTest, FullScriptedFlowStaysEquivalent) {
+  const Netlist input = testing::chain_circuit(6, 3);
+  PassManagerOptions options;
+  options.check_equivalence = true;  // spot check every pass
+  options.equivalence.runs = 2;
+  options.equivalence.cycles = 32;
+  PassManager manager(options);
+  ASSERT_EQ(compile_flow_script(
+                "sweep; strash; regsweep; retime(minperiod); map(k=4)",
+                PassRegistry::standard(), manager),
+            std::nullopt);
+  FlowContext context(input);
+  const FlowResult result = manager.run(context);
+  ASSERT_TRUE(result.success) << result.error;
+  ASSERT_EQ(result.executed.size(), 5u);
+
+  EquivalenceOptions opt;
+  opt.runs = 4;
+  opt.cycles = 48;
+  EXPECT_TRUE(
+      check_sequential_equivalence(input, context.netlist(), opt).equivalent);
+}
+
+TEST(PassesTest, DecomposePassesRemoveTheirControls) {
+  {
+    FlowContext context(testing::fig1_circuit());
+    DecomposeEnPass pass;
+    ASSERT_TRUE(pass.run(context).success);
+    EXPECT_EQ(context.netlist().stats().with_en, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace mcrt

@@ -2,36 +2,51 @@
 //
 //   mcrt stats   in.blif                    circuit statistics
 //   mcrt classes in.blif                    register class report
+//   mcrt timing  in.blif                    worst-path timing report
+//   mcrt dot     in.blif out.dot            netlist as Graphviz dot
 //   mcrt sweep   in.blif out.blif           constant folding + dead logic
+//   mcrt strash  in.blif out.blif           merge duplicate nodes
+//   mcrt regsweep in.blif out.blif          merge duplicate registers
 //   mcrt map     [-k N] [-d D] in out       decompose + FlowMap k-LUT map
-//   mcrt retime  [--minperiod] [--no-sharing] in out
+//   mcrt retime  [--minperiod] [--no-sharing] [--target P] in out
 //                                           mc-retiming (default: minarea
 //                                           at minimum feasible period)
 //   mcrt decompose-en   in out              EN -> feedback mux (baseline)
 //   mcrt decompose-sync in out              SS/SC -> gates before D
-//   mcrt check   [--formal] a.blif b.blif   sequential equivalence
+//   mcrt check   [--formal] [--bmc N] a.blif b.blif
+//                                           sequential equivalence
+//   mcrt flow    "<script>" in out          run any pass pipeline, e.g.
+//                                           "sweep; strash; retime(target=24)"
+//                                           (see docs/PIPELINE.md); --profile
+//                                           prints per-pass timing, --verify
+//                                           spot-checks equivalence between
+//                                           passes
+//
+// Every transforming subcommand is a canned pipeline over the same
+// pipeline/PassManager that `flow` scripts use, so stats reporting, timing
+// and invariant checking behave identically everywhere.
 //
 // All files are BLIF with the `.mclatch` extension for complex registers
 // (see blif/blif.h). Gate delays: `map` assigns -d per LUT (default 10);
+// `retime` gives delay-less LUTs -d so the period objective is meaningful;
 // other commands preserve what the file had (0 if none).
 #include <cstdio>
 #include <cstring>
 #include <string>
 #include <vector>
 
+#include "base/strings.h"
 #include "blif/blif.h"
 #include "netlist/dot_export.h"
-#include "mcretime/mc_retime.h"
 #include "mcretime/register_class.h"
+#include "pipeline/diagnostics.h"
+#include "pipeline/flow_context.h"
+#include "pipeline/flow_script.h"
+#include "pipeline/pass_manager.h"
+#include "pipeline/passes.h"
 #include "sim/equivalence.h"
-#include "tech/decompose.h"
-#include "tech/flowmap.h"
 #include "tech/sta.h"
 #include "tech/timing_report.h"
-#include "transform/decompose_controls.h"
-#include "transform/strash.h"
-#include "transform/register_sweep.h"
-#include "transform/sweep.h"
 #include "verify/formal_equivalence.h"
 #include "verify/ternary_bmc.h"
 
@@ -41,33 +56,42 @@ using namespace mcrt;
 
 int usage() {
   std::fprintf(stderr,
-               "usage: mcrt <stats|classes|timing|dot|sweep|strash|regsweep|map|retime|decompose-en|"
-               "decompose-sync|check> [options] <in.blif> [out.blif]\n"
+               "usage: mcrt <stats|classes|timing|dot|sweep|strash|regsweep|"
+               "map|retime|decompose-en|decompose-sync|check|flow> "
+               "[options] <in.blif> [out.blif]\n"
                "  map:    -k <lut_inputs=4>  -d <lut_delay=10>\n"
                "  retime: --minperiod  --no-sharing  --target <period>\n"
-               "  check:  --formal  --bmc <depth>\n");
+               "  check:  --formal  --bmc <depth>\n"
+               "  flow:   mcrt flow \"<script>\" in.blif out.blif\n"
+               "          script: pass[(arg,key=val)]; pass; ...  e.g.\n"
+               "          \"sweep; strash; retime(target=24,no-sharing); "
+               "map(k=4)\"\n"
+               "          --profile (per-pass timing)  --verify (per-pass\n"
+               "          equivalence spot check)  --no-validate\n");
   return 2;
 }
 
-std::optional<Netlist> load(const std::string& path) {
+/// Loads + validates a netlist, reporting every problem to `diag`.
+std::optional<Netlist> load(const std::string& path, DiagnosticsSink& diag) {
   auto parsed = read_blif_file(path);
   if (const auto* err = std::get_if<BlifError>(&parsed)) {
-    std::fprintf(stderr, "%s:%zu: %s\n", path.c_str(), err->line,
-                 err->message.c_str());
+    diag.error(path, str_format("line %zu: %s", err->line,
+                                err->message.c_str()));
     return std::nullopt;
   }
   Netlist netlist = std::move(std::get<Netlist>(parsed));
   const auto problems = netlist.validate();
   if (!problems.empty()) {
-    std::fprintf(stderr, "%s: %s\n", path.c_str(), problems[0].c_str());
+    for (const std::string& problem : problems) diag.error(path, problem);
     return std::nullopt;
   }
   return netlist;
 }
 
-bool store(const Netlist& netlist, const std::string& path) {
+bool store(const Netlist& netlist, const std::string& path,
+           DiagnosticsSink& diag) {
   if (!write_blif_file(netlist, path)) {
-    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    diag.error(path, "cannot write file");
     return false;
   }
   return true;
@@ -110,11 +134,50 @@ int cmd_classes(const Netlist& n) {
   return 0;
 }
 
+struct FlowFlags {
+  bool profile = false;
+  bool verify = false;
+  bool validate = true;
+};
+
+/// Shared driver for `flow` and the canned legacy pipelines: compile the
+/// script, run it, report, write the result.
+int run_flow(const std::string& script, const std::string& in_path,
+             const std::string& out_path, const FlowFlags& flags,
+             StreamDiagnostics& diag) {
+  auto input = load(in_path, diag);
+  if (!input) return 1;
+
+  PassManagerOptions options;
+  options.check_invariants = flags.validate;
+  options.check_equivalence = flags.verify;
+  options.equivalence.runs = 2;
+  options.equivalence.cycles = 48;
+  options.verbose = true;
+  PassManager manager(options);
+  if (const auto error =
+          compile_flow_script(script, PassRegistry::standard(), manager)) {
+    diag.error("flow", *error);
+    return 2;
+  }
+
+  FlowContext context(std::move(*input), &diag);
+  const FlowResult result = manager.run(context);
+  if (flags.profile) std::fputs(result.format_profile().c_str(), stderr);
+  if (!result.success) {
+    diag.error("flow", result.error);
+    return 1;
+  }
+  print_stats(context.netlist(), "result");
+  return store(context.netlist(), out_path, diag) ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 3) return usage();
   const std::string command = argv[1];
+  StreamDiagnostics diag(stderr);
 
   // Collect flags and positionals.
   std::vector<std::string> files;
@@ -125,6 +188,7 @@ int main(int argc, char** argv) {
   bool no_sharing = false;
   bool formal = false;
   std::size_t bmc_depth = 0;
+  FlowFlags flow_flags;
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "-k" && i + 1 < argc) {
@@ -141,6 +205,12 @@ int main(int argc, char** argv) {
       formal = true;
     } else if (arg == "--bmc" && i + 1 < argc) {
       bmc_depth = static_cast<std::size_t>(std::atoll(argv[++i]));
+    } else if (arg == "--profile") {
+      flow_flags.profile = true;
+    } else if (arg == "--verify") {
+      flow_flags.verify = true;
+    } else if (arg == "--no-validate") {
+      flow_flags.validate = false;
     } else if (!arg.empty() && arg[0] == '-') {
       std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
       return usage();
@@ -149,7 +219,38 @@ int main(int argc, char** argv) {
     }
   }
   if (files.empty()) return usage();
-  const auto input = load(files[0]);
+
+  // `flow` positionals are script, input, output; everything else starts
+  // with the input file.
+  if (command == "flow") {
+    if (files.size() < 3) return usage();
+    return run_flow(files[0], files[1], files[2], flow_flags, diag);
+  }
+
+  // Transforming subcommands are canned single-pass pipelines.
+  std::string script;
+  if (command == "sweep" || command == "strash" || command == "regsweep" ||
+      command == "decompose-en" || command == "decompose-sync") {
+    script = command;
+  } else if (command == "map") {
+    script = str_format("map(k=%u,d=%lld)", lut_k,
+                        static_cast<long long>(lut_delay));
+  } else if (command == "retime") {
+    script = str_format("retime(d=%lld", static_cast<long long>(lut_delay));
+    if (minperiod) script += ",minperiod";
+    if (no_sharing) script += ",no-sharing";
+    if (target_period != 0) {
+      script += str_format(",target=%lld",
+                           static_cast<long long>(target_period));
+    }
+    script += ")";
+  }
+  if (!script.empty()) {
+    if (files.size() < 2) return usage();
+    return run_flow(script, files[0], files[1], flow_flags, diag);
+  }
+
+  const auto input = load(files[0], diag);
   if (!input) return 1;
 
   if (command == "stats") return cmd_stats(*input);
@@ -157,7 +258,7 @@ int main(int argc, char** argv) {
   if (command == "dot") {
     if (files.size() < 2) return usage();
     if (!write_dot_file(*input, files[1])) {
-      std::fprintf(stderr, "cannot write %s\n", files[1].c_str());
+      diag.error(files[1], "cannot write file");
       return 1;
     }
     return 0;
@@ -178,7 +279,7 @@ int main(int argc, char** argv) {
 
   if (command == "check") {
     if (files.size() < 2) return usage();
-    const auto other = load(files[1]);
+    const auto other = load(files[1], diag);
     if (!other) return 1;
     const auto sim = check_sequential_equivalence(*input, *other, {});
     std::printf("simulation: %s (%zu defined outputs)%s%s\n",
@@ -213,72 +314,5 @@ int main(int argc, char** argv) {
     return sim.equivalent ? 0 : 1;
   }
 
-  // Transforming commands need an output file.
-  if (files.size() < 2) return usage();
-  Netlist result;
-  if (command == "sweep") {
-    SweepStats stats;
-    result = sweep(*input, &stats);
-    std::fprintf(stderr, "removed %zu nodes, %zu registers; folded %zu\n",
-                 stats.nodes_removed, stats.registers_removed,
-                 stats.constants_folded);
-  } else if (command == "strash") {
-    StrashStats stats;
-    result = structural_hash(*input, &stats);
-    std::fprintf(stderr, "merged %zu duplicate nodes\n", stats.merged_nodes);
-  } else if (command == "regsweep") {
-    RegisterSweepStats stats;
-    result = register_sweep(*input, &stats);
-    std::fprintf(stderr, "merged %zu duplicate registers\n",
-                 stats.merged_registers);
-  } else if (command == "map") {
-    FlowMapOptions options;
-    options.k = lut_k;
-    options.lut_delay = lut_delay;
-    const FlowMapResult mapped =
-        flowmap_map(decompose_to_binary(*input), options);
-    std::fprintf(stderr, "mapped to %zu LUTs, depth %u\n", mapped.lut_count,
-                 mapped.depth);
-    result = std::move(mapped.mapped);
-  } else if (command == "retime") {
-    McRetimeOptions options;
-    if (minperiod) {
-      options.objective = McRetimeOptions::Objective::kMinPeriod;
-    }
-    options.sharing_modification = !no_sharing;
-    options.target_period = target_period;
-    // BLIF carries no delays: give delay-less LUTs the -d default so the
-    // period objective is meaningful.
-    Netlist timed = *input;
-    for (std::size_t i = 0; i < timed.node_count(); ++i) {
-      const NodeId id{static_cast<std::uint32_t>(i)};
-      if (timed.node(id).kind == NodeKind::kLut &&
-          !timed.node(id).fanins.empty() && timed.node(id).delay == 0) {
-        timed.set_node_delay(id, lut_delay);
-      }
-    }
-    const McRetimeResult retimed = mc_retime(timed, options);
-    if (!retimed.success) {
-      std::fprintf(stderr, "retiming failed: %s\n", retimed.error.c_str());
-      return 1;
-    }
-    std::fprintf(stderr,
-                 "classes=%zu steps=%zu/%zu period %lld -> %lld "
-                 "ff %zu -> %zu (attempts=%zu)\n",
-                 retimed.stats.num_classes, retimed.stats.moved_layers,
-                 retimed.stats.possible_steps,
-                 static_cast<long long>(retimed.stats.period_before),
-                 static_cast<long long>(retimed.stats.period_after),
-                 retimed.stats.registers_before,
-                 retimed.stats.registers_after, retimed.stats.attempts);
-    result = std::move(retimed.netlist);
-  } else if (command == "decompose-en") {
-    result = decompose_load_enables(*input);
-  } else if (command == "decompose-sync") {
-    result = decompose_sync_controls(*input);
-  } else {
-    return usage();
-  }
-  print_stats(result, "result");
-  return store(result, files[1]) ? 0 : 1;
+  return usage();
 }
