@@ -14,10 +14,13 @@
 #include <memory>
 #include <string>
 #include <utility>
+#include <vector>
 
+#include "base/thread_pool.h"
 #include "base/timer.h"
 #include "mcretime/mc_retime.h"
 #include "netlist/netlist.h"
+#include "pipeline/bulk_runner.h"
 #include "pipeline/flow_context.h"
 #include "pipeline/flow_script.h"
 #include "pipeline/pass_manager.h"
@@ -92,6 +95,49 @@ inline MappedCircuit prepare_mapped(const CircuitProfile& profile) {
                         "decompose-sync; sweep; map");
 }
 
+/// Runs `script` over every profile's generated circuit through the bulk
+/// engine (one worker per hardware thread by default); generation happens
+/// on the workers too. Aborts loudly on any failure, like run_bench_flow.
+inline std::vector<MappedCircuit> run_suite_flow(
+    const std::vector<CircuitProfile>& profiles, const std::string& script,
+    std::size_t jobs = 0) {
+  BulkOptions options;
+  options.jobs = jobs;
+  options.manager = bench_manager_options();
+  options.keep_netlists = true;
+  std::vector<BulkJob> batch;
+  batch.reserve(profiles.size());
+  for (const CircuitProfile& profile : profiles) {
+    BulkJob job;
+    job.name = profile.name;
+    job.load = [profile](DiagnosticsSink&) -> std::optional<Netlist> {
+      return generate_circuit(profile);
+    };
+    batch.push_back(std::move(job));
+  }
+  BulkReport report = BulkRunner(script, options).run(batch);
+  std::vector<MappedCircuit> out;
+  out.reserve(report.results.size());
+  for (BulkJobResult& result : report.results) {
+    if (!result.success || !result.netlist) {
+      std::fprintf(stderr, "%s: bench suite flow failed: %s\n",
+                   result.name.c_str(), result.error.c_str());
+      std::abort();
+    }
+    MappedCircuit circuit =
+        measure(result.name, std::move(*result.netlist));
+    circuit.pass_profile = result.profile;
+    out.push_back(std::move(circuit));
+  }
+  return out;
+}
+
+/// Bulk prepare_mapped() over a whole suite.
+inline std::vector<MappedCircuit> prepare_mapped_suite(
+    const std::vector<CircuitProfile>& profiles, std::size_t jobs = 0) {
+  return run_suite_flow(profiles, "decompose-sync; sweep; map", jobs);
+}
+
 struct RetimedCircuit {
   MappedCircuit circuit;
   McRetimeStats stats;
@@ -126,6 +172,70 @@ inline RetimedCircuit retime_and_remap(const MappedCircuit& mapped,
   out.equivalent =
       check_sequential_equivalence(mapped.netlist, out.circuit.netlist, eq_opt)
           .equivalent;
+  return out;
+}
+
+/// Bulk retime_and_remap() over a suite: the retime+remap pipelines run on
+/// the bulk engine's work-stealing pool, then the per-circuit equivalence
+/// checks fan out over the same pool. Results line up with `mapped` by
+/// index; per-circuit failures are reported in RetimedCircuit::ok exactly
+/// like the serial helper.
+inline std::vector<RetimedCircuit> retime_and_remap_suite(
+    const std::vector<MappedCircuit>& mapped,
+    const McRetimeOptions& options = {}, std::size_t jobs = 0) {
+  BulkOptions bulk_options;
+  bulk_options.jobs = jobs;
+  bulk_options.manager = bench_manager_options();
+  bulk_options.keep_netlists = true;
+  std::vector<BulkJob> batch;
+  batch.reserve(mapped.size());
+  for (const MappedCircuit& circuit : mapped) {
+    batch.push_back(make_netlist_job(circuit.name, circuit.netlist));
+  }
+  BulkRunner runner(
+      [options](PassManager& manager, std::string*) {
+        manager.add(std::make_unique<RetimePass>(options));
+        // Remap the combinational part after retiming (registers pass
+        // through).
+        manager.add(std::make_unique<MapPass>());
+        return true;
+      },
+      bulk_options);
+
+  ThreadPool pool(jobs);
+  BulkReport report = runner.run(batch, pool);
+
+  std::vector<RetimedCircuit> out(mapped.size());
+  for (std::size_t i = 0; i < report.results.size(); ++i) {
+    BulkJobResult& result = report.results[i];
+    RetimedCircuit& retimed = out[i];
+    retimed.seconds = result.seconds;
+    if (!result.success || !result.netlist || !result.retime_stats) {
+      std::fprintf(stderr, "  %s: %s\n", result.name.c_str(),
+                   result.error.c_str());
+      continue;
+    }
+    retimed.stats = *result.retime_stats;
+    retimed.circuit = measure(result.name, std::move(*result.netlist));
+    retimed.circuit.pass_profile = result.profile;
+    retimed.ok = true;
+  }
+  {  // Equivalence spot checks are independent: fan out over the pool.
+    TaskGroup group(pool);
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      if (!out[i].ok) continue;
+      group.run([&mapped, &out, i] {
+        EquivalenceOptions eq_opt;
+        eq_opt.runs = 2;
+        eq_opt.cycles = 48;
+        out[i].equivalent =
+            check_sequential_equivalence(mapped[i].netlist,
+                                         out[i].circuit.netlist, eq_opt)
+                .equivalent;
+      });
+    }
+    group.wait();
+  }
   return out;
 }
 

@@ -38,11 +38,15 @@ int main() {
   std::size_t local_just = 0;
   std::size_t global_just = 0;
 
-  for (const CircuitProfile& profile : paper_suite()) {
-    const MappedCircuit before = prepare_mapped(profile);
-    const RetimedCircuit after = retime_and_remap(before);
+  // Both stages run as bulk batches on the work-stealing pool; results
+  // stay in suite order so the table rows are stable.
+  const std::vector<MappedCircuit> suite = prepare_mapped_suite(paper_suite());
+  const std::vector<RetimedCircuit> retimed = retime_and_remap_suite(suite);
+  for (std::size_t i = 0; i < suite.size(); ++i) {
+    const MappedCircuit& before = suite[i];
+    const RetimedCircuit& after = retimed[i];
     if (!after.ok) {
-      std::printf("%-6s  FAILED\n", profile.name.c_str());
+      std::printf("%-6s  FAILED\n", before.name.c_str());
       continue;
     }
     const double rlut =
@@ -53,7 +57,7 @@ int main() {
     std::snprintf(steps, sizeof steps, "%zu/%zu", after.stats.moved_layers,
                   after.stats.possible_steps);
     std::printf("%-6s %6zu %11s %7zu %7zu %8lld %6.2f %7.2f %4s\n",
-                profile.name.c_str(), after.stats.num_classes, steps,
+                before.name.c_str(), after.stats.num_classes, steps,
                 after.circuit.ff, after.circuit.lut,
                 static_cast<long long>(after.circuit.delay), rlut, rdelay,
                 after.equivalent ? "ok" : "FAIL");

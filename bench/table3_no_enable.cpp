@@ -18,12 +18,11 @@
 namespace {
 
 /// Table 3 preparation: decompose EN at the source level, then the
-/// standard script.
-mcrt::bench::MappedCircuit prepare_no_enable(
-    const mcrt::CircuitProfile& profile) {
-  using namespace mcrt;
-  return bench::run_bench_flow(profile.name, generate_circuit(profile),
-                               "decompose-en; decompose-sync; sweep; map");
+/// standard script. Runs as one bulk batch over the whole suite.
+std::vector<mcrt::bench::MappedCircuit> prepare_no_enable_suite(
+    const std::vector<mcrt::CircuitProfile>& profiles) {
+  return mcrt::bench::run_suite_flow(
+      profiles, "decompose-en; decompose-sync; sweep; map");
 }
 
 }  // namespace
@@ -49,22 +48,28 @@ int main() {
   std::size_t t2_ff = 0;
   std::size_t t1_ff = 0;
 
-  for (const CircuitProfile& profile : paper_suite()) {
-    // Reference flows.
-    const MappedCircuit table1 = prepare_mapped(profile);
-    const RetimedCircuit table2 = retime_and_remap(table1);
-    // Baseline flow: enables decomposed first.
-    const MappedCircuit mapped = prepare_no_enable(profile);
-    const RetimedCircuit retimed = retime_and_remap(mapped);
+  // All four stages are bulk batches on the work-stealing pool: the two
+  // preparation scripts and the two retime+remap sweeps each fan out over
+  // the suite, keeping results in suite order for the table rows.
+  const std::vector<CircuitProfile> profiles = paper_suite();
+  const std::vector<MappedCircuit> table1s = prepare_mapped_suite(profiles);
+  const std::vector<RetimedCircuit> table2s = retime_and_remap_suite(table1s);
+  const std::vector<MappedCircuit> mappeds = prepare_no_enable_suite(profiles);
+  const std::vector<RetimedCircuit> retimeds = retime_and_remap_suite(mappeds);
+  for (std::size_t i = 0; i < profiles.size(); ++i) {
+    const MappedCircuit& table1 = table1s[i];
+    const RetimedCircuit& table2 = table2s[i];
+    const RetimedCircuit& retimed = retimeds[i];
     if (!retimed.ok || !table2.ok) {
-      std::printf("%-6s  FAILED\n", profile.name.c_str());
+      std::printf("%-6s  FAILED\n", profiles[i].name.c_str());
       continue;
     }
     const auto ratio = [](auto a, auto b) {
       return static_cast<double>(a) / static_cast<double>(b);
     };
     std::printf("%-6s %7zu %7zu %8lld %7.2f %8.2f %7.2f %8.2f\n",
-                profile.name.c_str(), retimed.circuit.ff, retimed.circuit.lut,
+                profiles[i].name.c_str(), retimed.circuit.ff,
+                retimed.circuit.lut,
                 static_cast<long long>(retimed.circuit.delay),
                 ratio(retimed.circuit.lut, table1.lut),
                 ratio(retimed.circuit.delay, table1.delay),

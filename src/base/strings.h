@@ -20,4 +20,8 @@ bool starts_with(std::string_view text, std::string_view prefix);
 /// printf-style formatting into a std::string.
 std::string str_format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
 
+/// Escapes `text` for use inside a JSON string literal (quotes, backslash,
+/// control characters; no surrounding quotes added).
+std::string json_escape(std::string_view text);
+
 }  // namespace mcrt

@@ -1,0 +1,154 @@
+#include "base/thread_pool.h"
+
+#include <utility>
+
+namespace mcrt {
+
+namespace {
+/// Which worker of which pool the current thread is (for nested submit()).
+thread_local const ThreadPool* tls_pool = nullptr;
+thread_local std::size_t tls_worker = 0;
+}  // namespace
+
+std::size_t ThreadPool::default_worker_count() noexcept {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+ThreadPool::ThreadPool(std::size_t workers) {
+  if (workers == 0) workers = default_worker_count();
+  queues_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    queues_.push_back(std::make_unique<WorkerQueue>());
+  }
+  workers_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    workers_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  wait_idle();
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  // A worker submitting from inside a task pushes onto its own deque so
+  // recursively-spawned work stays hot (and is stolen only when others run
+  // dry); external threads distribute round-robin.
+  std::size_t target;
+  if (tls_pool == this) {
+    target = tls_worker;
+  } else {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    target = next_queue_;
+    next_queue_ = (next_queue_ + 1) % queues_.size();
+  }
+  {
+    const std::lock_guard<std::mutex> lock(queues_[target]->mutex);
+    queues_[target]->tasks.push_back(std::move(task));
+  }
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    ++pending_;
+    ++queued_;
+  }
+  work_cv_.notify_one();
+}
+
+bool ThreadPool::try_pop(std::size_t self, std::function<void()>& out) {
+  {  // Own deque first, newest task first: depth-first, cache-friendly.
+    WorkerQueue& own = *queues_[self];
+    const std::lock_guard<std::mutex> lock(own.mutex);
+    if (!own.tasks.empty()) {
+      out = std::move(own.tasks.back());
+      own.tasks.pop_back();
+      return true;
+    }
+  }
+  // Steal the oldest task from the first non-empty victim after us.
+  for (std::size_t i = 1; i < queues_.size(); ++i) {
+    WorkerQueue& victim = *queues_[(self + i) % queues_.size()];
+    const std::lock_guard<std::mutex> lock(victim.mutex);
+    if (!victim.tasks.empty()) {
+      out = std::move(victim.tasks.front());
+      victim.tasks.pop_front();
+      return true;
+    }
+  }
+  return false;
+}
+
+void ThreadPool::worker_loop(std::size_t self) noexcept {
+  tls_pool = this;
+  tls_worker = self;
+  for (;;) {
+    std::function<void()> task;
+    if (try_pop(self, task)) {
+      {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        --queued_;
+      }
+      task();
+      task = nullptr;  // destroy captures before reporting completion
+      {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        if (--pending_ == 0) idle_cv_.notify_all();
+      }
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(mutex_);
+    // queued_ > 0 can be momentarily stale (another worker just popped the
+    // last task); the retry scan above simply comes back here.
+    work_cv_.wait(lock, [this] { return stop_ || queued_ > 0; });
+    if (stop_) return;
+  }
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  idle_cv_.wait(lock, [this] { return pending_ == 0; });
+}
+
+TaskGroup::~TaskGroup() {
+  try {
+    wait();
+  } catch (...) {  // wait() explicitly to observe a task's exception
+  }
+}
+
+void TaskGroup::run(std::function<void()> task) {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    ++outstanding_;
+  }
+  pool_.submit([this, task = std::move(task)] {
+    std::exception_ptr error;
+    try {
+      task();
+    } catch (...) {
+      error = std::current_exception();
+    }
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (error && !first_error_) first_error_ = std::move(error);
+    if (--outstanding_ == 0) cv_.notify_all();
+  });
+}
+
+void TaskGroup::wait() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_.wait(lock, [this] { return outstanding_ == 0; });
+  if (first_error_) {
+    std::exception_ptr error = std::move(first_error_);
+    first_error_ = nullptr;
+    lock.unlock();
+    std::rethrow_exception(error);
+  }
+}
+
+}  // namespace mcrt

@@ -1,0 +1,298 @@
+#include "pipeline/bulk_runner.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <system_error>
+#include <utility>
+
+#include "base/strings.h"
+#include "blif/blif.h"
+#include "pipeline/flow_context.h"
+#include "pipeline/flow_script.h"
+#include "tech/sta.h"
+
+namespace mcrt {
+
+namespace fs = std::filesystem;
+
+BulkJob make_file_job(std::string input_path, std::string output_path) {
+  BulkJob job;
+  job.name = fs::path(input_path).stem().string();
+  job.input_path = input_path;
+  job.output_path = std::move(output_path);
+  job.load = [path = std::move(input_path)](
+                 DiagnosticsSink& diag) -> std::optional<Netlist> {
+    auto parsed = read_blif_file(path);
+    if (const auto* err = std::get_if<BlifError>(&parsed)) {
+      diag.error(path, str_format("line %zu: %s", err->line,
+                                  err->message.c_str()));
+      return std::nullopt;
+    }
+    Netlist netlist = std::move(std::get<Netlist>(parsed));
+    const auto problems = netlist.validate();
+    if (!problems.empty()) {
+      for (const std::string& problem : problems) diag.error(path, problem);
+      return std::nullopt;
+    }
+    return netlist;
+  };
+  return job;
+}
+
+BulkJob make_netlist_job(std::string name, Netlist netlist) {
+  BulkJob job;
+  job.name = std::move(name);
+  job.load = [netlist = std::move(netlist)](
+                 DiagnosticsSink&) -> std::optional<Netlist> {
+    return netlist;
+  };
+  return job;
+}
+
+BulkRunner::BulkRunner(std::string script, BulkOptions options)
+    : script_(std::move(script)), options_(std::move(options)) {}
+
+BulkRunner::BulkRunner(PipelineFactory factory, BulkOptions options)
+    : factory_(std::move(factory)), options_(std::move(options)) {}
+
+bool BulkRunner::build_pipeline(PassManager& manager,
+                                std::string* error) const {
+  if (factory_) return factory_(manager, error);
+  const PassRegistry& registry =
+      options_.registry != nullptr ? *options_.registry
+                                   : PassRegistry::standard();
+  if (const auto compile_error =
+          compile_flow_script(script_, registry, manager)) {
+    *error = *compile_error;
+    return false;
+  }
+  return true;
+}
+
+std::optional<std::string> BulkRunner::check() const {
+  PassManager scratch(options_.manager);
+  std::string error;
+  if (!build_pipeline(scratch, &error)) return error;
+  return std::nullopt;
+}
+
+namespace {
+
+/// Writes `netlist` to `path` via "<path>.tmp" + rename, so `path` only
+/// ever holds a complete output. Returns false (reporting to `diag`) and
+/// removes the temp file on any failure.
+bool store_atomically(const Netlist& netlist, const std::string& path,
+                      DiagnosticsSink& diag) {
+  const fs::path target(path);
+  std::error_code ec;
+  if (target.has_parent_path()) {
+    fs::create_directories(target.parent_path(), ec);  // best-effort
+  }
+  const std::string temp = path + ".tmp";
+  if (!write_blif_file(netlist, temp)) {
+    diag.error(path, "cannot write temp file " + temp);
+    fs::remove(temp, ec);
+    return false;
+  }
+  fs::rename(temp, target, ec);
+  if (ec) {
+    diag.error(path, "cannot rename " + temp + ": " + ec.message());
+    fs::remove(temp, ec);
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+void BulkRunner::run_one(const BulkJob& job, BulkJobResult& out) const {
+  CollectingDiagnostics diag;
+  Timer timer;
+  out.name = job.name;
+  out.input_path = job.input_path;
+  out.output_path = job.output_path;
+  // Everything below runs on a worker thread; any escaping exception is
+  // this job's failure, never the batch's.
+  try {
+    std::optional<Netlist> input = job.load(diag);
+    if (!input) {
+      out.error = "cannot load input";
+    } else {
+      PassManager manager(options_.manager);
+      std::string build_error;
+      if (!build_pipeline(manager, &build_error)) {
+        out.error = build_error;
+      } else {
+        FlowContext context(std::move(*input), &diag);
+        out.before = context.netlist().stats();
+        out.period_before = compute_period(context.netlist());
+        FlowResult flow = manager.run(context);
+        out.executed = std::move(flow.executed);
+        out.profile = std::move(flow.profile);
+        if (!flow.success) {
+          out.error = flow.error;
+        } else {
+          out.after = context.netlist().stats();
+          out.period_after = compute_period(context.netlist());
+          out.retime_stats = context.retime_stats;
+          bool stored = true;
+          if (!job.output_path.empty()) {
+            stored = store_atomically(context.netlist(), job.output_path,
+                                      diag);
+            if (!stored) out.error = "cannot write output";
+          }
+          if (stored) {
+            if (options_.keep_netlists) out.netlist = context.take_netlist();
+            out.success = true;
+          }
+        }
+      }
+    }
+  } catch (const std::exception& e) {
+    out.success = false;
+    out.error = str_format("uncaught exception: %s", e.what());
+  } catch (...) {
+    out.success = false;
+    out.error = "uncaught exception";
+  }
+  out.seconds = timer.seconds();
+  out.diagnostics = diag.diagnostics();
+}
+
+BulkReport BulkRunner::run(const std::vector<BulkJob>& jobs) const {
+  ThreadPool pool(options_.jobs);
+  return run(jobs, pool);
+}
+
+BulkReport BulkRunner::run(const std::vector<BulkJob>& jobs,
+                           ThreadPool& pool) const {
+  BulkReport report;
+  report.script = factory_ ? "<programmatic>" : script_;
+  report.jobs = pool.worker_count();
+  report.results.resize(jobs.size());
+
+  Timer wall;
+  {
+    TaskGroup group(pool);
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      // Distinct result slots: no synchronization beyond the group's join.
+      group.run([this, &jobs, &report, i] {
+        run_one(jobs[i], report.results[i]);
+      });
+    }
+    group.wait();
+  }
+  report.wall_seconds = wall.seconds();
+
+  // Deterministic post-join aggregation, in input order.
+  for (const BulkJobResult& result : report.results) {
+    report.cpu_seconds += result.seconds;
+    report.profile.merge(result.profile);
+  }
+  if (options_.sink != nullptr) {
+    for (const BulkJobResult& result : report.results) {
+      for (const Diagnostic& diagnostic : result.diagnostics) {
+        options_.sink->report(diagnostic);
+      }
+    }
+  }
+  return report;
+}
+
+std::size_t BulkReport::succeeded() const {
+  std::size_t n = 0;
+  for (const BulkJobResult& r : results) n += r.success ? 1 : 0;
+  return n;
+}
+
+std::size_t BulkReport::failed() const { return results.size() - succeeded(); }
+
+namespace {
+
+std::string quoted(const std::string& text) {
+  return "\"" + json_escape(text) + "\"";
+}
+
+/// Directory components are machine-specific; canonical reports keep only
+/// the file name.
+std::string report_path(const std::string& path, bool canonical) {
+  if (!canonical || path.empty()) return path;
+  return fs::path(path).filename().string();
+}
+
+void append_stats(std::string& out, const char* key,
+                  const Netlist::Stats& stats, std::int64_t period) {
+  out += str_format(
+      "      \"%s\": {\"luts\": %zu, \"registers\": %zu, \"period\": %lld}",
+      key, stats.luts, stats.registers, static_cast<long long>(period));
+}
+
+}  // namespace
+
+std::string BulkReport::to_json(const BulkJsonOptions& json) const {
+  const bool canonical = json.canonical;
+  std::string out = "{\n";
+  out += "  \"schema\": \"mcrt-bulk-report/1\",\n";
+  out += "  \"script\": " + quoted(script) + ",\n";
+  if (!canonical) out += str_format("  \"jobs\": %zu,\n", jobs);
+  out += str_format("  \"circuits\": %zu,\n", results.size());
+  out += str_format("  \"succeeded\": %zu,\n", succeeded());
+  out += str_format("  \"failed\": %zu,\n", failed());
+  if (!canonical) {
+    out += str_format("  \"wall_seconds\": %.6f,\n", wall_seconds);
+    out += str_format("  \"cpu_seconds\": %.6f,\n", cpu_seconds);
+    out += str_format("  \"speedup\": %.2f,\n", speedup());
+    out += "  \"profile\": [";
+    bool first = true;
+    for (const std::string& phase : profile.phases()) {
+      if (!first) out += ", ";
+      first = false;
+      out += str_format("{\"pass\": %s, \"seconds\": %.6f}",
+                        quoted(phase).c_str(), profile.seconds(phase));
+    }
+    out += "],\n";
+  }
+  out += "  \"results\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const BulkJobResult& r = results[i];
+    out += "    {\n";
+    out += "      \"name\": " + quoted(r.name) + ",\n";
+    out += "      \"input\": " + quoted(report_path(r.input_path, canonical)) +
+           ",\n";
+    out += "      \"output\": " +
+           quoted(report_path(r.output_path, canonical)) + ",\n";
+    out += str_format("      \"success\": %s,\n",
+                      r.success ? "true" : "false");
+    out += "      \"error\": " + quoted(r.error) + ",\n";
+    if (!canonical) out += str_format("      \"seconds\": %.6f,\n", r.seconds);
+    append_stats(out, "before", r.before, r.period_before);
+    out += ",\n";
+    append_stats(out, "after", r.after, r.period_after);
+    out += ",\n";
+    const auto delta = [](std::size_t before, std::size_t after) {
+      return static_cast<long long>(after) - static_cast<long long>(before);
+    };
+    out += str_format(
+        "      \"delta\": {\"luts\": %lld, \"registers\": %lld, "
+        "\"period\": %lld},\n",
+        delta(r.before.luts, r.after.luts),
+        delta(r.before.registers, r.after.registers),
+        static_cast<long long>(r.period_after - r.period_before));
+    out += "      \"passes\": [";
+    for (std::size_t p = 0; p < r.executed.size(); ++p) {
+      const PassExecution& e = r.executed[p];
+      if (p != 0) out += ", ";
+      out += "{\"name\": " + quoted(e.name);
+      if (!canonical) out += str_format(", \"seconds\": %.6f", e.seconds);
+      out += str_format(", \"success\": %s", e.success ? "true" : "false");
+      out += ", \"summary\": " + quoted(e.summary) + "}";
+    }
+    out += "]\n";
+    out += i + 1 < results.size() ? "    },\n" : "    }\n";
+  }
+  out += "  ]\n";
+  out += "}\n";
+  return out;
+}
+
+}  // namespace mcrt

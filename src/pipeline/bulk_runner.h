@@ -1,0 +1,150 @@
+// Parallel bulk execution of one flow over many circuits.
+//
+// A BulkRunner takes a pipeline definition — a flow script (compiled
+// per job, since configured Pass instances are stateful) or a programmatic
+// PassManager factory — and runs it over N independent jobs on a
+// work-stealing ThreadPool. Each job owns its FlowContext and a private
+// CollectingDiagnostics sink, so nothing is shared between concurrently
+// running flows; per-job results (pass timings, netlist stats and
+// register/period deltas, diagnostics) are merged into a BulkReport in job
+// order after the pool drains, which makes the aggregate deterministic
+// regardless of scheduling.
+//
+// Failures are isolated per job: a failing (or throwing) pass, an
+// unreadable input or an unwritable output marks that job failed and the
+// batch carries on. Output files are written atomically — to
+// "<path>.tmp", renamed over <path> only once the flow succeeded and the
+// write completed — so a failed job never leaves a partial output behind.
+//
+// BulkReport::to_json() emits the machine-readable report `mcrt bulk
+// --report` writes; see docs/PIPELINE.md for the schema. With
+// `canonical = true` all wall-clock fields and machine-specific paths are
+// dropped, so two runs of the same batch — at any --jobs level, on any
+// machine — produce byte-identical reports (the determinism regression
+// tests and the golden corpus rely on this).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "base/thread_pool.h"
+#include "base/timer.h"
+#include "mcretime/mc_retime.h"
+#include "netlist/netlist.h"
+#include "pipeline/diagnostics.h"
+#include "pipeline/pass_manager.h"
+
+namespace mcrt {
+
+/// One unit of bulk work: a named input source plus an optional output.
+struct BulkJob {
+  std::string name;
+  /// Produces the job's input netlist. Called on a worker thread; reports
+  /// problems to the (job-private) sink and returns std::nullopt on error.
+  std::function<std::optional<Netlist>(DiagnosticsSink&)> load;
+  std::string input_path;   ///< informational, recorded in the report
+  std::string output_path;  ///< empty = don't write the result anywhere
+};
+
+/// Loads `input_path` as BLIF (validating), writes to `output_path`.
+BulkJob make_file_job(std::string input_path, std::string output_path);
+/// Runs on a copy of `netlist`; the result stays in memory
+/// (BulkOptions::keep_netlists).
+BulkJob make_netlist_job(std::string name, Netlist netlist);
+
+struct BulkOptions {
+  /// Worker threads; 0 = ThreadPool::default_worker_count().
+  std::size_t jobs = 0;
+  PassManagerOptions manager;
+  /// Keep each successful job's result netlist in BulkJobResult::netlist
+  /// (for in-memory pipelines like the bench harnesses).
+  bool keep_netlists = false;
+  /// Pass registry for script compilation; nullptr = standard().
+  const PassRegistry* registry = nullptr;
+  /// Optional aggregate sink. Every job's diagnostics are forwarded here
+  /// in job order after the batch completes (no cross-job interleaving).
+  DiagnosticsSink* sink = nullptr;
+};
+
+/// Outcome of one job, in the batch's input order.
+struct BulkJobResult {
+  std::string name;
+  std::string input_path;
+  std::string output_path;
+  bool success = false;
+  std::string error;  ///< why the job failed (success == false)
+
+  Netlist::Stats before;  ///< stats entering the flow (valid once loaded)
+  Netlist::Stats after;   ///< stats leaving the flow (success only)
+  std::int64_t period_before = 0;
+  std::int64_t period_after = 0;
+
+  /// Passes actually run, with per-pass seconds and summaries.
+  std::vector<PassExecution> executed;
+  PhaseProfile profile;   ///< per-pass wall clock of this job
+  double seconds = 0.0;   ///< whole-job wall clock (load + flow + store)
+  std::vector<Diagnostic> diagnostics;  ///< the job's private sink, in order
+
+  /// Statistics of the flow's retime pass, if one ran.
+  std::optional<McRetimeStats> retime_stats;
+  /// The result netlist (BulkOptions::keep_netlists, success only).
+  std::optional<Netlist> netlist;
+};
+
+struct BulkJsonOptions {
+  /// Drop wall-clock fields, worker counts and directory components so the
+  /// report is byte-identical across runs, --jobs levels and machines.
+  bool canonical = false;
+};
+
+struct BulkReport {
+  std::string script;       ///< flow script, or "<programmatic>"
+  std::size_t jobs = 1;     ///< worker threads used
+  double wall_seconds = 0;  ///< batch wall clock
+  /// Sum of per-job wall clocks: what a serial run would roughly cost.
+  /// cpu_seconds / wall_seconds is the batch's effective speedup.
+  double cpu_seconds = 0;
+  std::vector<BulkJobResult> results;  ///< input order
+  PhaseProfile profile;  ///< per-pass time merged over jobs, in job order
+
+  [[nodiscard]] std::size_t succeeded() const;
+  [[nodiscard]] std::size_t failed() const;
+  [[nodiscard]] double speedup() const {
+    return wall_seconds > 0 ? cpu_seconds / wall_seconds : 0.0;
+  }
+  /// The `mcrt bulk --report` JSON document (schema mcrt-bulk-report/1).
+  [[nodiscard]] std::string to_json(const BulkJsonOptions& json = {}) const;
+};
+
+class BulkRunner {
+ public:
+  /// Builds a PassManager for one job. Returns false and sets *error on a
+  /// configuration problem (fails every job identically).
+  using PipelineFactory = std::function<bool(PassManager&, std::string*)>;
+
+  BulkRunner(std::string script, BulkOptions options = {});
+  BulkRunner(PipelineFactory factory, BulkOptions options = {});
+
+  /// Script-compilation (or factory) error, checked against a scratch
+  /// manager without running anything; std::nullopt when well-formed.
+  [[nodiscard]] std::optional<std::string> check() const;
+
+  /// Runs the batch on an internal pool of options.jobs workers.
+  [[nodiscard]] BulkReport run(const std::vector<BulkJob>& jobs) const;
+  /// Same, sharing a caller-owned pool (jobs option ignored).
+  [[nodiscard]] BulkReport run(const std::vector<BulkJob>& jobs,
+                               ThreadPool& pool) const;
+
+ private:
+  bool build_pipeline(PassManager& manager, std::string* error) const;
+  void run_one(const BulkJob& job, BulkJobResult& out) const;
+
+  std::string script_;        ///< empty in factory mode
+  PipelineFactory factory_;   ///< null in script mode
+  BulkOptions options_;
+};
+
+}  // namespace mcrt

@@ -390,4 +390,43 @@ std::vector<CircuitProfile> paper_suite() {
   return suite;
 }
 
+std::vector<CircuitProfile> random_suite(std::size_t count,
+                                         std::uint64_t seed) {
+  std::vector<CircuitProfile> suite;
+  suite.reserve(count);
+  Rng rng(seed ^ 0x9e3779b97f4a7c15ull);
+  for (std::size_t i = 0; i < count; ++i) {
+    CircuitProfile p;
+    p.name = str_format("r%02zu", i);
+    // Per-circuit seed drawn from the suite stream: stable under `count`
+    // prefix extension (circuit k is the same in a 10- and 64-deep suite).
+    p.seed = rng.next() | 1;
+    p.use_async = rng.chance(0.5);
+    p.use_en = rng.chance(0.7);
+    p.use_sync = rng.chance(0.3);
+    p.control_signals = static_cast<std::size_t>(rng.range(1, 5));
+    p.data_inputs = static_cast<std::size_t>(rng.range(4, 8));
+    const std::size_t n_pipelines = static_cast<std::size_t>(rng.range(1, 2));
+    for (std::size_t j = 0; j < n_pipelines; ++j) {
+      CircuitProfile::Pipeline pipe;
+      pipe.width = static_cast<std::size_t>(rng.range(3, 6));
+      pipe.depth = static_cast<std::size_t>(rng.range(2, 5));
+      pipe.registers = static_cast<std::size_t>(rng.range(1, 2));
+      p.pipelines.push_back(pipe);
+    }
+    if (rng.chance(0.6)) {
+      p.accumulators.push_back({static_cast<std::size_t>(rng.range(3, 6))});
+    }
+    if (rng.chance(0.5)) {
+      CircuitProfile::ShiftGroup shift;
+      shift.width = static_cast<std::size_t>(rng.range(2, 4));
+      shift.length = static_cast<std::size_t>(rng.range(2, 5));
+      p.shifts.push_back(shift);
+    }
+    p.counter_bits = static_cast<std::size_t>(rng.range(2, 4));
+    suite.push_back(std::move(p));
+  }
+  return suite;
+}
+
 }  // namespace mcrt

@@ -65,4 +65,12 @@ Netlist generate_circuit(const CircuitProfile& profile);
 /// The ten profiles used by the Table 1/2/3 benchmark harnesses.
 std::vector<CircuitProfile> paper_suite();
 
+/// `count` small randomized profiles ("r00", "r01", ...), fully determined
+/// by `seed`: block mix, widths/depths and register-class structure are
+/// drawn per circuit, sized so whole corpora stay cheap to run. This is
+/// the corpus source for the bulk-flow regression suites (`mcrt corpus`,
+/// tests/pipeline/bulk_vs_serial_test.cpp) — keep it deterministic.
+std::vector<CircuitProfile> random_suite(std::size_t count,
+                                         std::uint64_t seed);
+
 }  // namespace mcrt

@@ -42,5 +42,21 @@ TEST(StringsTest, Format) {
   EXPECT_EQ(str_format("%s", ""), "");
 }
 
+TEST(StringsTest, JsonEscapePassesPlainTextThrough) {
+  EXPECT_EQ(json_escape(""), "");
+  EXPECT_EQ(json_escape("sweep; strash"), "sweep; strash");
+}
+
+TEST(StringsTest, JsonEscapeQuotesAndBackslashes) {
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("c:\\tmp"), "c:\\\\tmp");
+}
+
+TEST(StringsTest, JsonEscapeControlCharacters) {
+  EXPECT_EQ(json_escape("a\nb\tc"), "a\\nb\\tc");
+  EXPECT_EQ(json_escape(std::string("x\x01y", 3)), "x\\u0001y");
+  EXPECT_EQ(json_escape("\r\b\f"), "\\r\\b\\f");
+}
+
 }  // namespace
 }  // namespace mcrt

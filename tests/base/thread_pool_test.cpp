@@ -1,0 +1,141 @@
+// Work-stealing ThreadPool: completion, concurrency, nested submission,
+// wait semantics and TaskGroup exception propagation.
+#include "base/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace mcrt {
+namespace {
+
+TEST(ThreadPoolTest, RunsEveryTask) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.worker_count(), 4u);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 1000; ++i) {
+    pool.submit([&count] { ++count; });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 1000);
+}
+
+TEST(ThreadPoolTest, SingleWorkerPoolStillCompletes) {
+  ThreadPool pool(1);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) pool.submit([&count] { ++count; });
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPoolTest, TasksRunOnMultipleThreads) {
+  ThreadPool pool(4);
+  std::mutex mutex;
+  std::set<std::thread::id> seen;
+  std::atomic<int> running{0};
+  for (int i = 0; i < 64; ++i) {
+    pool.submit([&] {
+      ++running;
+      // Linger so other workers must pick up (or steal) the rest.
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      const std::lock_guard<std::mutex> lock(mutex);
+      seen.insert(std::this_thread::get_id());
+      --running;
+    });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(running.load(), 0);
+  // All four workers participate; on a loaded machine allow a straggler.
+  EXPECT_GE(seen.size(), 2u);
+}
+
+TEST(ThreadPoolTest, NestedSubmissionFromWorker) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 10; ++i) {
+    pool.submit([&pool, &count] {
+      for (int j = 0; j < 10; ++j) {
+        pool.submit([&count] { ++count; });
+      }
+    });
+  }
+  pool.wait_idle();  // must cover tasks submitted by tasks
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPoolTest, WaitIdleWithNoTasksReturnsImmediately) {
+  ThreadPool pool(2);
+  pool.wait_idle();
+  pool.submit([] {});
+  pool.wait_idle();
+  pool.wait_idle();
+}
+
+TEST(ThreadPoolTest, DestructorDrainsOutstandingWork) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) {
+      pool.submit([&count] {
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+        ++count;
+      });
+    }
+  }  // ~ThreadPool waits
+  EXPECT_EQ(count.load(), 50);
+}
+
+TEST(ThreadPoolTest, DefaultWorkerCountIsPositive) {
+  EXPECT_GE(ThreadPool::default_worker_count(), 1u);
+}
+
+TEST(TaskGroupTest, WaitCoversExactlyItsBatch) {
+  ThreadPool pool(4);
+  std::atomic<int> ours{0};
+  TaskGroup group(pool);
+  for (int i = 0; i < 100; ++i) {
+    group.run([&ours] { ++ours; });
+  }
+  group.wait();
+  EXPECT_EQ(ours.load(), 100);
+  // A drained group is reusable.
+  group.run([&ours] { ++ours; });
+  group.wait();
+  EXPECT_EQ(ours.load(), 101);
+}
+
+TEST(TaskGroupTest, RethrowsFirstTaskException) {
+  ThreadPool pool(2);
+  TaskGroup group(pool);
+  std::atomic<int> completed{0};
+  for (int i = 0; i < 8; ++i) {
+    group.run([i, &completed] {
+      if (i == 3) throw std::runtime_error("task 3 failed");
+      ++completed;
+    });
+  }
+  EXPECT_THROW(group.wait(), std::runtime_error);
+  EXPECT_EQ(completed.load(), 7);  // the other tasks still ran
+}
+
+TEST(TaskGroupTest, ParallelResultsLandInDistinctSlots) {
+  ThreadPool pool(4);
+  std::vector<int> results(200, 0);
+  TaskGroup group(pool);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    group.run([&results, i] { results[i] = static_cast<int>(i) + 1; });
+  }
+  group.wait();
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    EXPECT_EQ(results[i], static_cast<int>(i) + 1);
+  }
+}
+
+}  // namespace
+}  // namespace mcrt

@@ -6,6 +6,7 @@
 #include "base/log.h"
 #include "base/rng.h"
 #include "base/strings.h"
+#include "base/thread_pool.h"
 #include "base/timer.h"
 #include "bdd/bdd.h"
 #include "blif/blif.h"
@@ -27,6 +28,7 @@
 #include "netlist/dot_export.h"
 #include "netlist/netlist.h"
 #include "netlist/truth_table.h"
+#include "pipeline/bulk_runner.h"
 #include "pipeline/diagnostics.h"
 #include "pipeline/flow_context.h"
 #include "pipeline/flow_script.h"

@@ -1,0 +1,118 @@
+// Property: mc-retiming a seeded workload-generator corpus through the
+// bulk path preserves sequential equivalence for every circuit. Random
+// simulation (sim/equivalence.h) checks every circuit; ternary BMC
+// (verify/ternary_bmc.h) additionally checks, exhaustively up to a bounded
+// depth, the circuits small enough for its BDD input budget.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "pipeline/bulk_runner.h"
+#include "sim/equivalence.h"
+#include "verify/ternary_bmc.h"
+#include "workload/generator.h"
+
+namespace mcrt {
+namespace {
+
+constexpr std::size_t kCorpusSize = 12;
+constexpr std::uint64_t kCorpusSeed = 99;
+
+struct RetimedPair {
+  std::string name;
+  Netlist before;
+  Netlist after;
+};
+
+/// Runs the corpus through the bulk engine once for the whole suite.
+const std::vector<RetimedPair>& retimed_corpus() {
+  static const std::vector<RetimedPair>* const pairs = [] {
+    auto* out = new std::vector<RetimedPair>;
+    std::vector<Netlist> originals;
+    std::vector<BulkJob> jobs;
+    for (const CircuitProfile& profile :
+         random_suite(kCorpusSize, kCorpusSeed)) {
+      Netlist netlist = generate_circuit(profile);
+      originals.push_back(netlist);
+      jobs.push_back(make_netlist_job(profile.name, std::move(netlist)));
+    }
+    BulkOptions options;
+    options.jobs = 4;
+    options.keep_netlists = true;
+    // The generated RTL carries sync set/clear; decompose before retiming
+    // like the bench preparation scripts do.
+    BulkRunner runner("decompose-sync; sweep; retime(d=10)", options);
+    BulkReport report = runner.run(jobs);
+    for (std::size_t i = 0; i < report.results.size(); ++i) {
+      BulkJobResult& result = report.results[i];
+      EXPECT_TRUE(result.success) << result.name << ": " << result.error;
+      if (!result.success || !result.netlist) continue;
+      out->push_back({result.name, std::move(originals[i]),
+                      std::move(*result.netlist)});
+    }
+    return out;
+  }();
+  return *pairs;
+}
+
+TEST(BulkEquivalencePropertyTest, WholeCorpusRetimes) {
+  EXPECT_EQ(retimed_corpus().size(), kCorpusSize);
+}
+
+TEST(BulkEquivalencePropertyTest, SimulationEquivalenceOnEveryCircuit) {
+  for (const RetimedPair& pair : retimed_corpus()) {
+    EquivalenceOptions options;
+    options.runs = 3;
+    options.cycles = 40;
+    const EquivalenceResult result =
+        check_sequential_equivalence(pair.before, pair.after, options);
+    EXPECT_TRUE(result.equivalent)
+        << pair.name << ": " << result.counterexample;
+  }
+}
+
+TEST(BulkEquivalencePropertyTest, TernaryBmcOnBddSizedCircuits) {
+  TernaryBmcOptions options;
+  options.depth = 4;
+  options.max_input_vars = 96;
+  std::size_t checked = 0;
+  std::size_t bmc_equivalent = 0;
+  for (const RetimedPair& pair : retimed_corpus()) {
+    // depth+1 unrollings of every primary input must fit the BDD budget;
+    // skip the circuits the checker itself reports as unsupported.
+    const TernaryBmcResult result =
+        check_ternary_bmc(pair.before, pair.after, options);
+    if (result.verdict == TernaryBmcResult::Verdict::kUnsupported) continue;
+    ++checked;
+    if (result.verdict == TernaryBmcResult::Verdict::kEquivalentUpToDepth) {
+      ++bmc_equivalent;
+      continue;
+    }
+    // Known ternary caveat (not a bulk-engine property): a load-enable
+    // register moved *forward* starts as X, so with EN held low the
+    // retimed circuit holds X where the original computed a defined value
+    // from its own X registers (e.g. AND(X,0) = 0). The exact BMC counts
+    // defined-vs-X as a mismatch; the retiming contract from any concrete
+    // initial state still holds. Accept the mismatch only for circuits
+    // that use enables, and only if a heavy random-stimulus check of the
+    // contract passes — anything else is a real retiming bug.
+    EXPECT_GT(pair.before.stats().with_en, 0u)
+        << pair.name << ": BMC mismatch without enables: " << result.detail
+        << " (cycle " << result.mismatch_cycle << ")";
+    EquivalenceOptions heavy;
+    heavy.runs = 16;
+    heavy.cycles = 64;
+    const EquivalenceResult sim =
+        check_sequential_equivalence(pair.before, pair.after, heavy);
+    EXPECT_TRUE(sim.equivalent)
+        << pair.name << ": " << sim.counterexample;
+  }
+  // The corpus is sized so a fair share of circuits is BMC-checkable and
+  // most are exactly equivalent (the EN caveat is the exception).
+  EXPECT_GE(checked, 6u);
+  EXPECT_GE(bmc_equivalent, checked - 2);
+}
+
+}  // namespace
+}  // namespace mcrt

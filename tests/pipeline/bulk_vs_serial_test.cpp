@@ -1,0 +1,123 @@
+// Randomized differential regression: the same flow over the same
+// generated corpus must produce byte-identical outputs and canonical
+// reports with --jobs=1 and --jobs=8 — determinism under concurrency is
+// what lets the bulk engine replace serial sweeps.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "blif/blif.h"
+#include "pipeline/bulk_runner.h"
+#include "workload/generator.h"
+
+namespace mcrt {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr std::size_t kCorpusSize = 64;
+constexpr std::uint64_t kCorpusSeed = 20260806;
+const char* const kScript = "decompose-sync; sweep; strash; retime(d=10)";
+
+/// ctest runs each TEST of this file as a separate process, possibly
+/// concurrently; keep every scratch directory private to the process.
+fs::path scratch_dir(const std::string& name) {
+  return fs::path(::testing::TempDir()) /
+         (name + "." + std::to_string(::getpid()));
+}
+
+std::string slurp(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+/// Generates the corpus once per process, on disk, shared by both runs.
+const fs::path& corpus_dir() {
+  static const fs::path dir = [] {
+    const fs::path d = scratch_dir("bulk_vs_serial_in");
+    fs::remove_all(d);
+    fs::create_directories(d);
+    for (const CircuitProfile& profile :
+         random_suite(kCorpusSize, kCorpusSeed)) {
+      const Netlist netlist = generate_circuit(profile);
+      const std::string path = (d / (profile.name + ".blif")).string();
+      if (!write_blif_file(netlist, path, profile.name)) {
+        ADD_FAILURE() << "cannot write " << path;
+      }
+    }
+    return d;
+  }();
+  return dir;
+}
+
+BulkReport run_corpus(std::size_t jobs, const fs::path& out_dir) {
+  fs::remove_all(out_dir);
+  std::vector<BulkJob> batch;
+  std::vector<fs::path> inputs;
+  for (const auto& entry : fs::directory_iterator(corpus_dir())) {
+    inputs.push_back(entry.path());
+  }
+  std::sort(inputs.begin(), inputs.end());
+  EXPECT_EQ(inputs.size(), kCorpusSize);
+  for (const fs::path& input : inputs) {
+    batch.push_back(make_file_job(
+        input.string(), (out_dir / input.filename()).string()));
+  }
+  BulkOptions options;
+  options.jobs = jobs;
+  BulkRunner runner(kScript, options);
+  return runner.run(batch);
+}
+
+TEST(BulkVsSerialTest, SerialAndParallelRunsAreByteIdentical) {
+  const fs::path serial_dir = scratch_dir("bulk_vs_serial_out1");
+  const fs::path parallel_dir = scratch_dir("bulk_vs_serial_out8");
+
+  const BulkReport serial = run_corpus(1, serial_dir);
+  const BulkReport parallel = run_corpus(8, parallel_dir);
+  EXPECT_EQ(serial.jobs, 1u);
+  EXPECT_EQ(parallel.jobs, 8u);
+  EXPECT_EQ(serial.succeeded(), kCorpusSize);
+  EXPECT_EQ(parallel.succeeded(), kCorpusSize);
+
+  // Byte-identical canonical reports (timings and paths stripped)...
+  BulkJsonOptions canonical;
+  canonical.canonical = true;
+  EXPECT_EQ(serial.to_json(canonical), parallel.to_json(canonical));
+
+  // ...and byte-identical retimed outputs, circuit by circuit.
+  for (const BulkJobResult& result : serial.results) {
+    const fs::path name = fs::path(result.output_path).filename();
+    const std::string a = slurp(serial_dir / name);
+    const std::string b = slurp(parallel_dir / name);
+    ASSERT_FALSE(a.empty()) << name;
+    EXPECT_EQ(a, b) << "output diverged under concurrency: " << name;
+  }
+}
+
+TEST(BulkVsSerialTest, ParallelRunReportsMeaningfulAggregates) {
+  const fs::path out_dir = scratch_dir("bulk_vs_serial_agg");
+  const BulkReport report = run_corpus(8, out_dir);
+  EXPECT_EQ(report.results.size(), kCorpusSize);
+  EXPECT_GT(report.wall_seconds, 0.0);
+  EXPECT_GE(report.cpu_seconds, report.wall_seconds * 0.5);
+  // Merged per-pass profile covers the whole script.
+  EXPECT_EQ(report.profile.phases().size(), 4u);
+  // On a multi-core machine the batch must actually scale; on a 1-core CI
+  // container speedup ~1 is the honest answer, so gate the assertion.
+  if (ThreadPool::default_worker_count() >= 8) {
+    EXPECT_GE(report.speedup(), 3.0);
+  }
+}
+
+}  // namespace
+}  // namespace mcrt

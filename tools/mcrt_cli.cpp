@@ -21,6 +21,18 @@
 //                                           prints per-pass timing, --verify
 //                                           spot-checks equivalence between
 //                                           passes
+//   mcrt bulk    "<script>" [--jobs N] [--out-dir D] [--report F]
+//                [--canonical] <in.blif|dir>...
+//                                           run one flow over many circuits
+//                                           in parallel; directories expand
+//                                           to their *.blif files, outputs
+//                                           land in --out-dir (atomically),
+//                                           --report writes a JSON report
+//                                           (--canonical: timing-free,
+//                                           machine-independent bytes)
+//   mcrt corpus  <out-dir> [--count N] [--seed S]
+//                                           write a deterministic randomized
+//                                           BLIF corpus (workload generator)
 //
 // Every transforming subcommand is a canned pipeline over the same
 // pipeline/PassManager that `flow` scripts use, so stats reporting, timing
@@ -30,8 +42,11 @@
 // (see blif/blif.h). Gate delays: `map` assigns -d per LUT (default 10);
 // `retime` gives delay-less LUTs -d so the period objective is meaningful;
 // other commands preserve what the file had (0 if none).
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -39,6 +54,7 @@
 #include "blif/blif.h"
 #include "netlist/dot_export.h"
 #include "mcretime/register_class.h"
+#include "pipeline/bulk_runner.h"
 #include "pipeline/diagnostics.h"
 #include "pipeline/flow_context.h"
 #include "pipeline/flow_script.h"
@@ -49,6 +65,7 @@
 #include "tech/timing_report.h"
 #include "verify/formal_equivalence.h"
 #include "verify/ternary_bmc.h"
+#include "workload/generator.h"
 
 namespace {
 
@@ -57,8 +74,8 @@ using namespace mcrt;
 int usage() {
   std::fprintf(stderr,
                "usage: mcrt <stats|classes|timing|dot|sweep|strash|regsweep|"
-               "map|retime|decompose-en|decompose-sync|check|flow> "
-               "[options] <in.blif> [out.blif]\n"
+               "map|retime|decompose-en|decompose-sync|check|flow|bulk|"
+               "corpus> [options] <in.blif> [out.blif]\n"
                "  map:    -k <lut_inputs=4>  -d <lut_delay=10>\n"
                "  retime: --minperiod  --no-sharing  --target <period>\n"
                "  check:  --formal  --bmc <depth>\n"
@@ -67,7 +84,10 @@ int usage() {
                "          \"sweep; strash; retime(target=24,no-sharing); "
                "map(k=4)\"\n"
                "          --profile (per-pass timing)  --verify (per-pass\n"
-               "          equivalence spot check)  --no-validate\n");
+               "          equivalence spot check)  --no-validate\n"
+               "  bulk:   mcrt bulk \"<script>\" [--jobs N] [--out-dir D]\n"
+               "          [--report F] [--canonical] <in.blif|dir>...\n"
+               "  corpus: mcrt corpus <out-dir> [--count N] [--seed S]\n");
   return 2;
 }
 
@@ -172,6 +192,146 @@ int run_flow(const std::string& script, const std::string& in_path,
   return store(context.netlist(), out_path, diag) ? 0 : 1;
 }
 
+struct BulkFlags {
+  std::size_t jobs = 0;  ///< 0 = hardware concurrency
+  std::string out_dir;
+  std::string report_path;
+  bool canonical = false;
+};
+
+/// Expands each input (a .blif file or a directory scanned for *.blif,
+/// sorted) into bulk jobs writing to `out_dir` (if given). Deterministic
+/// job order: inputs as given, directory entries sorted by name.
+std::vector<BulkJob> collect_bulk_jobs(const std::vector<std::string>& inputs,
+                                       const std::string& out_dir,
+                                       DiagnosticsSink& diag, bool* ok) {
+  namespace fs = std::filesystem;
+  *ok = true;
+  std::vector<std::string> files;
+  for (const std::string& input : inputs) {
+    std::error_code ec;
+    if (fs::is_directory(input, ec)) {
+      std::vector<std::string> found;
+      for (const auto& entry : fs::directory_iterator(input, ec)) {
+        if (entry.path().extension() == ".blif") {
+          found.push_back(entry.path().string());
+        }
+      }
+      if (ec) {
+        diag.error(input, "cannot list directory: " + ec.message());
+        *ok = false;
+        return {};
+      }
+      std::sort(found.begin(), found.end());
+      if (found.empty()) diag.warning(input, "no .blif files in directory");
+      files.insert(files.end(), found.begin(), found.end());
+    } else {
+      files.push_back(input);
+    }
+  }
+  std::vector<BulkJob> jobs;
+  jobs.reserve(files.size());
+  for (const std::string& file : files) {
+    std::string output;
+    if (!out_dir.empty()) {
+      output = (fs::path(out_dir) / fs::path(file).filename()).string();
+    }
+    jobs.push_back(make_file_job(file, std::move(output)));
+  }
+  // Two inputs mapping onto one output file would race; refuse up front.
+  for (std::size_t i = 0; i + 1 < jobs.size(); ++i) {
+    for (std::size_t j = i + 1; j < jobs.size(); ++j) {
+      if (!jobs[i].output_path.empty() &&
+          jobs[i].output_path == jobs[j].output_path) {
+        diag.error(jobs[j].input_path,
+                   "output collides with " + jobs[i].input_path + " at " +
+                       jobs[i].output_path);
+        *ok = false;
+        return {};
+      }
+    }
+  }
+  return jobs;
+}
+
+int cmd_bulk(const std::string& script, const std::vector<std::string>& inputs,
+             const BulkFlags& bulk, const FlowFlags& flags,
+             StreamDiagnostics& diag) {
+  bool ok = false;
+  std::vector<BulkJob> jobs =
+      collect_bulk_jobs(inputs, bulk.out_dir, diag, &ok);
+  if (!ok) return 2;
+  if (jobs.empty()) {
+    diag.error("bulk", "no input circuits");
+    return 2;
+  }
+
+  BulkOptions options;
+  options.jobs = bulk.jobs;
+  options.manager.check_invariants = flags.validate;
+  options.manager.check_equivalence = flags.verify;
+  options.manager.equivalence.runs = 2;
+  options.manager.equivalence.cycles = 48;
+  BulkRunner runner(script, options);
+  if (const auto error = runner.check()) {
+    diag.error("bulk", *error);
+    return 2;
+  }
+  const BulkReport report = runner.run(jobs);
+
+  for (const BulkJobResult& r : report.results) {
+    if (r.success) {
+      std::printf("%-20s ok    lut %zu -> %zu  ff %zu -> %zu  period "
+                  "%lld -> %lld  (%.3fs)\n",
+                  r.name.c_str(), r.before.luts, r.after.luts,
+                  r.before.registers, r.after.registers,
+                  static_cast<long long>(r.period_before),
+                  static_cast<long long>(r.period_after), r.seconds);
+    } else {
+      std::printf("%-20s FAIL  %s\n", r.name.c_str(), r.error.c_str());
+      for (const Diagnostic& d : r.diagnostics) {
+        if (d.severity != DiagSeverity::kNote) diag.report(d);
+      }
+    }
+  }
+  std::printf("bulk: %zu/%zu ok on %zu workers, wall %.3fs cpu %.3fs "
+              "(speedup %.2fx)\n",
+              report.succeeded(), report.results.size(), report.jobs,
+              report.wall_seconds, report.cpu_seconds, report.speedup());
+
+  if (!bulk.report_path.empty()) {
+    BulkJsonOptions json;
+    json.canonical = bulk.canonical;
+    std::ofstream out(bulk.report_path, std::ios::binary);
+    out << report.to_json(json);
+    if (!out) {
+      diag.error(bulk.report_path, "cannot write report");
+      return 1;
+    }
+  }
+  return report.failed() == 0 ? 0 : 1;
+}
+
+int cmd_corpus(const std::string& out_dir, std::size_t count,
+               std::uint64_t seed, StreamDiagnostics& diag) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  fs::create_directories(out_dir, ec);
+  for (const CircuitProfile& profile : random_suite(count, seed)) {
+    const Netlist netlist = generate_circuit(profile);
+    const std::string path =
+        (fs::path(out_dir) / (profile.name + ".blif")).string();
+    if (!write_blif_file(netlist, path, profile.name)) {
+      diag.error(path, "cannot write file");
+      return 1;
+    }
+    const auto stats = netlist.stats();
+    std::printf("%s: in=%zu lut=%zu ff=%zu\n", path.c_str(), stats.inputs,
+                stats.luts, stats.registers);
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -189,8 +349,50 @@ int main(int argc, char** argv) {
   bool formal = false;
   std::size_t bmc_depth = 0;
   FlowFlags flow_flags;
+  BulkFlags bulk_flags;
+  std::size_t corpus_count = 10;
+  std::uint64_t corpus_seed = 1;
+  // Value-taking long flags accept both "--flag value" and "--flag=value".
+  const auto flag_value = [&](const std::string& arg, const char* name,
+                              int* i, std::string* value) {
+    const std::string prefix = std::string(name) + "=";
+    if (arg == name && *i + 1 < argc) {
+      *value = argv[++*i];
+      return true;
+    }
+    if (starts_with(arg, prefix)) {
+      *value = arg.substr(prefix.size());
+      return true;
+    }
+    return false;
+  };
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
+    std::string value;
+    if (flag_value(arg, "--jobs", &i, &value)) {
+      bulk_flags.jobs = static_cast<std::size_t>(std::atoll(value.c_str()));
+      continue;
+    }
+    if (flag_value(arg, "--out-dir", &i, &value)) {
+      bulk_flags.out_dir = value;
+      continue;
+    }
+    if (flag_value(arg, "--report", &i, &value)) {
+      bulk_flags.report_path = value;
+      continue;
+    }
+    if (flag_value(arg, "--count", &i, &value)) {
+      corpus_count = static_cast<std::size_t>(std::atoll(value.c_str()));
+      continue;
+    }
+    if (flag_value(arg, "--seed", &i, &value)) {
+      corpus_seed = static_cast<std::uint64_t>(std::atoll(value.c_str()));
+      continue;
+    }
+    if (arg == "--canonical") {
+      bulk_flags.canonical = true;
+      continue;
+    }
     if (arg == "-k" && i + 1 < argc) {
       lut_k = static_cast<std::uint32_t>(std::atoi(argv[++i]));
     } else if (arg == "-d" && i + 1 < argc) {
@@ -225,6 +427,14 @@ int main(int argc, char** argv) {
   if (command == "flow") {
     if (files.size() < 3) return usage();
     return run_flow(files[0], files[1], files[2], flow_flags, diag);
+  }
+  if (command == "bulk") {
+    if (files.size() < 2) return usage();
+    const std::vector<std::string> inputs(files.begin() + 1, files.end());
+    return cmd_bulk(files[0], inputs, bulk_flags, flow_flags, diag);
+  }
+  if (command == "corpus") {
+    return cmd_corpus(files[0], corpus_count, corpus_seed, diag);
   }
 
   // Transforming subcommands are canned single-pass pipelines.

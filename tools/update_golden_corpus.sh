@@ -1,0 +1,36 @@
+#!/bin/sh
+# Regenerates the golden bulk-flow corpus and its expected report.
+#
+# The corpus under testdata/corpus/ is a fixed-seed sample of the
+# workload generator; testdata/corpus/golden_report.json is the
+# canonical (timing- and path-free) `mcrt bulk` report for the corpus
+# under the script below. The `cli_bulk_golden` ctest re-runs the same
+# command and byte-compares the fresh report against the golden file,
+# so any change to the generator, the passes in the script, or the
+# report schema shows up as a diff.
+#
+# Run this from the repository root after an intentional change, then
+# review `git diff testdata/corpus/` before committing:
+#
+#   cmake -B build -S . && cmake --build build -j --target mcrt_cli
+#   tools/update_golden_corpus.sh [build/tools/mcrt]
+set -eu
+
+MCRT=${1:-build/tools/mcrt}
+COUNT=10
+SEED=7
+SCRIPT='decompose-sync; sweep; strash; retime(d=10)'
+
+test -x "$MCRT" || { echo "error: $MCRT not built" >&2; exit 1; }
+test -d testdata || { echo "error: run from the repo root" >&2; exit 1; }
+
+rm -f testdata/corpus/*.blif
+"$MCRT" corpus testdata/corpus --count "$COUNT" --seed "$SEED"
+
+OUT=$(mktemp -d)
+trap 'rm -rf "$OUT"' EXIT
+"$MCRT" bulk "$SCRIPT" --jobs 4 --canonical \
+  --out-dir "$OUT" --report testdata/corpus/golden_report.json \
+  testdata/corpus
+
+echo "updated testdata/corpus/ (count=$COUNT seed=$SEED)"
