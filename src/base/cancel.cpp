@@ -1,0 +1,59 @@
+#include "base/cancel.h"
+
+#include <cstdio>
+
+#if defined(__linux__)
+#include <unistd.h>
+#endif
+
+namespace mcrt {
+
+void CancelToken::set_timeout(double seconds) noexcept {
+  if (seconds <= 0) {
+    deadline_ns_.store(0, std::memory_order_relaxed);
+    return;
+  }
+  set_deadline(std::chrono::steady_clock::now() +
+               std::chrono::nanoseconds(
+                   static_cast<std::int64_t>(seconds * 1e9)));
+}
+
+StopReason CancelToken::stop_requested() const noexcept {
+  if (cancelled_.load(std::memory_order_relaxed)) {
+    return StopReason::kCancelled;
+  }
+  const std::int64_t deadline = deadline_ns_.load(std::memory_order_relaxed);
+  if (deadline != 0) {
+    const std::int64_t now =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count();
+    if (now >= deadline) return StopReason::kTimeout;
+  }
+  return parent_ != nullptr ? parent_->stop_requested() : StopReason::kNone;
+}
+
+void CancelToken::check() const {
+  const StopReason reason = stop_requested();
+  if (reason != StopReason::kNone) throw CancelledError(reason);
+}
+
+std::size_t current_rss_bytes() noexcept {
+#if defined(__linux__)
+  // /proc/self/statm: size resident shared text lib data dt (pages).
+  std::FILE* statm = std::fopen("/proc/self/statm", "r");
+  if (statm == nullptr) return 0;
+  unsigned long size = 0;
+  unsigned long resident = 0;
+  const int got = std::fscanf(statm, "%lu %lu", &size, &resident);
+  std::fclose(statm);
+  if (got != 2) return 0;
+  const long page = sysconf(_SC_PAGESIZE);
+  return static_cast<std::size_t>(resident) *
+         static_cast<std::size_t>(page > 0 ? page : 4096);
+#else
+  return 0;
+#endif
+}
+
+}  // namespace mcrt

@@ -41,22 +41,24 @@ void ThreadPool::submit(std::function<void()> task) {
   // A worker submitting from inside a task pushes onto its own deque so
   // recursively-spawned work stays hot (and is stolen only when others run
   // dry); external threads distribute round-robin.
+  //
+  // Account for the task BEFORE it becomes stealable: if it were pushed
+  // first, another worker could pop and finish it before the counters
+  // moved, transiently driving pending_ to zero — wait_idle() (and the
+  // destructor) would then proceed while this task still sat in a queue,
+  // and shutdown would drop it.
   std::size_t target;
-  if (tls_pool == this) {
-    target = tls_worker;
-  } else {
-    const std::lock_guard<std::mutex> lock(mutex_);
-    target = next_queue_;
-    next_queue_ = (next_queue_ + 1) % queues_.size();
-  }
-  {
-    const std::lock_guard<std::mutex> lock(queues_[target]->mutex);
-    queues_[target]->tasks.push_back(std::move(task));
-  }
   {
     const std::lock_guard<std::mutex> lock(mutex_);
     ++pending_;
     ++queued_;
+    target = next_queue_;
+    next_queue_ = (next_queue_ + 1) % queues_.size();
+  }
+  if (tls_pool == this) target = tls_worker;
+  {
+    const std::lock_guard<std::mutex> lock(queues_[target]->mutex);
+    queues_[target]->tasks.push_back(std::move(task));
   }
   work_cv_.notify_one();
 }
@@ -106,7 +108,9 @@ void ThreadPool::worker_loop(std::size_t self) noexcept {
     // queued_ > 0 can be momentarily stale (another worker just popped the
     // last task); the retry scan above simply comes back here.
     work_cv_.wait(lock, [this] { return stop_ || queued_ > 0; });
-    if (stop_) return;
+    // Drain before exiting: a stop with tasks still queued (submissions
+    // racing shutdown) must not strand them.
+    if (stop_ && queued_ == 0) return;
   }
 }
 

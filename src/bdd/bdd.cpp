@@ -20,6 +20,10 @@ BddRef BddManager::make_node(std::uint32_t var, BddRef low, BddRef high) {
   const NodeKey key{var, low, high};
   auto it = unique_.find(key);
   if (it != unique_.end()) return it->second;
+  if (node_limit_ != 0 && nodes_.size() >= node_limit_) {
+    throw ResourceLimitError("BDD node limit of " +
+                             std::to_string(node_limit_) + " nodes exceeded");
+  }
   const auto ref = static_cast<BddRef>(nodes_.size());
   nodes_.push_back({var, low, high});
   unique_.emplace(key, ref);
@@ -43,6 +47,9 @@ BddRef BddManager::cofactor(BddRef f, std::uint32_t var, bool value) const {
 }
 
 BddRef BddManager::ite(BddRef f, BddRef g, BddRef h) {
+  if (cancel_ != nullptr && (++poll_tick_ & 0x3ffu) == 0) {
+    cancel_->check();
+  }
   // Terminal cases.
   if (f == kTrue) return g;
   if (f == kFalse) return h;

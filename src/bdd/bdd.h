@@ -19,6 +19,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "base/cancel.h"
+
 namespace mcrt {
 
 /// Handle to a BDD node inside a BddManager. Index 0/1 are the constant
@@ -77,6 +79,17 @@ class BddManager {
     return var_count_;
   }
 
+  /// Guard rails for potentially explosive analyses (ternary BMC, formal
+  /// reachability): make_node throws ResourceLimitError once the manager
+  /// holds more than `max_nodes` nodes (0 = unlimited), and ite() polls
+  /// `token` periodically, throwing CancelledError on a stop request. The
+  /// manager stays structurally valid after either throw — callers may
+  /// catch and degrade, or unwind and drop the manager whole.
+  void set_node_limit(std::size_t max_nodes) noexcept {
+    node_limit_ = max_nodes;
+  }
+  void set_cancel(const CancelToken* token) noexcept { cancel_ = token; }
+
   /// Top variable of f (kNoVar for terminals).
   static constexpr std::uint32_t kNoVar = ~0u;
   [[nodiscard]] std::uint32_t top_var(BddRef f) const;
@@ -123,6 +136,9 @@ class BddManager {
   std::unordered_map<NodeKey, BddRef, NodeKeyHash> unique_;
   std::unordered_map<IteKey, BddRef, IteKeyHash> ite_cache_;
   std::uint32_t var_count_ = 0;
+  std::size_t node_limit_ = 0;          ///< 0 = unlimited
+  const CancelToken* cancel_ = nullptr;
+  std::uint32_t poll_tick_ = 0;         ///< ite() calls since last poll
 };
 
 }  // namespace mcrt

@@ -17,6 +17,7 @@ class Reader {
     std::string logical;
     std::size_t line_no = 0;
     std::size_t logical_start = 0;
+    bool continued = false;
     while (std::getline(in, physical)) {
       ++line_no;
       // Strip comments.
@@ -29,12 +30,23 @@ class Reader {
       if (!view.empty() && view.back() == '\\') {
         logical.append(view.substr(0, view.size() - 1));
         logical.push_back(' ');
+        continued = true;
         continue;
       }
       logical.append(view);
+      continued = false;
       if (logical.empty()) continue;
       if (auto err = handle_line(logical, logical_start)) return *err;
       logical.clear();
+    }
+    if (in.bad()) {
+      return BlifError{line_no, "read error (stream failure mid-file)"};
+    }
+    if (continued) {
+      // The last physical line ended with '\': the file was cut off inside
+      // a continuation, a classic truncation signature.
+      return BlifError{logical_start,
+                       "file ends inside a line continuation (truncated?)"};
     }
     if (!logical.empty()) {
       if (auto err = handle_line(logical, logical_start)) return *err;
@@ -64,7 +76,7 @@ class Reader {
     const auto tokens = split_tokens(text);
     if (tokens.empty()) return std::nullopt;
     const std::string_view head = tokens[0];
-    if (head[0] != '.' && !head.empty()) {
+    if (!head.empty() && head[0] != '.') {
       // Cover row of the pending .names.
       return handle_cover_row(tokens, line);
     }
@@ -196,9 +208,14 @@ class Reader {
     spec.d = net_by_name(tokens[1]);
     spec.q = net_by_name(tokens[2]);
     std::size_t i = 3;
-    if (tokens.size() >= 5 &&
-        (tokens[3] == "re" || tokens[3] == "fe" || tokens[3] == "re" ||
-         tokens[3] == "ah" || tokens[3] == "al" || tokens[3] == "as")) {
+    const auto is_latch_type = [](std::string_view t) {
+      return t == "re" || t == "fe" || t == "ah" || t == "al" || t == "as";
+    };
+    if (tokens.size() > 3 && is_latch_type(tokens[3])) {
+      if (tokens.size() < 5) {
+        return error(line, ".latch type '" + std::string(tokens[3]) +
+                               "' needs a control net");
+      }
       spec.clk = net_by_name(tokens[4]);
       i = 5;
     } else {
@@ -212,8 +229,15 @@ class Reader {
         // semantics through retiming.
         spec.async_ctrl = power_on_reset();
         spec.async_val = init == "0" ? ResetVal::kZero : ResetVal::kOne;
+      } else if (init != "2" && init != "3") {
+        return error(line, "bad .latch init value: " + std::string(init));
       }
       // 2 (don't care) and 3 (unknown) need no controls.
+      ++i;
+    }
+    if (i < tokens.size()) {
+      return error(line,
+                   "trailing tokens after .latch: " + std::string(tokens[i]));
     }
     return add_register(spec, line);
   }

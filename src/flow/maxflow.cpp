@@ -58,7 +58,9 @@ std::int64_t MaxFlow::dfs(std::uint32_t v, std::uint32_t sink,
 std::int64_t MaxFlow::solve(std::uint32_t source, std::uint32_t sink,
                             std::int64_t limit) {
   std::int64_t total = 0;
+  poll_cancel(cancel_);
   while (total < limit && bfs(source, sink)) {
+    poll_cancel(cancel_);
     iter_.assign(head_.size(), 0);
     while (total < limit) {
       const std::int64_t got = dfs(source, sink, limit - total);

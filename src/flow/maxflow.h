@@ -9,11 +9,17 @@
 #include <cstdint>
 #include <vector>
 
+#include "base/cancel.h"
+
 namespace mcrt {
 
 class MaxFlow {
  public:
   explicit MaxFlow(std::size_t node_count);
+
+  /// Cooperative cancellation: solve() polls `token` once per BFS phase and
+  /// throws CancelledError on a stop request.
+  void set_cancel(const CancelToken* token) noexcept { cancel_ = token; }
 
   /// Adds a directed arc with the given capacity; returns its arc index
   /// (the paired reverse arc is at index^1).
@@ -46,6 +52,7 @@ class MaxFlow {
   std::vector<std::int64_t> initial_cap_;
   std::vector<std::uint32_t> level_;
   std::vector<std::size_t> iter_;
+  const CancelToken* cancel_ = nullptr;
 };
 
 }  // namespace mcrt

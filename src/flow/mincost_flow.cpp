@@ -68,7 +68,9 @@ std::optional<MinCostFlow::Solution> MinCostFlow::solve() {
       queue.push_back(v);
       in_queue[v] = true;
     }
+    std::uint32_t pops = 0;
     while (!queue.empty()) {
+      if ((++pops & 0xfffu) == 0) poll_cancel(cancel_);
       const std::uint32_t v = queue.front();
       queue.pop_front();
       in_queue[v] = false;
@@ -93,6 +95,7 @@ std::optional<MinCostFlow::Solution> MinCostFlow::solve() {
   std::vector<std::int64_t> dist(n + 2);
   std::vector<std::uint32_t> parent_arc(n + 2);
   while (routed < total_demand) {
+    poll_cancel(cancel_);
     std::fill(dist.begin(), dist.end(), kUnreached);
     dist[s] = 0;
     using Item = std::pair<std::int64_t, std::uint32_t>;

@@ -18,11 +18,18 @@
 #include <optional>
 #include <vector>
 
+#include "base/cancel.h"
+
 namespace mcrt {
 
 class MinCostFlow {
  public:
   explicit MinCostFlow(std::size_t node_count);
+
+  /// Cooperative cancellation: solve() polls `token` once per shortest-path
+  /// augmentation (and periodically during the Bellman-Ford bootstrap),
+  /// throwing CancelledError on a stop request.
+  void set_cancel(const CancelToken* token) noexcept { cancel_ = token; }
 
   /// Adds an arc from -> to with the given capacity and per-unit cost.
   /// Use MinCostFlow::kInfinite for uncapacitated (constraint) arcs.
@@ -58,6 +65,7 @@ class MinCostFlow {
   std::vector<std::vector<std::uint32_t>> head_;
   std::vector<std::int64_t> demand_;
   std::vector<std::int64_t> initial_cap_;
+  const CancelToken* cancel_ = nullptr;
 };
 
 }  // namespace mcrt

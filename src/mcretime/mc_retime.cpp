@@ -52,6 +52,7 @@ McRetimeResult mc_retime(const Netlist& input, const McRetimeOptions& options) {
   std::int64_t phi = -1;
   std::vector<DifferenceConstraint> period_constraints;
   for (std::size_t attempt = 0; attempt < options.max_attempts; ++attempt) {
+    poll_cancel(options.cancel);
     stats.attempts = attempt + 1;
     // --- Steps 4-5: solve ----------------------------------------------------
     {
@@ -105,7 +106,7 @@ McRetimeResult mc_retime(const Netlist& input, const McRetimeOptions& options) {
       if (options.objective ==
           McRetimeOptions::Objective::kMinAreaMinPeriod) {
         const MinAreaResult minarea =
-            minarea_retime(basic, phi, &period_constraints);
+            minarea_retime(basic, phi, &period_constraints, options.cancel);
         if (minarea.feasible) {
           labels = minarea.r;
         }

@@ -16,6 +16,7 @@
 
 #include <string>
 
+#include "base/cancel.h"
 #include "base/timer.h"
 #include "mcretime/register_class.h"
 #include "mcretime/relocate.h"
@@ -42,6 +43,9 @@ struct McRetimeOptions {
   /// conflict immediately becomes a retiming bound + recompute; §5.2
   /// ablation).
   std::size_t global_justification_budget = 96;
+  /// Cooperative cancellation: polled once per retiming attempt and inside
+  /// the min-cost-flow solve; a stop request unwinds with CancelledError.
+  const CancelToken* cancel = nullptr;
 };
 
 struct McRetimeStats {

@@ -1,12 +1,15 @@
 #include "pipeline/bulk_runner.h"
 
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <system_error>
+#include <thread>
 #include <utility>
 
 #include "base/strings.h"
 #include "blif/blif.h"
+#include "pipeline/checkpoint.h"
 #include "pipeline/flow_context.h"
 #include "pipeline/flow_script.h"
 #include "tech/sta.h"
@@ -14,6 +17,26 @@
 namespace mcrt {
 
 namespace fs = std::filesystem;
+
+const char* job_status_name(JobStatus status) noexcept {
+  switch (status) {
+    case JobStatus::kOk: return "ok";
+    case JobStatus::kFailed: return "failed";
+    case JobStatus::kTimeout: return "timeout";
+    case JobStatus::kCancelled: return "cancelled";
+    case JobStatus::kIoError: return "io-error";
+  }
+  return "unknown";
+}
+
+std::optional<JobStatus> job_status_from_name(std::string_view name) noexcept {
+  if (name == "ok") return JobStatus::kOk;
+  if (name == "failed") return JobStatus::kFailed;
+  if (name == "timeout") return JobStatus::kTimeout;
+  if (name == "cancelled") return JobStatus::kCancelled;
+  if (name == "io-error") return JobStatus::kIoError;
+  return std::nullopt;
+}
 
 BulkJob make_file_job(std::string input_path, std::string output_path) {
   BulkJob job;
@@ -80,10 +103,16 @@ namespace {
 
 /// Writes `netlist` to `path` via "<path>.tmp" + rename, so `path` only
 /// ever holds a complete output. Returns false (reporting to `diag`) and
-/// removes the temp file on any failure.
+/// removes the temp file on any failure. The "write:<filename>" fault site
+/// simulates a failing filesystem for the retry tests.
 bool store_atomically(const Netlist& netlist, const std::string& path,
-                      DiagnosticsSink& diag) {
+                      DiagnosticsSink& diag, FaultInjector& faults,
+                      const CancelToken* cancel) {
   const fs::path target(path);
+  if (faults.inject("write:" + target.filename().string(), cancel)) {
+    diag.error(path, "injected write fault");
+    return false;
+  }
   std::error_code ec;
   if (target.has_parent_path()) {
     fs::create_directories(target.parent_path(), ec);  // best-effort
@@ -111,11 +140,24 @@ void BulkRunner::run_one(const BulkJob& job, BulkJobResult& out) const {
   out.name = job.name;
   out.input_path = job.input_path;
   out.output_path = job.output_path;
+  out.status = JobStatus::kFailed;
+  FaultInjector& faults =
+      options_.faults != nullptr ? *options_.faults : FaultInjector::global();
+  // Per-job token: chains the batch-wide cancel and arms this job's own
+  // deadline, so one poll observes ctrl-C and --timeout alike.
+  CancelToken job_cancel(options_.cancel);
+  if (options_.timeout_seconds > 0) {
+    job_cancel.set_timeout(options_.timeout_seconds);
+  }
   // Everything below runs on a worker thread; any escaping exception is
   // this job's failure, never the batch's.
   try {
-    std::optional<Netlist> input = job.load(diag);
-    if (!input) {
+    if (faults.inject("job:" + job.name, &job_cancel)) {
+      // Injected environment fault: transient, eligible for retry.
+      out.status = JobStatus::kIoError;
+      out.error = "injected fault at job:" + job.name;
+      diag.error(job.name, out.error);
+    } else if (std::optional<Netlist> input = job.load(diag); !input) {
       out.error = "cannot load input";
     } else {
       PassManager manager(options_.manager);
@@ -124,6 +166,9 @@ void BulkRunner::run_one(const BulkJob& job, BulkJobResult& out) const {
         out.error = build_error;
       } else {
         FlowContext context(std::move(*input), &diag);
+        context.cancel = &job_cancel;
+        context.budgets = options_.budgets;
+        context.faults = options_.faults;
         out.before = context.netlist().stats();
         out.period_before = compute_period(context.netlist());
         FlowResult flow = manager.run(context);
@@ -131,6 +176,16 @@ void BulkRunner::run_one(const BulkJob& job, BulkJobResult& out) const {
         out.profile = std::move(flow.profile);
         if (!flow.success) {
           out.error = flow.error;
+          switch (flow.status) {
+            case FlowStatus::kTimeout:
+              out.status = JobStatus::kTimeout;
+              break;
+            case FlowStatus::kCancelled:
+              out.status = JobStatus::kCancelled;
+              break;
+            default:
+              out.status = JobStatus::kFailed;
+          }
         } else {
           out.after = context.netlist().stats();
           out.period_after = compute_period(context.netlist());
@@ -138,16 +193,25 @@ void BulkRunner::run_one(const BulkJob& job, BulkJobResult& out) const {
           bool stored = true;
           if (!job.output_path.empty()) {
             stored = store_atomically(context.netlist(), job.output_path,
-                                      diag);
-            if (!stored) out.error = "cannot write output";
+                                      diag, faults, &job_cancel);
+            if (!stored) {
+              out.error = "cannot write output";
+              out.status = JobStatus::kIoError;
+            }
           }
           if (stored) {
             if (options_.keep_netlists) out.netlist = context.take_netlist();
             out.success = true;
+            out.status = JobStatus::kOk;
           }
         }
       }
     }
+  } catch (const CancelledError& e) {
+    out.success = false;
+    out.status = e.reason() == StopReason::kTimeout ? JobStatus::kTimeout
+                                                    : JobStatus::kCancelled;
+    out.error = e.what();
   } catch (const std::exception& e) {
     out.success = false;
     out.error = str_format("uncaught exception: %s", e.what());
@@ -171,13 +235,70 @@ BulkReport BulkRunner::run(const std::vector<BulkJob>& jobs,
   report.jobs = pool.worker_count();
   report.results.resize(jobs.size());
 
+  // Resume: merge recorded results of completed jobs and skip re-running
+  // them. A manifest written by a different script is ignored whole — a
+  // half-matching resume would silently mix two different flows.
+  std::vector<bool> skip(jobs.size(), false);
+  bool append_manifest = false;
+  if (options_.resume && !options_.manifest_path.empty()) {
+    if (const auto manifest = load_manifest(options_.manifest_path)) {
+      if (manifest->script == report.script) {
+        append_manifest = true;
+        for (std::size_t i = 0; i < jobs.size(); ++i) {
+          const auto it = manifest->completed.find(jobs[i].name);
+          if (it == manifest->completed.end()) continue;
+          report.results[i] = it->second;
+          skip[i] = true;
+        }
+      } else if (options_.sink != nullptr) {
+        options_.sink->warning(
+            "bulk", "manifest " + options_.manifest_path +
+                        " was written by a different script; re-running "
+                        "every job");
+      }
+    }
+  }
+  ManifestWriter manifest;
+  if (!options_.manifest_path.empty()) {
+    if (!manifest.open(options_.manifest_path, report.script,
+                       append_manifest) &&
+        options_.sink != nullptr) {
+      options_.sink->warning(
+          "bulk", "cannot open manifest " + options_.manifest_path +
+                      "; running without checkpoints");
+    }
+  }
+
   Timer wall;
   {
     TaskGroup group(pool);
     for (std::size_t i = 0; i < jobs.size(); ++i) {
+      if (skip[i]) continue;
       // Distinct result slots: no synchronization beyond the group's join.
-      group.run([this, &jobs, &report, i] {
-        run_one(jobs[i], report.results[i]);
+      group.run([this, &jobs, &report, &manifest, i] {
+        BulkJobResult& slot = report.results[i];
+        for (std::size_t attempt = 0;; ++attempt) {
+          slot = BulkJobResult{};
+          run_one(jobs[i], slot);
+          // Only the transient class retries, and never once the batch has
+          // been asked to stop.
+          if (slot.status == JobStatus::kIoError &&
+              attempt < options_.max_retries &&
+              cancel_requested(options_.cancel) == StopReason::kNone) {
+            std::this_thread::sleep_for(std::chrono::duration<double>(
+                options_.retry_backoff_seconds *
+                static_cast<double>(attempt + 1)));
+            continue;
+          }
+          break;
+        }
+        // Journal final outcomes only: a cancelled (or still-transient)
+        // job must re-run on resume.
+        if (slot.status == JobStatus::kOk ||
+            slot.status == JobStatus::kFailed ||
+            slot.status == JobStatus::kTimeout) {
+          manifest.record(slot);
+        }
       });
     }
     group.wait();
@@ -232,7 +353,7 @@ void append_stats(std::string& out, const char* key,
 std::string BulkReport::to_json(const BulkJsonOptions& json) const {
   const bool canonical = json.canonical;
   std::string out = "{\n";
-  out += "  \"schema\": \"mcrt-bulk-report/1\",\n";
+  out += "  \"schema\": \"mcrt-bulk-report/2\",\n";
   out += "  \"script\": " + quoted(script) + ",\n";
   if (!canonical) out += str_format("  \"jobs\": %zu,\n", jobs);
   out += str_format("  \"circuits\": %zu,\n", results.size());
@@ -263,6 +384,7 @@ std::string BulkReport::to_json(const BulkJsonOptions& json) const {
            quoted(report_path(r.output_path, canonical)) + ",\n";
     out += str_format("      \"success\": %s,\n",
                       r.success ? "true" : "false");
+    out += "      \"status\": " + quoted(job_status_name(r.status)) + ",\n";
     out += "      \"error\": " + quoted(r.error) + ",\n";
     if (!canonical) out += str_format("      \"seconds\": %.6f,\n", r.seconds);
     append_stats(out, "before", r.before, r.period_before);
@@ -285,6 +407,7 @@ std::string BulkReport::to_json(const BulkJsonOptions& json) const {
       out += "{\"name\": " + quoted(e.name);
       if (!canonical) out += str_format(", \"seconds\": %.6f", e.seconds);
       out += str_format(", \"success\": %s", e.success ? "true" : "false");
+      if (e.rolled_back) out += ", \"rolled_back\": true";
       out += ", \"summary\": " + quoted(e.summary) + "}";
     }
     out += "]\n";

@@ -28,8 +28,11 @@
 #include <functional>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
+#include "base/cancel.h"
+#include "base/fault_injector.h"
 #include "base/thread_pool.h"
 #include "base/timer.h"
 #include "mcretime/mc_retime.h"
@@ -67,7 +70,44 @@ struct BulkOptions {
   /// Optional aggregate sink. Every job's diagnostics are forwarded here
   /// in job order after the batch completes (no cross-job interleaving).
   DiagnosticsSink* sink = nullptr;
+
+  // --- resilience ----------------------------------------------------------
+  /// Per-job wall-clock deadline in seconds (0 = none). A job over its
+  /// deadline unwinds at the next engine poll and reports kTimeout; the
+  /// rest of the batch is unaffected.
+  double timeout_seconds = 0;
+  /// Batch-wide cancellation (e.g. wired to a SIGINT handler). Each job
+  /// chains its own deadline token onto this one.
+  const CancelToken* cancel = nullptr;
+  /// Checkpoint manifest path (empty = no checkpointing). Completed jobs
+  /// are appended (and flushed) as they finish, so a killed batch can be
+  /// resumed.
+  std::string manifest_path;
+  /// Skip jobs already recorded in the manifest (same script only); their
+  /// recorded results are merged into the report unchanged.
+  bool resume = false;
+  /// Retries for transient (kIoError) failures, with linear backoff.
+  std::size_t max_retries = 0;
+  double retry_backoff_seconds = 0.05;
+  /// Fault injection hooks (null = the MCRT_FAULT*-configured injector).
+  FaultInjector* faults = nullptr;
+  /// Per-job resource budgets, threaded into each job's FlowContext.
+  ResourceBudgets budgets;
 };
+
+/// How one job ended. kIoError (a failed output write or an injected
+/// environment fault) is the transient class the retry loop re-attempts;
+/// everything else is final for the batch.
+enum class JobStatus : std::uint8_t {
+  kOk,
+  kFailed,     ///< deterministic failure (bad input, failing pass, ...)
+  kTimeout,    ///< per-job deadline passed
+  kCancelled,  ///< batch-wide cancel (not recorded in manifests: re-run)
+  kIoError,    ///< transient I/O failure, retried up to max_retries
+};
+[[nodiscard]] const char* job_status_name(JobStatus status) noexcept;
+[[nodiscard]] std::optional<JobStatus> job_status_from_name(
+    std::string_view name) noexcept;
 
 /// Outcome of one job, in the batch's input order.
 struct BulkJobResult {
@@ -75,6 +115,8 @@ struct BulkJobResult {
   std::string input_path;
   std::string output_path;
   bool success = false;
+  JobStatus status = JobStatus::kFailed;
+  bool resumed = false;  ///< restored from a manifest, not executed
   std::string error;  ///< why the job failed (success == false)
 
   Netlist::Stats before;  ///< stats entering the flow (valid once loaded)
@@ -115,7 +157,7 @@ struct BulkReport {
   [[nodiscard]] double speedup() const {
     return wall_seconds > 0 ? cpu_seconds / wall_seconds : 0.0;
   }
-  /// The `mcrt bulk --report` JSON document (schema mcrt-bulk-report/1).
+  /// The `mcrt bulk --report` JSON document (schema mcrt-bulk-report/2).
   [[nodiscard]] std::string to_json(const BulkJsonOptions& json = {}) const;
 };
 

@@ -1,0 +1,79 @@
+// Checkpoint manifests for resumable bulk runs.
+//
+// A manifest is a line-oriented, append-only record of the jobs a bulk run
+// has finished: one header line naming the flow script, then one record per
+// completed job carrying the report-visible subset of its BulkJobResult
+// (status, error, netlist stats, period, executed passes with summaries).
+// The writer appends and flushes each record as the job finishes, so a
+// batch killed at any point — including mid-write — leaves a manifest whose
+// complete lines are all trustworthy; the loader silently drops a truncated
+// trailing line.
+//
+// `mcrt bulk --resume` loads the manifest, skips every recorded job, and
+// merges the recorded results into the final report verbatim. The record
+// carries everything the canonical JSON report needs, so a killed-and-
+// resumed batch produces a byte-identical canonical report to an
+// uninterrupted run.
+//
+// Only *final* outcomes are recorded: kOk, kFailed and kTimeout. Jobs
+// cancelled by a batch-wide stop (ctrl-C) are deliberately not recorded —
+// they never ran to a deterministic conclusion and must re-run on resume.
+//
+// Format: tab-separated fields with backslash escaping for '\\', '\t' and
+// '\n'; the header is "mcrt-bulk-manifest/1\t<script>".
+#pragma once
+
+#include <cstdio>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "pipeline/bulk_runner.h"
+
+namespace mcrt {
+
+/// Serializes the manifest-visible subset of `result` as one record line
+/// (no trailing newline).
+[[nodiscard]] std::string encode_manifest_record(const BulkJobResult& result);
+
+/// Parses one record line. Returns std::nullopt on a malformed or
+/// truncated line (the loader drops such lines, it never fails on them).
+[[nodiscard]] std::optional<BulkJobResult> decode_manifest_record(
+    const std::string& line);
+
+/// Thread-safe append-and-flush manifest writer.
+class ManifestWriter {
+ public:
+  ManifestWriter() = default;
+  ~ManifestWriter() { close(); }
+  ManifestWriter(const ManifestWriter&) = delete;
+  ManifestWriter& operator=(const ManifestWriter&) = delete;
+
+  /// Opens `path`. With `append` the file is extended (resume); otherwise
+  /// it is truncated and a fresh header naming `script` is written.
+  bool open(const std::string& path, const std::string& script, bool append);
+  [[nodiscard]] bool is_open() const noexcept { return file_ != nullptr; }
+
+  /// Appends one record and flushes. Safe to call from worker threads.
+  void record(const BulkJobResult& result);
+  void close();
+
+ private:
+  std::mutex mutex_;
+  std::FILE* file_ = nullptr;
+};
+
+struct ManifestData {
+  std::string script;
+  /// Completed jobs by name, last record winning (a retried-after-resume
+  /// job appends a fresh record).
+  std::map<std::string, BulkJobResult> completed;
+};
+
+/// Loads a manifest, tolerating a truncated trailing line. Returns
+/// std::nullopt when the file cannot be read or the header is malformed.
+[[nodiscard]] std::optional<ManifestData> load_manifest(
+    const std::string& path);
+
+}  // namespace mcrt

@@ -14,6 +14,8 @@
 #include <string>
 #include <utility>
 
+#include "base/cancel.h"
+#include "base/fault_injector.h"
 #include "mcretime/mc_retime.h"
 #include "netlist/netlist.h"
 #include "pipeline/diagnostics.h"
@@ -81,8 +83,31 @@ class FlowContext {
     return active_pass_;
   }
 
+  // --- resilience ----------------------------------------------------------
+  [[nodiscard]] FaultInjector& fault_injector() noexcept {
+    return faults != nullptr ? *faults : FaultInjector::global();
+  }
+
   /// Statistics of the most recent retime pass, if one ran in this flow.
   std::optional<McRetimeStats> retime_stats;
+
+  /// Cooperative cancellation for the flow (null = never cancelled). The
+  /// PassManager polls it between passes and long-running passes thread it
+  /// into their engines; a stop request unwinds with CancelledError.
+  const CancelToken* cancel = nullptr;
+
+  /// Per-flow resource budgets (each field 0 = unlimited). Verification
+  /// passes degrade gracefully on a budget trip; the PassManager fails the
+  /// flow when the RSS estimate is exceeded.
+  ResourceBudgets budgets;
+
+  /// Fault injection hooks for resilience tests (null = the process-wide
+  /// MCRT_FAULT*-configured injector).
+  FaultInjector* faults = nullptr;
+
+  /// Snapshot of the flow-input netlist; populated by the PassManager
+  /// before the first pass when some pass needs_reference() (e.g. verify).
+  std::optional<Netlist> reference;
 
  private:
   Netlist netlist_;

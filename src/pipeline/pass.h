@@ -86,6 +86,11 @@ class Pass {
   /// unknown key or malformed value. Default: the pass takes no arguments.
   virtual bool configure(const PassArgs& args, std::string* error);
 
+  /// True when run() consults context.reference (the flow-input netlist).
+  /// The PassManager snapshots the input into the context before the first
+  /// pass iff some pass in the pipeline needs it.
+  [[nodiscard]] virtual bool needs_reference() const { return false; }
+
   /// Transforms context.netlist(). Must leave the netlist in a valid state
   /// on success; on failure the manager stops the flow.
   virtual PassResult run(FlowContext& context) = 0;

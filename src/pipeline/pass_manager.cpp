@@ -38,6 +38,16 @@ void PassManager::add(std::unique_ptr<Pass> pass) {
   passes_.push_back(std::move(pass));
 }
 
+const char* flow_status_name(FlowStatus status) noexcept {
+  switch (status) {
+    case FlowStatus::kOk: return "ok";
+    case FlowStatus::kFailed: return "failed";
+    case FlowStatus::kTimeout: return "timeout";
+    case FlowStatus::kCancelled: return "cancelled";
+  }
+  return "unknown";
+}
+
 std::string FlowResult::format_profile() const {
   std::string out = str_format("%-16s %9s %11s %9s  %s\n", "pass", "seconds",
                                "luts", "ffs", "summary");
@@ -67,9 +77,18 @@ FlowResult PassManager::run(FlowContext& context) const {
         context.error("input invariant violated: " + problem);
       }
       result.success = false;
+      result.status = FlowStatus::kFailed;
       result.error = str_format("input: %zu netlist invariant(s) violated (%s)",
                                 problems.size(), problems.front().c_str());
       return result;
+    }
+  }
+  // Verification passes compare against the flow input; snapshot it only
+  // when some pass will actually look.
+  for (const std::unique_ptr<Pass>& pass : passes_) {
+    if (pass->needs_reference()) {
+      context.reference = context.netlist();
+      break;
     }
   }
   for (const std::unique_ptr<Pass>& pass : passes_) {
@@ -78,31 +97,78 @@ FlowResult PassManager::run(FlowContext& context) const {
     exec.before = context.netlist().stats();
     context.set_active_pass(exec.name);
 
-    // The spot check needs the pass's input after the pass has replaced it.
+    // A stop request between passes ends the flow cleanly at a pass
+    // boundary (the netlist is whole here).
+    if (const StopReason reason = cancel_requested(context.cancel);
+        reason != StopReason::kNone) {
+      result.success = false;
+      result.status = reason == StopReason::kTimeout ? FlowStatus::kTimeout
+                                                     : FlowStatus::kCancelled;
+      result.error = str_format("flow %s before pass %s",
+                                stop_reason_name(reason), exec.name.c_str());
+      context.warning(result.error);
+      break;
+    }
+
+    // The rollback snapshot doubles as the spot check's "before" netlist.
     std::optional<Netlist> pre_pass;
-    if (options_.check_equivalence) pre_pass = context.netlist();
+    if (options_.check_equivalence || options_.rollback_on_failure) {
+      pre_pass = context.netlist();
+    }
+    const auto roll_back = [&](PassExecution& record) {
+      if (!options_.rollback_on_failure || !pre_pass.has_value()) return;
+      context.replace_netlist(std::move(*pre_pass));
+      pre_pass.reset();
+      record.rolled_back = true;
+      record.after = context.netlist().stats();
+      context.warning("netlist rolled back to the pre-" + record.name +
+                      " snapshot");
+    };
 
     Timer timer;
     // A throwing pass must not take down a whole (possibly batched) flow;
-    // surface the exception as that pass's failure instead.
+    // surface the exception as that pass's failure instead. A CancelledError
+    // is not a pass failure: it records the stop and ends the flow.
     PassResult pass_result;
+    std::optional<StopReason> stopped;
     try {
-      pass_result = pass->run(context);
+      if (context.fault_injector().inject("pass:" + exec.name,
+                                          context.cancel)) {
+        pass_result = PassResult::fail("injected fault at pass:" + exec.name);
+      } else {
+        pass_result = pass->run(context);
+      }
+    } catch (const CancelledError& e) {
+      stopped = e.reason();
     } catch (const std::exception& e) {
       pass_result = PassResult::fail(
           str_format("uncaught exception: %s", e.what()));
     }
     exec.seconds = timer.seconds();
     exec.after = context.netlist().stats();
-    exec.success = pass_result.success;
+    exec.success = pass_result.success && !stopped.has_value();
     exec.summary = pass_result.summary;
     result.profile.add(exec.name, exec.seconds);
 
+    if (stopped.has_value()) {
+      // The pass unwound mid-mutation; restore the snapshot so the caller
+      // still holds a coherent netlist.
+      roll_back(exec);
+      result.success = false;
+      result.status = *stopped == StopReason::kTimeout ? FlowStatus::kTimeout
+                                                       : FlowStatus::kCancelled;
+      result.error = exec.name + ": " + stop_reason_name(*stopped);
+      context.warning(result.error);
+      result.executed.push_back(std::move(exec));
+      break;
+    }
     if (!pass_result.success) {
       const std::string& why =
           pass_result.error.empty() ? "pass failed" : pass_result.error;
       context.error(why);
+      roll_back(exec);
       result.success = false;
+      result.status = FlowStatus::kFailed;
       result.error = exec.name + ": " + why;
       result.executed.push_back(std::move(exec));
       break;
@@ -116,7 +182,9 @@ FlowResult PassManager::run(FlowContext& context) const {
           context.error("invariant violated: " + problem);
         }
         exec.success = false;
+        roll_back(exec);
         result.success = false;
+        result.status = FlowStatus::kFailed;
         result.error = str_format("%s: %zu netlist invariant(s) violated (%s)",
                                   exec.name.c_str(), problems.size(),
                                   problems.front().c_str());
@@ -130,9 +198,27 @@ FlowResult PassManager::run(FlowContext& context) const {
       if (!eq.equivalent) {
         context.error("equivalence spot check failed: " + eq.counterexample);
         exec.success = false;
+        roll_back(exec);
         result.success = false;
+        result.status = FlowStatus::kFailed;
         result.error = exec.name + ": equivalence spot check failed (" +
                        eq.counterexample + ")";
+        result.executed.push_back(std::move(exec));
+        break;
+      }
+    }
+    if (context.budgets.max_rss_bytes != 0) {
+      const std::size_t rss = current_rss_bytes();
+      if (rss > context.budgets.max_rss_bytes) {
+        context.error(str_format(
+            "resource budget exceeded after %s: rss %zu bytes (cap %zu)",
+            exec.name.c_str(), rss, context.budgets.max_rss_bytes));
+        exec.success = false;
+        result.success = false;
+        result.status = FlowStatus::kFailed;
+        result.error = str_format("%s: rss budget exceeded (%zu > %zu bytes)",
+                                  exec.name.c_str(), rss,
+                                  context.budgets.max_rss_bytes);
         result.executed.push_back(std::move(exec));
         break;
       }

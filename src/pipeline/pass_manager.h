@@ -55,7 +55,17 @@ struct PassManagerOptions {
   EquivalenceOptions equivalence;  ///< spot-check effort (runs, cycles, ...)
   /// Report each pass's one-line summary as a diagnostics note.
   bool verbose = false;
+  /// Snapshot the netlist before each pass and restore it when the pass
+  /// throws, reports failure, or violates an invariant, so a failing flow
+  /// never leaves a half-mutated netlist behind. Costs one netlist copy per
+  /// pass (shared with the equivalence spot check's snapshot).
+  bool rollback_on_failure = true;
 };
+
+/// How a flow ended. kTimeout/kCancelled distinguish the two stop-request
+/// causes of a CancelledError unwind; both imply success == false.
+enum class FlowStatus : std::uint8_t { kOk, kFailed, kTimeout, kCancelled };
+[[nodiscard]] const char* flow_status_name(FlowStatus status) noexcept;
 
 /// Record of one executed pass.
 struct PassExecution {
@@ -63,12 +73,14 @@ struct PassExecution {
   double seconds = 0.0;
   bool success = false;
   std::string summary;
+  bool rolled_back = false;  ///< netlist restored to the pre-pass snapshot
   Netlist::Stats before;  ///< netlist stats entering the pass
   Netlist::Stats after;   ///< netlist stats leaving the pass
 };
 
 struct FlowResult {
   bool success = true;
+  FlowStatus status = FlowStatus::kOk;
   std::string error;  ///< first failure, formatted "pass: reason"
   /// Passes actually run, in order; ends at the first failing pass.
   std::vector<PassExecution> executed;

@@ -1,14 +1,18 @@
 #include "pipeline/passes.h"
 
+#include <algorithm>
 #include <memory>
 #include <utility>
 
 #include "base/strings.h"
+#include "sim/equivalence.h"
 #include "tech/decompose.h"
 #include "transform/decompose_controls.h"
 #include "transform/register_sweep.h"
 #include "transform/strash.h"
 #include "transform/sweep.h"
+#include "verify/formal_equivalence.h"
+#include "verify/ternary_bmc.h"
 
 namespace mcrt {
 
@@ -82,8 +86,10 @@ bool MapPass::configure(const PassArgs& args, std::string* error) {
 }
 
 PassResult MapPass::run(FlowContext& context) {
+  FlowMapOptions options = options_;
+  options.cancel = context.cancel;
   FlowMapResult mapped =
-      flowmap_map(decompose_to_binary(context.netlist()), options_);
+      flowmap_map(decompose_to_binary(context.netlist()), options);
   context.replace_netlist(std::move(mapped.mapped));
   context.set_metric("map.luts", static_cast<std::int64_t>(mapped.lut_count));
   context.set_metric("map.depth", static_cast<std::int64_t>(mapped.depth));
@@ -127,7 +133,9 @@ PassResult RetimePass::run(FlowContext& context) {
       }
     }
   }
-  McRetimeResult result = mc_retime(context.netlist(), options_);
+  McRetimeOptions options = options_;
+  options.cancel = context.cancel;
+  McRetimeResult result = mc_retime(context.netlist(), options);
   if (!result.success) {
     return PassResult::fail("retiming failed: " + result.error);
   }
@@ -154,6 +162,107 @@ PassResult RetimePass::run(FlowContext& context) {
       s.registers_after, s.attempts));
 }
 
+bool VerifyPass::configure(const PassArgs& args, std::string* error) {
+  if (!args.expect_keys({"bmc", "formal", "sim", "depth", "x-ok", "cycles",
+                         "runs"},
+                        name(), error)) {
+    return false;
+  }
+  const int methods = (args.flag("bmc") ? 1 : 0) + (args.flag("formal") ? 1 : 0)
+                      + (args.flag("sim") ? 1 : 0);
+  if (methods > 1) {
+    *error = "verify: pick one of bmc, formal, sim";
+    return false;
+  }
+  if (args.flag("bmc")) method_ = Method::kBmc;
+  if (args.flag("formal")) method_ = Method::kFormal;
+  if (args.flag("sim")) method_ = Method::kSim;
+  const auto size_arg = [&](const char* key, std::size_t* out) {
+    if (const auto v = args.int_value(key, error)) {
+      if (*v <= 0) {
+        *error = std::string("verify: ") + key + " must be positive";
+        return false;
+      }
+      *out = static_cast<std::size_t>(*v);
+    } else if (args.contains(key)) {
+      return false;
+    }
+    return true;
+  };
+  if (!size_arg("depth", &depth_)) return false;
+  if (!size_arg("cycles", &cycles_)) return false;
+  if (!size_arg("runs", &runs_)) return false;
+  x_refinement_ok_ = args.flag("x-ok");
+  return true;
+}
+
+PassResult VerifyPass::run(FlowContext& context) {
+  if (!context.reference.has_value()) {
+    return PassResult::fail("verify: no reference netlist snapshot");
+  }
+  const auto unverified = [&](const std::string& why) {
+    context.warning("verification skipped, result is unverified: " + why);
+    context.set_metric("verify.unverified", 1);
+    return PassResult::ok("unverified: " + why);
+  };
+  switch (method_) {
+    case Method::kBmc: {
+      TernaryBmcOptions options;
+      options.depth = depth_;
+      if (context.budgets.bmc_step_cap != 0) {
+        options.depth = std::min(options.depth, context.budgets.bmc_step_cap);
+      }
+      options.x_refinement_ok = x_refinement_ok_;
+      options.max_bdd_nodes = context.budgets.bdd_node_cap;
+      options.cancel = context.cancel;
+      const TernaryBmcResult bmc =
+          check_ternary_bmc(*context.reference, context.netlist(), options);
+      switch (bmc.verdict) {
+        case TernaryBmcResult::Verdict::kEquivalentUpToDepth:
+          context.set_metric("verify.unverified", 0);
+          return PassResult::ok("bmc: " + bmc.detail);
+        case TernaryBmcResult::Verdict::kMismatch:
+          return PassResult::fail("bmc mismatch: " + bmc.detail);
+        case TernaryBmcResult::Verdict::kUnsupported:
+        case TernaryBmcResult::Verdict::kResourceLimit:
+          return unverified("bmc: " + bmc.detail);
+      }
+      return PassResult::fail("bmc: unknown verdict");
+    }
+    case Method::kFormal: {
+      FormalOptions options;
+      options.max_bdd_nodes = context.budgets.bdd_node_cap;
+      options.cancel = context.cancel;
+      const FormalResult formal = check_formal_equivalence(
+          *context.reference, context.netlist(), options);
+      switch (formal.verdict) {
+        case FormalResult::Verdict::kEquivalent:
+          context.set_metric("verify.unverified", 0);
+          return PassResult::ok("formal: " + formal.detail);
+        case FormalResult::Verdict::kMismatch:
+          return PassResult::fail("formal mismatch: " + formal.detail);
+        case FormalResult::Verdict::kUnsupported:
+          return unverified("formal: " + formal.detail);
+      }
+      return PassResult::fail("formal: unknown verdict");
+    }
+    case Method::kSim: {
+      EquivalenceOptions options;
+      options.cycles = cycles_;
+      options.runs = runs_;
+      const EquivalenceResult eq = check_sequential_equivalence(
+          *context.reference, context.netlist(), options);
+      if (!eq.equivalent) {
+        return PassResult::fail("simulation mismatch: " + eq.counterexample);
+      }
+      context.set_metric("verify.unverified", 0);
+      return PassResult::ok(str_format("sim: %zu runs x %zu cycles agree",
+                                       runs_, cycles_));
+    }
+  }
+  return PassResult::fail("verify: unknown method");
+}
+
 void register_standard_passes(PassRegistry& registry) {
   registry.register_pass("sweep",
                          [] { return std::make_unique<SweepPass>(); });
@@ -168,6 +277,8 @@ void register_standard_passes(PassRegistry& registry) {
   registry.register_pass("map", [] { return std::make_unique<MapPass>(); });
   registry.register_pass("retime",
                          [] { return std::make_unique<RetimePass>(); });
+  registry.register_pass("verify",
+                         [] { return std::make_unique<VerifyPass>(); });
 }
 
 }  // namespace mcrt

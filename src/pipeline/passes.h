@@ -114,6 +114,39 @@ class RetimePass final : public Pass {
   std::int64_t default_lut_delay_ = 10;
 };
 
+/// In-flow verification: checks the current netlist against the flow-input
+/// snapshot (context.reference). Methods, selectable by flag:
+///
+///   verify                        simulation spot check (default)
+///   verify(bmc,depth=8,x-ok)      exhaustive ternary BMC to a bounded depth;
+///                                 x-ok treats X-refinement as benign (the
+///                                 forward-EN caveat)
+///   verify(formal)                BDD reachability equivalence
+///   verify(cycles=64,runs=8)      simulation effort knobs
+///
+/// Budget trips (BDD node cap, BMC step cap) degrade gracefully: the pass
+/// succeeds with a "retimed-but-unverified" summary, a warning diagnostic
+/// and metric verify.unverified=1 instead of failing the flow. A proven
+/// mismatch always fails the flow.
+class VerifyPass final : public Pass {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "verify"; }
+  [[nodiscard]] std::string_view description() const override {
+    return "check the current netlist against the flow input";
+  }
+  [[nodiscard]] bool needs_reference() const override { return true; }
+  bool configure(const PassArgs& args, std::string* error) override;
+  PassResult run(FlowContext& context) override;
+
+ private:
+  enum class Method { kSim, kBmc, kFormal };
+  Method method_ = Method::kSim;
+  std::size_t depth_ = 8;        ///< BMC unroll depth
+  bool x_refinement_ok_ = false;
+  std::size_t cycles_ = 64;      ///< simulation cycles per run
+  std::size_t runs_ = 8;         ///< simulation runs
+};
+
 /// Registers every pass above under its script name.
 void register_standard_passes(PassRegistry& registry);
 

@@ -10,7 +10,8 @@ namespace mcrt {
 
 MinAreaResult minarea_retime(
     const RetimeGraph& graph, std::int64_t phi,
-    const std::vector<DifferenceConstraint>* cached_period_constraints) {
+    const std::vector<DifferenceConstraint>* cached_period_constraints,
+    const CancelToken* cancel) {
   MinAreaResult result;
   const std::size_t n = graph.vertex_count();
   const Digraph& g = graph.digraph();
@@ -56,6 +57,7 @@ MinAreaResult minarea_retime(
   // Build the dual transshipment problem: constraint (u - v <= b) is an arc
   // u -> v with cost b; node net inflow requirement = cost coefficient.
   MinCostFlow flow(variable_count);
+  flow.set_cancel(cancel);
   for (const auto& c : constraints) {
     if (c.u == c.v) {
       if (c.bound < 0) return result;  // unsatisfiable marker constraint

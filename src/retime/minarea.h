@@ -15,6 +15,7 @@
 // module; retiming labels are read off the optimal potentials.
 #pragma once
 
+#include "base/cancel.h"
 #include "retime/retime_graph.h"
 
 namespace mcrt {
@@ -34,9 +35,12 @@ struct MinAreaResult {
 /// generate_period_constraints(graph, phi, ...) to avoid recomputing the
 /// all-pairs paths when solving repeatedly at the same period (the
 /// justification-failure retry loop of mc-retiming does this).
+/// `cancel` (may be null) is polled by the underlying min-cost-flow solve;
+/// a stop request unwinds with CancelledError.
 MinAreaResult minarea_retime(
     const RetimeGraph& graph, std::int64_t phi,
     const std::vector<struct DifferenceConstraint>*
-        cached_period_constraints = nullptr);
+        cached_period_constraints = nullptr,
+    const CancelToken* cancel = nullptr);
 
 }  // namespace mcrt

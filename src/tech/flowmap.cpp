@@ -80,6 +80,7 @@ class FlowMapper {
     const auto order = input_.combinational_order();
     if (!order) throw std::invalid_argument("flowmap: cyclic netlist");
     for (const NodeId id : *order) {
+      poll_cancel(options_.cancel);
       const Node& node = input_.node(id);
       if (node.kind != NodeKind::kLut || node.fanins.empty()) continue;
       compute_label(node.output);

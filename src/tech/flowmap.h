@@ -14,6 +14,7 @@
 
 #include <cstdint>
 
+#include "base/cancel.h"
 #include "netlist/netlist.h"
 
 namespace mcrt {
@@ -27,6 +28,9 @@ struct FlowMapOptions {
   /// the mapping depth; helps on duplication-heavy cones, can fragment
   /// otherwise - off by default, measure per design.
   bool area_recovery = false;
+  /// Cooperative cancellation: polled once per labeled node (each label is
+  /// one small max-flow); a stop request unwinds with CancelledError.
+  const CancelToken* cancel = nullptr;
 };
 
 struct FlowMapResult {

@@ -180,6 +180,8 @@ FormalResult check_formal_equivalence(const Netlist& a, const Netlist& b,
   // --- variable layout --------------------------------------------------
   // [0, S): current state (A then B); [S, 2S): next state; [2S, ...): inputs.
   BddManager bdd;
+  bdd.set_node_limit(options.max_bdd_nodes);
+  bdd.set_cancel(options.cancel);
   const auto s_total = static_cast<std::uint32_t>(state_bits);
   std::unordered_map<std::string, BddRef> input_vars;
   std::vector<std::string> reset_like;
@@ -257,6 +259,7 @@ FormalResult check_formal_equivalence(const Netlist& a, const Netlist& b,
     }
     // Fixpoint with run-phase inputs (resets deasserted).
     for (std::size_t iter = 0; iter < options.max_iterations; ++iter) {
+      poll_cancel(options.cancel);
       const BddRef bad =
           bdd.bdd_and(bdd.bdd_and(reachable, run_constraint), mismatch);
       if (bad != BddManager::kFalse) {
@@ -278,6 +281,9 @@ FormalResult check_formal_equivalence(const Netlist& a, const Netlist& b,
     return result;
   } catch (const std::domain_error& e) {
     result.detail = e.what();
+    return result;
+  } catch (const ResourceLimitError& limit) {
+    result.detail = limit.what();
     return result;
   }
 }

@@ -30,6 +30,7 @@
 #include <string>
 #include <vector>
 
+#include "base/cancel.h"
 #include "netlist/netlist.h"
 
 namespace mcrt {
@@ -44,6 +45,12 @@ struct FormalOptions {
   std::size_t max_state_bits = 24;
   /// Safety cap on reachability iterations (diameter bound).
   std::size_t max_iterations = 256;
+  /// Give up (Verdict::kUnsupported) once the BDD manager exceeds this many
+  /// nodes (0 = unlimited).
+  std::size_t max_bdd_nodes = 0;
+  /// Polled during image computation; a stop request unwinds with
+  /// CancelledError (never converted to a verdict).
+  const CancelToken* cancel = nullptr;
 };
 
 struct FormalResult {

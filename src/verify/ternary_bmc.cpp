@@ -204,40 +204,54 @@ TernaryBmcResult check_ternary_bmc(const Netlist& original,
   }
 
   BddManager bdd;
+  bdd.set_node_limit(options.max_bdd_nodes);
+  bdd.set_cancel(options.cancel);
   RailEvaluator eval_a(original, bdd);
   RailEvaluator eval_b(transformed, bdd);
 
   std::vector<Rail> state_a(original.register_count(), unknown());
   std::vector<Rail> state_b(transformed.register_count(), unknown());
   std::uint32_t next_var = 0;
-  for (std::size_t cycle = 0; cycle < options.depth; ++cycle) {
-    // Fresh symbolic (binary) input per cycle, shared by both circuits.
-    std::unordered_map<std::string, Rail> inputs;
-    for (const auto& [name, mask] : input_names) {
-      const BddRef v = bdd.var(next_var++);
-      inputs.emplace(name, Rail{v, bdd.bdd_not(v)});
-    }
-    eval_a.settle(state_a, inputs);
-    eval_b.settle(state_b, inputs);
-    for (const auto& [ia, ib] : output_pairs) {
-      const Rail a =
-          eval_a.net(original.node(original.outputs()[ia]).fanins[0]);
-      const Rail b = eval_b.net(
-          transformed.node(transformed.outputs()[ib]).fanins[0]);
-      // Contract violation: A defined but B not equal (or undefined).
-      const BddRef bad = bdd.bdd_or(bdd.bdd_and(a.hi, bdd.bdd_not(b.hi)),
-                                    bdd.bdd_and(a.lo, bdd.bdd_not(b.lo)));
-      if (bad != BddManager::kFalse) {
-        result.verdict = TernaryBmcResult::Verdict::kMismatch;
-        result.mismatch_cycle = cycle;
-        result.detail = str_format(
-            "output %s distinguishable at cycle %zu",
-            original.node(original.outputs()[ia]).name.c_str(), cycle);
-        return result;
+  try {
+    for (std::size_t cycle = 0; cycle < options.depth; ++cycle) {
+      poll_cancel(options.cancel);
+      // Fresh symbolic (binary) input per cycle, shared by both circuits.
+      std::unordered_map<std::string, Rail> inputs;
+      for (const auto& [name, mask] : input_names) {
+        const BddRef v = bdd.var(next_var++);
+        inputs.emplace(name, Rail{v, bdd.bdd_not(v)});
       }
+      eval_a.settle(state_a, inputs);
+      eval_b.settle(state_b, inputs);
+      for (const auto& [ia, ib] : output_pairs) {
+        const Rail a =
+            eval_a.net(original.node(original.outputs()[ia]).fanins[0]);
+        const Rail b = eval_b.net(
+            transformed.node(transformed.outputs()[ib]).fanins[0]);
+        // Contract violation. Strict: A defined but B not equal (or
+        // undefined). With x_refinement_ok, only "both defined and opposite"
+        // counts — B refining A's X into a defined value is benign.
+        const BddRef bad =
+            options.x_refinement_ok
+                ? bdd.bdd_or(bdd.bdd_and(a.hi, b.lo), bdd.bdd_and(a.lo, b.hi))
+                : bdd.bdd_or(bdd.bdd_and(a.hi, bdd.bdd_not(b.hi)),
+                             bdd.bdd_and(a.lo, bdd.bdd_not(b.lo)));
+        if (bad != BddManager::kFalse) {
+          result.verdict = TernaryBmcResult::Verdict::kMismatch;
+          result.mismatch_cycle = cycle;
+          result.detail = str_format(
+              "output %s distinguishable at cycle %zu",
+              original.node(original.outputs()[ia]).name.c_str(), cycle);
+          return result;
+        }
+      }
+      state_a = eval_a.clock(state_a);
+      state_b = eval_b.clock(state_b);
     }
-    state_a = eval_a.clock(state_a);
-    state_b = eval_b.clock(state_b);
+  } catch (const ResourceLimitError& limit) {
+    result.verdict = TernaryBmcResult::Verdict::kResourceLimit;
+    result.detail = limit.what();
+    return result;
   }
   result.verdict = TernaryBmcResult::Verdict::kEquivalentUpToDepth;
   result.detail = str_format("no distinguishing sequence within %zu cycles",

@@ -23,6 +23,7 @@
 #include <cstdint>
 #include <string>
 
+#include "base/cancel.h"
 #include "netlist/netlist.h"
 
 namespace mcrt {
@@ -30,6 +31,19 @@ namespace mcrt {
 struct TernaryBmcOptions {
   std::size_t depth = 8;           ///< cycles to unroll
   std::size_t max_input_vars = 96; ///< refuse beyond this many BDD vars
+  /// Treat "original is X, transformed is defined" as benign. Forward
+  /// retiming across a load-enable register legitimately *refines* X into a
+  /// defined value (the retimed logic computes AND(X, 0) = 0 where the
+  /// original register still holds X), so forward-EN verification should set
+  /// this. A mismatch is then only "both defined and opposite". The strict
+  /// default also rejects defined-vs-X refinements.
+  bool x_refinement_ok = false;
+  /// Abort with Verdict::kResourceLimit once the BDD manager exceeds this
+  /// many nodes (0 = unlimited).
+  std::size_t max_bdd_nodes = 0;
+  /// Polled during symbolic evaluation; a stop request unwinds with
+  /// CancelledError (never converted to a verdict).
+  const CancelToken* cancel = nullptr;
 };
 
 struct TernaryBmcResult {
@@ -37,6 +51,7 @@ struct TernaryBmcResult {
     kEquivalentUpToDepth,  ///< no distinguishing sequence within the bound
     kMismatch,             ///< witness sequence exists
     kUnsupported,
+    kResourceLimit,        ///< BDD node budget exhausted before the bound
   };
   Verdict verdict = Verdict::kUnsupported;
   std::string detail;

@@ -1,0 +1,192 @@
+// CancelToken semantics (explicit cancel, deadlines, parent chaining),
+// the null-tolerant polling helpers, resource budgets and the
+// deterministic FaultInjector.
+#include "base/cancel.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+#include <thread>
+
+#include "base/fault_injector.h"
+
+namespace mcrt {
+namespace {
+
+TEST(CancelTokenTest, FreshTokenIsNotStopped) {
+  CancelToken token;
+  EXPECT_EQ(token.stop_requested(), StopReason::kNone);
+  EXPECT_FALSE(token.stopped());
+  EXPECT_NO_THROW(token.check());
+}
+
+TEST(CancelTokenTest, RequestCancelStops) {
+  CancelToken token;
+  token.request_cancel();
+  EXPECT_EQ(token.stop_requested(), StopReason::kCancelled);
+  try {
+    token.check();
+    FAIL() << "check() must throw after request_cancel()";
+  } catch (const CancelledError& e) {
+    EXPECT_EQ(e.reason(), StopReason::kCancelled);
+  }
+}
+
+TEST(CancelTokenTest, PastDeadlineIsTimeout) {
+  CancelToken token;
+  token.set_deadline(std::chrono::steady_clock::now() -
+                     std::chrono::milliseconds(1));
+  EXPECT_EQ(token.stop_requested(), StopReason::kTimeout);
+}
+
+TEST(CancelTokenTest, FutureDeadlineDoesNotStopYet) {
+  CancelToken token;
+  token.set_timeout(3600.0);
+  EXPECT_EQ(token.stop_requested(), StopReason::kNone);
+}
+
+TEST(CancelTokenTest, NonPositiveTimeoutDisarms) {
+  CancelToken token;
+  token.set_deadline(std::chrono::steady_clock::now() -
+                     std::chrono::milliseconds(1));
+  ASSERT_EQ(token.stop_requested(), StopReason::kTimeout);
+  token.set_timeout(0);
+  EXPECT_EQ(token.stop_requested(), StopReason::kNone);
+}
+
+TEST(CancelTokenTest, TimeoutElapses) {
+  CancelToken token;
+  token.set_timeout(0.01);
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  EXPECT_EQ(token.stop_requested(), StopReason::kTimeout);
+}
+
+TEST(CancelTokenTest, ExplicitCancelWinsOverDeadline) {
+  CancelToken token;
+  token.set_deadline(std::chrono::steady_clock::now() -
+                     std::chrono::milliseconds(1));
+  token.request_cancel();
+  EXPECT_EQ(token.stop_requested(), StopReason::kCancelled);
+}
+
+TEST(CancelTokenTest, ChildObservesParentCancel) {
+  CancelToken parent;
+  CancelToken child(&parent);
+  EXPECT_EQ(child.stop_requested(), StopReason::kNone);
+  parent.request_cancel();
+  EXPECT_EQ(child.stop_requested(), StopReason::kCancelled);
+}
+
+TEST(CancelTokenTest, ChildDeadlineDoesNotLeakToParent) {
+  CancelToken parent;
+  CancelToken child(&parent);
+  child.set_deadline(std::chrono::steady_clock::now() -
+                     std::chrono::milliseconds(1));
+  EXPECT_EQ(child.stop_requested(), StopReason::kTimeout);
+  EXPECT_EQ(parent.stop_requested(), StopReason::kNone);
+}
+
+TEST(CancelTokenTest, OwnStateWinsOverParent) {
+  // The per-job deadline fires; the batch token is untouched — the poll
+  // must report the job's own (timeout) reason.
+  CancelToken parent;
+  CancelToken child(&parent);
+  child.set_deadline(std::chrono::steady_clock::now() -
+                     std::chrono::milliseconds(1));
+  parent.request_cancel();
+  EXPECT_EQ(child.stop_requested(), StopReason::kTimeout);
+}
+
+TEST(CancelTokenTest, NullHelpersAreNoOps) {
+  EXPECT_EQ(cancel_requested(nullptr), StopReason::kNone);
+  EXPECT_NO_THROW(poll_cancel(nullptr));
+  CancelToken token;
+  token.request_cancel();
+  EXPECT_EQ(cancel_requested(&token), StopReason::kCancelled);
+  EXPECT_THROW(poll_cancel(&token), CancelledError);
+}
+
+TEST(ResourceBudgetsTest, DefaultsAreUnlimited) {
+  const ResourceBudgets budgets;
+  EXPECT_EQ(budgets.bdd_node_cap, 0u);
+  EXPECT_EQ(budgets.bmc_step_cap, 0u);
+  EXPECT_EQ(budgets.max_rss_bytes, 0u);
+}
+
+TEST(ResourceBudgetsTest, CurrentRssIsPlausible) {
+  const std::size_t rss = current_rss_bytes();
+  // On Linux /proc is available; a running test binary surely holds at
+  // least a megabyte and less than a terabyte.
+  EXPECT_GT(rss, std::size_t{1} << 20);
+  EXPECT_LT(rss, std::size_t{1} << 40);
+}
+
+// --- FaultInjector ---------------------------------------------------------
+
+TEST(FaultInjectorTest, EmptyInjectorDoesNothing) {
+  FaultInjector faults;
+  EXPECT_TRUE(faults.empty());
+  EXPECT_EQ(faults.fire("pass:retime"), FaultInjector::Action::kNone);
+  EXPECT_FALSE(faults.inject("pass:retime", nullptr));
+}
+
+TEST(FaultInjectorTest, ParsesActionsAndRejectsGarbage) {
+  FaultInjector faults;
+  std::string error;
+  EXPECT_TRUE(faults.configure("pass:a=throw; job:b=fail, write:c=stall",
+                               &error))
+      << error;
+  EXPECT_FALSE(faults.empty());
+  EXPECT_EQ(faults.fire("pass:a"), FaultInjector::Action::kThrow);
+  EXPECT_EQ(faults.fire("job:b"), FaultInjector::Action::kFail);
+  EXPECT_EQ(faults.fire("write:c"), FaultInjector::Action::kStall);
+  EXPECT_EQ(faults.fire("unrelated"), FaultInjector::Action::kNone);
+
+  EXPECT_FALSE(faults.configure("pass:a=explode", &error));
+  EXPECT_FALSE(error.empty());
+  EXPECT_FALSE(faults.configure("justasite", &error));
+  EXPECT_FALSE(faults.configure("pass:a=fail@notanumber", &error));
+}
+
+TEST(FaultInjectorTest, HitCountSelectsOneInvocation) {
+  FaultInjector faults;
+  std::string error;
+  ASSERT_TRUE(faults.configure("job:x=fail@3", &error)) << error;
+  EXPECT_EQ(faults.fire("job:x"), FaultInjector::Action::kNone);  // hit 1
+  EXPECT_EQ(faults.fire("job:x"), FaultInjector::Action::kNone);  // hit 2
+  EXPECT_EQ(faults.fire("job:x"), FaultInjector::Action::kFail);  // hit 3
+  EXPECT_EQ(faults.fire("job:x"), FaultInjector::Action::kNone);  // hit 4
+}
+
+TEST(FaultInjectorTest, PrefixWildcardMatches) {
+  FaultInjector faults;
+  std::string error;
+  ASSERT_TRUE(faults.configure("write:*=fail", &error)) << error;
+  EXPECT_EQ(faults.fire("write:a.blif"), FaultInjector::Action::kFail);
+  EXPECT_EQ(faults.fire("write:b.blif"), FaultInjector::Action::kFail);
+  EXPECT_EQ(faults.fire("pass:a"), FaultInjector::Action::kNone);
+}
+
+TEST(FaultInjectorTest, InjectThrowsAndFails) {
+  FaultInjector faults;
+  std::string error;
+  ASSERT_TRUE(faults.configure("a=throw; b=fail", &error)) << error;
+  EXPECT_THROW(faults.inject("a", nullptr), FaultInjectedError);
+  EXPECT_TRUE(faults.inject("b", nullptr));
+  EXPECT_FALSE(faults.inject("c", nullptr));
+}
+
+TEST(FaultInjectorTest, StallEndsWhenCancelled) {
+  FaultInjector faults;
+  std::string error;
+  ASSERT_TRUE(faults.configure("slow=stall", &error)) << error;
+  CancelToken cancel;
+  cancel.set_timeout(0.05);
+  // The stall naps until the token stops; inject() then throws the
+  // token's CancelledError out of the "pass".
+  EXPECT_THROW(faults.inject("slow", &cancel), CancelledError);
+}
+
+}  // namespace
+}  // namespace mcrt

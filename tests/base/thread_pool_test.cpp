@@ -91,6 +91,27 @@ TEST(ThreadPoolTest, DestructorDrainsOutstandingWork) {
   EXPECT_EQ(count.load(), 50);
 }
 
+TEST(ThreadPoolTest, DestructorDrainsNestedSubmissions) {
+  // Regression: tasks submitted *by draining tasks* after stop was
+  // requested must still be accounted and run before the workers exit.
+  // The old shutdown ordering pushed the task before bumping the queued
+  // count, so a worker could observe "stopping && queue empty" and exit
+  // with work in flight.
+  std::atomic<int> count{0};
+  for (int round = 0; round < 20; ++round) {
+    {
+      ThreadPool pool(2);
+      for (int i = 0; i < 8; ++i) {
+        pool.submit([&pool, &count] {
+          std::this_thread::sleep_for(std::chrono::microseconds(50));
+          for (int j = 0; j < 4; ++j) pool.submit([&count] { ++count; });
+        });
+      }
+    }  // ~ThreadPool must wait for the nested tasks too
+  }
+  EXPECT_EQ(count.load(), 20 * 8 * 4);
+}
+
 TEST(ThreadPoolTest, DefaultWorkerCountIsPositive) {
   EXPECT_GE(ThreadPool::default_worker_count(), 1u);
 }

@@ -1,0 +1,142 @@
+// Table-driven hardening test: every class of malformed BLIF input must
+// surface as a BlifError (or, for inputs that parse but describe a broken
+// circuit, as Netlist::validate() problems) — never as a crash or a
+// silently-wrong netlist.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "blif/blif.h"
+
+namespace mcrt {
+namespace {
+
+struct MalformedCase {
+  const char* label;
+  const char* text;
+  /// Substring expected in the BlifError message.
+  const char* message_part;
+};
+
+TEST(BlifMalformedTest, RejectsWithDiagnostic) {
+  const std::vector<MalformedCase> cases = {
+      // --- truncation ----------------------------------------------------
+      {"truncated mid-continuation",
+       ".inputs a b\n.outputs y\n.names a b \\", "line continuation"},
+      {"truncated .names header", ".names", ".names needs an output"},
+      {"truncated .latch", ".latch d", ".latch needs input and output"},
+      {"truncated .mclatch", ".mclatch d q", ".mclatch needs D, Q, clk="},
+      {".latch type without control", ".latch d q re", "needs a control net"},
+      // --- duplicate drivers ---------------------------------------------
+      {"duplicate .names outputs",
+       ".inputs a b\n.outputs y\n.names a y\n1 1\n.names b y\n1 1\n.end\n",
+       "multiple drivers"},
+      {"latch Q redefined as .names output",
+       ".inputs a d\n.outputs q\n.latch d q 2\n.names a q\n1 1\n.end\n",
+       "multiple drivers"},
+      {"duplicate latch Q",
+       ".inputs a b\n.outputs q\n.latch a q 2\n.latch b q 2\n.end\n",
+       "multiple drivers"},
+      {"declared input is driven",
+       ".inputs a\n.outputs a\n.names a\n1\n.end\n", "also driven"},
+      // --- oversized / malformed covers ----------------------------------
+      {"oversized .names",
+       ".inputs a b c d e f g\n.outputs y\n.names a b c d e f g y\n"
+       "1111111 1\n.end\n",
+       ".names with 7 inputs"},
+      {"cover row arity mismatch",
+       ".inputs a b\n.outputs y\n.names a b y\n111 1\n.end\n",
+       "arity mismatch"},
+      {"bad cover character",
+       ".inputs a b\n.outputs y\n.names a b y\n1x 1\n.end\n",
+       "bad cover character"},
+      {"bad cover output",
+       ".inputs a b\n.outputs y\n.names a b y\n11 2\n.end\n",
+       "cover output must be 0 or 1"},
+      {"mixed-polarity cover",
+       ".inputs a b\n.outputs y\n.names a b y\n11 1\n00 0\n.end\n",
+       "mixed-polarity"},
+      {"cover row with no .names", "11 1\n", "cover row outside .names"},
+      {"malformed cover row",
+       ".inputs a b\n.outputs y\n.names a b y\n1 1 1\n.end\n",
+       "malformed cover row"},
+      // --- latches --------------------------------------------------------
+      {"bad .latch init", ".inputs d\n.outputs q\n.latch d q 7\n.end\n",
+       "bad .latch init value"},
+      {"trailing .latch tokens",
+       ".inputs d\n.outputs q\n.latch d q re clk 2 junk\n.end\n",
+       "trailing tokens"},
+      {"malformed .mclatch attribute",
+       ".inputs d\n.outputs q\n.mclatch d q clk\n.end\n",
+       "malformed .mclatch attribute"},
+      {".mclatch without clk",
+       ".inputs d e\n.outputs q\n.mclatch d q en=e\n.end\n",
+       ".mclatch requires clk="},
+      {"bad .mclatch reset value",
+       ".inputs d c\n.outputs q\n.mclatch d q clk=c sync=c:x\n.end\n",
+       "bad reset value"},
+      {"unknown .mclatch attribute",
+       ".inputs d c\n.outputs q\n.mclatch d q clk=c foo=c\n.end\n",
+       "unknown .mclatch attribute"},
+      // --- dangling references -------------------------------------------
+      {"undefined output", ".inputs a\n.outputs y\n.end\n", "never defined"},
+      {"unsupported construct",
+       ".inputs a\n.outputs y\n.subckt sub a=a y=y\n.end\n",
+       "unsupported BLIF construct"},
+  };
+  for (const MalformedCase& c : cases) {
+    SCOPED_TRACE(c.label);
+    auto result = read_blif_string(c.text);
+    ASSERT_TRUE(std::holds_alternative<BlifError>(result))
+        << "expected a parse error, got a netlist";
+    const BlifError& err = std::get<BlifError>(result);
+    EXPECT_NE(err.message.find(c.message_part), std::string::npos)
+        << "message was: " << err.message;
+  }
+}
+
+// Inputs that parse but describe circuits the rest of the stack must not
+// choke on: the reader hands them over, validate() names the problem.
+TEST(BlifMalformedTest, CombinationalCycleFlaggedByValidate) {
+  auto result = read_blif_string(
+      ".inputs a\n.outputs y\n"
+      ".names a y x\n11 1\n.names a x y\n11 1\n.end\n");
+  ASSERT_TRUE(std::holds_alternative<Netlist>(result));
+  const Netlist& netlist = std::get<Netlist>(result);
+  const std::vector<std::string> problems = netlist.validate();
+  bool cycle = false;
+  for (const std::string& p : problems) {
+    if (p.find("cycle") != std::string::npos) cycle = true;
+  }
+  EXPECT_TRUE(cycle) << "validate() did not flag the combinational cycle";
+}
+
+TEST(BlifMalformedTest, CyclicLatchesAreLegal) {
+  // Two registers in a ring are sequentially fine — the reader must accept
+  // them and the netlist must validate (no combinational cycle).
+  auto result = read_blif_string(
+      ".inputs\n.outputs q\n.latch p q 2\n.latch q p 2\n.end\n");
+  ASSERT_TRUE(std::holds_alternative<Netlist>(result));
+  EXPECT_TRUE(std::get<Netlist>(result).validate().empty());
+}
+
+TEST(BlifMalformedTest, EmptyAndCommentOnlyFiles) {
+  // Degenerate but syntactically fine: empty netlist, no crash.
+  for (const char* text : {"", "# just a comment\n", "\n\n\n", ".end\n"}) {
+    SCOPED_TRACE(text);
+    auto result = read_blif_string(text);
+    EXPECT_TRUE(std::holds_alternative<Netlist>(result));
+  }
+}
+
+TEST(BlifMalformedTest, MissingFileIsDiagnosed) {
+  auto result = read_blif_file("/nonexistent/path/to/circuit.blif");
+  ASSERT_TRUE(std::holds_alternative<BlifError>(result));
+  EXPECT_NE(std::get<BlifError>(result).message.find("cannot open"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace mcrt

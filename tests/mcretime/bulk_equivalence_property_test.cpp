@@ -92,21 +92,22 @@ TEST(BulkEquivalencePropertyTest, TernaryBmcOnBddSizedCircuits) {
     // Known ternary caveat (not a bulk-engine property): a load-enable
     // register moved *forward* starts as X, so with EN held low the
     // retimed circuit holds X where the original computed a defined value
-    // from its own X registers (e.g. AND(X,0) = 0). The exact BMC counts
+    // from its own X registers (e.g. AND(X,0) = 0). The strict BMC counts
     // defined-vs-X as a mismatch; the retiming contract from any concrete
-    // initial state still holds. Accept the mismatch only for circuits
-    // that use enables, and only if a heavy random-stimulus check of the
-    // contract passes — anything else is a real retiming bug.
+    // initial state still holds. For circuits with enables re-check in
+    // x_refinement_ok mode, which treats lost definedness as benign but
+    // still proves — exhaustively up to the depth — that no two *defined*
+    // outputs ever disagree. Anything else is a real retiming bug.
     EXPECT_GT(pair.before.stats().with_en, 0u)
         << pair.name << ": BMC mismatch without enables: " << result.detail
         << " (cycle " << result.mismatch_cycle << ")";
-    EquivalenceOptions heavy;
-    heavy.runs = 16;
-    heavy.cycles = 64;
-    const EquivalenceResult sim =
-        check_sequential_equivalence(pair.before, pair.after, heavy);
-    EXPECT_TRUE(sim.equivalent)
-        << pair.name << ": " << sim.counterexample;
+    TernaryBmcOptions relaxed = options;
+    relaxed.x_refinement_ok = true;
+    const TernaryBmcResult rel =
+        check_ternary_bmc(pair.before, pair.after, relaxed);
+    EXPECT_EQ(rel.verdict, TernaryBmcResult::Verdict::kEquivalentUpToDepth)
+        << pair.name << ": defined outputs disagree: " << rel.detail
+        << " (cycle " << rel.mismatch_cycle << ")";
   }
   // The corpus is sized so a fair share of circuits is BMC-checkable and
   // most are exactly equivalent (the EN caveat is the exception).

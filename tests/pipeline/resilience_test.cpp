@@ -1,0 +1,515 @@
+// Resilient execution, end to end: per-job deadlines against injected
+// stalls (every job accounted exactly once), pass-failure rollback
+// (sim-equivalent netlist + diagnostics), checkpoint/resume with
+// byte-identical canonical reports, transient-failure retries, and
+// fault-injection isolation.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "../common/test_circuits.h"
+#include "base/cancel.h"
+#include "base/fault_injector.h"
+#include "pipeline/bulk_runner.h"
+#include "pipeline/checkpoint.h"
+#include "pipeline/flow_context.h"
+#include "pipeline/pass_manager.h"
+#include "pipeline/passes.h"
+#include "sim/equivalence.h"
+
+namespace mcrt {
+namespace {
+
+namespace fs = std::filesystem;
+
+fs::path fresh_dir(const std::string& name) {
+  const fs::path dir = fs::path(::testing::TempDir()) / name;
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+std::vector<BulkJob> small_batch() {
+  std::vector<BulkJob> jobs;
+  jobs.push_back(make_netlist_job("a", testing::chain_circuit(4, 2, 10)));
+  jobs.push_back(make_netlist_job("b", testing::fig1_circuit()));
+  jobs.push_back(make_netlist_job("c", testing::chain_circuit(3, 1, 10)));
+  jobs.push_back(make_netlist_job("d", testing::chain_circuit(5, 2, 10)));
+  return jobs;
+}
+
+// --- acceptance: stalled job times out, the rest of the batch completes ---
+
+TEST(ResilienceTest, StalledJobTimesOutOthersSucceed) {
+  FaultInjector faults;
+  std::string error;
+  ASSERT_TRUE(faults.configure("job:b=stall", &error)) << error;
+
+  BulkOptions options;
+  options.jobs = 2;
+  options.timeout_seconds = 0.2;
+  options.faults = &faults;
+  BulkRunner runner("sweep", options);
+  const BulkReport report = runner.run(small_batch());
+
+  // Every job accounted exactly once, in input order.
+  ASSERT_EQ(report.results.size(), 4u);
+  const std::vector<std::string> names = {"a", "b", "c", "d"};
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    EXPECT_EQ(report.results[i].name, names[i]);
+  }
+  EXPECT_EQ(report.results[1].status, JobStatus::kTimeout);
+  EXPECT_FALSE(report.results[1].success);
+  for (const std::size_t i : {0u, 2u, 3u}) {
+    EXPECT_EQ(report.results[i].status, JobStatus::kOk) << i;
+    EXPECT_TRUE(report.results[i].success) << i;
+  }
+  EXPECT_EQ(report.succeeded(), 3u);
+  EXPECT_EQ(report.failed(), 1u);
+}
+
+TEST(ResilienceTest, StalledPassTimesOutInsidePassManager) {
+  FaultInjector faults;
+  std::string error;
+  ASSERT_TRUE(faults.configure("pass:strash=stall", &error)) << error;
+
+  CancelToken cancel;
+  cancel.set_timeout(0.05);
+  CollectingDiagnostics diag;
+  FlowContext context(testing::chain_circuit(4, 2), &diag);
+  context.cancel = &cancel;
+  context.faults = &faults;
+
+  PassManager manager;
+  manager.add(std::make_unique<SweepPass>());
+  manager.add(std::make_unique<StrashPass>());
+  const FlowResult result = manager.run(context);
+  EXPECT_FALSE(result.success);
+  EXPECT_EQ(result.status, FlowStatus::kTimeout);
+  // sweep ran; strash stalled and was recorded as the stopping pass.
+  ASSERT_EQ(result.executed.size(), 2u);
+  EXPECT_TRUE(result.executed[0].success);
+  EXPECT_FALSE(result.executed[1].success);
+}
+
+TEST(ResilienceTest, BatchCancelReportsCancelled) {
+  CancelToken cancel;
+  cancel.request_cancel();  // cancelled before the batch even starts
+  BulkOptions options;
+  options.jobs = 2;
+  options.cancel = &cancel;
+  BulkRunner runner("sweep", options);
+  const BulkReport report = runner.run(small_batch());
+  ASSERT_EQ(report.results.size(), 4u);
+  for (const BulkJobResult& r : report.results) {
+    EXPECT_EQ(r.status, JobStatus::kCancelled) << r.name;
+    EXPECT_FALSE(r.success);
+  }
+}
+
+// --- rollback --------------------------------------------------------------
+
+/// Mutates the netlist (breaking equivalence), then fails.
+class VandalPass final : public Pass {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "vandal"; }
+  [[nodiscard]] std::string_view description() const override {
+    return "scrambles the netlist, then fails";
+  }
+  PassResult run(FlowContext& context) override {
+    Netlist broken;  // maximally wrong: drop the whole circuit
+    broken.add_input("junk");
+    context.replace_netlist(std::move(broken));
+    return PassResult::fail("vandalism detected");
+  }
+};
+
+TEST(ResilienceTest, FailingPassRollsBackToPrePassSnapshot) {
+  const Netlist original = testing::fig1_circuit();
+  CollectingDiagnostics diag;
+  FlowContext context(original, &diag);
+  PassManager manager;  // rollback_on_failure defaults to true
+  manager.add(std::make_unique<SweepPass>());
+  manager.add(std::make_unique<VandalPass>());
+  const FlowResult result = manager.run(context);
+
+  EXPECT_FALSE(result.success);
+  EXPECT_EQ(result.status, FlowStatus::kFailed);
+  ASSERT_EQ(result.executed.size(), 2u);
+  EXPECT_TRUE(result.executed[1].rolled_back);
+
+  // The surviving netlist is the pre-vandal state: sim-equivalent to the
+  // input (sweep only removed dead logic).
+  const EquivalenceResult eq =
+      check_sequential_equivalence(original, context.netlist(), {});
+  EXPECT_TRUE(eq.equivalent) << eq.counterexample;
+
+  // The rollback left a diagnostic trail.
+  bool recorded = false;
+  for (const Diagnostic& d : diag.diagnostics()) {
+    if (d.message.find("rolled back") != std::string::npos) recorded = true;
+  }
+  EXPECT_TRUE(recorded);
+}
+
+TEST(ResilienceTest, RollbackDisabledKeepsMutatedNetlist) {
+  PassManagerOptions options;
+  options.rollback_on_failure = false;
+  options.check_invariants = false;
+  CollectingDiagnostics diag;
+  FlowContext context(testing::fig1_circuit(), &diag);
+  PassManager manager(options);
+  manager.add(std::make_unique<VandalPass>());
+  const FlowResult result = manager.run(context);
+  EXPECT_FALSE(result.success);
+  ASSERT_EQ(result.executed.size(), 1u);
+  EXPECT_FALSE(result.executed[0].rolled_back);
+  EXPECT_EQ(context.netlist().stats().inputs, 1u);  // the vandal's junk
+}
+
+TEST(ResilienceTest, ThrowingPassAlsoRollsBack) {
+  FaultInjector faults;
+  std::string error;
+  ASSERT_TRUE(faults.configure("pass:strash=throw", &error)) << error;
+  const Netlist original = testing::chain_circuit(4, 2);
+  CollectingDiagnostics diag;
+  FlowContext context(original, &diag);
+  context.faults = &faults;
+  PassManager manager;
+  manager.add(std::make_unique<StrashPass>());
+  const FlowResult result = manager.run(context);
+  EXPECT_FALSE(result.success);
+  EXPECT_EQ(result.status, FlowStatus::kFailed);
+  const EquivalenceResult eq =
+      check_sequential_equivalence(original, context.netlist(), {});
+  EXPECT_TRUE(eq.equivalent) << eq.counterexample;
+}
+
+// --- checkpoint/resume -----------------------------------------------------
+
+TEST(ResilienceTest, ManifestRecordRoundTrips) {
+  BulkJobResult result;
+  result.name = "tab\tand\nnewline";
+  result.status = JobStatus::kTimeout;
+  result.error = "strash: timeout";
+  result.input_path = "in/x.blif";
+  result.output_path = "out/x.blif";
+  result.before.luts = 7;
+  result.before.registers = 3;
+  result.period_before = 42;
+  result.after.luts = 5;
+  result.after.registers = 4;
+  result.period_after = 17;
+  result.seconds = 0.125;
+  PassExecution pass;
+  pass.name = "sweep";
+  pass.success = true;
+  pass.rolled_back = true;
+  pass.summary = "removed 2\tnodes";
+  pass.seconds = 0.0625;
+  result.executed.push_back(pass);
+
+  const std::string line = encode_manifest_record(result);
+  EXPECT_EQ(line.find('\n'), std::string::npos);
+  const auto decoded = decode_manifest_record(line);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->name, result.name);
+  EXPECT_EQ(decoded->status, JobStatus::kTimeout);
+  EXPECT_EQ(decoded->error, result.error);
+  EXPECT_EQ(decoded->before.luts, 7u);
+  EXPECT_EQ(decoded->period_after, 17);
+  EXPECT_EQ(decoded->seconds, 0.125);
+  ASSERT_EQ(decoded->executed.size(), 1u);
+  EXPECT_EQ(decoded->executed[0].name, "sweep");
+  EXPECT_TRUE(decoded->executed[0].rolled_back);
+  EXPECT_EQ(decoded->executed[0].summary, pass.summary);
+  EXPECT_TRUE(decoded->resumed);
+
+  // Truncated lines (mid-write kill) decode as malformed, never crash.
+  for (std::size_t cut = 0; cut < line.size(); cut += 7) {
+    (void)decode_manifest_record(line.substr(0, cut));
+  }
+  EXPECT_FALSE(decode_manifest_record("not a record").has_value());
+}
+
+TEST(ResilienceTest, ResumeSkipsCompletedJobsAndReportIsByteIdentical) {
+  const fs::path dir = fresh_dir("resilience_resume");
+  const std::string manifest = (dir / "manifest.txt").string();
+  const std::string script = "sweep; retime(minperiod,d=10)";
+
+  // Reference: one uninterrupted run, no manifest.
+  BulkOptions plain;
+  plain.jobs = 2;
+  const BulkReport full = BulkRunner(script, plain).run(small_batch());
+
+  // First run: journal to a manifest, with job "c" failing transiently
+  // (injected environment fault) — it must not be recorded as final.
+  FaultInjector faults;
+  std::string error;
+  ASSERT_TRUE(faults.configure("job:c=fail", &error)) << error;
+  BulkOptions first = plain;
+  first.manifest_path = manifest;
+  first.faults = &faults;
+  const BulkReport partial = BulkRunner(script, first).run(small_batch());
+  EXPECT_EQ(partial.results[2].status, JobStatus::kIoError);
+  EXPECT_EQ(partial.succeeded(), 3u);
+
+  // Resume: only "c" re-runs (now without the fault) and the merged
+  // canonical report matches the uninterrupted run byte for byte.
+  BulkOptions second = plain;
+  second.manifest_path = manifest;
+  second.resume = true;
+  const BulkReport resumed = BulkRunner(script, second).run(small_batch());
+  ASSERT_EQ(resumed.results.size(), 4u);
+  EXPECT_TRUE(resumed.results[0].resumed);
+  EXPECT_TRUE(resumed.results[1].resumed);
+  EXPECT_FALSE(resumed.results[2].resumed);  // re-ran after the transient
+  EXPECT_TRUE(resumed.results[3].resumed);
+  EXPECT_EQ(resumed.succeeded(), 4u);
+
+  BulkJsonOptions canonical;
+  canonical.canonical = true;
+  EXPECT_EQ(resumed.to_json(canonical), full.to_json(canonical));
+}
+
+TEST(ResilienceTest, ManifestScriptMismatchIsIgnored) {
+  const fs::path dir = fresh_dir("resilience_mismatch");
+  const std::string manifest = (dir / "manifest.txt").string();
+
+  BulkOptions first;
+  first.jobs = 1;
+  first.manifest_path = manifest;
+  (void)BulkRunner("sweep", first).run(small_batch());
+
+  // Same manifest, different script: nothing may be skipped.
+  CollectingDiagnostics sink;
+  BulkOptions second;
+  second.jobs = 1;
+  second.manifest_path = manifest;
+  second.resume = true;
+  second.sink = &sink;
+  const BulkReport report = BulkRunner("strash", second).run(small_batch());
+  for (const BulkJobResult& r : report.results) {
+    EXPECT_FALSE(r.resumed) << r.name;
+  }
+  bool warned = false;
+  for (const Diagnostic& d : sink.diagnostics()) {
+    if (d.message.find("manifest") != std::string::npos) warned = true;
+  }
+  EXPECT_TRUE(warned);
+}
+
+// --- retries ---------------------------------------------------------------
+
+TEST(ResilienceTest, TransientFaultIsRetriedUntilItClears) {
+  // The injected fault fires only on the site's first hit; with one retry
+  // the second attempt succeeds.
+  FaultInjector faults;
+  std::string error;
+  ASSERT_TRUE(faults.configure("job:a=fail@1", &error)) << error;
+  BulkOptions options;
+  options.jobs = 1;
+  options.faults = &faults;
+  options.max_retries = 1;
+  options.retry_backoff_seconds = 0.001;
+  const BulkReport report = BulkRunner("sweep", options).run(small_batch());
+  EXPECT_EQ(report.results[0].status, JobStatus::kOk);
+  EXPECT_EQ(report.succeeded(), 4u);
+}
+
+TEST(ResilienceTest, PersistentFaultExhaustsRetries) {
+  FaultInjector faults;
+  std::string error;
+  ASSERT_TRUE(faults.configure("job:a=fail", &error)) << error;
+  BulkOptions options;
+  options.jobs = 1;
+  options.faults = &faults;
+  options.max_retries = 2;
+  options.retry_backoff_seconds = 0.001;
+  const BulkReport report = BulkRunner("sweep", options).run(small_batch());
+  EXPECT_EQ(report.results[0].status, JobStatus::kIoError);
+  EXPECT_FALSE(report.results[0].success);
+  EXPECT_EQ(report.succeeded(), 3u);  // the rest of the batch is untouched
+}
+
+TEST(ResilienceTest, InjectedWriteFailureIsIoError) {
+  const fs::path dir = fresh_dir("resilience_write");
+  FaultInjector faults;
+  std::string error;
+  ASSERT_TRUE(faults.configure("write:a.blif=fail", &error)) << error;
+  std::vector<BulkJob> jobs;
+  BulkJob job = make_netlist_job("a", testing::chain_circuit(3, 1));
+  job.output_path = (dir / "a.blif").string();
+  jobs.push_back(std::move(job));
+  BulkOptions options;
+  options.jobs = 1;
+  options.faults = &faults;
+  const BulkReport report = BulkRunner("sweep", options).run(jobs);
+  EXPECT_EQ(report.results[0].status, JobStatus::kIoError);
+  EXPECT_FALSE(fs::exists(dir / "a.blif"));
+}
+
+// --- all-jobs-fail: report stays valid, exit contract holds ---------------
+
+/// Minimal recursive-descent JSON checker: enough to prove the report is
+/// well-formed even when every job failed.
+class JsonChecker {
+ public:
+  explicit JsonChecker(const std::string& text) : text_(text) {}
+  bool valid() {
+    skip_ws();
+    if (!value()) return false;
+    skip_ws();
+    return pos_ == text_.size();
+  }
+
+ private:
+  bool value() {
+    if (pos_ >= text_.size()) return false;
+    switch (text_[pos_]) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+  bool object() {
+    ++pos_;  // '{'
+    skip_ws();
+    if (peek() == '}') { ++pos_; return true; }
+    for (;;) {
+      skip_ws();
+      if (!string()) return false;
+      skip_ws();
+      if (peek() != ':') return false;
+      ++pos_;
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == '}') { ++pos_; return true; }
+      return false;
+    }
+  }
+  bool array() {
+    ++pos_;  // '['
+    skip_ws();
+    if (peek() == ']') { ++pos_; return true; }
+    for (;;) {
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == ']') { ++pos_; return true; }
+      return false;
+    }
+  }
+  bool string() {
+    if (peek() != '"') return false;
+    for (++pos_; pos_ < text_.size(); ++pos_) {
+      if (text_[pos_] == '\\') { ++pos_; continue; }
+      if (text_[pos_] == '"') { ++pos_; return true; }
+    }
+    return false;
+  }
+  bool number() {
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+    }
+    return pos_ > start;
+  }
+  bool literal(std::string_view word) {
+    if (text_.compare(pos_, word.size(), word) != 0) return false;
+    pos_ += word.size();
+    return true;
+  }
+  char peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+TEST(ResilienceTest, AllJobsFailingStillYieldsValidCanonicalReport) {
+  FaultInjector faults;
+  std::string error;
+  ASSERT_TRUE(faults.configure("pass:sweep=throw", &error)) << error;
+  BulkOptions options;
+  options.jobs = 2;
+  options.faults = &faults;
+  const BulkReport report = BulkRunner("sweep", options).run(small_batch());
+  EXPECT_EQ(report.succeeded(), 0u);
+  EXPECT_EQ(report.failed(), report.results.size());
+  for (const BulkJobResult& r : report.results) {
+    EXPECT_EQ(r.status, JobStatus::kFailed) << r.name;
+    EXPECT_FALSE(r.error.empty()) << r.name;
+  }
+
+  BulkJsonOptions canonical;
+  canonical.canonical = true;
+  const std::string json = report.to_json(canonical);
+  EXPECT_TRUE(JsonChecker(json).valid()) << json;
+  EXPECT_NE(json.find("mcrt-bulk-report/2"), std::string::npos);
+  EXPECT_NE(json.find("\"status\": \"failed\""), std::string::npos);
+}
+
+// --- fault isolation -------------------------------------------------------
+
+TEST(ResilienceTest, FaultsInOneInjectorDoNotLeakIntoOthers) {
+  FaultInjector poisoned;
+  std::string error;
+  ASSERT_TRUE(poisoned.configure("pass:sweep=throw", &error)) << error;
+  FaultInjector clean;
+
+  BulkOptions bad;
+  bad.jobs = 1;
+  bad.faults = &poisoned;
+  BulkOptions good;
+  good.jobs = 1;
+  good.faults = &clean;
+  EXPECT_EQ(BulkRunner("sweep", bad).run(small_batch()).succeeded(), 0u);
+  EXPECT_EQ(BulkRunner("sweep", good).run(small_batch()).succeeded(), 4u);
+}
+
+// --- budgets ---------------------------------------------------------------
+
+TEST(ResilienceTest, BddBudgetDowngradesVerifyToUnverified) {
+  // A 1-node BDD cap makes BMC verification impossible; the verify pass
+  // degrades to "retimed-but-unverified" instead of failing the flow.
+  CollectingDiagnostics diag;
+  FlowContext context(testing::fig1_circuit(), &diag);
+  context.budgets.bdd_node_cap = 1;
+  PassManager manager;
+  const PassRegistry& registry = PassRegistry::standard();
+  auto verify = registry.create("verify");
+  ASSERT_NE(verify, nullptr);
+  PassArgs args;
+  args.set("bmc", "");
+  std::string error;
+  ASSERT_TRUE(verify->configure(args, &error)) << error;
+  manager.add(std::move(verify));
+  const FlowResult result = manager.run(context);
+  EXPECT_TRUE(result.success);  // degraded, not failed
+  ASSERT_EQ(result.executed.size(), 1u);
+  EXPECT_NE(result.executed[0].summary.find("unverified"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mcrt

@@ -1,0 +1,59 @@
+#!/bin/sh
+# Kill-and-resume smoke test for `mcrt bulk --manifest/--resume`.
+#
+# A batch is SIGKILLed mid-run (one job pinned in an injected infinite
+# stall so the kill always lands with work in flight), then resumed with
+# --resume. The acceptance bar: the resumed run completes every job and
+# its canonical JSON report is byte-identical to an uninterrupted run's.
+#
+# Usage: kill_resume_test.sh <mcrt-binary> <scratch-dir>
+set -eu
+
+MCRT=$1
+WORK=$2
+SCRIPT='sweep; retime(d=10)'
+
+rm -rf "$WORK"
+mkdir -p "$WORK"
+cd "$WORK"
+
+"$MCRT" corpus circuits --count 6 --seed 11 > /dev/null
+
+# Reference: one uninterrupted run.
+"$MCRT" bulk "$SCRIPT" --jobs 2 --canonical \
+  --out-dir out_ref --report ref.json circuits
+
+# Interrupted run: job r05 stalls forever; SIGKILL once the manifest
+# shows at least three finished jobs.
+rm -rf out_kill
+MCRT_FAULT_STALL='job:r05=stall' "$MCRT" bulk "$SCRIPT" --jobs 2 \
+  --manifest manifest.txt --out-dir out_kill circuits &
+PID=$!
+TRIES=0
+while :; do
+  DONE=$(grep -c '^job	' manifest.txt 2>/dev/null || true)
+  [ "${DONE:-0}" -ge 3 ] && break
+  TRIES=$((TRIES + 1))
+  if [ "$TRIES" -gt 200 ]; then
+    echo "error: batch never reached 3 completed jobs" >&2
+    kill -9 "$PID" 2>/dev/null || true
+    exit 1
+  fi
+  sleep 0.05
+done
+kill -9 "$PID"
+wait "$PID" 2>/dev/null || true
+
+# The stalled job must NOT be in the manifest (it never finished).
+if grep '^job	r05	' manifest.txt > /dev/null 2>&1; then
+  echo "error: stalled job r05 was journaled as finished" >&2
+  exit 1
+fi
+
+# Resume without the fault: only the missing jobs re-run.
+"$MCRT" bulk "$SCRIPT" --jobs 2 --canonical --resume \
+  --manifest manifest.txt --out-dir out_kill \
+  --report resumed.json circuits
+
+cmp ref.json resumed.json
+echo "kill-and-resume: canonical reports are byte-identical"

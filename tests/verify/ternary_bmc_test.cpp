@@ -94,6 +94,55 @@ TEST(TernaryBmcTest, XRefinementIsAccepted) {
   EXPECT_EQ(coarsen.verdict, Verdict::kMismatch);
 }
 
+TEST(TernaryBmcTest, XRefinementOkModeAcceptsLostDefinedness) {
+  // x_refinement_ok inverts the tolerance: the transformed circuit may be
+  // LESS defined than the original (forward-moved EN registers start X
+  // where the original computed a value); only two *defined* outputs that
+  // disagree remain a mismatch.
+  auto build = [](ResetVal v) {
+    Netlist n;
+    const NetId clk = n.add_input("clk");
+    const NetId rst = n.add_input("rst");
+    const NetId d = n.add_input("d");
+    Register ff;
+    ff.d = d;
+    ff.clk = clk;
+    ff.async_ctrl = rst;
+    ff.async_val = v;
+    n.add_output("o", n.add_register(std::move(ff)));
+    return n;
+  };
+  TernaryBmcOptions relaxed = shallow();
+  relaxed.x_refinement_ok = true;
+  // Strict mode rejects kZero -> kDontCare (see XRefinementIsAccepted);
+  // relaxed mode accepts it.
+  const auto coarsen = check_ternary_bmc(build(ResetVal::kZero),
+                                         build(ResetVal::kDontCare), relaxed);
+  EXPECT_EQ(coarsen.verdict, Verdict::kEquivalentUpToDepth) << coarsen.detail;
+  // A genuine polarity flip stays a mismatch even in relaxed mode.
+  const auto flipped = check_ternary_bmc(build(ResetVal::kZero),
+                                         build(ResetVal::kOne), relaxed);
+  EXPECT_EQ(flipped.verdict, Verdict::kMismatch);
+}
+
+TEST(TernaryBmcTest, BddNodeBudgetReportsResourceLimit) {
+  const Netlist n = testing::fig1_circuit();
+  TernaryBmcOptions opt = shallow();
+  opt.max_bdd_nodes = 4;  // absurdly tight: trips on the first image
+  const auto result = check_ternary_bmc(n, n, opt);
+  EXPECT_EQ(result.verdict, Verdict::kResourceLimit);
+  EXPECT_FALSE(result.detail.empty());
+}
+
+TEST(TernaryBmcTest, CancelledTokenUnwinds) {
+  const Netlist n = testing::fig1_circuit();
+  CancelToken cancel;
+  cancel.request_cancel();
+  TernaryBmcOptions opt = shallow();
+  opt.cancel = &cancel;
+  EXPECT_THROW(check_ternary_bmc(n, n, opt), CancelledError);
+}
+
 TEST(TernaryBmcTest, VarBudgetRespected) {
   const Netlist n = testing::fig1_circuit();
   TernaryBmcOptions opt;

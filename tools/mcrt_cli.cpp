@@ -22,14 +22,22 @@
 //                                           spot-checks equivalence between
 //                                           passes
 //   mcrt bulk    "<script>" [--jobs N] [--out-dir D] [--report F]
-//                [--canonical] <in.blif|dir>...
+//                [--canonical] [--timeout S] [--manifest F] [--resume]
+//                [--retries N] <in.blif|dir>...
 //                                           run one flow over many circuits
 //                                           in parallel; directories expand
 //                                           to their *.blif files, outputs
 //                                           land in --out-dir (atomically),
 //                                           --report writes a JSON report
 //                                           (--canonical: timing-free,
-//                                           machine-independent bytes)
+//                                           machine-independent bytes).
+//                                           --timeout bounds each job's wall
+//                                           clock; ctrl-C cancels the batch
+//                                           cleanly. --manifest journals
+//                                           completed jobs so a killed batch
+//                                           resumes with --resume, skipping
+//                                           finished work; --retries re-runs
+//                                           transient (I/O) failures.
 //   mcrt corpus  <out-dir> [--count N] [--seed S]
 //                                           write a deterministic randomized
 //                                           BLIF corpus (workload generator)
@@ -43,6 +51,7 @@
 // `retime` gives delay-less LUTs -d so the period objective is meaningful;
 // other commands preserve what the file had (0 if none).
 #include <algorithm>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -50,6 +59,8 @@
 #include <string>
 #include <vector>
 
+#include "base/cancel.h"
+#include "base/fault_injector.h"
 #include "base/strings.h"
 #include "blif/blif.h"
 #include "netlist/dot_export.h"
@@ -71,6 +82,13 @@ namespace {
 
 using namespace mcrt;
 
+/// Batch-wide stop driven by SIGINT. request_cancel() only stores relaxed
+/// atomics, so it is safe to call from the signal handler; every engine
+/// polls the chained per-job tokens and unwinds at the next poll.
+CancelToken g_interrupt;
+
+extern "C" void handle_sigint(int) { g_interrupt.request_cancel(); }
+
 int usage() {
   std::fprintf(stderr,
                "usage: mcrt <stats|classes|timing|dot|sweep|strash|regsweep|"
@@ -78,7 +96,8 @@ int usage() {
                "corpus> [options] <in.blif> [out.blif]\n"
                "  map:    -k <lut_inputs=4>  -d <lut_delay=10>\n"
                "  retime: --minperiod  --no-sharing  --target <period>\n"
-               "  check:  --formal  --bmc <depth>\n"
+               "  check:  --formal  --bmc <depth>  --bmc-x-ok (treat a\n"
+               "          defined output refining an X as benign)\n"
                "  flow:   mcrt flow \"<script>\" in.blif out.blif\n"
                "          script: pass[(arg,key=val)]; pass; ...  e.g.\n"
                "          \"sweep; strash; retime(target=24,no-sharing); "
@@ -86,7 +105,17 @@ int usage() {
                "          --profile (per-pass timing)  --verify (per-pass\n"
                "          equivalence spot check)  --no-validate\n"
                "  bulk:   mcrt bulk \"<script>\" [--jobs N] [--out-dir D]\n"
-               "          [--report F] [--canonical] <in.blif|dir>...\n"
+               "          [--report F] [--canonical] [--timeout <seconds>]\n"
+               "          [--manifest F] [--resume] [--retries N]\n"
+               "          <in.blif|dir>...\n"
+               "  resilience (flow and bulk):\n"
+               "          --timeout <s>       per-flow/per-job deadline\n"
+               "          --budget-bdd <n>    BDD node cap for verification\n"
+               "          --budget-bmc <n>    BMC unroll depth cap\n"
+               "          --budget-rss-mb <m> peak-RSS budget per flow\n"
+               "          --faults \"<spec>\"   inject faults, e.g.\n"
+               "          \"pass:retime=throw; write:*=fail@2\" (also via\n"
+               "          MCRT_FAULT_* environment variables)\n"
                "  corpus: mcrt corpus <out-dir> [--count N] [--seed S]\n");
   return 2;
 }
@@ -158,7 +187,23 @@ struct FlowFlags {
   bool profile = false;
   bool verify = false;
   bool validate = true;
+  double timeout_seconds = 0;  ///< per-flow (or per-bulk-job) deadline
+  ResourceBudgets budgets;
+  std::string fault_spec;  ///< --faults, merged over MCRT_FAULT_* env
 };
+
+/// Builds the --faults injector (on top of the MCRT_FAULT_* environment
+/// configuration). Returns false on a malformed spec.
+bool make_fault_injector(const FlowFlags& flags, FaultInjector& injector,
+                         DiagnosticsSink& diag) {
+  if (flags.fault_spec.empty()) return true;
+  std::string error;
+  if (!injector.configure(flags.fault_spec, &error)) {
+    diag.error("--faults", error);
+    return false;
+  }
+  return true;
+}
 
 /// Shared driver for `flow` and the canned legacy pipelines: compile the
 /// script, run it, report, write the result.
@@ -182,10 +227,19 @@ int run_flow(const std::string& script, const std::string& in_path,
   }
 
   FlowContext context(std::move(*input), &diag);
+  CancelToken deadline(&g_interrupt);
+  if (flags.timeout_seconds > 0) deadline.set_timeout(flags.timeout_seconds);
+  context.cancel = &deadline;
+  context.budgets = flags.budgets;
+  FaultInjector faults;
+  if (!make_fault_injector(flags, faults, diag)) return 2;
+  if (!flags.fault_spec.empty()) context.faults = &faults;
+
   const FlowResult result = manager.run(context);
   if (flags.profile) std::fputs(result.format_profile().c_str(), stderr);
   if (!result.success) {
-    diag.error("flow", result.error);
+    diag.error("flow", str_format("%s: %s", flow_status_name(result.status),
+                                  result.error.c_str()));
     return 1;
   }
   print_stats(context.netlist(), "result");
@@ -197,6 +251,9 @@ struct BulkFlags {
   std::string out_dir;
   std::string report_path;
   bool canonical = false;
+  std::string manifest_path;
+  bool resume = false;
+  std::size_t retries = 0;
 };
 
 /// Expands each input (a .blif file or a directory scanned for *.blif,
@@ -266,12 +323,22 @@ int cmd_bulk(const std::string& script, const std::vector<std::string>& inputs,
     return 2;
   }
 
+  FaultInjector faults;
+  if (!make_fault_injector(flags, faults, diag)) return 2;
+
   BulkOptions options;
   options.jobs = bulk.jobs;
   options.manager.check_invariants = flags.validate;
   options.manager.check_equivalence = flags.verify;
   options.manager.equivalence.runs = 2;
   options.manager.equivalence.cycles = 48;
+  options.timeout_seconds = flags.timeout_seconds;
+  options.cancel = &g_interrupt;
+  options.manifest_path = bulk.manifest_path;
+  options.resume = bulk.resume;
+  options.max_retries = bulk.retries;
+  options.budgets = flags.budgets;
+  if (!flags.fault_spec.empty()) options.faults = &faults;
   BulkRunner runner(script, options);
   if (const auto error = runner.check()) {
     diag.error("bulk", *error);
@@ -281,14 +348,15 @@ int cmd_bulk(const std::string& script, const std::vector<std::string>& inputs,
 
   for (const BulkJobResult& r : report.results) {
     if (r.success) {
-      std::printf("%-20s ok    lut %zu -> %zu  ff %zu -> %zu  period "
+      std::printf("%-20s %-9s lut %zu -> %zu  ff %zu -> %zu  period "
                   "%lld -> %lld  (%.3fs)\n",
-                  r.name.c_str(), r.before.luts, r.after.luts,
-                  r.before.registers, r.after.registers,
+                  r.name.c_str(), r.resumed ? "ok*" : "ok", r.before.luts,
+                  r.after.luts, r.before.registers, r.after.registers,
                   static_cast<long long>(r.period_before),
                   static_cast<long long>(r.period_after), r.seconds);
     } else {
-      std::printf("%-20s FAIL  %s\n", r.name.c_str(), r.error.c_str());
+      std::printf("%-20s %-9s %s\n", r.name.c_str(),
+                  job_status_name(r.status), r.error.c_str());
       for (const Diagnostic& d : r.diagnostics) {
         if (d.severity != DiagSeverity::kNote) diag.report(d);
       }
@@ -348,6 +416,7 @@ int main(int argc, char** argv) {
   bool no_sharing = false;
   bool formal = false;
   std::size_t bmc_depth = 0;
+  bool bmc_x_ok = false;
   FlowFlags flow_flags;
   BulkFlags bulk_flags;
   std::size_t corpus_count = 10;
@@ -393,6 +462,45 @@ int main(int argc, char** argv) {
       bulk_flags.canonical = true;
       continue;
     }
+    if (flag_value(arg, "--timeout", &i, &value)) {
+      flow_flags.timeout_seconds = std::atof(value.c_str());
+      continue;
+    }
+    if (flag_value(arg, "--manifest", &i, &value)) {
+      bulk_flags.manifest_path = value;
+      continue;
+    }
+    if (arg == "--resume") {
+      bulk_flags.resume = true;
+      continue;
+    }
+    if (flag_value(arg, "--retries", &i, &value)) {
+      bulk_flags.retries = static_cast<std::size_t>(std::atoll(value.c_str()));
+      continue;
+    }
+    if (flag_value(arg, "--faults", &i, &value)) {
+      flow_flags.fault_spec = value;
+      continue;
+    }
+    if (flag_value(arg, "--budget-bdd", &i, &value)) {
+      flow_flags.budgets.bdd_node_cap =
+          static_cast<std::size_t>(std::atoll(value.c_str()));
+      continue;
+    }
+    if (flag_value(arg, "--budget-bmc", &i, &value)) {
+      flow_flags.budgets.bmc_step_cap =
+          static_cast<std::size_t>(std::atoll(value.c_str()));
+      continue;
+    }
+    if (flag_value(arg, "--budget-rss-mb", &i, &value)) {
+      flow_flags.budgets.max_rss_bytes =
+          static_cast<std::size_t>(std::atoll(value.c_str())) * 1024 * 1024;
+      continue;
+    }
+    if (arg == "--bmc-x-ok") {
+      bmc_x_ok = true;
+      continue;
+    }
     if (arg == "-k" && i + 1 < argc) {
       lut_k = static_cast<std::uint32_t>(std::atoi(argv[++i]));
     } else if (arg == "-d" && i + 1 < argc) {
@@ -421,6 +529,10 @@ int main(int argc, char** argv) {
     }
   }
   if (files.empty()) return usage();
+
+  // ctrl-C requests a clean cooperative stop: in-flight flows unwind at
+  // their next engine poll and report "cancelled" instead of dying mid-write.
+  std::signal(SIGINT, handle_sigint);
 
   // `flow` positionals are script, input, output; everything else starts
   // with the input file.
@@ -500,12 +612,16 @@ int main(int argc, char** argv) {
     if (bmc_depth > 0) {
       TernaryBmcOptions bo;
       bo.depth = bmc_depth;
+      bo.x_refinement_ok = bmc_x_ok;
+      bo.cancel = &g_interrupt;
       const auto bmc = check_ternary_bmc(*input, *other, bo);
       const char* verdict =
           bmc.verdict == TernaryBmcResult::Verdict::kEquivalentUpToDepth
               ? "EQUIVALENT (bounded)"
           : bmc.verdict == TernaryBmcResult::Verdict::kMismatch ? "DIFFERENT"
-                                                                : "UNSUPPORTED";
+          : bmc.verdict == TernaryBmcResult::Verdict::kResourceLimit
+              ? "RESOURCE-LIMIT"
+              : "UNSUPPORTED";
       std::printf("bmc[%zu]:    %s (%s)\n", bmc_depth, verdict,
                   bmc.detail.c_str());
       if (bmc.verdict == TernaryBmcResult::Verdict::kMismatch) return 1;
