@@ -1,0 +1,365 @@
+#include "base/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "base/strings.h"
+
+namespace mcrt {
+
+const Json* Json::find(std::string_view key) const {
+  if (!is_object()) return nullptr;
+  const Object& members = std::get<Object>(value_);
+  const Json* found = nullptr;
+  for (const auto& [name, value] : members) {
+    if (name == key) found = &value;
+  }
+  return found;
+}
+
+const Json& Json::at(std::string_view key) const {
+  static const Json null;
+  const Json* found = find(key);
+  return found != nullptr ? *found : null;
+}
+
+void Json::set(std::string key, Json value) {
+  if (!is_object()) value_ = Object{};
+  Object& members = std::get<Object>(value_);
+  for (auto& [name, existing] : members) {
+    if (name == key) {
+      existing = std::move(value);
+      return;
+    }
+  }
+  members.emplace_back(std::move(key), std::move(value));
+}
+
+void Json::push_back(Json value) {
+  if (!is_array()) value_ = Array{};
+  std::get<Array>(value_).push_back(std::move(value));
+}
+
+namespace {
+
+void write_value(const Json& value, std::string& out);
+
+void write_number(double n, std::string& out) {
+  // Integers (the overwhelmingly common case in our documents) print
+  // without a fractional part; everything else uses shortest-ish %.17g.
+  if (std::isfinite(n) && n == std::floor(n) && std::abs(n) < 9.0e15) {
+    out += str_format("%lld", static_cast<long long>(n));
+    return;
+  }
+  if (!std::isfinite(n)) {  // JSON has no inf/nan; emit null like browsers do
+    out += "null";
+    return;
+  }
+  out += str_format("%.17g", n);
+}
+
+void write_value(const Json& value, std::string& out) {
+  if (value.is_null()) {
+    out += "null";
+  } else if (value.is_bool()) {
+    out += value.as_bool() ? "true" : "false";
+  } else if (value.is_number()) {
+    write_number(value.as_number(), out);
+  } else if (value.is_string()) {
+    out += '"';
+    out += json_escape(value.as_string());
+    out += '"';
+  } else if (value.is_array()) {
+    out += '[';
+    bool first = true;
+    for (const Json& element : value.as_array()) {
+      if (!first) out += ',';
+      first = false;
+      write_value(element, out);
+    }
+    out += ']';
+  } else {
+    out += '{';
+    bool first = true;
+    for (const auto& [key, member] : value.as_object()) {
+      if (!first) out += ',';
+      first = false;
+      out += '"';
+      out += json_escape(key);
+      out += "\":";
+      write_value(member, out);
+    }
+    out += '}';
+  }
+}
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  std::variant<Json, JsonParseError> parse() {
+    Json value;
+    if (auto err = parse_value(&value)) return *err;
+    skip_space();
+    if (!at_end()) return fail("trailing characters after JSON value");
+    return value;
+  }
+
+ private:
+  [[nodiscard]] bool at_end() const { return pos_ >= text_.size(); }
+  [[nodiscard]] char peek() const { return text_[pos_]; }
+  void skip_space() {
+    while (!at_end() && std::isspace(static_cast<unsigned char>(peek()))) {
+      ++pos_;
+    }
+  }
+  JsonParseError fail(std::string message) const {
+    return JsonParseError{pos_, std::move(message)};
+  }
+
+  std::optional<JsonParseError> expect(char c) {
+    if (at_end() || peek() != c) {
+      return fail(str_format("expected '%c'", c));
+    }
+    ++pos_;
+    return std::nullopt;
+  }
+
+  bool consume_literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) return false;
+    pos_ += word.size();
+    return true;
+  }
+
+  std::optional<JsonParseError> parse_value(Json* out) {
+    skip_space();
+    if (at_end()) return fail("unexpected end of input");
+    const char c = peek();
+    if (c == '{') return parse_object(out);
+    if (c == '[') return parse_array(out);
+    if (c == '"') {
+      std::string s;
+      if (auto err = parse_string(&s)) return err;
+      *out = Json(std::move(s));
+      return std::nullopt;
+    }
+    if (consume_literal("true")) {
+      *out = Json(true);
+      return std::nullopt;
+    }
+    if (consume_literal("false")) {
+      *out = Json(false);
+      return std::nullopt;
+    }
+    if (consume_literal("null")) {
+      *out = Json(nullptr);
+      return std::nullopt;
+    }
+    if (c == '-' || (c >= '0' && c <= '9')) return parse_number(out);
+    return fail(str_format("unexpected character '%c'", c));
+  }
+
+  std::optional<JsonParseError> parse_number(Json* out) {
+    const std::size_t start = pos_;
+    if (!at_end() && peek() == '-') ++pos_;
+    while (!at_end() && std::isdigit(static_cast<unsigned char>(peek()))) {
+      ++pos_;
+    }
+    if (!at_end() && peek() == '.') {
+      ++pos_;
+      while (!at_end() && std::isdigit(static_cast<unsigned char>(peek()))) {
+        ++pos_;
+      }
+    }
+    if (!at_end() && (peek() == 'e' || peek() == 'E')) {
+      ++pos_;
+      if (!at_end() && (peek() == '+' || peek() == '-')) ++pos_;
+      while (!at_end() && std::isdigit(static_cast<unsigned char>(peek()))) {
+        ++pos_;
+      }
+    }
+    const std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    const double value = std::strtod(token.c_str(), &end);
+    if (end == token.c_str() || *end != '\0') {
+      pos_ = start;
+      return fail("malformed number");
+    }
+    *out = Json(value);
+    return std::nullopt;
+  }
+
+  std::optional<JsonParseError> parse_string(std::string* out) {
+    if (auto err = expect('"')) return err;
+    out->clear();
+    while (true) {
+      if (at_end()) return fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return std::nullopt;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        --pos_;
+        return fail("unescaped control character in string");
+      }
+      if (c != '\\') {
+        out->push_back(c);
+        continue;
+      }
+      if (at_end()) return fail("unterminated escape");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out->push_back('"'); break;
+        case '\\': out->push_back('\\'); break;
+        case '/': out->push_back('/'); break;
+        case 'b': out->push_back('\b'); break;
+        case 'f': out->push_back('\f'); break;
+        case 'n': out->push_back('\n'); break;
+        case 'r': out->push_back('\r'); break;
+        case 't': out->push_back('\t'); break;
+        case 'u': {
+          if (auto err = parse_unicode_escape(out)) return err;
+          break;
+        }
+        default:
+          pos_ -= 1;
+          return fail(str_format("invalid escape '\\%c'", esc));
+      }
+    }
+  }
+
+  std::optional<JsonParseError> parse_unicode_escape(std::string* out) {
+    std::uint32_t code = 0;
+    if (auto err = parse_hex4(&code)) return err;
+    // Surrogate pair: combine; a lone surrogate becomes U+FFFD.
+    if (code >= 0xD800 && code <= 0xDBFF && pos_ + 1 < text_.size() &&
+        text_[pos_] == '\\' && text_[pos_ + 1] == 'u') {
+      pos_ += 2;
+      std::uint32_t low = 0;
+      if (auto err = parse_hex4(&low)) return err;
+      if (low >= 0xDC00 && low <= 0xDFFF) {
+        code = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+      } else {
+        code = 0xFFFD;
+      }
+    } else if (code >= 0xD800 && code <= 0xDFFF) {
+      code = 0xFFFD;
+    }
+    // UTF-8 encode.
+    if (code < 0x80) {
+      out->push_back(static_cast<char>(code));
+    } else if (code < 0x800) {
+      out->push_back(static_cast<char>(0xC0 | (code >> 6)));
+      out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else if (code < 0x10000) {
+      out->push_back(static_cast<char>(0xE0 | (code >> 12)));
+      out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else {
+      out->push_back(static_cast<char>(0xF0 | (code >> 18)));
+      out->push_back(static_cast<char>(0x80 | ((code >> 12) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    }
+    return std::nullopt;
+  }
+
+  std::optional<JsonParseError> parse_hex4(std::uint32_t* out) {
+    if (pos_ + 4 > text_.size()) return fail("truncated \\u escape");
+    std::uint32_t value = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_++];
+      value <<= 4;
+      if (c >= '0' && c <= '9') {
+        value |= static_cast<std::uint32_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        value |= static_cast<std::uint32_t>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        value |= static_cast<std::uint32_t>(c - 'A' + 10);
+      } else {
+        pos_ -= 1;
+        return fail("invalid hex digit in \\u escape");
+      }
+    }
+    *out = value;
+    return std::nullopt;
+  }
+
+  std::optional<JsonParseError> parse_array(Json* out) {
+    if (auto err = expect('[')) return err;
+    Json::Array elements;
+    skip_space();
+    if (!at_end() && peek() == ']') {
+      ++pos_;
+      *out = Json(std::move(elements));
+      return std::nullopt;
+    }
+    while (true) {
+      Json element;
+      if (auto err = parse_value(&element)) return err;
+      elements.push_back(std::move(element));
+      skip_space();
+      if (at_end()) return fail("unterminated array");
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (peek() == ']') {
+        ++pos_;
+        *out = Json(std::move(elements));
+        return std::nullopt;
+      }
+      return fail("expected ',' or ']' in array");
+    }
+  }
+
+  std::optional<JsonParseError> parse_object(Json* out) {
+    if (auto err = expect('{')) return err;
+    Json::Object members;
+    skip_space();
+    if (!at_end() && peek() == '}') {
+      ++pos_;
+      *out = Json(std::move(members));
+      return std::nullopt;
+    }
+    while (true) {
+      skip_space();
+      std::string key;
+      if (auto err = parse_string(&key)) return err;
+      skip_space();
+      if (auto err = expect(':')) return err;
+      Json value;
+      if (auto err = parse_value(&value)) return err;
+      members.emplace_back(std::move(key), std::move(value));
+      skip_space();
+      if (at_end()) return fail("unterminated object");
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (peek() == '}') {
+        ++pos_;
+        *out = Json(std::move(members));
+        return std::nullopt;
+      }
+      return fail("expected ',' or '}' in object");
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string Json::write() const {
+  std::string out;
+  write_value(*this, out);
+  return out;
+}
+
+std::variant<Json, JsonParseError> Json::parse(std::string_view text) {
+  return Parser(text).parse();
+}
+
+}  // namespace mcrt

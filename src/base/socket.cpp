@@ -1,0 +1,224 @@
+#include "base/socket.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "base/strings.h"
+
+namespace mcrt {
+
+namespace {
+
+std::string errno_text(const char* what) {
+  return str_format("%s: %s", what, std::strerror(errno));
+}
+
+}  // namespace
+
+SocketStream& SocketStream::operator=(SocketStream&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    buffer_ = std::move(other.buffer_);
+    other.fd_ = -1;
+    other.buffer_.clear();
+  }
+  return *this;
+}
+
+std::optional<std::string> SocketStream::read_line() {
+  while (true) {
+    const std::size_t newline = buffer_.find('\n');
+    if (newline != std::string::npos) {
+      std::string line = buffer_.substr(0, newline);
+      buffer_.erase(0, newline + 1);
+      return line;
+    }
+    if (fd_ < 0) break;
+    char chunk[4096];
+    const ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
+    if (n > 0) {
+      buffer_.append(chunk, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    break;  // EOF or hard error: flush what we have
+  }
+  if (!buffer_.empty()) {  // unterminated trailing line
+    std::string line = std::move(buffer_);
+    buffer_.clear();
+    return line;
+  }
+  return std::nullopt;
+}
+
+bool SocketStream::write_all(std::string_view data) {
+  if (fd_ < 0) return false;
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::send(fd_, data.data() + sent, data.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool SocketStream::write_line(std::string_view line) {
+  std::string framed(line);
+  framed += '\n';
+  return write_all(framed);
+}
+
+void SocketStream::shutdown() noexcept {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+void SocketStream::close() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+std::string SocketEndpoint::describe() const {
+  if (is_unix()) return "unix:" + unix_path;
+  return str_format("tcp:127.0.0.1:%u", static_cast<unsigned>(tcp_port));
+}
+
+bool ListenSocket::listen(const SocketEndpoint& endpoint, std::string* error) {
+  close();
+  if (endpoint.is_unix()) {
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (endpoint.unix_path.size() >= sizeof addr.sun_path) {
+      *error = "socket path too long: " + endpoint.unix_path;
+      return false;
+    }
+    std::strncpy(addr.sun_path, endpoint.unix_path.c_str(),
+                 sizeof addr.sun_path - 1);
+    fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd_ < 0) {
+      *error = errno_text("socket");
+      return false;
+    }
+    ::unlink(endpoint.unix_path.c_str());  // stale socket from a dead server
+    if (::bind(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) <
+        0) {
+      *error = errno_text(("bind " + endpoint.unix_path).c_str());
+      close();
+      return false;
+    }
+    unix_path_ = endpoint.unix_path;
+  } else {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0) {
+      *error = errno_text("socket");
+      return false;
+    }
+    const int one = 1;
+    ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(endpoint.tcp_port);
+    if (::bind(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) <
+        0) {
+      *error = errno_text(
+          str_format("bind port %u", static_cast<unsigned>(endpoint.tcp_port))
+              .c_str());
+      close();
+      return false;
+    }
+    sockaddr_in bound{};
+    socklen_t len = sizeof bound;
+    if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&bound), &len) == 0) {
+      port_ = ntohs(bound.sin_port);
+    }
+  }
+  if (::listen(fd_, SOMAXCONN) < 0) {
+    *error = errno_text("listen");
+    close();
+    return false;
+  }
+  return true;
+}
+
+std::optional<SocketStream> ListenSocket::accept(int timeout_ms) {
+  if (fd_ < 0) return std::nullopt;
+  pollfd pfd{fd_, POLLIN, 0};
+  const int ready = ::poll(&pfd, 1, timeout_ms);
+  if (ready <= 0) return std::nullopt;
+  const int client = ::accept(fd_, nullptr, nullptr);
+  if (client < 0) return std::nullopt;
+  return SocketStream(client);
+}
+
+void ListenSocket::close() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  if (!unix_path_.empty()) {
+    ::unlink(unix_path_.c_str());
+    unix_path_.clear();
+  }
+  port_ = 0;
+}
+
+SocketStream connect_socket(const SocketEndpoint& endpoint,
+                            std::string* error) {
+  int fd = -1;
+  if (endpoint.is_unix()) {
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (endpoint.unix_path.size() >= sizeof addr.sun_path) {
+      *error = "socket path too long: " + endpoint.unix_path;
+      return SocketStream();
+    }
+    std::strncpy(addr.sun_path, endpoint.unix_path.c_str(),
+                 sizeof addr.sun_path - 1);
+    fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) {
+      *error = errno_text("socket");
+      return SocketStream();
+    }
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) <
+        0) {
+      *error = errno_text(("connect " + endpoint.unix_path).c_str());
+      ::close(fd);
+      return SocketStream();
+    }
+  } else {
+    fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) {
+      *error = errno_text("socket");
+      return SocketStream();
+    }
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(endpoint.tcp_port);
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) <
+        0) {
+      *error = errno_text(
+          str_format("connect port %u",
+                     static_cast<unsigned>(endpoint.tcp_port))
+              .c_str());
+      ::close(fd);
+      return SocketStream();
+    }
+  }
+  return SocketStream(fd);
+}
+
+}  // namespace mcrt

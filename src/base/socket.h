@@ -1,0 +1,102 @@
+// Thin POSIX socket wrapper for the retiming service.
+//
+// The `mcrt serve` protocol is newline-delimited JSON over a byte stream,
+// so this wrapper exposes exactly that: a listening socket (Unix-domain
+// path or loopback TCP port) that accepts Stream connections, and a Stream
+// with buffered read_line() / write_all() plus a thread-safe shutdown()
+// that unblocks a reader blocked in read_line() from another thread (the
+// server's stop path).
+//
+// Everything reports failure via return values carrying errno text; no
+// exceptions cross this boundary. SIGPIPE is avoided with MSG_NOSIGNAL, so
+// a client that disconnects mid-reply surfaces as a write error, not a
+// killed process.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+
+namespace mcrt {
+
+/// One connected byte stream (an accepted or dialed connection).
+class SocketStream {
+ public:
+  SocketStream() = default;
+  explicit SocketStream(int fd) : fd_(fd) {}
+  ~SocketStream() { close(); }
+  SocketStream(SocketStream&& other) noexcept { *this = std::move(other); }
+  SocketStream& operator=(SocketStream&& other) noexcept;
+  SocketStream(const SocketStream&) = delete;
+  SocketStream& operator=(const SocketStream&) = delete;
+
+  [[nodiscard]] bool valid() const noexcept { return fd_ >= 0; }
+  [[nodiscard]] int fd() const noexcept { return fd_; }
+
+  /// Reads up to (and consuming) the next '\n'; the newline is stripped.
+  /// Returns std::nullopt on EOF or error (orderly close and hard error
+  /// both end the conversation). A final unterminated line is delivered.
+  [[nodiscard]] std::optional<std::string> read_line();
+
+  /// Writes the whole buffer (retrying short writes). Returns false on any
+  /// error, including a peer that went away.
+  [[nodiscard]] bool write_all(std::string_view data);
+  /// write_all(data + '\n').
+  [[nodiscard]] bool write_line(std::string_view line);
+
+  /// Half/full close that unblocks a concurrent read_line(). Safe to call
+  /// from another thread while read_line() is blocked, and idempotent.
+  void shutdown() noexcept;
+  void close() noexcept;
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;  ///< bytes read but not yet returned
+};
+
+/// Where a server listens (or a client connects): a Unix-domain socket
+/// path, or a TCP port on 127.0.0.1. Exactly one is set.
+struct SocketEndpoint {
+  std::string unix_path;  ///< non-empty = Unix-domain
+  std::uint16_t tcp_port = 0;
+
+  [[nodiscard]] bool is_unix() const noexcept { return !unix_path.empty(); }
+  /// "unix:<path>" or "tcp:127.0.0.1:<port>" for messages.
+  [[nodiscard]] std::string describe() const;
+};
+
+class ListenSocket {
+ public:
+  ListenSocket() = default;
+  ~ListenSocket() { close(); }
+  ListenSocket(const ListenSocket&) = delete;
+  ListenSocket& operator=(const ListenSocket&) = delete;
+
+  /// Binds and listens. For Unix endpoints a stale socket file is removed
+  /// first. Returns false and sets *error on failure.
+  [[nodiscard]] bool listen(const SocketEndpoint& endpoint, std::string* error);
+
+  /// Waits up to `timeout_ms` for a connection. Returns a connected
+  /// stream, or std::nullopt on timeout / transient error — callers loop,
+  /// re-checking their stop flag between calls.
+  [[nodiscard]] std::optional<SocketStream> accept(int timeout_ms);
+
+  /// The port actually bound (useful with tcp_port == 0 for tests).
+  [[nodiscard]] std::uint16_t bound_port() const noexcept { return port_; }
+  [[nodiscard]] bool valid() const noexcept { return fd_ >= 0; }
+
+  void close() noexcept;
+
+ private:
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::string unix_path_;  ///< unlinked on close
+};
+
+/// Connects to a serve endpoint. Returns an invalid stream and sets *error
+/// on failure.
+[[nodiscard]] SocketStream connect_socket(const SocketEndpoint& endpoint,
+                                          std::string* error);
+
+}  // namespace mcrt

@@ -1,0 +1,178 @@
+#include "netlist/structural_hash.h"
+
+#include <string_view>
+#include <vector>
+
+#include "base/strings.h"
+
+namespace mcrt {
+namespace {
+
+/// splitmix64 finalizer: a cheap full-avalanche 64-bit mixer.
+constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+constexpr std::uint64_t combine(std::uint64_t h, std::uint64_t v) noexcept {
+  return mix64(h ^ (v * 0xff51afd7ed558ccdULL));
+}
+
+std::uint64_t hash_text(std::uint64_t seed, std::string_view text) noexcept {
+  std::uint64_t h = seed ^ 0xcbf29ce484222325ULL;
+  for (const char c : text) {
+    h = combine(h, static_cast<std::uint64_t>(static_cast<unsigned char>(c)));
+  }
+  return combine(h, text.size());
+}
+
+// Tags keeping differently-shaped drivers from colliding by construction.
+enum : std::uint64_t {
+  kTagUndriven = 0x11,
+  kTagInput = 0x22,
+  kTagLut = 0x33,
+  kTagRegister = 0x44,
+  kTagAbsentNet = 0x55,
+};
+
+/// One 64-bit lane of the digest; two differently seeded lanes give the
+/// 128-bit result.
+std::uint64_t hash_lane(const Netlist& netlist, std::uint64_t seed) {
+  const std::size_t nets = netlist.net_count();
+  std::vector<std::uint64_t> label(nets, 0);
+
+  // Map each net back to its driving register, if any (NetDriver carries
+  // the same information; this avoids trusting its index blindly).
+  // Initial labels: local structure only, no indices and no internal names.
+  for (std::size_t n = 0; n < nets; ++n) {
+    const NetDriver& driver = netlist.net(NetId{
+        static_cast<std::uint32_t>(n)}).driver;
+    switch (driver.kind) {
+      case NetDriver::Kind::kNone:
+        label[n] = combine(seed, kTagUndriven);
+        break;
+      case NetDriver::Kind::kNode: {
+        const Node& node = netlist.node(NodeId{driver.index});
+        if (node.kind == NodeKind::kInput) {
+          // Primary-input names are the circuit's interface: semantic.
+          label[n] = combine(combine(seed, kTagInput),
+                             hash_text(seed, node.name));
+        } else {
+          std::uint64_t h = combine(seed, kTagLut);
+          h = combine(h, node.fanins.size());
+          h = combine(h, static_cast<std::uint64_t>(node.delay));
+          const std::uint32_t inputs = node.function.input_count();
+          std::uint64_t bits = 0;
+          for (std::uint32_t row = 0; row < (1u << inputs); ++row) {
+            bits = (bits << 1) | (node.function.eval(row) ? 1u : 0u);
+            if ((row & 63u) == 63u) {
+              h = combine(h, bits);
+              bits = 0;
+            }
+          }
+          label[n] = combine(h, bits);
+        }
+        break;
+      }
+      case NetDriver::Kind::kRegister: {
+        const Register& ff = netlist.reg(RegId{driver.index});
+        std::uint64_t h = combine(seed, kTagRegister);
+        h = combine(h, static_cast<std::uint64_t>(ff.sync_val));
+        h = combine(h, static_cast<std::uint64_t>(ff.async_val));
+        h = combine(h, (ff.en.valid() ? 1u : 0u) |
+                           (ff.sync_ctrl.valid() ? 2u : 0u) |
+                           (ff.async_ctrl.valid() ? 4u : 0u));
+        label[n] = h;
+        break;
+      }
+    }
+  }
+
+  const auto net_label = [&](NetId id) {
+    return id.valid() ? label[id.index()] : combine(seed, kTagAbsentNet);
+  };
+
+  // Refinement: each round folds every driver's input labels into its
+  // output label, so after R rounds a net's label reflects its radius-R
+  // structural neighborhood (registers propagate too, covering feedback).
+  std::vector<std::uint64_t> next(nets, 0);
+  constexpr int kRounds = 24;
+  for (int round = 0; round < kRounds; ++round) {
+    for (std::size_t n = 0; n < nets; ++n) {
+      const NetDriver& driver = netlist.net(NetId{
+          static_cast<std::uint32_t>(n)}).driver;
+      std::uint64_t h = label[n];
+      switch (driver.kind) {
+        case NetDriver::Kind::kNone:
+          break;
+        case NetDriver::Kind::kNode: {
+          const Node& node = netlist.node(NodeId{driver.index});
+          // Pin order matters: AND(a,b) vs AND(b,a) differ unless the
+          // truth table is symmetric, and then the labels compensate.
+          for (const NetId fanin : node.fanins) {
+            h = combine(h, net_label(fanin));
+          }
+          break;
+        }
+        case NetDriver::Kind::kRegister: {
+          const Register& ff = netlist.reg(RegId{driver.index});
+          h = combine(h, net_label(ff.d));
+          h = combine(h, net_label(ff.clk));
+          h = combine(h, net_label(ff.en));
+          h = combine(h, net_label(ff.sync_ctrl));
+          h = combine(h, net_label(ff.async_ctrl));
+          break;
+        }
+      }
+      next[n] = h;
+    }
+    label.swap(next);
+  }
+
+  // Order-independent aggregation: wrapping sums of full-entropy labels.
+  std::uint64_t digest = combine(seed, 0xd1);
+  std::uint64_t net_sum = 0;
+  for (std::size_t n = 0; n < nets; ++n) {
+    const NetDriver& driver = netlist.net(NetId{
+        static_cast<std::uint32_t>(n)}).driver;
+    // Undriven nets that nothing reads are storage artifacts; driven nets
+    // and control inputs all reach this sum via their drivers' labels.
+    if (driver.kind == NetDriver::Kind::kNone) continue;
+    net_sum += mix64(label[n]);
+  }
+  digest = combine(digest, net_sum);
+
+  // Interface bindings: which net each named primary output observes.
+  std::uint64_t po_sum = 0;
+  for (const NodeId po : netlist.outputs()) {
+    const Node& node = netlist.node(po);
+    const NetId source =
+        node.fanins.empty() ? NetId{} : node.fanins[0];
+    po_sum += combine(hash_text(seed, node.name), net_label(source));
+  }
+  digest = combine(digest, po_sum);
+
+  digest = combine(digest, netlist.node_count());
+  digest = combine(digest, netlist.register_count());
+  digest = combine(digest, netlist.inputs().size());
+  digest = combine(digest, netlist.outputs().size());
+  return digest;
+}
+
+}  // namespace
+
+std::string StructuralHash::hex() const {
+  return str_format("%016llx%016llx", static_cast<unsigned long long>(hi),
+                    static_cast<unsigned long long>(lo));
+}
+
+StructuralHash structural_hash(const Netlist& netlist) {
+  StructuralHash hash;
+  hash.hi = hash_lane(netlist, 0x6d63727448617368ULL);  // "mcrtHash"
+  hash.lo = hash_lane(netlist, 0x726574696d696e67ULL);  // "retiming"
+  return hash;
+}
+
+}  // namespace mcrt

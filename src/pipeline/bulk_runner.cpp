@@ -1,76 +1,18 @@
 #include "pipeline/bulk_runner.h"
 
 #include <chrono>
-#include <cstdio>
 #include <filesystem>
-#include <system_error>
 #include <thread>
 #include <utility>
 
 #include "base/strings.h"
-#include "blif/blif.h"
+#include "base/version.h"
 #include "pipeline/checkpoint.h"
-#include "pipeline/flow_context.h"
 #include "pipeline/flow_script.h"
-#include "tech/sta.h"
 
 namespace mcrt {
 
 namespace fs = std::filesystem;
-
-const char* job_status_name(JobStatus status) noexcept {
-  switch (status) {
-    case JobStatus::kOk: return "ok";
-    case JobStatus::kFailed: return "failed";
-    case JobStatus::kTimeout: return "timeout";
-    case JobStatus::kCancelled: return "cancelled";
-    case JobStatus::kIoError: return "io-error";
-  }
-  return "unknown";
-}
-
-std::optional<JobStatus> job_status_from_name(std::string_view name) noexcept {
-  if (name == "ok") return JobStatus::kOk;
-  if (name == "failed") return JobStatus::kFailed;
-  if (name == "timeout") return JobStatus::kTimeout;
-  if (name == "cancelled") return JobStatus::kCancelled;
-  if (name == "io-error") return JobStatus::kIoError;
-  return std::nullopt;
-}
-
-BulkJob make_file_job(std::string input_path, std::string output_path) {
-  BulkJob job;
-  job.name = fs::path(input_path).stem().string();
-  job.input_path = input_path;
-  job.output_path = std::move(output_path);
-  job.load = [path = std::move(input_path)](
-                 DiagnosticsSink& diag) -> std::optional<Netlist> {
-    auto parsed = read_blif_file(path);
-    if (const auto* err = std::get_if<BlifError>(&parsed)) {
-      diag.error(path, str_format("line %zu: %s", err->line,
-                                  err->message.c_str()));
-      return std::nullopt;
-    }
-    Netlist netlist = std::move(std::get<Netlist>(parsed));
-    const auto problems = netlist.validate();
-    if (!problems.empty()) {
-      for (const std::string& problem : problems) diag.error(path, problem);
-      return std::nullopt;
-    }
-    return netlist;
-  };
-  return job;
-}
-
-BulkJob make_netlist_job(std::string name, Netlist netlist) {
-  BulkJob job;
-  job.name = std::move(name);
-  job.load = [netlist = std::move(netlist)](
-                 DiagnosticsSink&) -> std::optional<Netlist> {
-    return netlist;
-  };
-  return job;
-}
 
 BulkRunner::BulkRunner(std::string script, BulkOptions options)
     : script_(std::move(script)), options_(std::move(options)) {}
@@ -99,128 +41,20 @@ std::optional<std::string> BulkRunner::check() const {
   return std::nullopt;
 }
 
-namespace {
-
-/// Writes `netlist` to `path` via "<path>.tmp" + rename, so `path` only
-/// ever holds a complete output. Returns false (reporting to `diag`) and
-/// removes the temp file on any failure. The "write:<filename>" fault site
-/// simulates a failing filesystem for the retry tests.
-bool store_atomically(const Netlist& netlist, const std::string& path,
-                      DiagnosticsSink& diag, FaultInjector& faults,
-                      const CancelToken* cancel) {
-  const fs::path target(path);
-  if (faults.inject("write:" + target.filename().string(), cancel)) {
-    diag.error(path, "injected write fault");
-    return false;
-  }
-  std::error_code ec;
-  if (target.has_parent_path()) {
-    fs::create_directories(target.parent_path(), ec);  // best-effort
-  }
-  const std::string temp = path + ".tmp";
-  if (!write_blif_file(netlist, temp)) {
-    diag.error(path, "cannot write temp file " + temp);
-    fs::remove(temp, ec);
-    return false;
-  }
-  fs::rename(temp, target, ec);
-  if (ec) {
-    diag.error(path, "cannot rename " + temp + ": " + ec.message());
-    fs::remove(temp, ec);
-    return false;
-  }
-  return true;
-}
-
-}  // namespace
-
 void BulkRunner::run_one(const BulkJob& job, BulkJobResult& out) const {
-  CollectingDiagnostics diag;
-  Timer timer;
-  out.name = job.name;
-  out.input_path = job.input_path;
-  out.output_path = job.output_path;
-  out.status = JobStatus::kFailed;
-  FaultInjector& faults =
-      options_.faults != nullptr ? *options_.faults : FaultInjector::global();
-  // Per-job token: chains the batch-wide cancel and arms this job's own
-  // deadline, so one poll observes ctrl-C and --timeout alike.
-  CancelToken job_cancel(options_.cancel);
-  if (options_.timeout_seconds > 0) {
-    job_cancel.set_timeout(options_.timeout_seconds);
-  }
-  // Everything below runs on a worker thread; any escaping exception is
-  // this job's failure, never the batch's.
-  try {
-    if (faults.inject("job:" + job.name, &job_cancel)) {
-      // Injected environment fault: transient, eligible for retry.
-      out.status = JobStatus::kIoError;
-      out.error = "injected fault at job:" + job.name;
-      diag.error(job.name, out.error);
-    } else if (std::optional<Netlist> input = job.load(diag); !input) {
-      out.error = "cannot load input";
-    } else {
-      PassManager manager(options_.manager);
-      std::string build_error;
-      if (!build_pipeline(manager, &build_error)) {
-        out.error = build_error;
-      } else {
-        FlowContext context(std::move(*input), &diag);
-        context.cancel = &job_cancel;
-        context.budgets = options_.budgets;
-        context.faults = options_.faults;
-        out.before = context.netlist().stats();
-        out.period_before = compute_period(context.netlist());
-        FlowResult flow = manager.run(context);
-        out.executed = std::move(flow.executed);
-        out.profile = std::move(flow.profile);
-        if (!flow.success) {
-          out.error = flow.error;
-          switch (flow.status) {
-            case FlowStatus::kTimeout:
-              out.status = JobStatus::kTimeout;
-              break;
-            case FlowStatus::kCancelled:
-              out.status = JobStatus::kCancelled;
-              break;
-            default:
-              out.status = JobStatus::kFailed;
-          }
-        } else {
-          out.after = context.netlist().stats();
-          out.period_after = compute_period(context.netlist());
-          out.retime_stats = context.retime_stats;
-          bool stored = true;
-          if (!job.output_path.empty()) {
-            stored = store_atomically(context.netlist(), job.output_path,
-                                      diag, faults, &job_cancel);
-            if (!stored) {
-              out.error = "cannot write output";
-              out.status = JobStatus::kIoError;
-            }
-          }
-          if (stored) {
-            if (options_.keep_netlists) out.netlist = context.take_netlist();
-            out.success = true;
-            out.status = JobStatus::kOk;
-          }
-        }
-      }
-    }
-  } catch (const CancelledError& e) {
-    out.success = false;
-    out.status = e.reason() == StopReason::kTimeout ? JobStatus::kTimeout
-                                                    : JobStatus::kCancelled;
-    out.error = e.what();
-  } catch (const std::exception& e) {
-    out.success = false;
-    out.error = str_format("uncaught exception: %s", e.what());
-  } catch (...) {
-    out.success = false;
-    out.error = "uncaught exception";
-  }
-  out.seconds = timer.seconds();
-  out.diagnostics = diag.diagnostics();
+  JobExecutionOptions exec;
+  exec.manager = options_.manager;
+  exec.keep_netlist = options_.keep_netlists;
+  exec.timeout_seconds = options_.timeout_seconds;
+  exec.cancel = options_.cancel;
+  exec.budgets = options_.budgets;
+  exec.faults = options_.faults;
+  execute_flow_job(
+      job,
+      [this](PassManager& manager, std::string* error) {
+        return build_pipeline(manager, error);
+      },
+      exec, out);
 }
 
 BulkReport BulkRunner::run(const std::vector<BulkJob>& jobs) const {
@@ -350,10 +184,102 @@ void append_stats(std::string& out, const char* key,
 
 }  // namespace
 
+std::string provenance_json(bool canonical) {
+  std::string out = str_format(
+      "{\"tool\": \"mcrt\", \"version\": \"%s\", \"report_schema\": 3",
+      version_string());
+  if (!canonical) {
+    out += str_format(", \"build_type\": %s",
+                      quoted(build_type()).c_str());
+    out += ", \"sanitizers\": [";
+    bool first = true;
+    for (const std::string& flag : sanitizer_flags()) {
+      if (!first) out += ", ";
+      first = false;
+      out += quoted(flag);
+    }
+    out += "]";
+  }
+  out += "}";
+  return out;
+}
+
+std::string bulk_job_result_to_json(const BulkJobResult& r,
+                                    const BulkJsonOptions& json) {
+  const bool canonical = json.canonical;
+  std::string out;
+  out += "    {\n";
+  out += "      \"name\": " + quoted(r.name) + ",\n";
+  out += "      \"input\": " + quoted(report_path(r.input_path, canonical)) +
+         ",\n";
+  out += "      \"output\": " +
+         quoted(report_path(r.output_path, canonical)) + ",\n";
+  out += str_format("      \"success\": %s,\n",
+                    r.success ? "true" : "false");
+  out += "      \"status\": " + quoted(job_status_name(r.status)) + ",\n";
+  out += "      \"error\": " + quoted(r.error) + ",\n";
+  if (!canonical) out += str_format("      \"seconds\": %.6f,\n", r.seconds);
+  append_stats(out, "before", r.before, r.period_before);
+  out += ",\n";
+  append_stats(out, "after", r.after, r.period_after);
+  out += ",\n";
+  const auto delta = [](std::size_t before, std::size_t after) {
+    return static_cast<long long>(after) - static_cast<long long>(before);
+  };
+  out += str_format(
+      "      \"delta\": {\"luts\": %lld, \"registers\": %lld, "
+      "\"period\": %lld},\n",
+      delta(r.before.luts, r.after.luts),
+      delta(r.before.registers, r.after.registers),
+      static_cast<long long>(r.period_after - r.period_before));
+  out += "      \"passes\": [";
+  for (std::size_t p = 0; p < r.executed.size(); ++p) {
+    const PassExecution& e = r.executed[p];
+    if (p != 0) out += ", ";
+    out += "{\"name\": " + quoted(e.name);
+    if (!canonical) out += str_format(", \"seconds\": %.6f", e.seconds);
+    out += str_format(", \"success\": %s", e.success ? "true" : "false");
+    if (e.rolled_back) out += ", \"rolled_back\": true";
+    out += ", \"summary\": " + quoted(e.summary) + "}";
+  }
+  out += "]\n";
+  out += "    }";
+  return out;
+}
+
+std::string compose_canonical_report_json(
+    const std::string& script, const std::vector<std::string>& job_jsons,
+    std::size_t succeeded) {
+  std::string out = "{\n";
+  out += "  \"schema\": \"mcrt-bulk-report/3\",\n";
+  out += "  \"provenance\": " + provenance_json(/*canonical=*/true) + ",\n";
+  out += "  \"script\": " + quoted(script) + ",\n";
+  out += str_format("  \"circuits\": %zu,\n", job_jsons.size());
+  out += str_format("  \"succeeded\": %zu,\n", succeeded);
+  out += str_format("  \"failed\": %zu,\n", job_jsons.size() - succeeded);
+  out += "  \"results\": [\n";
+  for (std::size_t i = 0; i < job_jsons.size(); ++i) {
+    out += job_jsons[i];
+    out += i + 1 < job_jsons.size() ? ",\n" : "\n";
+  }
+  out += "  ]\n";
+  out += "}\n";
+  return out;
+}
+
 std::string BulkReport::to_json(const BulkJsonOptions& json) const {
   const bool canonical = json.canonical;
+  if (canonical) {
+    std::vector<std::string> job_jsons;
+    job_jsons.reserve(results.size());
+    for (const BulkJobResult& result : results) {
+      job_jsons.push_back(bulk_job_result_to_json(result, json));
+    }
+    return compose_canonical_report_json(script, job_jsons, succeeded());
+  }
   std::string out = "{\n";
-  out += "  \"schema\": \"mcrt-bulk-report/2\",\n";
+  out += "  \"schema\": \"mcrt-bulk-report/3\",\n";
+  out += "  \"provenance\": " + provenance_json(canonical) + ",\n";
   out += "  \"script\": " + quoted(script) + ",\n";
   if (!canonical) out += str_format("  \"jobs\": %zu,\n", jobs);
   out += str_format("  \"circuits\": %zu,\n", results.size());
@@ -375,43 +301,8 @@ std::string BulkReport::to_json(const BulkJsonOptions& json) const {
   }
   out += "  \"results\": [\n";
   for (std::size_t i = 0; i < results.size(); ++i) {
-    const BulkJobResult& r = results[i];
-    out += "    {\n";
-    out += "      \"name\": " + quoted(r.name) + ",\n";
-    out += "      \"input\": " + quoted(report_path(r.input_path, canonical)) +
-           ",\n";
-    out += "      \"output\": " +
-           quoted(report_path(r.output_path, canonical)) + ",\n";
-    out += str_format("      \"success\": %s,\n",
-                      r.success ? "true" : "false");
-    out += "      \"status\": " + quoted(job_status_name(r.status)) + ",\n";
-    out += "      \"error\": " + quoted(r.error) + ",\n";
-    if (!canonical) out += str_format("      \"seconds\": %.6f,\n", r.seconds);
-    append_stats(out, "before", r.before, r.period_before);
-    out += ",\n";
-    append_stats(out, "after", r.after, r.period_after);
-    out += ",\n";
-    const auto delta = [](std::size_t before, std::size_t after) {
-      return static_cast<long long>(after) - static_cast<long long>(before);
-    };
-    out += str_format(
-        "      \"delta\": {\"luts\": %lld, \"registers\": %lld, "
-        "\"period\": %lld},\n",
-        delta(r.before.luts, r.after.luts),
-        delta(r.before.registers, r.after.registers),
-        static_cast<long long>(r.period_after - r.period_before));
-    out += "      \"passes\": [";
-    for (std::size_t p = 0; p < r.executed.size(); ++p) {
-      const PassExecution& e = r.executed[p];
-      if (p != 0) out += ", ";
-      out += "{\"name\": " + quoted(e.name);
-      if (!canonical) out += str_format(", \"seconds\": %.6f", e.seconds);
-      out += str_format(", \"success\": %s", e.success ? "true" : "false");
-      if (e.rolled_back) out += ", \"rolled_back\": true";
-      out += ", \"summary\": " + quoted(e.summary) + "}";
-    }
-    out += "]\n";
-    out += i + 1 < results.size() ? "    },\n" : "    }\n";
+    out += bulk_job_result_to_json(results[i], json);
+    out += i + 1 < results.size() ? ",\n" : "\n";
   }
   out += "  ]\n";
   out += "}\n";

@@ -3,7 +3,9 @@
 // A BulkRunner takes a pipeline definition — a flow script (compiled
 // per job, since configured Pass instances are stateful) or a programmatic
 // PassManager factory — and runs it over N independent jobs on a
-// work-stealing ThreadPool. Each job owns its FlowContext and a private
+// work-stealing ThreadPool. Each job runs through the shared
+// execute_flow_job() core (pipeline/job_executor.h) — the same entry point
+// the `mcrt serve` daemon uses — with its own FlowContext and private
 // CollectingDiagnostics sink, so nothing is shared between concurrently
 // running flows; per-job results (pass timings, netlist stats and
 // register/period deltas, diagnostics) are merged into a BulkReport in job
@@ -28,35 +30,17 @@
 #include <functional>
 #include <optional>
 #include <string>
-#include <string_view>
 #include <vector>
 
 #include "base/cancel.h"
 #include "base/fault_injector.h"
 #include "base/thread_pool.h"
 #include "base/timer.h"
-#include "mcretime/mc_retime.h"
-#include "netlist/netlist.h"
 #include "pipeline/diagnostics.h"
+#include "pipeline/job_executor.h"
 #include "pipeline/pass_manager.h"
 
 namespace mcrt {
-
-/// One unit of bulk work: a named input source plus an optional output.
-struct BulkJob {
-  std::string name;
-  /// Produces the job's input netlist. Called on a worker thread; reports
-  /// problems to the (job-private) sink and returns std::nullopt on error.
-  std::function<std::optional<Netlist>(DiagnosticsSink&)> load;
-  std::string input_path;   ///< informational, recorded in the report
-  std::string output_path;  ///< empty = don't write the result anywhere
-};
-
-/// Loads `input_path` as BLIF (validating), writes to `output_path`.
-BulkJob make_file_job(std::string input_path, std::string output_path);
-/// Runs on a copy of `netlist`; the result stays in memory
-/// (BulkOptions::keep_netlists).
-BulkJob make_netlist_job(std::string name, Netlist netlist);
 
 struct BulkOptions {
   /// Worker threads; 0 = ThreadPool::default_worker_count().
@@ -95,50 +79,11 @@ struct BulkOptions {
   ResourceBudgets budgets;
 };
 
-/// How one job ended. kIoError (a failed output write or an injected
-/// environment fault) is the transient class the retry loop re-attempts;
-/// everything else is final for the batch.
-enum class JobStatus : std::uint8_t {
-  kOk,
-  kFailed,     ///< deterministic failure (bad input, failing pass, ...)
-  kTimeout,    ///< per-job deadline passed
-  kCancelled,  ///< batch-wide cancel (not recorded in manifests: re-run)
-  kIoError,    ///< transient I/O failure, retried up to max_retries
-};
-[[nodiscard]] const char* job_status_name(JobStatus status) noexcept;
-[[nodiscard]] std::optional<JobStatus> job_status_from_name(
-    std::string_view name) noexcept;
-
-/// Outcome of one job, in the batch's input order.
-struct BulkJobResult {
-  std::string name;
-  std::string input_path;
-  std::string output_path;
-  bool success = false;
-  JobStatus status = JobStatus::kFailed;
-  bool resumed = false;  ///< restored from a manifest, not executed
-  std::string error;  ///< why the job failed (success == false)
-
-  Netlist::Stats before;  ///< stats entering the flow (valid once loaded)
-  Netlist::Stats after;   ///< stats leaving the flow (success only)
-  std::int64_t period_before = 0;
-  std::int64_t period_after = 0;
-
-  /// Passes actually run, with per-pass seconds and summaries.
-  std::vector<PassExecution> executed;
-  PhaseProfile profile;   ///< per-pass wall clock of this job
-  double seconds = 0.0;   ///< whole-job wall clock (load + flow + store)
-  std::vector<Diagnostic> diagnostics;  ///< the job's private sink, in order
-
-  /// Statistics of the flow's retime pass, if one ran.
-  std::optional<McRetimeStats> retime_stats;
-  /// The result netlist (BulkOptions::keep_netlists, success only).
-  std::optional<Netlist> netlist;
-};
-
 struct BulkJsonOptions {
-  /// Drop wall-clock fields, worker counts and directory components so the
-  /// report is byte-identical across runs, --jobs levels and machines.
+  /// Drop wall-clock fields, worker counts, directory components and
+  /// machine-/configuration-specific provenance (build type, sanitizers)
+  /// so the report is byte-identical across runs, --jobs levels, build
+  /// configurations and machines.
   bool canonical = false;
 };
 
@@ -157,15 +102,38 @@ struct BulkReport {
   [[nodiscard]] double speedup() const {
     return wall_seconds > 0 ? cpu_seconds / wall_seconds : 0.0;
   }
-  /// The `mcrt bulk --report` JSON document (schema mcrt-bulk-report/2).
+  /// The `mcrt bulk --report` JSON document (schema mcrt-bulk-report/3,
+  /// with an embedded provenance block; see pipeline/report_reader.h for
+  /// the back-compatible consumer).
   [[nodiscard]] std::string to_json(const BulkJsonOptions& json = {}) const;
 };
 
+/// One per-job object of the report's "results" array, exactly as
+/// BulkReport::to_json() embeds it (four-space indent, trailing newline
+/// handling left to the caller). The server's result frames reuse this so
+/// a daemon-served job serializes byte-identically to a bulk-run one.
+[[nodiscard]] std::string bulk_job_result_to_json(const BulkJobResult& result,
+                                                  const BulkJsonOptions& json);
+
+/// The "provenance" JSON object embedded in reports and the server's
+/// hello frame: always tool + version + report schema; build type and
+/// sanitizer flags only when `canonical` is false (they vary across CI
+/// configurations).
+[[nodiscard]] std::string provenance_json(bool canonical);
+
+/// Assembles a full canonical report document from pre-serialized per-job
+/// objects (bulk_job_result_to_json with canonical = true). `mcrt client
+/// --report` uses this on the job objects returned in result frames;
+/// BulkReport::to_json(canonical) routes through the same function, so the
+/// two surfaces cannot drift — the server differential test byte-compares
+/// them.
+[[nodiscard]] std::string compose_canonical_report_json(
+    const std::string& script, const std::vector<std::string>& job_jsons,
+    std::size_t succeeded);
+
 class BulkRunner {
  public:
-  /// Builds a PassManager for one job. Returns false and sets *error on a
-  /// configuration problem (fails every job identically).
-  using PipelineFactory = std::function<bool(PassManager&, std::string*)>;
+  using PipelineFactory = PipelineBuilder;
 
   BulkRunner(std::string script, BulkOptions options = {});
   BulkRunner(PipelineFactory factory, BulkOptions options = {});

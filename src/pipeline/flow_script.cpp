@@ -101,13 +101,40 @@ class Parser {
     }
   }
 
-  static std::variant<std::vector<PassSpec>, FlowScriptError> error(
-      std::size_t offset, std::string message) {
-    return FlowScriptError{offset, std::move(message)};
+  /// Fills in line/column (1-based, counting '\n') and the token at
+  /// `offset`: the word starting there, the single non-word character, or
+  /// "end of script".
+  FlowScriptError locate(std::size_t offset, std::string message) const {
+    FlowScriptError err;
+    err.offset = offset;
+    err.message = std::move(message);
+    for (std::size_t i = 0; i < offset && i < script_.size(); ++i) {
+      if (script_[i] == '\n') {
+        ++err.line;
+        err.column = 1;
+      } else {
+        ++err.column;
+      }
+    }
+    if (offset >= script_.size()) {
+      err.token = "end of script";
+    } else if (is_word_char(script_[offset])) {
+      std::size_t end = offset;
+      while (end < script_.size() && is_word_char(script_[end])) ++end;
+      err.token = std::string(script_.substr(offset, end - offset));
+    } else {
+      err.token = std::string(1, script_[offset]);
+    }
+    return err;
   }
-  static std::optional<FlowScriptError> make_error(std::size_t offset,
-                                                   std::string message) {
-    return FlowScriptError{offset, std::move(message)};
+
+  std::variant<std::vector<PassSpec>, FlowScriptError> error(
+      std::size_t offset, std::string message) const {
+    return locate(offset, std::move(message));
+  }
+  std::optional<FlowScriptError> make_error(std::size_t offset,
+                                            std::string message) const {
+    return locate(offset, std::move(message));
   }
 
   std::string_view script_;
@@ -115,6 +142,11 @@ class Parser {
 };
 
 }  // namespace
+
+std::string FlowScriptError::format() const {
+  return str_format("line %zu, column %zu: %s (near '%s')", line, column,
+                    message.c_str(), token.c_str());
+}
 
 std::variant<std::vector<PassSpec>, FlowScriptError> parse_flow_script(
     std::string_view script) {
@@ -126,8 +158,7 @@ std::optional<std::string> compile_flow_script(std::string_view script,
                                                PassManager& manager) {
   auto parsed = parse_flow_script(script);
   if (const auto* err = std::get_if<FlowScriptError>(&parsed)) {
-    return str_format("flow script, offset %zu: %s", err->offset,
-                      err->message.c_str());
+    return "flow script, " + err->format();
   }
   auto& specs = std::get<std::vector<PassSpec>>(parsed);
   if (specs.empty()) return std::string("flow script is empty");

@@ -15,7 +15,10 @@
 // parse_flow_script() turns a script into PassSpecs; compile_flow_script()
 // additionally instantiates and configures each pass from a registry into
 // a PassManager, turning unknown names or bad arguments into one clear
-// error message.
+// error message. Parse errors carry the 1-based line/column and the
+// offending token, so multi-line scripts (e.g. piped into `mcrt serve`
+// requests) report "line 3, column 14: expected ';' (near 'strash')"
+// instead of a bare byte offset.
 #pragma once
 
 #include <optional>
@@ -38,7 +41,13 @@ struct PassSpec {
 
 struct FlowScriptError {
   std::size_t offset = 0;  ///< byte offset of the offending character
+  std::size_t line = 1;    ///< 1-based line of the offending character
+  std::size_t column = 1;  ///< 1-based column within that line
+  std::string token;  ///< the offending token ("end of script" at the end)
   std::string message;
+
+  /// "line L, column C: <message> (near '<token>')" — what the CLI prints.
+  [[nodiscard]] std::string format() const;
 };
 
 std::variant<std::vector<PassSpec>, FlowScriptError> parse_flow_script(

@@ -1,0 +1,196 @@
+#include "pipeline/job_executor.h"
+
+#include <filesystem>
+#include <system_error>
+#include <utility>
+
+#include "base/strings.h"
+#include "blif/blif.h"
+#include "pipeline/flow_context.h"
+#include "tech/sta.h"
+
+namespace mcrt {
+
+namespace fs = std::filesystem;
+
+const char* job_status_name(JobStatus status) noexcept {
+  switch (status) {
+    case JobStatus::kOk: return "ok";
+    case JobStatus::kFailed: return "failed";
+    case JobStatus::kTimeout: return "timeout";
+    case JobStatus::kCancelled: return "cancelled";
+    case JobStatus::kIoError: return "io-error";
+  }
+  return "unknown";
+}
+
+std::optional<JobStatus> job_status_from_name(std::string_view name) noexcept {
+  if (name == "ok") return JobStatus::kOk;
+  if (name == "failed") return JobStatus::kFailed;
+  if (name == "timeout") return JobStatus::kTimeout;
+  if (name == "cancelled") return JobStatus::kCancelled;
+  if (name == "io-error") return JobStatus::kIoError;
+  return std::nullopt;
+}
+
+BulkJob make_file_job(std::string input_path, std::string output_path) {
+  BulkJob job;
+  job.name = fs::path(input_path).stem().string();
+  job.input_path = input_path;
+  job.output_path = std::move(output_path);
+  job.load = [path = std::move(input_path)](
+                 DiagnosticsSink& diag) -> std::optional<Netlist> {
+    auto parsed = read_blif_file(path);
+    if (const auto* err = std::get_if<BlifError>(&parsed)) {
+      diag.error(path, str_format("line %zu: %s", err->line,
+                                  err->message.c_str()));
+      return std::nullopt;
+    }
+    Netlist netlist = std::move(std::get<Netlist>(parsed));
+    const auto problems = netlist.validate();
+    if (!problems.empty()) {
+      for (const std::string& problem : problems) diag.error(path, problem);
+      return std::nullopt;
+    }
+    return netlist;
+  };
+  return job;
+}
+
+BulkJob make_netlist_job(std::string name, Netlist netlist) {
+  BulkJob job;
+  job.name = std::move(name);
+  job.load = [netlist = std::move(netlist)](
+                 DiagnosticsSink&) -> std::optional<Netlist> {
+    return netlist;
+  };
+  return job;
+}
+
+namespace {
+
+/// Writes `netlist` to `path` via "<path>.tmp" + rename, so `path` only
+/// ever holds a complete output. Returns false (reporting to `diag`) and
+/// removes the temp file on any failure. The "write:<filename>" fault site
+/// simulates a failing filesystem for the retry tests.
+bool store_atomically(const Netlist& netlist, const std::string& path,
+                      DiagnosticsSink& diag, FaultInjector& faults,
+                      const CancelToken* cancel) {
+  const fs::path target(path);
+  if (faults.inject("write:" + target.filename().string(), cancel)) {
+    diag.error(path, "injected write fault");
+    return false;
+  }
+  std::error_code ec;
+  if (target.has_parent_path()) {
+    fs::create_directories(target.parent_path(), ec);  // best-effort
+  }
+  const std::string temp = path + ".tmp";
+  if (!write_blif_file(netlist, temp)) {
+    diag.error(path, "cannot write temp file " + temp);
+    fs::remove(temp, ec);
+    return false;
+  }
+  fs::rename(temp, target, ec);
+  if (ec) {
+    diag.error(path, "cannot rename " + temp + ": " + ec.message());
+    fs::remove(temp, ec);
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+void execute_flow_job(const BulkJob& job, const PipelineBuilder& pipeline,
+                      const JobExecutionOptions& options, BulkJobResult& out) {
+  CollectingDiagnostics diag;
+  Timer timer;
+  out.name = job.name;
+  out.input_path = job.input_path;
+  out.output_path = job.output_path;
+  out.status = JobStatus::kFailed;
+  FaultInjector& faults =
+      options.faults != nullptr ? *options.faults : FaultInjector::global();
+  // Per-job token: chains the caller-wide cancel and arms this job's own
+  // deadline, so one poll observes ctrl-C (or a cancel frame) and the
+  // timeout alike.
+  CancelToken job_cancel(options.cancel);
+  if (options.timeout_seconds > 0) {
+    job_cancel.set_timeout(options.timeout_seconds);
+  }
+  // Everything below runs on a worker thread; any escaping exception is
+  // this job's failure, never the batch's.
+  try {
+    if (faults.inject("job:" + job.name, &job_cancel)) {
+      // Injected environment fault: transient, eligible for retry.
+      out.status = JobStatus::kIoError;
+      out.error = "injected fault at job:" + job.name;
+      diag.error(job.name, out.error);
+    } else if (std::optional<Netlist> input = job.load(diag); !input) {
+      out.error = "cannot load input";
+    } else {
+      PassManager manager(options.manager);
+      std::string build_error;
+      if (!pipeline(manager, &build_error)) {
+        out.error = build_error;
+      } else {
+        FlowContext context(std::move(*input), &diag);
+        context.cancel = &job_cancel;
+        context.budgets = options.budgets;
+        context.faults = options.faults;
+        out.before = context.netlist().stats();
+        out.period_before = compute_period(context.netlist());
+        FlowResult flow = manager.run(context);
+        out.executed = std::move(flow.executed);
+        out.profile = std::move(flow.profile);
+        if (!flow.success) {
+          out.error = flow.error;
+          switch (flow.status) {
+            case FlowStatus::kTimeout:
+              out.status = JobStatus::kTimeout;
+              break;
+            case FlowStatus::kCancelled:
+              out.status = JobStatus::kCancelled;
+              break;
+            default:
+              out.status = JobStatus::kFailed;
+          }
+        } else {
+          out.after = context.netlist().stats();
+          out.period_after = compute_period(context.netlist());
+          out.retime_stats = context.retime_stats;
+          bool stored = true;
+          if (!job.output_path.empty()) {
+            stored = store_atomically(context.netlist(), job.output_path,
+                                      diag, faults, &job_cancel);
+            if (!stored) {
+              out.error = "cannot write output";
+              out.status = JobStatus::kIoError;
+            }
+          }
+          if (stored) {
+            if (options.keep_netlist) out.netlist = context.take_netlist();
+            out.success = true;
+            out.status = JobStatus::kOk;
+          }
+        }
+      }
+    }
+  } catch (const CancelledError& e) {
+    out.success = false;
+    out.status = e.reason() == StopReason::kTimeout ? JobStatus::kTimeout
+                                                    : JobStatus::kCancelled;
+    out.error = e.what();
+  } catch (const std::exception& e) {
+    out.success = false;
+    out.error = str_format("uncaught exception: %s", e.what());
+  } catch (...) {
+    out.success = false;
+    out.error = "uncaught exception";
+  }
+  out.seconds = timer.seconds();
+  out.diagnostics = diag.diagnostics();
+}
+
+}  // namespace mcrt

@@ -1,0 +1,118 @@
+// The shared per-job flow-execution core.
+//
+// execute_flow_job() is the one place that runs "load a netlist, compile
+// the pass pipeline, run it, collect diagnostics/profile/stats, optionally
+// write the result atomically" with full failure isolation: every outcome —
+// a bad input, a failing or throwing pass, a deadline, a cancelled batch,
+// an injected fault, an unwritable output — lands as a structured
+// BulkJobResult, never as an escaping exception. The parallel bulk engine
+// (pipeline/bulk_runner.h) and the retiming service (server/server.h) both
+// execute jobs through this entry point, so a request served by the daemon
+// cannot drift from what `mcrt bulk` would have produced for the same
+// circuit and script.
+//
+// A job gets its own CancelToken chained onto the caller's (so one poll
+// observes both the caller's stop request and the per-job deadline), its
+// own diagnostics sink, and — when an output path is set — an atomic
+// "<path>.tmp" + rename store so a failed job never leaves a partial file.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "base/cancel.h"
+#include "base/fault_injector.h"
+#include "base/timer.h"
+#include "mcretime/mc_retime.h"
+#include "netlist/netlist.h"
+#include "pipeline/diagnostics.h"
+#include "pipeline/pass_manager.h"
+
+namespace mcrt {
+
+/// One unit of flow work: a named input source plus an optional output.
+struct BulkJob {
+  std::string name;
+  /// Produces the job's input netlist. Called on a worker thread; reports
+  /// problems to the (job-private) sink and returns std::nullopt on error.
+  std::function<std::optional<Netlist>(DiagnosticsSink&)> load;
+  std::string input_path;   ///< informational, recorded in the report
+  std::string output_path;  ///< empty = don't write the result anywhere
+};
+
+/// Loads `input_path` as BLIF (validating), writes to `output_path`.
+BulkJob make_file_job(std::string input_path, std::string output_path);
+/// Runs on a copy of `netlist`; the result stays in memory
+/// (JobExecutionOptions::keep_netlist / BulkOptions::keep_netlists).
+BulkJob make_netlist_job(std::string name, Netlist netlist);
+
+/// How one job ended. kIoError (a failed output write or an injected
+/// environment fault) is the transient class retry loops re-attempt;
+/// everything else is final.
+enum class JobStatus : std::uint8_t {
+  kOk,
+  kFailed,     ///< deterministic failure (bad input, failing pass, ...)
+  kTimeout,    ///< per-job deadline passed
+  kCancelled,  ///< caller-wide cancel (not recorded in manifests: re-run)
+  kIoError,    ///< transient I/O failure, retried up to max_retries
+};
+[[nodiscard]] const char* job_status_name(JobStatus status) noexcept;
+[[nodiscard]] std::optional<JobStatus> job_status_from_name(
+    std::string_view name) noexcept;
+
+/// Outcome of one job.
+struct BulkJobResult {
+  std::string name;
+  std::string input_path;
+  std::string output_path;
+  bool success = false;
+  JobStatus status = JobStatus::kFailed;
+  bool resumed = false;  ///< restored from a manifest, not executed
+  std::string error;  ///< why the job failed (success == false)
+
+  Netlist::Stats before;  ///< stats entering the flow (valid once loaded)
+  Netlist::Stats after;   ///< stats leaving the flow (success only)
+  std::int64_t period_before = 0;
+  std::int64_t period_after = 0;
+
+  /// Passes actually run, with per-pass seconds and summaries.
+  std::vector<PassExecution> executed;
+  PhaseProfile profile;   ///< per-pass wall clock of this job
+  double seconds = 0.0;   ///< whole-job wall clock (load + flow + store)
+  std::vector<Diagnostic> diagnostics;  ///< the job's private sink, in order
+
+  /// Statistics of the flow's retime pass, if one ran.
+  std::optional<McRetimeStats> retime_stats;
+  /// The result netlist (keep_netlist, success only).
+  std::optional<Netlist> netlist;
+};
+
+/// Builds a PassManager for one job. Returns false and sets *error on a
+/// configuration problem (fails every job identically).
+using PipelineBuilder = std::function<bool(PassManager&, std::string*)>;
+
+struct JobExecutionOptions {
+  PassManagerOptions manager;
+  /// Keep the successful result netlist in BulkJobResult::netlist.
+  bool keep_netlist = false;
+  /// Per-job wall-clock deadline in seconds (0 = none).
+  double timeout_seconds = 0;
+  /// Caller-wide cancellation (batch ctrl-C, client disconnect, an
+  /// explicit cancel frame). The job chains its deadline token onto it.
+  const CancelToken* cancel = nullptr;
+  /// Per-job resource budgets, threaded into the job's FlowContext.
+  ResourceBudgets budgets;
+  /// Fault injection hooks (null = the MCRT_FAULT*-configured injector).
+  FaultInjector* faults = nullptr;
+};
+
+/// Runs one job start to finish into `out`. Never throws; safe to call
+/// concurrently from many threads with distinct `out` slots.
+void execute_flow_job(const BulkJob& job, const PipelineBuilder& pipeline,
+                      const JobExecutionOptions& options, BulkJobResult& out);
+
+}  // namespace mcrt

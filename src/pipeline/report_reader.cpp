@@ -1,0 +1,53 @@
+#include "pipeline/report_reader.h"
+
+#include "base/json.h"
+#include "base/strings.h"
+
+namespace mcrt {
+
+std::optional<BulkReportSummary> read_bulk_report(std::string_view json_text,
+                                                  std::string* error) {
+  auto parsed = Json::parse(json_text);
+  if (const auto* err = std::get_if<JsonParseError>(&parsed)) {
+    if (error != nullptr) {
+      *error = str_format("offset %zu: %s", err->offset, err->message.c_str());
+    }
+    return std::nullopt;
+  }
+  const Json& doc = std::get<Json>(parsed);
+  const std::string& schema = doc.at("schema").as_string();
+  constexpr std::string_view kPrefix = "mcrt-bulk-report/";
+  if (!starts_with(schema, kPrefix)) {
+    if (error != nullptr) *error = "not a bulk report: schema " + schema;
+    return std::nullopt;
+  }
+  BulkReportSummary summary;
+  summary.schema_version =
+      static_cast<int>(std::strtol(schema.c_str() + kPrefix.size(),
+                                   nullptr, 10));
+  if (summary.schema_version < 2 || summary.schema_version > 3) {
+    if (error != nullptr) *error = "unsupported report schema " + schema;
+    return std::nullopt;
+  }
+  summary.script = doc.at("script").as_string();
+  summary.circuits = static_cast<std::size_t>(doc.at("circuits").as_int());
+  summary.succeeded = static_cast<std::size_t>(doc.at("succeeded").as_int());
+  summary.failed = static_cast<std::size_t>(doc.at("failed").as_int());
+  for (const Json& result : doc.at("results").as_array()) {
+    summary.result_statuses.emplace_back(result.at("name").as_string(),
+                                         result.at("status").as_string());
+  }
+  if (const Json* provenance = doc.find("provenance")) {
+    ReportProvenance p;
+    p.tool = provenance->at("tool").as_string();
+    p.version = provenance->at("version").as_string();
+    p.build_type = provenance->at("build_type").as_string();
+    for (const Json& flag : provenance->at("sanitizers").as_array()) {
+      p.sanitizers.push_back(flag.as_string());
+    }
+    summary.provenance = std::move(p);
+  }
+  return summary;
+}
+
+}  // namespace mcrt

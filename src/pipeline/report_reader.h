@@ -1,0 +1,46 @@
+// Back-compatible consumer of `mcrt bulk` / `mcrt serve` JSON reports.
+//
+// The report schema is versioned ("mcrt-bulk-report/N" in the "schema"
+// field). Version 3 added a "provenance" block (tool, version, build type,
+// sanitizers); version 2 documents predate it. Scripts and regression
+// harnesses that aggregate over historical report files need to read both,
+// so this reader accepts /2 and /3 alike and surfaces the provenance only
+// when present.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mcrt {
+
+/// The provenance block of a /3 report (all fields empty/default when the
+/// document predates it or was written canonically without build info).
+struct ReportProvenance {
+  std::string tool;
+  std::string version;
+  std::string build_type;              ///< empty in canonical reports
+  std::vector<std::string> sanitizers; ///< empty in canonical reports
+};
+
+/// The header-level summary any schema version carries.
+struct BulkReportSummary {
+  int schema_version = 0;  ///< 2 or 3
+  std::string script;
+  std::size_t circuits = 0;
+  std::size_t succeeded = 0;
+  std::size_t failed = 0;
+  /// Per-result (name, status) pairs in report order.
+  std::vector<std::pair<std::string, std::string>> result_statuses;
+  std::optional<ReportProvenance> provenance;  ///< /3 only
+};
+
+/// Parses a bulk/server report document of schema /2 or /3. Returns
+/// std::nullopt (and sets *error when given) for malformed JSON, a
+/// missing/unknown schema marker, or a schema version this reader does
+/// not understand.
+[[nodiscard]] std::optional<BulkReportSummary> read_bulk_report(
+    std::string_view json_text, std::string* error = nullptr);
+
+}  // namespace mcrt

@@ -1,0 +1,183 @@
+#include "server/client.h"
+
+#include <algorithm>
+
+namespace mcrt {
+namespace {
+
+Diagnostic diagnostic_from_frame(const Json& frame) {
+  Diagnostic diag;
+  const std::string& severity = frame.at("severity").as_string();
+  if (severity == "error") {
+    diag.severity = DiagSeverity::kError;
+  } else if (severity == "warning") {
+    diag.severity = DiagSeverity::kWarning;
+  } else {
+    diag.severity = DiagSeverity::kNote;
+  }
+  diag.origin = frame.at("origin").as_string();
+  diag.message = frame.at("message").as_string();
+  return diag;
+}
+
+}  // namespace
+
+bool ServeClient::connect(const SocketEndpoint& endpoint, std::string* error) {
+  stream_ = connect_socket(endpoint, error);
+  if (!stream_.valid()) return false;
+  std::optional<Json> frame = read_control_frame(error);
+  if (!frame || frame->at("frame").as_string() != "hello") {
+    if (error != nullptr && error->empty()) {
+      *error = "no hello greeting from " + endpoint.describe();
+    }
+    return false;
+  }
+  greeting_ = std::move(*frame);
+  return true;
+}
+
+bool ServeClient::submit(const JobRequest& request) {
+  RequestFrame frame;
+  frame.kind = RequestFrame::Kind::kJob;
+  frame.job = request;
+  if (!stream_.write_line(write_request_frame(frame))) return false;
+  pending_.push_back(request.id);
+  ClientJobResult& slot = results_[request.id];
+  slot.id = request.id;
+  return true;
+}
+
+bool ServeClient::cancel(const std::string& id) {
+  RequestFrame frame;
+  frame.kind = RequestFrame::Kind::kCancel;
+  frame.cancel_id = id;
+  return stream_.write_line(write_request_frame(frame));
+}
+
+std::optional<Json> ServeClient::query_stats(std::string* error) {
+  RequestFrame request;
+  request.kind = RequestFrame::Kind::kStats;
+  if (!stream_.write_line(write_request_frame(request))) {
+    if (error != nullptr) *error = "connection lost";
+    return std::nullopt;
+  }
+  for (;;) {
+    std::optional<Json> frame = read_control_frame(error);
+    if (!frame) return std::nullopt;
+    if (frame->at("frame").as_string() == "stats") return frame;
+  }
+}
+
+bool ServeClient::query_hello(std::string* error) {
+  RequestFrame request;
+  request.kind = RequestFrame::Kind::kHello;
+  if (!stream_.write_line(write_request_frame(request))) {
+    if (error != nullptr) *error = "connection lost";
+    return false;
+  }
+  for (;;) {
+    std::optional<Json> frame = read_control_frame(error);
+    if (!frame) return false;
+    if (frame->at("frame").as_string() == "hello") {
+      greeting_ = std::move(*frame);
+      return true;
+    }
+  }
+}
+
+bool ServeClient::send_shutdown() {
+  RequestFrame request;
+  request.kind = RequestFrame::Kind::kShutdown;
+  return stream_.write_line(write_request_frame(request));
+}
+
+bool ServeClient::collect(std::vector<ClientJobResult>* results,
+                          std::string* error) {
+  auto outstanding = [this] {
+    return std::any_of(pending_.begin(), pending_.end(),
+                       [this](const std::string& id) {
+                         auto it = results_.find(id);
+                         return it != results_.end() && it->second.status.empty();
+                       });
+  };
+  while (outstanding()) {
+    if (!read_one_frame(error)) {
+      if (error != nullptr && error->empty()) {
+        *error = "connection closed with results outstanding";
+      }
+      return false;
+    }
+  }
+  if (results != nullptr) {
+    results->clear();
+    for (const std::string& id : pending_) results->push_back(results_[id]);
+  }
+  return true;
+}
+
+std::optional<Json> ServeClient::read_one_frame(std::string* error) {
+  std::optional<std::string> line;
+  do {
+    line = stream_.read_line();
+    if (!line) {
+      if (error != nullptr) *error = "connection closed";
+      return std::nullopt;
+    }
+  } while (line->empty());
+  auto parsed = Json::parse(*line);
+  if (const auto* err = std::get_if<JsonParseError>(&parsed)) {
+    if (error != nullptr) {
+      *error = "malformed frame from server: " + err->message;
+    }
+    return std::nullopt;
+  }
+  Json frame = std::move(std::get<Json>(parsed));
+  const std::string& kind = frame.at("frame").as_string();
+  if (kind == "accepted" || kind == "diagnostic" || kind == "result" ||
+      kind == "error") {
+    fold_job_frame(frame);
+    return Json();  // folded: not a control frame
+  }
+  return frame;
+}
+
+std::optional<Json> ServeClient::read_control_frame(std::string* error) {
+  for (;;) {
+    std::optional<Json> frame = read_one_frame(error);
+    if (!frame) return std::nullopt;
+    if (!frame->is_null()) return frame;
+  }
+}
+
+void ServeClient::fold_job_frame(const Json& frame) {
+  const std::string& kind = frame.at("frame").as_string();
+  const std::string& id = frame.at("id").as_string();
+  auto it = results_.find(id);
+  if (it == results_.end()) {
+    if (kind == "error") {
+      protocol_errors_.push_back(frame.at("message").as_string());
+    }
+    return;
+  }
+  ClientJobResult& slot = it->second;
+  if (kind == "accepted") return;
+  if (kind == "diagnostic") {
+    slot.diagnostics.push_back(diagnostic_from_frame(frame));
+    return;
+  }
+  if (kind == "error") {
+    slot.status = "failed";
+    slot.error = frame.at("message").as_string();
+    return;
+  }
+  // result
+  slot.name = frame.at("name").as_string();
+  slot.status = frame.at("status").as_string();
+  slot.success = frame.at("success").as_bool();
+  slot.cached = frame.at("cached").as_bool();
+  slot.error = frame.at("error").as_string();
+  slot.job_json = frame.at("job").as_string();
+  slot.blif = frame.at("blif").as_string();
+}
+
+}  // namespace mcrt

@@ -1,0 +1,90 @@
+// Client side of the `mcrt serve` protocol.
+//
+// ServeClient speaks the newline-delimited JSON protocol for the `mcrt
+// client` subcommand and the server tests: connect (consuming the daemon's
+// greeting hello frame), pipeline any number of job submissions, then
+// collect() the terminal result frames — responses arrive in completion
+// order and are matched back to submissions by id, with streamed
+// diagnostic frames folded into their job's result. Control round-trips
+// (hello, stats, cancel, shutdown) interleave safely with in-flight jobs:
+// any job frames read while waiting for a control reply are folded into
+// the in-flight state, not dropped.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "base/json.h"
+#include "base/socket.h"
+#include "pipeline/diagnostics.h"
+#include "server/protocol.h"
+
+namespace mcrt {
+
+/// One job request's terminal outcome as seen over the wire.
+struct ClientJobResult {
+  std::string id;
+  std::string name;
+  std::string status;  ///< job_status_name: "ok", "failed", ...
+  bool success = false;
+  bool cached = false;   ///< served from the daemon's result cache
+  std::string error;     ///< failure reason (empty on success)
+  std::string job_json;  ///< the per-job report object (pretty, bulk format)
+  std::string blif;      ///< result netlist (return_blif requests only)
+  std::vector<Diagnostic> diagnostics;  ///< streamed diagnostic frames
+};
+
+class ServeClient {
+ public:
+  /// Connects and consumes the greeting hello frame. Returns false and
+  /// sets *error on connect/handshake failure.
+  [[nodiscard]] bool connect(const SocketEndpoint& endpoint,
+                             std::string* error);
+
+  /// The daemon's greeting (version, protocol, build type, workers).
+  [[nodiscard]] const Json& greeting() const noexcept { return greeting_; }
+
+  /// Sends a job submission; its result arrives via collect().
+  [[nodiscard]] bool submit(const JobRequest& request);
+  /// Sends `{"cancel": id}`; the cancelled job still delivers a (terminal,
+  /// status "cancelled") result frame.
+  [[nodiscard]] bool cancel(const std::string& id);
+  /// `{"stats"}` round-trip; job frames arriving meanwhile are folded in.
+  [[nodiscard]] std::optional<Json> query_stats(std::string* error);
+  /// `{"hello"}` round-trip (refreshes greeting()).
+  [[nodiscard]] bool query_hello(std::string* error);
+  /// Asks the daemon to stop (when it allows remote shutdown).
+  [[nodiscard]] bool send_shutdown();
+
+  /// Blocks until every submitted job has its result (submission order).
+  /// Returns false and sets *error when the connection drops first.
+  [[nodiscard]] bool collect(std::vector<ClientJobResult>* results,
+                             std::string* error);
+
+  /// Protocol-level error frames the daemon sent for unmatchable requests.
+  [[nodiscard]] const std::vector<std::string>& protocol_errors() const {
+    return protocol_errors_;
+  }
+
+  void close() { stream_.close(); }
+
+ private:
+  /// Reads and processes exactly one frame: job-related frames are folded
+  /// into the in-flight state, control frames (hello/stats/cancel-ack/bye)
+  /// are returned as-is; folded frames return an is-null Json. Returns
+  /// std::nullopt on EOF/error.
+  [[nodiscard]] std::optional<Json> read_one_frame(std::string* error);
+  /// read_one_frame() until a control frame arrives.
+  [[nodiscard]] std::optional<Json> read_control_frame(std::string* error);
+  void fold_job_frame(const Json& frame);
+
+  SocketStream stream_;
+  Json greeting_;
+  std::vector<std::string> pending_;  ///< ids submitted, result outstanding
+  std::map<std::string, ClientJobResult> results_;
+  std::vector<std::string> protocol_errors_;
+};
+
+}  // namespace mcrt

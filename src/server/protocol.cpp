@@ -1,0 +1,239 @@
+#include "server/protocol.h"
+
+#include "base/version.h"
+
+namespace mcrt {
+namespace {
+
+constexpr double kBytesPerMb = 1024.0 * 1024.0;
+
+JobRequestOptions parse_options(const Json& options) {
+  JobRequestOptions parsed;
+  parsed.timeout_seconds = options.at("timeout").as_number(0);
+  parsed.canonical = options.at("canonical").as_bool(false);
+  parsed.return_blif = options.at("return_blif").as_bool(false);
+  parsed.validate = options.at("validate").as_bool(true);
+  parsed.verify = options.at("verify").as_bool(false);
+  if (const Json* budgets = options.find("budgets")) {
+    parsed.budgets.bdd_node_cap =
+        static_cast<std::size_t>(budgets->at("bdd_nodes").as_int(0));
+    parsed.budgets.bmc_step_cap =
+        static_cast<std::size_t>(budgets->at("bmc_steps").as_int(0));
+    parsed.budgets.max_rss_bytes = static_cast<std::size_t>(
+        budgets->at("max_rss_mb").as_number(0) * kBytesPerMb);
+  }
+  return parsed;
+}
+
+Json options_to_json(const JobRequestOptions& options) {
+  Json object = Json::object();
+  if (options.timeout_seconds > 0) object.set("timeout", options.timeout_seconds);
+  if (options.canonical) object.set("canonical", true);
+  if (options.return_blif) object.set("return_blif", true);
+  if (!options.validate) object.set("validate", false);
+  if (options.verify) object.set("verify", true);
+  const ResourceBudgets& b = options.budgets;
+  if (b.bdd_node_cap != 0 || b.bmc_step_cap != 0 || b.max_rss_bytes != 0) {
+    Json budgets = Json::object();
+    if (b.bdd_node_cap != 0) budgets.set("bdd_nodes", b.bdd_node_cap);
+    if (b.bmc_step_cap != 0) budgets.set("bmc_steps", b.bmc_step_cap);
+    if (b.max_rss_bytes != 0) {
+      budgets.set("max_rss_mb", static_cast<double>(b.max_rss_bytes) /
+                                    kBytesPerMb);
+    }
+    object.set("budgets", std::move(budgets));
+  }
+  return object;
+}
+
+}  // namespace
+
+std::variant<RequestFrame, std::string> parse_request_frame(
+    const std::string& line) {
+  auto parsed = Json::parse(line);
+  if (const auto* err = std::get_if<JsonParseError>(&parsed)) {
+    return "malformed JSON at offset " + std::to_string(err->offset) + ": " +
+           err->message;
+  }
+  const Json& doc = std::get<Json>(parsed);
+  if (!doc.is_object()) return std::string("request must be a JSON object");
+
+  RequestFrame frame;
+  if (doc.has("hello")) {
+    frame.kind = RequestFrame::Kind::kHello;
+    return frame;
+  }
+  if (doc.has("stats")) {
+    frame.kind = RequestFrame::Kind::kStats;
+    return frame;
+  }
+  if (doc.has("shutdown")) {
+    frame.kind = RequestFrame::Kind::kShutdown;
+    return frame;
+  }
+  if (const Json* cancel = doc.find("cancel")) {
+    if (!cancel->is_string() || cancel->as_string().empty()) {
+      return std::string("'cancel' must name a request id");
+    }
+    frame.kind = RequestFrame::Kind::kCancel;
+    frame.cancel_id = cancel->as_string();
+    return frame;
+  }
+
+  // Everything else must be a job submission.
+  frame.kind = RequestFrame::Kind::kJob;
+  JobRequest& job = frame.job;
+  job.id = doc.at("id").as_string();
+  if (job.id.empty()) {
+    return std::string("job request is missing a non-empty 'id'");
+  }
+  job.script = doc.at("script").as_string();
+  if (job.script.empty()) {
+    return std::string("job request is missing a non-empty 'script'");
+  }
+  job.blif = doc.at("blif").as_string();
+  job.path = doc.at("path").as_string();
+  if (job.blif.empty() && job.path.empty()) {
+    return std::string("job request needs 'blif' text or a 'path'");
+  }
+  job.name = doc.at("name").as_string();
+  job.output = doc.at("output").as_string();
+  if (const Json* options = doc.find("options")) {
+    if (!options->is_object()) {
+      return std::string("'options' must be an object");
+    }
+    job.options = parse_options(*options);
+  }
+  return frame;
+}
+
+std::string write_request_frame(const RequestFrame& frame) {
+  Json object = Json::object();
+  switch (frame.kind) {
+    case RequestFrame::Kind::kHello:
+      object.set("hello", true);
+      break;
+    case RequestFrame::Kind::kStats:
+      object.set("stats", true);
+      break;
+    case RequestFrame::Kind::kShutdown:
+      object.set("shutdown", true);
+      break;
+    case RequestFrame::Kind::kCancel:
+      object.set("cancel", frame.cancel_id);
+      break;
+    case RequestFrame::Kind::kJob: {
+      const JobRequest& job = frame.job;
+      object.set("id", job.id);
+      object.set("script", job.script);
+      if (!job.blif.empty()) object.set("blif", job.blif);
+      if (!job.path.empty()) object.set("path", job.path);
+      if (!job.name.empty()) object.set("name", job.name);
+      if (!job.output.empty()) object.set("output", job.output);
+      Json options = options_to_json(job.options);
+      if (!options.as_object().empty()) object.set("options", std::move(options));
+      break;
+    }
+  }
+  return object.write();
+}
+
+std::string make_hello_frame(std::size_t jobs) {
+  Json frame = Json::object();
+  frame.set("frame", "hello");
+  frame.set("tool", "mcrt");
+  frame.set("version", version_string());
+  frame.set("protocol", protocol_version());
+  frame.set("build_type", build_type());
+  Json sanitizers = Json::array();
+  for (const std::string& flag : sanitizer_flags()) sanitizers.push_back(flag);
+  frame.set("sanitizers", std::move(sanitizers));
+  frame.set("jobs", jobs);
+  return frame.write();
+}
+
+std::string make_accepted_frame(const std::string& id) {
+  Json frame = Json::object();
+  frame.set("frame", "accepted");
+  frame.set("id", id);
+  return frame.write();
+}
+
+std::string make_diagnostic_frame(const std::string& id,
+                                  const Diagnostic& diag) {
+  Json frame = Json::object();
+  frame.set("frame", "diagnostic");
+  frame.set("id", id);
+  frame.set("severity", diag_severity_name(diag.severity));
+  frame.set("origin", diag.origin);
+  frame.set("message", diag.message);
+  return frame.write();
+}
+
+std::string make_result_frame(const std::string& id,
+                              const BulkJobResult& result, bool cached,
+                              const std::string& job_json,
+                              const std::string* blif) {
+  Json frame = Json::object();
+  frame.set("frame", "result");
+  frame.set("id", id);
+  frame.set("name", result.name);
+  frame.set("status", job_status_name(result.status));
+  frame.set("success", result.success);
+  frame.set("cached", cached);
+  if (!result.error.empty()) frame.set("error", result.error);
+  frame.set("job", job_json);
+  if (blif != nullptr) frame.set("blif", *blif);
+  return frame.write();
+}
+
+std::string make_cancel_ack_frame(const std::string& id, bool found) {
+  Json frame = Json::object();
+  frame.set("frame", "cancel-ack");
+  frame.set("id", id);
+  frame.set("found", found);
+  return frame.write();
+}
+
+std::string make_stats_frame(const ServerStats& server,
+                             const CacheStats& cache) {
+  Json frame = Json::object();
+  frame.set("frame", "stats");
+  Json srv = Json::object();
+  srv.set("requests", server.requests);
+  srv.set("ok", server.ok);
+  srv.set("failed", server.failed);
+  srv.set("timeout", server.timeout);
+  srv.set("cancelled", server.cancelled);
+  srv.set("cache_served", server.cache_served);
+  srv.set("sessions", server.sessions);
+  srv.set("jobs", server.jobs);
+  frame.set("server", std::move(srv));
+  Json c = Json::object();
+  c.set("entries", cache.entries);
+  c.set("bytes", cache.bytes);
+  c.set("capacity_bytes", cache.capacity_bytes);
+  c.set("hits", cache.hits);
+  c.set("misses", cache.misses);
+  c.set("insertions", cache.insertions);
+  c.set("evictions", cache.evictions);
+  frame.set("cache", std::move(c));
+  return frame.write();
+}
+
+std::string make_error_frame(const std::string& id,
+                             const std::string& message) {
+  Json frame = Json::object();
+  frame.set("frame", "error");
+  if (!id.empty()) frame.set("id", id);
+  frame.set("message", message);
+  return frame.write();
+}
+
+std::string make_bye_frame() {
+  Json frame = Json::object();
+  frame.set("frame", "bye");
+  return frame.write();
+}
+
+}  // namespace mcrt

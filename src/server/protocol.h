@@ -1,0 +1,113 @@
+// The `mcrt serve` wire protocol: newline-delimited JSON frames.
+//
+// Every message — client request or server response — is one JSON object
+// on one line, terminated by '\n'. Requests:
+//
+//   {"hello": true}                          handshake / version probe
+//   {"id": "j1", "script": "sweep; retime(d=10)",
+//    "blif": "<text>" | "path": "<file>",    inline circuit or server path
+//    "name": "r00",                          job name (default: path stem/id)
+//    "output": "<file>",                     atomic server-side result write
+//    "options": {"timeout": 5.0, "canonical": true, "return_blif": true,
+//                "validate": true, "verify": false,
+//                "budgets": {"bdd_nodes": 0, "bmc_steps": 0, "max_rss_mb": 0}}}
+//   {"cancel": "j1"}                         cancel an in-flight request
+//   {"stats": true}                          server + cache counters
+//   {"shutdown": true}                       stop the daemon (when allowed)
+//
+// Responses carry a "frame" discriminator: "hello", "accepted",
+// "diagnostic" (streamed per job diagnostic), "result" (terminal, exactly
+// one per job request), "cancel-ack", "stats", "error", "bye". Frames for
+// different requests interleave, matched by "id"; frames for one request
+// are ordered accepted -> diagnostics -> result. docs/SERVER.md documents
+// every field.
+//
+// This header is the shared vocabulary: request parsing for the server,
+// response builders for the server, and both directions for the client and
+// the protocol tests.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "base/cancel.h"
+#include "base/json.h"
+#include "pipeline/diagnostics.h"
+#include "pipeline/job_executor.h"
+#include "server/result_cache.h"
+
+namespace mcrt {
+
+/// Per-request execution options (the "options" object).
+struct JobRequestOptions {
+  double timeout_seconds = 0;  ///< 0 = server default
+  bool canonical = false;      ///< canonical (byte-stable) job serialization
+  bool return_blif = false;    ///< include the result netlist in the frame
+  bool validate = true;        ///< PassManagerOptions::check_invariants
+  bool verify = false;         ///< PassManagerOptions::check_equivalence
+  ResourceBudgets budgets;     ///< zero fields inherit the server default
+};
+
+/// A parsed job-submission request.
+struct JobRequest {
+  std::string id;
+  std::string name;    ///< empty: derived from path stem, else id
+  std::string script;
+  std::string blif;    ///< inline BLIF text (wins over path when both set)
+  std::string path;    ///< server-side input file
+  std::string output;  ///< server-side atomic result write (empty = none)
+  JobRequestOptions options;
+};
+
+/// Any client request.
+struct RequestFrame {
+  enum class Kind : std::uint8_t { kHello, kJob, kCancel, kStats, kShutdown };
+  Kind kind = Kind::kHello;
+  JobRequest job;         ///< kJob only
+  std::string cancel_id;  ///< kCancel only
+};
+
+/// Parses one request line. Returns the frame or a protocol error message
+/// (malformed JSON, unknown frame shape, missing required fields).
+[[nodiscard]] std::variant<RequestFrame, std::string> parse_request_frame(
+    const std::string& line);
+
+/// Serializes a request back to its wire line (without the '\n').
+[[nodiscard]] std::string write_request_frame(const RequestFrame& frame);
+
+/// Server-level counters for the stats frame.
+struct ServerStats {
+  std::uint64_t requests = 0;      ///< job requests accepted
+  std::uint64_t ok = 0;
+  std::uint64_t failed = 0;        ///< kFailed + kIoError
+  std::uint64_t timeout = 0;
+  std::uint64_t cancelled = 0;
+  std::uint64_t cache_served = 0;  ///< results answered from the cache
+  std::size_t sessions = 0;        ///< currently connected clients
+  std::size_t jobs = 0;            ///< worker threads
+};
+
+// Response-frame builders (each returns the wire line without the '\n').
+[[nodiscard]] std::string make_hello_frame(std::size_t jobs);
+[[nodiscard]] std::string make_accepted_frame(const std::string& id);
+[[nodiscard]] std::string make_diagnostic_frame(const std::string& id,
+                                                const Diagnostic& diag);
+/// The terminal frame of a job request. `job_json` is the pretty per-job
+/// report object (bulk_job_result_to_json); `blif` is included only when
+/// the request asked for return_blif.
+[[nodiscard]] std::string make_result_frame(const std::string& id,
+                                            const BulkJobResult& result,
+                                            bool cached,
+                                            const std::string& job_json,
+                                            const std::string* blif);
+[[nodiscard]] std::string make_cancel_ack_frame(const std::string& id,
+                                                bool found);
+[[nodiscard]] std::string make_stats_frame(const ServerStats& server,
+                                           const CacheStats& cache);
+[[nodiscard]] std::string make_error_frame(const std::string& id,
+                                           const std::string& message);
+[[nodiscard]] std::string make_bye_frame();
+
+}  // namespace mcrt

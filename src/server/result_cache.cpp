@@ -1,0 +1,119 @@
+#include "server/result_cache.h"
+
+namespace mcrt {
+namespace {
+
+// splitmix64 finalizer; same mixing quality as the structural hash lanes.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t combine(std::uint64_t h, std::uint64_t v) {
+  return mix64(h ^ (v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2)));
+}
+
+std::uint64_t hash_text(std::uint64_t h, std::string_view text) {
+  std::uint64_t word = 0;
+  int filled = 0;
+  for (const char c : text) {
+    word = (word << 8) | static_cast<unsigned char>(c);
+    if (++filled == 8) {
+      h = combine(h, word);
+      word = 0;
+      filled = 0;
+    }
+  }
+  return combine(combine(h, word), text.size());
+}
+
+}  // namespace
+
+std::uint64_t flow_options_hash(const std::string& script,
+                                const PassManagerOptions& manager,
+                                const ResourceBudgets& budgets) {
+  std::uint64_t h = 0x6d6372744b657931ULL;  // "mcrtKey1"
+  h = hash_text(h, script);
+  h = combine(h, manager.check_invariants ? 1 : 0);
+  h = combine(h, manager.check_equivalence ? 1 : 0);
+  h = combine(h, static_cast<std::uint64_t>(manager.equivalence.cycles));
+  h = combine(h, static_cast<std::uint64_t>(manager.equivalence.runs));
+  h = combine(h, manager.equivalence.seed);
+  h = combine(h, static_cast<std::uint64_t>(budgets.bdd_node_cap));
+  h = combine(h, static_cast<std::uint64_t>(budgets.bmc_step_cap));
+  h = combine(h, static_cast<std::uint64_t>(budgets.max_rss_bytes));
+  return h;
+}
+
+std::size_t CachedResult::approximate_bytes() const {
+  std::size_t bytes = sizeof(CachedResult) + blif.size() + job.name.size() +
+                      job.input_path.size() + job.output_path.size() +
+                      job.error.size();
+  for (const PassExecution& pass : job.executed) {
+    bytes += sizeof(PassExecution) + pass.name.size() + pass.summary.size();
+  }
+  for (const Diagnostic& diag : job.diagnostics) {
+    bytes += sizeof(Diagnostic) + diag.origin.size() + diag.message.size();
+  }
+  bytes += job.profile.phases().size() * 64;
+  return bytes;
+}
+
+std::optional<CachedResult> ResultCache::lookup(const CacheKey& key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++counters_.misses;
+    return std::nullopt;
+  }
+  ++counters_.hits;
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return it->second->result;
+}
+
+void ResultCache::insert(const CacheKey& key, CachedResult result) {
+  const std::size_t bytes = result.approximate_bytes();
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (bytes > capacity_bytes_) return;
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    bytes_ -= it->second->bytes;
+    lru_.erase(it->second);
+    index_.erase(it);
+  }
+  lru_.push_front(Entry{key, std::move(result), bytes});
+  index_[key] = lru_.begin();
+  bytes_ += bytes;
+  ++counters_.insertions;
+  evict_to_fit_locked();
+}
+
+void ResultCache::evict_to_fit_locked() {
+  while (bytes_ > capacity_bytes_ && !lru_.empty()) {
+    const Entry& cold = lru_.back();
+    bytes_ -= cold.bytes;
+    index_.erase(cold.key);
+    lru_.pop_back();
+    ++counters_.evictions;
+  }
+}
+
+CacheStats ResultCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  CacheStats stats = counters_;
+  stats.entries = lru_.size();
+  stats.bytes = bytes_;
+  stats.capacity_bytes = capacity_bytes_;
+  return stats;
+}
+
+void ResultCache::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  lru_.clear();
+  index_.clear();
+  bytes_ = 0;
+}
+
+}  // namespace mcrt

@@ -1,0 +1,111 @@
+// Content-addressed result cache for the retiming service.
+//
+// Retiming is deterministic: the same input netlist run through the same
+// flow script under the same result-affecting options always produces the
+// same output netlist, pass summaries and statistics. The daemon therefore
+// keys completed results by (structural netlist hash, script/options hash)
+// and serves repeated circuits — corpus regressions, clocking-conversion
+// flows that re-run retiming per step, N clients sweeping the same designs
+// — straight from memory in microseconds.
+//
+// The cache is a bounded, thread-safe LRU: entries charge their
+// approximate in-memory footprint against a byte budget (`mcrt serve
+// --cache-mb`), and inserting past the budget evicts from the cold end.
+// Only successful (kOk) results are cached; failures, timeouts and
+// cancellations always re-execute. Hit/miss/eviction counters feed the
+// `{"stats"}` protocol frame.
+//
+// Keys are 192 bits (128-bit structural hash + 64-bit script/options
+// hash); a collision would require ~2^96 distinct circuits in one daemon's
+// lifetime, far beyond any realistic workload, so entries are trusted
+// without byte-comparing inputs (docs/SERVER.md#cache discusses this).
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "netlist/structural_hash.h"
+#include "pipeline/job_executor.h"
+
+namespace mcrt {
+
+struct CacheKey {
+  StructuralHash netlist;
+  std::uint64_t flow = 0;  ///< hash of script + result-affecting options
+
+  [[nodiscard]] bool operator==(const CacheKey&) const = default;
+};
+
+/// Digest of the flow script plus every option that can change a result
+/// (invariant checking, equivalence spot checks, resource budgets).
+/// Serialization-only options (canonical) and schedule-only ones
+/// (timeouts) deliberately do not contribute.
+[[nodiscard]] std::uint64_t flow_options_hash(const std::string& script,
+                                              const PassManagerOptions& manager,
+                                              const ResourceBudgets& budgets);
+
+/// A cached successful result: the job record (stats, passes, diagnostics;
+/// netlist field unused) plus the serialized output netlist.
+struct CachedResult {
+  BulkJobResult job;  ///< name/input/output are the *first* requester's
+  std::string blif;   ///< write_blif_string() of the result netlist
+
+  [[nodiscard]] std::size_t approximate_bytes() const;
+};
+
+struct CacheStats {
+  std::size_t entries = 0;
+  std::size_t bytes = 0;
+  std::size_t capacity_bytes = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t insertions = 0;
+  std::uint64_t evictions = 0;
+};
+
+class ResultCache {
+ public:
+  /// `capacity_bytes == 0` disables caching (every lookup misses).
+  explicit ResultCache(std::size_t capacity_bytes)
+      : capacity_bytes_(capacity_bytes) {}
+
+  /// Returns a copy of the entry and refreshes its recency, counting a
+  /// hit; std::nullopt (counting a miss) when absent.
+  [[nodiscard]] std::optional<CachedResult> lookup(const CacheKey& key);
+
+  /// Inserts (or refreshes) an entry, evicting cold entries until the
+  /// budget holds. An entry larger than the whole budget is not cached.
+  void insert(const CacheKey& key, CachedResult result);
+
+  [[nodiscard]] CacheStats stats() const;
+  void clear();
+
+ private:
+  struct Entry {
+    CacheKey key;
+    CachedResult result;
+    std::size_t bytes = 0;
+  };
+  struct KeyHash {
+    std::size_t operator()(const CacheKey& key) const noexcept {
+      // Lanes are already full-entropy; fold them.
+      return static_cast<std::size_t>(key.netlist.hi ^ (key.netlist.lo * 3) ^
+                                      (key.flow * 7));
+    }
+  };
+
+  void evict_to_fit_locked();
+
+  mutable std::mutex mutex_;
+  std::size_t capacity_bytes_;
+  std::size_t bytes_ = 0;
+  std::list<Entry> lru_;  ///< front = hottest
+  std::unordered_map<CacheKey, std::list<Entry>::iterator, KeyHash> index_;
+  CacheStats counters_;
+};
+
+}  // namespace mcrt

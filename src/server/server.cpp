@@ -1,0 +1,124 @@
+#include "server/server.h"
+
+#include <utility>
+
+#include "base/strings.h"
+
+namespace mcrt {
+
+RetimingServer::RetimingServer(ServerOptions options)
+    : options_(std::move(options)), cache_(options_.cache_bytes) {}
+
+RetimingServer::~RetimingServer() {
+  request_stop();
+  shutdown_all_sessions();
+}
+
+bool RetimingServer::start(std::string* error) {
+  if (!listener_.listen(options_.endpoint, error)) return false;
+  pool_ = std::make_unique<ThreadPool>(options_.jobs);
+  log_note("server", "listening on " + bound_endpoint().describe() +
+                         str_format(" with %zu workers",
+                                    pool_->worker_count()));
+  return true;
+}
+
+void RetimingServer::run(const CancelToken* interrupt) {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    if (cancel_requested(interrupt) != StopReason::kNone) {
+      request_stop();
+      break;
+    }
+    std::optional<SocketStream> stream =
+        listener_.accept(options_.accept_timeout_ms);
+    {
+      std::lock_guard<std::mutex> lock(sessions_mutex_);
+      reap_finished_sessions_locked();
+      if (stream && !stopping_.load(std::memory_order_acquire)) {
+        auto session = std::make_unique<Session>(*this, std::move(*stream),
+                                                 next_session_id_++);
+        session->start();
+        sessions_.push_back(std::move(session));
+      }
+    }
+  }
+  listener_.close();
+  shutdown_all_sessions();
+  if (pool_ != nullptr) pool_->wait_idle();
+  log_note("server", "stopped");
+}
+
+void RetimingServer::request_stop() noexcept {
+  stopping_.store(true, std::memory_order_release);
+  stop_token_.request_cancel();
+}
+
+void RetimingServer::shutdown_all_sessions() {
+  std::vector<std::unique_ptr<Session>> sessions;
+  {
+    std::lock_guard<std::mutex> lock(sessions_mutex_);
+    sessions.swap(sessions_);
+  }
+  for (auto& session : sessions) session->initiate_shutdown();
+  for (auto& session : sessions) session->join();
+}
+
+void RetimingServer::reap_finished_sessions_locked() {
+  for (auto it = sessions_.begin(); it != sessions_.end();) {
+    if ((*it)->finished()) {
+      (*it)->join();
+      it = sessions_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+SocketEndpoint RetimingServer::bound_endpoint() const {
+  SocketEndpoint endpoint = options_.endpoint;
+  if (!endpoint.is_unix()) endpoint.tcp_port = listener_.bound_port();
+  return endpoint;
+}
+
+ServerStats RetimingServer::stats() const {
+  ServerStats stats;
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    stats = counters_;
+  }
+  {
+    std::lock_guard<std::mutex> lock(sessions_mutex_);
+    stats.sessions = sessions_.size();
+  }
+  stats.jobs = pool_ != nullptr ? pool_->worker_count() : 0;
+  return stats;
+}
+
+FaultInjector& RetimingServer::faults() const {
+  return options_.faults != nullptr ? *options_.faults
+                                    : FaultInjector::global();
+}
+
+void RetimingServer::note_job_accepted() {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  ++counters_.requests;
+}
+
+void RetimingServer::note_job_finished(JobStatus status, bool cached) {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  switch (status) {
+    case JobStatus::kOk: ++counters_.ok; break;
+    case JobStatus::kTimeout: ++counters_.timeout; break;
+    case JobStatus::kCancelled: ++counters_.cancelled; break;
+    case JobStatus::kFailed:
+    case JobStatus::kIoError: ++counters_.failed; break;
+  }
+  if (cached) ++counters_.cache_served;
+}
+
+void RetimingServer::log_note(const std::string& origin,
+                              const std::string& message) {
+  if (options_.log != nullptr) options_.log->note(origin, message);
+}
+
+}  // namespace mcrt

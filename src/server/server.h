@@ -1,0 +1,130 @@
+// The `mcrt serve` daemon: a persistent retiming service.
+//
+// Motivation (ISSUE 5): flows that retime many circuits — corpus
+// regressions, incremental clocking work, design-space sweeps — pay the
+// process spawn, pass-registry setup and (above all) repeated identical
+// retiming work on every CLI invocation. The daemon keeps one warm process
+// with a shared work-stealing ThreadPool and a content-addressed result
+// cache, and serves requests over a Unix-domain or loopback-TCP socket
+// using the newline-delimited JSON protocol of server/protocol.h.
+//
+// Execution semantics are identical to `mcrt bulk` by construction: every
+// request runs through the same execute_flow_job() core with a per-request
+// FlowContext, CancelToken (chained session -> server), resource budgets
+// and rollback-on-failure, so a served result — including the canonical
+// per-job JSON record and the output BLIF bytes — cannot drift from what
+// the batch CLI produces (the server differential test pins this).
+//
+// Lifecycle: start() binds and spins up the pool; run() accepts
+// connections until request_stop() (a SIGINT-wired CancelToken, a
+// `{"shutdown"}` frame, or a test) and then winds everything down —
+// listening socket closed, sessions cancelled and drained, pool idle.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "base/cancel.h"
+#include "base/fault_injector.h"
+#include "base/socket.h"
+#include "base/thread_pool.h"
+#include "pipeline/diagnostics.h"
+#include "pipeline/pass_manager.h"
+#include "server/protocol.h"
+#include "server/result_cache.h"
+#include "server/session.h"
+
+namespace mcrt {
+
+struct ServerOptions {
+  SocketEndpoint endpoint;
+  /// Worker threads for job execution; 0 = ThreadPool default.
+  std::size_t jobs = 0;
+  /// Result-cache budget in bytes (0 disables caching).
+  std::size_t cache_bytes = std::size_t{64} << 20;
+  /// Flow-engine defaults for fields requests do not control (rollback,
+  /// verbosity, equivalence effort). Per-request options own
+  /// check_invariants / check_equivalence.
+  PassManagerOptions manager;
+  /// Per-request timeout ceiling applied when a request sets none (0 =
+  /// unlimited).
+  double default_timeout_seconds = 0;
+  /// Default per-request budgets; a request's non-zero fields override.
+  ResourceBudgets budgets;
+  /// Pass registry for script compilation; nullptr = standard().
+  const PassRegistry* registry = nullptr;
+  /// Fault injection hooks (null = the MCRT_FAULT*-configured injector).
+  FaultInjector* faults = nullptr;
+  /// Server log (connection lifecycle, protocol errors); may be null.
+  DiagnosticsSink* log = nullptr;
+  /// Honor `{"shutdown": true}` frames (the smoke tests rely on it; long
+  /// lived deployments may prefer signals only).
+  bool allow_remote_shutdown = true;
+  /// Accept-loop poll granularity: how fast stop requests are noticed.
+  int accept_timeout_ms = 100;
+};
+
+class RetimingServer {
+ public:
+  explicit RetimingServer(ServerOptions options);
+  ~RetimingServer();
+  RetimingServer(const RetimingServer&) = delete;
+  RetimingServer& operator=(const RetimingServer&) = delete;
+
+  /// Binds the endpoint and starts the worker pool. Returns false and sets
+  /// *error when the socket cannot be bound.
+  [[nodiscard]] bool start(std::string* error);
+
+  /// Accepts and serves connections on the calling thread until
+  /// request_stop() — or `interrupt` (polled each accept timeout) — fires;
+  /// then winds down sessions and returns. start() must have succeeded.
+  void run(const CancelToken* interrupt = nullptr);
+
+  /// Thread-safe (and signal-handler-safe via the stop token): makes run()
+  /// return. Also honored by the `{"shutdown"}` frame.
+  void request_stop() noexcept;
+
+  /// The bound endpoint with any ephemeral TCP port resolved (valid after
+  /// start()).
+  [[nodiscard]] SocketEndpoint bound_endpoint() const;
+
+  [[nodiscard]] ServerStats stats() const;
+  [[nodiscard]] CacheStats cache_stats() const { return cache_.stats(); }
+
+ private:
+  friend class Session;
+
+  // --- session-facing internals -------------------------------------------
+  [[nodiscard]] ThreadPool& pool() { return *pool_; }
+  [[nodiscard]] ResultCache& cache() { return cache_; }
+  [[nodiscard]] const ServerOptions& options() const { return options_; }
+  [[nodiscard]] const CancelToken* stop_token() const { return &stop_token_; }
+  [[nodiscard]] FaultInjector& faults() const;
+  void note_job_accepted();
+  void note_job_finished(JobStatus status, bool cached);
+  void log_note(const std::string& origin, const std::string& message);
+
+  void reap_finished_sessions_locked();
+  void shutdown_all_sessions();
+
+  ServerOptions options_;
+  ListenSocket listener_;
+  std::unique_ptr<ThreadPool> pool_;
+  ResultCache cache_;
+
+  CancelToken stop_token_;  ///< parent of every session/request token
+  std::atomic<bool> stopping_{false};
+
+  mutable std::mutex sessions_mutex_;
+  std::vector<std::unique_ptr<Session>> sessions_;
+  std::uint64_t next_session_id_ = 1;
+
+  mutable std::mutex stats_mutex_;
+  ServerStats counters_;
+};
+
+}  // namespace mcrt

@@ -1,0 +1,111 @@
+#include "base/json.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <variant>
+
+namespace mcrt {
+namespace {
+
+Json parse_ok(const std::string& text) {
+  auto parsed = Json::parse(text);
+  const auto* err = std::get_if<JsonParseError>(&parsed);
+  EXPECT_EQ(err, nullptr) << text << " -> "
+                          << (err != nullptr ? err->message : "");
+  return err == nullptr ? std::get<Json>(parsed) : Json();
+}
+
+JsonParseError parse_err(const std::string& text) {
+  auto parsed = Json::parse(text);
+  const auto* err = std::get_if<JsonParseError>(&parsed);
+  EXPECT_NE(err, nullptr) << text << " unexpectedly parsed";
+  return err != nullptr ? *err : JsonParseError{};
+}
+
+TEST(JsonTest, ParsesScalars) {
+  EXPECT_TRUE(parse_ok("null").is_null());
+  EXPECT_TRUE(parse_ok("true").as_bool());
+  EXPECT_FALSE(parse_ok("false").as_bool(true));
+  EXPECT_EQ(parse_ok("42").as_int(), 42);
+  EXPECT_EQ(parse_ok("-17").as_int(), -17);
+  EXPECT_DOUBLE_EQ(parse_ok("2.5e3").as_number(), 2500.0);
+  EXPECT_EQ(parse_ok("\"hi\"").as_string(), "hi");
+}
+
+TEST(JsonTest, ParsesNested) {
+  const Json doc = parse_ok(
+      R"({"a": [1, 2, {"b": true}], "c": {"d": null}, "e": "x"})");
+  ASSERT_TRUE(doc.is_object());
+  EXPECT_EQ(doc.at("a").as_array().size(), 3u);
+  EXPECT_TRUE(doc.at("a").as_array()[2].at("b").as_bool());
+  EXPECT_TRUE(doc.at("c").at("d").is_null());
+  EXPECT_EQ(doc.at("e").as_string(), "x");
+  EXPECT_FALSE(doc.has("missing"));
+  EXPECT_TRUE(doc.at("missing").is_null());  // at() is null-tolerant
+}
+
+TEST(JsonTest, StringEscapes) {
+  EXPECT_EQ(parse_ok(R"("a\"b\\c\nd\te")").as_string(), "a\"b\\c\nd\te");
+  // \u escape, including a surrogate pair (U+1F600).
+  EXPECT_EQ(parse_ok(R"("A")").as_string(), "A");
+  EXPECT_EQ(parse_ok(R"("😀")").as_string(), "\xF0\x9F\x98\x80");
+}
+
+TEST(JsonTest, WriteIsCompactAndStable) {
+  Json object = Json::object();
+  object.set("name", "r00");
+  object.set("ok", true);
+  object.set("count", 42);
+  Json list = Json::array();
+  list.push_back(1);
+  list.push_back("two");
+  object.set("list", std::move(list));
+  EXPECT_EQ(object.write(),
+            R"({"name":"r00","ok":true,"count":42,"list":[1,"two"]})");
+}
+
+TEST(JsonTest, RoundTripPreservesMemberOrder) {
+  const std::string text =
+      R"({"z":1,"a":{"y":[true,null,-3.5],"x":"s"},"m":[]})";
+  EXPECT_EQ(parse_ok(text).write(), text);
+}
+
+TEST(JsonTest, IntegersPrintWithoutExponent) {
+  Json object = Json::object();
+  object.set("big", static_cast<std::int64_t>(9007199254740992LL));
+  object.set("neg", -123456789);
+  EXPECT_EQ(object.write(), R"({"big":9007199254740992,"neg":-123456789})");
+}
+
+TEST(JsonTest, SetOverwritesExistingKey) {
+  Json object = Json::object();
+  object.set("k", 1);
+  object.set("k", 2);
+  EXPECT_EQ(object.at("k").as_int(), 2);
+  EXPECT_EQ(object.as_object().size(), 1u);
+}
+
+TEST(JsonTest, RejectsMalformedDocuments) {
+  parse_err("");
+  parse_err("{");
+  parse_err("[1, 2");
+  parse_err("{\"a\": }");
+  parse_err("{\"a\": 1,}");   // trailing comma
+  parse_err("nul");
+  parse_err("\"unterminated");
+  parse_err("1 2");           // trailing garbage
+  const JsonParseError err = parse_err("{\"a\": 1} x");
+  EXPECT_GE(err.offset, 9u);
+}
+
+TEST(JsonTest, TypeMismatchFallsBack) {
+  const Json doc = parse_ok(R"({"s": "x", "n": 5})");
+  EXPECT_EQ(doc.at("s").as_int(7), 7);
+  EXPECT_EQ(doc.at("n").as_string(), "");
+  EXPECT_TRUE(doc.at("s").as_array().empty());
+}
+
+}  // namespace
+}  // namespace mcrt

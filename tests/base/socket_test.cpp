@@ -1,0 +1,151 @@
+// SocketStream / ListenSocket: line framing, EOF semantics, ephemeral TCP
+// ports, Unix-domain paths (incl. stale-file takeover) and the
+// cross-thread shutdown() that unblocks a blocked reader.
+#include "base/socket.h"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <string>
+#include <thread>
+
+namespace mcrt {
+namespace {
+
+namespace fs = std::filesystem;
+
+struct Pair {
+  ListenSocket listener;
+  SocketStream server;
+  SocketStream client;
+};
+
+/// Listens on `endpoint`, dials it, and accepts: one connected pair.
+bool make_pair_on(const SocketEndpoint& endpoint, Pair* pair,
+                  std::string* error) {
+  if (!pair->listener.listen(endpoint, error)) return false;
+  SocketEndpoint dial = endpoint;
+  if (!endpoint.is_unix() && endpoint.tcp_port == 0) {
+    dial.tcp_port = pair->listener.bound_port();
+  }
+  pair->client = connect_socket(dial, error);
+  if (!pair->client.valid()) return false;
+  auto accepted = pair->listener.accept(2000);
+  if (!accepted) {
+    *error = "accept timed out";
+    return false;
+  }
+  pair->server = std::move(*accepted);
+  return true;
+}
+
+TEST(SocketTest, TcpEphemeralPortRoundTrip) {
+  SocketEndpoint endpoint;
+  endpoint.tcp_port = 0;  // ephemeral
+  Pair pair;
+  std::string error;
+  ASSERT_TRUE(make_pair_on(endpoint, &pair, &error)) << error;
+  EXPECT_NE(pair.listener.bound_port(), 0);
+
+  ASSERT_TRUE(pair.client.write_line("ping"));
+  EXPECT_EQ(pair.server.read_line(), "ping");
+  ASSERT_TRUE(pair.server.write_line("pong"));
+  EXPECT_EQ(pair.client.read_line(), "pong");
+}
+
+TEST(SocketTest, UnixSocketRoundTripAndStaleFileTakeover) {
+  const std::string path =
+      (fs::path(::testing::TempDir()) /
+       ("sock_test_" + std::to_string(::getpid()) + ".sock"))
+          .string();
+  SocketEndpoint endpoint;
+  endpoint.unix_path = path;
+  {
+    Pair pair;
+    std::string error;
+    ASSERT_TRUE(make_pair_on(endpoint, &pair, &error)) << error;
+    ASSERT_TRUE(pair.client.write_line("over unix"));
+    EXPECT_EQ(pair.server.read_line(), "over unix");
+  }
+  // First listener is gone; rebinding over any stale socket file works.
+  {
+    Pair pair;
+    std::string error;
+    ASSERT_TRUE(make_pair_on(endpoint, &pair, &error)) << error;
+  }
+  // close() unlinks the path.
+  EXPECT_FALSE(fs::exists(path));
+}
+
+TEST(SocketTest, ReadLineSplitsOnNewlinesAndDeliversFinalFragment) {
+  SocketEndpoint endpoint;
+  Pair pair;
+  std::string error;
+  ASSERT_TRUE(make_pair_on(endpoint, &pair, &error)) << error;
+
+  ASSERT_TRUE(pair.client.write_all("a\nbb\nfragment"));
+  pair.client.close();
+  EXPECT_EQ(pair.server.read_line(), "a");
+  EXPECT_EQ(pair.server.read_line(), "bb");
+  EXPECT_EQ(pair.server.read_line(), "fragment");  // unterminated final line
+  EXPECT_EQ(pair.server.read_line(), std::nullopt);  // EOF
+}
+
+TEST(SocketTest, WriteToClosedPeerFailsWithoutKillingProcess) {
+  SocketEndpoint endpoint;
+  Pair pair;
+  std::string error;
+  ASSERT_TRUE(make_pair_on(endpoint, &pair, &error)) << error;
+  pair.server.close();
+  // Depending on timing the first write may land in the kernel buffer, but
+  // repeated writes must fail (MSG_NOSIGNAL: an error, not SIGPIPE).
+  bool failed = false;
+  for (int i = 0; i < 64 && !failed; ++i) {
+    failed = !pair.client.write_line(std::string(1024, 'x'));
+  }
+  EXPECT_TRUE(failed);
+}
+
+TEST(SocketTest, ShutdownUnblocksConcurrentReader) {
+  SocketEndpoint endpoint;
+  Pair pair;
+  std::string error;
+  ASSERT_TRUE(make_pair_on(endpoint, &pair, &error)) << error;
+
+  std::atomic<bool> unblocked{false};
+  std::thread reader([&] {
+    EXPECT_EQ(pair.server.read_line(), std::nullopt);
+    unblocked.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(unblocked.load());
+  pair.server.shutdown();
+  reader.join();
+  EXPECT_TRUE(unblocked.load());
+}
+
+TEST(SocketTest, AcceptTimesOutWithoutConnection) {
+  ListenSocket listener;
+  SocketEndpoint endpoint;
+  std::string error;
+  ASSERT_TRUE(listener.listen(endpoint, &error)) << error;
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_FALSE(listener.accept(50).has_value());
+  EXPECT_GE(std::chrono::steady_clock::now() - start,
+            std::chrono::milliseconds(40));
+}
+
+TEST(SocketTest, ConnectToNothingFails) {
+  SocketEndpoint endpoint;
+  endpoint.unix_path = "/nonexistent/definitely/not/here.sock";
+  std::string error;
+  EXPECT_FALSE(connect_socket(endpoint, &error).valid());
+  EXPECT_FALSE(error.empty());
+}
+
+}  // namespace
+}  // namespace mcrt

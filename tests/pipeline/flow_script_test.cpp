@@ -94,6 +94,59 @@ TEST(FlowScriptTest, BadCharacterFails) {
   parse_err("map(k=4 d=10)");
 }
 
+TEST(FlowScriptTest, MalformedScriptTable) {
+  // One row per malformed-script shape: every diagnostic must carry the
+  // 1-based line/column of the offending character, the offending token,
+  // and a message naming the construct — what `mcrt serve` streams back
+  // for a bad request script.
+  struct Row {
+    const char* script;
+    std::size_t line;
+    std::size_t column;
+    const char* token;
+    const char* message_fragment;
+  };
+  const Row rows[] = {
+      {"sweep strash", 1, 7, "strash", "expected ';'"},
+      {"sweep;\nstrash;\nretime(d=10) map", 3, 14, "map", "expected ';'"},
+      {"retime(target=24", 1, 17, "end of script", "unterminated"},
+      {"retime(target=)", 1, 15, ")", "missing its value"},
+      {"sweep; !", 1, 8, "!", "expected pass name"},
+      {"map(k=4 d=10)", 1, 9, "d", "expected ',' or ')'"},
+      {"retime(,)", 1, 8, ",", "expected argument name"},
+      {"sweep;\nretime(\n  target=\n)", 4, 1, ")", "missing its value"},
+  };
+  for (const Row& row : rows) {
+    const FlowScriptError err = parse_err(row.script);
+    EXPECT_EQ(err.line, row.line) << row.script;
+    EXPECT_EQ(err.column, row.column) << row.script;
+    EXPECT_EQ(err.token, row.token) << row.script;
+    EXPECT_NE(err.message.find(row.message_fragment), std::string::npos)
+        << row.script << " -> " << err.message;
+    // Line/column must agree with the byte offset.
+    std::size_t line = 1;
+    std::size_t column = 1;
+    const std::string_view text = row.script;
+    for (std::size_t i = 0; i < err.offset && i < text.size(); ++i) {
+      if (text[i] == '\n') {
+        ++line;
+        column = 1;
+      } else {
+        ++column;
+      }
+    }
+    EXPECT_EQ(err.line, line) << row.script;
+    EXPECT_EQ(err.column, column) << row.script;
+  }
+}
+
+TEST(FlowScriptTest, ErrorFormatIsHumanReadable) {
+  const FlowScriptError err = parse_err("sweep strash");
+  EXPECT_EQ(err.format(),
+            "line 1, column 7: expected ';' after pass 'sweep', got 's' "
+            "(near 'strash')");
+}
+
 TEST(FlowScriptTest, IntValueRejectsGarbage) {
   const auto specs = parse_ok("retime(target=banana)");
   std::string error;

@@ -1,0 +1,102 @@
+#include "pipeline/report_reader.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "../common/test_circuits.h"
+#include "pipeline/bulk_runner.h"
+
+namespace mcrt {
+namespace {
+
+// A canned schema-/2 document exactly as the pre-provenance engine wrote
+// it (no "provenance" member). Historical reports must keep parsing.
+constexpr const char* kVersion2Report = R"json({
+  "schema": "mcrt-bulk-report/2",
+  "script": "sweep; retime(d=10)",
+  "circuits": 3,
+  "succeeded": 2,
+  "failed": 1,
+  "results": [
+    {"name": "r00", "status": "ok"},
+    {"name": "r01", "status": "ok"},
+    {"name": "r02", "status": "failed"}
+  ]
+})json";
+
+BulkReport fresh_report() {
+  BulkOptions options;
+  options.jobs = 1;
+  std::vector<BulkJob> jobs;
+  jobs.push_back(make_netlist_job("demo", testing::fig1_circuit()));
+  return BulkRunner("sweep", options).run(jobs);
+}
+
+TEST(ReportReaderTest, ReadsVersion2WithoutProvenance) {
+  std::string error;
+  const auto summary = read_bulk_report(kVersion2Report, &error);
+  ASSERT_TRUE(summary) << error;
+  EXPECT_EQ(summary->schema_version, 2);
+  EXPECT_EQ(summary->script, "sweep; retime(d=10)");
+  EXPECT_EQ(summary->circuits, 3u);
+  EXPECT_EQ(summary->succeeded, 2u);
+  EXPECT_EQ(summary->failed, 1u);
+  ASSERT_EQ(summary->result_statuses.size(), 3u);
+  EXPECT_EQ(summary->result_statuses[0].first, "r00");
+  EXPECT_EQ(summary->result_statuses[2].second, "failed");
+  EXPECT_FALSE(summary->provenance.has_value());
+}
+
+TEST(ReportReaderTest, ReadsFreshVersion3WithProvenance) {
+  // Generate a real /3 report through the current engine so the reader is
+  // exercised against what the writer actually emits, not a hand copy.
+  const BulkReport report = fresh_report();
+  BulkJsonOptions json;
+  json.canonical = false;
+  std::string error;
+  const auto summary = read_bulk_report(report.to_json(json), &error);
+  ASSERT_TRUE(summary) << error;
+  EXPECT_EQ(summary->schema_version, 3);
+  EXPECT_EQ(summary->script, "sweep");
+  EXPECT_EQ(summary->circuits, 1u);
+  EXPECT_EQ(summary->succeeded, 1u);
+  ASSERT_EQ(summary->result_statuses.size(), 1u);
+  EXPECT_EQ(summary->result_statuses[0].first, "demo");
+  EXPECT_EQ(summary->result_statuses[0].second, "ok");
+  ASSERT_TRUE(summary->provenance.has_value());
+  EXPECT_EQ(summary->provenance->tool, "mcrt");
+  EXPECT_FALSE(summary->provenance->version.empty());
+  // Non-canonical reports carry the build type from base/version.
+  EXPECT_FALSE(summary->provenance->build_type.empty());
+}
+
+TEST(ReportReaderTest, CanonicalVersion3OmitsBuildInfo) {
+  const BulkReport report = fresh_report();
+  BulkJsonOptions json;
+  json.canonical = true;
+  const auto summary = read_bulk_report(report.to_json(json));
+  ASSERT_TRUE(summary);
+  EXPECT_EQ(summary->schema_version, 3);
+  ASSERT_TRUE(summary->provenance.has_value());
+  // Canonical reports are byte-compared across machines: provenance pins
+  // only schema-stable fields, never build type or sanitizer set.
+  EXPECT_TRUE(summary->provenance->build_type.empty());
+  EXPECT_TRUE(summary->provenance->sanitizers.empty());
+}
+
+TEST(ReportReaderTest, RejectsUnknownSchema) {
+  std::string error;
+  EXPECT_FALSE(read_bulk_report(R"({"schema": "mcrt-bulk-report/9"})", &error));
+  EXPECT_NE(error.find("schema"), std::string::npos);
+  error.clear();
+  EXPECT_FALSE(read_bulk_report(R"({"script": "sweep"})", &error));
+  EXPECT_FALSE(error.empty());
+  error.clear();
+  EXPECT_FALSE(read_bulk_report("not json at all", &error));
+  EXPECT_FALSE(error.empty());
+}
+
+}  // namespace
+}  // namespace mcrt

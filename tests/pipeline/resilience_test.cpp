@@ -466,7 +466,7 @@ TEST(ResilienceTest, AllJobsFailingStillYieldsValidCanonicalReport) {
   canonical.canonical = true;
   const std::string json = report.to_json(canonical);
   EXPECT_TRUE(JsonChecker(json).valid()) << json;
-  EXPECT_NE(json.find("mcrt-bulk-report/2"), std::string::npos);
+  EXPECT_NE(json.find("mcrt-bulk-report/3"), std::string::npos);
   EXPECT_NE(json.find("\"status\": \"failed\""), std::string::npos);
 }
 

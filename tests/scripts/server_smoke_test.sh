@@ -1,0 +1,110 @@
+#!/bin/sh
+# Smoke test for `mcrt serve` / `mcrt client`.
+#
+# One daemon, four checks:
+#   1. Differential: results served over the socket are byte-identical to
+#      `mcrt bulk --canonical` — per-job output BLIFs and the composed
+#      canonical report.
+#   2. Concurrency: 8 clients x 8 circuits = 64 requests in flight at
+#      once, every report byte-identical to the reference.
+#   3. Cache: the concurrent pass re-submits circuits the daemon has
+#      already seen, so the stats frame must show cache hits.
+#   4. Resilience: a request pinned in an injected infinite stall times
+#      out cleanly and the daemon keeps serving; a remote shutdown then
+#      stops it with a final stats line.
+#
+# Usage: server_smoke_test.sh <mcrt-binary> <scratch-dir>
+set -eu
+
+MCRT=$1
+WORK=$2
+SCRIPT='sweep; strash; retime(d=10)'
+
+rm -rf "$WORK"
+mkdir -p "$WORK"
+cd "$WORK"
+SOCK=$PWD/daemon.sock
+
+"$MCRT" corpus circuits --count 8 --seed 23 > /dev/null
+# A circuit whose job name arms the daemon-side stall fault below. (It is
+# submitted with a different script than everything else, so the result
+# cache can never short-circuit past the fault site.)
+cp circuits/r00.blif stallme.blif
+
+# Reference: the same corpus through `mcrt bulk`, no daemon involved.
+"$MCRT" bulk "$SCRIPT" --jobs 4 --canonical \
+  --out-dir out_ref --report ref.json circuits
+
+"$MCRT" serve --socket "$SOCK" --jobs 4 --cache-mb 64 \
+  --faults 'job:stallme=stall' > serve.log 2>&1 &
+SERVE_PID=$!
+trap 'kill "$SERVE_PID" 2>/dev/null || true' EXIT
+
+TRIES=0
+until [ -S "$SOCK" ]; do
+  TRIES=$((TRIES + 1))
+  if [ "$TRIES" -gt 200 ]; then
+    echo "error: daemon never bound $SOCK" >&2
+    cat serve.log >&2
+    exit 1
+  fi
+  sleep 0.05
+done
+
+# --- 1. differential vs bulk -------------------------------------------
+"$MCRT" client "$SCRIPT" --socket "$SOCK" --canonical \
+  --out-dir out_srv --report srv.json circuits
+cmp ref.json srv.json
+for f in out_ref/*.blif; do
+  cmp "$f" "out_srv/$(basename "$f")"
+done
+
+# --- 2. 64 concurrent requests -----------------------------------------
+i=0
+while [ "$i" -lt 8 ]; do
+  "$MCRT" client "$SCRIPT" --socket "$SOCK" --canonical \
+    --out-dir "out_c$i" --report "c$i.json" circuits > "c$i.log" 2>&1 &
+  eval "PID$i=\$!"
+  i=$((i + 1))
+done
+i=0
+while [ "$i" -lt 8 ]; do
+  eval "wait \"\$PID$i\"" || {
+    echo "error: concurrent client $i failed" >&2
+    cat "c$i.log" >&2
+    exit 1
+  }
+  cmp ref.json "c$i.json"
+  i=$((i + 1))
+done
+
+# --- 3. cache hits visible in stats ------------------------------------
+# Pass 1 populated all 8 entries, so the 64 concurrent requests were all
+# cache hits.
+STATS=$("$MCRT" client --stats --socket "$SOCK")
+HITS=$(printf '%s\n' "$STATS" | sed -n 's/.*"hits":\([0-9]*\).*/\1/p')
+SERVED=$(printf '%s\n' "$STATS" | sed -n 's/.*"cache_served":\([0-9]*\).*/\1/p')
+if [ "${HITS:-0}" -lt 64 ] || [ "${SERVED:-0}" -lt 64 ]; then
+  echo "error: expected >=64 cache hits, got hits=$HITS served=$SERVED" >&2
+  echo "$STATS" >&2
+  exit 1
+fi
+
+# --- 4. a stalled request times out; the daemon keeps serving ----------
+if "$MCRT" client 'sweep' --socket "$SOCK" --timeout 1 \
+     --out-dir out_stall stallme.blif > stall.log 2>&1; then
+  echo "error: stalled request unexpectedly succeeded" >&2
+  exit 1
+fi
+grep -q 'timeout' stall.log
+
+"$MCRT" client "$SCRIPT" --socket "$SOCK" --canonical \
+  --out-dir out_after --report after.json circuits
+cmp ref.json after.json
+
+"$MCRT" client --shutdown --socket "$SOCK"
+wait "$SERVE_PID"
+trap - EXIT
+grep -q 'mcrt serve: .* requests' serve.log
+echo "server smoke: 64 concurrent requests byte-identical, cache hot," \
+  "daemon survived a stalled job"

@@ -1,0 +1,210 @@
+// Wire-protocol vocabulary: request parse/serialize round trips, malformed
+// request rejection, and the response-frame builders' JSON shape.
+#include "server/protocol.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <variant>
+
+#include "base/json.h"
+
+namespace mcrt {
+namespace {
+
+RequestFrame parse_ok(const std::string& line) {
+  auto parsed = parse_request_frame(line);
+  const auto* err = std::get_if<std::string>(&parsed);
+  EXPECT_EQ(err, nullptr) << line << " -> " << (err != nullptr ? *err : "");
+  return err == nullptr ? std::get<RequestFrame>(parsed) : RequestFrame{};
+}
+
+std::string parse_err(const std::string& line) {
+  auto parsed = parse_request_frame(line);
+  const auto* err = std::get_if<std::string>(&parsed);
+  EXPECT_NE(err, nullptr) << line << " unexpectedly parsed";
+  return err != nullptr ? *err : std::string();
+}
+
+Json response_json(const std::string& line) {
+  auto parsed = Json::parse(line);
+  EXPECT_TRUE(std::holds_alternative<Json>(parsed)) << line;
+  return std::holds_alternative<Json>(parsed) ? std::get<Json>(parsed) : Json();
+}
+
+TEST(ProtocolTest, ParsesControlRequests) {
+  EXPECT_EQ(parse_ok(R"({"hello": true})").kind, RequestFrame::Kind::kHello);
+  EXPECT_EQ(parse_ok(R"({"stats": true})").kind, RequestFrame::Kind::kStats);
+  EXPECT_EQ(parse_ok(R"({"shutdown": true})").kind,
+            RequestFrame::Kind::kShutdown);
+  const RequestFrame cancel = parse_ok(R"({"cancel": "j7"})");
+  EXPECT_EQ(cancel.kind, RequestFrame::Kind::kCancel);
+  EXPECT_EQ(cancel.cancel_id, "j7");
+}
+
+TEST(ProtocolTest, ParsesFullJobRequest) {
+  const RequestFrame frame = parse_ok(R"json({
+    "id": "j1", "name": "r00", "script": "sweep; retime(d=10)",
+    "blif": ".model m\n.end\n", "output": "/tmp/out.blif",
+    "options": {"timeout": 2.5, "canonical": true, "return_blif": true,
+                "validate": false, "verify": true,
+                "budgets": {"bdd_nodes": 100, "bmc_steps": 7,
+                            "max_rss_mb": 64}}})json");
+  ASSERT_EQ(frame.kind, RequestFrame::Kind::kJob);
+  const JobRequest& job = frame.job;
+  EXPECT_EQ(job.id, "j1");
+  EXPECT_EQ(job.name, "r00");
+  EXPECT_EQ(job.script, "sweep; retime(d=10)");
+  EXPECT_EQ(job.blif, ".model m\n.end\n");
+  EXPECT_TRUE(job.path.empty());
+  EXPECT_EQ(job.output, "/tmp/out.blif");
+  EXPECT_DOUBLE_EQ(job.options.timeout_seconds, 2.5);
+  EXPECT_TRUE(job.options.canonical);
+  EXPECT_TRUE(job.options.return_blif);
+  EXPECT_FALSE(job.options.validate);
+  EXPECT_TRUE(job.options.verify);
+  EXPECT_EQ(job.options.budgets.bdd_node_cap, 100u);
+  EXPECT_EQ(job.options.budgets.bmc_step_cap, 7u);
+  EXPECT_EQ(job.options.budgets.max_rss_bytes, 64u * 1024u * 1024u);
+}
+
+TEST(ProtocolTest, JobDefaultsAreConservative) {
+  const RequestFrame frame =
+      parse_ok(R"({"id": "j2", "script": "sweep", "path": "in.blif"})");
+  ASSERT_EQ(frame.kind, RequestFrame::Kind::kJob);
+  EXPECT_EQ(frame.job.path, "in.blif");
+  EXPECT_DOUBLE_EQ(frame.job.options.timeout_seconds, 0.0);
+  EXPECT_FALSE(frame.job.options.canonical);
+  EXPECT_FALSE(frame.job.options.return_blif);
+  EXPECT_TRUE(frame.job.options.validate);
+  EXPECT_FALSE(frame.job.options.verify);
+  EXPECT_EQ(frame.job.options.budgets.max_rss_bytes, 0u);
+}
+
+TEST(ProtocolTest, RequestRoundTripsThroughWriter) {
+  const char* lines[] = {
+      R"({"hello": true})",
+      R"({"cancel": "j9"})",
+      R"({"stats": true})",
+      R"({"shutdown": true})",
+      R"({"id": "j1", "name": "n", "script": "sweep", "blif": "x",)"
+      R"( "output": "o.blif", "options": {"timeout": 1.5,)"
+      R"( "return_blif": true, "verify": true}})",
+  };
+  for (const char* line : lines) {
+    const RequestFrame first = parse_ok(line);
+    const RequestFrame second = parse_ok(write_request_frame(first));
+    EXPECT_EQ(second.kind, first.kind) << line;
+    EXPECT_EQ(second.cancel_id, first.cancel_id) << line;
+    EXPECT_EQ(second.job.id, first.job.id) << line;
+    EXPECT_EQ(second.job.name, first.job.name) << line;
+    EXPECT_EQ(second.job.script, first.job.script) << line;
+    EXPECT_EQ(second.job.blif, first.job.blif) << line;
+    EXPECT_EQ(second.job.output, first.job.output) << line;
+    EXPECT_DOUBLE_EQ(second.job.options.timeout_seconds,
+                     first.job.options.timeout_seconds)
+        << line;
+    EXPECT_EQ(second.job.options.return_blif, first.job.options.return_blif)
+        << line;
+    EXPECT_EQ(second.job.options.verify, first.job.options.verify) << line;
+  }
+}
+
+TEST(ProtocolTest, RejectsMalformedRequests) {
+  EXPECT_FALSE(parse_err("not json").empty());
+  EXPECT_FALSE(parse_err("[1, 2]").empty());         // not an object
+  EXPECT_FALSE(parse_err(R"({"frob": 1})").empty()); // unknown shape
+  // Job requests need an id, a script, and a circuit.
+  EXPECT_FALSE(parse_err(R"({"script": "sweep", "blif": "x"})").empty());
+  EXPECT_FALSE(parse_err(R"({"id": "j1", "blif": "x"})").empty());
+  EXPECT_FALSE(parse_err(R"({"id": "j1", "script": "sweep"})").empty());
+  // Cancel needs a non-empty id.
+  EXPECT_FALSE(parse_err(R"({"cancel": ""})").empty());
+}
+
+TEST(ProtocolTest, HelloFrameCarriesVersionAndBuild) {
+  const Json hello = response_json(make_hello_frame(/*jobs=*/4));
+  EXPECT_EQ(hello.at("frame").as_string(), "hello");
+  EXPECT_EQ(hello.at("tool").as_string(), "mcrt");
+  EXPECT_FALSE(hello.at("version").as_string().empty());
+  EXPECT_GE(hello.at("protocol").as_int(), 1);
+  EXPECT_FALSE(hello.at("build_type").as_string().empty());
+  EXPECT_TRUE(hello.has("sanitizers"));
+  EXPECT_EQ(hello.at("jobs").as_int(), 4);
+}
+
+TEST(ProtocolTest, ResultFrameShape) {
+  BulkJobResult result;
+  result.name = "r00";
+  result.success = true;
+  result.status = JobStatus::kOk;
+  const std::string blif = ".model m\n.end\n";
+  const Json frame = response_json(make_result_frame(
+      "j1", result, /*cached=*/true, "{\n    \"name\": \"r00\"\n}", &blif));
+  EXPECT_EQ(frame.at("frame").as_string(), "result");
+  EXPECT_EQ(frame.at("id").as_string(), "j1");
+  EXPECT_EQ(frame.at("name").as_string(), "r00");
+  EXPECT_EQ(frame.at("status").as_string(), "ok");
+  EXPECT_TRUE(frame.at("success").as_bool());
+  EXPECT_TRUE(frame.at("cached").as_bool());
+  EXPECT_EQ(frame.at("blif").as_string(), blif);
+
+  // Without return_blif the member is absent entirely.
+  const Json lean = response_json(
+      make_result_frame("j1", result, /*cached=*/false, "{}", nullptr));
+  EXPECT_FALSE(lean.has("blif"));
+  EXPECT_FALSE(lean.at("cached").as_bool());
+}
+
+TEST(ProtocolTest, DiagnosticAndErrorFrames) {
+  Diagnostic diag;
+  diag.severity = DiagSeverity::kWarning;
+  diag.origin = "sweep";
+  diag.message = "removed 3 nets";
+  const Json frame = response_json(make_diagnostic_frame("j1", diag));
+  EXPECT_EQ(frame.at("frame").as_string(), "diagnostic");
+  EXPECT_EQ(frame.at("severity").as_string(), "warning");
+  EXPECT_EQ(frame.at("origin").as_string(), "sweep");
+  EXPECT_EQ(frame.at("message").as_string(), "removed 3 nets");
+
+  const Json error = response_json(make_error_frame("j1", "duplicate id"));
+  EXPECT_EQ(error.at("frame").as_string(), "error");
+  EXPECT_EQ(error.at("message").as_string(), "duplicate id");
+}
+
+TEST(ProtocolTest, StatsFrameCarriesBothCounterBlocks) {
+  ServerStats server;
+  server.requests = 10;
+  server.ok = 7;
+  server.timeout = 1;
+  server.cancelled = 2;
+  server.cache_served = 3;
+  server.sessions = 2;
+  server.jobs = 4;
+  CacheStats cache;
+  cache.entries = 5;
+  cache.bytes = 4096;
+  cache.capacity_bytes = 1 << 20;
+  cache.hits = 3;
+  cache.misses = 7;
+  const Json frame = response_json(make_stats_frame(server, cache));
+  EXPECT_EQ(frame.at("frame").as_string(), "stats");
+  EXPECT_EQ(frame.at("server").at("requests").as_int(), 10);
+  EXPECT_EQ(frame.at("server").at("cache_served").as_int(), 3);
+  EXPECT_EQ(frame.at("server").at("sessions").as_int(), 2);
+  EXPECT_EQ(frame.at("cache").at("entries").as_int(), 5);
+  EXPECT_EQ(frame.at("cache").at("hits").as_int(), 3);
+  EXPECT_EQ(frame.at("cache").at("misses").as_int(), 7);
+}
+
+TEST(ProtocolTest, CancelAckAndBye) {
+  const Json ack = response_json(make_cancel_ack_frame("j1", true));
+  EXPECT_EQ(ack.at("frame").as_string(), "cancel-ack");
+  EXPECT_EQ(ack.at("id").as_string(), "j1");
+  EXPECT_TRUE(ack.at("found").as_bool());
+  const Json bye = response_json(make_bye_frame());
+  EXPECT_EQ(bye.at("frame").as_string(), "bye");
+}
+
+}  // namespace
+}  // namespace mcrt

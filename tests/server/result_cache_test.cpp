@@ -1,0 +1,147 @@
+// ResultCache: LRU ordering, byte-budget eviction, hit/miss/eviction
+// counters, and the flow-options hash that keys it.
+#include "server/result_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "pipeline/pass_manager.h"
+
+namespace mcrt {
+namespace {
+
+CacheKey key_n(std::uint64_t n) {
+  CacheKey key;
+  key.netlist.hi = n;
+  key.netlist.lo = ~n;
+  key.flow = 0x1234;
+  return key;
+}
+
+CachedResult result_of_size(const std::string& name, std::size_t blif_bytes) {
+  CachedResult result;
+  result.job.name = name;
+  result.job.success = true;
+  result.job.status = JobStatus::kOk;
+  result.blif.assign(blif_bytes, 'x');
+  return result;
+}
+
+TEST(ResultCacheTest, MissThenHit) {
+  ResultCache cache(1 << 20);
+  EXPECT_FALSE(cache.lookup(key_n(1)).has_value());
+  cache.insert(key_n(1), result_of_size("a", 100));
+  const auto hit = cache.lookup(key_n(1));
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->job.name, "a");
+  EXPECT_EQ(hit->blif.size(), 100u);
+
+  const CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.insertions, 1u);
+  EXPECT_EQ(stats.evictions, 0u);
+  EXPECT_GT(stats.bytes, 100u);  // entry footprint exceeds the BLIF alone
+}
+
+TEST(ResultCacheTest, DistinctFlowHashesAreDistinctEntries) {
+  ResultCache cache(1 << 20);
+  CacheKey same_netlist_other_flow = key_n(1);
+  same_netlist_other_flow.flow = 0x9999;
+  cache.insert(key_n(1), result_of_size("a", 10));
+  EXPECT_FALSE(cache.lookup(same_netlist_other_flow).has_value());
+  cache.insert(same_netlist_other_flow, result_of_size("b", 10));
+  EXPECT_EQ(cache.lookup(key_n(1))->job.name, "a");
+  EXPECT_EQ(cache.lookup(same_netlist_other_flow)->job.name, "b");
+  EXPECT_EQ(cache.stats().entries, 2u);
+}
+
+TEST(ResultCacheTest, EvictsColdestWhenOverBudget) {
+  // Budget fits two entries (sized off the real footprint, which includes
+  // per-entry struct overhead), so inserting a third evicts the coldest.
+  const std::size_t entry = result_of_size("a", 1000).approximate_bytes();
+  const std::size_t budget = 2 * entry + entry / 2;
+  ResultCache cache(budget);
+  cache.insert(key_n(1), result_of_size("a", 1000));
+  cache.insert(key_n(2), result_of_size("b", 1000));
+  // Touch 1 so 2 becomes the LRU victim.
+  EXPECT_TRUE(cache.lookup(key_n(1)).has_value());
+  cache.insert(key_n(3), result_of_size("c", 1000));
+
+  EXPECT_TRUE(cache.lookup(key_n(1)).has_value());
+  EXPECT_FALSE(cache.lookup(key_n(2)).has_value());
+  EXPECT_TRUE(cache.lookup(key_n(3)).has_value());
+  const CacheStats stats = cache.stats();
+  EXPECT_GE(stats.evictions, 1u);
+  EXPECT_LE(stats.bytes, budget);
+}
+
+TEST(ResultCacheTest, OversizedEntryIsNotCached) {
+  const std::size_t entry = result_of_size("a", 100).approximate_bytes();
+  ResultCache cache(entry - 1);  // smaller than any entry
+  cache.insert(key_n(1), result_of_size("huge", 100));
+  EXPECT_FALSE(cache.lookup(key_n(1)).has_value());
+  EXPECT_EQ(cache.stats().entries, 0u);
+  EXPECT_EQ(cache.stats().bytes, 0u);
+}
+
+TEST(ResultCacheTest, ZeroCapacityDisablesCaching) {
+  ResultCache cache(0);
+  cache.insert(key_n(1), result_of_size("a", 10));
+  EXPECT_FALSE(cache.lookup(key_n(1)).has_value());
+  EXPECT_EQ(cache.stats().entries, 0u);
+}
+
+TEST(ResultCacheTest, ReinsertRefreshesInsteadOfDuplicating) {
+  ResultCache cache(1 << 20);
+  cache.insert(key_n(1), result_of_size("old", 10));
+  cache.insert(key_n(1), result_of_size("new", 20));
+  EXPECT_EQ(cache.stats().entries, 1u);
+  EXPECT_EQ(cache.lookup(key_n(1))->job.name, "new");
+}
+
+TEST(ResultCacheTest, ClearResetsContentsButKeepsCounters) {
+  ResultCache cache(1 << 20);
+  cache.insert(key_n(1), result_of_size("a", 10));
+  EXPECT_TRUE(cache.lookup(key_n(1)).has_value());
+  cache.clear();
+  EXPECT_EQ(cache.stats().entries, 0u);
+  EXPECT_EQ(cache.stats().bytes, 0u);
+  EXPECT_FALSE(cache.lookup(key_n(1)).has_value());
+}
+
+TEST(FlowOptionsHashTest, ResultAffectingKnobsMoveTheHash) {
+  PassManagerOptions manager;
+  ResourceBudgets budgets;
+  const std::uint64_t base = flow_options_hash("sweep", manager, budgets);
+
+  // Different script: different hash.
+  EXPECT_NE(base, flow_options_hash("sweep; strash", manager, budgets));
+
+  // Invariant / equivalence checking change what a run can produce
+  // (failures vs silent acceptance), so they contribute.
+  PassManagerOptions checked = manager;
+  checked.check_invariants = !checked.check_invariants;
+  EXPECT_NE(base, flow_options_hash("sweep", checked, budgets));
+
+  PassManagerOptions verified = manager;
+  verified.check_equivalence = !verified.check_equivalence;
+  EXPECT_NE(base, flow_options_hash("sweep", verified, budgets));
+
+  PassManagerOptions effort = manager;
+  effort.equivalence.runs += 1;
+  EXPECT_NE(base, flow_options_hash("sweep", effort, budgets));
+
+  // Budgets can abort a run early, so they contribute too.
+  ResourceBudgets capped = budgets;
+  capped.bdd_node_cap = 1000;
+  EXPECT_NE(base, flow_options_hash("sweep", manager, capped));
+
+  // And the hash is a pure function of its inputs.
+  EXPECT_EQ(base, flow_options_hash("sweep", manager, budgets));
+}
+
+}  // namespace
+}  // namespace mcrt

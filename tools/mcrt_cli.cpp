@@ -61,7 +61,10 @@
 
 #include "base/cancel.h"
 #include "base/fault_injector.h"
+#include "base/json.h"
+#include "base/socket.h"
 #include "base/strings.h"
+#include "base/version.h"
 #include "blif/blif.h"
 #include "netlist/dot_export.h"
 #include "mcretime/register_class.h"
@@ -71,6 +74,8 @@
 #include "pipeline/flow_script.h"
 #include "pipeline/pass_manager.h"
 #include "pipeline/passes.h"
+#include "server/client.h"
+#include "server/server.h"
 #include "sim/equivalence.h"
 #include "tech/sta.h"
 #include "tech/timing_report.h"
@@ -116,7 +121,19 @@ int usage() {
                "          --faults \"<spec>\"   inject faults, e.g.\n"
                "          \"pass:retime=throw; write:*=fail@2\" (also via\n"
                "          MCRT_FAULT_* environment variables)\n"
-               "  corpus: mcrt corpus <out-dir> [--count N] [--seed S]\n");
+               "  corpus: mcrt corpus <out-dir> [--count N] [--seed S]\n"
+               "  serve:  mcrt serve (--socket <path> | --port <n>) [--jobs N]\n"
+               "          [--cache-mb M] [--timeout S] [--no-validate]\n"
+               "          [--verify] [--faults <spec>] [budgets]\n"
+               "          persistent retiming daemon with a structural\n"
+               "          result cache (see docs/SERVER.md)\n"
+               "  client: mcrt client \"<script>\" (--socket <p> | --port <n>)\n"
+               "          [--out-dir D] [--report F --canonical] [--timeout S]\n"
+               "          [--stats] [--shutdown] <in.blif|dir>...\n"
+               "          submit circuits to a running daemon; also:\n"
+               "          mcrt client --hello|--stats|--shutdown (--socket|"
+               "--port)\n"
+               "  mcrt --version prints version, build type and sanitizers\n");
   return 2;
 }
 
@@ -400,9 +417,196 @@ int cmd_corpus(const std::string& out_dir, std::size_t count,
   return 0;
 }
 
+struct ServeFlags {
+  std::string socket_path;    ///< --socket (Unix-domain)
+  int port = -1;              ///< --port (loopback TCP; 0 = ephemeral)
+  std::size_t cache_mb = 64;  ///< --cache-mb (0 disables the result cache)
+  bool stats = false;         ///< client: print the daemon's {"stats"} frame
+  bool shutdown = false;      ///< client: stop the daemon when done
+  bool hello = false;         ///< client: print the greeting hello frame
+};
+
+bool serve_endpoint(const ServeFlags& serve, SocketEndpoint* endpoint,
+                    DiagnosticsSink& diag) {
+  if (serve.socket_path.empty() && serve.port < 0) {
+    diag.error("serve", "need --socket <path> or --port <n>");
+    return false;
+  }
+  endpoint->unix_path = serve.socket_path;
+  endpoint->tcp_port =
+      serve.port > 0 ? static_cast<std::uint16_t>(serve.port) : 0;
+  return true;
+}
+
+int cmd_serve(const ServeFlags& serve, const BulkFlags& bulk,
+              const FlowFlags& flags, StreamDiagnostics& diag) {
+  ServerOptions options;
+  if (!serve_endpoint(serve, &options.endpoint, diag)) return 2;
+  FaultInjector faults;
+  if (!make_fault_injector(flags, faults, diag)) return 2;
+  options.jobs = bulk.jobs;
+  options.cache_bytes = serve.cache_mb << 20;
+  // Same equivalence effort the flow/bulk commands use, so a request with
+  // verify=true spot-checks exactly like `mcrt bulk --verify`.
+  options.manager.equivalence.runs = 2;
+  options.manager.equivalence.cycles = 48;
+  options.default_timeout_seconds = flags.timeout_seconds;
+  options.budgets = flags.budgets;
+  if (!flags.fault_spec.empty()) options.faults = &faults;
+  options.log = &diag;
+
+  RetimingServer server(options);
+  std::string error;
+  if (!server.start(&error)) {
+    diag.error("serve", error);
+    return 1;
+  }
+  // The smoke tests (and shell users) wait for this line before dialing.
+  std::printf("mcrt serve: listening on %s\n",
+              server.bound_endpoint().describe().c_str());
+  std::fflush(stdout);
+  server.run(&g_interrupt);
+  const ServerStats stats = server.stats();
+  const CacheStats cache = server.cache_stats();
+  std::printf("mcrt serve: %llu requests (%llu ok, %llu failed, %llu timeout, "
+              "%llu cancelled), cache %llu/%llu hits\n",
+              static_cast<unsigned long long>(stats.requests),
+              static_cast<unsigned long long>(stats.ok),
+              static_cast<unsigned long long>(stats.failed),
+              static_cast<unsigned long long>(stats.timeout),
+              static_cast<unsigned long long>(stats.cancelled),
+              static_cast<unsigned long long>(cache.hits),
+              static_cast<unsigned long long>(cache.hits + cache.misses));
+  return 0;
+}
+
+int cmd_client(const std::string& script,
+               const std::vector<std::string>& inputs, const ServeFlags& serve,
+               const BulkFlags& bulk, const FlowFlags& flags,
+               StreamDiagnostics& diag) {
+  namespace fs = std::filesystem;
+  SocketEndpoint endpoint;
+  if (!serve_endpoint(serve, &endpoint, diag)) return 2;
+  if (!bulk.report_path.empty() && !bulk.canonical) {
+    diag.error("client", "--report needs --canonical (the client composes "
+                         "the report from the daemon's canonical records)");
+    return 2;
+  }
+
+  ServeClient client;
+  std::string error;
+  if (!client.connect(endpoint, &error)) {
+    diag.error("client", error);
+    return 1;
+  }
+  if (serve.hello) std::printf("%s\n", client.greeting().write().c_str());
+
+  int exit_code = 0;
+  std::vector<std::string> job_jsons;
+  std::size_t succeeded = 0;
+  if (!inputs.empty()) {
+    bool ok = false;
+    std::vector<BulkJob> jobs =
+        collect_bulk_jobs(inputs, bulk.out_dir, diag, &ok);
+    if (!ok) return 2;
+    if (jobs.empty()) {
+      diag.error("client", "no input circuits");
+      return 2;
+    }
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      JobRequest request;
+      request.id = str_format("j%zu", i);
+      request.name = jobs[i].name;
+      // The daemon may run in a different working directory.
+      request.path = fs::absolute(jobs[i].input_path).string();
+      if (!jobs[i].output_path.empty()) {
+        request.output = fs::absolute(jobs[i].output_path).string();
+      }
+      request.script = script;
+      request.options.canonical = bulk.canonical;
+      request.options.timeout_seconds = flags.timeout_seconds;
+      request.options.validate = flags.validate;
+      request.options.verify = flags.verify;
+      request.options.budgets = flags.budgets;
+      if (!client.submit(request)) {
+        diag.error("client", "connection lost while submitting");
+        return 1;
+      }
+    }
+    std::vector<ClientJobResult> results;
+    if (!client.collect(&results, &error)) {
+      diag.error("client", error);
+      return 1;
+    }
+    for (const ClientJobResult& result : results) {
+      if (result.success) {
+        // Pull the stats line out of the per-job report object.
+        auto parsed = Json::parse(result.job_json);
+        const Json* job = std::get_if<Json>(&parsed);
+        const Json& before = job != nullptr ? job->at("before") : Json();
+        const Json& after = job != nullptr ? job->at("after") : Json();
+        std::printf("%-20s %-9s lut %lld -> %lld  ff %lld -> %lld  period "
+                    "%lld -> %lld%s\n",
+                    result.name.c_str(), "ok",
+                    static_cast<long long>(before.at("luts").as_int()),
+                    static_cast<long long>(after.at("luts").as_int()),
+                    static_cast<long long>(before.at("registers").as_int()),
+                    static_cast<long long>(after.at("registers").as_int()),
+                    static_cast<long long>(before.at("period").as_int()),
+                    static_cast<long long>(after.at("period").as_int()),
+                    result.cached ? "  (cached)" : "");
+        ++succeeded;
+      } else {
+        std::printf("%-20s %-9s %s\n", result.name.c_str(),
+                    result.status.c_str(), result.error.c_str());
+        for (const Diagnostic& d : result.diagnostics) {
+          if (d.severity != DiagSeverity::kNote) diag.report(d);
+        }
+        exit_code = 1;
+      }
+      job_jsons.push_back(result.job_json);
+    }
+    for (const std::string& protocol_error : client.protocol_errors()) {
+      diag.error("client", protocol_error);
+      exit_code = 1;
+    }
+    std::printf("client: %zu/%zu ok\n", succeeded, results.size());
+
+    if (!bulk.report_path.empty()) {
+      std::ofstream out(bulk.report_path, std::ios::binary);
+      out << compose_canonical_report_json(script, job_jsons, succeeded);
+      if (!out) {
+        diag.error(bulk.report_path, "cannot write report");
+        return 1;
+      }
+    }
+  }
+
+  if (serve.stats) {
+    std::optional<Json> stats = client.query_stats(&error);
+    if (!stats) {
+      diag.error("client", error);
+      return 1;
+    }
+    std::printf("%s\n", stats->write().c_str());
+  }
+  if (serve.shutdown) {
+    if (!client.send_shutdown()) {
+      diag.error("client", "connection lost before shutdown");
+      return 1;
+    }
+  }
+  return exit_code;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc >= 2 && (std::strcmp(argv[1], "--version") == 0 ||
+                    std::strcmp(argv[1], "version") == 0)) {
+    std::printf("%s\n", version_line().c_str());
+    return 0;
+  }
   if (argc < 3) return usage();
   const std::string command = argv[1];
   StreamDiagnostics diag(stderr);
@@ -419,6 +623,7 @@ int main(int argc, char** argv) {
   bool bmc_x_ok = false;
   FlowFlags flow_flags;
   BulkFlags bulk_flags;
+  ServeFlags serve_flags;
   std::size_t corpus_count = 10;
   std::uint64_t corpus_seed = 1;
   // Value-taking long flags accept both "--flag value" and "--flag=value".
@@ -501,6 +706,30 @@ int main(int argc, char** argv) {
       bmc_x_ok = true;
       continue;
     }
+    if (flag_value(arg, "--socket", &i, &value)) {
+      serve_flags.socket_path = value;
+      continue;
+    }
+    if (flag_value(arg, "--port", &i, &value)) {
+      serve_flags.port = std::atoi(value.c_str());
+      continue;
+    }
+    if (flag_value(arg, "--cache-mb", &i, &value)) {
+      serve_flags.cache_mb = static_cast<std::size_t>(std::atoll(value.c_str()));
+      continue;
+    }
+    if (arg == "--stats") {
+      serve_flags.stats = true;
+      continue;
+    }
+    if (arg == "--shutdown") {
+      serve_flags.shutdown = true;
+      continue;
+    }
+    if (arg == "--hello") {
+      serve_flags.hello = true;
+      continue;
+    }
     if (arg == "-k" && i + 1 < argc) {
       lut_k = static_cast<std::uint32_t>(std::atoi(argv[++i]));
     } else if (arg == "-d" && i + 1 < argc) {
@@ -528,11 +757,34 @@ int main(int argc, char** argv) {
       files.push_back(arg);
     }
   }
-  if (files.empty()) return usage();
+  const bool server_command = command == "serve" || command == "client";
+  if (files.empty() && !server_command) return usage();
 
   // ctrl-C requests a clean cooperative stop: in-flight flows unwind at
   // their next engine poll and report "cancelled" instead of dying mid-write.
   std::signal(SIGINT, handle_sigint);
+  // A dropped client mid-reply must surface as a write error on that
+  // session, not kill the daemon.
+  std::signal(SIGPIPE, SIG_IGN);
+
+  if (command == "serve") {
+    if (!files.empty()) return usage();
+    return cmd_serve(serve_flags, bulk_flags, flow_flags, diag);
+  }
+  if (command == "client") {
+    // Positionals are the flow script then circuits; a control-only call
+    // (--hello / --stats / --shutdown) takes none.
+    if (files.size() == 1 ||
+        (files.empty() && !serve_flags.hello && !serve_flags.stats &&
+         !serve_flags.shutdown)) {
+      return usage();
+    }
+    const std::string script = files.empty() ? std::string() : files[0];
+    const std::vector<std::string> inputs(
+        files.empty() ? files.end() : files.begin() + 1, files.end());
+    return cmd_client(script, inputs, serve_flags, bulk_flags, flow_flags,
+                      diag);
+  }
 
   // `flow` positionals are script, input, output; everything else starts
   // with the input file.
