@@ -12,6 +12,34 @@ namespace {
 /// Incremental parser state.
 class Reader {
  public:
+  /// Pre-scan reserve: BLIF carries its element counts in its directives
+  /// (.names/.latch/.mclatch lines, .inputs/.outputs name lists), so one
+  /// cheap pass over the raw text sizes the netlist vectors up front and
+  /// the parse proper never reallocates. Counts are close rather than
+  /// exact (continuation lines under-count .inputs); reserve is a hint.
+  void reserve_from_scan(std::string_view text) {
+    std::size_t names = 0;
+    std::size_t latches = 0;
+    std::size_t io = 0;
+    std::size_t pos = 0;
+    while (pos < text.size()) {
+      std::size_t end = text.find('\n', pos);
+      if (end == std::string_view::npos) end = text.size();
+      std::string_view line = trim(text.substr(pos, end - pos));
+      pos = end + 1;
+      if (line.starts_with(".names")) {
+        ++names;
+      } else if (line.starts_with(".latch") || line.starts_with(".mclatch")) {
+        ++latches;
+      } else if (line.starts_with(".inputs") || line.starts_with(".outputs")) {
+        io += split_tokens(line).size() - 1;
+      }
+    }
+    // Every .names/.latch may introduce one fresh net; inputs add a node
+    // and a net each; +2 covers the synthetic __clk/__por nets.
+    netlist_.reserve(names + latches + io + 2, names + io + 2, latches);
+  }
+
   std::variant<Netlist, BlifError> run(std::istream& in) {
     std::string physical;
     std::string logical;
@@ -361,13 +389,19 @@ class Reader {
 }  // namespace
 
 std::variant<Netlist, BlifError> read_blif(std::istream& in) {
-  Reader reader;
-  return reader.run(in);
+  // Slurp so the reserve pre-scan sees the whole text; BLIF files are
+  // small relative to the netlists they expand into.
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) return BlifError{0, "read error (stream failure mid-file)"};
+  return read_blif_string(buffer.str());
 }
 
 std::variant<Netlist, BlifError> read_blif_string(const std::string& text) {
+  Reader reader;
+  reader.reserve_from_scan(text);
   std::istringstream in(text);
-  return read_blif(in);
+  return reader.run(in);
 }
 
 std::variant<Netlist, BlifError> read_blif_file(const std::string& path) {

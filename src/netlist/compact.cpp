@@ -1,0 +1,145 @@
+#include "netlist/compact.h"
+
+#include <cassert>
+
+namespace mcrt {
+namespace {
+
+/// Turns per-row counts into CSR offsets (exclusive prefix sum) and returns
+/// the total; counts is left holding the running fill cursor per row.
+std::uint32_t counts_to_offsets(std::vector<std::uint32_t>& counts,
+                                std::vector<std::uint32_t>& offsets) {
+  offsets.resize(counts.size() + 1);
+  std::uint32_t total = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    offsets[i] = total;
+    total += counts[i];
+    counts[i] = offsets[i];  // becomes the insertion cursor
+  }
+  offsets[counts.size()] = total;
+  return total;
+}
+
+}  // namespace
+
+CompactNetlist::CompactNetlist(const Netlist& netlist) {
+  revision_ = netlist.revision();
+  const std::uint32_t nodes = static_cast<std::uint32_t>(netlist.node_count());
+  const std::uint32_t nets = static_cast<std::uint32_t>(netlist.net_count());
+  const std::uint32_t regs =
+      static_cast<std::uint32_t>(netlist.register_count());
+
+  // --- nodes + fanin CSR ---------------------------------------------------
+  node_kind_.resize(nodes);
+  node_output_.resize(nodes, kNoNet);
+  node_delay_.resize(nodes, 0);
+  tt_bits_.resize(nodes, 0);
+  tt_arity_.resize(nodes, 0);
+  std::vector<std::uint32_t> cursor(nodes, 0);
+  for (std::uint32_t v = 0; v < nodes; ++v) {
+    cursor[v] =
+        static_cast<std::uint32_t>(netlist.node(NodeId{v}).fanins.size());
+  }
+  const std::uint32_t fanin_total = counts_to_offsets(cursor, fanin_.offsets);
+  fanin_.edges.resize(fanin_total);
+  for (std::uint32_t v = 0; v < nodes; ++v) {
+    const Node& node = netlist.node(NodeId{v});
+    node_kind_[v] = node.kind;
+    node_delay_[v] = node.delay;
+    if (node.output.valid()) node_output_[v] = node.output.value();
+    if (node.kind == NodeKind::kLut) {
+      tt_bits_[v] = node.function.bits();
+      tt_arity_[v] = static_cast<std::uint8_t>(node.function.input_count());
+    }
+    for (const NetId fanin : node.fanins) {
+      fanin_.edges[cursor[v]++] = fanin.value();
+    }
+  }
+
+  // --- nets + fanout CSRs --------------------------------------------------
+  driver_kind_.resize(nets, 0);
+  driver_index_.resize(nets, 0);
+  for (std::uint32_t n = 0; n < nets; ++n) {
+    const NetDriver& driver = netlist.net(NetId{n}).driver;
+    driver_kind_[n] = static_cast<std::uint8_t>(driver.kind);
+    driver_index_[n] = driver.index;
+  }
+  // Counting sort of node pins by fanin net: pass 1 counts, pass 2 fills in
+  // (node, pin) order, so each row comes out sorted by construction.
+  cursor.assign(nets, 0);
+  for (const std::uint32_t e : fanin_.edges) ++cursor[e];
+  const std::uint32_t reader_total =
+      counts_to_offsets(cursor, node_readers_.offsets);
+  node_readers_.edges.resize(reader_total);
+  for (std::uint32_t v = 0; v < nodes; ++v) {
+    for (const std::uint32_t net : fanin_.row(v)) {
+      node_readers_.edges[cursor[net]++] = v;
+    }
+  }
+
+  // --- registers -----------------------------------------------------------
+  reg_d_.resize(regs);
+  reg_q_.resize(regs);
+  reg_clk_.resize(regs);
+  reg_en_.resize(regs);
+  reg_sync_.resize(regs);
+  reg_async_.resize(regs);
+  reg_sync_val_.resize(regs);
+  reg_async_val_.resize(regs);
+  cursor.assign(nets, 0);
+  for (std::uint32_t r = 0; r < regs; ++r) {
+    const Register& ff = netlist.reg(RegId{r});
+    reg_d_[r] = ff.d.valid() ? ff.d.value() : kNoNet;
+    reg_q_[r] = ff.q.valid() ? ff.q.value() : kNoNet;
+    reg_clk_[r] = ff.clk.valid() ? ff.clk.value() : kNoNet;
+    reg_en_[r] = ff.en.valid() ? ff.en.value() : kNoNet;
+    reg_sync_[r] = ff.sync_ctrl.valid() ? ff.sync_ctrl.value() : kNoNet;
+    reg_async_[r] = ff.async_ctrl.valid() ? ff.async_ctrl.value() : kNoNet;
+    reg_sync_val_[r] = ff.sync_val;
+    reg_async_val_[r] = ff.async_val;
+    if (reg_async_[r] != kNoNet) has_async_ = true;
+    if (reg_d_[r] != kNoNet) ++cursor[reg_d_[r]];
+  }
+  const std::uint32_t reg_total =
+      counts_to_offsets(cursor, reg_readers_.offsets);
+  reg_readers_.edges.resize(reg_total);
+  for (std::uint32_t r = 0; r < regs; ++r) {
+    if (reg_d_[r] != kNoNet) reg_readers_.edges[cursor[reg_d_[r]]++] = r;
+  }
+
+  // --- interface lists -----------------------------------------------------
+  input_nodes_.reserve(netlist.inputs().size());
+  for (const NodeId id : netlist.inputs()) input_nodes_.push_back(id.value());
+  output_nodes_.reserve(netlist.outputs().size());
+  for (const NodeId id : netlist.outputs()) output_nodes_.push_back(id.value());
+
+  // --- combinational topological order (Kahn over the flat arrays) --------
+  std::vector<std::uint32_t> indegree(nodes, 0);
+  for (std::uint32_t v = 0; v < nodes; ++v) {
+    for (const std::uint32_t net : fanin_.row(v)) {
+      if (driver_kind(net) == NetDriver::Kind::kNode) ++indegree[v];
+    }
+  }
+  std::vector<std::uint32_t> queue;
+  queue.reserve(nodes);
+  for (std::uint32_t v = 0; v < nodes; ++v) {
+    if (indegree[v] == 0) queue.push_back(v);
+  }
+  std::uint32_t processed = 0;
+  comb_order_.reserve(nodes);
+  while (!queue.empty()) {
+    const std::uint32_t v = queue.back();
+    queue.pop_back();
+    ++processed;
+    if (node_kind_[v] == NodeKind::kLut) comb_order_.push_back(v);
+    const std::uint32_t out = node_output_[v];
+    if (out == kNoNet) continue;
+    for (const std::uint32_t reader : node_readers_.row(out)) {
+      if (--indegree[reader] == 0) queue.push_back(reader);
+    }
+  }
+  acyclic_ = processed == nodes;
+  if (!acyclic_) comb_order_.clear();
+}
+
+}  // namespace mcrt

@@ -1,0 +1,184 @@
+// Data-oriented compact view of a Netlist.
+//
+// The seed Netlist is pointer-heavy: per-node std::vector fanins, name
+// strings and an on-demand reader index rebuilt from scratch by every
+// analysis. The hot loops of this library (FEAS probes, FlowMap cut
+// enumeration, pattern simulation) traverse that structure thousands of
+// times per flow, so CompactNetlist snapshots it once into flat arrays in
+// the mockturtle idiom: dense uint32 ids, CSR-packed fanin *and* fanout
+// adjacency (one offsets[]/edges[] pair each), a flat truth-table arena
+// (one uint64 per node; a 6-LUT fits a word) and struct-of-arrays register
+// metadata. Node/net/register ids are the Netlist's own dense indices, so
+// results computed on the view map back without translation tables.
+//
+// Build/invalidate contract (docs/INTERNALS.md#compact-core):
+//  - CompactNetlist(n) is a read-only snapshot of n at n.revision();
+//  - every mutating Netlist method (and non-const node()/reg() access)
+//    bumps the revision, so valid_for(n) detects staleness in O(1);
+//  - transform passes that mutate the netlist must rebuild the view before
+//    reusing it — there is no incremental update, by design: a rebuild is
+//    one linear pass, and passes mutate in bursts between analyses.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "netlist/netlist.h"
+
+namespace mcrt {
+
+/// Compressed-sparse-row adjacency: row i spans
+/// edges[offsets[i] .. offsets[i+1]).
+struct Csr {
+  std::vector<std::uint32_t> offsets;  ///< rows + 1 entries
+  std::vector<std::uint32_t> edges;
+
+  [[nodiscard]] std::span<const std::uint32_t> row(
+      std::uint32_t i) const noexcept {
+    return {edges.data() + offsets[i], edges.data() + offsets[i + 1]};
+  }
+  [[nodiscard]] std::size_t rows() const noexcept {
+    return offsets.empty() ? 0 : offsets.size() - 1;
+  }
+};
+
+class CompactNetlist {
+ public:
+  /// Absent control net (matches NetId's invalid sentinel value).
+  static constexpr std::uint32_t kNoNet = 0xffffffffu;
+
+  /// Snapshots `netlist`. O(nodes + nets + registers + edges).
+  explicit CompactNetlist(const Netlist& netlist);
+
+  /// True while the snapshot still reflects `netlist` (same object state;
+  /// compares the mutation revision recorded at build time).
+  [[nodiscard]] bool valid_for(const Netlist& netlist) const noexcept {
+    return revision_ == netlist.revision();
+  }
+  [[nodiscard]] std::uint64_t revision() const noexcept { return revision_; }
+
+  // --- counts --------------------------------------------------------------
+  [[nodiscard]] std::uint32_t node_count() const noexcept {
+    return static_cast<std::uint32_t>(node_kind_.size());
+  }
+  [[nodiscard]] std::uint32_t net_count() const noexcept {
+    return static_cast<std::uint32_t>(driver_kind_.size());
+  }
+  [[nodiscard]] std::uint32_t register_count() const noexcept {
+    return static_cast<std::uint32_t>(reg_d_.size());
+  }
+
+  // --- nodes ---------------------------------------------------------------
+  [[nodiscard]] NodeKind node_kind(std::uint32_t v) const {
+    return node_kind_[v];
+  }
+  /// Net driven by node v; kNoNet for primary outputs.
+  [[nodiscard]] std::uint32_t node_output(std::uint32_t v) const {
+    return node_output_[v];
+  }
+  [[nodiscard]] std::int64_t node_delay(std::uint32_t v) const {
+    return node_delay_[v];
+  }
+  /// Fanin nets of node v, in pin order.
+  [[nodiscard]] std::span<const std::uint32_t> fanins(std::uint32_t v) const {
+    return fanin_.row(v);
+  }
+  /// Truth-table arena: positional bits / arity of node v (kLut only).
+  [[nodiscard]] std::uint64_t tt_bits(std::uint32_t v) const {
+    return tt_bits_[v];
+  }
+  [[nodiscard]] std::uint32_t tt_arity(std::uint32_t v) const {
+    return tt_arity_[v];
+  }
+
+  // --- nets ----------------------------------------------------------------
+  [[nodiscard]] NetDriver::Kind driver_kind(std::uint32_t net) const {
+    return static_cast<NetDriver::Kind>(driver_kind_[net]);
+  }
+  /// NodeId or RegId value, meaningful unless driver_kind is kNone.
+  [[nodiscard]] std::uint32_t driver_index(std::uint32_t net) const {
+    return driver_index_[net];
+  }
+  /// Nodes consuming `net`, one entry per pin, ordered by (node, pin).
+  [[nodiscard]] std::span<const std::uint32_t> reader_nodes(
+      std::uint32_t net) const {
+    return node_readers_.row(net);
+  }
+  /// Registers whose D input is `net`.
+  [[nodiscard]] std::span<const std::uint32_t> reader_regs(
+      std::uint32_t net) const {
+    return reg_readers_.row(net);
+  }
+
+  // --- registers (struct-of-arrays; kNoNet = absent control) --------------
+  [[nodiscard]] std::uint32_t reg_d(std::uint32_t r) const { return reg_d_[r]; }
+  [[nodiscard]] std::uint32_t reg_q(std::uint32_t r) const { return reg_q_[r]; }
+  [[nodiscard]] std::uint32_t reg_clk(std::uint32_t r) const {
+    return reg_clk_[r];
+  }
+  [[nodiscard]] std::uint32_t reg_en(std::uint32_t r) const {
+    return reg_en_[r];
+  }
+  [[nodiscard]] std::uint32_t reg_sync(std::uint32_t r) const {
+    return reg_sync_[r];
+  }
+  [[nodiscard]] std::uint32_t reg_async(std::uint32_t r) const {
+    return reg_async_[r];
+  }
+  [[nodiscard]] ResetVal reg_sync_val(std::uint32_t r) const {
+    return reg_sync_val_[r];
+  }
+  [[nodiscard]] ResetVal reg_async_val(std::uint32_t r) const {
+    return reg_async_val_[r];
+  }
+  /// True if any register has an async set/clear (simulators use this to
+  /// skip the async-override fixed-point machinery entirely).
+  [[nodiscard]] bool has_async() const noexcept { return has_async_; }
+
+  // --- orders and interface ------------------------------------------------
+  /// kLut nodes in topological order (empty if the netlist has a
+  /// combinational cycle; check acyclic()).
+  [[nodiscard]] std::span<const std::uint32_t> comb_order() const noexcept {
+    return comb_order_;
+  }
+  [[nodiscard]] bool acyclic() const noexcept { return acyclic_; }
+  [[nodiscard]] std::span<const std::uint32_t> input_nodes() const noexcept {
+    return input_nodes_;
+  }
+  [[nodiscard]] std::span<const std::uint32_t> output_nodes() const noexcept {
+    return output_nodes_;
+  }
+
+ private:
+  std::uint64_t revision_ = 0;
+  bool acyclic_ = false;
+  bool has_async_ = false;
+
+  std::vector<NodeKind> node_kind_;
+  std::vector<std::uint32_t> node_output_;
+  std::vector<std::int64_t> node_delay_;
+  std::vector<std::uint64_t> tt_bits_;
+  std::vector<std::uint8_t> tt_arity_;
+  Csr fanin_;  ///< node -> fanin nets
+
+  std::vector<std::uint8_t> driver_kind_;
+  std::vector<std::uint32_t> driver_index_;
+  Csr node_readers_;  ///< net -> consuming nodes (pin-expanded)
+  Csr reg_readers_;   ///< net -> registers with D on the net
+
+  std::vector<std::uint32_t> reg_d_;
+  std::vector<std::uint32_t> reg_q_;
+  std::vector<std::uint32_t> reg_clk_;
+  std::vector<std::uint32_t> reg_en_;
+  std::vector<std::uint32_t> reg_sync_;
+  std::vector<std::uint32_t> reg_async_;
+  std::vector<ResetVal> reg_sync_val_;
+  std::vector<ResetVal> reg_async_val_;
+
+  std::vector<std::uint32_t> comb_order_;
+  std::vector<std::uint32_t> input_nodes_;
+  std::vector<std::uint32_t> output_nodes_;
+};
+
+}  // namespace mcrt

@@ -6,7 +6,15 @@
 
 namespace mcrt {
 
+void Netlist::reserve(std::size_t nets, std::size_t nodes,
+                      std::size_t registers) {
+  nets_.reserve(nets);
+  nodes_.reserve(nodes);
+  registers_.reserve(registers);
+}
+
 NetId Netlist::add_net(std::string name) {
+  touch();
   const NetId id{static_cast<NetId::value_type>(nets_.size())};
   if (name.empty()) name = str_format("n%u", id.value());
   nets_.push_back(Net{std::move(name), {}});
@@ -14,6 +22,7 @@ NetId Netlist::add_net(std::string name) {
 }
 
 NetId Netlist::add_input(std::string name) {
+  touch();
   const NodeId node_id{static_cast<NodeId::value_type>(nodes_.size())};
   const NetId net_id = add_net(name);
   Node node;
@@ -27,6 +36,7 @@ NetId Netlist::add_input(std::string name) {
 }
 
 NodeId Netlist::add_output(std::string name, NetId source) {
+  touch();
   const NodeId node_id{static_cast<NodeId::value_type>(nodes_.size())};
   Node node;
   node.kind = NodeKind::kOutput;
@@ -39,6 +49,7 @@ NodeId Netlist::add_output(std::string name, NetId source) {
 
 NetId Netlist::add_lut(TruthTable function, std::vector<NetId> fanins,
                        std::string name) {
+  touch();
   assert(function.input_count() == fanins.size());
   const NodeId node_id{static_cast<NodeId::value_type>(nodes_.size())};
   const NetId net_id = add_net(std::move(name));
@@ -55,6 +66,7 @@ NetId Netlist::add_lut(TruthTable function, std::vector<NetId> fanins,
 
 NodeId Netlist::add_lut_driving(NetId output, TruthTable function,
                                 std::vector<NetId> fanins) {
+  touch();
   assert(function.input_count() == fanins.size());
   assert(nets_[output.index()].driver.kind == NetDriver::Kind::kNone);
   const NodeId node_id{static_cast<NodeId::value_type>(nodes_.size())};
@@ -70,6 +82,7 @@ NodeId Netlist::add_lut_driving(NetId output, TruthTable function,
 }
 
 NodeId Netlist::add_input_driving(NetId output) {
+  touch();
   assert(nets_[output.index()].driver.kind == NetDriver::Kind::kNone);
   const NodeId node_id{static_cast<NodeId::value_type>(nodes_.size())};
   Node node;
@@ -87,6 +100,7 @@ NetId Netlist::add_const(bool value, std::string name) {
 }
 
 NetId Netlist::add_register(Register spec) {
+  touch();
   const RegId reg_id{static_cast<RegId::value_type>(registers_.size())};
   if (!spec.q.valid()) {
     spec.q = add_net(spec.name.empty()

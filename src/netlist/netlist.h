@@ -32,6 +32,8 @@
 
 namespace mcrt {
 
+struct StructuralHash;
+
 /// Reset value of a register: '0', '1' or '-' (don't care / absent).
 enum class ResetVal : std::uint8_t { kZero = 0, kOne = 1, kDontCare = 2 };
 
@@ -104,6 +106,10 @@ struct NetReaders {
 class Netlist {
  public:
   // --- construction -------------------------------------------------------
+  /// Pre-sizes the backing vectors (BLIF headers and workload profiles know
+  /// their element counts up front; reserving avoids reallocation churn).
+  void reserve(std::size_t nets, std::size_t nodes, std::size_t registers);
+
   NetId add_net(std::string name = {});
   NetId add_input(std::string name);
   NodeId add_output(std::string name, NetId source);
@@ -134,8 +140,16 @@ class Netlist {
   [[nodiscard]] const Register& reg(RegId id) const {
     return registers_[id.index()];
   }
-  [[nodiscard]] Node& node(NodeId id) { return nodes_[id.index()]; }
-  [[nodiscard]] Register& reg(RegId id) { return registers_[id.index()]; }
+  // Non-const access conservatively counts as a mutation (the caller can
+  // rewrite fanins, functions or control wiring through the reference).
+  [[nodiscard]] Node& node(NodeId id) {
+    touch();
+    return nodes_[id.index()];
+  }
+  [[nodiscard]] Register& reg(RegId id) {
+    touch();
+    return registers_[id.index()];
+  }
 
   [[nodiscard]] std::span<const Node> nodes() const noexcept { return nodes_; }
   [[nodiscard]] std::span<const Register> registers() const noexcept {
@@ -153,8 +167,15 @@ class Netlist {
   [[nodiscard]] std::optional<bool> const_value(NetId net) const;
 
   void set_node_delay(NodeId id, std::int64_t delay) {
+    touch();
     nodes_[id.index()].delay = delay;
   }
+
+  /// Monotone mutation counter. Bumped by every mutating method (including
+  /// non-const node()/reg() access); derived views such as CompactNetlist
+  /// record the revision they were built at and compare it to detect
+  /// staleness. Copies keep the source's revision.
+  [[nodiscard]] std::uint64_t revision() const noexcept { return revision_; }
 
   // --- analysis ------------------------------------------------------------
   /// Per-net reader lists; recomputed from scratch at each call.
@@ -180,11 +201,29 @@ class Netlist {
   [[nodiscard]] Stats stats() const;
 
  private:
+  // Invalidation hook shared by every mutating method: bumps the revision
+  // (staleness detection for CompactNetlist and friends) and drops the
+  // memoized structural hash. Not thread-safe; a Netlist is single-writer
+  // by design (docs/INTERNALS.md#compact-core).
+  void touch() noexcept {
+    ++revision_;
+    hash_valid_ = false;
+  }
+
+  // structural_hash() memoizes its digest here (lazily, invalidated by
+  // touch()) so repeated hashing of an unchanged netlist — serve cache
+  // lookups, bench runs — is O(1) after the first call.
+  friend StructuralHash structural_hash(const Netlist& netlist);
+
   std::vector<Net> nets_;
   std::vector<Node> nodes_;
   std::vector<Register> registers_;
   std::vector<NodeId> inputs_;
   std::vector<NodeId> outputs_;
+  std::uint64_t revision_ = 0;
+  mutable bool hash_valid_ = false;
+  mutable std::uint64_t hash_hi_ = 0;
+  mutable std::uint64_t hash_lo_ = 0;
 };
 
 }  // namespace mcrt

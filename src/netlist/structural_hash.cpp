@@ -169,9 +169,19 @@ std::string StructuralHash::hex() const {
 }
 
 StructuralHash structural_hash(const Netlist& netlist) {
+  // Memoized: every mutating Netlist method drops hash_valid_, so a cache
+  // hit can only observe the digest of the current structure. Not
+  // thread-safe — callers hashing one netlist from several threads must
+  // hash a copy or synchronize (single-writer rule, docs/INTERNALS.md).
+  if (netlist.hash_valid_) {
+    return StructuralHash{netlist.hash_hi_, netlist.hash_lo_};
+  }
   StructuralHash hash;
   hash.hi = hash_lane(netlist, 0x6d63727448617368ULL);  // "mcrtHash"
   hash.lo = hash_lane(netlist, 0x726574696d696e67ULL);  // "retiming"
+  netlist.hash_hi_ = hash.hi;
+  netlist.hash_lo_ = hash.lo;
+  netlist.hash_valid_ = true;
   return hash;
 }
 

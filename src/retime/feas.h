@@ -6,6 +6,15 @@
 // vertex whose arrival exceeds phi. After |V| - 1 rounds, phi is feasible
 // iff the retimed clock period is at most phi.
 //
+// Two interchangeable engines compute the same fixed point:
+//  - feas_check() iterates over the RetimeGraph's flat CSR view with
+//    reused scratch arrays — the production path (BENCH_retime.json tracks
+//    its speedup);
+//  - feas_check_legacy() walks the Digraph through std::function callbacks
+//    — kept compiled as the differential oracle (tests assert identical
+//    labels; the arrival fixed point is unique, so both engines agree
+//    label-for-label, not just on feasibility).
+//
 // FEAS cannot honor per-vertex retiming bounds; the bounded feasibility
 // check lives in minperiod.cpp (difference-constraint formulation).
 #pragma once
@@ -18,9 +27,21 @@
 
 namespace mcrt {
 
+/// Which FEAS engine a caller (minperiod, bench) probes with.
+enum class FeasImpl { kCsr, kLegacy };
+
 /// Returns the retiming labels achieving period <= phi, or std::nullopt if
-/// phi is infeasible for the graph (ignoring bounds).
+/// phi is infeasible for the graph (ignoring bounds). CSR engine.
 std::optional<std::vector<std::int64_t>> feas_check(const RetimeGraph& graph,
                                                     std::int64_t phi);
+
+/// The seed's pointer-chasing implementation; identical results.
+std::optional<std::vector<std::int64_t>> feas_check_legacy(
+    const RetimeGraph& graph, std::int64_t phi);
+
+/// Engine-selecting dispatch.
+std::optional<std::vector<std::int64_t>> feas_check(const RetimeGraph& graph,
+                                                    std::int64_t phi,
+                                                    FeasImpl impl);
 
 }  // namespace mcrt

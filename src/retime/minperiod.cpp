@@ -2,7 +2,6 @@
 
 #include <algorithm>
 
-#include "retime/feas.h"
 #include "retime/period_constraints.h"
 
 namespace mcrt {
@@ -40,7 +39,7 @@ std::optional<std::vector<std::int64_t>> bounded_feasible(
   return r;
 }
 
-RetimeSolution minperiod_retime(const RetimeGraph& graph) {
+RetimeSolution minperiod_retime(const RetimeGraph& graph, FeasImpl impl) {
   RetimeSolution result;
   const std::int64_t current = graph.period();
 
@@ -66,7 +65,7 @@ RetimeSolution minperiod_retime(const RetimeGraph& graph) {
     std::size_t b = hi;  // candidates[hi] == current is known feasible
     while (a < b) {
       const std::size_t mid = a + (b - a) / 2;
-      if (feas_check(graph, candidates[mid])) {
+      if (feas_check(graph, candidates[mid], impl)) {
         b = mid;
       } else {
         a = mid + 1;
@@ -77,7 +76,7 @@ RetimeSolution minperiod_retime(const RetimeGraph& graph) {
 
   if (!graph.has_bounds()) {
     if (unbounded_lo < candidates.size() && candidates[unbounded_lo] < current) {
-      if (auto r = feas_check(graph, candidates[unbounded_lo])) {
+      if (auto r = feas_check(graph, candidates[unbounded_lo], impl)) {
         best_r = normalize_to_host(std::move(*r), graph);
         best_phi = candidates[unbounded_lo];
       }

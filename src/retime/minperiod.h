@@ -11,6 +11,7 @@
 #include <optional>
 #include <vector>
 
+#include "retime/feas.h"
 #include "retime/retime_graph.h"
 
 namespace mcrt {
@@ -19,7 +20,10 @@ namespace mcrt {
 /// The returned labels are normalized to r(host) = 0 and legal w.r.t.
 /// bounds. `feasible` is false only if the graph is malformed (a single
 /// vertex slower than every period bound cannot happen with finite delays).
-RetimeSolution minperiod_retime(const RetimeGraph& graph);
+/// `impl` selects the FEAS engine for the unbounded probes (the legacy
+/// engine exists for differential tests and the bench's speedup baseline).
+RetimeSolution minperiod_retime(const RetimeGraph& graph,
+                                FeasImpl impl = FeasImpl::kCsr);
 
 /// Feasibility check honoring bounds: is there a legal retiming with
 /// period <= phi? Returns the labels if so. An optional cache of the

@@ -13,6 +13,7 @@ RetimeGraph::RetimeGraph() {
 }
 
 VertexId RetimeGraph::add_vertex(std::int64_t delay, std::string name) {
+  csr_valid_ = false;
   const VertexId v = graph_.add_vertex();
   delay_.push_back(delay);
   lower_.push_back(-kNoBound);
@@ -23,9 +24,48 @@ VertexId RetimeGraph::add_vertex(std::int64_t delay, std::string name) {
 }
 
 EdgeId RetimeGraph::add_edge(VertexId from, VertexId to, std::int64_t weight) {
+  csr_valid_ = false;
   const EdgeId e = graph_.add_edge(from, to);
   weight_.push_back(weight);
   return e;
+}
+
+const RetimeGraph::CsrView& RetimeGraph::csr() const {
+  if (csr_valid_) return csr_;
+  CsrView view;
+  view.n = static_cast<std::uint32_t>(graph_.vertex_count());
+  const std::uint32_t m = static_cast<std::uint32_t>(graph_.edge_count());
+  view.out_offsets.assign(view.n + 1, 0);
+  view.in_offsets.assign(view.n + 1, 0);
+  for (std::uint32_t e = 0; e < m; ++e) {
+    const Digraph::Edge& edge = graph_.edge(EdgeId{e});
+    ++view.out_offsets[edge.from.index() + 1];
+    ++view.in_offsets[edge.to.index() + 1];
+  }
+  for (std::uint32_t v = 0; v < view.n; ++v) {
+    view.out_offsets[v + 1] += view.out_offsets[v];
+    view.in_offsets[v + 1] += view.in_offsets[v];
+  }
+  view.out_to.resize(m);
+  view.out_edge.resize(m);
+  view.in_from.resize(m);
+  view.in_edge.resize(m);
+  std::vector<std::uint32_t> out_cursor(view.out_offsets.begin(),
+                                        view.out_offsets.end() - 1);
+  std::vector<std::uint32_t> in_cursor(view.in_offsets.begin(),
+                                       view.in_offsets.end() - 1);
+  for (std::uint32_t e = 0; e < m; ++e) {
+    const Digraph::Edge& edge = graph_.edge(EdgeId{e});
+    const std::uint32_t o = out_cursor[edge.from.index()]++;
+    view.out_to[o] = edge.to.value();
+    view.out_edge[o] = e;
+    const std::uint32_t i = in_cursor[edge.to.index()]++;
+    view.in_from[i] = edge.from.value();
+    view.in_edge[i] = e;
+  }
+  csr_ = std::move(view);
+  csr_valid_ = true;
+  return csr_;
 }
 
 void RetimeGraph::set_bounds(VertexId v, std::int64_t lower,

@@ -16,6 +16,7 @@
 
 #include <cstdint>
 #include <limits>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -69,6 +70,31 @@ class RetimeGraph {
   [[nodiscard]] std::int64_t retimed_weight(
       EdgeId e, const std::vector<std::int64_t>& r) const;
 
+  /// Flat CSR snapshot of the topology for hot solver loops (FEAS probes,
+  /// period evaluation): parallel (neighbor, edge-id) arrays per direction,
+  /// indexed by the same VertexId/EdgeId values as the Digraph. Built
+  /// lazily and cached; add_vertex/add_edge invalidate it, while
+  /// set_weight/apply only change weights and keep it valid (solvers read
+  /// weights through weights(), not the view).
+  struct CsrView {
+    std::uint32_t n = 0;
+    std::vector<std::uint32_t> out_offsets;  ///< n + 1
+    std::vector<std::uint32_t> out_to;
+    std::vector<std::uint32_t> out_edge;
+    std::vector<std::uint32_t> in_offsets;  ///< n + 1
+    std::vector<std::uint32_t> in_from;
+    std::vector<std::uint32_t> in_edge;
+  };
+  [[nodiscard]] const CsrView& csr() const;
+
+  /// Flat per-edge weights / per-vertex delays, indexed by id value.
+  [[nodiscard]] std::span<const std::int64_t> weights() const noexcept {
+    return weight_;
+  }
+  [[nodiscard]] std::span<const std::int64_t> delays() const noexcept {
+    return delay_;
+  }
+
   /// Clock period of the graph under retiming r: the maximum delay of any
   /// zero-weight path. r empty = current weights. Throws on a zero-weight
   /// cycle (illegal graph).
@@ -94,6 +120,8 @@ class RetimeGraph {
   std::vector<std::int64_t> upper_;
   std::vector<std::string> names_;
   bool has_bounds_ = false;
+  mutable CsrView csr_;
+  mutable bool csr_valid_ = false;
 };
 
 /// Result of a retiming computation.

@@ -21,6 +21,14 @@
 namespace mcrt {
 
 struct EquivalenceOptions {
+  /// Simulation backend. kWord packs all runs into 64-lane words on the
+  /// compact core (one settle covers up to 64 runs); kScalar is the seed's
+  /// one-run-at-a-time path. Both draw stimulus in the same RNG order and
+  /// produce the same verdict, counterexample and compared-output count —
+  /// the engine differential test holds this equality permanently.
+  enum class Engine { kWord, kScalar };
+  Engine engine = Engine::kWord;
+
   std::size_t cycles = 64;        ///< cycles simulated per run
   std::size_t runs = 8;           ///< independent stimulus sequences
   std::size_t warmup = 0;         ///< cycles before outputs are compared

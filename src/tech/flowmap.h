@@ -31,6 +31,11 @@ struct FlowMapOptions {
   /// Cooperative cancellation: polled once per labeled node (each label is
   /// one small max-flow); a stop request unwinds with CancelledError.
   const CancelToken* cancel = nullptr;
+  /// Use the seed's pointer-chasing mapper instead of the compact-core
+  /// engine. Both produce identical mapped netlists (the differential test
+  /// pins this); the legacy path exists as that oracle and as the bench
+  /// baseline, not for production use.
+  bool legacy_engine = false;
 };
 
 struct FlowMapResult {

@@ -16,6 +16,7 @@ class CircuitBuilder {
       : profile_(profile), rng_(profile.seed) {}
 
   Netlist run() {
+    reserve_from_profile();
     clk_ = netlist_.add_input("clk");
     if (profile_.use_async) rst_ = netlist_.add_input("rst");
     for (std::size_t i = 0; i < profile_.data_inputs; ++i) {
@@ -37,6 +38,31 @@ class CircuitBuilder {
   }
 
  private:
+  /// The profile states every block's element counts, so the expected
+  /// totals are a closed-form sum; reserving them up front keeps the
+  /// netlist vectors from reallocating while blocks are appended. Slight
+  /// over-estimates are fine (reserve is capacity, not size).
+  void reserve_from_profile() {
+    std::size_t regs = profile_.counter_bits;
+    std::size_t luts = 4 * profile_.counter_bits +
+                       4 * profile_.control_signals + 8;
+    for (const auto& p : profile_.pipelines) {
+      luts += p.width * p.depth + p.width;
+      regs += p.width * p.registers;
+    }
+    for (const auto& a : profile_.accumulators) {
+      luts += 3 * a.width;
+      regs += a.width;
+    }
+    for (const auto& s : profile_.shifts) {
+      luts += s.width + 2;
+      regs += s.width * s.length;
+    }
+    const std::size_t ios = profile_.data_inputs + 2 + luts / 4 + 8;
+    const std::size_t nodes = luts + ios;
+    netlist_.reserve(nodes + regs, nodes, regs);
+  }
+
   struct ControlSet {
     NetId en;          ///< invalid = no enable
     NetId sync_ctrl;   ///< invalid = none

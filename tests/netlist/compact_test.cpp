@@ -1,0 +1,187 @@
+#include "netlist/compact.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "../common/test_circuits.h"
+#include "workload/generator.h"
+#include "workload/random_circuit.h"
+
+namespace mcrt {
+namespace {
+
+// Register-class zoo: EN, sync clear, async set, don't-care resets.
+Netlist class_zoo() {
+  Netlist n;
+  const NetId clk = n.add_input("clk");
+  const NetId en = n.add_input("en");
+  const NetId sc = n.add_input("sc");
+  const NetId ar = n.add_input("ar");
+  const NetId a = n.add_input("a");
+  const NetId b = n.add_input("b");
+  const NetId g = n.add_lut(TruthTable::xor_n(2), {a, b}, "g");
+  Register r0;
+  r0.d = g;
+  r0.clk = clk;
+  r0.en = en;
+  r0.name = "r_en";
+  const NetId q0 = n.add_register(std::move(r0));
+  Register r1;
+  r1.d = q0;
+  r1.clk = clk;
+  r1.sync_ctrl = sc;
+  r1.sync_val = ResetVal::kZero;
+  r1.name = "r_sync";
+  const NetId q1 = n.add_register(std::move(r1));
+  Register r2;
+  r2.d = q1;
+  r2.clk = clk;
+  r2.async_ctrl = ar;
+  r2.async_val = ResetVal::kOne;
+  r2.name = "r_async";
+  const NetId q2 = n.add_register(std::move(r2));
+  n.add_output("o", q2);
+  return n;
+}
+
+TEST(CompactNetlistTest, MirrorsNodesNetsAndRegisters) {
+  const Netlist n = class_zoo();
+  const CompactNetlist c(n);
+
+  ASSERT_EQ(c.node_count(), n.node_count());
+  ASSERT_EQ(c.net_count(), n.net_count());
+  ASSERT_EQ(c.register_count(), n.register_count());
+
+  for (std::uint32_t v = 0; v < c.node_count(); ++v) {
+    const Node& node = n.node(NodeId{v});
+    EXPECT_EQ(c.node_kind(v), node.kind);
+    EXPECT_EQ(c.node_delay(v), node.delay);
+    if (node.kind == NodeKind::kOutput) {
+      EXPECT_EQ(c.node_output(v), CompactNetlist::kNoNet);
+    } else {
+      EXPECT_EQ(c.node_output(v), node.output.value());
+    }
+    const auto fanins = c.fanins(v);
+    ASSERT_EQ(fanins.size(), node.fanins.size());
+    for (std::size_t p = 0; p < fanins.size(); ++p) {
+      EXPECT_EQ(fanins[p], node.fanins[p].value());
+    }
+    if (node.kind == NodeKind::kLut) {
+      EXPECT_EQ(c.tt_bits(v), node.function.bits());
+      EXPECT_EQ(c.tt_arity(v), node.function.input_count());
+    }
+  }
+  for (std::uint32_t net = 0; net < c.net_count(); ++net) {
+    const NetDriver& driver = n.net(NetId{net}).driver;
+    EXPECT_EQ(c.driver_kind(net), driver.kind);
+    if (driver.kind != NetDriver::Kind::kNone) {
+      EXPECT_EQ(c.driver_index(net), driver.index);
+    }
+  }
+  for (std::uint32_t r = 0; r < c.register_count(); ++r) {
+    const Register& reg = n.reg(RegId{r});
+    EXPECT_EQ(c.reg_d(r), reg.d.value());
+    EXPECT_EQ(c.reg_q(r), reg.q.value());
+    EXPECT_EQ(c.reg_clk(r), reg.clk.value());
+    EXPECT_EQ(c.reg_en(r),
+              reg.en.valid() ? reg.en.value() : CompactNetlist::kNoNet);
+    EXPECT_EQ(c.reg_sync(r), reg.sync_ctrl.valid()
+                                 ? reg.sync_ctrl.value()
+                                 : CompactNetlist::kNoNet);
+    EXPECT_EQ(c.reg_async(r), reg.async_ctrl.valid()
+                                  ? reg.async_ctrl.value()
+                                  : CompactNetlist::kNoNet);
+    EXPECT_EQ(c.reg_sync_val(r), reg.sync_val);
+    EXPECT_EQ(c.reg_async_val(r), reg.async_val);
+  }
+  EXPECT_TRUE(c.has_async());
+  EXPECT_FALSE(CompactNetlist(testing::fig1_circuit()).has_async());
+}
+
+TEST(CompactNetlistTest, CombOrderMatchesNetlist) {
+  for (const std::uint64_t seed : {1u, 7u, 23u}) {
+    const Netlist n = random_sequential_circuit(seed);
+    const CompactNetlist c(n);
+    ASSERT_TRUE(c.acyclic());
+    const auto order = n.combinational_order();
+    ASSERT_TRUE(order.has_value());
+    ASSERT_EQ(c.comb_order().size(), order->size());
+    for (std::size_t i = 0; i < order->size(); ++i) {
+      EXPECT_EQ(c.comb_order()[i], (*order)[i].value()) << "position " << i;
+    }
+  }
+}
+
+TEST(CompactNetlistTest, ReaderIndexMatchesNetlist) {
+  const Netlist n = random_sequential_circuit(42);
+  const CompactNetlist c(n);
+  const std::vector<NetReaders> readers = n.build_reader_index();
+  for (std::uint32_t net = 0; net < c.net_count(); ++net) {
+    const auto nodes = c.reader_nodes(net);
+    ASSERT_EQ(nodes.size(), readers[net].node_pins.size());
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      EXPECT_EQ(nodes[i], readers[net].node_pins[i].node.value());
+    }
+    const auto regs = c.reader_regs(net);
+    ASSERT_EQ(regs.size(), readers[net].reg_data.size());
+    for (std::size_t i = 0; i < regs.size(); ++i) {
+      EXPECT_EQ(regs[i], readers[net].reg_data[i].value());
+    }
+  }
+}
+
+TEST(CompactNetlistTest, InterfaceListsMatch) {
+  const Netlist n = class_zoo();
+  const CompactNetlist c(n);
+  ASSERT_EQ(c.input_nodes().size(), n.inputs().size());
+  for (std::size_t i = 0; i < n.inputs().size(); ++i) {
+    EXPECT_EQ(c.input_nodes()[i], n.inputs()[i].value());
+  }
+  ASSERT_EQ(c.output_nodes().size(), n.outputs().size());
+  for (std::size_t i = 0; i < n.outputs().size(); ++i) {
+    EXPECT_EQ(c.output_nodes()[i], n.outputs()[i].value());
+  }
+}
+
+TEST(CompactNetlistTest, ValidForTracksMutation) {
+  Netlist n = class_zoo();
+  const CompactNetlist c(n);
+  EXPECT_TRUE(c.valid_for(n));
+
+  n.set_node_delay(NodeId{0}, 5);
+  EXPECT_FALSE(c.valid_for(n));
+
+  const CompactNetlist rebuilt(n);
+  EXPECT_TRUE(rebuilt.valid_for(n));
+
+  // Non-const access counts as mutation: the caller may have written
+  // through the reference.
+  (void)n.node(NodeId{0});
+  EXPECT_FALSE(rebuilt.valid_for(n));
+}
+
+TEST(CompactNetlistTest, CombinationalCycleIsFlagged) {
+  Netlist n;
+  n.add_input("i");
+  const NetId x = n.add_net("x");
+  const NetId y = n.add_lut(TruthTable::inverter(), {x}, "g1");
+  n.add_lut_driving(x, TruthTable::inverter(), {y});
+  const CompactNetlist c(n);
+  EXPECT_FALSE(c.acyclic());
+  EXPECT_TRUE(c.comb_order().empty());
+}
+
+TEST(CompactNetlistTest, WorkloadSuiteRoundTrips) {
+  for (const CircuitProfile& profile : random_suite(8, 3)) {
+    const Netlist n = generate_circuit(profile);
+    const CompactNetlist c(n);
+    EXPECT_TRUE(c.valid_for(n));
+    EXPECT_TRUE(c.acyclic());
+    EXPECT_EQ(c.node_count(), n.node_count());
+    EXPECT_EQ(c.register_count(), n.register_count());
+  }
+}
+
+}  // namespace
+}  // namespace mcrt

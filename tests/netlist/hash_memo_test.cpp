@@ -1,0 +1,99 @@
+// Revision counter, structural-hash memoization and reserve() behavior.
+#include <gtest/gtest.h>
+
+#include "../common/test_circuits.h"
+#include "netlist/netlist.h"
+#include "netlist/structural_hash.h"
+
+namespace mcrt {
+namespace {
+
+TEST(NetlistRevisionTest, EveryMutatorBumpsTheRevision) {
+  Netlist n;
+  std::uint64_t last = n.revision();
+  const auto bumped = [&] {
+    const bool advanced = n.revision() > last;
+    last = n.revision();
+    return advanced;
+  };
+
+  const NetId a = n.add_input("a");
+  EXPECT_TRUE(bumped());
+  const NetId clk = n.add_input("clk");
+  EXPECT_TRUE(bumped());
+  const NetId x = n.add_net("x");
+  EXPECT_TRUE(bumped());
+  n.add_lut_driving(x, TruthTable::inverter(), {a});
+  EXPECT_TRUE(bumped());
+  const NetId g = n.add_lut(TruthTable::and_n(2), {a, x}, "g");
+  EXPECT_TRUE(bumped());
+  Register ff;
+  ff.d = g;
+  ff.clk = clk;
+  const NetId q = n.add_register(std::move(ff));
+  EXPECT_TRUE(bumped());
+  n.add_output("o", q);
+  EXPECT_TRUE(bumped());
+  n.set_node_delay(NodeId{0}, 3);
+  EXPECT_TRUE(bumped());
+  // Non-const accessors hand out mutable references, so they must count.
+  (void)n.node(NodeId{0});
+  EXPECT_TRUE(bumped());
+  (void)n.reg(RegId{0});
+  EXPECT_TRUE(bumped());
+
+  // Const reads do not.
+  const Netlist& cn = n;
+  (void)cn.node(NodeId{0});
+  (void)cn.net(a);
+  EXPECT_EQ(cn.revision(), last);
+}
+
+TEST(StructuralHashMemoTest, CachedHashMatchesFreshComputation) {
+  Netlist n = testing::fig1_circuit();
+  const StructuralHash first = structural_hash(n);   // computes + caches
+  const StructuralHash second = structural_hash(n);  // served from cache
+  EXPECT_EQ(first, second);
+
+  // An identically-built netlist (never hashed twice) agrees, so the cache
+  // is returning the real hash, not a stale or partial one.
+  const Netlist fresh = testing::fig1_circuit();
+  EXPECT_EQ(structural_hash(fresh), first);
+}
+
+TEST(StructuralHashMemoTest, MutationInvalidatesTheCache) {
+  Netlist n = testing::chain_circuit(4, 2);
+  const StructuralHash before = structural_hash(n);
+  // Structural change through a mutable reference: the inverter chain's
+  // first gate becomes a buffer. The memo must notice and recompute.
+  for (std::uint32_t v = 0; v < n.node_count(); ++v) {
+    if (n.node(NodeId{v}).kind == NodeKind::kLut) {
+      n.node(NodeId{v}).function = TruthTable::buffer();
+      break;
+    }
+  }
+  const StructuralHash after = structural_hash(n);
+  EXPECT_NE(before, after);
+}
+
+TEST(NetlistReserveTest, ReserveDoesNotChangeContentsOrHash) {
+  Netlist plain = testing::fig1_circuit();
+
+  Netlist reserved;
+  reserved.reserve(64, 32, 8);
+  {
+    // Rebuild fig1 into the reserved netlist.
+    Netlist tmp = testing::fig1_circuit();
+    reserved = std::move(tmp);
+  }
+  EXPECT_EQ(structural_hash(plain), structural_hash(reserved));
+
+  // Reserving on a live netlist is a no-op for contents.
+  const StructuralHash before = structural_hash(plain);
+  plain.reserve(1000, 1000, 1000);
+  EXPECT_EQ(plain.node_count(), reserved.node_count());
+  EXPECT_EQ(structural_hash(plain), before);
+}
+
+}  // namespace
+}  // namespace mcrt

@@ -1,0 +1,108 @@
+// CSR FEAS vs the seed's legacy FEAS: both compute the same unique arrival
+// fixed point, so they must agree probe-for-probe and label-for-label (not
+// merely on feasibility). This differential is permanent — the legacy
+// engine stays compiled as the oracle for exactly this test and the bench.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "mcretime/lower.h"
+#include "mcretime/maximal_retiming.h"
+#include "mcretime/mcgraph.h"
+#include "retime/feas.h"
+#include "retime/minperiod.h"
+#include "retime/period_constraints.h"
+#include "workload/generator.h"
+
+namespace mcrt {
+namespace {
+
+// Lowered retiming graph of a workload circuit, with unit LUT delays so
+// the timing problem is non-degenerate.
+RetimeGraph lowered_graph(const CircuitProfile& profile) {
+  Netlist circuit = generate_circuit(profile);
+  for (std::uint32_t v = 0; v < circuit.node_count(); ++v) {
+    if (circuit.node(NodeId{v}).kind == NodeKind::kLut) {
+      circuit.set_node_delay(NodeId{v}, 10);
+    }
+  }
+  const McGraph mc = build_mc_graph(circuit);
+  const MaximalRetimingResult maximal = compute_mc_bounds(mc);
+  return lower_to_retime_graph(mc, maximal.bounds);
+}
+
+void expect_probe_agreement(const RetimeGraph& graph, std::int64_t phi) {
+  const auto legacy = feas_check(graph, phi, FeasImpl::kLegacy);
+  const auto csr = feas_check(graph, phi, FeasImpl::kCsr);
+  ASSERT_EQ(legacy.has_value(), csr.has_value()) << "phi=" << phi;
+  if (legacy) {
+    EXPECT_EQ(*legacy, *csr) << "phi=" << phi;
+    // FEAS is the *unbounded* oracle (class bounds are the caller's
+    // business), so legality here means w_r >= 0 and the target period —
+    // not check_legal(), which also enforces bounds.
+    for (std::size_t e = 0; e < graph.edge_count(); ++e) {
+      ASSERT_GE(graph.retimed_weight(EdgeId{static_cast<std::uint32_t>(e)},
+                                     *csr),
+                0)
+          << "phi=" << phi;
+    }
+    EXPECT_LE(graph.period(*csr), phi);
+  }
+}
+
+TEST(FeasDifferentialTest, HandGraphAllCandidates) {
+  RetimeGraph g;
+  const VertexId v1 = g.add_vertex(7, "v7");
+  const VertexId v2 = g.add_vertex(3, "a3");
+  const VertexId v3 = g.add_vertex(3, "b3");
+  const VertexId v4 = g.add_vertex(3, "c3");
+  g.add_edge(v1, v2, 1);
+  g.add_edge(v2, v3, 1);
+  g.add_edge(v3, v4, 1);
+  g.add_edge(v4, v1, 0);
+  // Host edges pin the interface like lowered graphs do.
+  g.add_edge(g.host(), v1, 1);
+  g.add_edge(v4, g.host(), 0);
+  for (std::int64_t phi = 1; phi <= 20; ++phi) {
+    expect_probe_agreement(g, phi);
+  }
+}
+
+TEST(FeasDifferentialTest, WorkloadGraphsAgreeOnEveryCandidate) {
+  std::vector<CircuitProfile> profiles = paper_suite();
+  profiles.resize(3);
+  const std::vector<CircuitProfile> extra = random_suite(5, 99);
+  profiles.insert(profiles.end(), extra.begin(), extra.end());
+  for (const CircuitProfile& profile : profiles) {
+    const RetimeGraph graph = lowered_graph(profile);
+    const std::vector<std::int64_t> candidates = candidate_periods(graph);
+    // Every distinct path delay, feasible and infeasible alike (decimated
+    // to keep the suite fast on the big circuits).
+    const std::size_t stride =
+        candidates.size() > 64 ? candidates.size() / 64 : 1;
+    for (std::size_t i = 0; i < candidates.size(); i += stride) {
+      expect_probe_agreement(graph, candidates[i]);
+    }
+  }
+}
+
+TEST(FeasDifferentialTest, MinperiodIdenticalThroughBothEngines) {
+  for (const CircuitProfile& profile : random_suite(6, 123)) {
+    const RetimeGraph graph = lowered_graph(profile);
+    const RetimeSolution legacy = minperiod_retime(graph, FeasImpl::kLegacy);
+    const RetimeSolution csr = minperiod_retime(graph, FeasImpl::kCsr);
+    ASSERT_EQ(legacy.feasible, csr.feasible) << profile.name;
+    EXPECT_EQ(legacy.period, csr.period) << profile.name;
+    EXPECT_EQ(legacy.r, csr.r) << profile.name;
+  }
+}
+
+TEST(FeasDifferentialTest, InfeasiblePeriodRejectedByBoth) {
+  const RetimeGraph graph = lowered_graph(random_suite(1, 5).front());
+  // A period below the largest single-vertex delay is never feasible.
+  expect_probe_agreement(graph, 1);
+}
+
+}  // namespace
+}  // namespace mcrt

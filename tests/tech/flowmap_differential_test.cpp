@@ -1,0 +1,84 @@
+// Compact-core FlowMap vs the seed's pointer-chasing mapper: every
+// result-determining order (cone DFS, sorted cut-input lists, flow-arc
+// insertion, cut extraction) is replicated exactly, so the two engines must
+// produce structurally identical mapped netlists — pinned here by the
+// 128-bit structural hash, with depth/LUT counts and behavior as backup.
+#include "tech/flowmap.h"
+
+#include <gtest/gtest.h>
+
+#include "../common/test_circuits.h"
+#include "netlist/structural_hash.h"
+#include "sim/equivalence.h"
+#include "tech/decompose.h"
+#include "workload/generator.h"
+#include "workload/random_circuit.h"
+
+namespace mcrt {
+namespace {
+
+void expect_identical_mapping(const Netlist& subject, std::uint32_t k,
+                              bool area_recovery) {
+  FlowMapOptions compact_opt;
+  compact_opt.k = k;
+  compact_opt.area_recovery = area_recovery;
+  FlowMapOptions legacy_opt = compact_opt;
+  legacy_opt.legacy_engine = true;
+
+  const FlowMapResult compact = flowmap_map(subject, compact_opt);
+  const FlowMapResult legacy = flowmap_map(subject, legacy_opt);
+
+  EXPECT_EQ(compact.depth, legacy.depth);
+  EXPECT_EQ(compact.lut_count, legacy.lut_count);
+  EXPECT_EQ(structural_hash(compact.mapped), structural_hash(legacy.mapped))
+      << "k=" << k << " area_recovery=" << area_recovery;
+}
+
+TEST(FlowMapDifferentialTest, HandCircuits) {
+  for (const bool recovery : {false, true}) {
+    expect_identical_mapping(decompose_to_binary(testing::fig1_circuit()), 4,
+                             recovery);
+    expect_identical_mapping(decompose_to_binary(testing::chain_circuit(9, 3)),
+                             4, recovery);
+    expect_identical_mapping(decompose_to_binary(testing::fig5_circuit()), 3,
+                             recovery);
+  }
+}
+
+TEST(FlowMapDifferentialTest, RandomCircuitsBothKAndRecovery) {
+  for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+    const Netlist subject =
+        decompose_to_binary(random_sequential_circuit(seed));
+    expect_identical_mapping(subject, 4, false);
+    expect_identical_mapping(subject, 4, true);
+    expect_identical_mapping(subject, 5, seed % 2 == 0);
+  }
+}
+
+TEST(FlowMapDifferentialTest, WorkloadCircuits) {
+  for (const CircuitProfile& profile : random_suite(6, 17)) {
+    const Netlist subject = decompose_to_binary(generate_circuit(profile));
+    expect_identical_mapping(subject, 4, false);
+    expect_identical_mapping(subject, 4, true);
+  }
+}
+
+TEST(FlowMapDifferentialTest, CompactEngineStillBehaviorallyCorrect) {
+  // Belt and braces on top of the hash equality: the compact engine's
+  // output is sequentially equivalent to its input.
+  const Netlist subject =
+      decompose_to_binary(random_sequential_circuit(77));
+  FlowMapOptions opt;
+  opt.k = 4;
+  const FlowMapResult mapped = flowmap_map(subject, opt);
+  EquivalenceOptions eq;
+  eq.init_registers_by_name = true;
+  eq.runs = 4;
+  eq.cycles = 32;
+  const EquivalenceResult verdict =
+      check_sequential_equivalence(subject, mapped.mapped, eq);
+  EXPECT_TRUE(verdict.equivalent) << verdict.counterexample;
+}
+
+}  // namespace
+}  // namespace mcrt

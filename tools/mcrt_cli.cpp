@@ -41,6 +41,15 @@
 //   mcrt corpus  <out-dir> [--count N] [--seed S]
 //                                           write a deterministic randomized
 //                                           BLIF corpus (workload generator)
+//   mcrt bench   [--quick] [--out-dir D] [--seed S]
+//                [--baseline D --max-regress F]
+//                                           compact-vs-legacy engine bench
+//                                           on the pinned workload suite;
+//                                           writes BENCH_retime.json and
+//                                           BENCH_sim.json (docs/INTERNALS.md
+//                                           describes the schema); with
+//                                           --baseline, fails on a speedup
+//                                           regression beyond --max-regress
 //
 // Every transforming subcommand is a canned pipeline over the same
 // pipeline/PassManager that `flow` scripts use, so stats reporting, timing
@@ -56,6 +65,7 @@
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <iterator>
 #include <string>
 #include <vector>
 
@@ -73,6 +83,7 @@
 #include "pipeline/flow_context.h"
 #include "pipeline/flow_script.h"
 #include "pipeline/pass_manager.h"
+#include "perf/bench.h"
 #include "pipeline/passes.h"
 #include "server/client.h"
 #include "server/server.h"
@@ -122,6 +133,9 @@ int usage() {
                "          \"pass:retime=throw; write:*=fail@2\" (also via\n"
                "          MCRT_FAULT_* environment variables)\n"
                "  corpus: mcrt corpus <out-dir> [--count N] [--seed S]\n"
+               "  bench:  mcrt bench [--quick] [--out-dir D] [--seed S]\n"
+               "          [--baseline <dir> --max-regress <frac=0.20>]\n"
+               "          compact-vs-legacy benchmark; writes BENCH_*.json\n"
                "  serve:  mcrt serve (--socket <path> | --port <n>) [--jobs N]\n"
                "          [--cache-mb M] [--timeout S] [--no-validate]\n"
                "          [--verify] [--faults <spec>] [budgets]\n"
@@ -417,6 +431,101 @@ int cmd_corpus(const std::string& out_dir, std::size_t count,
   return 0;
 }
 
+struct BenchFlags {
+  bool quick = false;          ///< trimmed suite + fewer reps (CI smoke)
+  std::string out_dir = ".";   ///< where BENCH_*.json land
+  std::uint64_t seed = 1;      ///< random_suite / stimulus seed
+  std::string baseline_dir;    ///< committed BENCH_*.json to gate against
+  double max_regress = 0.20;   ///< allowed fractional speedup loss
+};
+
+int cmd_bench(const BenchFlags& flags, StreamDiagnostics& diag) {
+  namespace fs = std::filesystem;
+  const BenchOptions options{flags.quick, flags.seed};
+
+  const auto run_one = [&](const char* label, const char* schema,
+                           const char* file_name, Json (*runner)(
+                               const BenchOptions&)) -> std::optional<Json> {
+    std::printf("bench: running %s suite (%s)...\n", label,
+                flags.quick ? "quick" : "full");
+    Json report = runner(options);
+    const std::string problem = validate_bench_report(report, schema);
+    if (!problem.empty()) {
+      diag.error("bench", std::string(label) + ": " + problem);
+      return std::nullopt;
+    }
+    for (const Json& entry : report.at("entries").as_array()) {
+      std::string line =
+          str_format("  %-8s", entry.at("circuit").as_string().c_str());
+      for (const auto& [key, value] : entry.as_object()) {
+        if (key.rfind("speedup", 0) == 0) {
+          line += str_format(" %s=%.2fx", key.c_str(), value.as_number());
+        }
+      }
+      std::printf("%s\n", line.c_str());
+    }
+    std::printf("  geomean %.2fx over %lld circuits\n",
+                report.at("summary").at("geomean_speedup").as_number(),
+                static_cast<long long>(
+                    report.at("summary").at("circuits").as_int()));
+    std::error_code ec;
+    fs::create_directories(flags.out_dir, ec);
+    const std::string path = (fs::path(flags.out_dir) / file_name).string();
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << write_bench_report(report);
+    if (!out.good()) {
+      diag.error("bench", "cannot write " + path);
+      return std::nullopt;
+    }
+    std::printf("  wrote %s\n", path.c_str());
+    return report;
+  };
+
+  const auto retime = run_one("retime", kBenchRetimeSchema,
+                              "BENCH_retime.json", run_retime_bench);
+  if (!retime) return 1;
+  const auto sim =
+      run_one("sim", kBenchSimSchema, "BENCH_sim.json", run_sim_bench);
+  if (!sim) return 1;
+
+  if (flags.baseline_dir.empty()) return 0;
+
+  // Regression gate: speedup ratios vs the committed baseline documents.
+  const auto gate = [&](const Json& current, const char* schema,
+                        const char* file_name) -> int {
+    const std::string path =
+        (fs::path(flags.baseline_dir) / file_name).string();
+    std::ifstream in(path, std::ios::binary);
+    if (!in.good()) {
+      diag.error("bench", "cannot read baseline " + path);
+      return 1;
+    }
+    std::string text((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    auto parsed = Json::parse(text);
+    if (const auto* err = std::get_if<JsonParseError>(&parsed)) {
+      diag.error("bench", path + ": " + err->message);
+      return 1;
+    }
+    const Json& baseline = std::get<Json>(parsed);
+    const std::string problem = validate_bench_report(baseline, schema);
+    if (!problem.empty()) {
+      diag.error("bench", path + ": " + problem);
+      return 1;
+    }
+    const std::vector<std::string> regressions =
+        bench_regressions(current, baseline, flags.max_regress);
+    for (const std::string& regression : regressions) {
+      diag.error("bench", std::string(file_name) + ": " + regression);
+    }
+    return regressions.empty() ? 0 : 1;
+  };
+  int rc = gate(*retime, kBenchRetimeSchema, "BENCH_retime.json");
+  rc |= gate(*sim, kBenchSimSchema, "BENCH_sim.json");
+  if (rc == 0) std::printf("bench: no regression vs baseline\n");
+  return rc;
+}
+
 struct ServeFlags {
   std::string socket_path;    ///< --socket (Unix-domain)
   int port = -1;              ///< --port (loopback TCP; 0 = ephemeral)
@@ -607,8 +716,11 @@ int main(int argc, char** argv) {
     std::printf("%s\n", version_line().c_str());
     return 0;
   }
-  if (argc < 3) return usage();
+  if (argc < 2) return usage();
   const std::string command = argv[1];
+  // `bench` is self-contained (generated workloads, no circuit files), so
+  // a bare `mcrt bench` is a complete invocation.
+  if (argc < 3 && command != "bench") return usage();
   StreamDiagnostics diag(stderr);
 
   // Collect flags and positionals.
@@ -626,6 +738,7 @@ int main(int argc, char** argv) {
   ServeFlags serve_flags;
   std::size_t corpus_count = 10;
   std::uint64_t corpus_seed = 1;
+  BenchFlags bench_flags;
   // Value-taking long flags accept both "--flag value" and "--flag=value".
   const auto flag_value = [&](const std::string& arg, const char* name,
                               int* i, std::string* value) {
@@ -649,6 +762,7 @@ int main(int argc, char** argv) {
     }
     if (flag_value(arg, "--out-dir", &i, &value)) {
       bulk_flags.out_dir = value;
+      bench_flags.out_dir = value;
       continue;
     }
     if (flag_value(arg, "--report", &i, &value)) {
@@ -661,6 +775,19 @@ int main(int argc, char** argv) {
     }
     if (flag_value(arg, "--seed", &i, &value)) {
       corpus_seed = static_cast<std::uint64_t>(std::atoll(value.c_str()));
+      bench_flags.seed = corpus_seed;
+      continue;
+    }
+    if (arg == "--quick") {
+      bench_flags.quick = true;
+      continue;
+    }
+    if (flag_value(arg, "--baseline", &i, &value)) {
+      bench_flags.baseline_dir = value;
+      continue;
+    }
+    if (flag_value(arg, "--max-regress", &i, &value)) {
+      bench_flags.max_regress = std::atof(value.c_str());
       continue;
     }
     if (arg == "--canonical") {
@@ -758,7 +885,7 @@ int main(int argc, char** argv) {
     }
   }
   const bool server_command = command == "serve" || command == "client";
-  if (files.empty() && !server_command) return usage();
+  if (files.empty() && !server_command && command != "bench") return usage();
 
   // ctrl-C requests a clean cooperative stop: in-flight flows unwind at
   // their next engine poll and report "cancelled" instead of dying mid-write.
@@ -799,6 +926,10 @@ int main(int argc, char** argv) {
   }
   if (command == "corpus") {
     return cmd_corpus(files[0], corpus_count, corpus_seed, diag);
+  }
+  if (command == "bench") {
+    if (!files.empty()) return usage();
+    return cmd_bench(bench_flags, diag);
   }
 
   // Transforming subcommands are canned single-pass pipelines.

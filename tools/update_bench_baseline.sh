@@ -1,0 +1,33 @@
+#!/bin/sh
+# Regenerates the committed bench documents:
+#   BENCH_retime.json / BENCH_sim.json   full-suite perf trajectory (repo root)
+#   bench/baseline/BENCH_*.json          quick-suite baseline for CI's
+#                                        bench-smoke regression gate
+#
+# Run from the repo root on a quiet machine. The CI gate compares speedup
+# *ratios* only, so the baseline does not need to come from CI hardware —
+# but it must come from the default (RelWithDebInfo) build, matching what
+# bench-smoke configures.
+#
+#   sh tools/update_bench_baseline.sh [build-dir]
+set -eu
+
+repo_root=$(cd "$(dirname "$0")/.." && pwd)
+build_dir=${1:-"$repo_root/build"}
+
+cmake -B "$build_dir" -S "$repo_root"
+cmake --build "$build_dir" -j --target mcrt_cli
+
+echo "== full suite (perf trajectory documents) =="
+"$build_dir/tools/mcrt" bench --out-dir "$repo_root"
+
+echo "== quick suite (CI regression baseline) =="
+mkdir -p "$repo_root/bench/baseline"
+"$build_dir/tools/mcrt" bench --quick --out-dir "$repo_root/bench/baseline"
+
+echo "Updated:"
+echo "  $repo_root/BENCH_retime.json"
+echo "  $repo_root/BENCH_sim.json"
+echo "  $repo_root/bench/baseline/BENCH_retime.json"
+echo "  $repo_root/bench/baseline/BENCH_sim.json"
+echo "Review the speedup columns, then commit all four files."
