@@ -29,6 +29,14 @@ class Digraph {
   void resize(std::size_t vertex_count);
   EdgeId add_edge(VertexId from, VertexId to);
 
+  /// Pre-reserves capacity (not size) for bulk construction; million-gate
+  /// graphs otherwise pay log2(n) reallocation copies per vector.
+  void reserve(std::size_t vertices, std::size_t edges) {
+    out_.reserve(vertices);
+    in_.reserve(vertices);
+    edges_.reserve(edges);
+  }
+
   [[nodiscard]] std::size_t vertex_count() const noexcept { return out_.size(); }
   [[nodiscard]] std::size_t edge_count() const noexcept { return edges_.size(); }
 

@@ -6,6 +6,7 @@ RetimeGraph lower_to_retime_graph(const McGraph& graph,
                                   const McBounds& bounds) {
   RetimeGraph out;  // creates the host as vertex 0
   const Digraph& g = graph.digraph();
+  out.reserve(graph.vertex_count(), g.edge_count());
   for (std::size_t v = 1; v < graph.vertex_count(); ++v) {
     const VertexId vid{static_cast<std::uint32_t>(v)};
     out.add_vertex(graph.delay(vid));

@@ -14,6 +14,25 @@
 
 namespace mcrt {
 
+McPrepared prepare_mc_graph(const Netlist& input,
+                            const McRetimeOptions& options) {
+  McPrepared prepared;
+  prepared.graph = build_mc_graph(input, options.class_options);
+  auto maximal = compute_mc_bounds(prepared.graph);
+  prepared.bounds = std::move(maximal.bounds);
+  prepared.num_classes = prepared.graph.classes().class_count();
+  prepared.possible_steps = prepared.bounds.possible_steps;
+  if (options.sharing_modification &&
+      options.objective == McRetimeOptions::Objective::kMinAreaMinPeriod) {
+    auto modified = apply_sharing_modification(prepared.graph, prepared.bounds,
+                                               maximal.backward_graph);
+    prepared.graph = std::move(modified.graph);
+    prepared.bounds = std::move(modified.bounds);
+    prepared.separators = modified.separators_inserted;
+  }
+  return prepared;
+}
+
 McRetimeResult mc_retime(const Netlist& input, const McRetimeOptions& options) {
   McRetimeResult result;
   McRetimeStats& stats = result.stats;
@@ -24,19 +43,12 @@ McRetimeResult mc_retime(const Netlist& input, const McRetimeOptions& options) {
   McBounds bounds;
   {
     ScopedPhase phase(stats.profile, "graph");
-    graph = build_mc_graph(input, options.class_options);
-    auto maximal = compute_mc_bounds(graph);
-    bounds = std::move(maximal.bounds);
-    stats.num_classes = graph.classes().class_count();
-    stats.possible_steps = bounds.possible_steps;
-    if (options.sharing_modification &&
-        options.objective == McRetimeOptions::Objective::kMinAreaMinPeriod) {
-      auto modified = apply_sharing_modification(graph, bounds,
-                                                 maximal.backward_graph);
-      graph = std::move(modified.graph);
-      bounds = std::move(modified.bounds);
-      stats.separators = modified.separators_inserted;
-    }
+    McPrepared prepared = prepare_mc_graph(input, options);
+    graph = std::move(prepared.graph);
+    bounds = std::move(prepared.bounds);
+    stats.num_classes = prepared.num_classes;
+    stats.possible_steps = prepared.possible_steps;
+    stats.separators = prepared.separators;
   }
 
   // Bound overrides accumulated from justification failures.
@@ -76,7 +88,7 @@ McRetimeResult mc_retime(const Netlist& input, const McRetimeOptions& options) {
         // is below the minimum feasible period.
         std::vector<DifferenceConstraint> target_constraints;
         generate_period_constraints(basic, options.target_period,
-                                    target_constraints);
+                                    target_constraints, options.cancel);
         if (auto r = bounded_feasible(basic, options.target_period,
                                       &target_constraints)) {
           labels = std::move(*r);
@@ -92,7 +104,8 @@ McRetimeResult mc_retime(const Netlist& input, const McRetimeOptions& options) {
         }
       }
       if (!have_labels) {
-        const RetimeSolution minperiod = minperiod_retime(basic);
+        const RetimeSolution minperiod =
+            minperiod_retime(basic, FeasImpl::kCsr, options.cancel);
         if (!minperiod.feasible) {
           result.error = "minperiod retiming infeasible";
           return result;
@@ -100,7 +113,8 @@ McRetimeResult mc_retime(const Netlist& input, const McRetimeOptions& options) {
         labels = minperiod.r;
         phi = minperiod.period;
         period_constraints.clear();
-        generate_period_constraints(basic, phi, period_constraints);
+        generate_period_constraints(basic, phi, period_constraints,
+                                    options.cancel);
       }
       stats.period_after = phi;
       if (options.objective ==

@@ -18,6 +18,7 @@
 
 #include "base/cancel.h"
 #include "base/timer.h"
+#include "mcretime/maximal_retiming.h"
 #include "mcretime/register_class.h"
 #include "mcretime/relocate.h"
 #include "netlist/netlist.h"
@@ -72,6 +73,22 @@ struct McRetimeResult {
   Netlist netlist;
   McRetimeStats stats;
 };
+
+/// Steps 1-3 factored out: the mc-graph, its §4.1 retiming bounds and (for
+/// the min-area objective) the register-sharing modification. The windowed
+/// driver (src/window/) prepares the same graph once, then partitions it
+/// and solves per window — the bounds are per-vertex, so any sub-solve
+/// honoring them composes into a legal global retiming.
+struct McPrepared {
+  McGraph graph;    ///< post-sharing mc-graph retiming is solved on
+  McBounds bounds;  ///< per-vertex r_min/r_max, same vertex ids as `graph`
+  std::size_t separators = 0;
+  std::size_t num_classes = 0;
+  std::size_t possible_steps = 0;
+};
+
+McPrepared prepare_mc_graph(const Netlist& input,
+                            const McRetimeOptions& options);
 
 McRetimeResult mc_retime(const Netlist& input,
                          const McRetimeOptions& options = {});

@@ -157,6 +157,13 @@ McGraph build_mc_graph(const Netlist& netlist, const ClassOptions& options) {
   McGraph g;
   g.classes_ = classify_registers(netlist, options);
 
+  // Vertices: host + nodes + at most one tap per register control; edges:
+  // one per fanin pin plus host closure (bounded by I/O + taps).
+  std::size_t fanin_pins = 0;
+  for (const Node& node : netlist.nodes()) fanin_pins += node.fanins.size();
+  g.reserve(netlist.node_count() + 3 * netlist.register_count() + 1,
+            fanin_pins + netlist.node_count() / 4 + 16);
+
   g.add_vertex(McVertexKind::kHost, 0);
 
   // One vertex per netlist node.

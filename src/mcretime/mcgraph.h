@@ -100,6 +100,17 @@ class McGraph {
   EdgeId add_edge(VertexId from, VertexId to, std::vector<McReg> regs,
                   std::uint32_t sink_pin = 0);
 
+  /// Capacity hint for bulk construction from large netlists.
+  void reserve(std::size_t vertices, std::size_t edges) {
+    graph_.reserve(vertices, edges);
+    kind_.reserve(vertices);
+    delay_.reserve(vertices);
+    origin_node_.reserve(vertices);
+    tap_net_.reserve(vertices);
+    regs_.reserve(edges);
+    sink_pin_.reserve(edges);
+  }
+
   // --- mc-retiming steps (paper Fig. 3) --------------------------------------
   /// Would a backward step at v be valid, ignoring reset values? Returns the
   /// class of the layer that would move, or std::nullopt.

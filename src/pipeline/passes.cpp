@@ -162,6 +162,105 @@ PassResult RetimePass::run(FlowContext& context) {
       s.registers_after, s.attempts));
 }
 
+bool RetimeWindowedPass::configure(const PassArgs& args, std::string* error) {
+  if (!args.expect_keys({"window-size", "windows", "window-jobs", "refine",
+                         "target", "minperiod", "no-sharing", "d"},
+                        name(), error)) {
+    return false;
+  }
+  const auto size_arg = [&](const char* key, std::size_t* out) {
+    if (const auto v = args.int_value(key, error)) {
+      if (*v < 0) {
+        *error = std::string("retime-windowed: ") + key +
+                 " must be non-negative";
+        return false;
+      }
+      *out = static_cast<std::size_t>(*v);
+    } else if (args.contains(key)) {
+      return false;
+    }
+    return true;
+  };
+  if (!size_arg("window-size", &options_.partition.max_window)) return false;
+  std::size_t windows = 0;
+  if (!size_arg("windows", &windows)) return false;
+  options_.partition.window_count = windows;
+  if (!size_arg("window-jobs", &options_.jobs)) return false;
+  if (!size_arg("refine", &options_.refine_rounds)) return false;
+  if (options_.partition.max_window == 0) {
+    *error = "retime-windowed: window-size must be positive";
+    return false;
+  }
+  if (const auto target = args.int_value("target", error)) {
+    options_.base.target_period = *target;
+  } else if (args.contains("target")) {
+    return false;
+  }
+  if (args.flag("minperiod")) {
+    options_.base.objective = McRetimeOptions::Objective::kMinPeriod;
+  }
+  if (args.flag("no-sharing")) options_.base.sharing_modification = false;
+  if (const auto d = args.int_value("d", error)) {
+    default_lut_delay_ = *d;
+  } else if (args.contains("d")) {
+    return false;
+  }
+  return true;
+}
+
+PassResult RetimeWindowedPass::run(FlowContext& context) {
+  if (default_lut_delay_ > 0) {
+    Netlist& n = context.netlist();
+    for (std::size_t i = 0; i < n.node_count(); ++i) {
+      const NodeId id{static_cast<std::uint32_t>(i)};
+      if (n.node(id).kind == NodeKind::kLut && !n.node(id).fanins.empty() &&
+          n.node(id).delay == 0) {
+        n.set_node_delay(id, default_lut_delay_);
+      }
+    }
+  }
+  WindowedRetimeOptions options = options_;
+  options.base.cancel = context.cancel;
+  if (!options.progress) {
+    options.progress = [&context](const std::string& line) {
+      context.note(line);
+    };
+  }
+  WindowedRetimeResult result = retime_windowed(context.netlist(), options);
+  if (!result.success) {
+    return PassResult::fail("windowed retiming failed: " + result.error);
+  }
+  context.replace_netlist(std::move(result.netlist));
+  context.retime_stats = result.stats;
+  const McRetimeStats& s = result.stats;
+  const WindowedRetimeStats& w = result.window_stats;
+  context.set_metric("retime.classes",
+                     static_cast<std::int64_t>(s.num_classes));
+  context.set_metric("retime.moved_layers",
+                     static_cast<std::int64_t>(s.moved_layers));
+  context.set_metric("retime.period_before", s.period_before);
+  context.set_metric("retime.period_after", s.period_after);
+  context.set_metric("retime.registers_before",
+                     static_cast<std::int64_t>(s.registers_before));
+  context.set_metric("retime.registers_after",
+                     static_cast<std::int64_t>(s.registers_after));
+  context.set_metric("retime.attempts", static_cast<std::int64_t>(s.attempts));
+  context.set_metric("retime.windows", static_cast<std::int64_t>(w.windows));
+  context.set_metric("retime.cut_edges",
+                     static_cast<std::int64_t>(w.cut_edges));
+  context.set_metric("retime.window_timeouts",
+                     static_cast<std::int64_t>(w.window_timeouts));
+  context.set_metric("retime.refine_accepted",
+                     static_cast<std::int64_t>(w.refine_accepted));
+  return PassResult::ok(str_format(
+      "windows=%zu classes=%zu period %lld -> %lld ff %zu -> %zu "
+      "(cut=%zu refine=%zu/%zu attempts=%zu)",
+      w.windows, s.num_classes, static_cast<long long>(s.period_before),
+      static_cast<long long>(s.period_after), s.registers_before,
+      s.registers_after, w.cut_edges, w.refine_accepted, w.refine_rounds_run,
+      s.attempts));
+}
+
 bool VerifyPass::configure(const PassArgs& args, std::string* error) {
   if (!args.expect_keys({"bmc", "formal", "sim", "depth", "x-ok", "cycles",
                          "runs"},
@@ -277,6 +376,9 @@ void register_standard_passes(PassRegistry& registry) {
   registry.register_pass("map", [] { return std::make_unique<MapPass>(); });
   registry.register_pass("retime",
                          [] { return std::make_unique<RetimePass>(); });
+  registry.register_pass("retime-windowed", [] {
+    return std::make_unique<RetimeWindowedPass>();
+  });
   registry.register_pass("verify",
                          [] { return std::make_unique<VerifyPass>(); });
 }

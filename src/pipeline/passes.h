@@ -25,6 +25,7 @@
 #include "pipeline/pass.h"
 #include "pipeline/pass_manager.h"
 #include "tech/flowmap.h"
+#include "window/windowed_retime.h"
 
 namespace mcrt {
 
@@ -111,6 +112,35 @@ class RetimePass final : public Pass {
 
  private:
   McRetimeOptions options_;
+  std::int64_t default_lut_delay_ = 10;
+};
+
+/// Windowed multiple-class retiming (src/window/): partitions the mc-graph
+/// into bounded regions, solves them in parallel with frozen boundaries,
+/// stitches and refines. Script arguments:
+///
+///   retime-windowed(window-size=1024,windows=0,window-jobs=0,refine=1,
+///                   target=N,minperiod,no-sharing,d=10)
+///
+/// windows=0 derives the count from window-size; window-jobs=0 uses one
+/// worker per hardware thread.
+class RetimeWindowedPass final : public Pass {
+ public:
+  RetimeWindowedPass() = default;
+  explicit RetimeWindowedPass(WindowedRetimeOptions options,
+                              std::int64_t default_lut_delay = 0)
+      : options_(std::move(options)), default_lut_delay_(default_lut_delay) {}
+  [[nodiscard]] std::string_view name() const override {
+    return "retime-windowed";
+  }
+  [[nodiscard]] std::string_view description() const override {
+    return "windowed multiple-class retiming (parallel bounded regions)";
+  }
+  bool configure(const PassArgs& args, std::string* error) override;
+  PassResult run(FlowContext& context) override;
+
+ private:
+  WindowedRetimeOptions options_;
   std::int64_t default_lut_delay_ = 10;
 };
 

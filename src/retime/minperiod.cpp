@@ -20,14 +20,15 @@ std::vector<std::int64_t> normalize_to_host(std::vector<std::int64_t> r,
 
 std::optional<std::vector<std::int64_t>> bounded_feasible(
     const RetimeGraph& graph, std::int64_t phi,
-    const std::vector<DifferenceConstraint>* cached_period_constraints) {
+    const std::vector<DifferenceConstraint>* cached_period_constraints,
+    const CancelToken* cancel) {
   std::vector<DifferenceConstraint> constraints;
   generate_circuit_constraints(graph, constraints);
   if (cached_period_constraints) {
     constraints.insert(constraints.end(), cached_period_constraints->begin(),
                        cached_period_constraints->end());
   } else {
-    generate_period_constraints(graph, phi, constraints);
+    generate_period_constraints(graph, phi, constraints, cancel);
   }
   auto solution =
       solve_difference_constraints(graph.vertex_count(), constraints);
@@ -39,13 +40,14 @@ std::optional<std::vector<std::int64_t>> bounded_feasible(
   return r;
 }
 
-RetimeSolution minperiod_retime(const RetimeGraph& graph, FeasImpl impl) {
+RetimeSolution minperiod_retime(const RetimeGraph& graph, FeasImpl impl,
+                                const CancelToken* cancel) {
   RetimeSolution result;
   const std::int64_t current = graph.period();
 
   // Candidate periods are exact path delays; binary search over them keeps
   // every probe meaningful and the result exactly achievable.
-  const std::vector<std::int64_t> candidates = candidate_periods(graph);
+  const std::vector<std::int64_t> candidates = candidate_periods(graph, cancel);
 
   // Phase 1: unbounded optimum via FEAS (cheap probes). It is a lower bound
   // for the bounded problem.
@@ -64,6 +66,7 @@ RetimeSolution minperiod_retime(const RetimeGraph& graph, FeasImpl impl) {
     std::size_t a = lo;
     std::size_t b = hi;  // candidates[hi] == current is known feasible
     while (a < b) {
+      poll_cancel(cancel);
       const std::size_t mid = a + (b - a) / 2;
       if (feas_check(graph, candidates[mid], impl)) {
         b = mid;
@@ -93,8 +96,9 @@ RetimeSolution minperiod_retime(const RetimeGraph& graph, FeasImpl impl) {
                        // (bounds admit 0 by construction)
   std::optional<std::vector<std::int64_t>> best;
   while (a < b) {
+    poll_cancel(cancel);
     const std::size_t mid = a + (b - a) / 2;
-    if (auto r = bounded_feasible(graph, candidates[mid])) {
+    if (auto r = bounded_feasible(graph, candidates[mid], nullptr, cancel)) {
       best = std::move(r);
       best_phi = candidates[mid];
       b = mid;

@@ -11,6 +11,7 @@
 #include <optional>
 #include <vector>
 
+#include "base/cancel.h"
 #include "retime/feas.h"
 #include "retime/retime_graph.h"
 
@@ -22,8 +23,12 @@ namespace mcrt {
 /// vertex slower than every period bound cannot happen with finite delays).
 /// `impl` selects the FEAS engine for the unbounded probes (the legacy
 /// engine exists for differential tests and the bench's speedup baseline).
+/// `cancel` (may be null) is polled per probe and inside constraint
+/// generation, so one oversized monolithic solve cannot stall a batch or a
+/// window deadline.
 RetimeSolution minperiod_retime(const RetimeGraph& graph,
-                                FeasImpl impl = FeasImpl::kCsr);
+                                FeasImpl impl = FeasImpl::kCsr,
+                                const CancelToken* cancel = nullptr);
 
 /// Feasibility check honoring bounds: is there a legal retiming with
 /// period <= phi? Returns the labels if so. An optional cache of the
@@ -31,6 +36,7 @@ RetimeSolution minperiod_retime(const RetimeGraph& graph,
 std::optional<std::vector<std::int64_t>> bounded_feasible(
     const RetimeGraph& graph, std::int64_t phi,
     const std::vector<struct DifferenceConstraint>*
-        cached_period_constraints = nullptr);
+        cached_period_constraints = nullptr,
+    const CancelToken* cancel = nullptr);
 
 }  // namespace mcrt

@@ -89,9 +89,11 @@ WdLabels compute_wd_from_source(const RetimeGraph& graph, VertexId source) {
 }
 
 void generate_period_constraints(const RetimeGraph& graph, std::int64_t phi,
-                                 std::vector<DifferenceConstraint>& out) {
+                                 std::vector<DifferenceConstraint>& out,
+                                 const CancelToken* cancel) {
   const std::size_t n = graph.vertex_count();
   for (std::size_t u = 1; u < n; ++u) {  // host is never a path source
+    poll_cancel(cancel);
     const VertexId source{static_cast<std::uint32_t>(u)};
     // A pair (u, v) can only be minimally violating if removing d(u) brings
     // the delay to phi or below; sources whose own delay already exceeds
@@ -155,10 +157,12 @@ void generate_period_constraints_unpruned(
   }
 }
 
-std::vector<std::int64_t> candidate_periods(const RetimeGraph& graph) {
+std::vector<std::int64_t> candidate_periods(const RetimeGraph& graph,
+                                            const CancelToken* cancel) {
   std::vector<std::int64_t> values;
   const std::size_t n = graph.vertex_count();
   for (std::size_t u = 1; u < n; ++u) {
+    poll_cancel(cancel);
     const WdLabels labels =
         compute_wd_from_source(graph, VertexId{static_cast<std::uint32_t>(u)});
     for (std::size_t v = 0; v < n; ++v) {

@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "base/cancel.h"
 #include "graph/difference_constraints.h"
 #include "retime/retime_graph.h"
 
@@ -37,9 +38,12 @@ struct WdLabels {
 WdLabels compute_wd_from_source(const RetimeGraph& graph, VertexId source);
 
 /// Appends the pruned period constraints for `phi` to `out` (variable ids =
-/// vertex indices).
+/// vertex indices). `cancel` (may be null) is polled once per path source:
+/// the generation is one Dijkstra per vertex, the quadratic-ish cost that
+/// dominates large monolithic solves, so it must be interruptible.
 void generate_period_constraints(const RetimeGraph& graph, std::int64_t phi,
-                                 std::vector<DifferenceConstraint>& out);
+                                 std::vector<DifferenceConstraint>& out,
+                                 const CancelToken* cancel = nullptr);
 
 /// Reference generator: every pair with D(u,v) > phi, no pruning. Same
 /// feasible set as the pruned generator (that is the pruning's correctness
@@ -50,8 +54,11 @@ void generate_period_constraints_unpruned(
 
 /// All distinct D(u,v) values (candidate clock periods), sorted ascending.
 /// Includes single-vertex "paths" (d(v) alone). O(V^2) memory-free
-/// streaming collection into a deduplicated vector.
-std::vector<std::int64_t> candidate_periods(const RetimeGraph& graph);
+/// streaming collection into a deduplicated vector. `cancel` is polled once
+/// per path source.
+std::vector<std::int64_t> candidate_periods(const RetimeGraph& graph,
+                                            const CancelToken* cancel =
+                                                nullptr);
 
 /// Circuit constraints r(u) - r(v) <= w(e) for every edge, plus bound
 /// constraints through the host vertex if the graph has bounds.

@@ -36,6 +36,16 @@ class RetimeGraph {
   /// Adds an edge with w(e) registers.
   EdgeId add_edge(VertexId from, VertexId to, std::int64_t weight);
 
+  /// Capacity hint for bulk construction (lowering, window extraction).
+  void reserve(std::size_t vertices, std::size_t edges) {
+    graph_.reserve(vertices, edges);
+    delay_.reserve(vertices);
+    lower_.reserve(vertices);
+    upper_.reserve(vertices);
+    names_.reserve(vertices);
+    weight_.reserve(edges);
+  }
+
   [[nodiscard]] VertexId host() const noexcept { return VertexId{0}; }
   [[nodiscard]] const Digraph& digraph() const noexcept { return graph_; }
   [[nodiscard]] std::size_t vertex_count() const noexcept {

@@ -1,0 +1,148 @@
+#include "window/extract.h"
+
+#include <stdexcept>
+#include <unordered_map>
+
+namespace mcrt {
+
+BoundaryTiming compute_boundary_timing(const RetimeGraph& graph) {
+  const Digraph& g = graph.digraph();
+  const std::size_t n = graph.vertex_count();
+  BoundaryTiming timing;
+  timing.arrival.resize(n);
+  timing.required.resize(n);
+
+  // Kahn over the zero-weight edge subgraph. As in RetimeGraph::period,
+  // the host is sink-only: its out-edges (host -> PI) would otherwise
+  // close zero-weight cycles through the environment.
+  const auto zero = [&](EdgeId e) {
+    return graph.weight(e) == 0 && g.from(e).index() != 0;
+  };
+  std::vector<std::uint32_t> indeg(n, 0);
+  for (std::size_t e = 0; e < graph.edge_count(); ++e) {
+    const EdgeId eid{static_cast<std::uint32_t>(e)};
+    if (zero(eid)) ++indeg[g.to(eid).index()];
+  }
+  std::vector<std::uint32_t> order;
+  order.reserve(n);
+  for (std::uint32_t v = 0; v < n; ++v) {
+    if (indeg[v] == 0) order.push_back(v);
+  }
+  for (std::size_t head = 0; head < order.size(); ++head) {
+    const VertexId vid{order[head]};
+    for (const EdgeId e : g.out_edges(vid)) {
+      if (!zero(e)) continue;
+      const std::uint32_t to = g.to(e).index();
+      if (--indeg[to] == 0) order.push_back(to);
+    }
+  }
+  if (order.size() != n) {
+    throw std::runtime_error(
+        "boundary timing: zero-weight cycle in retiming graph");
+  }
+
+  for (std::uint32_t v = 0; v < n; ++v) {
+    timing.arrival[v] = graph.delay(VertexId{v});
+    timing.required[v] = graph.delay(VertexId{v});
+  }
+  for (const std::uint32_t v : order) {
+    const VertexId vid{v};
+    for (const EdgeId e : g.out_edges(vid)) {
+      if (!zero(e)) continue;
+      const std::uint32_t to = g.to(e).index();
+      timing.arrival[to] =
+          std::max(timing.arrival[to],
+                   timing.arrival[v] + graph.delay(VertexId{to}));
+    }
+  }
+  for (std::size_t head = order.size(); head-- > 0;) {
+    const std::uint32_t v = order[head];
+    const VertexId vid{v};
+    for (const EdgeId e : g.out_edges(vid)) {
+      if (!zero(e)) continue;
+      const std::uint32_t to = g.to(e).index();
+      timing.required[v] =
+          std::max(timing.required[v],
+                   graph.delay(vid) + timing.required[to]);
+    }
+  }
+  return timing;
+}
+
+WindowProblem extract_window(const RetimeGraph& global,
+                             const WindowPartition& partition, std::size_t w,
+                             const BoundaryTiming& timing) {
+  WindowProblem problem;
+  const Digraph& g = global.digraph();
+  const std::vector<std::uint32_t>& members = partition.windows[w];
+  problem.member_count = members.size();
+  std::size_t edge_estimate = 0;
+  for (const std::uint32_t m : members) {
+    edge_estimate += g.out_degree(VertexId{m}) + g.in_degree(VertexId{m});
+  }
+  problem.graph.reserve(members.size() + edge_estimate / 2 + 1, edge_estimate);
+  problem.to_global.reserve(members.size() + 8);
+  problem.is_proxy.reserve(members.size() + 8);
+
+  std::unordered_map<std::uint32_t, VertexId> local_of;
+  local_of.reserve(members.size() * 2);
+  for (const std::uint32_t m : members) {
+    const VertexId gid{m};
+    const VertexId lid = problem.graph.add_vertex(global.delay(gid));
+    problem.graph.set_bounds(lid, global.lower_bound(gid),
+                             global.upper_bound(gid));
+    problem.to_global.push_back(m);
+    problem.is_proxy.push_back(0);
+    local_of.emplace(m, lid);
+  }
+
+  std::unordered_map<std::uint32_t, VertexId> in_proxy;
+  std::unordered_map<std::uint32_t, VertexId> out_proxy;
+  const auto proxy_for = [&](std::unordered_map<std::uint32_t, VertexId>& map,
+                             std::uint32_t gid, std::int64_t delay) {
+    const auto it = map.find(gid);
+    if (it != map.end()) return it->second;
+    const VertexId lid = problem.graph.add_vertex(delay);
+    problem.graph.set_bounds(lid, 0, 0);
+    problem.to_global.push_back(gid);
+    problem.is_proxy.push_back(1);
+    map.emplace(gid, lid);
+    return lid;
+  };
+
+  const std::uint32_t self = static_cast<std::uint32_t>(w);
+  for (const std::uint32_t m : members) {
+    const VertexId gid{m};
+    const VertexId lid = local_of.at(m);
+    // Every internal edge is emitted exactly once, from its source member.
+    for (const EdgeId e : g.out_edges(gid)) {
+      const std::uint32_t to = g.to(e).index();
+      if (partition.window_of[to] == self) {
+        problem.graph.add_edge(lid, local_of.at(to), global.weight(e));
+      } else {
+        problem.graph.add_edge(
+            lid, proxy_for(out_proxy, to, timing.required[to]),
+            global.weight(e));
+      }
+    }
+    for (const EdgeId e : g.in_edges(gid)) {
+      const std::uint32_t from = g.from(e).index();
+      if (partition.window_of[from] == self) continue;
+      problem.graph.add_edge(proxy_for(in_proxy, from, timing.arrival[from]),
+                             lid, global.weight(e));
+    }
+  }
+  return problem;
+}
+
+void stitch_window_labels(const WindowProblem& problem,
+                          const std::vector<std::int64_t>& local_r,
+                          std::vector<std::int64_t>& global_r) {
+  for (std::uint32_t local = 1; local < problem.graph.vertex_count();
+       ++local) {
+    if (problem.proxy(local)) continue;
+    global_r[problem.global_of(local)] = local_r[local];
+  }
+}
+
+}  // namespace mcrt

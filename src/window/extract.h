@@ -1,0 +1,80 @@
+// Window extraction: lifting one partition region into a self-contained
+// retiming sub-problem (windowed retiming step 2; docs/WINDOWING.md).
+//
+// The windowed flow solves on the *lowered* retiming graph — the basic
+// graph with per-vertex §4.1 bounds that mc-retiming reduces to — because
+// those bounds are the whole composition argument: any labeling of a
+// subset of vertices that honors its per-vertex bounds, combined with
+// r = 0 outside, is a legal multiple-class retiming of the full graph.
+// Crossing-edge legality is immediate (w_r(e_uv) = w + r(v) - r(u) is the
+// same expression whether u sits in the window or is a frozen proxy), and
+// the bounds are per-vertex, so they do not couple windows at all.
+//
+// Each crossing edge is re-anchored at a *proxy* vertex pinned to r = 0:
+//  - an in-proxy for outside source u carries delay arrival(u), the
+//    longest zero-weight-path delay ending at u in the frozen full graph;
+//  - an out-proxy for outside sink x carries delay required(x), the
+//    longest zero-weight-path delay starting at x.
+// With those delays the window's period constraints see the frozen
+// outside's combinational context almost exactly; the one approximation
+// (paths that leave the window and re-enter it through zero-weight
+// outside segments are accounted from both cut points independently, and
+// arrival/required include stale in-window continuations) only ever makes
+// the window solver conservative — stitched solutions are re-checked and
+// re-measured on the full graph, never trusted from the window view.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "retime/retime_graph.h"
+#include "window/partition.h"
+
+namespace mcrt {
+
+/// Longest zero-weight-path delays over the full graph's *current* edge
+/// weights (recomputed per stage: stage-one weights are the input's,
+/// refinement stages see the reweighted graph).
+struct BoundaryTiming {
+  std::vector<std::int64_t> arrival;   ///< ending at v, inclusive of d(v)
+  std::vector<std::int64_t> required;  ///< starting at v, inclusive of d(v)
+};
+
+/// O(V + E): Kahn topological order over the zero-weight edge subgraph
+/// (acyclic in any legal retiming graph; throws std::runtime_error on a
+/// zero-weight cycle) plus two longest-path sweeps.
+BoundaryTiming compute_boundary_timing(const RetimeGraph& graph);
+
+/// One window lifted into a standalone bounded retiming problem.
+struct WindowProblem {
+  RetimeGraph graph;  ///< local host at 0, then members, then proxies
+  /// Local id -> global id for every non-host local vertex; proxies map to
+  /// the outside endpoint they stand for.
+  std::vector<std::uint32_t> to_global;
+  std::vector<char> is_proxy;  ///< parallel to to_global (local id order)
+  std::size_t member_count = 0;
+
+  [[nodiscard]] std::uint32_t global_of(std::uint32_t local) const {
+    return to_global[local - 1];
+  }
+  [[nodiscard]] bool proxy(std::uint32_t local) const {
+    return is_proxy[local - 1] != 0;
+  }
+};
+
+/// Lifts window `w` of `partition` out of `global`. Member vertices keep
+/// their delay and bounds; crossing edges land on proxies pinned [0, 0]
+/// with BoundaryTiming delays. Deterministic: members ascend, proxies
+/// follow in first-use order of the members' edge lists.
+WindowProblem extract_window(const RetimeGraph& global,
+                             const WindowPartition& partition, std::size_t w,
+                             const BoundaryTiming& timing);
+
+/// Scatters a window solution into the global label vector: member labels
+/// copy through, proxies (pinned 0) are skipped. `local_r` is indexed by
+/// local vertex id, `global_r` by global id.
+void stitch_window_labels(const WindowProblem& problem,
+                          const std::vector<std::int64_t>& local_r,
+                          std::vector<std::int64_t>& global_r);
+
+}  // namespace mcrt

@@ -416,6 +416,48 @@ std::vector<CircuitProfile> paper_suite() {
   return suite;
 }
 
+CircuitProfile scaled_profile(std::size_t target_gates, std::uint64_t seed) {
+  CircuitProfile p;
+  p.name = target_gates % 1000000 == 0
+               ? str_format("s%zum", target_gates / 1000000)
+               : str_format("s%zuk", target_gates / 1000);
+  p.seed = seed;
+  p.use_async = true;
+  p.use_en = true;
+  p.control_signals = 8;
+  p.data_inputs = 32;
+  p.counter_bits = 6;
+  // Fixed-size pipeline slices; only the count scales, so per-window
+  // structure (and the partitioner's job) is the same at every size.
+  constexpr std::size_t kWidth = 32;
+  constexpr std::size_t kDepth = 24;
+  constexpr std::size_t kSliceGates = kWidth * kDepth + kWidth;
+  const std::size_t slices =
+      std::max<std::size_t>(1, target_gates / kSliceGates);
+  p.pipelines.reserve(slices);
+  for (std::size_t i = 0; i < slices; ++i) {
+    p.pipelines.push_back({kWidth, kDepth, 1 + i % 3});
+  }
+  // Feedback and shared-shift structure in proportion, so min-area and
+  // class analysis see the same block mix as the Table-1 profiles.
+  for (std::size_t i = 0; i + 1 < slices / 16 + 1; ++i) {
+    p.accumulators.push_back({16});
+  }
+  for (std::size_t i = 0; i + 1 < slices / 24 + 1; ++i) {
+    p.shifts.push_back({8, 12});
+  }
+  return p;
+}
+
+std::vector<CircuitProfile> scaled_suite() {
+  return {
+      scaled_profile(100000, 201),
+      scaled_profile(250000, 202),
+      scaled_profile(500000, 203),
+      scaled_profile(1000000, 204),
+  };
+}
+
 std::vector<CircuitProfile> random_suite(std::size_t count,
                                          std::uint64_t seed) {
   std::vector<CircuitProfile> suite;

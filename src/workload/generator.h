@@ -65,6 +65,19 @@ Netlist generate_circuit(const CircuitProfile& profile);
 /// The ten profiles used by the Table 1/2/3 benchmark harnesses.
 std::vector<CircuitProfile> paper_suite();
 
+/// A profile whose generated circuit lands near `target_gates` LUTs,
+/// assembled from fixed-size pipeline slices (width 32, depth 24) whose
+/// *count* scales, plus proportional accumulator/shift structure and the
+/// usual control section. Construction streams block by block and the
+/// builder pre-reserves every netlist vector from the profile's closed-form
+/// counts, so generating 1e5..1e6-gate designs (the windowed-retiming
+/// bench range) stays allocation-cheap and linear.
+CircuitProfile scaled_profile(std::size_t target_gates, std::uint64_t seed);
+
+/// The large-design suite used by the windowed-retiming benches:
+/// s100k / s250k / s500k / s1m (approximate LUT counts).
+std::vector<CircuitProfile> scaled_suite();
+
 /// `count` small randomized profiles ("r00", "r01", ...), fully determined
 /// by `seed`: block mix, widths/depths and register-class structure are
 /// drawn per circuit, sized so whole corpora stay cheap to run. This is

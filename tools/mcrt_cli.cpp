@@ -9,8 +9,14 @@
 //   mcrt regsweep in.blif out.blif          merge duplicate registers
 //   mcrt map     [-k N] [-d D] in out       decompose + FlowMap k-LUT map
 //   mcrt retime  [--minperiod] [--no-sharing] [--target P] in out
+//                [--windows N] [--window-size N] [--window-jobs N]
 //                                           mc-retiming (default: minarea
-//                                           at minimum feasible period)
+//                                           at minimum feasible period);
+//                                           any --window* flag switches to
+//                                           the windowed flow (src/window/,
+//                                           docs/WINDOWING.md): partition
+//                                           into bounded regions, solve in
+//                                           parallel, stitch
 //   mcrt decompose-en   in out              EN -> feedback mux (baseline)
 //   mcrt decompose-sync in out              SS/SC -> gates before D
 //   mcrt check   [--formal] [--bmc N] a.blif b.blif
@@ -38,18 +44,25 @@
 //                                           resumes with --resume, skipping
 //                                           finished work; --retries re-runs
 //                                           transient (I/O) failures.
-//   mcrt corpus  <out-dir> [--count N] [--seed S]
+//   mcrt corpus  <out-dir> [--count N] [--seed S] [--gates G]
 //                                           write a deterministic randomized
-//                                           BLIF corpus (workload generator)
+//                                           BLIF corpus (workload generator);
+//                                           --gates adds one scaled design
+//                                           of ~G LUTs (the windowed-retiming
+//                                           size range); progress goes to the
+//                                           diagnostics sink on big suites
 //   mcrt bench   [--quick] [--out-dir D] [--seed S]
 //                [--baseline D --max-regress F]
 //                                           compact-vs-legacy engine bench
 //                                           on the pinned workload suite;
-//                                           writes BENCH_retime.json and
-//                                           BENCH_sim.json (docs/INTERNALS.md
-//                                           describes the schema); with
-//                                           --baseline, fails on a speedup
-//                                           regression beyond --max-regress
+//                                           writes BENCH_retime.json,
+//                                           BENCH_sim.json and
+//                                           BENCH_window.json (windowed vs
+//                                           monolithic retiming;
+//                                           docs/INTERNALS.md describes the
+//                                           schemas); with --baseline, fails
+//                                           on a speedup regression beyond
+//                                           --max-regress
 //
 // Every transforming subcommand is a canned pipeline over the same
 // pipeline/PassManager that `flow` scripts use, so stats reporting, timing
@@ -112,6 +125,10 @@ int usage() {
                "corpus> [options] <in.blif> [out.blif]\n"
                "  map:    -k <lut_inputs=4>  -d <lut_delay=10>\n"
                "  retime: --minperiod  --no-sharing  --target <period>\n"
+               "          --windows <n> | --window-size <n=1024> "
+               "[--window-jobs <n>]\n"
+               "          (any --window* flag selects the windowed parallel "
+               "flow)\n"
                "  check:  --formal  --bmc <depth>  --bmc-x-ok (treat a\n"
                "          defined output refining an X as benign)\n"
                "  flow:   mcrt flow \"<script>\" in.blif out.blif\n"
@@ -133,6 +150,7 @@ int usage() {
                "          \"pass:retime=throw; write:*=fail@2\" (also via\n"
                "          MCRT_FAULT_* environment variables)\n"
                "  corpus: mcrt corpus <out-dir> [--count N] [--seed S]\n"
+               "          [--gates G] (adds one ~G-LUT scaled design)\n"
                "  bench:  mcrt bench [--quick] [--out-dir D] [--seed S]\n"
                "          [--baseline <dir> --max-regress <frac=0.20>]\n"
                "          compact-vs-legacy benchmark; writes BENCH_*.json\n"
@@ -412,11 +430,23 @@ int cmd_bulk(const std::string& script, const std::vector<std::string>& inputs,
 }
 
 int cmd_corpus(const std::string& out_dir, std::size_t count,
-               std::uint64_t seed, StreamDiagnostics& diag) {
+               std::uint64_t seed, std::size_t scaled_gates,
+               StreamDiagnostics& diag) {
   namespace fs = std::filesystem;
   std::error_code ec;
   fs::create_directories(out_dir, ec);
-  for (const CircuitProfile& profile : random_suite(count, seed)) {
+  std::vector<CircuitProfile> suite = random_suite(count, seed);
+  if (scaled_gates > 0) suite.push_back(scaled_profile(scaled_gates, seed));
+  // Big suites (many circuits, or a scaled design that takes seconds to
+  // generate and write) report progress through the diagnostics sink so a
+  // long-running corpus build is visibly alive, not hung.
+  const bool report_progress = suite.size() >= 16 || scaled_gates >= 100000;
+  for (std::size_t i = 0; i < suite.size(); ++i) {
+    const CircuitProfile& profile = suite[i];
+    if (report_progress) {
+      diag.note("corpus", str_format("[%zu/%zu] generating %s", i + 1,
+                                     suite.size(), profile.name.c_str()));
+    }
     const Netlist netlist = generate_circuit(profile);
     const std::string path =
         (fs::path(out_dir) / (profile.name + ".blif")).string();
@@ -487,6 +517,9 @@ int cmd_bench(const BenchFlags& flags, StreamDiagnostics& diag) {
   const auto sim =
       run_one("sim", kBenchSimSchema, "BENCH_sim.json", run_sim_bench);
   if (!sim) return 1;
+  const auto window = run_one("window", kBenchWindowSchema,
+                              "BENCH_window.json", run_window_bench);
+  if (!window) return 1;
 
   if (flags.baseline_dir.empty()) return 0;
 
@@ -522,6 +555,7 @@ int cmd_bench(const BenchFlags& flags, StreamDiagnostics& diag) {
   };
   int rc = gate(*retime, kBenchRetimeSchema, "BENCH_retime.json");
   rc |= gate(*sim, kBenchSimSchema, "BENCH_sim.json");
+  rc |= gate(*window, kBenchWindowSchema, "BENCH_window.json");
   if (rc == 0) std::printf("bench: no regression vs baseline\n");
   return rc;
 }
@@ -730,6 +764,11 @@ int main(int argc, char** argv) {
   bool minperiod = false;
   std::int64_t target_period = 0;
   bool no_sharing = false;
+  bool windowed = false;         ///< any --window* flag seen
+  std::size_t window_count = 0;  ///< --windows (0 = derive from size)
+  std::size_t window_size = 0;   ///< --window-size (0 = pass default)
+  std::size_t window_jobs = 0;   ///< --window-jobs (0 = hardware threads)
+  std::size_t corpus_gates = 0;  ///< corpus --gates (0 = random suite only)
   bool formal = false;
   std::size_t bmc_depth = 0;
   bool bmc_x_ok = false;
@@ -771,6 +810,25 @@ int main(int argc, char** argv) {
     }
     if (flag_value(arg, "--count", &i, &value)) {
       corpus_count = static_cast<std::size_t>(std::atoll(value.c_str()));
+      continue;
+    }
+    if (flag_value(arg, "--gates", &i, &value)) {
+      corpus_gates = static_cast<std::size_t>(std::atoll(value.c_str()));
+      continue;
+    }
+    if (flag_value(arg, "--windows", &i, &value)) {
+      window_count = static_cast<std::size_t>(std::atoll(value.c_str()));
+      windowed = true;
+      continue;
+    }
+    if (flag_value(arg, "--window-size", &i, &value)) {
+      window_size = static_cast<std::size_t>(std::atoll(value.c_str()));
+      windowed = true;
+      continue;
+    }
+    if (flag_value(arg, "--window-jobs", &i, &value)) {
+      window_jobs = static_cast<std::size_t>(std::atoll(value.c_str()));
+      windowed = true;
       continue;
     }
     if (flag_value(arg, "--seed", &i, &value)) {
@@ -925,7 +983,7 @@ int main(int argc, char** argv) {
     return cmd_bulk(files[0], inputs, bulk_flags, flow_flags, diag);
   }
   if (command == "corpus") {
-    return cmd_corpus(files[0], corpus_count, corpus_seed, diag);
+    return cmd_corpus(files[0], corpus_count, corpus_seed, corpus_gates, diag);
   }
   if (command == "bench") {
     if (!files.empty()) return usage();
@@ -941,7 +999,13 @@ int main(int argc, char** argv) {
     script = str_format("map(k=%u,d=%lld)", lut_k,
                         static_cast<long long>(lut_delay));
   } else if (command == "retime") {
-    script = str_format("retime(d=%lld", static_cast<long long>(lut_delay));
+    script = str_format("%s(d=%lld", windowed ? "retime-windowed" : "retime",
+                        static_cast<long long>(lut_delay));
+    if (windowed) {
+      if (window_size > 0) script += str_format(",window-size=%zu", window_size);
+      if (window_count > 0) script += str_format(",windows=%zu", window_count);
+      if (window_jobs > 0) script += str_format(",window-jobs=%zu", window_jobs);
+    }
     if (minperiod) script += ",minperiod";
     if (no_sharing) script += ",no-sharing";
     if (target_period != 0) {

@@ -1,6 +1,10 @@
 #!/bin/sh
 # Regenerates the committed bench documents:
-#   BENCH_retime.json / BENCH_sim.json   full-suite perf trajectory (repo root)
+#   BENCH_retime.json / BENCH_sim.json / BENCH_window.json
+#                                        full-suite perf trajectory (repo root;
+#                                        the window report's headline entry runs
+#                                        a deadline-capped monolithic solve and
+#                                        takes a few minutes)
 #   bench/baseline/BENCH_*.json          quick-suite baseline for CI's
 #                                        bench-smoke regression gate
 #
@@ -28,6 +32,8 @@ mkdir -p "$repo_root/bench/baseline"
 echo "Updated:"
 echo "  $repo_root/BENCH_retime.json"
 echo "  $repo_root/BENCH_sim.json"
+echo "  $repo_root/BENCH_window.json"
 echo "  $repo_root/bench/baseline/BENCH_retime.json"
 echo "  $repo_root/bench/baseline/BENCH_sim.json"
-echo "Review the speedup columns, then commit all four files."
+echo "  $repo_root/bench/baseline/BENCH_window.json"
+echo "Review the speedup columns, then commit all six files."
