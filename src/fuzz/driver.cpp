@@ -1,0 +1,150 @@
+#include "fuzz/driver.h"
+
+#include <chrono>
+#include <filesystem>
+#include <utility>
+
+#include "base/json.h"
+#include "base/strings.h"
+
+namespace mcrt {
+namespace {
+
+namespace fs = std::filesystem;
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+Json leg_json(const OracleLeg& leg) {
+  Json j = Json::object();
+  j.set("name", Json(leg.name));
+  j.set("pass", Json(leg.pass));
+  if (!leg.detail.empty()) j.set("detail", Json(leg.detail));
+  return j;
+}
+
+std::string seed_string(std::uint64_t seed) {
+  // Seeds use the full 64 bits; a JSON number would lose precision past
+  // 2^53, so they travel as strings.
+  return str_format("%llu", static_cast<unsigned long long>(seed));
+}
+
+}  // namespace
+
+std::string FuzzRunReport::to_json(bool canonical) const {
+  Json doc = Json::object();
+  doc.set("schema", Json("mcrt-fuzz-report/1"));
+  doc.set("seed", Json(seed_string(seed)));
+  doc.set("cases", Json(cases_run));
+  doc.set("failures", Json(failures));
+  if (!canonical) doc.set("wall_seconds", Json(wall_seconds));
+  Json results = Json::array();
+  for (const FuzzCaseOutcome& outcome : outcomes) {
+    Json r = Json::object();
+    r.set("name", Json(outcome.name));
+    r.set("seed", Json(seed_string(outcome.seed)));
+    r.set("oracle", Json(oracle_name(outcome.oracle)));
+    r.set("script", Json(outcome.script));
+    r.set("pass", Json(outcome.pass));
+    if (!outcome.pass) {
+      r.set("failure", Json(outcome.failure));
+      if (!outcome.repro_path.empty()) {
+        r.set("repro", Json(outcome.repro_path));
+      }
+      r.set("original_luts", Json(outcome.original_luts));
+      r.set("shrunk_luts", Json(outcome.shrunk_luts));
+    }
+    Json legs = Json::array();
+    for (const OracleLeg& leg : outcome.legs) legs.push_back(leg_json(leg));
+    r.set("legs", std::move(legs));
+    if (!canonical) r.set("seconds", Json(outcome.seconds));
+    results.push_back(std::move(r));
+  }
+  doc.set("results", std::move(results));
+  return doc.write();
+}
+
+FuzzRunReport run_fuzz(const FuzzDriverOptions& options) {
+  FuzzDriverOptions opt = options;
+  if (opt.cases == 0 && opt.budget_seconds <= 0) opt.budget_seconds = 60;
+
+  FuzzRunReport report;
+  report.seed = opt.seed;
+  const Clock::time_point start = Clock::now();
+  const auto say = [&](const std::string& line) {
+    if (opt.progress) opt.progress(line);
+  };
+
+  for (std::size_t index = 0;; ++index) {
+    if (opt.cases != 0 && index >= opt.cases) break;
+    if (opt.budget_seconds > 0 && seconds_since(start) >= opt.budget_seconds) {
+      break;
+    }
+    if (opt.cancel != nullptr &&
+        opt.cancel->stop_requested() != StopReason::kNone) {
+      break;
+    }
+
+    const std::uint64_t case_seed = fuzz_case_seed(opt.seed, index);
+    FuzzCase c = opt.only_oracle.has_value()
+                     ? generate_fuzz_case_from_seed(case_seed,
+                                                    *opt.only_oracle)
+                     : generate_fuzz_case(opt.seed, index);
+    if (!opt.break_spec.empty()) c.break_spec = opt.break_spec;
+
+    const Clock::time_point case_start = Clock::now();
+    FuzzCaseOutcome outcome;
+    outcome.name = c.name;
+    outcome.seed = c.seed;
+    outcome.oracle = c.oracle;
+    outcome.script = c.script;
+    outcome.original_luts = c.netlist.stats().luts;
+
+    OracleOptions oracle_options = opt.oracle;
+    oracle_options.cancel = opt.cancel;
+    OracleVerdict verdict;
+    try {
+      verdict = run_oracle(c, oracle_options);
+    } catch (const CancelledError&) {
+      break;  // the partial run still gets its report
+    }
+    outcome.pass = verdict.pass;
+    outcome.legs = verdict.legs;
+
+    if (!verdict.pass) {
+      ++report.failures;
+      outcome.failure = verdict.first_failure();
+      FuzzCase minimized = c;
+      if (opt.shrink) {
+        ShrinkOptions shrink = opt.shrink_options;
+        shrink.oracle = oracle_options;
+        const ShrinkResult shrunk = shrink_case(c, shrink);
+        if (shrunk.still_failing) minimized = shrunk.minimized;
+      }
+      outcome.shrunk_luts = minimized.netlist.stats().luts;
+      if (!opt.out_dir.empty()) {
+        std::error_code ec;
+        fs::create_directories(opt.out_dir, ec);
+        const std::string path = opt.out_dir + "/" + c.name + ".repro";
+        if (write_repro_file(minimized, path)) outcome.repro_path = path;
+      }
+      say(str_format(
+          "[%4zu] %s FAIL %s (%zu -> %zu LUTs%s%s)", index,
+          outcome.name.c_str(), outcome.failure.c_str(),
+          outcome.original_luts, outcome.shrunk_luts,
+          outcome.repro_path.empty() ? "" : ", repro ",
+          outcome.repro_path.c_str()));
+    } else {
+      say(str_format("[%4zu] %s PASS", index, outcome.name.c_str()));
+    }
+    outcome.seconds = seconds_since(case_start);
+    report.outcomes.push_back(std::move(outcome));
+    ++report.cases_run;
+  }
+  report.wall_seconds = seconds_since(start);
+  return report;
+}
+
+}  // namespace mcrt

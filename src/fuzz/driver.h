@@ -1,0 +1,87 @@
+// The fuzz campaign driver behind `mcrt fuzz`.
+//
+// run_fuzz() samples deterministic cases (fuzz/case_gen.h), runs each
+// through its differential oracle (fuzz/oracles.h), and on a mismatch
+// minimizes the case (fuzz/shrinker.h) and writes a self-contained
+// `mcrt-fuzz-repro/1` file into `out_dir`. The run is replayable two ways:
+//
+//   - same --seed (and --cases) => the same case sequence and, in
+//     canonical mode, a byte-identical JSON report;
+//   - every case's own 64-bit seed is printed and recorded, and
+//     `mcrt fuzz --seed <case_seed> --cases 1 --oracle <name>`
+//     regenerates exactly that case.
+//
+// With a wall-clock budget instead of a case count, the sampled sequence
+// is still the same deterministic stream — the budget only decides how far
+// down it the run gets.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "base/cancel.h"
+#include "fuzz/case_gen.h"
+#include "fuzz/oracles.h"
+#include "fuzz/shrinker.h"
+
+namespace mcrt {
+
+struct FuzzDriverOptions {
+  std::uint64_t seed = 1;
+  /// Number of cases to run; 0 = run until the budget expires.
+  std::size_t cases = 0;
+  /// Wall-clock budget in seconds; 0 = none (then `cases` must be set).
+  /// Both zero defaults to a 60 second budget.
+  double budget_seconds = 0;
+  /// Restrict to one engine pair (default: round-robin over all four).
+  std::optional<OracleKind> only_oracle;
+  /// Where failing reproducers are written ("" = don't write files).
+  std::string out_dir;
+  /// Drop wall-clock fields from the report so two runs of the same seed
+  /// and case count are byte-identical.
+  bool canonical = false;
+  /// Minimize failing cases before writing the reproducer.
+  bool shrink = true;
+  ShrinkOptions shrink_options;
+  OracleOptions oracle;
+  const CancelToken* cancel = nullptr;
+  /// Plant a bug (oracles.h install_break spec) into every case — the
+  /// harness self-test proving find -> shrink -> reproduce end to end.
+  std::string break_spec;
+  /// Per-case progress line sink (the CLI wires this to stderr).
+  std::function<void(const std::string&)> progress;
+};
+
+/// One case's outcome in the run report.
+struct FuzzCaseOutcome {
+  std::string name;
+  std::uint64_t seed = 0;
+  OracleKind oracle = OracleKind::kSerialVsBulk;
+  std::string script;
+  bool pass = true;
+  std::string failure;  ///< first failing leg ("leg: detail")
+  std::vector<OracleLeg> legs;
+  std::string repro_path;      ///< written reproducer (failures only)
+  std::size_t shrunk_luts = 0; ///< LUTs in the minimized case (failures)
+  std::size_t original_luts = 0;
+  double seconds = 0;          ///< case wall clock (dropped when canonical)
+};
+
+struct FuzzRunReport {
+  std::uint64_t seed = 0;
+  std::size_t cases_run = 0;
+  std::size_t failures = 0;
+  double wall_seconds = 0;
+  std::vector<FuzzCaseOutcome> outcomes;
+
+  /// The `mcrt fuzz --report` document, schema "mcrt-fuzz-report/1".
+  /// Canonical mode drops every wall-clock field.
+  [[nodiscard]] std::string to_json(bool canonical) const;
+};
+
+[[nodiscard]] FuzzRunReport run_fuzz(const FuzzDriverOptions& options);
+
+}  // namespace mcrt

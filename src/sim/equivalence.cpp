@@ -140,6 +140,7 @@ EquivalenceResult check_scalar(const Netlist& original,
         const Trit va = out_a[io.outputs[o].first];
         const Trit vb = out_b[io.outputs[o].second];
         if (va == Trit::kUnknown) continue;  // original undefined: no claim
+        if (opt.x_refinement_ok && vb == Trit::kUnknown) continue;
         ++result.compared_defined_outputs;
         if (vb != va) {
           result.equivalent = false;
@@ -213,6 +214,7 @@ EquivalenceResult check_word(const Netlist& original,
           const Trit vb = out_b[cycle][io.outputs[o].second].lane(
               static_cast<unsigned>(lane));
           if (va == Trit::kUnknown) continue;  // original undefined: no claim
+          if (opt.x_refinement_ok && vb == Trit::kUnknown) continue;
           ++result.compared_defined_outputs;
           if (vb != va) {
             result.equivalent = false;

@@ -42,6 +42,15 @@ struct EquivalenceOptions {
   /// gate-level 3-valued simulation adds to restructured logic. Not
   /// applicable to retiming (registers change identity).
   bool init_registers_by_name = false;
+  /// Tolerate `original defined, transformed X`: ternary simulation is
+  /// only an abstraction, and restructuring (sweep/strash) plus register
+  /// relocation can leave the transformed circuit X-pessimistic on
+  /// defined original outputs without being wrong. With this set, only a
+  /// defined-vs-defined disagreement is a mismatch — the same policy as
+  /// TernaryBmcOptions::x_refinement_ok. The default (strict) demands
+  /// the transformed output be defined and equal wherever the original
+  /// is defined.
+  bool x_refinement_ok = false;
   std::uint64_t seed = 1;
 };
 

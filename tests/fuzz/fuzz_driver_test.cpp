@@ -1,0 +1,111 @@
+// Campaign driver: deterministic replay (same seed => byte-identical
+// canonical report), the planted-bug find -> shrink -> reproducer loop,
+// budget handling and cancellation.
+#include "fuzz/driver.h"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <filesystem>
+
+#include "fuzz/fuzz_case.h"
+
+namespace mcrt {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string fresh_dir(const char* tag) {
+  const fs::path dir =
+      fs::temp_directory_path() /
+      (std::string("mcrt-fuzz-driver-test-") + tag + "-" +
+       std::to_string(static_cast<unsigned long>(::getpid())));
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir.string();
+}
+
+TEST(FuzzDriver, SameSeedGivesByteIdenticalCanonicalReports) {
+  FuzzDriverOptions options;
+  options.seed = 7;
+  options.cases = 6;
+  options.canonical = true;
+  options.shrink = false;
+  const FuzzRunReport a = run_fuzz(options);
+  const FuzzRunReport b = run_fuzz(options);
+  EXPECT_EQ(a.cases_run, 6u);
+  EXPECT_EQ(a.to_json(true), b.to_json(true));
+  EXPECT_NE(a.to_json(true).find("\"schema\":\"mcrt-fuzz-report/1\""),
+            std::string::npos);
+}
+
+TEST(FuzzDriver, ReportCarriesPerCaseSeedsAsStrings) {
+  FuzzDriverOptions options;
+  options.seed = 7;
+  options.cases = 2;
+  options.canonical = true;
+  const FuzzRunReport report = run_fuzz(options);
+  ASSERT_EQ(report.outcomes.size(), 2u);
+  // 64-bit seeds travel as JSON strings (numbers lose precision past 2^53).
+  const std::string json = report.to_json(true);
+  for (const FuzzCaseOutcome& outcome : report.outcomes) {
+    EXPECT_NE(json.find("\"" + std::to_string(outcome.seed) + "\""),
+              std::string::npos);
+  }
+}
+
+TEST(FuzzDriver, PlantedBugIsFoundShrunkAndReproducible) {
+  const std::string out_dir = fresh_dir("plant");
+  FuzzDriverOptions options;
+  options.seed = 1;
+  options.cases = 2;
+  options.only_oracle = OracleKind::kSerialVsBulk;
+  options.break_spec = "flip-lut";
+  options.out_dir = out_dir;
+  options.shrink_options.budget_seconds = 60;
+  const FuzzRunReport report = run_fuzz(options);
+  ASSERT_GE(report.failures, 1u) << "planted bug not caught";
+
+  // The written reproducer must parse, carry the break, and stay small.
+  bool checked = false;
+  for (const FuzzCaseOutcome& outcome : report.outcomes) {
+    if (outcome.pass) continue;
+    ASSERT_FALSE(outcome.repro_path.empty());
+    auto parsed = read_repro_file(outcome.repro_path);
+    ASSERT_TRUE(std::holds_alternative<FuzzCase>(parsed))
+        << std::get<std::string>(parsed);
+    const FuzzCase& repro = std::get<FuzzCase>(parsed);
+    EXPECT_EQ(repro.break_spec, "flip-lut");
+    EXPECT_EQ(repro.oracle, OracleKind::kSerialVsBulk);
+    const Netlist::Stats s = repro.netlist.stats();
+    EXPECT_LE(s.luts + s.registers, 20u);
+    checked = true;
+  }
+  EXPECT_TRUE(checked);
+  fs::remove_all(out_dir);
+}
+
+TEST(FuzzDriver, BudgetBoundsTheRunAndTheReportIsWellFormed) {
+  FuzzDriverOptions options;
+  options.seed = 3;
+  options.budget_seconds = 0.001;  // expires before (or right after) case 0
+  const FuzzRunReport report = run_fuzz(options);
+  EXPECT_LE(report.cases_run, 1u);
+  EXPECT_NE(report.to_json(false).find("wall_seconds"), std::string::npos);
+}
+
+TEST(FuzzDriver, PreCancelledTokenRunsNothing) {
+  CancelToken cancel;
+  cancel.request_cancel();
+  FuzzDriverOptions options;
+  options.seed = 1;
+  options.cases = 4;
+  options.cancel = &cancel;
+  const FuzzRunReport report = run_fuzz(options);
+  EXPECT_EQ(report.cases_run, 0u);
+  EXPECT_EQ(report.failures, 0u);
+}
+
+}  // namespace
+}  // namespace mcrt

@@ -1,0 +1,66 @@
+// Replays every committed reproducer in testdata/fuzz/.
+//
+// Two kinds of file live there:
+//   - healthy reproducers (no break: header): fixed bugs and known-good
+//     differential cases — these must PASS, forever;
+//   - sabotage reproducers (break: flip-lut): oracle-sensitivity guards —
+//     the planted miscompile must still be CAUGHT, forever.
+//
+// tools/update_fuzz_corpus.sh re-minimizes the corpus after oracle changes.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "fuzz/fuzz_case.h"
+#include "fuzz/oracles.h"
+
+#ifndef MCRT_TESTDATA_DIR
+#error "MCRT_TESTDATA_DIR must point at the repo's testdata directory"
+#endif
+
+namespace mcrt {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::vector<std::string> corpus_files() {
+  const fs::path dir = fs::path(MCRT_TESTDATA_DIR) / "fuzz";
+  std::vector<std::string> files;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    if (entry.path().extension() == ".repro") {
+      files.push_back(entry.path().string());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+TEST(FuzzRegress, CorpusIsCommitted) {
+  EXPECT_FALSE(corpus_files().empty())
+      << "no reproducers in " << MCRT_TESTDATA_DIR << "/fuzz";
+}
+
+TEST(FuzzRegress, EveryCommittedReproducerReplaysAsExpected) {
+  for (const std::string& path : corpus_files()) {
+    SCOPED_TRACE(path);
+    auto parsed = read_repro_file(path);
+    ASSERT_TRUE(std::holds_alternative<FuzzCase>(parsed))
+        << std::get<std::string>(parsed);
+    const FuzzCase& c = std::get<FuzzCase>(parsed);
+    const OracleVerdict v = run_oracle(c);
+    if (c.break_spec.empty()) {
+      EXPECT_TRUE(v.pass) << "regression: " << v.first_failure();
+    } else {
+      EXPECT_FALSE(v.pass)
+          << "oracle lost sensitivity: the planted '" << c.break_spec
+          << "' miscompile is no longer caught";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mcrt

@@ -1,0 +1,128 @@
+// Grammar fuzz hardening for the flow-script parser: random token soup and
+// mutated well-formed scripts must never crash, and every rejection must be
+// a structured FlowScriptError with a sane 1-based location and a
+// formattable message — never an exception, never a garbage location.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "base/rng.h"
+#include "pipeline/flow_script.h"
+#include "pipeline/pass_manager.h"
+#include "pipeline/passes.h"
+
+namespace mcrt {
+namespace {
+
+/// Checks the contract on one input: parse either succeeds or produces an
+/// error whose location actually lies within (or one past) the script.
+void expect_parse_contract(const std::string& script) {
+  SCOPED_TRACE("script: \"" + script + "\"");
+  auto parsed = parse_flow_script(script);
+  if (const auto* err = std::get_if<FlowScriptError>(&parsed)) {
+    EXPECT_GE(err->line, 1u);
+    EXPECT_GE(err->column, 1u);
+    EXPECT_LE(err->offset, script.size());
+    EXPECT_FALSE(err->message.empty());
+    EXPECT_FALSE(err->format().empty());
+    // The reported line/column must agree with the reported offset.
+    std::size_t line = 1;
+    std::size_t column = 1;
+    for (std::size_t i = 0; i < err->offset && i < script.size(); ++i) {
+      if (script[i] == '\n') {
+        ++line;
+        column = 1;
+      } else {
+        ++column;
+      }
+    }
+    EXPECT_EQ(err->line, line);
+    EXPECT_EQ(err->column, column);
+  }
+}
+
+TEST(FlowScriptFuzz, RandomTokenSoupNeverCrashes) {
+  const char* tokens[] = {"sweep",  "retime", "map",  "(", ")", ",",  ";",
+                          "=",      "k",      "4",    "d", "10", "\n", " ",
+                          "no-such", "_",     "-",    ".", "minperiod"};
+  Rng rng(2024);
+  for (int iteration = 0; iteration < 2000; ++iteration) {
+    std::string script;
+    const std::size_t length = rng.below(24);
+    for (std::size_t i = 0; i < length; ++i) {
+      script += tokens[rng.below(sizeof(tokens) / sizeof(tokens[0]))];
+    }
+    expect_parse_contract(script);
+  }
+}
+
+TEST(FlowScriptFuzz, RandomBytesNeverCrash) {
+  Rng rng(7);
+  for (int iteration = 0; iteration < 2000; ++iteration) {
+    std::string script;
+    const std::size_t length = rng.below(48);
+    for (std::size_t i = 0; i < length; ++i) {
+      script += static_cast<char>(rng.below(256));
+    }
+    expect_parse_contract(script);
+  }
+}
+
+TEST(FlowScriptFuzz, MutatedWellFormedScriptsNeverCrash) {
+  const std::string base =
+      "decompose-sync; sweep; strash; retime(d=10,minperiod,no-sharing); "
+      "map(k=4,d=10); sweep";
+  Rng rng(11);
+  for (int iteration = 0; iteration < 2000; ++iteration) {
+    std::string script = base;
+    const std::size_t edits = 1 + rng.below(4);
+    for (std::size_t e = 0; e < edits && !script.empty(); ++e) {
+      const std::size_t at = rng.below(script.size());
+      switch (rng.below(3)) {
+        case 0:  // flip a byte
+          script[at] = static_cast<char>(rng.below(128));
+          break;
+        case 1:  // delete a byte
+          script.erase(at, 1);
+          break;
+        default:  // duplicate a byte
+          script.insert(at, 1, script[at]);
+          break;
+      }
+    }
+    expect_parse_contract(script);
+  }
+}
+
+TEST(FlowScriptFuzz, CompileRejectsWithoutThrowingOnFuzzedScripts) {
+  PassRegistry registry;
+  register_standard_passes(registry);
+  Rng rng(5);
+  const char* tokens[] = {"sweep", "retime", "bogus", "(", ")", ";", ",",
+                          "=",     "k",      "4"};
+  for (int iteration = 0; iteration < 500; ++iteration) {
+    std::string script;
+    const std::size_t length = rng.below(12);
+    for (std::size_t i = 0; i < length; ++i) {
+      script += tokens[rng.below(sizeof(tokens) / sizeof(tokens[0]))];
+    }
+    PassManager manager;
+    const auto error = compile_flow_script(script, registry, manager);
+    if (error.has_value()) {
+      EXPECT_FALSE(error->empty());
+    }
+  }
+}
+
+TEST(FlowScriptFuzz, MultiLineErrorsPointAtTheRightLine) {
+  const auto parsed = parse_flow_script("sweep;\nstrash;\nretime((");
+  const auto* err = std::get_if<FlowScriptError>(&parsed);
+  ASSERT_NE(err, nullptr);
+  EXPECT_EQ(err->line, 3u);
+  EXPECT_GE(err->column, 8u);
+  EXPECT_NE(err->format().find("line 3"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mcrt

@@ -1,0 +1,131 @@
+// Register-class zoo differential through the serve path: EN / sync /
+// async / multi-clock circuits submitted to a live daemon must come back
+// byte-identical to the bulk engine — including the cached replay of each
+// request, which must be a cache hit with the exact same bytes.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <atomic>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "../common/test_circuits.h"
+#include "blif/blif.h"
+#include "fuzz/case_gen.h"
+#include "pipeline/bulk_runner.h"
+#include "server/client.h"
+#include "server/server.h"
+
+namespace mcrt {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr const char* kScript = "decompose-sync; sweep; retime(d=10)";
+
+struct ZooRig {
+  const char* tag;
+  Netlist netlist;
+};
+
+std::vector<ZooRig> zoo_rigs() {
+  std::vector<ZooRig> rigs;
+  rigs.push_back({"zoo_a", register_class_zoo(21)});
+  rigs.push_back({"zoo_b", register_class_zoo(22)});
+  rigs.push_back({"dual_clock", dual_clock_rig(23)});
+  rigs.push_back({"fig1_en", testing::fig1_circuit()});
+  return rigs;
+}
+
+TEST(ServeZoo, RegisterClassesAreByteIdenticalToBulkIncludingCacheHits) {
+  // Shared scratch dir with one BLIF per rig (path-based requests, the
+  // same shape `mcrt client` submits).
+  static std::atomic<int> counter{0};
+  const fs::path dir =
+      fs::path(::testing::TempDir()) /
+      ("serve_zoo_" + std::to_string(::getpid()) + "_" +
+       std::to_string(counter.fetch_add(1)));
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+
+  const std::vector<ZooRig> rigs = zoo_rigs();
+  std::vector<std::string> inputs;
+  for (const ZooRig& rig : rigs) {
+    ASSERT_TRUE(rig.netlist.validate().empty()) << rig.tag;
+    const fs::path path = dir / (std::string(rig.tag) + ".blif");
+    ASSERT_TRUE(write_blif_file(rig.netlist, path.string(), rig.tag));
+    inputs.push_back(path.string());
+  }
+
+  // Bulk side.
+  BulkOptions bulk_options;
+  bulk_options.jobs = 2;
+  std::vector<BulkJob> jobs;
+  for (const std::string& input : inputs) jobs.push_back(make_file_job(input, ""));
+  const BulkReport bulk_report = BulkRunner(kScript, bulk_options).run(jobs);
+  ASSERT_EQ(bulk_report.succeeded(), rigs.size());
+
+  // Serve side: a daemon on a private socket.
+  ServerOptions server_options;
+  server_options.endpoint.unix_path = (dir / "serve.sock").string();
+  server_options.jobs = 2;
+  RetimingServer server(server_options);
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+  std::thread pump([&server] { server.run(); });
+
+  ServeClient client;
+  ASSERT_TRUE(client.connect(server.bound_endpoint(), &error)) << error;
+  const auto submit = [&](const std::string& id, const std::string& path) {
+    JobRequest request;
+    request.id = id;
+    request.script = kScript;
+    request.path = path;
+    request.options.canonical = true;
+    return client.submit(request);
+  };
+
+  // Round 1: every rig once. Collected before round 2 so the replays are
+  // guaranteed to find populated cache entries.
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    ASSERT_TRUE(submit("first_" + std::to_string(i), inputs[i]));
+  }
+  std::vector<ClientJobResult> round1;
+  ASSERT_TRUE(client.collect(&round1, &error)) << error;
+  ASSERT_EQ(round1.size(), inputs.size());
+
+  // Round 2: every rig again — must be served from cache.
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    ASSERT_TRUE(submit("replay_" + std::to_string(i), inputs[i]));
+  }
+  std::vector<ClientJobResult> all;
+  ASSERT_TRUE(client.collect(&all, &error)) << error;
+  ASSERT_EQ(all.size(), 2 * inputs.size());
+
+  BulkJsonOptions canonical;
+  canonical.canonical = true;
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    SCOPED_TRACE(rigs[i].tag);
+    const ClientJobResult& first = all[i];
+    const ClientJobResult& replay = all[inputs.size() + i];
+    EXPECT_EQ(first.status, "ok") << first.error;
+    // Byte identity against bulk on the first pass...
+    EXPECT_EQ(first.job_json,
+              bulk_job_result_to_json(bulk_report.results[i], canonical));
+    // ...and the replay is a cache hit with the exact same bytes.
+    EXPECT_TRUE(replay.cached);
+    EXPECT_EQ(replay.job_json, first.job_json);
+  }
+
+  client.close();
+  server.request_stop();
+  pump.join();
+  std::error_code ec;
+  fs::remove_all(dir, ec);
+}
+
+}  // namespace
+}  // namespace mcrt

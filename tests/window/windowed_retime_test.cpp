@@ -7,6 +7,7 @@
 
 #include "../common/test_circuits.h"
 #include "mcretime/lower.h"
+#include "netlist/structural_hash.h"
 #include "pipeline/diagnostics.h"
 #include "pipeline/flow_context.h"
 #include "pipeline/flow_script.h"
@@ -132,6 +133,57 @@ TEST(WindowedRetimeTest, CancellationUnwinds) {
   WindowedRetimeOptions options = small_window_options();
   options.base.cancel = &cancel;
   EXPECT_THROW(retime_windowed(n, options), CancelledError);
+}
+
+/// Cancels via the progress stream once `trigger` appears, then asserts the
+/// flow unwinds as CancelledError without touching the host netlist, and
+/// that the same inputs still solve cleanly afterwards.
+void check_mid_flight_cancel(const char* trigger) {
+  SCOPED_TRACE(trigger);
+  RandomCircuitOptions circuit;
+  circuit.gates = 150;
+  circuit.registers = 30;
+  circuit.feedback_registers = 4;
+  const Netlist n = with_delays(random_sequential_circuit(53, circuit));
+  const std::uint64_t revision_before = n.revision();
+  const StructuralHash hash_before = structural_hash(n);
+
+  CancelToken cancel;
+  WindowedRetimeOptions options = small_window_options();
+  options.base.cancel = &cancel;
+  bool fired = false;
+  options.progress = [&](const std::string& line) {
+    if (!fired && line.rfind(trigger, 0) == 0) {
+      fired = true;
+      cancel.request_cancel();
+    }
+  };
+  EXPECT_THROW(retime_windowed(n, options), CancelledError);
+  EXPECT_TRUE(fired) << "progress line never arrived";
+
+  // No partial labels or rebuilt registers may escape into the host: the
+  // input is byte-for-byte the circuit it was.
+  EXPECT_EQ(n.revision(), revision_before);
+  EXPECT_EQ(structural_hash(n), hash_before);
+
+  // A clean re-run over the unchanged input must succeed.
+  WindowedRetimeOptions clean = small_window_options();
+  const WindowedRetimeResult result = retime_windowed(n, clean);
+  ASSERT_TRUE(result.success) << result.error;
+  const auto eq = check_sequential_equivalence(n, result.netlist, {});
+  EXPECT_TRUE(eq.equivalent) << eq.counterexample;
+}
+
+TEST(WindowedRetimeTest, CancelDuringWindowStitchingUnwindsCleanly) {
+  // "windows: N ..." is printed right before the stage-1 parallel solves
+  // and stitching — cancelling there aborts mid-stitch.
+  check_mid_flight_cancel("windows: ");
+}
+
+TEST(WindowedRetimeTest, CancelDuringRefinementRoundsUnwindsCleanly) {
+  // "stage 1: ..." is printed right before the boundary-refinement loop —
+  // cancelling there aborts between refinement rounds.
+  check_mid_flight_cancel("stage 1: ");
 }
 
 TEST(WindowedRetimeTest, WindowTimeoutDegradesGracefully) {

@@ -51,6 +51,22 @@
 //                                           of ~G LUTs (the windowed-retiming
 //                                           size range); progress goes to the
 //                                           diagnostics sink on big suites
+//   mcrt fuzz    [--budget-s S] [--cases N] [--seed S] [--oracle NAME]
+//                [--out-dir D] [--report F] [--canonical] [--repro PATH]
+//                [--update]
+//                                           differential fuzzing across the
+//                                           engine pairs (serial-vs-bulk,
+//                                           bulk-vs-serve, mono-vs-windowed,
+//                                           compact-vs-legacy): sample a
+//                                           random circuit + flow script,
+//                                           cross-check, minimize failures
+//                                           into self-contained reproducers
+//                                           (docs/FUZZING.md). --repro PATH
+//                                           replays one reproducer file;
+//                                           with an explicit --seed it first
+//                                           regenerates that exact case and
+//                                           writes it to PATH, so a CI
+//                                           failure line is copy-pasteable.
 //   mcrt bench   [--quick] [--out-dir D] [--seed S]
 //                [--baseline D --max-regress F]
 //                                           compact-vs-legacy engine bench
@@ -103,6 +119,7 @@
 #include "sim/equivalence.h"
 #include "tech/sta.h"
 #include "tech/timing_report.h"
+#include "fuzz/driver.h"
 #include "verify/formal_equivalence.h"
 #include "verify/ternary_bmc.h"
 #include "workload/generator.h"
@@ -151,6 +168,17 @@ int usage() {
                "          MCRT_FAULT_* environment variables)\n"
                "  corpus: mcrt corpus <out-dir> [--count N] [--seed S]\n"
                "          [--gates G] (adds one ~G-LUT scaled design)\n"
+               "  fuzz:   mcrt fuzz [--budget-s S] [--cases N] [--seed S]\n"
+               "          [--oracle <serial-vs-bulk|bulk-vs-serve|"
+               "mono-vs-windowed|compact-vs-legacy>]\n"
+               "          [--out-dir D] [--report F] [--canonical]\n"
+               "          differential fuzzing across the engine pairs;\n"
+               "          failures are minimized into reproducers in "
+               "--out-dir.\n"
+               "          mcrt fuzz --repro <file> replays one reproducer\n"
+               "          (--update re-minimizes and rewrites it); with an\n"
+               "          explicit --seed the case is regenerated and\n"
+               "          written to <file> first (see docs/FUZZING.md)\n"
                "  bench:  mcrt bench [--quick] [--out-dir D] [--seed S]\n"
                "          [--baseline <dir> --max-regress <frac=0.20>]\n"
                "          compact-vs-legacy benchmark; writes BENCH_*.json\n"
@@ -742,6 +770,140 @@ int cmd_client(const std::string& script,
   return exit_code;
 }
 
+// ---------------------------------------------------------------------------
+// fuzz: differential fuzzing across the engine pairs (src/fuzz/,
+// docs/FUZZING.md).
+
+struct FuzzFlags {
+  std::size_t cases = 0;      ///< --cases (0 = run until the budget expires)
+  double budget_seconds = 0;  ///< --budget-s (both zero => 60s default)
+  std::string oracle;         ///< --oracle (empty = round-robin over all four)
+  std::string repro_path;     ///< --repro: replay (or materialize) one case
+  bool update = false;        ///< --update: re-minimize + rewrite a failing repro
+  bool seed_given = false;    ///< explicit --seed (drives --repro write mode)
+  std::string plant_bug;      ///< --plant-bug: sabotage spec (self-tests only)
+};
+
+/// Replays one reproducer. With an explicit --seed the case is first
+/// regenerated from that 64-bit case seed and written to the path, so the
+/// seed printed by a CI failure line materializes as a committable file.
+int cmd_fuzz_repro(const FuzzFlags& fuzz, std::uint64_t seed,
+                   const std::optional<OracleKind>& only,
+                   const OracleOptions& oracle_options,
+                   StreamDiagnostics& diag) {
+  FuzzCase c;
+  if (fuzz.seed_given) {
+    c = generate_fuzz_case_from_seed(seed,
+                                     only.value_or(OracleKind::kSerialVsBulk));
+    if (!fuzz.plant_bug.empty()) c.break_spec = fuzz.plant_bug;
+    if (!write_repro_file(c, fuzz.repro_path)) {
+      diag.error(fuzz.repro_path, "cannot write reproducer");
+      return 1;
+    }
+  } else {
+    auto parsed = read_repro_file(fuzz.repro_path);
+    if (const auto* err = std::get_if<std::string>(&parsed)) {
+      diag.error(fuzz.repro_path, *err);
+      return 2;
+    }
+    c = std::move(std::get<FuzzCase>(parsed));
+    if (only.has_value()) c.oracle = *only;
+    if (!fuzz.plant_bug.empty()) c.break_spec = fuzz.plant_bug;
+  }
+
+  OracleVerdict verdict;
+  try {
+    verdict = run_oracle(c, oracle_options);
+  } catch (const CancelledError&) {
+    diag.error(c.name, "cancelled");
+    return 130;
+  }
+  for (const OracleLeg& leg : verdict.legs) {
+    std::printf("  %-28s %s%s%s\n", leg.name.c_str(),
+                leg.pass ? "PASS" : "FAIL", leg.detail.empty() ? "" : "  ",
+                leg.detail.c_str());
+  }
+  std::printf("%s [%s seed %llu]: %s\n", c.name.c_str(),
+              oracle_name(c.oracle),
+              static_cast<unsigned long long>(c.seed),
+              verdict.pass ? "PASS" : verdict.first_failure().c_str());
+
+  if (!verdict.pass && fuzz.update) {
+    ShrinkOptions shrink;
+    shrink.oracle = oracle_options;
+    const ShrinkResult r = shrink_case(c, shrink);
+    if (r.still_failing) {
+      if (!write_repro_file(r.minimized, fuzz.repro_path)) {
+        diag.error(fuzz.repro_path, "cannot rewrite reproducer");
+        return 1;
+      }
+      std::printf("re-minimized: %zu -> %zu LUTs (%zu oracle runs)\n",
+                  r.before.luts, r.after.luts, r.oracle_runs);
+    }
+  }
+  return verdict.pass ? 0 : 1;
+}
+
+int cmd_fuzz(const FuzzFlags& fuzz, const BulkFlags& bulk,
+             const FlowFlags& flags, std::uint64_t seed,
+             StreamDiagnostics& diag) {
+  OracleOptions oracle_options;
+  if (flags.timeout_seconds > 0) {
+    oracle_options.timeout_seconds = flags.timeout_seconds;
+  }
+  oracle_options.cancel = &g_interrupt;
+
+  std::optional<OracleKind> only;
+  if (!fuzz.oracle.empty()) {
+    only = oracle_from_name(fuzz.oracle);
+    if (!only.has_value()) {
+      diag.error("fuzz", str_format(
+          "unknown oracle '%s' (serial-vs-bulk, bulk-vs-serve, "
+          "mono-vs-windowed, compact-vs-legacy)", fuzz.oracle.c_str()));
+      return 2;
+    }
+  }
+
+  if (!fuzz.repro_path.empty()) {
+    return cmd_fuzz_repro(fuzz, seed, only, oracle_options, diag);
+  }
+
+  FuzzDriverOptions options;
+  options.seed = seed;
+  options.cases = fuzz.cases;
+  options.budget_seconds = fuzz.budget_seconds;
+  options.only_oracle = only;
+  options.out_dir = bulk.out_dir;
+  options.canonical = bulk.canonical;
+  options.oracle = oracle_options;
+  options.cancel = &g_interrupt;
+  options.break_spec = fuzz.plant_bug;
+  options.progress = [](const std::string& line) {
+    std::fprintf(stderr, "%s\n", line.c_str());
+  };
+
+  const FuzzRunReport report = run_fuzz(options);
+  if (!bulk.report_path.empty()) {
+    namespace fs = std::filesystem;
+    const fs::path parent = fs::path(bulk.report_path).parent_path();
+    if (!parent.empty()) {
+      std::error_code ec;
+      fs::create_directories(parent, ec);
+    }
+    std::ofstream out(bulk.report_path, std::ios::binary);
+    out << report.to_json(bulk.canonical) << "\n";
+    if (!out) {
+      diag.error(bulk.report_path, "cannot write report");
+      return 1;
+    }
+  }
+  std::printf("fuzz: %zu cases, %zu failures (seed %llu, %.1fs)\n",
+              report.cases_run, report.failures,
+              static_cast<unsigned long long>(report.seed),
+              report.wall_seconds);
+  return report.failures == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -752,9 +914,9 @@ int main(int argc, char** argv) {
   }
   if (argc < 2) return usage();
   const std::string command = argv[1];
-  // `bench` is self-contained (generated workloads, no circuit files), so
-  // a bare `mcrt bench` is a complete invocation.
-  if (argc < 3 && command != "bench") return usage();
+  // `bench` and `fuzz` are self-contained (generated workloads, no circuit
+  // files), so a bare `mcrt bench` / `mcrt fuzz` is a complete invocation.
+  if (argc < 3 && command != "bench" && command != "fuzz") return usage();
   StreamDiagnostics diag(stderr);
 
   // Collect flags and positionals.
@@ -778,6 +940,7 @@ int main(int argc, char** argv) {
   std::size_t corpus_count = 10;
   std::uint64_t corpus_seed = 1;
   BenchFlags bench_flags;
+  FuzzFlags fuzz_flags;
   // Value-taking long flags accept both "--flag value" and "--flag=value".
   const auto flag_value = [&](const std::string& arg, const char* name,
                               int* i, std::string* value) {
@@ -832,8 +995,33 @@ int main(int argc, char** argv) {
       continue;
     }
     if (flag_value(arg, "--seed", &i, &value)) {
-      corpus_seed = static_cast<std::uint64_t>(std::atoll(value.c_str()));
+      corpus_seed = std::strtoull(value.c_str(), nullptr, 10);
       bench_flags.seed = corpus_seed;
+      fuzz_flags.seed_given = true;
+      continue;
+    }
+    if (flag_value(arg, "--budget-s", &i, &value)) {
+      fuzz_flags.budget_seconds = std::atof(value.c_str());
+      continue;
+    }
+    if (flag_value(arg, "--cases", &i, &value)) {
+      fuzz_flags.cases = static_cast<std::size_t>(std::atoll(value.c_str()));
+      continue;
+    }
+    if (flag_value(arg, "--oracle", &i, &value)) {
+      fuzz_flags.oracle = value;
+      continue;
+    }
+    if (flag_value(arg, "--repro", &i, &value)) {
+      fuzz_flags.repro_path = value;
+      continue;
+    }
+    if (arg == "--update") {
+      fuzz_flags.update = true;
+      continue;
+    }
+    if (flag_value(arg, "--plant-bug", &i, &value)) {
+      fuzz_flags.plant_bug = value;
       continue;
     }
     if (arg == "--quick") {
@@ -943,7 +1131,10 @@ int main(int argc, char** argv) {
     }
   }
   const bool server_command = command == "serve" || command == "client";
-  if (files.empty() && !server_command && command != "bench") return usage();
+  if (files.empty() && !server_command && command != "bench" &&
+      command != "fuzz") {
+    return usage();
+  }
 
   // ctrl-C requests a clean cooperative stop: in-flight flows unwind at
   // their next engine poll and report "cancelled" instead of dying mid-write.
@@ -988,6 +1179,10 @@ int main(int argc, char** argv) {
   if (command == "bench") {
     if (!files.empty()) return usage();
     return cmd_bench(bench_flags, diag);
+  }
+  if (command == "fuzz") {
+    if (!files.empty()) return usage();
+    return cmd_fuzz(fuzz_flags, bulk_flags, flow_flags, corpus_seed, diag);
   }
 
   // Transforming subcommands are canned single-pass pipelines.

@@ -1,0 +1,42 @@
+#!/bin/sh
+# Re-minimizes the committed fuzz reproducer corpus (testdata/fuzz/).
+#
+# Run this after a shrinker or oracle improvement: every committed
+# reproducer is replayed with `mcrt fuzz --repro FILE --update`, which
+# re-shrinks a still-failing case and rewrites the file only if the
+# smaller case still fails its oracle. Reproducers that pass (fixed
+# bugs) are left untouched — they are the regression corpus and must
+# keep passing forever; break-spec guards must keep failing forever.
+#
+#   sh tools/update_fuzz_corpus.sh [build-dir]
+set -eu
+
+repo_root=$(cd "$(dirname "$0")/.." && pwd)
+build_dir=${1:-"$repo_root/build"}
+
+cmake -B "$build_dir" -S "$repo_root"
+cmake --build "$build_dir" -j --target mcrt_cli
+
+updated=0
+for repro in "$repo_root"/testdata/fuzz/*.repro; do
+  [ -e "$repro" ] || continue
+  echo "== $repro =="
+  before=$(cksum "$repro")
+  # Exit 0 = case passes (fixed bug, kept as-is); exit 1 = case still
+  # fails (expected for break-spec guards, possibly re-shrunk). Anything
+  # else is a parse/usage error and aborts the sweep.
+  status=0
+  "$build_dir/tools/mcrt" fuzz --repro "$repro" --update || status=$?
+  if [ "$status" -gt 1 ]; then
+    echo "error: replay of $repro exited $status" >&2
+    exit "$status"
+  fi
+  after=$(cksum "$repro")
+  if [ "$before" != "$after" ]; then
+    echo "  re-minimized: $repro"
+    updated=$((updated + 1))
+  fi
+done
+
+echo "$updated reproducer(s) rewritten."
+echo "Replay the corpus (ctest -R FuzzRegress), then commit testdata/fuzz/."
