@@ -39,6 +39,14 @@ class SocketStream {
   /// both end the conversation). A final unterminated line is delivered.
   [[nodiscard]] std::optional<std::string> read_line();
 
+  /// Bounded read_line() for untrusted peers: a line longer than
+  /// `max_bytes` is discarded through its terminating '\n' (so the stream
+  /// stays framed and usable), `*overflow` is set, and an empty string is
+  /// returned. Otherwise behaves exactly like read_line() with `*overflow`
+  /// cleared.
+  [[nodiscard]] std::optional<std::string> read_line(std::size_t max_bytes,
+                                                     bool* overflow);
+
   /// Writes the whole buffer (retrying short writes). Returns false on any
   /// error, including a peer that went away.
   [[nodiscard]] bool write_all(std::string_view data);

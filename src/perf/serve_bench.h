@@ -1,0 +1,65 @@
+// Chaos load harness for the retiming daemon (`mcrt loadtest`).
+//
+// Drives synthetic traffic through a real in-process `mcrt serve` instance
+// — real sockets, real protocol frames, real disk-cache tier — under an
+// injected fault matrix, and emits a schema-versioned BENCH_serve.json
+// that rides the same baseline ratio gate as the other bench reports:
+//
+//  - "clean":     cold executes then warm memory-tier hits; the headline
+//                 speedup_warm_vs_cold column is median cold execute
+//                 latency / median warm cached latency — a genuine
+//                 same-host ratio, machine-independent like the other
+//                 bench speedups.
+//  - "io-faults": every disk-tier write is torn (io:write:*=short-write)
+//                 and every disk read corrupted (io:read:*=corrupt), with
+//                 the memory tier disabled so the disk paths actually run.
+//                 The daemon must quarantine, re-execute and keep serving
+//                 byte-identical results (speedup ~ 1.0 by construction).
+//  - "drops":     clients that submit and slam the connection shut race
+//                 the measured traffic; in-flight work is cancelled,
+//                 service stays correct.
+//  - "restart":   the daemon is stopped, one on-disk entry is corrupted in
+//                 place, and a fresh daemon reopens the same directory:
+//                 the recovery scan quarantines the bad entry and the
+//                 first pass of traffic is served warm from the disk tier
+//                 (speedup_warm_vs_cold = fresh execute / disk hit).
+//
+// Every successful response is byte-compared — canonical job JSON and
+// result BLIF — against a local execute_flow_job() reference (the `mcrt
+// bulk` path), so the whole run doubles as a crash-safety differential:
+// summary.corrupt_served counts responses that diverged and must be 0;
+// summary.restart_disk_hit_ratio must be > 0 for the restart phase to
+// prove the tier survived.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "base/json.h"
+#include "pipeline/diagnostics.h"
+
+namespace mcrt {
+
+inline constexpr const char* kBenchServeSchema = "mcrt-bench-serve/1";
+
+struct ServeBenchOptions {
+  /// Fewer circuits and repetitions; the CI smoke setting.
+  bool quick = false;
+  /// Seed for the synthetic workload sets.
+  std::uint64_t seed = 1;
+  /// Scratch directory for the disk-cache tiers (created; must be
+  /// writable). Empty = "loadtest_work".
+  std::string work_dir;
+};
+
+/// Runs the four chaos phases; returns a kBenchServeSchema document.
+/// `log` (may be null) receives daemon lifecycle notes.
+Json run_serve_bench(const ServeBenchOptions& options,
+                     DiagnosticsSink* log = nullptr);
+
+/// validate_bench_report() for the serve schema plus the chaos-specific
+/// invariants: summary.corrupt_served == 0 and
+/// summary.restart_disk_hit_ratio > 0. Returns "" when valid.
+std::string validate_serve_bench_report(const Json& report);
+
+}  // namespace mcrt

@@ -1,0 +1,93 @@
+#include "server/admission.h"
+
+#include <algorithm>
+
+namespace mcrt {
+
+AdmissionController::AdmissionController(std::size_t max_inflight,
+                                         int retry_after_ms)
+    : max_inflight_(max_inflight), retry_after_ms_(retry_after_ms) {}
+
+AdmissionController::Decision AdmissionController::try_admit(
+    const std::string& tenant) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Decision decision;
+  decision.retry_after_ms = retry_after_ms_;
+  if (draining_) {
+    ++rejected_draining_;
+    decision.reason = "draining";
+    return decision;
+  }
+  if (max_inflight_ != 0) {
+    if (inflight_ >= max_inflight_) {
+      ++rejected_overload_;
+      decision.reason = "overloaded";
+      return decision;
+    }
+    // Fair share across active tenants. This tenant counts as active for
+    // the division (whether or not it already holds slots), so the cap is
+    // at least 1 and a new tenant can always claim its first slot.
+    const std::size_t held = per_tenant_[tenant];  // inserts; counted below
+    const std::size_t active = std::max<std::size_t>(1, per_tenant_.size());
+    const std::size_t share =
+        std::max<std::size_t>(1, max_inflight_ / active);
+    if (held >= share) {
+      ++rejected_tenant_;
+      decision.reason = "tenant-throttled";
+      return decision;
+    }
+    ++per_tenant_[tenant];
+  } else {
+    ++per_tenant_[tenant];
+  }
+  ++inflight_;
+  ++admitted_;
+  decision.admitted = true;
+  decision.reason.clear();
+  return decision;
+}
+
+void AdmissionController::release(const std::string& tenant) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (inflight_ > 0) --inflight_;
+  auto it = per_tenant_.find(tenant);
+  if (it != per_tenant_.end()) {
+    if (it->second > 1) {
+      --it->second;
+    } else {
+      per_tenant_.erase(it);  // tenant went idle: stops counting as active
+    }
+  }
+}
+
+void AdmissionController::begin_drain() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  draining_ = true;
+}
+
+bool AdmissionController::draining() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return draining_;
+}
+
+std::size_t AdmissionController::inflight() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return inflight_;
+}
+
+AdmissionStats AdmissionController::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  AdmissionStats stats;
+  stats.inflight = inflight_;
+  stats.max_inflight = max_inflight_;
+  stats.active_tenants = per_tenant_.size();
+  stats.draining = draining_;
+  stats.admitted = admitted_;
+  stats.rejected_overload = rejected_overload_;
+  stats.rejected_tenant = rejected_tenant_;
+  stats.rejected_draining = rejected_draining_;
+  stats.retry_after_ms = retry_after_ms_;
+  return stats;
+}
+
+}  // namespace mcrt

@@ -1,0 +1,86 @@
+// Admission control and graceful degradation for the retiming daemon.
+//
+// The daemon used to accept unbounded concurrent work: every job frame went
+// straight onto the shared ThreadPool's queue, so a burst of N requests
+// from M clients made the p99 of *everyone* grow with N. The
+// AdmissionController bounds the number of in-flight jobs and answers the
+// overflow with a structured `busy` frame (a retry-after hint the client's
+// backoff honors) instead of queueing without limit — shedding load early
+// is what keeps the served requests' latency bounded under overload.
+//
+// Fairness: job requests may carry a "tenant" string. The in-flight budget
+// is fair-shared across *active* tenants (tenants with work in flight):
+// each tenant may hold at most max(1, max_inflight / active_tenants) slots,
+// so one chatty tenant saturating the daemon cannot starve a second
+// tenant's first request — there is always a slot a new tenant can claim.
+//
+// Draining: begin_drain() flips the controller into a mode where every new
+// submission is rejected ("draining") while in-flight jobs run to
+// completion — the clean-restart half of the crash-safety story (the disk
+// cache tier is the other half). The health frame exposes the state so
+// orchestrators can poll for "in-flight reached zero".
+//
+// All methods are thread-safe; sessions call try_admit()/release() from
+// reader and pool threads concurrently.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+namespace mcrt {
+
+/// Counters + live state for the stats/health frames.
+struct AdmissionStats {
+  std::size_t inflight = 0;
+  std::size_t max_inflight = 0;  ///< 0 = unbounded
+  std::size_t active_tenants = 0;
+  bool draining = false;
+  std::uint64_t admitted = 0;
+  std::uint64_t rejected_overload = 0;
+  std::uint64_t rejected_tenant = 0;
+  std::uint64_t rejected_draining = 0;
+  int retry_after_ms = 0;  ///< the hint handed to rejected clients
+};
+
+class AdmissionController {
+ public:
+  struct Decision {
+    bool admitted = false;
+    std::string reason;      ///< "overloaded" | "tenant-throttled" | "draining"
+    int retry_after_ms = 0;  ///< backoff hint for the busy frame
+  };
+
+  /// `max_inflight == 0` disables the bound (every submission admitted
+  /// unless draining); `retry_after_ms` is the hint rejections carry.
+  explicit AdmissionController(std::size_t max_inflight = 0,
+                               int retry_after_ms = 200);
+
+  /// Claims an in-flight slot for `tenant` (empty = the default tenant).
+  /// Each admitted call must be paired with exactly one release().
+  [[nodiscard]] Decision try_admit(const std::string& tenant);
+  void release(const std::string& tenant);
+
+  /// Stop admitting; in-flight work keeps its slots until release().
+  void begin_drain();
+  [[nodiscard]] bool draining() const;
+  [[nodiscard]] std::size_t inflight() const;
+
+  [[nodiscard]] AdmissionStats stats() const;
+
+ private:
+  const std::size_t max_inflight_;
+  const int retry_after_ms_;
+
+  mutable std::mutex mutex_;
+  bool draining_ = false;
+  std::size_t inflight_ = 0;
+  std::map<std::string, std::size_t> per_tenant_;  ///< active tenants only
+  std::uint64_t admitted_ = 0;
+  std::uint64_t rejected_overload_ = 0;
+  std::uint64_t rejected_tenant_ = 0;
+  std::uint64_t rejected_draining_ = 0;
+};
+
+}  // namespace mcrt

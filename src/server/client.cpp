@@ -22,6 +22,24 @@ Diagnostic diagnostic_from_frame(const Json& frame) {
 
 }  // namespace
 
+int RetryPolicy::delay_ms(int attempt, int server_hint_ms) const {
+  std::int64_t delay = base_delay_ms;
+  for (int i = 1; i < attempt; ++i) {
+    delay = std::min<std::int64_t>(delay * 2, max_delay_ms);
+  }
+  if (server_hint_ms > delay) delay = server_hint_ms;
+  // splitmix64 over (seed, attempt): deterministic, well-mixed jitter.
+  std::uint64_t x =
+      jitter_seed + 0x9E3779B97F4A7C15ULL * static_cast<std::uint64_t>(attempt);
+  x ^= x >> 30;
+  x *= 0xBF58476D1CE4E5B9ULL;
+  x ^= x >> 27;
+  x *= 0x94D049BB133111EBULL;
+  x ^= x >> 31;
+  delay += static_cast<std::int64_t>(x % (static_cast<std::uint64_t>(delay) / 2 + 1));
+  return static_cast<int>(std::min<std::int64_t>(delay, max_delay_ms));
+}
+
 bool ServeClient::connect(const SocketEndpoint& endpoint, std::string* error) {
   stream_ = connect_socket(endpoint, error);
   if (!stream_.valid()) return false;
@@ -41,8 +59,14 @@ bool ServeClient::submit(const JobRequest& request) {
   frame.kind = RequestFrame::Kind::kJob;
   frame.job = request;
   if (!stream_.write_line(write_request_frame(frame))) return false;
-  pending_.push_back(request.id);
+  if (std::find(pending_.begin(), pending_.end(), request.id) ==
+      pending_.end()) {
+    pending_.push_back(request.id);
+  }
+  // A re-submission resets the slot (drops the busy/transient outcome and
+  // stale diagnostics) instead of duplicating the pending entry.
   ClientJobResult& slot = results_[request.id];
+  slot = ClientJobResult{};
   slot.id = request.id;
   return true;
 }
@@ -82,6 +106,34 @@ bool ServeClient::query_hello(std::string* error) {
       greeting_ = std::move(*frame);
       return true;
     }
+  }
+}
+
+std::optional<Json> ServeClient::query_health(std::string* error) {
+  RequestFrame request;
+  request.kind = RequestFrame::Kind::kHealth;
+  if (!stream_.write_line(write_request_frame(request))) {
+    if (error != nullptr) *error = "connection lost";
+    return std::nullopt;
+  }
+  for (;;) {
+    std::optional<Json> frame = read_control_frame(error);
+    if (!frame) return std::nullopt;
+    if (frame->at("frame").as_string() == "health") return frame;
+  }
+}
+
+std::optional<Json> ServeClient::send_drain(std::string* error) {
+  RequestFrame request;
+  request.kind = RequestFrame::Kind::kDrain;
+  if (!stream_.write_line(write_request_frame(request))) {
+    if (error != nullptr) *error = "connection lost";
+    return std::nullopt;
+  }
+  for (;;) {
+    std::optional<Json> frame = read_control_frame(error);
+    if (!frame) return std::nullopt;
+    if (frame->at("frame").as_string() == "drain-ack") return frame;
   }
 }
 
@@ -134,7 +186,7 @@ std::optional<Json> ServeClient::read_one_frame(std::string* error) {
   Json frame = std::move(std::get<Json>(parsed));
   const std::string& kind = frame.at("frame").as_string();
   if (kind == "accepted" || kind == "diagnostic" || kind == "result" ||
-      kind == "error") {
+      kind == "busy" || kind == "error") {
     fold_job_frame(frame);
     return Json();  // folded: not a control frame
   }
@@ -163,6 +215,14 @@ void ServeClient::fold_job_frame(const Json& frame) {
   if (kind == "accepted") return;
   if (kind == "diagnostic") {
     slot.diagnostics.push_back(diagnostic_from_frame(frame));
+    return;
+  }
+  if (kind == "busy") {
+    // Terminal for this submission; retryable() signals the retry loop.
+    slot.status = "busy";
+    slot.busy = true;
+    slot.retry_after_ms = static_cast<int>(frame.at("retry_after_ms").as_int(0));
+    slot.error = frame.at("reason").as_string();
     return;
   }
   if (kind == "error") {

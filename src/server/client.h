@@ -27,13 +27,37 @@ namespace mcrt {
 struct ClientJobResult {
   std::string id;
   std::string name;
-  std::string status;  ///< job_status_name: "ok", "failed", ...
+  std::string status;  ///< job_status_name: "ok", "failed", ...; "busy"
   bool success = false;
   bool cached = false;   ///< served from the daemon's result cache
+  bool busy = false;     ///< admission rejected the submission (retryable)
+  int retry_after_ms = 0;  ///< the busy frame's backoff hint
   std::string error;     ///< failure reason (empty on success)
   std::string job_json;  ///< the per-job report object (pretty, bulk format)
   std::string blif;      ///< result netlist (return_blif requests only)
   std::vector<Diagnostic> diagnostics;  ///< streamed diagnostic frames
+
+  /// Transient outcomes a retry loop should re-submit: an admission
+  /// rejection (busy frame) or the kIoError class `mcrt bulk` also
+  /// retries. Deterministic failures/timeouts/cancellations are final.
+  [[nodiscard]] bool retryable() const {
+    return busy || status == "ioerror";
+  }
+};
+
+/// Exponential backoff with deterministic jitter for re-submitting
+/// retryable outcomes. Deterministic on (seed, attempt) so tests and the
+/// chaos harness replay the exact schedule.
+struct RetryPolicy {
+  int max_attempts = 1;    ///< total submission attempts (1 = no retry)
+  int base_delay_ms = 50;  ///< first retry's backoff before jitter
+  int max_delay_ms = 2000;
+  std::uint64_t jitter_seed = 0;
+
+  /// Backoff before retry number `attempt` (1-based): base * 2^(attempt-1)
+  /// with up to +50% jitter, floored by the server's retry-after hint and
+  /// capped at max_delay_ms.
+  [[nodiscard]] int delay_ms(int attempt, int server_hint_ms = 0) const;
 };
 
 class ServeClient {
@@ -46,7 +70,9 @@ class ServeClient {
   /// The daemon's greeting (version, protocol, build type, workers).
   [[nodiscard]] const Json& greeting() const noexcept { return greeting_; }
 
-  /// Sends a job submission; its result arrives via collect().
+  /// Sends a job submission; its result arrives via collect(). Submitting
+  /// an id that already has an outcome (a busy rejection, a transient
+  /// failure) re-submits it: the slot is reset, not duplicated.
   [[nodiscard]] bool submit(const JobRequest& request);
   /// Sends `{"cancel": id}`; the cancelled job still delivers a (terminal,
   /// status "cancelled") result frame.
@@ -55,6 +81,10 @@ class ServeClient {
   [[nodiscard]] std::optional<Json> query_stats(std::string* error);
   /// `{"hello"}` round-trip (refreshes greeting()).
   [[nodiscard]] bool query_hello(std::string* error);
+  /// `{"health"}` round-trip: liveness, in-flight load, drain state.
+  [[nodiscard]] std::optional<Json> query_health(std::string* error);
+  /// `{"drain"}` round-trip; returns the drain-ack frame.
+  [[nodiscard]] std::optional<Json> send_drain(std::string* error);
   /// Asks the daemon to stop (when it allows remote shutdown).
   [[nodiscard]] bool send_shutdown();
 

@@ -1,0 +1,135 @@
+// Crash-safe persistent second cache tier for the retiming daemon.
+//
+// The in-memory ResultCache dies with the process; a restarted daemon used
+// to re-execute every request cold. DiskCache is a content-addressed
+// on-disk tier behind it, keyed by the same 192-bit
+// (structural hash x flow-options hash) key: entries are files named from
+// the key's hex digits, so the directory itself is the index and a restart
+// recovers the whole tier by scanning it.
+//
+// Crash safety is the design center:
+//  - Writes are atomic: "<name>.tmp" + rename, the same discipline as job
+//    outputs, so a crash mid-write leaves a stray .tmp (deleted on the
+//    next startup scan), never a half-visible entry.
+//  - Every entry carries its payload lengths and a 64-bit checksum; the
+//    startup recovery scan and every read verify them. A torn, truncated
+//    or bit-flipped entry is moved to the "quarantine/" subdirectory —
+//    never deleted (it is forensic evidence), never *served* (the request
+//    falls through to a cold execute). Zero corrupt results served is the
+//    tier's contract, and the chaos harness's differential checks it
+//    byte-for-byte against `mcrt bulk`.
+//  - Eviction is size-budgeted LRU (`mcrt serve --disk-cache-mb`): the
+//    scan orders entries by mtime, inserts refresh recency, and the
+//    coldest files are deleted once the budget is exceeded.
+//
+// Fault injection: writes fire the "io:write:<file>" site and reads fire
+// "io:read:<file>" (FaultInjector's io-class actions short-write /
+// fsync-fail / enospc / corrupt plus the generic throw / fail / stall), so
+// every recovery path above is deterministically testable.
+//
+// All operations are serialized by one mutex; the daemon only touches the
+// disk tier on memory-tier misses and on insertions, both of which are
+// adjacent to multi-millisecond flow executions.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "base/cancel.h"
+#include "base/fault_injector.h"
+#include "server/result_cache.h"
+
+namespace mcrt {
+
+inline constexpr const char* kDiskCacheMagic = "mcrt-disk-cache/1";
+
+struct DiskCacheStats {
+  std::size_t entries = 0;
+  std::size_t bytes = 0;
+  std::size_t capacity_bytes = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t insertions = 0;
+  std::uint64_t evictions = 0;
+  /// Entries moved to quarantine/ (startup scan + read-time verification).
+  std::uint64_t quarantined = 0;
+  /// Insertions that failed (I/O error, injected fault); the daemon keeps
+  /// serving, the entry is simply not persisted.
+  std::uint64_t write_failures = 0;
+};
+
+class DiskCache {
+ public:
+  /// `capacity_bytes == 0` disables the tier (open() still succeeds,
+  /// lookups miss, inserts drop). `faults` null = the global injector.
+  DiskCache(std::string directory, std::size_t capacity_bytes,
+            FaultInjector* faults = nullptr);
+
+  /// Creates the directory and runs the recovery scan: stray .tmp files
+  /// are deleted, entries failing magic/length/checksum verification are
+  /// quarantined, the survivors build the LRU index (coldest = oldest
+  /// mtime) and the size budget is enforced. Returns false and sets
+  /// *error when the directory cannot be created or scanned.
+  [[nodiscard]] bool open(std::string* error);
+
+  /// Reads, verifies and decodes the entry for `key`. A verification
+  /// failure quarantines the file and reports a miss — a corrupt entry is
+  /// never served. `count_miss=false` keeps an absent-entry miss out of
+  /// the counters (internal re-checks); quarantines always count.
+  [[nodiscard]] std::optional<CachedResult> lookup(
+      const CacheKey& key, const CancelToken* cancel = nullptr,
+      bool count_miss = true);
+
+  /// Persists a successful result atomically, evicting cold entries past
+  /// the budget. Failures are counted and swallowed (the caller served the
+  /// result already; persistence is best-effort).
+  void insert(const CacheKey& key, const CachedResult& result,
+              const CancelToken* cancel = nullptr);
+
+  [[nodiscard]] DiskCacheStats stats() const;
+  [[nodiscard]] const std::string& directory() const { return directory_; }
+
+  // --- exposed for tests and the chaos harness ----------------------------
+  /// "<hi:016x><lo:016x>-<flow:016x>.entry"
+  [[nodiscard]] static std::string entry_file_name(const CacheKey& key);
+  /// Serializes an entry to its on-disk bytes (header + meta + BLIF).
+  [[nodiscard]] static std::string encode_entry(const CacheKey& key,
+                                                const CachedResult& result);
+  /// Verifies and decodes on-disk bytes. Returns false and sets *error on
+  /// any mismatch (magic, lengths, checksum, malformed meta).
+  [[nodiscard]] static bool decode_entry(std::string_view bytes, CacheKey* key,
+                                         CachedResult* result,
+                                         std::string* error);
+
+ private:
+  struct Entry {
+    CacheKey key;
+    std::size_t bytes = 0;
+  };
+
+  [[nodiscard]] FaultInjector& injector() const;
+  void quarantine_locked(const std::string& file_name);
+  void erase_index_locked(const CacheKey& key);
+  void evict_to_fit_locked();
+  [[nodiscard]] std::string path_of(const std::string& file_name) const;
+
+  const std::string directory_;
+  const std::size_t capacity_bytes_;
+  FaultInjector* const faults_;
+
+  mutable std::mutex mutex_;
+  bool open_ = false;
+  std::size_t bytes_ = 0;
+  std::list<Entry> lru_;  ///< front = hottest
+  std::unordered_map<CacheKey, std::list<Entry>::iterator,
+                     CacheKeyHash>
+      index_;
+  DiskCacheStats counters_;
+};
+
+}  // namespace mcrt

@@ -1,6 +1,8 @@
 #include "server/protocol.h"
 
 #include "base/version.h"
+#include "server/admission.h"
+#include "server/disk_cache.h"
 
 namespace mcrt {
 namespace {
@@ -46,10 +48,48 @@ Json options_to_json(const JobRequestOptions& options) {
   return object;
 }
 
+/// Strict UTF-8 scan (RFC 3629: no overlongs, no surrogates, max U+10FFFF).
+/// Frames failing this are answered with a structured error instead of
+/// letting mojibake propagate into reports and logs.
+bool is_valid_utf8(const std::string& text) {
+  const auto* s = reinterpret_cast<const unsigned char*>(text.data());
+  const std::size_t n = text.size();
+  for (std::size_t i = 0; i < n;) {
+    const unsigned char c = s[i];
+    if (c < 0x80) {
+      ++i;
+      continue;
+    }
+    std::size_t len = 0;
+    unsigned min = 0, code = 0;
+    if ((c & 0xE0) == 0xC0) {
+      len = 2; min = 0x80; code = c & 0x1Fu;
+    } else if ((c & 0xF0) == 0xE0) {
+      len = 3; min = 0x800; code = c & 0x0Fu;
+    } else if ((c & 0xF8) == 0xF0) {
+      len = 4; min = 0x10000; code = c & 0x07u;
+    } else {
+      return false;  // stray continuation or invalid lead byte
+    }
+    if (i + len > n) return false;
+    for (std::size_t k = 1; k < len; ++k) {
+      if ((s[i + k] & 0xC0) != 0x80) return false;
+      code = (code << 6) | (s[i + k] & 0x3Fu);
+    }
+    if (code < min || code > 0x10FFFF) return false;
+    if (code >= 0xD800 && code <= 0xDFFF) return false;  // surrogate
+    i += len;
+  }
+  return true;
+}
+
 }  // namespace
 
 std::variant<RequestFrame, std::string> parse_request_frame(
     const std::string& line) {
+  if (!is_valid_utf8(line)) {
+    return std::string("frame is not valid UTF-8");
+  }
   auto parsed = Json::parse(line);
   if (const auto* err = std::get_if<JsonParseError>(&parsed)) {
     return "malformed JSON at offset " + std::to_string(err->offset) + ": " +
@@ -65,6 +105,14 @@ std::variant<RequestFrame, std::string> parse_request_frame(
   }
   if (doc.has("stats")) {
     frame.kind = RequestFrame::Kind::kStats;
+    return frame;
+  }
+  if (doc.has("health")) {
+    frame.kind = RequestFrame::Kind::kHealth;
+    return frame;
+  }
+  if (doc.has("drain")) {
+    frame.kind = RequestFrame::Kind::kDrain;
     return frame;
   }
   if (doc.has("shutdown")) {
@@ -97,6 +145,7 @@ std::variant<RequestFrame, std::string> parse_request_frame(
     return std::string("job request needs 'blif' text or a 'path'");
   }
   job.name = doc.at("name").as_string();
+  job.tenant = doc.at("tenant").as_string();
   job.output = doc.at("output").as_string();
   if (const Json* options = doc.find("options")) {
     if (!options->is_object()) {
@@ -116,6 +165,12 @@ std::string write_request_frame(const RequestFrame& frame) {
     case RequestFrame::Kind::kStats:
       object.set("stats", true);
       break;
+    case RequestFrame::Kind::kHealth:
+      object.set("health", true);
+      break;
+    case RequestFrame::Kind::kDrain:
+      object.set("drain", true);
+      break;
     case RequestFrame::Kind::kShutdown:
       object.set("shutdown", true);
       break;
@@ -129,6 +184,7 @@ std::string write_request_frame(const RequestFrame& frame) {
       if (!job.blif.empty()) object.set("blif", job.blif);
       if (!job.path.empty()) object.set("path", job.path);
       if (!job.name.empty()) object.set("name", job.name);
+      if (!job.tenant.empty()) object.set("tenant", job.tenant);
       if (!job.output.empty()) object.set("output", job.output);
       Json options = options_to_json(job.options);
       if (!options.as_object().empty()) object.set("options", std::move(options));
@@ -156,6 +212,16 @@ std::string make_accepted_frame(const std::string& id) {
   Json frame = Json::object();
   frame.set("frame", "accepted");
   frame.set("id", id);
+  return frame.write();
+}
+
+std::string make_busy_frame(const std::string& id, int retry_after_ms,
+                            const std::string& reason) {
+  Json frame = Json::object();
+  frame.set("frame", "busy");
+  frame.set("id", id);
+  frame.set("reason", reason);
+  frame.set("retry_after_ms", retry_after_ms);
   return frame.write();
 }
 
@@ -196,7 +262,9 @@ std::string make_cancel_ack_frame(const std::string& id, bool found) {
 }
 
 std::string make_stats_frame(const ServerStats& server,
-                             const CacheStats& cache) {
+                             const CacheStats& cache,
+                             const DiskCacheStats* disk,
+                             const AdmissionStats* admission) {
   Json frame = Json::object();
   frame.set("frame", "stats");
   Json srv = Json::object();
@@ -206,6 +274,8 @@ std::string make_stats_frame(const ServerStats& server,
   srv.set("timeout", server.timeout);
   srv.set("cancelled", server.cancelled);
   srv.set("cache_served", server.cache_served);
+  srv.set("busy", server.busy);
+  srv.set("coalesced", server.coalesced);
   srv.set("sessions", server.sessions);
   srv.set("jobs", server.jobs);
   frame.set("server", std::move(srv));
@@ -218,6 +288,50 @@ std::string make_stats_frame(const ServerStats& server,
   c.set("insertions", cache.insertions);
   c.set("evictions", cache.evictions);
   frame.set("cache", std::move(c));
+  if (disk != nullptr) {
+    Json d = Json::object();
+    d.set("entries", disk->entries);
+    d.set("bytes", disk->bytes);
+    d.set("capacity_bytes", disk->capacity_bytes);
+    d.set("hits", disk->hits);
+    d.set("misses", disk->misses);
+    d.set("insertions", disk->insertions);
+    d.set("evictions", disk->evictions);
+    d.set("quarantined", disk->quarantined);
+    d.set("write_failures", disk->write_failures);
+    frame.set("disk", std::move(d));
+  }
+  if (admission != nullptr) {
+    Json a = Json::object();
+    a.set("inflight", admission->inflight);
+    a.set("max_inflight", admission->max_inflight);
+    a.set("active_tenants", admission->active_tenants);
+    a.set("draining", admission->draining);
+    a.set("admitted", admission->admitted);
+    a.set("rejected_overload", admission->rejected_overload);
+    a.set("rejected_tenant", admission->rejected_tenant);
+    a.set("rejected_draining", admission->rejected_draining);
+    frame.set("admission", std::move(a));
+  }
+  return frame.write();
+}
+
+std::string make_health_frame(const AdmissionStats& admission,
+                              std::size_t jobs) {
+  Json frame = Json::object();
+  frame.set("frame", "health");
+  frame.set("state", admission.draining ? "draining" : "ok");
+  frame.set("inflight", admission.inflight);
+  frame.set("max_inflight", admission.max_inflight);
+  frame.set("active_tenants", admission.active_tenants);
+  frame.set("jobs", jobs);
+  return frame.write();
+}
+
+std::string make_drain_ack_frame(std::size_t inflight) {
+  Json frame = Json::object();
+  frame.set("frame", "drain-ack");
+  frame.set("inflight", inflight);
   return frame.write();
 }
 

@@ -13,14 +13,20 @@
 //                "budgets": {"bdd_nodes": 0, "bmc_steps": 0, "max_rss_mb": 0}}}
 //   {"cancel": "j1"}                         cancel an in-flight request
 //   {"stats": true}                          server + cache counters
+//   {"health": true}                         liveness / load / drain state
+//   {"drain": true}                          stop admitting, finish in-flight
 //   {"shutdown": true}                       stop the daemon (when allowed)
 //
-// Responses carry a "frame" discriminator: "hello", "accepted",
-// "diagnostic" (streamed per job diagnostic), "result" (terminal, exactly
-// one per job request), "cancel-ack", "stats", "error", "bye". Frames for
-// different requests interleave, matched by "id"; frames for one request
-// are ordered accepted -> diagnostics -> result. docs/SERVER.md documents
-// every field.
+// Job submissions may carry a "tenant" string; the admission controller
+// fair-shares the in-flight budget across tenants (docs/SERVER.md).
+//
+// Responses carry a "frame" discriminator: "hello", "accepted", "busy"
+// (admission rejected the job; terminal for that submission, carries a
+// "retry_after_ms" hint), "diagnostic" (streamed per job diagnostic),
+// "result" (terminal, exactly one per accepted job request), "cancel-ack",
+// "stats", "health", "drain-ack", "error", "bye". Frames for different
+// requests interleave, matched by "id"; frames for one request are ordered
+// accepted -> diagnostics -> result. docs/SERVER.md documents every field.
 //
 // This header is the shared vocabulary: request parsing for the server,
 // response builders for the server, and both directions for the client and
@@ -54,6 +60,7 @@ struct JobRequestOptions {
 struct JobRequest {
   std::string id;
   std::string name;    ///< empty: derived from path stem, else id
+  std::string tenant;  ///< fair-scheduling bucket (empty = default tenant)
   std::string script;
   std::string blif;    ///< inline BLIF text (wins over path when both set)
   std::string path;    ///< server-side input file
@@ -63,7 +70,15 @@ struct JobRequest {
 
 /// Any client request.
 struct RequestFrame {
-  enum class Kind : std::uint8_t { kHello, kJob, kCancel, kStats, kShutdown };
+  enum class Kind : std::uint8_t {
+    kHello,
+    kJob,
+    kCancel,
+    kStats,
+    kHealth,
+    kDrain,
+    kShutdown,
+  };
   Kind kind = Kind::kHello;
   JobRequest job;         ///< kJob only
   std::string cancel_id;  ///< kCancel only
@@ -84,14 +99,25 @@ struct ServerStats {
   std::uint64_t failed = 0;        ///< kFailed + kIoError
   std::uint64_t timeout = 0;
   std::uint64_t cancelled = 0;
-  std::uint64_t cache_served = 0;  ///< results answered from the cache
+  std::uint64_t cache_served = 0;  ///< results answered from a cache tier
+  std::uint64_t busy = 0;          ///< submissions rejected with a busy frame
+  std::uint64_t coalesced = 0;     ///< requests that shared another's run
   std::size_t sessions = 0;        ///< currently connected clients
   std::size_t jobs = 0;            ///< worker threads
 };
 
+struct DiskCacheStats;   // server/disk_cache.h
+struct AdmissionStats;   // server/admission.h
+
 // Response-frame builders (each returns the wire line without the '\n').
 [[nodiscard]] std::string make_hello_frame(std::size_t jobs);
 [[nodiscard]] std::string make_accepted_frame(const std::string& id);
+/// Admission rejection: terminal for that submission. `retry_after_ms` is
+/// the server's backoff hint; `reason` is "overloaded", "tenant-throttled"
+/// or "draining".
+[[nodiscard]] std::string make_busy_frame(const std::string& id,
+                                          int retry_after_ms,
+                                          const std::string& reason);
 [[nodiscard]] std::string make_diagnostic_frame(const std::string& id,
                                                 const Diagnostic& diag);
 /// The terminal frame of a job request. `job_json` is the pretty per-job
@@ -104,8 +130,18 @@ struct ServerStats {
                                             const std::string* blif);
 [[nodiscard]] std::string make_cancel_ack_frame(const std::string& id,
                                                 bool found);
-[[nodiscard]] std::string make_stats_frame(const ServerStats& server,
-                                           const CacheStats& cache);
+/// `disk` and `admission` are optional: servers without a disk tier or an
+/// admission bound omit those objects (nullptr).
+[[nodiscard]] std::string make_stats_frame(
+    const ServerStats& server, const CacheStats& cache,
+    const DiskCacheStats* disk = nullptr,
+    const AdmissionStats* admission = nullptr);
+/// Liveness probe: "state" is "ok" or "draining", plus in-flight load and
+/// the admission limits.
+[[nodiscard]] std::string make_health_frame(const AdmissionStats& admission,
+                                            std::size_t jobs);
+/// Acknowledges a drain request with the number of jobs still in flight.
+[[nodiscard]] std::string make_drain_ack_frame(std::size_t inflight);
 [[nodiscard]] std::string make_error_frame(const std::string& id,
                                            const std::string& message);
 [[nodiscard]] std::string make_bye_frame();

@@ -61,11 +61,12 @@ std::size_t CachedResult::approximate_bytes() const {
   return bytes;
 }
 
-std::optional<CachedResult> ResultCache::lookup(const CacheKey& key) {
+std::optional<CachedResult> ResultCache::lookup(const CacheKey& key,
+                                                bool count_miss) {
   std::lock_guard<std::mutex> lock(mutex_);
   auto it = index_.find(key);
   if (it == index_.end()) {
-    ++counters_.misses;
+    if (count_miss) ++counters_.misses;
     return std::nullopt;
   }
   ++counters_.hits;

@@ -40,6 +40,15 @@ struct CacheKey {
   [[nodiscard]] bool operator==(const CacheKey&) const = default;
 };
 
+/// Hash functor shared by the memory and disk tiers' indexes.
+struct CacheKeyHash {
+  std::size_t operator()(const CacheKey& key) const noexcept {
+    // Lanes are already full-entropy; fold them.
+    return static_cast<std::size_t>(key.netlist.hi ^ (key.netlist.lo * 3) ^
+                                    (key.flow * 7));
+  }
+};
+
 /// Digest of the flow script plus every option that can change a result
 /// (invariant checking, equivalence spot checks, resource budgets).
 /// Serialization-only options (canonical) and schedule-only ones
@@ -74,8 +83,11 @@ class ResultCache {
       : capacity_bytes_(capacity_bytes) {}
 
   /// Returns a copy of the entry and refreshes its recency, counting a
-  /// hit; std::nullopt (counting a miss) when absent.
-  [[nodiscard]] std::optional<CachedResult> lookup(const CacheKey& key);
+  /// hit; std::nullopt when absent. `count_miss=false` makes an absent
+  /// entry silent — for internal re-checks (coalescing race-closes) that
+  /// would otherwise count one request's miss twice.
+  [[nodiscard]] std::optional<CachedResult> lookup(const CacheKey& key,
+                                                   bool count_miss = true);
 
   /// Inserts (or refreshes) an entry, evicting cold entries until the
   /// budget holds. An entry larger than the whole budget is not cached.
@@ -90,13 +102,6 @@ class ResultCache {
     CachedResult result;
     std::size_t bytes = 0;
   };
-  struct KeyHash {
-    std::size_t operator()(const CacheKey& key) const noexcept {
-      // Lanes are already full-entropy; fold them.
-      return static_cast<std::size_t>(key.netlist.hi ^ (key.netlist.lo * 3) ^
-                                      (key.flow * 7));
-    }
-  };
 
   void evict_to_fit_locked();
 
@@ -104,7 +109,8 @@ class ResultCache {
   std::size_t capacity_bytes_;
   std::size_t bytes_ = 0;
   std::list<Entry> lru_;  ///< front = hottest
-  std::unordered_map<CacheKey, std::list<Entry>::iterator, KeyHash> index_;
+  std::unordered_map<CacheKey, std::list<Entry>::iterator, CacheKeyHash>
+      index_;
   CacheStats counters_;
 };
 

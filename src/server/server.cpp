@@ -7,7 +7,9 @@
 namespace mcrt {
 
 RetimingServer::RetimingServer(ServerOptions options)
-    : options_(std::move(options)), cache_(options_.cache_bytes) {}
+    : options_(std::move(options)),
+      cache_(options_.cache_bytes),
+      admission_(options_.max_inflight, options_.retry_after_ms) {}
 
 RetimingServer::~RetimingServer() {
   request_stop();
@@ -15,6 +17,22 @@ RetimingServer::~RetimingServer() {
 }
 
 bool RetimingServer::start(std::string* error) {
+  if (!options_.disk_cache_dir.empty()) {
+    disk_cache_ = std::make_unique<DiskCache>(
+        options_.disk_cache_dir, options_.disk_cache_bytes, options_.faults);
+    if (!disk_cache_->open(error)) {
+      disk_cache_.reset();
+      return false;
+    }
+    const DiskCacheStats recovered = disk_cache_->stats();
+    log_note("server",
+             str_format("disk cache %s: %zu entries (%zu bytes) recovered, "
+                        "%llu quarantined",
+                        options_.disk_cache_dir.c_str(), recovered.entries,
+                        recovered.bytes,
+                        static_cast<unsigned long long>(
+                            recovered.quarantined)));
+  }
   if (!listener_.listen(options_.endpoint, error)) return false;
   pool_ = std::make_unique<ThreadPool>(options_.jobs);
   log_note("server", "listening on " + bound_endpoint().describe() +
@@ -99,6 +117,56 @@ FaultInjector& RetimingServer::faults() const {
                                     : FaultInjector::global();
 }
 
+std::optional<DiskCacheStats> RetimingServer::disk_cache_stats() const {
+  if (disk_cache_ == nullptr) return std::nullopt;
+  return disk_cache_->stats();
+}
+
+std::optional<CachedResult> RetimingServer::cache_lookup(
+    const CacheKey& key, const CancelToken* cancel, bool count_miss) {
+  if (auto hit = cache_.lookup(key, count_miss)) return hit;
+  if (disk_cache_ != nullptr) {
+    if (auto hit = disk_cache_->lookup(key, cancel, count_miss)) {
+      cache_.insert(key, *hit);  // promote: next hit is a memory hit
+      return hit;
+    }
+  }
+  return std::nullopt;
+}
+
+void RetimingServer::cache_insert(const CacheKey& key, CachedResult result,
+                                  const CancelToken* cancel) {
+  if (disk_cache_ != nullptr) disk_cache_->insert(key, result, cancel);
+  cache_.insert(key, std::move(result));
+}
+
+std::shared_ptr<CoalescedExecution> RetimingServer::try_lead(
+    const CacheKey& key) {
+  std::lock_guard<std::mutex> lock(coalesce_mutex_);
+  auto [it, inserted] = leading_.try_emplace(key);
+  if (inserted) {
+    it->second = std::make_shared<CoalescedExecution>();
+    return nullptr;  // the caller leads
+  }
+  return it->second;
+}
+
+void RetimingServer::finish_lead(const CacheKey& key) {
+  std::shared_ptr<CoalescedExecution> state;
+  {
+    std::lock_guard<std::mutex> lock(coalesce_mutex_);
+    auto it = leading_.find(key);
+    if (it == leading_.end()) return;
+    state = std::move(it->second);
+    leading_.erase(it);
+  }
+  {
+    std::lock_guard<std::mutex> lock(state->mutex);
+    state->done = true;
+  }
+  state->cv.notify_all();
+}
+
 void RetimingServer::note_job_accepted() {
   std::lock_guard<std::mutex> lock(stats_mutex_);
   ++counters_.requests;
@@ -114,6 +182,16 @@ void RetimingServer::note_job_finished(JobStatus status, bool cached) {
     case JobStatus::kIoError: ++counters_.failed; break;
   }
   if (cached) ++counters_.cache_served;
+}
+
+void RetimingServer::note_busy() {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  ++counters_.busy;
+}
+
+void RetimingServer::note_coalesced() {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  ++counters_.coalesced;
 }
 
 void RetimingServer::log_note(const std::string& origin,

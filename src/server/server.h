@@ -22,10 +22,13 @@
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "base/cancel.h"
@@ -34,6 +37,8 @@
 #include "base/thread_pool.h"
 #include "pipeline/diagnostics.h"
 #include "pipeline/pass_manager.h"
+#include "server/admission.h"
+#include "server/disk_cache.h"
 #include "server/protocol.h"
 #include "server/result_cache.h"
 #include "server/session.h"
@@ -66,6 +71,28 @@ struct ServerOptions {
   bool allow_remote_shutdown = true;
   /// Accept-loop poll granularity: how fast stop requests are noticed.
   int accept_timeout_ms = 100;
+  /// Persistent second cache tier directory (empty = memory tier only).
+  /// start() runs the crash-recovery scan and fails on an unusable dir.
+  std::string disk_cache_dir;
+  /// Disk-tier byte budget (`--disk-cache-mb`).
+  std::size_t disk_cache_bytes = std::size_t{256} << 20;
+  /// Admission bound: max concurrently admitted jobs across all sessions
+  /// (0 = unbounded, the historical behavior). Overflow gets busy frames.
+  std::size_t max_inflight = 0;
+  /// Backoff hint carried by busy frames.
+  int retry_after_ms = 200;
+  /// Largest accepted request line; longer frames are answered with a
+  /// structured error and discarded without desynchronizing the stream.
+  std::size_t max_frame_bytes = std::size_t{32} << 20;
+};
+
+/// Rendezvous for identical in-flight requests: the first session to reach
+/// a (netlist, flow) key executes it, followers block on `cv` and serve the
+/// leader's freshly cached result. See RetimingServer::try_lead().
+struct CoalescedExecution {
+  std::mutex mutex;
+  std::condition_variable cv;
+  bool done = false;
 };
 
 class RetimingServer {
@@ -94,6 +121,9 @@ class RetimingServer {
 
   [[nodiscard]] ServerStats stats() const;
   [[nodiscard]] CacheStats cache_stats() const { return cache_.stats(); }
+  /// nullopt when the server runs without a disk tier.
+  [[nodiscard]] std::optional<DiskCacheStats> disk_cache_stats() const;
+  [[nodiscard]] AdmissionController& admission() { return admission_; }
 
  private:
   friend class Session;
@@ -104,8 +134,26 @@ class RetimingServer {
   [[nodiscard]] const ServerOptions& options() const { return options_; }
   [[nodiscard]] const CancelToken* stop_token() const { return &stop_token_; }
   [[nodiscard]] FaultInjector& faults() const;
+  /// Tiered lookup: memory first, then disk (a disk hit is promoted into
+  /// the memory tier so the next hit costs microseconds again).
+  /// `count_miss=false` for coalescing re-checks, which must not count one
+  /// request's miss twice.
+  [[nodiscard]] std::optional<CachedResult> cache_lookup(
+      const CacheKey& key, const CancelToken* cancel, bool count_miss = true);
+  /// Inserts into both tiers (the disk write is best-effort).
+  void cache_insert(const CacheKey& key, CachedResult result,
+                    const CancelToken* cancel);
+  /// Coalescing: returns nullptr when the caller became the leader for
+  /// `key` (it must call finish_lead() once its result is cached or its
+  /// execution failed); otherwise the in-flight leader's rendezvous to
+  /// block on.
+  [[nodiscard]] std::shared_ptr<CoalescedExecution> try_lead(
+      const CacheKey& key);
+  void finish_lead(const CacheKey& key);
   void note_job_accepted();
   void note_job_finished(JobStatus status, bool cached);
+  void note_busy();
+  void note_coalesced();
   void log_note(const std::string& origin, const std::string& message);
 
   void reap_finished_sessions_locked();
@@ -115,6 +163,13 @@ class RetimingServer {
   ListenSocket listener_;
   std::unique_ptr<ThreadPool> pool_;
   ResultCache cache_;
+  std::unique_ptr<DiskCache> disk_cache_;  ///< null without --disk-cache-dir
+  AdmissionController admission_;
+
+  std::mutex coalesce_mutex_;
+  std::unordered_map<CacheKey, std::shared_ptr<CoalescedExecution>,
+                     CacheKeyHash>
+      leading_;
 
   CancelToken stop_token_;  ///< parent of every session/request token
   std::atomic<bool> stopping_{false};

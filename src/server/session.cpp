@@ -1,5 +1,6 @@
 #include "server/session.h"
 
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <system_error>
@@ -95,8 +96,21 @@ void Session::join() {
 
 void Session::reader_loop() {
   while (!cancel_.stopped()) {
-    std::optional<std::string> line = stream_.read_line();
+    bool overflow = false;
+    std::optional<std::string> line =
+        stream_.read_line(server_.options().max_frame_bytes, &overflow);
     if (!line) break;  // disconnect (or shutdown) ends the conversation
+    if (overflow) {
+      // The oversized line was discarded through its newline, so the
+      // stream is still frame-aligned and the connection stays usable.
+      const std::string message = str_format(
+          "frame exceeds %zu bytes", server_.options().max_frame_bytes);
+      server_.log_note(str_format("session %llu",
+                                  static_cast<unsigned long long>(id_)),
+                       "protocol error: " + message);
+      if (!send_frame(make_error_frame("", message))) break;
+      continue;
+    }
     if (line->empty()) continue;
     auto parsed = parse_request_frame(*line);
     if (const auto* error = std::get_if<std::string>(&parsed)) {
@@ -124,9 +138,25 @@ void Session::handle_frame(const RequestFrame& frame) {
     case RequestFrame::Kind::kHello:
       (void)send_frame(make_hello_frame(server_.pool().worker_count()));
       return;
-    case RequestFrame::Kind::kStats:
+    case RequestFrame::Kind::kStats: {
+      const std::optional<DiskCacheStats> disk = server_.disk_cache_stats();
+      const AdmissionStats admission = server_.admission().stats();
       (void)send_frame(make_stats_frame(server_.stats(),
-                                        server_.cache_stats()));
+                                        server_.cache_stats(),
+                                        disk ? &*disk : nullptr, &admission));
+      return;
+    }
+    case RequestFrame::Kind::kHealth:
+      (void)send_frame(make_health_frame(server_.admission().stats(),
+                                         server_.pool().worker_count()));
+      return;
+    case RequestFrame::Kind::kDrain:
+      server_.admission().begin_drain();
+      server_.log_note(str_format("session %llu",
+                                  static_cast<unsigned long long>(id_)),
+                       "drain requested");
+      (void)send_frame(
+          make_drain_ack_frame(server_.admission().inflight()));
       return;
     case RequestFrame::Kind::kShutdown:
       if (server_.options().allow_remote_shutdown) {
@@ -149,8 +179,19 @@ void Session::handle_frame(const RequestFrame& frame) {
       return;
     }
     case RequestFrame::Kind::kJob: {
+      const AdmissionController::Decision admit =
+          server_.admission().try_admit(frame.job.tenant);
+      if (!admit.admitted) {
+        server_.note_busy();
+        (void)send_frame(make_busy_frame(frame.job.id, admit.retry_after_ms,
+                                         admit.reason));
+        return;
+      }
       auto token = std::make_shared<CancelToken>(&cancel_);
-      if (!register_request(frame.job.id, token)) return;
+      if (!register_request(frame.job.id, token)) {
+        server_.admission().release(frame.job.tenant);
+        return;
+      }
       server_.note_job_accepted();
       (void)send_frame(make_accepted_frame(frame.job.id));
       group_.run([this, request = frame.job, token]() mutable {
@@ -180,6 +221,13 @@ void Session::unregister_request(const std::string& id) {
 }
 
 void Session::run_job(JobRequest request, std::shared_ptr<CancelToken> token) {
+  // The admission slot claimed in handle_frame is held for the whole job.
+  struct AdmissionSlot {
+    RetimingServer& server;
+    const std::string& tenant;
+    ~AdmissionSlot() { server.admission().release(tenant); }
+  } slot{server_, request.tenant};
+
   const std::string name = job_name_for(request);
   BulkJobResult result;
   result.name = name;
@@ -234,10 +282,53 @@ void Session::run_job(JobRequest request, std::shared_ptr<CancelToken> token) {
 
   CacheKey key{structural_hash(*input),
                flow_options_hash(request.script, manager, budgets)};
-  if (auto cached = server_.cache().lookup(key)) {
+  if (auto cached = server_.cache_lookup(key, token.get())) {
     serve_cached(request, std::move(*cached));
     unregister_request(request.id);
     return;
+  }
+
+  // Coalesce identical in-flight work: if another request is already
+  // executing this exact (netlist, flow) key, wait for it and serve its
+  // freshly cached result instead of burning a second execution. A
+  // follower can only block while its leader holds a pool thread, so no
+  // circular wait is possible. A leader whose run fails (nothing cached)
+  // wakes the followers to race for the lead themselves.
+  bool counted_coalesced = false;
+  for (;;) {
+    std::shared_ptr<CoalescedExecution> leader = server_.try_lead(key);
+    if (leader == nullptr) {
+      // We lead — but a previous leader may have finished between our
+      // cache miss and now, so close that race before executing. The
+      // request's miss was already counted; this re-check is silent.
+      if (auto cached = server_.cache_lookup(key, token.get(),
+                                             /*count_miss=*/false)) {
+        server_.finish_lead(key);
+        serve_cached(request, std::move(*cached));
+        unregister_request(request.id);
+        return;
+      }
+      break;
+    }
+    if (!counted_coalesced) {
+      server_.note_coalesced();
+      counted_coalesced = true;
+    }
+    {
+      std::unique_lock<std::mutex> lock(leader->mutex);
+      while (!leader->done &&
+             cancel_requested(token.get()) == StopReason::kNone) {
+        leader->cv.wait_for(lock, std::chrono::milliseconds(50));
+      }
+    }
+    if (auto cached = server_.cache_lookup(key, token.get(),
+                                           /*count_miss=*/false)) {
+      serve_cached(request, std::move(*cached));
+      unregister_request(request.id);
+      return;
+    }
+    // Leader failed or we were cancelled: loop to lead (a cancelled run
+    // unwinds via the executor's first poll immediately).
   }
 
   // Cache miss: run the request through the shared flow-execution core —
@@ -289,8 +380,11 @@ void Session::run_job(JobRequest request, std::shared_ptr<CancelToken> token) {
     entry.job = result;
     entry.job.netlist.reset();  // the BLIF text is the compact form
     entry.blif = *blif_text;
-    server_.cache().insert(key, std::move(entry));
+    server_.cache_insert(key, std::move(entry), token.get());
   }
+  // Wake coalesced followers only after the insert: they re-check the
+  // cache and must observe this result (or, on failure, race to lead).
+  server_.finish_lead(key);
   finish_job(request, result, /*cached=*/false,
              blif_text ? &*blif_text : nullptr);
   unregister_request(request.id);

@@ -95,6 +95,43 @@ TEST(SocketTest, ReadLineSplitsOnNewlinesAndDeliversFinalFragment) {
   EXPECT_EQ(pair.server.read_line(), std::nullopt);  // EOF
 }
 
+TEST(SocketTest, BoundedReadLineDiscardsOversizedLineAndStaysFramed) {
+  SocketEndpoint endpoint;
+  Pair pair;
+  std::string error;
+  ASSERT_TRUE(make_pair_on(endpoint, &pair, &error)) << error;
+
+  // A 1 KiB line against an 8-byte bound, then a well-behaved frame: the
+  // oversized line must be discarded through its '\n' so the next read
+  // returns the good frame, not a mid-line fragment.
+  ASSERT_TRUE(pair.client.write_line(std::string(1024, 'x')));
+  ASSERT_TRUE(pair.client.write_line("ok"));
+  bool overflow = false;
+  EXPECT_EQ(pair.server.read_line(8, &overflow), "");
+  EXPECT_TRUE(overflow);
+  EXPECT_EQ(pair.server.read_line(8, &overflow), "ok");
+  EXPECT_FALSE(overflow);
+}
+
+TEST(SocketTest, BoundedReadLineAtExactLimitAndEof) {
+  SocketEndpoint endpoint;
+  Pair pair;
+  std::string error;
+  ASSERT_TRUE(make_pair_on(endpoint, &pair, &error)) << error;
+
+  ASSERT_TRUE(pair.client.write_line("12345678"));  // exactly max_bytes
+  ASSERT_TRUE(pair.client.write_all("unterminated-overlong-tail"));
+  pair.client.close();
+  bool overflow = true;
+  EXPECT_EQ(pair.server.read_line(8, &overflow), "12345678");
+  EXPECT_FALSE(overflow);
+  // An oversized final fragment with no '\n' ends at EOF: the overflow is
+  // reported once, then the stream is done.
+  EXPECT_EQ(pair.server.read_line(8, &overflow), "");
+  EXPECT_TRUE(overflow);
+  EXPECT_EQ(pair.server.read_line(8, &overflow), std::nullopt);
+}
+
 TEST(SocketTest, WriteToClosedPeerFailsWithoutKillingProcess) {
   SocketEndpoint endpoint;
   Pair pair;

@@ -1,0 +1,144 @@
+#!/bin/sh
+# Crash-safety differential for the `mcrt serve` disk cache tier.
+#
+# Daemon 1 runs with a persistent cache directory and an injected write
+# stall (`io:write:*=stall@6`): the sixth disk-cache write parks forever,
+# and a SIGKILL lands exactly there — mid-write, with earlier entries
+# committed and a request still in flight. We then damage the surviving
+# state the way real crashes do (a torn entry, a bit-flipped entry, a
+# stray .tmp) and restart a second daemon on the same directory. It must:
+#   1. quarantine every damaged entry during the recovery scan (and sweep
+#      the .tmp) — visible in the stats frame and the quarantine/ dir;
+#   2. serve the full corpus byte-identical to `mcrt bulk --canonical`
+#      (zero corrupt results served, re-executing what was quarantined);
+#   3. show disk-tier hits for the entries that survived the crash.
+#
+# Usage: server_chaos_test.sh <mcrt-binary> <scratch-dir>
+set -eu
+
+MCRT=$1
+WORK=$2
+SCRIPT='sweep; strash; retime(d=10)'
+
+rm -rf "$WORK"
+mkdir -p "$WORK"
+cd "$WORK"
+SOCK1=$PWD/chaos1.sock
+SOCK2=$PWD/chaos2.sock
+CACHE=$PWD/disk_cache
+
+"$MCRT" corpus circuits --count 8 --seed 31 > /dev/null
+
+# Reference: the same corpus through `mcrt bulk`, no daemon involved.
+"$MCRT" bulk "$SCRIPT" --jobs 4 --canonical \
+  --out-dir out_ref --report ref.json circuits
+
+# --- daemon 1: killed mid-write ----------------------------------------
+"$MCRT" serve --socket "$SOCK1" --jobs 2 --disk-cache-dir "$CACHE" \
+  --faults 'io:write:*=stall@6' > serve1.log 2>&1 &
+SERVE_PID=$!
+trap 'kill -9 "$SERVE_PID" 2>/dev/null || true' EXIT
+
+TRIES=0
+until [ -S "$SOCK1" ]; do
+  TRIES=$((TRIES + 1))
+  if [ "$TRIES" -gt 200 ]; then
+    echo "error: daemon 1 never bound $SOCK1" >&2
+    cat serve1.log >&2
+    exit 1
+  fi
+  sleep 0.05
+done
+
+# This client wedges on the job whose cache write hit the stall; it dies
+# with the daemon below.
+"$MCRT" client "$SCRIPT" --socket "$SOCK1" --canonical \
+  --out-dir out_d1 --report d1.json circuits > d1.log 2>&1 &
+CLIENT_PID=$!
+
+# Wait for the write stall to arm: five entries committed, the sixth
+# parked. Then SIGKILL — no shutdown path, no flush.
+TRIES=0
+until [ "$(ls "$CACHE"/*.entry 2>/dev/null | wc -l)" -ge 5 ]; do
+  TRIES=$((TRIES + 1))
+  if [ "$TRIES" -gt 400 ]; then
+    echo "error: disk cache never reached 5 entries" >&2
+    cat serve1.log >&2
+    exit 1
+  fi
+  sleep 0.05
+done
+sleep 0.3
+kill -9 "$SERVE_PID"
+wait "$SERVE_PID" 2>/dev/null || true
+wait "$CLIENT_PID" 2>/dev/null || true
+trap - EXIT
+
+# --- crash damage: torn entry, bit rot, stray tmp ----------------------
+FIRST=$(ls "$CACHE"/*.entry | head -n 1)
+SECOND=$(ls "$CACHE"/*.entry | sed -n '2p')
+SIZE=$(wc -c < "$FIRST")
+dd if="$FIRST" of="$FIRST.torn" bs=1 count=$((SIZE * 2 / 3)) 2>/dev/null
+mv "$FIRST.torn" "$FIRST"
+printf 'X' | dd of="$SECOND" bs=1 seek=$((SIZE / 3)) conv=notrunc 2>/dev/null
+printf 'interrupted write' > "$CACHE/deadbeef.entry.tmp"
+
+# --- daemon 2: recovery on the same directory --------------------------
+"$MCRT" serve --socket "$SOCK2" --jobs 2 --disk-cache-dir "$CACHE" \
+  > serve2.log 2>&1 &
+SERVE_PID=$!
+trap 'kill "$SERVE_PID" 2>/dev/null || true' EXIT
+
+TRIES=0
+until [ -S "$SOCK2" ]; do
+  TRIES=$((TRIES + 1))
+  if [ "$TRIES" -gt 200 ]; then
+    echo "error: daemon 2 never bound $SOCK2" >&2
+    cat serve2.log >&2
+    exit 1
+  fi
+  sleep 0.05
+done
+
+# 1. The recovery scan quarantined both damaged entries and swept the tmp.
+STATS=$("$MCRT" client --stats --socket "$SOCK2")
+DISK=$(printf '%s' "$STATS" | sed -n 's/.*"disk":{\([^}]*\)}.*/\1/p')
+QUARANTINED=$(printf '%s' "$DISK" | sed -n 's/.*"quarantined":\([0-9]*\).*/\1/p')
+if [ "${QUARANTINED:-0}" -lt 2 ]; then
+  echo "error: expected >=2 quarantined entries, got '$QUARANTINED'" >&2
+  echo "$STATS" >&2
+  exit 1
+fi
+if [ "$(ls "$CACHE"/quarantine 2>/dev/null | wc -l)" -lt 2 ]; then
+  echo "error: quarantine/ should hold the damaged entries" >&2
+  exit 1
+fi
+if ls "$CACHE"/*.tmp > /dev/null 2>&1; then
+  echo "error: recovery left stray .tmp files behind" >&2
+  exit 1
+fi
+
+# 2. Differential: byte-identical to bulk, so nothing corrupt was served.
+"$MCRT" client "$SCRIPT" --socket "$SOCK2" --canonical \
+  --out-dir out_d2 --report d2.json circuits
+cmp ref.json d2.json
+for f in out_ref/*.blif; do
+  cmp "$f" "out_d2/$(basename "$f")"
+done
+
+# 3. Surviving entries were served from the disk tier.
+STATS=$("$MCRT" client --stats --socket "$SOCK2")
+DISK=$(printf '%s' "$STATS" | sed -n 's/.*"disk":{\([^}]*\)}.*/\1/p')
+DISK_HITS=$(printf '%s' "$DISK" | sed -n 's/.*"hits":\([0-9]*\).*/\1/p')
+if [ "${DISK_HITS:-0}" -lt 1 ]; then
+  echo "error: expected disk-tier hits after restart, got '$DISK_HITS'" >&2
+  echo "$STATS" >&2
+  exit 1
+fi
+
+"$MCRT" client --shutdown --socket "$SOCK2"
+wait "$SERVE_PID"
+trap - EXIT
+echo "server chaos: kill -9 mid-write recovered —" \
+  "$QUARANTINED entries quarantined, $DISK_HITS disk hits," \
+  "corpus byte-identical to bulk"

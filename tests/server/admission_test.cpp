@@ -1,0 +1,127 @@
+// AdmissionController: in-flight bound, per-tenant fair share, drain mode
+// and release bookkeeping, including concurrent admit/release traffic.
+#include "server/admission.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace mcrt {
+namespace {
+
+TEST(AdmissionTest, UnboundedAdmitsEverythingUntilDrain) {
+  AdmissionController admission(0, 100);
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_TRUE(admission.try_admit("").admitted);
+  }
+  EXPECT_EQ(admission.inflight(), 64u);
+  admission.begin_drain();
+  const auto decision = admission.try_admit("");
+  EXPECT_FALSE(decision.admitted);
+  EXPECT_EQ(decision.reason, "draining");
+  EXPECT_EQ(decision.retry_after_ms, 100);
+  EXPECT_EQ(admission.stats().rejected_draining, 1u);
+}
+
+TEST(AdmissionTest, BoundedRejectsOverflowWithHint) {
+  AdmissionController admission(2, 250);
+  EXPECT_TRUE(admission.try_admit("").admitted);
+  EXPECT_TRUE(admission.try_admit("").admitted);
+  const auto decision = admission.try_admit("");
+  EXPECT_FALSE(decision.admitted);
+  EXPECT_EQ(decision.reason, "overloaded");
+  EXPECT_EQ(decision.retry_after_ms, 250);
+  admission.release("");
+  EXPECT_TRUE(admission.try_admit("").admitted);
+  const AdmissionStats stats = admission.stats();
+  EXPECT_EQ(stats.admitted, 3u);
+  EXPECT_EQ(stats.rejected_overload, 1u);
+  EXPECT_EQ(stats.inflight, 2u);
+}
+
+TEST(AdmissionTest, FairShareHandsFreedSlotsToTheNewTenant) {
+  AdmissionController admission(4, 100);
+  // Tenant A saturates the daemon: 4 slots, then overloaded.
+  int a_admitted = 0;
+  for (int i = 0; i < 8; ++i) {
+    if (admission.try_admit("a").admitted) ++a_admitted;
+  }
+  EXPECT_EQ(a_admitted, 4);
+  EXPECT_EQ(admission.try_admit("b").reason, "overloaded");
+  // One slot frees: B (under its 4/2=2 share) claims it.
+  admission.release("a");
+  const auto b = admission.try_admit("b");
+  EXPECT_TRUE(b.admitted) << b.reason;
+  // Another A slot frees (A holds 2, B holds 1, one slot open). A sits at
+  // its 4/2=2 share and is tenant-throttled — the chatty tenant cannot
+  // re-grab the slot and starve B, who claims it instead.
+  admission.release("a");
+  const auto a_more = admission.try_admit("a");
+  EXPECT_FALSE(a_more.admitted);
+  EXPECT_EQ(a_more.reason, "tenant-throttled");
+  EXPECT_TRUE(admission.try_admit("b").admitted);
+  EXPECT_GE(admission.stats().rejected_tenant, 1u);
+}
+
+TEST(AdmissionTest, SingleSlotNeverStarvesASecondTenant) {
+  // max_inflight=1: fair share floors at 1, so admission degrades to FCFS
+  // rather than rejecting tenants outright.
+  AdmissionController admission(1, 100);
+  EXPECT_TRUE(admission.try_admit("a").admitted);
+  EXPECT_FALSE(admission.try_admit("b").admitted);
+  admission.release("a");
+  EXPECT_TRUE(admission.try_admit("b").admitted);
+}
+
+TEST(AdmissionTest, ReleaseRetiresIdleTenants) {
+  AdmissionController admission(4, 100);
+  ASSERT_TRUE(admission.try_admit("a").admitted);
+  ASSERT_TRUE(admission.try_admit("b").admitted);
+  EXPECT_EQ(admission.stats().active_tenants, 2u);
+  admission.release("a");
+  EXPECT_EQ(admission.stats().active_tenants, 1u);
+  admission.release("b");
+  EXPECT_EQ(admission.stats().active_tenants, 0u);
+  EXPECT_EQ(admission.inflight(), 0u);
+}
+
+TEST(AdmissionTest, DrainLetsInflightFinish) {
+  AdmissionController admission(4, 100);
+  ASSERT_TRUE(admission.try_admit("a").admitted);
+  admission.begin_drain();
+  EXPECT_TRUE(admission.draining());
+  EXPECT_FALSE(admission.try_admit("b").admitted);
+  EXPECT_EQ(admission.inflight(), 1u);  // in-flight work keeps its slot
+  admission.release("a");
+  EXPECT_EQ(admission.inflight(), 0u);
+  EXPECT_TRUE(admission.draining());  // drain is sticky
+}
+
+TEST(AdmissionTest, ConcurrentAdmitReleaseKeepsCountsConsistent) {
+  AdmissionController admission(8, 50);
+  std::atomic<std::int64_t> held{0};
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 4; ++t) {
+    workers.emplace_back([&admission, &held, t] {
+      const std::string tenant = t % 2 == 0 ? "even" : "odd";
+      for (int i = 0; i < 500; ++i) {
+        if (admission.try_admit(tenant).admitted) {
+          held.fetch_add(1);
+          held.fetch_sub(1);
+          admission.release(tenant);
+        }
+      }
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+  EXPECT_EQ(admission.inflight(), 0u);
+  EXPECT_EQ(admission.stats().active_tenants, 0u);
+  const AdmissionStats stats = admission.stats();
+  EXPECT_GT(stats.admitted, 0u);
+}
+
+}  // namespace
+}  // namespace mcrt

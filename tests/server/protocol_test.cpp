@@ -8,6 +8,7 @@
 #include <variant>
 
 #include "base/json.h"
+#include "server/admission.h"
 
 namespace mcrt {
 namespace {
@@ -120,6 +121,78 @@ TEST(ProtocolTest, RejectsMalformedRequests) {
   EXPECT_FALSE(parse_err(R"({"id": "j1", "script": "sweep"})").empty());
   // Cancel needs a non-empty id.
   EXPECT_FALSE(parse_err(R"({"cancel": ""})").empty());
+}
+
+TEST(ProtocolTest, MalformedFrameTable) {
+  // Hostile/broken inputs a serve session may read off the wire. Every one
+  // must come back as a structured parse error (the session answers with an
+  // error frame and keeps the connection) — never a crash or an accept.
+  const char* rejected[] = {
+      "",                                       // empty line
+      "\x80\x81",                               // bare continuation bytes
+      "{\"id\": \"j\xC3(\"}",                   // truncated UTF-8 sequence
+      "{\"id\": \"\xED\xA0\x80\"}",             // CESU-8 surrogate half
+      "{\"id\": \"\xF4\x90\x80\x80\"}",         // beyond U+10FFFF
+      "{\"id\": \"\xC0\xAF\"}",                 // overlong encoding
+      R"({"id": "j1", "script": "sweep")",      // truncated JSON
+      R"({"id": "j1", "script": )",             // cut mid-value
+      "\x00\x01\x02",                           // binary garbage
+      R"("just a string")",                     // not an object
+      R"({"id": 42, "script": "sweep", "blif": "x"})",  // wrong id type
+      R"({"id": "j1", "script": "sweep", "blif": "x"} trailing)",
+  };
+  for (const char* line : rejected) {
+    EXPECT_FALSE(parse_err(line).empty()) << line;
+  }
+  EXPECT_NE(parse_err("{\"id\": \"\xFF\"}").find("UTF-8"), std::string::npos);
+}
+
+TEST(ProtocolTest, Utf8FramesWithMultibyteContentParse) {
+  // Well-formed multi-byte UTF-8 must not trip the validator.
+  const RequestFrame frame = parse_ok(
+      "{\"id\": \"j1\", \"name\": \"caf\xC3\xA9-\xE2\x82\xAC-\xF0\x9F\x94\xA7"
+      "\", \"script\": \"sweep\", \"blif\": \"x\"}");
+  EXPECT_EQ(frame.job.name, "caf\xC3\xA9-\xE2\x82\xAC-\xF0\x9F\x94\xA7");
+}
+
+TEST(ProtocolTest, ParsesHealthDrainAndTenant) {
+  EXPECT_EQ(parse_ok(R"({"health": true})").kind, RequestFrame::Kind::kHealth);
+  EXPECT_EQ(parse_ok(R"({"drain": true})").kind, RequestFrame::Kind::kDrain);
+  const RequestFrame job = parse_ok(
+      R"({"id": "j1", "script": "sweep", "blif": "x", "tenant": "team-a"})");
+  EXPECT_EQ(job.job.tenant, "team-a");
+  // The tenant survives the writer round trip.
+  EXPECT_EQ(parse_ok(write_request_frame(job)).job.tenant, "team-a");
+}
+
+TEST(ProtocolTest, BusyFrameShape) {
+  const Json busy = response_json(make_busy_frame("j3", 250, "overloaded"));
+  EXPECT_EQ(busy.at("frame").as_string(), "busy");
+  EXPECT_EQ(busy.at("id").as_string(), "j3");
+  EXPECT_EQ(busy.at("retry_after_ms").as_int(), 250);
+  EXPECT_EQ(busy.at("reason").as_string(), "overloaded");
+}
+
+TEST(ProtocolTest, HealthAndDrainAckFrameShape) {
+  AdmissionStats admission;
+  admission.inflight = 3;
+  admission.max_inflight = 8;
+  admission.active_tenants = 2;
+  const Json health = response_json(make_health_frame(admission, 4));
+  EXPECT_EQ(health.at("frame").as_string(), "health");
+  EXPECT_EQ(health.at("state").as_string(), "ok");
+  EXPECT_EQ(health.at("inflight").as_int(), 3);
+  EXPECT_EQ(health.at("max_inflight").as_int(), 8);
+  EXPECT_EQ(health.at("active_tenants").as_int(), 2);
+  EXPECT_EQ(health.at("jobs").as_int(), 4);
+
+  admission.draining = true;
+  const Json draining = response_json(make_health_frame(admission, 4));
+  EXPECT_EQ(draining.at("state").as_string(), "draining");
+
+  const Json ack = response_json(make_drain_ack_frame(5));
+  EXPECT_EQ(ack.at("frame").as_string(), "drain-ack");
+  EXPECT_EQ(ack.at("inflight").as_int(), 5);
 }
 
 TEST(ProtocolTest, HelloFrameCarriesVersionAndBuild) {

@@ -4,7 +4,10 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "pipeline/pass_manager.h"
 
@@ -110,6 +113,43 @@ TEST(ResultCacheTest, ClearResetsContentsButKeepsCounters) {
   EXPECT_EQ(cache.stats().entries, 0u);
   EXPECT_EQ(cache.stats().bytes, 0u);
   EXPECT_FALSE(cache.lookup(key_n(1)).has_value());
+}
+
+TEST(ResultCacheTest, ConcurrentMixedTrafficStaysConsistent) {
+  // Hammer one small cache from several threads with overlapping keys so
+  // insert/evict/lookup/stats interleave; the invariants that must hold
+  // throughout: served entries are intact (name matches key), byte usage
+  // stays within budget, and counters add up at the end.
+  const std::size_t budget = 8 * 1024;
+  ResultCache cache(budget);
+  std::vector<std::thread> workers;
+  std::atomic<std::uint64_t> bad_entries{0};
+  for (int t = 0; t < 4; ++t) {
+    workers.emplace_back([&cache, &bad_entries, t] {
+      for (int i = 0; i < 800; ++i) {
+        const std::uint64_t n = static_cast<std::uint64_t>((t * 797 + i) % 13);
+        const std::string name = "c" + std::to_string(n);
+        if (i % 3 == 0) {
+          cache.insert(key_n(n), result_of_size(name, 512));
+        } else {
+          const auto hit = cache.lookup(key_n(n));
+          if (hit.has_value() && hit->job.name != name) {
+            bad_entries.fetch_add(1);
+          }
+        }
+        if (i % 97 == 0) (void)cache.stats();
+      }
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+  EXPECT_EQ(bad_entries.load(), 0u);
+  const CacheStats stats = cache.stats();
+  EXPECT_LE(stats.bytes, budget);
+  EXPECT_LE(stats.entries, 13u);
+  // Inserts happen at i % 3 == 0 (267 of 800), lookups at the rest (533).
+  EXPECT_EQ(stats.hits + stats.misses, 4u * 533u);
+  EXPECT_EQ(stats.insertions, 4u * 267u);
+  EXPECT_GT(stats.hits, 0u);
 }
 
 TEST(FlowOptionsHashTest, ResultAffectingKnobsMoveTheHash) {

@@ -472,5 +472,259 @@ TEST(ServerTest, ManyConcurrentClients) {
   EXPECT_GE(cache.hits, 1u);
 }
 
+TEST(RetryPolicyTest, BackoffDoublesJittersAndHonorsHintAndCap) {
+  RetryPolicy policy;
+  policy.base_delay_ms = 100;
+  policy.max_delay_ms = 1000;
+  policy.jitter_seed = 42;
+
+  // Deterministic on (seed, attempt): the chaos harness replays schedules.
+  EXPECT_EQ(policy.delay_ms(1), policy.delay_ms(1));
+  EXPECT_EQ(policy.delay_ms(3), policy.delay_ms(3));
+
+  // Exponential envelope: base * 2^(attempt-1) plus at most +50% jitter.
+  EXPECT_GE(policy.delay_ms(1), 100);
+  EXPECT_LE(policy.delay_ms(1), 150);
+  EXPECT_GE(policy.delay_ms(2), 200);
+  EXPECT_LE(policy.delay_ms(2), 300);
+
+  // The cap bounds every attempt, jitter included.
+  for (int attempt = 1; attempt <= 12; ++attempt) {
+    EXPECT_LE(policy.delay_ms(attempt), 1000) << attempt;
+  }
+
+  // The server's retry-after hint floors the backoff.
+  EXPECT_GE(policy.delay_ms(1, 600), 600);
+
+  // Different seeds move the jitter somewhere across the attempts.
+  RetryPolicy other = policy;
+  other.jitter_seed = 43;
+  EXPECT_TRUE(policy.delay_ms(1) != other.delay_ms(1) ||
+              policy.delay_ms(2) != other.delay_ms(2) ||
+              policy.delay_ms(3) != other.delay_ms(3));
+}
+
+TEST(ServerTest, AdmissionBoundSendsBusyAndRetrySucceeds) {
+  // One stalled job saturates max_inflight=1; the next submission must
+  // bounce with a structured busy frame (not a dropped connection), and
+  // the client's retry loop must land it once the slot frees.
+  FaultInjector faults;
+  std::string spec_error;
+  ASSERT_TRUE(faults.configure("job:hog=stall", &spec_error)) << spec_error;
+  ServerOptions options;
+  options.faults = &faults;
+  options.max_inflight = 1;
+  options.retry_after_ms = 120;
+  TestServer daemon(options);
+
+  ServeClient hogger = daemon.connect();
+  ASSERT_TRUE(
+      hogger.submit(inline_job("hog", kScript, testing::fig1_circuit())));
+
+  // Wait until the hog actually holds the admission slot.
+  ServeClient client = daemon.connect();
+  std::string error;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  bool admitted = false;
+  while (std::chrono::steady_clock::now() < deadline) {
+    const auto stats = client.query_stats(&error);
+    ASSERT_TRUE(stats.has_value()) << error;
+    if (stats->at("admission").at("inflight").as_int() >= 1) {
+      admitted = true;
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  ASSERT_TRUE(admitted);
+
+  JobRequest bounced = inline_job("b", kScript, testing::chain_circuit(4, 2));
+  ASSERT_TRUE(client.submit(bounced));
+  std::vector<ClientJobResult> results;
+  ASSERT_TRUE(client.collect(&results, &error)) << error;
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_TRUE(results[0].busy);
+  EXPECT_TRUE(results[0].retryable());
+  EXPECT_EQ(results[0].status, "busy");
+  EXPECT_EQ(results[0].retry_after_ms, 120);
+  EXPECT_EQ(results[0].error, "overloaded");
+
+  // Free the slot, then drive the same retry loop `mcrt client` uses:
+  // backoff floored by the server hint, re-submit until admitted.
+  ASSERT_TRUE(hogger.cancel("hog"));
+  std::vector<ClientJobResult> hog_results;
+  ASSERT_TRUE(hogger.collect(&hog_results, &error)) << error;
+  EXPECT_EQ(hog_results[0].status, "cancelled");
+
+  RetryPolicy policy;
+  policy.max_attempts = 50;
+  policy.base_delay_ms = 5;
+  policy.max_delay_ms = 200;
+  bool served = false;
+  for (int attempt = 1; attempt < policy.max_attempts && !served; ++attempt) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(
+        policy.delay_ms(attempt, results[0].retry_after_ms)));
+    ASSERT_TRUE(client.submit(bounced));
+    ASSERT_TRUE(client.collect(&results, &error)) << error;
+    ASSERT_EQ(results.size(), 1u);
+    if (!results[0].retryable()) served = true;
+  }
+  ASSERT_TRUE(served);
+  EXPECT_EQ(results[0].status, "ok") << results[0].error;
+
+  const auto stats = client.query_stats(&error);
+  ASSERT_TRUE(stats.has_value()) << error;
+  EXPECT_GE(stats->at("server").at("busy").as_int(), 1);
+  EXPECT_GE(stats->at("admission").at("rejected_overload").as_int(), 1);
+}
+
+TEST(ServerTest, HealthDrainAndDrainingRejections) {
+  ServerOptions options;
+  options.max_inflight = 4;
+  TestServer daemon(options);
+  ServeClient client = daemon.connect();
+  std::string error;
+
+  auto health = client.query_health(&error);
+  ASSERT_TRUE(health.has_value()) << error;
+  EXPECT_EQ(health->at("state").as_string(), "ok");
+  EXPECT_EQ(health->at("max_inflight").as_int(), 4);
+  EXPECT_GE(health->at("jobs").as_int(), 1);
+
+  // Work completes before the drain...
+  std::vector<ClientJobResult> results;
+  ASSERT_TRUE(
+      client.submit(inline_job("pre", "sweep", testing::fig1_circuit())));
+  ASSERT_TRUE(client.collect(&results, &error)) << error;
+  EXPECT_EQ(results[0].status, "ok") << results[0].error;
+
+  auto ack = client.send_drain(&error);
+  ASSERT_TRUE(ack.has_value()) << error;
+  EXPECT_EQ(ack->at("frame").as_string(), "drain-ack");
+  EXPECT_EQ(ack->at("inflight").as_int(), 0);
+
+  health = client.query_health(&error);
+  ASSERT_TRUE(health.has_value()) << error;
+  EXPECT_EQ(health->at("state").as_string(), "draining");
+
+  // ...and new work is turned away with a structured busy frame while the
+  // control plane (health, stats) keeps answering for the ops side.
+  ASSERT_TRUE(
+      client.submit(inline_job("post", "sweep", testing::fig1_circuit())));
+  ASSERT_TRUE(client.collect(&results, &error)) << error;
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_TRUE(results[1].busy);
+  EXPECT_EQ(results[1].error, "draining");
+
+  const auto stats = client.query_stats(&error);
+  ASSERT_TRUE(stats.has_value()) << error;
+  EXPECT_GE(stats->at("admission").at("rejected_draining").as_int(), 1);
+  EXPECT_TRUE(stats->at("admission").at("draining").as_bool());
+}
+
+TEST(ServerTest, CoalescesIdenticalInFlightRequests) {
+  // The leader ("lead") stalls inside execution while holding the
+  // coalescing lead for its (netlist, flow) key; an identical request from
+  // a second connection must rendezvous on that execution instead of
+  // burning a second one. Cancelling the leader wakes the follower, which
+  // takes over the lead and completes on its own.
+  FaultInjector faults;
+  std::string spec_error;
+  ASSERT_TRUE(faults.configure("job:lead=stall", &spec_error)) << spec_error;
+  ServerOptions options;
+  options.faults = &faults;
+  TestServer daemon(options);
+
+  ServeClient leader = daemon.connect();
+  ASSERT_TRUE(
+      leader.submit(inline_job("lead", kScript, testing::fig1_circuit())));
+  // Give the leader a moment to reach the stall (holding the lead).
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+
+  ServeClient follower = daemon.connect();
+  ASSERT_TRUE(
+      follower.submit(inline_job("follow", kScript, testing::fig1_circuit())));
+
+  ServeClient watcher = daemon.connect();
+  std::string error;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  bool coalesced = false;
+  while (std::chrono::steady_clock::now() < deadline) {
+    const auto stats = watcher.query_stats(&error);
+    ASSERT_TRUE(stats.has_value()) << error;
+    if (stats->at("server").at("coalesced").as_int() >= 1) {
+      coalesced = true;
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_TRUE(coalesced);
+
+  ASSERT_TRUE(leader.cancel("lead"));
+  std::vector<ClientJobResult> lead_results;
+  ASSERT_TRUE(leader.collect(&lead_results, &error)) << error;
+  EXPECT_EQ(lead_results[0].status, "cancelled");
+
+  std::vector<ClientJobResult> follow_results;
+  ASSERT_TRUE(follower.collect(&follow_results, &error)) << error;
+  EXPECT_EQ(follow_results[0].status, "ok") << follow_results[0].error;
+}
+
+TEST(ServerTest, DiskTierServesAcrossRestart) {
+  // The crash-safety payoff: results persisted by one daemon are served
+  // byte-identically by the next daemon on the same directory, after the
+  // memory tier died with the first process.
+  const fs::path disk_dir = fresh_dir("srv_disk_restart");
+  const Netlist circuit = testing::chain_circuit(6, 3);
+  std::string first_json;
+  std::string first_blif;
+  {
+    ServerOptions options;
+    options.disk_cache_dir = disk_dir.string();
+    TestServer daemon(options);
+    ServeClient client = daemon.connect();
+    JobRequest request = inline_job("cold", kScript, circuit);
+    request.options.return_blif = true;
+    ASSERT_TRUE(client.submit(request));
+    std::vector<ClientJobResult> results;
+    std::string error;
+    ASSERT_TRUE(client.collect(&results, &error)) << error;
+    ASSERT_EQ(results[0].status, "ok") << results[0].error;
+    EXPECT_FALSE(results[0].cached);
+    first_json = results[0].job_json;
+    first_blif = results[0].blif;
+    ASSERT_FALSE(first_blif.empty());
+  }
+
+  bool entry_found = false;
+  for (const auto& file : fs::directory_iterator(disk_dir)) {
+    if (file.path().extension() == ".entry") entry_found = true;
+  }
+  ASSERT_TRUE(entry_found);
+
+  ServerOptions options;
+  options.disk_cache_dir = disk_dir.string();
+  TestServer daemon(options);
+  ServeClient client = daemon.connect();
+  JobRequest request = inline_job("warm", kScript, circuit);
+  request.name = "cold";  // same identity so the canonical records compare
+  request.options.return_blif = true;
+  ASSERT_TRUE(client.submit(request));
+  std::vector<ClientJobResult> results;
+  std::string error;
+  ASSERT_TRUE(client.collect(&results, &error)) << error;
+  ASSERT_EQ(results[0].status, "ok") << results[0].error;
+  EXPECT_TRUE(results[0].cached);
+  EXPECT_EQ(results[0].job_json, first_json);
+  EXPECT_EQ(results[0].blif, first_blif);
+
+  const auto stats = client.query_stats(&error);
+  ASSERT_TRUE(stats.has_value()) << error;
+  EXPECT_EQ(stats->at("disk").at("hits").as_int(), 1);
+  EXPECT_EQ(stats->at("cache").at("hits").as_int(), 0);  // memory was cold
+  EXPECT_GE(stats->at("disk").at("entries").as_int(), 1);
+}
+
 }  // namespace
 }  // namespace mcrt

@@ -79,6 +79,15 @@
 //                                           schemas); with --baseline, fails
 //                                           on a speedup regression beyond
 //                                           --max-regress
+//   mcrt loadtest [--quick] [--out-dir D] [--seed S]
+//                 [--baseline D --max-regress F]
+//                                           chaos load harness for the serve
+//                                           stack: in-process daemons under
+//                                           injected disk faults, dropped
+//                                           connections and a corrupt-entry
+//                                           restart; every response is
+//                                           byte-compared against the bulk
+//                                           path; writes BENCH_serve.json
 //
 // Every transforming subcommand is a canned pipeline over the same
 // pipeline/PassManager that `flow` scripts use, so stats reporting, timing
@@ -89,6 +98,7 @@
 // `retime` gives delay-less LUTs -d so the period objective is meaningful;
 // other commands preserve what the file had (0 if none).
 #include <algorithm>
+#include <chrono>
 #include <csignal>
 #include <cstdio>
 #include <cstring>
@@ -96,6 +106,7 @@
 #include <fstream>
 #include <iterator>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "base/cancel.h"
@@ -113,6 +124,7 @@
 #include "pipeline/flow_script.h"
 #include "pipeline/pass_manager.h"
 #include "perf/bench.h"
+#include "perf/serve_bench.h"
 #include "pipeline/passes.h"
 #include "server/client.h"
 #include "server/server.h"
@@ -183,16 +195,28 @@ int usage() {
                "          [--baseline <dir> --max-regress <frac=0.20>]\n"
                "          compact-vs-legacy benchmark; writes BENCH_*.json\n"
                "  serve:  mcrt serve (--socket <path> | --port <n>) [--jobs N]\n"
-               "          [--cache-mb M] [--timeout S] [--no-validate]\n"
-               "          [--verify] [--faults <spec>] [budgets]\n"
+               "          [--cache-mb M] [--disk-cache-dir D "
+               "--disk-cache-mb M]\n"
+               "          [--max-inflight N --retry-after-ms MS] [--timeout S]\n"
+               "          [--no-validate] [--verify] [--faults <spec>] "
+               "[budgets]\n"
                "          persistent retiming daemon with a structural\n"
-               "          result cache (see docs/SERVER.md)\n"
+               "          result cache and a crash-safe disk tier (see\n"
+               "          docs/SERVER.md)\n"
                "  client: mcrt client \"<script>\" (--socket <p> | --port <n>)\n"
                "          [--out-dir D] [--report F --canonical] [--timeout S]\n"
+               "          [--retries N --retry-base-ms MS] [--tenant T]\n"
                "          [--stats] [--shutdown] <in.blif|dir>...\n"
                "          submit circuits to a running daemon; also:\n"
-               "          mcrt client --hello|--stats|--shutdown (--socket|"
-               "--port)\n"
+               "          mcrt client --hello|--stats|--health|--drain|"
+               "--shutdown\n"
+               "  loadtest: mcrt loadtest [--quick] [--seed S]\n"
+               "          [--out-dir D] [--baseline <dir> "
+               "[--max-regress F]]\n"
+               "          chaos load harness: spins in-process daemons and\n"
+               "          drives traffic under injected disk and connection\n"
+               "          faults plus a corrupt-entry restart recovery\n"
+               "          check; writes BENCH_serve.json\n"
                "  mcrt --version prints version, build type and sanitizers\n");
   return 2;
 }
@@ -588,13 +612,102 @@ int cmd_bench(const BenchFlags& flags, StreamDiagnostics& diag) {
   return rc;
 }
 
+int cmd_loadtest(const BenchFlags& flags, StreamDiagnostics& diag) {
+  namespace fs = std::filesystem;
+  ServeBenchOptions options;
+  options.quick = flags.quick;
+  options.seed = flags.seed;
+  options.work_dir = (fs::path(flags.out_dir) / "loadtest_work").string();
+
+  std::printf("loadtest: running serve chaos phases (%s)...\n",
+              flags.quick ? "quick" : "full");
+  const Json report = run_serve_bench(options, &diag);
+  const std::string problem = validate_serve_bench_report(report);
+  if (!problem.empty()) {
+    if (report.has("error")) {
+      diag.error("loadtest", report.at("error").as_string());
+    }
+    diag.error("loadtest", problem);
+    return 1;
+  }
+  for (const Json& entry : report.at("entries").as_array()) {
+    std::printf(
+        "  %-10s requests=%lld speedup=%.2fx p99=%.1fms mem_hit=%.2f "
+        "disk_hit=%.2f identical=%s\n",
+        entry.at("circuit").as_string().c_str(),
+        static_cast<long long>(entry.at("requests").as_int()),
+        entry.at("speedup_warm_vs_cold").as_number(),
+        entry.at("p99_ms").as_number(), entry.at("mem_hit_ratio").as_number(),
+        entry.at("disk_hit_ratio").as_number(),
+        entry.at("identical").as_bool() ? "yes" : "NO");
+  }
+  const Json& summary = report.at("summary");
+  std::printf(
+      "  geomean %.2fx, corrupt_served=%lld, restart_disk_hit_ratio=%.2f\n",
+      summary.at("geomean_speedup").as_number(),
+      static_cast<long long>(summary.at("corrupt_served").as_int()),
+      summary.at("restart_disk_hit_ratio").as_number());
+
+  std::error_code ec;
+  fs::create_directories(flags.out_dir, ec);
+  const std::string path =
+      (fs::path(flags.out_dir) / "BENCH_serve.json").string();
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << write_bench_report(report);
+  if (!out.good()) {
+    diag.error("loadtest", "cannot write " + path);
+    return 1;
+  }
+  std::printf("  wrote %s\n", path.c_str());
+
+  if (flags.baseline_dir.empty()) return 0;
+  const std::string baseline_path =
+      (fs::path(flags.baseline_dir) / "BENCH_serve.json").string();
+  std::ifstream in(baseline_path, std::ios::binary);
+  if (!in.good()) {
+    diag.error("loadtest", "cannot read baseline " + baseline_path);
+    return 1;
+  }
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  auto parsed = Json::parse(text);
+  if (const auto* err = std::get_if<JsonParseError>(&parsed)) {
+    diag.error("loadtest", baseline_path + ": " + err->message);
+    return 1;
+  }
+  const Json& baseline = std::get<Json>(parsed);
+  const std::string baseline_problem = validate_serve_bench_report(baseline);
+  if (!baseline_problem.empty()) {
+    diag.error("loadtest", baseline_path + ": " + baseline_problem);
+    return 1;
+  }
+  const std::vector<std::string> regressions =
+      bench_regressions(report, baseline, flags.max_regress);
+  for (const std::string& regression : regressions) {
+    diag.error("loadtest", "BENCH_serve.json: " + regression);
+  }
+  if (regressions.empty()) {
+    std::printf("loadtest: no regression vs baseline\n");
+    return 0;
+  }
+  return 1;
+}
+
 struct ServeFlags {
   std::string socket_path;    ///< --socket (Unix-domain)
   int port = -1;              ///< --port (loopback TCP; 0 = ephemeral)
   std::size_t cache_mb = 64;  ///< --cache-mb (0 disables the result cache)
+  std::string disk_cache_dir;       ///< --disk-cache-dir (empty = no tier)
+  std::size_t disk_cache_mb = 256;  ///< --disk-cache-mb
+  std::size_t max_inflight = 0;     ///< --max-inflight (0 = unbounded)
+  int retry_after_ms = 200;         ///< --retry-after-ms (busy frame hint)
+  int retry_base_ms = 50;     ///< client: --retry-base-ms (backoff base)
+  std::string tenant;         ///< client: --tenant (fair-share bucket)
   bool stats = false;         ///< client: print the daemon's {"stats"} frame
   bool shutdown = false;      ///< client: stop the daemon when done
   bool hello = false;         ///< client: print the greeting hello frame
+  bool health = false;        ///< client: print the {"health"} frame
+  bool drain = false;         ///< client: ask the daemon to drain
 };
 
 bool serve_endpoint(const ServeFlags& serve, SocketEndpoint* endpoint,
@@ -617,6 +730,10 @@ int cmd_serve(const ServeFlags& serve, const BulkFlags& bulk,
   if (!make_fault_injector(flags, faults, diag)) return 2;
   options.jobs = bulk.jobs;
   options.cache_bytes = serve.cache_mb << 20;
+  options.disk_cache_dir = serve.disk_cache_dir;
+  options.disk_cache_bytes = serve.disk_cache_mb << 20;
+  options.max_inflight = serve.max_inflight;
+  options.retry_after_ms = serve.retry_after_ms;
   // Same equivalence effort the flow/bulk commands use, so a request with
   // verify=true spot-checks exactly like `mcrt bulk --verify`.
   options.manager.equivalence.runs = 2;
@@ -640,14 +757,26 @@ int cmd_serve(const ServeFlags& serve, const BulkFlags& bulk,
   const ServerStats stats = server.stats();
   const CacheStats cache = server.cache_stats();
   std::printf("mcrt serve: %llu requests (%llu ok, %llu failed, %llu timeout, "
-              "%llu cancelled), cache %llu/%llu hits\n",
+              "%llu cancelled, %llu busy, %llu coalesced), cache %llu/%llu "
+              "hits\n",
               static_cast<unsigned long long>(stats.requests),
               static_cast<unsigned long long>(stats.ok),
               static_cast<unsigned long long>(stats.failed),
               static_cast<unsigned long long>(stats.timeout),
               static_cast<unsigned long long>(stats.cancelled),
+              static_cast<unsigned long long>(stats.busy),
+              static_cast<unsigned long long>(stats.coalesced),
               static_cast<unsigned long long>(cache.hits),
               static_cast<unsigned long long>(cache.hits + cache.misses));
+  if (const std::optional<DiskCacheStats> disk = server.disk_cache_stats()) {
+    std::printf("mcrt serve: disk cache %llu/%llu hits, %zu entries, "
+                "%llu quarantined, %llu write failures\n",
+                static_cast<unsigned long long>(disk->hits),
+                static_cast<unsigned long long>(disk->hits + disk->misses),
+                disk->entries,
+                static_cast<unsigned long long>(disk->quarantined),
+                static_cast<unsigned long long>(disk->write_failures));
+  }
   return 0;
 }
 
@@ -684,10 +813,13 @@ int cmd_client(const std::string& script,
       diag.error("client", "no input circuits");
       return 2;
     }
+    std::vector<JobRequest> requests;
+    requests.reserve(jobs.size());
     for (std::size_t i = 0; i < jobs.size(); ++i) {
       JobRequest request;
       request.id = str_format("j%zu", i);
       request.name = jobs[i].name;
+      request.tenant = serve.tenant;
       // The daemon may run in a different working directory.
       request.path = fs::absolute(jobs[i].input_path).string();
       if (!jobs[i].output_path.empty()) {
@@ -703,11 +835,41 @@ int cmd_client(const std::string& script,
         diag.error("client", "connection lost while submitting");
         return 1;
       }
+      requests.push_back(std::move(request));
     }
     std::vector<ClientJobResult> results;
     if (!client.collect(&results, &error)) {
       diag.error("client", error);
       return 1;
+    }
+    // Re-submit transient outcomes — busy frames and the kIoError class
+    // `mcrt bulk` retries — with exponential backoff honoring the daemon's
+    // retry-after hint.
+    RetryPolicy policy;
+    policy.max_attempts = 1 + static_cast<int>(bulk.retries);
+    policy.base_delay_ms = serve.retry_base_ms;
+    for (int attempt = 1; attempt < policy.max_attempts; ++attempt) {
+      int hint_ms = 0;
+      std::vector<std::size_t> redo;
+      for (std::size_t i = 0; i < results.size(); ++i) {
+        if (results[i].retryable()) {
+          hint_ms = std::max(hint_ms, results[i].retry_after_ms);
+          redo.push_back(i);
+        }
+      }
+      if (redo.empty()) break;
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(policy.delay_ms(attempt, hint_ms)));
+      for (const std::size_t i : redo) {
+        if (!client.submit(requests[i])) {
+          diag.error("client", "connection lost while retrying");
+          return 1;
+        }
+      }
+      if (!client.collect(&results, &error)) {
+        diag.error("client", error);
+        return 1;
+      }
     }
     for (const ClientJobResult& result : results) {
       if (result.success) {
@@ -760,6 +922,22 @@ int cmd_client(const std::string& script,
       return 1;
     }
     std::printf("%s\n", stats->write().c_str());
+  }
+  if (serve.health) {
+    std::optional<Json> health = client.query_health(&error);
+    if (!health) {
+      diag.error("client", error);
+      return 1;
+    }
+    std::printf("%s\n", health->write().c_str());
+  }
+  if (serve.drain) {
+    std::optional<Json> ack = client.send_drain(&error);
+    if (!ack) {
+      diag.error("client", error);
+      return 1;
+    }
+    std::printf("%s\n", ack->write().c_str());
   }
   if (serve.shutdown) {
     if (!client.send_shutdown()) {
@@ -1091,6 +1269,32 @@ int main(int argc, char** argv) {
       serve_flags.cache_mb = static_cast<std::size_t>(std::atoll(value.c_str()));
       continue;
     }
+    if (flag_value(arg, "--disk-cache-dir", &i, &value)) {
+      serve_flags.disk_cache_dir = value;
+      continue;
+    }
+    if (flag_value(arg, "--disk-cache-mb", &i, &value)) {
+      serve_flags.disk_cache_mb =
+          static_cast<std::size_t>(std::atoll(value.c_str()));
+      continue;
+    }
+    if (flag_value(arg, "--max-inflight", &i, &value)) {
+      serve_flags.max_inflight =
+          static_cast<std::size_t>(std::atoll(value.c_str()));
+      continue;
+    }
+    if (flag_value(arg, "--retry-after-ms", &i, &value)) {
+      serve_flags.retry_after_ms = std::atoi(value.c_str());
+      continue;
+    }
+    if (flag_value(arg, "--retry-base-ms", &i, &value)) {
+      serve_flags.retry_base_ms = std::atoi(value.c_str());
+      continue;
+    }
+    if (flag_value(arg, "--tenant", &i, &value)) {
+      serve_flags.tenant = value;
+      continue;
+    }
     if (arg == "--stats") {
       serve_flags.stats = true;
       continue;
@@ -1101,6 +1305,14 @@ int main(int argc, char** argv) {
     }
     if (arg == "--hello") {
       serve_flags.hello = true;
+      continue;
+    }
+    if (arg == "--health") {
+      serve_flags.health = true;
+      continue;
+    }
+    if (arg == "--drain") {
+      serve_flags.drain = true;
       continue;
     }
     if (arg == "-k" && i + 1 < argc) {
@@ -1132,7 +1344,7 @@ int main(int argc, char** argv) {
   }
   const bool server_command = command == "serve" || command == "client";
   if (files.empty() && !server_command && command != "bench" &&
-      command != "fuzz") {
+      command != "fuzz" && command != "loadtest") {
     return usage();
   }
 
@@ -1152,7 +1364,8 @@ int main(int argc, char** argv) {
     // (--hello / --stats / --shutdown) takes none.
     if (files.size() == 1 ||
         (files.empty() && !serve_flags.hello && !serve_flags.stats &&
-         !serve_flags.shutdown)) {
+         !serve_flags.shutdown && !serve_flags.health &&
+         !serve_flags.drain)) {
       return usage();
     }
     const std::string script = files.empty() ? std::string() : files[0];
@@ -1179,6 +1392,10 @@ int main(int argc, char** argv) {
   if (command == "bench") {
     if (!files.empty()) return usage();
     return cmd_bench(bench_flags, diag);
+  }
+  if (command == "loadtest") {
+    if (!files.empty()) return usage();
+    return cmd_loadtest(bench_flags, diag);
   }
   if (command == "fuzz") {
     if (!files.empty()) return usage();

@@ -1,12 +1,12 @@
 #!/bin/sh
 # Regenerates the committed bench documents:
-#   BENCH_retime.json / BENCH_sim.json / BENCH_window.json
+#   BENCH_retime.json / BENCH_sim.json / BENCH_window.json / BENCH_serve.json
 #                                        full-suite perf trajectory (repo root;
 #                                        the window report's headline entry runs
 #                                        a deadline-capped monolithic solve and
 #                                        takes a few minutes)
 #   bench/baseline/BENCH_*.json          quick-suite baseline for CI's
-#                                        bench-smoke regression gate
+#                                        bench-smoke and serve-chaos gates
 #
 # Run from the repo root on a quiet machine. The CI gate compares speedup
 # *ratios* only, so the baseline does not need to come from CI hardware —
@@ -24,16 +24,20 @@ cmake --build "$build_dir" -j --target mcrt_cli
 
 echo "== full suite (perf trajectory documents) =="
 "$build_dir/tools/mcrt" bench --out-dir "$repo_root"
+"$build_dir/tools/mcrt" loadtest --out-dir "$repo_root"
 
 echo "== quick suite (CI regression baseline) =="
 mkdir -p "$repo_root/bench/baseline"
 "$build_dir/tools/mcrt" bench --quick --out-dir "$repo_root/bench/baseline"
+"$build_dir/tools/mcrt" loadtest --quick --out-dir "$repo_root/bench/baseline"
 
 echo "Updated:"
 echo "  $repo_root/BENCH_retime.json"
 echo "  $repo_root/BENCH_sim.json"
 echo "  $repo_root/BENCH_window.json"
+echo "  $repo_root/BENCH_serve.json"
 echo "  $repo_root/bench/baseline/BENCH_retime.json"
 echo "  $repo_root/bench/baseline/BENCH_sim.json"
 echo "  $repo_root/bench/baseline/BENCH_window.json"
-echo "Review the speedup columns, then commit all six files."
+echo "  $repo_root/bench/baseline/BENCH_serve.json"
+echo "Review the speedup columns, then commit all eight files."
