@@ -1,0 +1,88 @@
+#include "cslow/cslow.h"
+
+#include <utility>
+
+#include "base/strings.h"
+#include "transform/decompose_controls.h"
+#include "transform/rewrite.h"
+
+namespace mcrt {
+namespace {
+
+CslowResult fail(std::string error) {
+  CslowResult result;
+  result.success = false;
+  result.error = std::move(error);
+  return result;
+}
+
+}  // namespace
+
+CslowResult replicate_registers(const Netlist& input, std::uint32_t factor) {
+  if (factor == 0 || factor > kMaxCslowFactor) {
+    return fail(str_format("cslow factor %u out of range [1, %u]", factor,
+                           kMaxCslowFactor));
+  }
+  for (const Register& reg : input.registers()) {
+    if (reg.en.valid()) {
+      return fail(str_format(
+          "register '%s' carries a load enable; decompose enables before "
+          "replication (gating a chain would stall all %u streams)",
+          reg.name.c_str(), factor));
+    }
+    if (reg.sync_ctrl.valid()) {
+      return fail(str_format(
+          "register '%s' carries a synchronous set/clear; decompose sync "
+          "controls before replication",
+          reg.name.c_str()));
+    }
+  }
+
+  CslowResult result;
+  result.stats.factor = factor;
+  result.stats.registers_before = input.register_count();
+  for (const Register& reg : input.registers()) {
+    if (reg.async_ctrl.valid()) ++result.stats.async_chains;
+  }
+
+  NetlistCopier copier(input);
+  // Chain layout: D -> head -> ... -> tail -> (pre-created Q net). The tail
+  // drives the net every original fanout reads, so at interleaved cycle t
+  // the visible state is what the head captured at t - C: exactly the
+  // active stream's previous value. Stage 0 is the head.
+  result.netlist = copier.run(nullptr, [&](const Register& reg) {
+    Netlist& out = copier.output();
+    NetId stage_d = reg.d;
+    for (std::uint32_t stage = 0; stage < factor; ++stage) {
+      Register link = reg;  // same class: clk + async ctrl/val on every stage
+      link.d = stage_d;
+      const bool last = stage + 1 == factor;
+      link.q = last ? reg.q : NetId{};
+      if (!last) link.name = str_format("%s_cs%u", reg.name.c_str(), stage);
+      stage_d = out.add_register(std::move(link));
+    }
+  });
+  result.stats.registers_after = result.netlist.register_count();
+  return result;
+}
+
+CslowResult cslow_transform(const Netlist& input, std::uint32_t factor) {
+  if (factor == 0 || factor > kMaxCslowFactor) {
+    return fail(str_format("cslow factor %u out of range [1, %u]", factor,
+                           kMaxCslowFactor));
+  }
+  const Netlist::Stats before = input.stats();
+  Netlist prepared = input;
+  if (before.with_sync > 0) prepared = decompose_sync_controls(prepared);
+  // decompose_sync_controls can *introduce* enables (en' = en | c), so
+  // consult the intermediate stats, not `before`.
+  if (prepared.stats().with_en > 0) prepared = decompose_load_enables(prepared);
+
+  CslowResult result = replicate_registers(prepared, factor);
+  if (!result.success) return result;
+  result.stats.enables_decomposed = before.with_en;
+  result.stats.syncs_decomposed = before.with_sync;
+  return result;
+}
+
+}  // namespace mcrt

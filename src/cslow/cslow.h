@@ -1,0 +1,86 @@
+// C-slow retiming transform (Strauch, arXiv:1807.05446) on the mc-graph.
+//
+// C-slowing replaces every register of a design with a chain of C registers
+// of the same class. The result processes C *independent* interleaved
+// streams: at interleaved cycle t the circuit computes stream (t mod C) at
+// that stream's own cycle floor(t / C), so a design whose critical path
+// limited it to period T can — after re-running multiple-class retiming to
+// spread the replicated chains across the logic — run each stream at a
+// clock period near T/C, multiplying aggregate throughput by up to C.
+//
+// Register classes are the enabling machinery (the reason this lands on
+// the multiple-class substrate, ROADMAP "scenario diversity"):
+//
+//  - Load enables (EN class) cannot simply be copied onto every chain
+//    register: gating a whole chain stalls *all* C streams and destroys the
+//    phase association. A per-stream hold must keep the chain rotating, so
+//    EN is first decomposed into the head-side feedback mux
+//    D' = en ? D : Q_tail (transform/decompose_controls.h). Because the
+//    chain tail at cycle t holds exactly the active stream's previous
+//    state, the mux implements "this stream holds, the other C-1 streams
+//    keep moving" — the EN semantics per stream, bit-exactly.
+//  - Synchronous set/clear samples at the edge like data, so it decomposes
+//    into gates in front of D the same way (§6 preprocessing) and then
+//    replicates trivially.
+//  - Asynchronous set/clear is level-sensitive and has no synchronous
+//    equivalent; it is copied verbatim onto every chain register, which
+//    asserts the reset value into all C stream slots at once. This is
+//    exactly "C independent copies each seeing the same async control"
+//    *provided the async control inputs are phase-constant* (the same
+//    value across the C slots of one rotation). The stream-equivalence
+//    checker (stream_check.h) drives them that way; docs/CSLOW.md spells
+//    out the caveat.
+//
+// After replication every chain register carries its original's class
+// signature (clk, async ctrl/val), so classify_registers() puts a chain in
+// one class and the §4.2 sharing modification prices the chain's shared
+// fanout correctly when mc-retiming rebalances it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "netlist/netlist.h"
+
+namespace mcrt {
+
+/// Largest accepted slowdown factor. Purely a sanity bound: the transform
+/// multiplies the register count by C, and no throughput argument survives
+/// past the point where chains outnumber gates.
+inline constexpr std::uint32_t kMaxCslowFactor = 64;
+
+struct CslowStats {
+  std::uint32_t factor = 1;
+  std::size_t registers_before = 0;
+  std::size_t registers_after = 0;      ///< factor * registers_before
+  std::size_t enables_decomposed = 0;   ///< EN -> head feedback mux
+  std::size_t syncs_decomposed = 0;     ///< SS/SC -> gates before D
+  std::size_t async_chains = 0;         ///< chains carrying async set/clear
+};
+
+struct CslowResult {
+  bool success = true;
+  std::string error;
+  Netlist netlist;
+  CslowStats stats;
+};
+
+/// The pure C-slow transform: decompose EN and sync controls, then replace
+/// every remaining register with a chain of `factor` registers of the same
+/// class. `factor == 1` returns a behaviourally identical copy (controls
+/// still decomposed). Fails on factor == 0 or factor > kMaxCslowFactor.
+///
+/// The result is *functionally* C-slowed but not yet rebalanced: every
+/// chain sits where the original register sat, so the period is unchanged
+/// until mc-retiming spreads the chains (retime(cslow=C) does both).
+[[nodiscard]] CslowResult cslow_transform(const Netlist& input,
+                                          std::uint32_t factor);
+
+/// Replication step alone, exposed for tests: every register of `input`
+/// becomes a chain of `factor` same-class registers. Requires that no
+/// register carries EN or synchronous set/clear (run the decompositions
+/// first — cslow_transform does); fails otherwise.
+[[nodiscard]] CslowResult replicate_registers(const Netlist& input,
+                                              std::uint32_t factor);
+
+}  // namespace mcrt

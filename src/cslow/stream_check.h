@@ -1,0 +1,99 @@
+// Stream-level equivalence for C-slowed designs.
+//
+// The contract a C-slow transform must honor (cslow.h): the C-slowed
+// circuit, fed C interleaved input streams, behaves like C independent
+// copies of the original, one per stream. Concretely, with all state
+// starting at X, the C-slowed output at interleaved cycle t = s + k*C must
+// match copy s's output at that stream's own cycle k — there is no extra
+// latency, because the chain tail visible at cycle t holds what the chain
+// head captured at t - C, i.e. stream s's previous state.
+//
+// check_stream_equivalence() tests exactly that with the 64-lane
+// WordSimulator: lanes are independent runs; per run it simulates C
+// reference passes of the original (one per stream's stimulus) plus one
+// interleaved pass of the C-slowed circuit over C times as many cycles, and
+// compares lane-by-lane under the usual ternary contract ("whenever the
+// reference output is defined, the C-slowed output matches").
+//
+// Stimulus caveats (docs/CSLOW.md):
+//  - Asynchronous set/clear replicates onto every chain stage, which is
+//    only stream-faithful when the async controls are *phase-constant*:
+//    the same value across the C slots of one rotation. The checker drives
+//    every input in the support cone of an async control with
+//    rotation-indexed values shared by all streams. If an async cone
+//    passes through a register the phase discipline cannot be imposed from
+//    the inputs, so the simulation check reports itself skipped.
+//  - Multi-clock designs: the simulators step all registers on one
+//    implicit clock, so interleaving has no meaning; skipped.
+//  - Reset-shaped inputs (rst/reset/__por) get a per-stream reset prefix,
+//    mirroring sim/equivalence.h.
+//
+// verify_cslow() combines this simulation leg with a ternary-BMC leg that
+// checks the *retimed* C-slowed netlist against a freshly transformed copy
+// (pure transform vs. transform+retime, same PIs/POs — standard
+// same-input-sequence equivalence, exhaustive to a small depth).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "base/cancel.h"
+#include "netlist/netlist.h"
+#include "verify/ternary_bmc.h"
+
+namespace mcrt {
+
+struct StreamCheckOptions {
+  std::size_t cycles = 48;  ///< per-stream cycles (interleaved pass runs C*)
+  std::size_t runs = 8;     ///< independent lanes (<= 64 per word pass)
+  std::size_t warmup = 8;   ///< per-stream cycles ignored before comparing
+  std::size_t reset_prefix = 3;  ///< per-stream cycles reset inputs hold 1
+  std::uint64_t seed = 1;
+  /// Accept "reference defined, C-slowed X". The EN decomposition's
+  /// feedback mux is X-pessimistic in ternary gate-level simulation (en=1
+  /// with Q=X yields X through the mux where the register semantics load D
+  /// regardless), so the stream check defaults to tolerating refinement.
+  bool x_refinement_ok = true;
+};
+
+struct StreamCheckResult {
+  bool pass = true;
+  bool skipped = false;  ///< pass=true vacuously; reason says why
+  std::string reason;    ///< skip reason or counterexample
+  std::size_t compared_defined_outputs = 0;  ///< non-vacuity evidence
+};
+
+/// Checks `cslowed` (the C-slow transform of `original`, possibly retimed
+/// afterwards) against C independent copies of `original` on interleaved
+/// stimulus. PI/PO matching is by name.
+[[nodiscard]] StreamCheckResult check_stream_equivalence(
+    const Netlist& original, const Netlist& cslowed, std::uint32_t factor,
+    const StreamCheckOptions& options = {});
+
+struct CslowVerifyOptions {
+  StreamCheckOptions sim;
+  bool enable_bmc = true;
+  std::size_t bmc_depth = 4;
+  /// BMC is exponential in unrolled input count; beyond these structural
+  /// bounds the leg reports itself skipped instead of stalling.
+  std::size_t bmc_max_luts = 60;
+  std::size_t bmc_max_inputs = 12;
+  const CancelToken* cancel = nullptr;
+};
+
+struct CslowVerifyResult {
+  bool pass = true;
+  StreamCheckResult sim;
+  bool bmc_skipped = false;
+  std::string bmc_detail;
+};
+
+/// Full verification of a C-slowed (and typically retimed) netlist:
+/// stream-equivalence simulation against `original` plus a ternary-BMC
+/// cross-check of `cslowed` against a fresh cslow_transform(original).
+[[nodiscard]] CslowVerifyResult verify_cslow(const Netlist& original,
+                                             const Netlist& cslowed,
+                                             std::uint32_t factor,
+                                             const CslowVerifyOptions& options);
+
+}  // namespace mcrt

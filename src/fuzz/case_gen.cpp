@@ -11,9 +11,10 @@
 namespace mcrt {
 namespace {
 
-/// One register per class signature, chained D -> Q, XORed against the
-/// data input at the end so every register is observable (the shape of
-/// tests/sim's register-class zoo).
+/// One register per class signature — plus an enable-chained pair and an
+/// EN+sync combination — chained D -> Q, XORed against the data input at
+/// the end so every register is observable (the shape of tests/sim's
+/// register-class zoo).
 Netlist zoo_circuit(Rng& rng) {
   Netlist n;
   const NetId clk = n.add_input("clk");
@@ -33,6 +34,18 @@ Netlist zoo_circuit(Rng& rng) {
   };
   add([](Register&) {});
   add([&](Register& r) { r.en = en; });
+  // Enable-chained: a second EN register fed directly by the first, sharing
+  // the same enable net. Back-to-back gated registers are the shape that
+  // breaks naive register replication (a stalled chain must stall every
+  // interleaved stream identically), so the zoo keeps one permanently.
+  add([&](Register& r) { r.en = en; });
+  // EN combined with a synchronous control: the reset must win over a
+  // deasserted enable (decompose-sync rewrites en' = en | sc).
+  add([&](Register& r) {
+    r.en = en;
+    r.sync_ctrl = sc;
+    r.sync_val = ResetVal::kZero;
+  });
   add([&](Register& r) {
     r.sync_ctrl = sc;
     r.sync_val = ResetVal::kOne;
@@ -124,7 +137,10 @@ Netlist sample_circuit(Rng& rng) {
 /// A random flow script over the registered passes. Always contains
 /// "sweep" (so a sabotaged sweep is always exercised) and exactly one
 /// "retime(" statement (so the mono-vs-windowed oracle always applies).
-std::string sample_script(Rng& rng) {
+/// Only the cslow-vs-replicated oracle draws a cslow=C option: a C-slowed
+/// result is not input-equivalent, so every other oracle's behavioural
+/// legs would misfire on it.
+std::string sample_script(Rng& rng, OracleKind oracle) {
   std::vector<std::string> statements;
   if (rng.chance(0.4)) statements.push_back("decompose-sync");
   if (rng.chance(0.15)) statements.push_back("decompose-en");
@@ -135,6 +151,9 @@ std::string sample_script(Rng& rng) {
   std::string retime = "retime(d=10";
   if (rng.chance(0.5)) retime += ",minperiod";
   if (rng.chance(0.25)) retime += ",no-sharing";
+  if (oracle == OracleKind::kCslowVsReplicated) {
+    retime += rng.chance(0.5) ? ",cslow=2" : ",cslow=3";
+  }
   retime += ")";
   statements.push_back(std::move(retime));
   if (rng.chance(0.2)) statements.push_back("sweep");
@@ -152,7 +171,7 @@ FuzzCase sample_case(std::uint64_t case_seed, OracleKind oracle) {
   c.seed = case_seed;
   c.oracle = oracle;
   c.netlist = sample_circuit(rng);
-  c.script = sample_script(rng);
+  c.script = sample_script(rng, oracle);
   c.name = str_format("fuzz-%s-s%llu", oracle_name(oracle),
                       static_cast<unsigned long long>(case_seed));
   return c;

@@ -5,7 +5,7 @@
 // generator's randomized profiles, a register-class zoo chain (one
 // register per EN/sync/async class) and a dual-clock rig; the flow script
 // is drawn from a small grammar over the registered passes; the oracle
-// rotates round-robin so any four consecutive indices cover every engine
+// rotates round-robin so any five consecutive indices cover every engine
 // pair. Replaying a CI failure therefore needs only the printed case seed.
 #pragma once
 
@@ -23,7 +23,7 @@ namespace mcrt {
 
 /// Samples case `index` of the run seeded with `base_seed`. Deterministic:
 /// the same pair yields an identical script and a structurally identical
-/// netlist. The oracle is `index % 4`.
+/// netlist. The oracle is `index % kOracleCount`.
 [[nodiscard]] FuzzCase generate_fuzz_case(std::uint64_t base_seed,
                                           std::size_t index);
 
@@ -32,9 +32,10 @@ namespace mcrt {
 [[nodiscard]] FuzzCase generate_fuzz_case_from_seed(std::uint64_t case_seed,
                                                     OracleKind oracle);
 
-/// One register per EN/sync/async class signature chained D -> Q, with a
-/// randomized combinational tail. Exposed for the serve-path register-class
-/// differential tests.
+/// One register per EN/sync/async class signature chained D -> Q — plus an
+/// enable-chained pair sharing one enable net and an EN+sync-reset combo —
+/// with a randomized combinational tail. Exposed for the serve-path
+/// register-class differentials and the C-slow replication tests.
 [[nodiscard]] Netlist register_class_zoo(std::uint64_t seed);
 
 /// Two pipelines in separate clock domains converging on one gate — the

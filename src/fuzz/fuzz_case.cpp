@@ -16,6 +16,7 @@ const char* oracle_name(OracleKind kind) noexcept {
     case OracleKind::kBulkVsServe: return "bulk-vs-serve";
     case OracleKind::kMonoVsWindowed: return "mono-vs-windowed";
     case OracleKind::kCompactVsLegacy: return "compact-vs-legacy";
+    case OracleKind::kCslowVsReplicated: return "cslow-vs-replicated";
   }
   return "serial-vs-bulk";
 }

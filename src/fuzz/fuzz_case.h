@@ -37,16 +37,18 @@
 
 namespace mcrt {
 
-/// The four engine pairs the fuzzer cross-checks (ROADMAP: serial vs bulk
+/// The five engine pairs the fuzzer cross-checks (ROADMAP: serial vs bulk
 /// vs serve execution, monolithic vs windowed retiming, compact vs legacy
-/// cores).
+/// cores, C-slowed vs replicated stream semantics).
 enum class OracleKind : std::uint8_t {
-  kSerialVsBulk,     ///< execute_flow_job vs BulkRunner, byte identity
-  kBulkVsServe,      ///< BulkRunner vs a live `mcrt serve` round-trip
-  kMonoVsWindowed,   ///< retime(...) vs retime-windowed(...) flows
-  kCompactVsLegacy,  ///< FEAS/FlowMap/equivalence compact vs legacy engines
+  kSerialVsBulk,       ///< execute_flow_job vs BulkRunner, byte identity
+  kBulkVsServe,        ///< BulkRunner vs a live `mcrt serve` round-trip
+  kMonoVsWindowed,     ///< retime(...) vs retime-windowed(...) flows
+  kCompactVsLegacy,    ///< FEAS/FlowMap/equivalence compact vs legacy engines
+  kCslowVsReplicated,  ///< retime(cslow=C) vs C independent copies (stream
+                       ///< interleave sim + ternary BMC + period dominance)
 };
-inline constexpr std::size_t kOracleCount = 4;
+inline constexpr std::size_t kOracleCount = 5;
 
 [[nodiscard]] const char* oracle_name(OracleKind kind) noexcept;
 [[nodiscard]] std::optional<OracleKind> oracle_from_name(

@@ -64,8 +64,12 @@ class Parser {
   }
 
   /// Parses `key[=value][,key[=value]]*)` with the '(' already consumed.
+  /// Key and value offsets are recorded into the PassArgs so configure()
+  /// failures can be located in the script.
   std::optional<FlowScriptError> parse_args(PassArgs* args) {
     for (;;) {
+      skip_space();
+      const std::size_t key_offset = pos_;
       std::string key;
       if (!parse_word(&key)) {
         skip_space();
@@ -76,16 +80,19 @@ class Parser {
         return make_error(pos_, "expected argument name");
       }
       std::string value;
+      std::size_t value_offset = PassArgs::kNoOffset;
       skip_space();
       if (!at_end() && peek() == '=') {
         ++pos_;
+        skip_space();
+        value_offset = pos_;
         if (!parse_word(&value)) {
           return make_error(
               pos_, str_format("argument '%s' is missing its value after '='",
                                key.c_str()));
         }
       }
-      args->set(std::move(key), std::move(value));
+      args->set(std::move(key), std::move(value), key_offset, value_offset);
       skip_space();
       if (at_end()) return make_error(pos_, "unterminated argument list");
       if (peek() == ',') {
@@ -101,40 +108,13 @@ class Parser {
     }
   }
 
-  /// Fills in line/column (1-based, counting '\n') and the token at
-  /// `offset`: the word starting there, the single non-word character, or
-  /// "end of script".
-  FlowScriptError locate(std::size_t offset, std::string message) const {
-    FlowScriptError err;
-    err.offset = offset;
-    err.message = std::move(message);
-    for (std::size_t i = 0; i < offset && i < script_.size(); ++i) {
-      if (script_[i] == '\n') {
-        ++err.line;
-        err.column = 1;
-      } else {
-        ++err.column;
-      }
-    }
-    if (offset >= script_.size()) {
-      err.token = "end of script";
-    } else if (is_word_char(script_[offset])) {
-      std::size_t end = offset;
-      while (end < script_.size() && is_word_char(script_[end])) ++end;
-      err.token = std::string(script_.substr(offset, end - offset));
-    } else {
-      err.token = std::string(1, script_[offset]);
-    }
-    return err;
-  }
-
   std::variant<std::vector<PassSpec>, FlowScriptError> error(
       std::size_t offset, std::string message) const {
-    return locate(offset, std::move(message));
+    return locate_in_script(script_, offset, std::move(message));
   }
   std::optional<FlowScriptError> make_error(std::size_t offset,
                                             std::string message) const {
-    return locate(offset, std::move(message));
+    return locate_in_script(script_, offset, std::move(message));
   }
 
   std::string_view script_;
@@ -146,6 +126,31 @@ class Parser {
 std::string FlowScriptError::format() const {
   return str_format("line %zu, column %zu: %s (near '%s')", line, column,
                     message.c_str(), token.c_str());
+}
+
+FlowScriptError locate_in_script(std::string_view script, std::size_t offset,
+                                 std::string message) {
+  FlowScriptError err;
+  err.offset = offset;
+  err.message = std::move(message);
+  for (std::size_t i = 0; i < offset && i < script.size(); ++i) {
+    if (script[i] == '\n') {
+      ++err.line;
+      err.column = 1;
+    } else {
+      ++err.column;
+    }
+  }
+  if (offset >= script.size()) {
+    err.token = "end of script";
+  } else if (is_word_char(script[offset])) {
+    std::size_t end = offset;
+    while (end < script.size() && is_word_char(script[end])) ++end;
+    err.token = std::string(script.substr(offset, end - offset));
+  } else {
+    err.token = std::string(1, script[offset]);
+  }
+  return err;
 }
 
 std::variant<std::vector<PassSpec>, FlowScriptError> parse_flow_script(
@@ -174,7 +179,14 @@ std::optional<std::string> compile_flow_script(std::string_view script,
                         spec.name.c_str(), known.c_str());
     }
     std::string error;
-    if (!pass->configure(spec.args, &error)) return error;
+    if (!pass->configure(spec.args, &error)) {
+      // Attribute the failure to the argument that rejected its value when
+      // the args know it, else to the statement.
+      const std::size_t offset =
+          spec.args.last_error_offset().value_or(spec.offset);
+      return "flow script, " +
+             locate_in_script(script, offset, std::move(error)).format();
+    }
     manager.add(std::move(pass));
   }
   return std::nullopt;

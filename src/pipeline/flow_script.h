@@ -53,6 +53,15 @@ struct FlowScriptError {
 std::variant<std::vector<PassSpec>, FlowScriptError> parse_flow_script(
     std::string_view script);
 
+/// Builds a located error for an arbitrary byte offset of `script`: fills in
+/// the 1-based line/column and the token at the offset (the word starting
+/// there, the single character, or "end of script"). The parser uses it for
+/// syntax errors; compile_flow_script uses it to attribute configure()-time
+/// failures (e.g. `retime(cslow=x)`) to the offending argument.
+[[nodiscard]] FlowScriptError locate_in_script(std::string_view script,
+                                               std::size_t offset,
+                                               std::string message);
+
 /// Parses `script`, instantiates each pass from `registry` and configures
 /// it with its arguments, appending to `manager`. Returns an error message
 /// (with script offset and, for unknown passes, the available names), or

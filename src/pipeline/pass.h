@@ -25,7 +25,16 @@ namespace mcrt {
 /// flag "no-sharing". Bare keys store an empty value and read as flags.
 class PassArgs {
  public:
-  void set(std::string key, std::string value) {
+  /// `key_offset` / `value_offset` are byte positions in the flow script the
+  /// argument came from (the parser records them); npos when the args were
+  /// built programmatically. They let compile_flow_script() attribute a
+  /// configure()-time failure (`retime(cslow=x)`) to the exact column.
+  static constexpr std::size_t kNoOffset = static_cast<std::size_t>(-1);
+
+  void set(std::string key, std::string value,
+           std::size_t key_offset = kNoOffset,
+           std::size_t value_offset = kNoOffset) {
+    offsets_[key] = {key_offset, value_offset};
     entries_[std::move(key)] = std::move(value);
   }
   [[nodiscard]] bool contains(const std::string& key) const {
@@ -37,9 +46,15 @@ class PassArgs {
   }
   [[nodiscard]] std::optional<std::string> value(const std::string& key) const;
   /// Parses the value of `key` as a decimal integer. On a present but
-  /// malformed value, returns std::nullopt and sets *error.
+  /// malformed or out-of-range value, returns std::nullopt, sets *error and
+  /// records the value's script offset in last_error_offset().
   [[nodiscard]] std::optional<std::int64_t> int_value(const std::string& key,
                                                      std::string* error) const;
+  /// int_value() plus an inclusive range check (`cslow=0` and overflow get
+  /// the same located diagnostics as `cslow=x`).
+  [[nodiscard]] std::optional<std::int64_t> int_value_in_range(
+      const std::string& key, std::int64_t min, std::int64_t max,
+      std::string* error) const;
   [[nodiscard]] const std::map<std::string, std::string>& entries()
       const noexcept {
     return entries_;
@@ -51,8 +66,25 @@ class PassArgs {
   bool expect_keys(std::initializer_list<std::string_view> known,
                    std::string_view pass_name, std::string* error) const;
 
+  /// Script offset of the argument behind the most recent int_value /
+  /// int_value_in_range / expect_keys failure (nullopt when none failed or
+  /// the args carry no offsets). Read by compile_flow_script.
+  [[nodiscard]] std::optional<std::size_t> last_error_offset() const noexcept {
+    return last_error_offset_;
+  }
+
  private:
+  struct ArgOffsets {
+    std::size_t key = kNoOffset;
+    std::size_t value = kNoOffset;
+  };
+  void note_error_offset(const std::string& key, bool prefer_value) const;
+
   std::map<std::string, std::string> entries_;
+  std::map<std::string, ArgOffsets> offsets_;
+  /// Error breadcrumb, not logical state (configure() reports errors via
+  /// plain std::string* and cannot carry positions itself).
+  mutable std::optional<std::size_t> last_error_offset_;
 };
 
 struct PassResult {

@@ -5,6 +5,8 @@
 #include <utility>
 
 #include "base/strings.h"
+#include "cslow/cslow.h"
+#include "cslow/stream_check.h"
 #include "sim/equivalence.h"
 #include "tech/decompose.h"
 #include "transform/decompose_controls.h"
@@ -98,11 +100,82 @@ PassResult MapPass::run(FlowContext& context) {
                                    mapped.depth));
 }
 
-bool RetimePass::configure(const PassArgs& args, std::string* error) {
-  if (!args.expect_keys({"target", "minperiod", "no-sharing", "d"}, name(),
-                        error)) {
+namespace {
+
+// The optional C-slow front half shared by RetimePass / RetimeWindowedPass:
+// transform before the solve, metrics + (optional) stream verification after.
+struct CslowStage {
+  std::optional<Netlist> original;  ///< kept only when verification is on
+  CslowStats stats;
+};
+
+bool configure_cslow(const PassArgs& args, std::string* error,
+                     std::uint32_t* factor, bool* verify) {
+  if (const auto c = args.int_value_in_range(
+          "cslow", 1, static_cast<std::int64_t>(kMaxCslowFactor), error)) {
+    *factor = static_cast<std::uint32_t>(*c);
+  } else if (args.contains("cslow")) {
     return false;
   }
+  if (args.flag("cslow-verify")) {
+    if (*factor == 0) {
+      *error = "argument 'cslow-verify' needs cslow=C";
+      return false;
+    }
+    *verify = true;
+  }
+  return true;
+}
+
+std::optional<PassResult> apply_cslow(FlowContext& context,
+                                      std::uint32_t factor, bool verify,
+                                      CslowStage* stage) {
+  if (factor == 0) return std::nullopt;
+  if (verify) stage->original = context.netlist();
+  CslowResult cs = cslow_transform(context.netlist(), factor);
+  if (!cs.success) return PassResult::fail("cslow: " + cs.error);
+  stage->stats = cs.stats;
+  context.replace_netlist(std::move(cs.netlist));
+  return std::nullopt;
+}
+
+std::optional<PassResult> finish_cslow(FlowContext& context,
+                                       std::uint32_t factor,
+                                       const CslowStage& stage) {
+  if (factor == 0) return std::nullopt;
+  context.set_metric("cslow.factor", static_cast<std::int64_t>(factor));
+  context.set_metric("cslow.registers_before",
+                     static_cast<std::int64_t>(stage.stats.registers_before));
+  context.set_metric("cslow.registers_after",
+                     static_cast<std::int64_t>(stage.stats.registers_after));
+  if (!stage.original.has_value()) return std::nullopt;
+  CslowVerifyOptions options;
+  options.cancel = context.cancel;
+  const CslowVerifyResult v =
+      verify_cslow(*stage.original, context.netlist(), factor, options);
+  if (!v.pass) {
+    return PassResult::fail(
+        str_format("cslow verification failed: %s%s%s", v.sim.reason.c_str(),
+                   v.bmc_detail.empty() ? "" : " / ", v.bmc_detail.c_str()));
+  }
+  if (v.sim.skipped) {
+    context.note("cslow stream simulation skipped: " + v.sim.reason);
+  }
+  if (v.bmc_skipped) context.note("cslow BMC skipped: " + v.bmc_detail);
+  context.set_metric("cslow.verified",
+                     (v.sim.skipped && v.bmc_skipped) ? 0 : 1);
+  return std::nullopt;
+}
+
+}  // namespace
+
+bool RetimePass::configure(const PassArgs& args, std::string* error) {
+  if (!args.expect_keys(
+          {"target", "minperiod", "no-sharing", "d", "cslow", "cslow-verify"},
+          name(), error)) {
+    return false;
+  }
+  if (!configure_cslow(args, error, &cslow_, &cslow_verify_)) return false;
   if (const auto target = args.int_value("target", error)) {
     options_.target_period = *target;
   } else if (args.contains("target")) {
@@ -121,9 +194,15 @@ bool RetimePass::configure(const PassArgs& args, std::string* error) {
 }
 
 PassResult RetimePass::run(FlowContext& context) {
+  CslowStage cslow_stage;
+  if (auto failed = apply_cslow(context, cslow_, cslow_verify_, &cslow_stage)) {
+    return *failed;
+  }
   if (default_lut_delay_ > 0) {
     // BLIF carries no delays: give delay-less LUTs the default so the
     // period objective is meaningful. Mapped netlists are untouched.
+    // (This runs after the C-slow transform, so decomposition muxes get
+    // the default delay too.)
     Netlist& n = context.netlist();
     for (std::size_t i = 0; i < n.node_count(); ++i) {
       const NodeId id{static_cast<std::uint32_t>(i)};
@@ -153,10 +232,13 @@ PassResult RetimePass::run(FlowContext& context) {
   context.set_metric("retime.registers_after",
                      static_cast<std::int64_t>(s.registers_after));
   context.set_metric("retime.attempts", static_cast<std::int64_t>(s.attempts));
+  if (auto failed = finish_cslow(context, cslow_, cslow_stage)) return *failed;
+  const std::string cslow_note =
+      cslow_ > 0 ? str_format("cslow=%u ", cslow_) : std::string();
   return PassResult::ok(str_format(
-      "classes=%zu steps=%zu/%zu period %lld -> %lld ff %zu -> %zu "
+      "%sclasses=%zu steps=%zu/%zu period %lld -> %lld ff %zu -> %zu "
       "(attempts=%zu)",
-      s.num_classes, s.moved_layers, s.possible_steps,
+      cslow_note.c_str(), s.num_classes, s.moved_layers, s.possible_steps,
       static_cast<long long>(s.period_before),
       static_cast<long long>(s.period_after), s.registers_before,
       s.registers_after, s.attempts));
@@ -164,10 +246,12 @@ PassResult RetimePass::run(FlowContext& context) {
 
 bool RetimeWindowedPass::configure(const PassArgs& args, std::string* error) {
   if (!args.expect_keys({"window-size", "windows", "window-jobs", "refine",
-                         "target", "minperiod", "no-sharing", "d"},
+                         "target", "minperiod", "no-sharing", "d", "cslow",
+                         "cslow-verify"},
                         name(), error)) {
     return false;
   }
+  if (!configure_cslow(args, error, &cslow_, &cslow_verify_)) return false;
   const auto size_arg = [&](const char* key, std::size_t* out) {
     if (const auto v = args.int_value(key, error)) {
       if (*v < 0) {
@@ -209,6 +293,10 @@ bool RetimeWindowedPass::configure(const PassArgs& args, std::string* error) {
 }
 
 PassResult RetimeWindowedPass::run(FlowContext& context) {
+  CslowStage cslow_stage;
+  if (auto failed = apply_cslow(context, cslow_, cslow_verify_, &cslow_stage)) {
+    return *failed;
+  }
   if (default_lut_delay_ > 0) {
     Netlist& n = context.netlist();
     for (std::size_t i = 0; i < n.node_count(); ++i) {
@@ -252,10 +340,14 @@ PassResult RetimeWindowedPass::run(FlowContext& context) {
                      static_cast<std::int64_t>(w.window_timeouts));
   context.set_metric("retime.refine_accepted",
                      static_cast<std::int64_t>(w.refine_accepted));
+  if (auto failed = finish_cslow(context, cslow_, cslow_stage)) return *failed;
+  const std::string cslow_note =
+      cslow_ > 0 ? str_format("cslow=%u ", cslow_) : std::string();
   return PassResult::ok(str_format(
-      "windows=%zu classes=%zu period %lld -> %lld ff %zu -> %zu "
+      "%swindows=%zu classes=%zu period %lld -> %lld ff %zu -> %zu "
       "(cut=%zu refine=%zu/%zu attempts=%zu)",
-      w.windows, s.num_classes, static_cast<long long>(s.period_before),
+      cslow_note.c_str(), w.windows, s.num_classes,
+      static_cast<long long>(s.period_before),
       static_cast<long long>(s.period_after), s.registers_before,
       s.registers_after, w.cut_edges, w.refine_accepted, w.refine_rounds_run,
       s.attempts));

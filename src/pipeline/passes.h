@@ -13,6 +13,16 @@
 //                                 d assigns the default delay to LUTs that
 //                                 have none so the period objective is
 //                                 meaningful on delay-less BLIF input
+//   retime(cslow=C[,cslow-verify])
+//                                 C-slow first (src/cslow/): every register
+//                                 becomes a chain of C, then retiming
+//                                 rebalances the chains toward period T/C
+//                                 per stream. cslow-verify re-checks stream
+//                                 equivalence + ternary BMC after the pass.
+//                                 NOTE: a C-slowed netlist is *not*
+//                                 input-equivalent (it interleaves C
+//                                 streams), so flow-level equivalence spot
+//                                 checks and verify() do not apply.
 //
 // Benches and tools that need the full option structs construct the pass
 // classes directly instead of going through script arguments.
@@ -110,9 +120,17 @@ class RetimePass final : public Pass {
   bool configure(const PassArgs& args, std::string* error) override;
   PassResult run(FlowContext& context) override;
 
+  /// Programmatic knob for benches/tools (same as cslow= / cslow-verify).
+  void set_cslow(std::uint32_t factor, bool verify = false) {
+    cslow_ = factor;
+    cslow_verify_ = verify;
+  }
+
  private:
   McRetimeOptions options_;
   std::int64_t default_lut_delay_ = 10;
+  std::uint32_t cslow_ = 0;  ///< 0 = off; C >= 1 = C-slow before retiming
+  bool cslow_verify_ = false;
 };
 
 /// Windowed multiple-class retiming (src/window/): partitions the mc-graph
@@ -120,10 +138,11 @@ class RetimePass final : public Pass {
 /// stitches and refines. Script arguments:
 ///
 ///   retime-windowed(window-size=1024,windows=0,window-jobs=0,refine=1,
-///                   target=N,minperiod,no-sharing,d=10)
+///                   target=N,minperiod,no-sharing,d=10,cslow=C,cslow-verify)
 ///
 /// windows=0 derives the count from window-size; window-jobs=0 uses one
-/// worker per hardware thread.
+/// worker per hardware thread. cslow composes: the C-slow transform runs
+/// first, then the windowed solve rebalances the chains.
 class RetimeWindowedPass final : public Pass {
  public:
   RetimeWindowedPass() = default;
@@ -139,9 +158,16 @@ class RetimeWindowedPass final : public Pass {
   bool configure(const PassArgs& args, std::string* error) override;
   PassResult run(FlowContext& context) override;
 
+  void set_cslow(std::uint32_t factor, bool verify = false) {
+    cslow_ = factor;
+    cslow_verify_ = verify;
+  }
+
  private:
   WindowedRetimeOptions options_;
   std::int64_t default_lut_delay_ = 10;
+  std::uint32_t cslow_ = 0;
+  bool cslow_verify_ = false;
 };
 
 /// In-flow verification: checks the current netlist against the flow-input

@@ -231,10 +231,18 @@ bool DiskCache::decode_entry(std::string_view bytes, CacheKey* key,
 }
 
 DiskCache::DiskCache(std::string directory, std::size_t capacity_bytes,
-                     FaultInjector* faults)
+                     std::uint64_t ttl_seconds, FaultInjector* faults)
     : directory_(std::move(directory)),
       capacity_bytes_(capacity_bytes),
+      ttl_seconds_(ttl_seconds),
       faults_(faults) {}
+
+bool DiskCache::expired_locked(fs::file_time_type mtime,
+                               fs::file_time_type now) const {
+  if (ttl_seconds_ == 0) return false;
+  // A future mtime (clock skew, copied directory) counts as fresh.
+  return now > mtime && now - mtime >= std::chrono::seconds(ttl_seconds_);
+}
 
 FaultInjector& DiskCache::injector() const {
   return faults_ != nullptr ? *faults_ : FaultInjector::global();
@@ -300,7 +308,16 @@ bool DiskCache::open(std::string* error) {
       quarantine_locked(name);
       continue;
     }
-    found.push_back(Found{entry.last_write_time(), name, key, bytes.size()});
+    const fs::file_time_type mtime = entry.last_write_time();
+    if (expired_locked(mtime, fs::file_time_type::clock::now())) {
+      // Aged out while the daemon was down. Age is not corruption: delete
+      // instead of quarantining.
+      std::error_code ignore;
+      fs::remove(entry.path(), ignore);
+      ++counters_.expired;
+      continue;
+    }
+    found.push_back(Found{mtime, name, key, bytes.size()});
   }
   if (ec) {
     if (error != nullptr) {
@@ -336,6 +353,22 @@ std::optional<CachedResult> DiskCache::lookup(const CacheKey& key,
     return std::nullopt;
   }
   const std::string name = entry_file_name(key);
+  if (ttl_seconds_ > 0) {
+    // The file's mtime, not an indexed timestamp, is the TTL epoch — it
+    // stays honest if another process rewrites or backdates the entry.
+    std::error_code ec;
+    const fs::file_time_type mtime = fs::last_write_time(path_of(name), ec);
+    if (!ec && expired_locked(mtime, fs::file_time_type::clock::now())) {
+      // Aged out since insertion: delete before reading a single byte so a
+      // stale result can never be served.
+      std::error_code ignore;
+      fs::remove(path_of(name), ignore);
+      erase_index_locked(key);
+      ++counters_.expired;
+      if (count_miss) ++counters_.misses;
+      return std::nullopt;
+    }
+  }
 
   std::string bytes;
   bool read_ok = false;

@@ -21,6 +21,12 @@
 //  - Eviction is size-budgeted LRU (`mcrt serve --disk-cache-mb`): the
 //    scan orders entries by mtime, inserts refresh recency, and the
 //    coldest files are deleted once the budget is exceeded.
+//  - Entries optionally age out (`mcrt serve --disk-cache-ttl-s`): a TTL
+//    measured from the file's mtime. Expiry is enforced at the two points
+//    an entry could otherwise be served — the startup recovery scan and
+//    lookup() — so a stale result is deleted (not quarantined: age is not
+//    corruption) and the request falls through to a cold execute. TTL 0
+//    disables aging; entries then live until evicted by the size budget.
 //
 // Fault injection: writes fire the "io:write:<file>" site and reads fire
 // "io:read:<file>" (FaultInjector's io-class actions short-write /
@@ -33,6 +39,7 @@
 #pragma once
 
 #include <cstdint>
+#include <filesystem>
 #include <list>
 #include <mutex>
 #include <optional>
@@ -61,14 +68,18 @@ struct DiskCacheStats {
   /// Insertions that failed (I/O error, injected fault); the daemon keeps
   /// serving, the entry is simply not persisted.
   std::uint64_t write_failures = 0;
+  /// Entries deleted because they outlived the TTL (startup scan +
+  /// lookup-time age check). Always 0 when the TTL is disabled.
+  std::uint64_t expired = 0;
 };
 
 class DiskCache {
  public:
   /// `capacity_bytes == 0` disables the tier (open() still succeeds,
-  /// lookups miss, inserts drop). `faults` null = the global injector.
+  /// lookups miss, inserts drop). `ttl_seconds == 0` disables age-out.
+  /// `faults` null = the global injector.
   DiskCache(std::string directory, std::size_t capacity_bytes,
-            FaultInjector* faults = nullptr);
+            std::uint64_t ttl_seconds = 0, FaultInjector* faults = nullptr);
 
   /// Creates the directory and runs the recovery scan: stray .tmp files
   /// are deleted, entries failing magic/length/checksum verification are
@@ -113,6 +124,8 @@ class DiskCache {
   };
 
   [[nodiscard]] FaultInjector& injector() const;
+  [[nodiscard]] bool expired_locked(std::filesystem::file_time_type mtime,
+                                    std::filesystem::file_time_type now) const;
   void quarantine_locked(const std::string& file_name);
   void erase_index_locked(const CacheKey& key);
   void evict_to_fit_locked();
@@ -120,6 +133,7 @@ class DiskCache {
 
   const std::string directory_;
   const std::size_t capacity_bytes_;
+  const std::uint64_t ttl_seconds_;  ///< 0 = entries never age out
   FaultInjector* const faults_;
 
   mutable std::mutex mutex_;

@@ -299,6 +299,7 @@ std::string make_stats_frame(const ServerStats& server,
     d.set("evictions", disk->evictions);
     d.set("quarantined", disk->quarantined);
     d.set("write_failures", disk->write_failures);
+    d.set("expired", disk->expired);
     frame.set("disk", std::move(d));
   }
   if (admission != nullptr) {

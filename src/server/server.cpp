@@ -19,7 +19,8 @@ RetimingServer::~RetimingServer() {
 bool RetimingServer::start(std::string* error) {
   if (!options_.disk_cache_dir.empty()) {
     disk_cache_ = std::make_unique<DiskCache>(
-        options_.disk_cache_dir, options_.disk_cache_bytes, options_.faults);
+        options_.disk_cache_dir, options_.disk_cache_bytes,
+        options_.disk_cache_ttl_seconds, options_.faults);
     if (!disk_cache_->open(error)) {
       disk_cache_.reset();
       return false;

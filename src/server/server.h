@@ -76,6 +76,10 @@ struct ServerOptions {
   std::string disk_cache_dir;
   /// Disk-tier byte budget (`--disk-cache-mb`).
   std::size_t disk_cache_bytes = std::size_t{256} << 20;
+  /// Disk-tier entry TTL in seconds (`--disk-cache-ttl-s`, 0 = no aging):
+  /// entries older than this are deleted on the recovery scan and at
+  /// lookup instead of being served.
+  std::uint64_t disk_cache_ttl_seconds = 0;
   /// Admission bound: max concurrently admitted jobs across all sessions
   /// (0 = unbounded, the historical behavior). Overflow gets busy frames.
   std::size_t max_inflight = 0;

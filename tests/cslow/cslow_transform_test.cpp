@@ -1,0 +1,111 @@
+#include "cslow/cslow.h"
+
+#include <gtest/gtest.h>
+
+#include "../common/test_circuits.h"
+#include "mcretime/register_class.h"
+#include "workload/random_circuit.h"
+
+namespace mcrt {
+namespace {
+
+TEST(CslowTransformTest, RejectsBadFactors) {
+  const Netlist n = testing::fig1_circuit();
+  EXPECT_FALSE(cslow_transform(n, 0).success);
+  EXPECT_FALSE(cslow_transform(n, kMaxCslowFactor + 1).success);
+}
+
+TEST(CslowTransformTest, FactorOneIsControlDecompositionOnly) {
+  const Netlist n = testing::fig1_circuit();
+  const CslowResult r = cslow_transform(n, 1);
+  ASSERT_TRUE(r.success) << r.error;
+  EXPECT_EQ(r.netlist.register_count(), n.register_count());
+  EXPECT_EQ(r.netlist.stats().with_en, 0u);
+  EXPECT_EQ(r.netlist.stats().with_sync, 0u);
+  EXPECT_TRUE(r.netlist.validate().empty());
+}
+
+TEST(CslowTransformTest, ReplicatesEveryRegisterIntoChains) {
+  for (const std::uint32_t factor : {2u, 3u, 5u}) {
+    const Netlist n = testing::fig1_circuit();
+    const CslowResult r = cslow_transform(n, factor);
+    ASSERT_TRUE(r.success) << r.error;
+    EXPECT_EQ(r.netlist.register_count(), factor * n.register_count());
+    EXPECT_EQ(r.stats.registers_before, n.register_count());
+    EXPECT_EQ(r.stats.registers_after, factor * n.register_count());
+    EXPECT_TRUE(r.netlist.validate().empty());
+    // No EN / sync controls survive replication (they would stall or reset
+    // all streams at once); async controls replicate verbatim.
+    EXPECT_EQ(r.netlist.stats().with_en, 0u);
+    EXPECT_EQ(r.netlist.stats().with_sync, 0u);
+  }
+}
+
+TEST(CslowTransformTest, ChainStagesKeepClassSignature) {
+  Netlist n;
+  const NetId clk = n.add_input("clk");
+  const NetId d = n.add_input("d");
+  const NetId ar = n.add_input("ar");
+  Register ff;
+  ff.d = d;
+  ff.clk = clk;
+  ff.async_ctrl = ar;
+  ff.async_val = ResetVal::kOne;
+  ff.name = "ff";
+  n.add_output("q", n.add_register(std::move(ff)));
+
+  const CslowResult r = cslow_transform(n, 3);
+  ASSERT_TRUE(r.success) << r.error;
+  ASSERT_EQ(r.netlist.register_count(), 3u);
+  EXPECT_EQ(r.stats.async_chains, 1u);
+  for (const Register& reg : r.netlist.registers()) {
+    EXPECT_TRUE(reg.async_ctrl.valid());
+    EXPECT_EQ(reg.async_val, ResetVal::kOne);
+    EXPECT_EQ(r.netlist.net(reg.clk).name, "clk");
+  }
+  // The whole chain lands in one register class, so mc-retiming's sharing
+  // machinery can move and price it as a unit.
+  const auto classes = classify_registers(r.netlist);
+  EXPECT_EQ(classes.classes.size(), 1u);
+}
+
+TEST(CslowTransformTest, ReplicationRequiresDecomposedControls) {
+  Netlist n;
+  const NetId clk = n.add_input("clk");
+  const NetId d = n.add_input("d");
+  const NetId en = n.add_input("en");
+  Register ff;
+  ff.d = d;
+  ff.clk = clk;
+  ff.en = en;
+  ff.name = "ff";
+  n.add_output("q", n.add_register(std::move(ff)));
+
+  const CslowResult direct = replicate_registers(n, 2);
+  EXPECT_FALSE(direct.success);
+  EXPECT_NE(direct.error.find("load enable"), std::string::npos);
+
+  const CslowResult full = cslow_transform(n, 2);
+  ASSERT_TRUE(full.success) << full.error;
+  EXPECT_EQ(full.stats.enables_decomposed, 1u);
+}
+
+TEST(CslowTransformTest, RandomCircuitsStayStructurallyValid) {
+  RandomCircuitOptions opt;
+  opt.use_en = true;
+  opt.use_sync = true;
+  opt.use_async = true;
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const Netlist n = random_sequential_circuit(seed, opt);
+    for (const std::uint32_t factor : {2u, 3u}) {
+      const CslowResult r = cslow_transform(n, factor);
+      ASSERT_TRUE(r.success) << "seed " << seed << ": " << r.error;
+      EXPECT_TRUE(r.netlist.validate().empty()) << "seed " << seed;
+      EXPECT_EQ(r.netlist.register_count(), factor * n.register_count());
+      EXPECT_FALSE(r.netlist.combinational_order() == std::nullopt);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mcrt

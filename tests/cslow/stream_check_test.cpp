@@ -1,0 +1,202 @@
+#include "cslow/stream_check.h"
+
+#include <gtest/gtest.h>
+
+#include "../common/test_circuits.h"
+#include "cslow/cslow.h"
+#include "workload/random_circuit.h"
+
+namespace mcrt {
+namespace {
+
+StreamCheckOptions quick() {
+  StreamCheckOptions opt;
+  opt.cycles = 32;
+  opt.runs = 8;
+  opt.warmup = 6;
+  return opt;
+}
+
+TEST(StreamCheckTest, PureTransformIsStreamEquivalent) {
+  for (const std::uint32_t factor : {2u, 3u}) {
+    const Netlist n = testing::chain_circuit(4, 3);
+    const CslowResult r = cslow_transform(n, factor);
+    ASSERT_TRUE(r.success) << r.error;
+    const StreamCheckResult eq =
+        check_stream_equivalence(n, r.netlist, factor, quick());
+    EXPECT_TRUE(eq.pass) << eq.reason;
+    EXPECT_FALSE(eq.skipped);
+    EXPECT_GT(eq.compared_defined_outputs, 0u);
+  }
+}
+
+TEST(StreamCheckTest, EnableRegistersHoldPerStream) {
+  // fig1's shared-EN registers: each stream must see its *own* hold
+  // behaviour — the chain rotates while a stream's slot keeps its value.
+  for (const std::uint32_t factor : {2u, 3u}) {
+    const Netlist n = testing::fig1_circuit();
+    const CslowResult r = cslow_transform(n, factor);
+    ASSERT_TRUE(r.success) << r.error;
+    const StreamCheckResult eq =
+        check_stream_equivalence(n, r.netlist, factor, quick());
+    EXPECT_TRUE(eq.pass) << eq.reason;
+    EXPECT_GT(eq.compared_defined_outputs, 0u);
+  }
+}
+
+TEST(StreamCheckTest, SyncResetDecomposesPerStream) {
+  const Netlist n = testing::fig5_circuit();
+  const CslowResult r = cslow_transform(n, 2);
+  ASSERT_TRUE(r.success) << r.error;
+  const StreamCheckResult eq = check_stream_equivalence(n, r.netlist, 2, quick());
+  EXPECT_TRUE(eq.pass) << eq.reason;
+  EXPECT_GT(eq.compared_defined_outputs, 0u);
+}
+
+TEST(StreamCheckTest, AsyncControlsArePhaseConstant) {
+  Netlist n;
+  const NetId clk = n.add_input("clk");
+  const NetId d = n.add_input("d");
+  const NetId ar = n.add_input("arst");
+  Register ff;
+  ff.d = d;
+  ff.clk = clk;
+  ff.async_ctrl = ar;
+  ff.async_val = ResetVal::kZero;
+  ff.name = "ff";
+  n.add_output("q", n.add_register(std::move(ff)));
+
+  const CslowResult r = cslow_transform(n, 3);
+  ASSERT_TRUE(r.success) << r.error;
+  const StreamCheckResult eq = check_stream_equivalence(n, r.netlist, 3, quick());
+  EXPECT_TRUE(eq.pass) << eq.reason;
+  EXPECT_FALSE(eq.skipped);
+  EXPECT_GT(eq.compared_defined_outputs, 0u);
+}
+
+TEST(StreamCheckTest, RandomMixedClassCircuits) {
+  RandomCircuitOptions opt;
+  opt.use_en = true;
+  opt.use_sync = true;
+  opt.use_async = true;
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    const Netlist n = random_sequential_circuit(seed, opt);
+    for (const std::uint32_t factor : {2u, 3u}) {
+      const CslowResult r = cslow_transform(n, factor);
+      ASSERT_TRUE(r.success) << r.error;
+      StreamCheckOptions sopt = quick();
+      sopt.seed = seed;
+      const StreamCheckResult eq =
+          check_stream_equivalence(n, r.netlist, factor, sopt);
+      EXPECT_TRUE(eq.pass)
+          << "seed " << seed << " factor " << factor << ": " << eq.reason;
+    }
+  }
+}
+
+TEST(StreamCheckTest, WrongFactorIsDetected) {
+  // A 2-slowed netlist presented as 3-slowed has the wrong stream timing;
+  // the checker must notice rather than vacuously pass.
+  const Netlist n = testing::chain_circuit(4, 3);
+  const CslowResult r = cslow_transform(n, 2);
+  ASSERT_TRUE(r.success) << r.error;
+  const StreamCheckResult eq =
+      check_stream_equivalence(n, r.netlist, 3, quick());
+  EXPECT_FALSE(eq.pass);
+  EXPECT_FALSE(eq.skipped);
+}
+
+TEST(StreamCheckTest, CorruptedLogicIsDetected) {
+  const Netlist n = testing::chain_circuit(3, 2);
+  CslowResult r = cslow_transform(n, 2);
+  ASSERT_TRUE(r.success) << r.error;
+  // Flip the first inverter to a buffer.
+  for (std::size_t i = 0; i < r.netlist.node_count(); ++i) {
+    Node& node = r.netlist.node(NodeId{static_cast<std::uint32_t>(i)});
+    if (node.kind == NodeKind::kLut && node.fanins.size() == 1) {
+      node.function = TruthTable::buffer();
+      break;
+    }
+  }
+  const StreamCheckResult eq =
+      check_stream_equivalence(n, r.netlist, 2, quick());
+  EXPECT_FALSE(eq.pass);
+}
+
+TEST(StreamCheckTest, MultiClockIsSkipped) {
+  Netlist n;
+  const NetId clk_a = n.add_input("clk_a");
+  const NetId clk_b = n.add_input("clk_b");
+  const NetId d = n.add_input("d");
+  Register fa;
+  fa.d = d;
+  fa.clk = clk_a;
+  fa.name = "fa";
+  const NetId qa = n.add_register(std::move(fa));
+  Register fb;
+  fb.d = qa;
+  fb.clk = clk_b;
+  fb.name = "fb";
+  n.add_output("q", n.add_register(std::move(fb)));
+
+  const CslowResult r = cslow_transform(n, 2);
+  ASSERT_TRUE(r.success) << r.error;
+  const StreamCheckResult eq = check_stream_equivalence(n, r.netlist, 2, quick());
+  EXPECT_TRUE(eq.pass);
+  EXPECT_TRUE(eq.skipped);
+}
+
+TEST(StreamCheckTest, RegisterFedAsyncConeIsSkipped) {
+  Netlist n;
+  const NetId clk = n.add_input("clk");
+  const NetId d = n.add_input("d");
+  Register timer;
+  timer.d = d;
+  timer.clk = clk;
+  timer.name = "timer";
+  const NetId qt = n.add_register(std::move(timer));
+  Register ff;
+  ff.d = d;
+  ff.clk = clk;
+  ff.async_ctrl = qt;  // async control computed from state
+  ff.async_val = ResetVal::kOne;
+  ff.name = "ff";
+  n.add_output("q", n.add_register(std::move(ff)));
+
+  const CslowResult r = cslow_transform(n, 2);
+  ASSERT_TRUE(r.success) << r.error;
+  const StreamCheckResult eq = check_stream_equivalence(n, r.netlist, 2, quick());
+  EXPECT_TRUE(eq.pass);
+  EXPECT_TRUE(eq.skipped);
+}
+
+TEST(StreamCheckVerifyTest, CombinedSimAndBmcPasses) {
+  const Netlist n = testing::fig1_circuit();
+  const CslowResult r = cslow_transform(n, 2);
+  ASSERT_TRUE(r.success) << r.error;
+  CslowVerifyOptions opt;
+  opt.sim = quick();
+  const CslowVerifyResult v = verify_cslow(n, r.netlist, 2, opt);
+  EXPECT_TRUE(v.pass) << v.sim.reason << " / " << v.bmc_detail;
+  EXPECT_FALSE(v.bmc_skipped) << v.bmc_detail;
+}
+
+TEST(StreamCheckVerifyTest, BmcCatchesCorruption) {
+  const Netlist n = testing::chain_circuit(2, 1);
+  CslowResult r = cslow_transform(n, 2);
+  ASSERT_TRUE(r.success) << r.error;
+  for (std::size_t i = 0; i < r.netlist.node_count(); ++i) {
+    Node& node = r.netlist.node(NodeId{static_cast<std::uint32_t>(i)});
+    if (node.kind == NodeKind::kLut && node.fanins.size() == 1) {
+      node.function = TruthTable::buffer();
+      break;
+    }
+  }
+  CslowVerifyOptions opt;
+  opt.sim = quick();
+  const CslowVerifyResult v = verify_cslow(n, r.netlist, 2, opt);
+  EXPECT_FALSE(v.pass);
+}
+
+}  // namespace
+}  // namespace mcrt

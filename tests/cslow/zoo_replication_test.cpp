@@ -1,0 +1,114 @@
+// EN-class enable semantics under register replication: the fuzz zoo's
+// enable-chained and EN+sync cases must stay stream-equivalent for every
+// C, and a single enable net shared across every class signature must be
+// legal to replicate (each stream sees its own hold, never a neighbour's).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "cslow/cslow.h"
+#include "cslow/stream_check.h"
+#include "fuzz/case_gen.h"
+#include "mcretime/register_class.h"
+#include "netlist/netlist.h"
+
+namespace mcrt {
+namespace {
+
+StreamCheckOptions quick() {
+  StreamCheckOptions opt;
+  opt.cycles = 32;
+  opt.runs = 8;
+  opt.warmup = 6;
+  return opt;
+}
+
+TEST(ZooReplicationTest, ZooChainIsStreamEquivalentAcrossFactors) {
+  // The zoo holds one register per class signature plus the enable-chained
+  // pair and the EN+sync combination — the replication-hostile shapes.
+  for (const std::uint64_t seed : {1u, 2u, 3u, 4u}) {
+    const Netlist zoo = register_class_zoo(seed);
+    ASSERT_GT(zoo.stats().with_en, 1u);  // the chained pair is present
+    ASSERT_GT(zoo.stats().with_sync, 0u);
+    for (const std::uint32_t factor : {2u, 3u}) {
+      const CslowResult r = cslow_transform(zoo, factor);
+      ASSERT_TRUE(r.success) << r.error;
+      EXPECT_EQ(r.netlist.register_count(), factor * zoo.register_count());
+      const StreamCheckResult eq =
+          check_stream_equivalence(zoo, r.netlist, factor, quick());
+      EXPECT_TRUE(eq.pass) << "seed " << seed << " C=" << factor << ": "
+                           << eq.reason;
+      EXPECT_FALSE(eq.skipped) << eq.reason;
+      EXPECT_GT(eq.compared_defined_outputs, 0u);
+    }
+  }
+}
+
+/// One enable net shared by a register of every class signature: plain-EN,
+/// EN chained behind EN, EN+sync-reset, EN+async-reset.
+Netlist shared_enable_all_classes() {
+  Netlist n;
+  const NetId clk = n.add_input("clk");
+  const NetId en = n.add_input("en");
+  const NetId sc = n.add_input("sc");
+  const NetId ac = n.add_input("ac");
+  const NetId d = n.add_input("d");
+  NetId chain = d;
+  std::size_t i = 0;
+  const auto add = [&](auto configure) {
+    Register r;
+    r.d = chain;
+    r.clk = clk;
+    r.en = en;  // every register gates on the same net
+    r.name = "s" + std::to_string(i++);
+    configure(r);
+    chain = n.add_register(std::move(r));
+  };
+  add([](Register&) {});
+  add([](Register&) {});  // enable-chained: stalls must compound per stream
+  add([&](Register& r) {
+    r.sync_ctrl = sc;
+    r.sync_val = ResetVal::kZero;
+  });
+  add([&](Register& r) {
+    r.async_ctrl = ac;
+    r.async_val = ResetVal::kOne;
+  });
+  n.add_output("o", n.add_lut(TruthTable::xor_n(2), {chain, d}, "mix"));
+  return n;
+}
+
+TEST(ZooReplicationTest, SharedEnableIsLegalAcrossAllClasses) {
+  const Netlist input = shared_enable_all_classes();
+  // Sharing one enable does not collapse the classes: the sync/async
+  // controls still split them.
+  const std::size_t classes_before = classify_registers(input).class_count();
+  ASSERT_GE(classes_before, 3u);
+  for (const std::uint32_t factor : {2u, 3u}) {
+    const CslowResult r = cslow_transform(input, factor);
+    ASSERT_TRUE(r.success) << r.error;
+    EXPECT_EQ(r.stats.enables_decomposed, input.stats().with_en);
+    EXPECT_EQ(r.netlist.register_count(), factor * input.register_count());
+    // Decomposition strips EN and sync from every chain stage, so the
+    // replicated netlist cannot have more classes than the original.
+    EXPECT_EQ(r.netlist.stats().with_en, 0u);
+    EXPECT_EQ(r.netlist.stats().with_sync, 0u);
+    EXPECT_LE(classify_registers(r.netlist).class_count(), classes_before);
+    const StreamCheckResult eq =
+        check_stream_equivalence(input, r.netlist, factor, quick());
+    EXPECT_TRUE(eq.pass) << "C=" << factor << ": " << eq.reason;
+    EXPECT_FALSE(eq.skipped) << eq.reason;
+  }
+}
+
+TEST(ZooReplicationTest, DualClockRigIsSkippedNotMisjudged) {
+  const Netlist rig = dual_clock_rig(7);
+  const CslowResult r = cslow_transform(rig, 2);
+  ASSERT_TRUE(r.success) << r.error;
+  const StreamCheckResult eq = check_stream_equivalence(rig, r.netlist, 2);
+  EXPECT_TRUE(eq.skipped);
+  EXPECT_TRUE(eq.pass);  // a skip is not a failure verdict
+}
+
+}  // namespace
+}  // namespace mcrt

@@ -15,10 +15,11 @@
 namespace mcrt {
 namespace {
 
-TEST(OracleName, RoundTripsAllFourKinds) {
+TEST(OracleName, RoundTripsAllKinds) {
   const OracleKind kinds[] = {
       OracleKind::kSerialVsBulk, OracleKind::kBulkVsServe,
-      OracleKind::kMonoVsWindowed, OracleKind::kCompactVsLegacy};
+      OracleKind::kMonoVsWindowed, OracleKind::kCompactVsLegacy,
+      OracleKind::kCslowVsReplicated};
   std::set<std::string> names;
   for (OracleKind kind : kinds) {
     const char* name = oracle_name(kind);

@@ -154,6 +154,43 @@ TEST(FlowScriptTest, IntValueRejectsGarbage) {
   EXPECT_NE(error.find("banana"), std::string::npos);
 }
 
+TEST(FlowScriptTest, IntValueRejectsOverflow) {
+  const auto specs = parse_ok("retime(d=99999999999999999999)");
+  std::string error;
+  EXPECT_EQ(specs[0].args.int_value("d", &error), std::nullopt);
+  EXPECT_NE(error.find("overflows"), std::string::npos);
+}
+
+TEST(FlowScriptTest, IntValueInRangeChecksBounds) {
+  const auto specs = parse_ok("retime(cslow=7)");
+  std::string error;
+  EXPECT_EQ(specs[0].args.int_value_in_range("cslow", 1, 64, &error), 7);
+  EXPECT_EQ(specs[0].args.int_value_in_range("cslow", 1, 4, &error),
+            std::nullopt);
+  EXPECT_NE(error.find("between 1 and 4"), std::string::npos);
+  // An absent key is not an error.
+  error.clear();
+  EXPECT_EQ(specs[0].args.int_value_in_range("missing", 1, 4, &error),
+            std::nullopt);
+  EXPECT_TRUE(error.empty());
+}
+
+TEST(FlowScriptTest, ArgOffsetsRecordedForDiagnostics) {
+  const std::string script = "sweep;\nretime(target=24,cslow=0)";
+  const auto specs = parse_ok(script);
+  ASSERT_EQ(specs.size(), 2u);
+  std::string error;
+  EXPECT_EQ(specs[1].args.int_value_in_range("cslow", 1, 64, &error),
+            std::nullopt);
+  const auto offset = specs[1].args.last_error_offset();
+  ASSERT_TRUE(offset.has_value());
+  EXPECT_EQ(script[*offset], '0');  // points at the value, not the key
+  const FlowScriptError located =
+      locate_in_script(script, *offset, std::move(error));
+  EXPECT_EQ(located.line, 2u);
+  EXPECT_EQ(located.token, "0");
+}
+
 TEST(FlowScriptCompileTest, UnknownPassNamesAvailablePasses) {
   PassManager manager;
   const auto error =
@@ -185,6 +222,55 @@ TEST(FlowScriptCompileTest, EmptyScriptRejected) {
                   .has_value());
   EXPECT_TRUE(compile_flow_script(" ;; ", PassRegistry::standard(), manager)
                   .has_value());
+}
+
+TEST(FlowScriptCompileTest, IntOptionsCompile) {
+  PassManager manager;
+  EXPECT_EQ(compile_flow_script("retime(cslow=3)", PassRegistry::standard(),
+                                manager),
+            std::nullopt);
+  EXPECT_EQ(compile_flow_script(
+                "retime-windowed(window-size=24,cslow=2,cslow-verify)",
+                PassRegistry::standard(), manager),
+            std::nullopt);
+}
+
+TEST(FlowScriptCompileTest, MalformedIntOptionTable) {
+  // Configure-time failures must be located like syntax errors: line/column
+  // of the offending argument value plus the token, via the offsets the
+  // parser records into PassArgs.
+  struct Row {
+    const char* script;
+    const char* message_fragment;
+    const char* location_fragment;  // "line L, column C"
+    const char* near;
+  };
+  const Row rows[] = {
+      {"retime(cslow=0)", "must be between", "line 1, column 14", "0"},
+      {"retime(cslow=x)", "not an integer", "line 1, column 14", "x"},
+      {"retime(cslow=99999999999999999999)", "overflows", "line 1, column 14",
+       "99999999999999999999"},
+      {"retime(cslow=-2)", "must be between", "line 1, column 14", "-2"},
+      {"sweep;\nretime(d=10,cslow=0)", "must be between", "line 2, column 19",
+       "0"},
+      {"retime(cslow)", "needs an integer value", "line 1, column 8", "cslow"},
+      {"retime-windowed(window-size=24,cslow=banana)", "not an integer",
+       "line 1, column 38", "banana"},
+      {"retime(cslow-verify)", "needs cslow=C", "line 1, column 1", "retime"},
+  };
+  for (const Row& row : rows) {
+    PassManager manager;
+    const auto error =
+        compile_flow_script(row.script, PassRegistry::standard(), manager);
+    ASSERT_TRUE(error.has_value()) << row.script;
+    EXPECT_NE(error->find(row.message_fragment), std::string::npos)
+        << row.script << " -> " << *error;
+    EXPECT_NE(error->find(row.location_fragment), std::string::npos)
+        << row.script << " -> " << *error;
+    EXPECT_NE(error->find(std::string("near '") + row.near + "'"),
+              std::string::npos)
+        << row.script << " -> " << *error;
+  }
 }
 
 TEST(FlowScriptCompileTest, GoodScriptBuildsConfiguredPasses) {

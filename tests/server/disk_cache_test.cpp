@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <filesystem>
 #include <fstream>
 #include <string>
@@ -283,7 +284,7 @@ TEST(DiskCacheTest, InjectedShortWritePublishesTornEntryCaughtOnRead) {
   std::string spec_error;
   ASSERT_TRUE(faults.configure("io:write:*=short-write@1", &spec_error))
       << spec_error;
-  DiskCache cache(dir, 1 << 20, &faults);
+  DiskCache cache(dir, 1 << 20, /*ttl_seconds=*/0, &faults);
   std::string error;
   ASSERT_TRUE(cache.open(&error)) << error;
   const CacheKey key = make_key(11, 11, 11);
@@ -304,7 +305,7 @@ TEST(DiskCacheTest, InjectedWriteFailuresAreCountedAndSwallowed) {
   std::string spec_error;
   ASSERT_TRUE(injector.configure("io:write:*=enospc", &spec_error))
       << spec_error;
-  DiskCache cache(dir, 1 << 20, &injector);
+  DiskCache cache(dir, 1 << 20, /*ttl_seconds=*/0, &injector);
   std::string error;
   ASSERT_TRUE(cache.open(&error)) << error;
   const CacheKey key = make_key(12, 12, 12);
@@ -321,7 +322,7 @@ TEST(DiskCacheTest, InjectedReadCorruptionIsCaughtByChecksum) {
   std::string spec_error;
   ASSERT_TRUE(faults.configure("io:read:*=corrupt@1", &spec_error))
       << spec_error;
-  DiskCache cache(dir, 1 << 20, &faults);
+  DiskCache cache(dir, 1 << 20, /*ttl_seconds=*/0, &faults);
   std::string error;
   ASSERT_TRUE(cache.open(&error)) << error;
   const CacheKey key = make_key(13, 13, 13);
@@ -329,6 +330,79 @@ TEST(DiskCacheTest, InjectedReadCorruptionIsCaughtByChecksum) {
   // First read sees flipped bytes -> quarantined, miss, never served.
   EXPECT_FALSE(cache.lookup(key).has_value());
   EXPECT_EQ(cache.stats().quarantined, 1u);
+}
+
+/// Backdates an entry file so a TTL of `ttl_s` seconds sees it as stale.
+void backdate_entry(const std::string& path, std::uint64_t age_s) {
+  std::error_code ec;
+  fs::last_write_time(
+      path, fs::file_time_type::clock::now() - std::chrono::seconds(age_s),
+      ec);
+  ASSERT_FALSE(ec) << path << ": " << ec.message();
+}
+
+TEST(DiskCacheTest, TtlExpiresStaleEntriesOnRecoveryScan) {
+  const std::string dir = fresh_dir("ttl_scan");
+  const CacheKey stale_key = make_key(1, 1, 1);
+  const CacheKey fresh_key = make_key(2, 2, 2);
+  {
+    DiskCache cache(dir, 1 << 20);
+    std::string error;
+    ASSERT_TRUE(cache.open(&error)) << error;
+    cache.insert(stale_key, make_result("stale"));
+    cache.insert(fresh_key, make_result("fresh"));
+  }
+  backdate_entry(dir + "/" + DiskCache::entry_file_name(stale_key), 7200);
+
+  DiskCache cache(dir, 1 << 20, /*ttl_seconds=*/3600);
+  std::string error;
+  ASSERT_TRUE(cache.open(&error)) << error;
+  const DiskCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_EQ(stats.expired, 1u);
+  EXPECT_EQ(stats.quarantined, 0u);  // age is not corruption
+  // The stale file is deleted outright, not quarantined.
+  EXPECT_FALSE(
+      fs::exists(dir + "/" + DiskCache::entry_file_name(stale_key)));
+  EXPECT_FALSE(fs::exists(dir + "/quarantine/" +
+                          DiskCache::entry_file_name(stale_key)));
+  EXPECT_FALSE(cache.lookup(stale_key).has_value());
+  EXPECT_TRUE(cache.lookup(fresh_key).has_value());
+}
+
+TEST(DiskCacheTest, TtlExpiresOnLookupWithoutServingStaleBytes) {
+  const std::string dir = fresh_dir("ttl_lookup");
+  const CacheKey key = make_key(3, 3, 3);
+  DiskCache cache(dir, 1 << 20, /*ttl_seconds=*/3600);
+  std::string error;
+  ASSERT_TRUE(cache.open(&error)) << error;
+  cache.insert(key, make_result("ages_out"));
+  ASSERT_TRUE(cache.lookup(key).has_value());
+  // Time passes (modeled by backdating the file past the TTL).
+  backdate_entry(dir + "/" + DiskCache::entry_file_name(key), 7200);
+  EXPECT_FALSE(cache.lookup(key).has_value());
+  const DiskCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.expired, 1u);
+  EXPECT_EQ(stats.entries, 0u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_FALSE(fs::exists(dir + "/" + DiskCache::entry_file_name(key)));
+  // Re-inserting after expiry works: the slot is genuinely free again.
+  cache.insert(key, make_result("reborn"));
+  const auto hit = cache.lookup(key);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->job.name, "reborn");
+}
+
+TEST(DiskCacheTest, TtlZeroNeverExpires) {
+  const std::string dir = fresh_dir("ttl_off");
+  const CacheKey key = make_key(4, 4, 4);
+  DiskCache cache(dir, 1 << 20);  // default ttl_seconds = 0
+  std::string error;
+  ASSERT_TRUE(cache.open(&error)) << error;
+  cache.insert(key, make_result("immortal"));
+  backdate_entry(dir + "/" + DiskCache::entry_file_name(key), 365 * 86400);
+  EXPECT_TRUE(cache.lookup(key).has_value());
+  EXPECT_EQ(cache.stats().expired, 0u);
 }
 
 }  // namespace

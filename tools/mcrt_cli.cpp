@@ -10,8 +10,20 @@
 //   mcrt map     [-k N] [-d D] in out       decompose + FlowMap k-LUT map
 //   mcrt retime  [--minperiod] [--no-sharing] [--target P] in out
 //                [--windows N] [--window-size N] [--window-jobs N]
+//                [--cslow C]
 //                                           mc-retiming (default: minarea
 //                                           at minimum feasible period);
+//                                           --cslow C replicates every
+//                                           register into a chain of C
+//                                           before retiming, multiplying
+//                                           throughput across C interleaved
+//                                           streams (src/cslow/,
+//                                           docs/CSLOW.md); with --verify
+//                                           the stream-equivalence + BMC
+//                                           self-check runs instead of the
+//                                           flow-level spot check (a
+//                                           C-slowed netlist is not
+//                                           input-equivalent);
 //                                           any --window* flag switches to
 //                                           the windowed flow (src/window/,
 //                                           docs/WINDOWING.md): partition
@@ -57,7 +69,8 @@
 //                                           differential fuzzing across the
 //                                           engine pairs (serial-vs-bulk,
 //                                           bulk-vs-serve, mono-vs-windowed,
-//                                           compact-vs-legacy): sample a
+//                                           compact-vs-legacy,
+//                                           cslow-vs-replicated): sample a
 //                                           random circuit + flow script,
 //                                           cross-check, minimize failures
 //                                           into self-contained reproducers
@@ -158,6 +171,9 @@ int usage() {
                "[--window-jobs <n>]\n"
                "          (any --window* flag selects the windowed parallel "
                "flow)\n"
+               "          --cslow <C> (replicate registers into chains of C\n"
+               "          and retime: C interleaved streams at ~T/C each;\n"
+               "          --verify then runs the stream-equivalence check)\n"
                "  check:  --formal  --bmc <depth>  --bmc-x-ok (treat a\n"
                "          defined output refining an X as benign)\n"
                "  flow:   mcrt flow \"<script>\" in.blif out.blif\n"
@@ -182,7 +198,7 @@ int usage() {
                "          [--gates G] (adds one ~G-LUT scaled design)\n"
                "  fuzz:   mcrt fuzz [--budget-s S] [--cases N] [--seed S]\n"
                "          [--oracle <serial-vs-bulk|bulk-vs-serve|"
-               "mono-vs-windowed|compact-vs-legacy>]\n"
+               "mono-vs-windowed|compact-vs-legacy|cslow-vs-replicated>]\n"
                "          [--out-dir D] [--report F] [--canonical]\n"
                "          differential fuzzing across the engine pairs;\n"
                "          failures are minimized into reproducers in "
@@ -196,7 +212,8 @@ int usage() {
                "          compact-vs-legacy benchmark; writes BENCH_*.json\n"
                "  serve:  mcrt serve (--socket <path> | --port <n>) [--jobs N]\n"
                "          [--cache-mb M] [--disk-cache-dir D "
-               "--disk-cache-mb M]\n"
+               "--disk-cache-mb M\n"
+               "          --disk-cache-ttl-s S (age out disk entries)]\n"
                "          [--max-inflight N --retry-after-ms MS] [--timeout S]\n"
                "          [--no-validate] [--verify] [--faults <spec>] "
                "[budgets]\n"
@@ -572,6 +589,9 @@ int cmd_bench(const BenchFlags& flags, StreamDiagnostics& diag) {
   const auto window = run_one("window", kBenchWindowSchema,
                               "BENCH_window.json", run_window_bench);
   if (!window) return 1;
+  const auto cslow = run_one("cslow", kBenchCslowSchema, "BENCH_cslow.json",
+                             run_cslow_bench);
+  if (!cslow) return 1;
 
   if (flags.baseline_dir.empty()) return 0;
 
@@ -608,6 +628,7 @@ int cmd_bench(const BenchFlags& flags, StreamDiagnostics& diag) {
   int rc = gate(*retime, kBenchRetimeSchema, "BENCH_retime.json");
   rc |= gate(*sim, kBenchSimSchema, "BENCH_sim.json");
   rc |= gate(*window, kBenchWindowSchema, "BENCH_window.json");
+  rc |= gate(*cslow, kBenchCslowSchema, "BENCH_cslow.json");
   if (rc == 0) std::printf("bench: no regression vs baseline\n");
   return rc;
 }
@@ -699,6 +720,7 @@ struct ServeFlags {
   std::size_t cache_mb = 64;  ///< --cache-mb (0 disables the result cache)
   std::string disk_cache_dir;       ///< --disk-cache-dir (empty = no tier)
   std::size_t disk_cache_mb = 256;  ///< --disk-cache-mb
+  std::uint64_t disk_cache_ttl_s = 0;  ///< --disk-cache-ttl-s (0 = no aging)
   std::size_t max_inflight = 0;     ///< --max-inflight (0 = unbounded)
   int retry_after_ms = 200;         ///< --retry-after-ms (busy frame hint)
   int retry_base_ms = 50;     ///< client: --retry-base-ms (backoff base)
@@ -732,6 +754,7 @@ int cmd_serve(const ServeFlags& serve, const BulkFlags& bulk,
   options.cache_bytes = serve.cache_mb << 20;
   options.disk_cache_dir = serve.disk_cache_dir;
   options.disk_cache_bytes = serve.disk_cache_mb << 20;
+  options.disk_cache_ttl_seconds = serve.disk_cache_ttl_s;
   options.max_inflight = serve.max_inflight;
   options.retry_after_ms = serve.retry_after_ms;
   // Same equivalence effort the flow/bulk commands use, so a request with
@@ -1037,7 +1060,8 @@ int cmd_fuzz(const FuzzFlags& fuzz, const BulkFlags& bulk,
     if (!only.has_value()) {
       diag.error("fuzz", str_format(
           "unknown oracle '%s' (serial-vs-bulk, bulk-vs-serve, "
-          "mono-vs-windowed, compact-vs-legacy)", fuzz.oracle.c_str()));
+          "mono-vs-windowed, compact-vs-legacy, cslow-vs-replicated)",
+          fuzz.oracle.c_str()));
       return 2;
     }
   }
@@ -1108,6 +1132,7 @@ int main(int argc, char** argv) {
   std::size_t window_count = 0;  ///< --windows (0 = derive from size)
   std::size_t window_size = 0;   ///< --window-size (0 = pass default)
   std::size_t window_jobs = 0;   ///< --window-jobs (0 = hardware threads)
+  std::uint32_t cslow = 0;       ///< --cslow (0 = off)
   std::size_t corpus_gates = 0;  ///< corpus --gates (0 = random suite only)
   bool formal = false;
   std::size_t bmc_depth = 0;
@@ -1170,6 +1195,10 @@ int main(int argc, char** argv) {
     if (flag_value(arg, "--window-jobs", &i, &value)) {
       window_jobs = static_cast<std::size_t>(std::atoll(value.c_str()));
       windowed = true;
+      continue;
+    }
+    if (flag_value(arg, "--cslow", &i, &value)) {
+      cslow = static_cast<std::uint32_t>(std::atoll(value.c_str()));
       continue;
     }
     if (flag_value(arg, "--seed", &i, &value)) {
@@ -1276,6 +1305,11 @@ int main(int argc, char** argv) {
     if (flag_value(arg, "--disk-cache-mb", &i, &value)) {
       serve_flags.disk_cache_mb =
           static_cast<std::size_t>(std::atoll(value.c_str()));
+      continue;
+    }
+    if (flag_value(arg, "--disk-cache-ttl-s", &i, &value)) {
+      serve_flags.disk_cache_ttl_s =
+          static_cast<std::uint64_t>(std::atoll(value.c_str()));
       continue;
     }
     if (flag_value(arg, "--max-inflight", &i, &value)) {
@@ -1423,6 +1457,16 @@ int main(int argc, char** argv) {
     if (target_period != 0) {
       script += str_format(",target=%lld",
                            static_cast<long long>(target_period));
+    }
+    if (cslow > 0) {
+      script += str_format(",cslow=%u", cslow);
+      // A C-slowed netlist interleaves C streams, so the flow-level
+      // input-vs-output spot check cannot apply; --verify maps to the
+      // pass's stream-equivalence + ternary-BMC self-check instead.
+      if (flow_flags.verify) {
+        script += ",cslow-verify";
+        flow_flags.verify = false;
+      }
     }
     script += ")";
   }

@@ -1,6 +1,7 @@
 #!/bin/sh
 # Regenerates the committed bench documents:
-#   BENCH_retime.json / BENCH_sim.json / BENCH_window.json / BENCH_serve.json
+#   BENCH_retime.json / BENCH_sim.json / BENCH_window.json /
+#   BENCH_cslow.json / BENCH_serve.json
 #                                        full-suite perf trajectory (repo root;
 #                                        the window report's headline entry runs
 #                                        a deadline-capped monolithic solve and
@@ -32,12 +33,9 @@ mkdir -p "$repo_root/bench/baseline"
 "$build_dir/tools/mcrt" loadtest --quick --out-dir "$repo_root/bench/baseline"
 
 echo "Updated:"
-echo "  $repo_root/BENCH_retime.json"
-echo "  $repo_root/BENCH_sim.json"
-echo "  $repo_root/BENCH_window.json"
-echo "  $repo_root/BENCH_serve.json"
-echo "  $repo_root/bench/baseline/BENCH_retime.json"
-echo "  $repo_root/bench/baseline/BENCH_sim.json"
-echo "  $repo_root/bench/baseline/BENCH_window.json"
-echo "  $repo_root/bench/baseline/BENCH_serve.json"
-echo "Review the speedup columns, then commit all eight files."
+for doc in BENCH_retime.json BENCH_sim.json BENCH_window.json \
+           BENCH_cslow.json BENCH_serve.json; do
+  echo "  $repo_root/$doc"
+  echo "  $repo_root/bench/baseline/$doc"
+done
+echo "Review the speedup columns, then commit all ten files."
